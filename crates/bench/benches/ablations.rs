@@ -1,0 +1,78 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! version-counter width, predictor size, and register-bank split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regshare_bench::{bench_config, swept_class, BENCH_SCALE};
+use regshare_core::{BankConfig, RenamerConfig, ReuseRenamer};
+use regshare_isa::RegClass;
+use regshare_sim::Pipeline;
+use regshare_workloads::all_kernels;
+use std::hint::black_box;
+
+fn renamer(swept: RegClass, banks: BankConfig, bits: u8, entries: usize) -> Box<ReuseRenamer> {
+    let fixed = BankConfig::conventional(128);
+    let (int_banks, fp_banks) = match swept {
+        RegClass::Int => (banks, fixed),
+        RegClass::Fp => (fixed, banks),
+    };
+    Box::new(ReuseRenamer::new(RenamerConfig {
+        int_banks,
+        fp_banks,
+        counter_bits: bits,
+        predictor_entries: entries,
+        predictor_bits: 2,
+        speculative_reuse: true,
+    }))
+}
+
+fn run_with(bits: u8, entries: usize, banks: &[usize]) -> u64 {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "horner").expect("kernel exists");
+    let program = kernel.program(BENCH_SCALE);
+    let r = renamer(
+        swept_class(kernel.suite),
+        BankConfig::new(banks.to_vec()),
+        bits,
+        entries,
+    );
+    let mut sim = Pipeline::new(program, r, bench_config());
+    sim.run().expect("ablation run").cycles
+}
+
+fn bench_ablate_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_counter_bits");
+    group.sample_size(10);
+    for bits in [1u8, 2, 3] {
+        group.bench_function(format!("{bits}bit"), |b| {
+            b.iter(|| black_box(run_with(bits, 512, &[52, 4, 4, 4])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablate_pred(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_predictor_entries");
+    group.sample_size(10);
+    for entries in [64usize, 512, 4096] {
+        group.bench_function(format!("{entries}"), |b| {
+            b.iter(|| black_box(run_with(2, entries, &[52, 4, 4, 4])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablate_banks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_banks");
+    group.sample_size(10);
+    for (name, banks) in [
+        ("paper", vec![52usize, 4, 4, 4]),
+        ("one_shadow_heavy", vec![44, 12, 4, 4]),
+        ("deep_only", vec![56, 0, 0, 8]),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(run_with(2, 512, &banks))));
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, bench_ablate_counter, bench_ablate_pred, bench_ablate_banks);
+criterion_main!(ablations);

@@ -1,0 +1,123 @@
+//! Microbenchmarks of the simulator's components: rename throughput of
+//! both schemes, full-pipeline simulation speed, cache and branch
+//! predictor hot loops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use regshare_bench::{baseline_renamer, proposed_renamer, run, swept_class, BENCH_SCALE};
+use regshare_core::{BaselineRenamer, Renamer, RenamerConfig, ReuseRenamer};
+use regshare_isa::{reg, Inst, Opcode};
+use regshare_mem::{Cache, CacheConfig};
+use regshare_sim::{BranchPredictor, BranchPredictorConfig};
+use regshare_workloads::all_kernels;
+use std::hint::black_box;
+
+/// A rename/commit stream that mixes chains (reusable) and shared values.
+fn rename_stream() -> Vec<Inst> {
+    let mut v = Vec::new();
+    for i in 0..32u8 {
+        v.push(Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(20))); // chain
+        v.push(Inst::rrr(Opcode::Mul, reg::x(9 + i % 4), reg::x(20), reg::x(21)));
+        v.push(Inst::store(Opcode::St, reg::x(9), reg::x(21), 0));
+    }
+    v
+}
+
+fn bench_renamers(c: &mut Criterion) {
+    let stream = rename_stream();
+    let mut group = c.benchmark_group("renamer_throughput");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut r = BaselineRenamer::new(RenamerConfig::baseline(96));
+            let mut seq = 1;
+            for (pc, inst) in stream.iter().enumerate() {
+                let uops = r.rename(seq, pc as u64, inst).expect("no stall at 96 regs");
+                for u in &uops {
+                    r.commit(u.seq);
+                }
+                seq += uops.len() as u64;
+            }
+            black_box(r.stats().renamed)
+        })
+    });
+    group.bench_function("reuse", |b| {
+        b.iter(|| {
+            let mut r = ReuseRenamer::new(RenamerConfig::paper(96));
+            let mut seq = 1;
+            for (pc, inst) in stream.iter().enumerate() {
+                let uops = r.rename(seq, pc as u64, inst).expect("no stall at 96 regs");
+                for u in &uops {
+                    r.commit(u.seq);
+                }
+                seq += uops.len() as u64;
+            }
+            black_box(r.stats().renamed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline_speed(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let mut group = c.benchmark_group("pipeline_sim_speed");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_SCALE));
+    for name in ["matmul", "pchase"] {
+        let kernel = *kernels.iter().find(|k| k.name == name).expect("kernel exists");
+        group.bench_function(format!("{name}_baseline"), |b| {
+            b.iter(|| {
+                black_box(run(&kernel, baseline_renamer(64, swept_class(kernel.suite))).cycles)
+            })
+        });
+        group.bench_function(format!("{name}_proposed"), |b| {
+            b.iter(|| {
+                black_box(run(&kernel, proposed_renamer(64, swept_class(kernel.suite))).cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("l1d_stream", |b| {
+        let mut cache = Cache::new(
+            "l1d",
+            CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_bytes: 64, latency: 1 },
+        );
+        let mut addr = 0u64;
+        b.iter(|| {
+            let mut hits = 0u32;
+            for _ in 0..4096 {
+                hits += cache.access(addr, false) as u32;
+                addr = addr.wrapping_add(64);
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_predictor");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("gshare_predict_update", |b| {
+        let mut bp = BranchPredictor::new(BranchPredictorConfig::default());
+        let inst = Inst::branch(Opcode::Bne, reg::x(1), reg::x(2), 3);
+        b.iter(|| {
+            let mut taken_count = 0u32;
+            for i in 0..4096u64 {
+                let pred = bp.predict(i % 64, &inst);
+                let taken = i % 3 != 0;
+                bp.update(i % 64, &inst, taken, 3, pred);
+                taken_count += pred.taken as u32;
+            }
+            black_box(taken_count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(components, bench_renamers, bench_pipeline_speed, bench_cache, bench_bpred);
+criterion_main!(components);

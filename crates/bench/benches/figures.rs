@@ -1,0 +1,147 @@
+//! One criterion benchmark per table/figure of the paper: each bench
+//! exercises exactly the code path the experiment harness uses to
+//! regenerate that artefact (at reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regshare_bench::{
+    baseline_renamer, proposed_renamer, run, swept_class, BENCH_SCALE,
+};
+use regshare_core::BankConfig;
+use regshare_workloads::{all_kernels, analysis, suite_kernels, Suite};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let programs: Vec<_> = kernels.iter().map(|k| k.program(BENCH_SCALE)).collect();
+    c.bench_function("fig1_single_use_analysis", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for p in &programs {
+                total += analysis::analyze(p, BENCH_SCALE).single_use_fraction();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let kernels = suite_kernels(Suite::Fp);
+    let programs: Vec<_> = kernels.iter().map(|k| k.program(BENCH_SCALE)).collect();
+    c.bench_function("fig2_consumer_histogram", |b| {
+        b.iter(|| {
+            let mut ones = 0u64;
+            for p in &programs {
+                ones += analysis::analyze(p, BENCH_SCALE).consumers.count(1);
+            }
+            black_box(ones)
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let programs: Vec<_> = kernels.iter().take(4).map(|k| k.program(BENCH_SCALE)).collect();
+    c.bench_function("fig3_reuse_potential", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for p in &programs {
+                for lim in [1u64, 2, 3, u64::MAX] {
+                    total += analysis::reuse_potential(p, BENCH_SCALE, lim);
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_area_model", |b| {
+        b.iter(|| {
+            let rows = regshare_area::table2();
+            black_box(rows.iter().map(|r| r.area_mm2).sum::<f64>())
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let ports = regshare_area::RegFilePorts::default();
+    c.bench_function("table3_equal_area_solver", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for n in BankConfig::PAPER_SIZES {
+                total += regshare_area::equal_area_config(n, ports).total();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "horner").expect("kernel exists");
+    c.bench_function("fig9_occupancy_sampling", |b| {
+        b.iter(|| {
+            let mut cfg = regshare_bench::bench_config();
+            cfg.occupancy_sample_interval = 32;
+            let program = kernel.program(BENCH_SCALE);
+            let renamer = proposed_renamer(96, swept_class(kernel.suite));
+            let mut sim = regshare_sim::Pipeline::new(program, renamer, cfg);
+            black_box(sim.run().expect("fig9 run").cycles)
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "gmm").expect("kernel exists");
+    let mut group = c.benchmark_group("fig10_speedup_point");
+    group.sample_size(10);
+    group.bench_function("baseline_48", |b| {
+        b.iter(|| black_box(run(kernel, baseline_renamer(48, swept_class(kernel.suite))).cycles))
+    });
+    group.bench_function("proposed_48", |b| {
+        b.iter(|| black_box(run(kernel, proposed_renamer(48, swept_class(kernel.suite))).cycles))
+    });
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "sad").expect("kernel exists");
+    let mut group = c.benchmark_group("fig11_ipc_curve_point");
+    group.sample_size(10);
+    for rf in [48usize, 80] {
+        group.bench_function(format!("proposed_{rf}"), |b| {
+            b.iter(|| black_box(run(kernel, proposed_renamer(rf, swept_class(kernel.suite))).cycles))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "fir").expect("kernel exists");
+    let mut group = c.benchmark_group("fig12_predictor_accuracy");
+    group.sample_size(10);
+    group.bench_function("proposed_64", |b| {
+        b.iter(|| {
+            let report = run(kernel, proposed_renamer(64, swept_class(kernel.suite)));
+            black_box(report.predictor.total())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_table2,
+    bench_table3,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12
+);
+criterion_main!(figures);

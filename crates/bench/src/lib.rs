@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the criterion benchmarks that regenerate the
+//! paper's tables and figures at reduced scale.
+//!
+//! The real experiment harness is `cargo run --release --bin experiments`
+//! in the workspace root; these benches measure the same code paths with
+//! criterion's statistical machinery so regressions in simulator or
+//! renamer performance are caught.
+
+use regshare_core::{BankConfig, BaselineRenamer, Renamer, RenamerConfig, ReuseRenamer};
+use regshare_isa::RegClass;
+use regshare_sim::{Pipeline, SimConfig, SimReport};
+use regshare_workloads::{Kernel, Suite};
+
+/// Instruction budget used by the benchmark runs (small on purpose:
+/// criterion repeats each run many times).
+pub const BENCH_SCALE: u64 = 12_000;
+
+/// Simulator configuration for benches.
+pub fn bench_config() -> SimConfig {
+    SimConfig {
+        max_instructions: BENCH_SCALE,
+        max_cycles: BENCH_SCALE * 80,
+        ..SimConfig::default()
+    }
+}
+
+/// The register file class a suite stresses.
+pub fn swept_class(suite: Suite) -> RegClass {
+    match suite {
+        Suite::Fp | Suite::Cognitive => RegClass::Fp,
+        Suite::Int | Suite::Media => RegClass::Int,
+    }
+}
+
+/// Builds a baseline renamer sweeping one class.
+pub fn baseline_renamer(rf: usize, swept: RegClass) -> Box<dyn Renamer> {
+    let fixed = BankConfig::conventional(128);
+    let swept_banks = BankConfig::conventional(rf);
+    let (int_banks, fp_banks) = match swept {
+        RegClass::Int => (swept_banks, fixed),
+        RegClass::Fp => (fixed, swept_banks),
+    };
+    Box::new(BaselineRenamer::new(RenamerConfig {
+        int_banks,
+        fp_banks,
+        ..RenamerConfig::baseline(rf)
+    }))
+}
+
+/// Builds a proposed-scheme renamer (Table III banks) sweeping one class.
+pub fn proposed_renamer(rf: usize, swept: RegClass) -> Box<dyn Renamer> {
+    let fixed = BankConfig::conventional(128);
+    let swept_banks = BankConfig::paper_row(rf);
+    let (int_banks, fp_banks) = match swept {
+        RegClass::Int => (swept_banks, fixed),
+        RegClass::Fp => (fixed, swept_banks),
+    };
+    Box::new(ReuseRenamer::new(RenamerConfig {
+        int_banks,
+        fp_banks,
+        ..RenamerConfig::paper(rf)
+    }))
+}
+
+/// Runs one kernel to its instruction budget; panics on simulator errors.
+pub fn run(kernel: &Kernel, renamer: Box<dyn Renamer>) -> SimReport {
+    let program = kernel.program(BENCH_SCALE);
+    let mut sim = Pipeline::new(program, renamer, bench_config());
+    sim.run().unwrap_or_else(|e| panic!("{}: {e}", kernel.name))
+}

@@ -1,0 +1,186 @@
+//! Register-file bank layout: how many registers carry how many shadow
+//! cells (§IV-C of the paper).
+
+use crate::preg::{PhysReg, MAX_SHADOW_CELLS};
+use serde::{Deserialize, Serialize};
+
+/// Sizes of the register-file banks, indexed by embedded shadow-cell count.
+///
+/// `sizes[k]` registers have `k` shadow cells and can therefore be reused
+/// up to `k` times (each reuse must checkpoint the previous version into a
+/// free shadow cell). The paper's proposed configuration uses four banks
+/// (0, 1, 2 and 3 shadow cells, Table III); the baseline is a single bank
+/// of conventional registers.
+///
+/// Physical register indices are laid out bank by bank: registers
+/// `0..sizes[0]` are conventional, the next `sizes[1]` have one shadow
+/// cell, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::BankConfig;
+///
+/// let banks = BankConfig::paper_row(64); // Table III: 36/6/6/6
+/// assert_eq!(banks.total(), 54);
+/// assert_eq!(banks.shadow_cells_of(regshare_core::PhysReg(0)), 0);
+/// assert_eq!(banks.shadow_cells_of(regshare_core::PhysReg(40)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankConfig {
+    sizes: Vec<usize>,
+}
+
+impl BankConfig {
+    /// Creates a layout from per-bank sizes (`sizes[k]` = registers with
+    /// `k` shadow cells). Trailing empty banks are allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `MAX_SHADOW_CELLS + 1` banks are given or the
+    /// total register count is zero.
+    pub fn new(sizes: Vec<usize>) -> Self {
+        assert!(
+            sizes.len() <= (MAX_SHADOW_CELLS as usize + 1),
+            "at most {} banks supported",
+            MAX_SHADOW_CELLS + 1
+        );
+        let total: usize = sizes.iter().sum();
+        assert!(total > 0, "register file cannot be empty");
+        BankConfig { sizes }
+    }
+
+    /// A conventional single-bank register file of `n` registers (the
+    /// baseline configuration).
+    pub fn conventional(n: usize) -> Self {
+        BankConfig::new(vec![n])
+    }
+
+    /// The equal-area 4-bank configurations of Table III, keyed by the
+    /// baseline register file size they correspond to.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a size not listed in Table III
+    /// (48/56/64/72/80/96/112).
+    pub fn paper_row(baseline_regs: usize) -> Self {
+        let sizes = match baseline_regs {
+            48 => [28, 4, 4, 4],
+            56 => [28, 6, 6, 6],
+            64 => [36, 6, 6, 6],
+            72 => [36, 8, 8, 8],
+            80 => [42, 8, 8, 8],
+            96 => [58, 8, 8, 8],
+            112 => [75, 8, 8, 8],
+            other => panic!("no Table III row for a baseline of {other} registers"),
+        };
+        BankConfig::new(sizes.to_vec())
+    }
+
+    /// The baseline register-file sizes evaluated in the paper (Fig. 10).
+    pub const PAPER_SIZES: [usize; 7] = [48, 56, 64, 72, 80, 96, 112];
+
+    /// Per-bank sizes, indexed by shadow-cell count.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total number of physical registers.
+    pub fn total(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Number of banks (including empty ones).
+    pub fn num_banks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The shadow-cell count (= bank index) of a physical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preg` is out of range.
+    pub fn shadow_cells_of(&self, preg: PhysReg) -> u8 {
+        let mut idx = preg.0 as usize;
+        for (bank, size) in self.sizes.iter().enumerate() {
+            if idx < *size {
+                return bank as u8;
+            }
+            idx -= size;
+        }
+        panic!("physical register {preg} out of range for {} registers", self.total());
+    }
+
+    /// The physical register index range `[start, end)` of bank `k`.
+    pub fn bank_range(&self, k: usize) -> std::ops::Range<u16> {
+        let start: usize = self.sizes[..k].iter().sum();
+        let end = start + self.sizes[k];
+        (start as u16)..(end as u16)
+    }
+
+    /// Total number of shadow cells across the file (used by the area
+    /// model).
+    pub fn total_shadow_cells(&self) -> usize {
+        self.sizes.iter().enumerate().map(|(k, n)| k * n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_layout() {
+        let b = BankConfig::conventional(128);
+        assert_eq!(b.total(), 128);
+        assert_eq!(b.num_banks(), 1);
+        assert_eq!(b.shadow_cells_of(PhysReg(127)), 0);
+        assert_eq!(b.total_shadow_cells(), 0);
+    }
+
+    #[test]
+    fn bank_membership_by_index() {
+        let b = BankConfig::new(vec![2, 3, 1]);
+        assert_eq!(b.shadow_cells_of(PhysReg(0)), 0);
+        assert_eq!(b.shadow_cells_of(PhysReg(1)), 0);
+        assert_eq!(b.shadow_cells_of(PhysReg(2)), 1);
+        assert_eq!(b.shadow_cells_of(PhysReg(4)), 1);
+        assert_eq!(b.shadow_cells_of(PhysReg(5)), 2);
+        assert_eq!(b.total_shadow_cells(), 3 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_preg_panics() {
+        BankConfig::new(vec![2]).shadow_cells_of(PhysReg(2));
+    }
+
+    #[test]
+    fn bank_ranges_partition_the_file() {
+        let b = BankConfig::new(vec![2, 3, 1]);
+        assert_eq!(b.bank_range(0), 0..2);
+        assert_eq!(b.bank_range(1), 2..5);
+        assert_eq!(b.bank_range(2), 5..6);
+    }
+
+    #[test]
+    fn all_table_iii_rows_construct() {
+        for n in BankConfig::PAPER_SIZES {
+            let b = BankConfig::paper_row(n);
+            assert_eq!(b.num_banks(), 4);
+            assert!(b.total() < n, "proposed config trades registers for shadow cells");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no Table III row")]
+    fn unknown_table_row_panics() {
+        BankConfig::paper_row(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_file_panics() {
+        BankConfig::new(vec![0, 0]);
+    }
+}

@@ -1,0 +1,321 @@
+//! The conventional renaming scheme: merged register file with
+//! release-on-commit (the paper's baseline, §II).
+
+use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
+use crate::{BankConfig, FreeList, MapTable, TaggedReg};
+use regshare_isa::{ArchReg, Inst, RegClass};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct DstChange {
+    logical: ArchReg,
+    old_map: TaggedReg,
+    new_map: TaggedReg,
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    seq: u64,
+    dst: Option<DstChange>,
+    dst2: Option<DstChange>,
+}
+
+/// Conventional register renaming: every destination gets a fresh physical
+/// register; the previous register of the same logical register is
+/// released when the redefining instruction commits.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::{BaselineRenamer, Renamer, RenamerConfig};
+/// use regshare_isa::{Inst, Opcode, reg};
+///
+/// let mut r = BaselineRenamer::new(RenamerConfig::baseline(48));
+/// let inst = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+/// let uops = r.rename(0, 0, &inst).unwrap();
+/// assert_eq!(uops.len(), 1);
+/// assert!(uops[0].dst.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaselineRenamer {
+    config: RenamerConfig,
+    map: MapTable,
+    retire_map: MapTable,
+    free: [FreeList; 2],
+    records: VecDeque<Record>,
+    stats: RenameStats,
+}
+
+impl BaselineRenamer {
+    /// Creates a renamer with every logical register mapped to an initial
+    /// physical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register file is smaller than the logical register
+    /// count (no registers would remain for renaming).
+    pub fn new(config: RenamerConfig) -> Self {
+        let mut map = MapTable::new();
+        let mut free = [
+            FreeList::new(&config.int_banks),
+            FreeList::new(&config.fp_banks),
+        ];
+        for class in RegClass::ALL {
+            assert!(
+                config.banks(class).total() > class.num_regs(),
+                "{class} register file must exceed the {} logical registers",
+                class.num_regs()
+            );
+            for i in 0..class.num_regs() {
+                let preg = free[class.index()]
+                    .alloc(0)
+                    .expect("initial mapping fits by the assertion above");
+                map.set(ArchReg::new(class, i as u8), TaggedReg::new(class, preg, 0));
+            }
+        }
+        let retire_map = map.clone();
+        BaselineRenamer {
+            config,
+            map,
+            retire_map,
+            free,
+            records: VecDeque::new(),
+            stats: RenameStats::new(),
+        }
+    }
+
+    /// The current (speculative) rename map.
+    pub fn map(&self) -> &MapTable {
+        &self.map
+    }
+
+    /// The retirement (architectural) rename map.
+    pub fn retire_map(&self) -> &MapTable {
+        &self.retire_map
+    }
+}
+
+impl Renamer for BaselineRenamer {
+    fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<Vec<Uop>> {
+        // Sources first: read the map.
+        let mut srcs = [None; 3];
+        for (slot, src) in srcs.iter_mut().zip(inst.raw_sources()) {
+            if let Some(r) = src.filter(|r| !r.is_zero()) {
+                *slot = Some(self.map.get(r));
+            }
+        }
+        // Destinations: allocate (post-increment ops have a second one).
+        let allocate = |this: &mut Self, logical: regshare_isa::ArchReg| {
+            let class = logical.class();
+            let preg = this.free[class.index()].alloc(0)?;
+            let new_map = TaggedReg::new(class, preg, 0);
+            let old_map = this.map.set(logical, new_map);
+            this.stats.allocations += 1;
+            Some(DstChange { logical, old_map, new_map })
+        };
+        let dst_change = match inst.dst() {
+            Some(logical) => match allocate(self, logical) {
+                Some(c) => Some(c),
+                None => {
+                    self.stats.stalls += 1;
+                    return None;
+                }
+            },
+            None => None,
+        };
+        let dst2_change = match inst.dst2() {
+            Some(logical) => match allocate(self, logical) {
+                Some(c) => Some(c),
+                None => {
+                    // Roll the first allocation back before stalling.
+                    if let Some(d) = dst_change {
+                        self.map.set(d.logical, d.old_map);
+                        let class = d.new_map.class;
+                        self.free[class.index()].free(d.new_map.preg, self.config.banks(class));
+                        self.stats.allocations -= 1;
+                    }
+                    self.stats.stalls += 1;
+                    return None;
+                }
+            },
+            None => None,
+        };
+        let dst_tag = dst_change.as_ref().map(|d| d.new_map);
+        let dst2_tag = dst2_change.as_ref().map(|d| d.new_map);
+        self.records.push_back(Record { seq, dst: dst_change, dst2: dst2_change });
+        self.stats.renamed += 1;
+        Some(vec![Uop { seq, kind: UopKind::Main, srcs, dst: dst_tag, dst2: dst2_tag }])
+    }
+
+    fn commit(&mut self, seq: u64) {
+        let record = self
+            .records
+            .pop_front()
+            .expect("commit without an in-flight rename record");
+        assert_eq!(record.seq, seq, "commits must arrive in rename order");
+        for d in [record.dst, record.dst2].into_iter().flatten() {
+            // Release-on-commit: the redefined mapping dies here.
+            let class = d.old_map.class;
+            self.free[class.index()].free(d.old_map.preg, self.config.banks(class));
+            self.stats.releases += 1;
+            self.stats.chain_lengths.record(0);
+            self.retire_map.set(d.logical, d.new_map);
+        }
+    }
+
+    fn squash_after(&mut self, seq: u64) -> SquashOutcome {
+        let mut outcome = SquashOutcome::default();
+        while let Some(record) = self.records.back() {
+            if record.seq <= seq {
+                break;
+            }
+            let record = self.records.pop_back().expect("just checked non-empty");
+            for d in [record.dst2, record.dst].into_iter().flatten() {
+                self.map.set(d.logical, d.old_map);
+                let class = d.new_map.class;
+                self.free[class.index()].free(d.new_map.preg, self.config.banks(class));
+            }
+            outcome.undone += 1;
+            self.stats.squashed += 1;
+        }
+        outcome
+    }
+
+    fn stats(&self) -> &RenameStats {
+        &self.stats
+    }
+
+    fn free_regs(&self, class: RegClass) -> usize {
+        self.free[class.index()].free_total()
+    }
+
+    fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
+        let banks = self.config.banks(class);
+        (0..banks.num_banks())
+            .map(|k| banks.sizes()[k] - self.free[class.index()].free_in_bank(k))
+            .collect()
+    }
+
+    fn banks(&self, class: RegClass) -> &BankConfig {
+        self.config.banks(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::{reg, Opcode};
+
+    fn renamer() -> BaselineRenamer {
+        BaselineRenamer::new(RenamerConfig::baseline(40))
+    }
+
+    #[test]
+    fn initial_state_maps_all_logicals() {
+        let r = renamer();
+        assert_eq!(r.free_regs(RegClass::Int), 8);
+        assert_eq!(r.free_regs(RegClass::Fp), 8);
+        assert_eq!(r.in_use_per_bank(RegClass::Int), vec![32]);
+    }
+
+    #[test]
+    fn rename_allocates_fresh_register_per_destination() {
+        let mut r = renamer();
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(1));
+        let u1 = r.rename(0, 0, &i).unwrap()[0];
+        let u2 = r.rename(1, 4, &i).unwrap()[0];
+        assert_ne!(u1.dst.unwrap().preg, u2.dst.unwrap().preg);
+        // Second rename's source is the first rename's destination.
+        assert_eq!(u2.srcs[0].unwrap(), u1.dst.unwrap());
+        assert_eq!(r.free_regs(RegClass::Int), 6);
+    }
+
+    #[test]
+    fn commit_releases_previous_mapping() {
+        let mut r = renamer();
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        r.rename(0, 0, &i).unwrap();
+        assert_eq!(r.free_regs(RegClass::Int), 7);
+        r.commit(0);
+        assert_eq!(r.free_regs(RegClass::Int), 8);
+        assert_eq!(r.stats().releases, 1);
+    }
+
+    #[test]
+    fn squash_restores_map_and_free_list() {
+        let mut r = renamer();
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        let before = r.map().get(reg::x(1));
+        r.rename(0, 0, &i).unwrap();
+        r.rename(1, 4, &i).unwrap();
+        let out = r.squash_after(u64::MAX - 1); // squash nothing
+        assert_eq!(out.undone, 0);
+        let out = r.squash_after(0); // squash seq 1
+        assert_eq!(out.undone, 1);
+        let out = r.squash_after(u64::MAX); // no-op again
+        assert_eq!(out.undone, 0);
+        r.squash_after(0);
+        // Squash everything younger than "before program start".
+        let mut r2 = renamer();
+        r2.rename(0, 0, &i).unwrap();
+        let out = r2.squash_after(u64::MAX);
+        assert_eq!(out.undone, 0);
+        let mut r3 = renamer();
+        r3.rename(5, 0, &i).unwrap();
+        let out = r3.squash_after(4);
+        assert_eq!(out.undone, 1);
+        assert_eq!(r3.map().get(reg::x(1)), before);
+        assert_eq!(r3.free_regs(RegClass::Int), 8);
+    }
+
+    #[test]
+    fn stall_when_no_free_register() {
+        let mut r = BaselineRenamer::new(RenamerConfig::baseline(33));
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        assert!(r.rename(0, 0, &i).is_some()); // takes the last register
+        assert!(r.rename(1, 4, &i).is_none());
+        assert_eq!(r.stats().stalls, 1);
+        // Committing the first releases its old register and unblocks.
+        r.commit(0);
+        assert!(r.rename(1, 4, &i).is_some());
+    }
+
+    #[test]
+    fn stores_and_branches_need_no_register() {
+        let mut r = renamer();
+        let s = Inst::store(Opcode::St, reg::x(1), reg::x(2), 0);
+        let u = r.rename(0, 0, &s).unwrap()[0];
+        assert!(u.dst.is_none());
+        assert_eq!(u.srcs.iter().flatten().count(), 2);
+        assert_eq!(r.free_regs(RegClass::Int), 8);
+    }
+
+    #[test]
+    fn retire_map_follows_commits_only() {
+        let mut r = renamer();
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        let u = r.rename(0, 0, &i).unwrap()[0];
+        assert_ne!(r.retire_map().get(reg::x(1)), u.dst.unwrap());
+        r.commit(0);
+        assert_eq!(r.retire_map().get(reg::x(1)), u.dst.unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "rename order")]
+    fn out_of_order_commit_panics() {
+        let mut r = renamer();
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        r.rename(0, 0, &i).unwrap();
+        r.rename(1, 4, &i).unwrap();
+        r.commit(1);
+    }
+
+    #[test]
+    fn fp_and_int_free_lists_are_independent() {
+        let mut r = renamer();
+        let fi = Inst::rrr(Opcode::Fadd, reg::f(1), reg::f(2), reg::f(3));
+        r.rename(0, 0, &fi).unwrap();
+        assert_eq!(r.free_regs(RegClass::Fp), 7);
+        assert_eq!(r.free_regs(RegClass::Int), 8);
+    }
+}

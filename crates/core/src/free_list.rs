@@ -1,0 +1,177 @@
+//! Per-bank free lists with closest-bank allocation (§IV-D).
+
+use crate::{BankConfig, PhysReg};
+
+/// Free physical registers, kept per bank so allocation can honor the
+/// register type predictor's bank choice.
+///
+/// When the predicted bank is empty, "a register with the closest number
+/// of shadow cells will be allocated" (§IV-D): the search visits banks in
+/// order of distance from the prediction, preferring the *larger* bank on
+/// ties so a predicted-reusable register degrades toward more shadow cells
+/// before giving up reuse entirely.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::{BankConfig, FreeList};
+///
+/// let banks = BankConfig::new(vec![2, 1]);
+/// let mut fl = FreeList::new(&banks);
+/// assert_eq!(fl.free_total(), 3);
+/// let p = fl.alloc(1).unwrap();
+/// assert_eq!(banks.shadow_cells_of(p), 1);
+/// fl.free(p, &banks);
+/// assert_eq!(fl.free_total(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    per_bank: Vec<Vec<PhysReg>>,
+}
+
+impl FreeList {
+    /// Creates a free list containing every register of the layout.
+    pub fn new(banks: &BankConfig) -> Self {
+        let mut per_bank = Vec::with_capacity(banks.num_banks());
+        for k in 0..banks.num_banks() {
+            let regs: Vec<PhysReg> = banks.bank_range(k).rev().map(PhysReg).collect();
+            per_bank.push(regs);
+        }
+        FreeList { per_bank }
+    }
+
+    /// Allocates from `preferred_bank`, falling back to the closest
+    /// non-empty bank (larger first on ties). Returns `None` when every
+    /// bank is empty — the rename stall condition.
+    pub fn alloc(&mut self, preferred_bank: u8) -> Option<PhysReg> {
+        let n = self.per_bank.len() as i32;
+        let pref = (preferred_bank as i32).min(n - 1);
+        let mut order: Vec<i32> = (0..n).collect();
+        order.sort_by_key(|&k| ((k - pref).abs(), std::cmp::Reverse(k)));
+        for k in order {
+            if let Some(p) = self.per_bank[k as usize].pop() {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Allocates strictly from `bank`, with no fallback.
+    pub fn alloc_exact(&mut self, bank: u8) -> Option<PhysReg> {
+        self.per_bank.get_mut(bank as usize)?.pop()
+    }
+
+    /// Returns a register to its bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the register is already free.
+    pub fn free(&mut self, preg: PhysReg, banks: &BankConfig) {
+        let bank = banks.shadow_cells_of(preg) as usize;
+        debug_assert!(
+            !self.per_bank[bank].contains(&preg),
+            "double free of {preg}"
+        );
+        self.per_bank[bank].push(preg);
+    }
+
+    /// Free registers in bank `k`.
+    pub fn free_in_bank(&self, k: usize) -> usize {
+        self.per_bank.get(k).map_or(0, Vec::len)
+    }
+
+    /// Total free registers across all banks.
+    pub fn free_total(&self) -> usize {
+        self.per_bank.iter().map(Vec::len).sum()
+    }
+
+    /// True when no register is free (rename must stall on allocation).
+    pub fn is_exhausted(&self) -> bool {
+        self.free_total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banks() -> BankConfig {
+        BankConfig::new(vec![2, 2, 2, 2])
+    }
+
+    #[test]
+    fn starts_with_all_registers_free() {
+        let b = banks();
+        let fl = FreeList::new(&b);
+        assert_eq!(fl.free_total(), 8);
+        for k in 0..4 {
+            assert_eq!(fl.free_in_bank(k), 2);
+        }
+    }
+
+    #[test]
+    fn allocates_from_preferred_bank() {
+        let b = banks();
+        let mut fl = FreeList::new(&b);
+        let p = fl.alloc(2).unwrap();
+        assert_eq!(b.shadow_cells_of(p), 2);
+    }
+
+    #[test]
+    fn falls_back_to_closest_bank_preferring_more_shadows() {
+        let b = banks();
+        let mut fl = FreeList::new(&b);
+        // Drain bank 1.
+        fl.alloc_exact(1).unwrap();
+        fl.alloc_exact(1).unwrap();
+        // Preferring 1: ties between bank 0 and 2 go to bank 2.
+        let p = fl.alloc(1).unwrap();
+        assert_eq!(b.shadow_cells_of(p), 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let b = BankConfig::new(vec![1]);
+        let mut fl = FreeList::new(&b);
+        assert!(fl.alloc(0).is_some());
+        assert!(fl.alloc(0).is_none());
+        assert!(fl.is_exhausted());
+    }
+
+    #[test]
+    fn free_returns_register_to_its_bank() {
+        let b = banks();
+        let mut fl = FreeList::new(&b);
+        let p = fl.alloc(3).unwrap();
+        assert_eq!(fl.free_in_bank(3), 1);
+        fl.free(p, &b);
+        assert_eq!(fl.free_in_bank(3), 2);
+    }
+
+    #[test]
+    fn preferred_bank_beyond_layout_clamps() {
+        let b = BankConfig::new(vec![2]);
+        let mut fl = FreeList::new(&b);
+        assert!(fl.alloc(3).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_free_panics_in_debug() {
+        let b = banks();
+        let mut fl = FreeList::new(&b);
+        let p = fl.alloc(0).unwrap();
+        fl.free(p, &b);
+        fl.free(p, &b);
+    }
+
+    #[test]
+    fn alloc_exact_respects_bank() {
+        let b = banks();
+        let mut fl = FreeList::new(&b);
+        let p = fl.alloc_exact(0).unwrap();
+        assert_eq!(b.shadow_cells_of(p), 0);
+        assert!(fl.alloc_exact(7).is_none()); // no such bank
+    }
+}

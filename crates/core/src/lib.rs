@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+
+//! Register renaming with physical register sharing — the primary
+//! contribution of *"A Novel Register Renaming Technique for Out-of-Order
+//! Processors"* (HPCA 2018).
+//!
+//! # The technique in one paragraph
+//!
+//! More than half of SPECfp values (and ~a third of SPECint values) are
+//! consumed by exactly one instruction. When the renamer can see that the
+//! instruction it is renaming is the *first* consumer of a source value
+//! (the Physical Register Table's read bit is clear) and the *last* one
+//! (it redefines the same logical register, or a predictor says the value
+//! is single-use), the destination can **reuse the source's physical
+//! register** instead of allocating a new one. A small version counter
+//! appended to the register tag keeps RAW dependences unambiguous in the
+//! issue queue, and shadow bit-cells in the register file preserve the
+//! overwritten values so branch mispredictions, interrupts and exceptions
+//! stay precise.
+//!
+//! # Crate layout
+//!
+//! * [`TaggedReg`], [`PhysReg`] — versioned physical register tags.
+//! * [`BankConfig`] — register-file banks with 0–7 embedded shadow cells
+//!   (§IV-C; the paper uses banks of 0/1/2/3).
+//! * [`Prt`] — the Physical Register Table: read bit + saturating version
+//!   counter per physical register (§IV-A).
+//! * [`MapTable`], [`FreeList`] — classic rename structures, version- and
+//!   bank-aware.
+//! * [`RegFile`] — a value-carrying register file with shadow cells:
+//!   writes of version *v* checkpoint the previous version automatically;
+//!   [`RegFile::recover`] implements the recover command (§IV-C1).
+//! * [`RegTypePredictor`] — the 512-entry, 2-bit register type predictor
+//!   (§IV-D), including all three update rules.
+//! * [`Renamer`] — the interface the out-of-order pipeline drives:
+//!   in-order [`Renamer::rename`], in-order [`Renamer::commit`], and
+//!   [`Renamer::squash_after`] for mis-speculation recovery.
+//! * [`BaselineRenamer`] — conventional merged-file renaming with
+//!   release-on-commit (the paper's baseline).
+//! * [`EarlyReleaseRenamer`] — a Moudgill/Monreal-style early-release
+//!   comparator (related work, §VII): release at redefiner-non-speculative
+//!   plus reads-done, no precise-exception support.
+//! * [`ReuseRenamer`] — the proposed scheme, including speculative reuse
+//!   and the single-use misprediction repair micro-ops of §IV-D1.
+//!
+//! # Examples
+//!
+//! The dependence chain from Fig. 4 of the paper: chained single-use
+//! definitions of `r1` share one physical register under the proposed
+//! scheme.
+//!
+//! ```
+//! use regshare_core::{Renamer, ReuseRenamer, RenamerConfig};
+//! use regshare_isa::{Inst, Opcode, reg};
+//!
+//! let mut r = ReuseRenamer::new(RenamerConfig::small_test());
+//! // I1: add r1 <- r2, r3   (defines r1)
+//! let i1 = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+//! // I4: add r1 <- r1, r4   (first and last consumer of r1)
+//! let i4 = Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(4));
+//!
+//! // First iteration: the cold register-type predictor allocates r1 in a
+//! // conventional bank, so the reuse is blocked — and learned from.
+//! let mut seq = 0;
+//! for _ in 0..2 {
+//!     for (pc, inst) in [(0u64, &i1), (4u64, &i4)] {
+//!         seq += r.rename(seq, pc, inst).unwrap().len() as u64;
+//!     }
+//! }
+//! // Trained: I1 now gets a register with shadow cells and I4 reuses it.
+//! let d1 = r.rename(seq, 0, &i1).unwrap()[0].dst.unwrap();
+//! let d4 = r.rename(seq + 1, 4, &i4).unwrap()[0].dst.unwrap();
+//! assert_eq!(d1.preg, d4.preg);            // same physical register
+//! assert_eq!(d4.version, d1.version + 1);  // next version
+//! ```
+
+mod banks;
+mod baseline;
+mod early_release;
+mod free_list;
+mod map_table;
+mod predictor;
+mod preg;
+mod prt;
+mod regfile;
+mod renamer;
+mod reuse;
+
+pub use banks::BankConfig;
+pub use baseline::BaselineRenamer;
+pub use early_release::EarlyReleaseRenamer;
+pub use free_list::FreeList;
+pub use map_table::MapTable;
+pub use predictor::{PredictorStats, RegTypePredictor, SingleUsePredictor};
+pub use preg::{PhysReg, TaggedReg, MAX_SHADOW_CELLS};
+pub use prt::Prt;
+pub use regfile::RegFile;
+pub use renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
+pub use reuse::ReuseRenamer;

@@ -1,0 +1,148 @@
+//! The register map table: logical register → versioned physical tag.
+
+use crate::preg::TaggedReg;
+use regshare_isa::{ArchReg, RegClass};
+
+/// The rename map for both register classes.
+///
+/// Each logical register maps to a [`TaggedReg`] — physical register *and
+/// version*, because under register sharing the same physical register id
+/// can name several values. The retirement copy used for exception
+/// bookkeeping is a second instance of this type.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::{MapTable, PhysReg, TaggedReg};
+/// use regshare_isa::{reg, RegClass};
+///
+/// let mut map = MapTable::new();
+/// let t = TaggedReg::new(RegClass::Int, PhysReg(5), 0);
+/// let old = map.set(reg::x(1), t);
+/// assert_eq!(map.get(reg::x(1)), t);
+/// assert_ne!(old, t);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapTable {
+    int: Vec<TaggedReg>,
+    fp: Vec<TaggedReg>,
+}
+
+impl MapTable {
+    /// Creates a map with every logical register mapped to a placeholder
+    /// tag (physical register 0 of its class, version 0). Renamers
+    /// initialize real mappings at reset.
+    pub fn new() -> Self {
+        let mk = |class: RegClass| {
+            vec![
+                TaggedReg::new(class, crate::PhysReg(0), 0);
+                class.num_regs()
+            ]
+        };
+        MapTable { int: mk(RegClass::Int), fp: mk(RegClass::Fp) }
+    }
+
+    /// Current mapping of a logical register.
+    pub fn get(&self, reg: ArchReg) -> TaggedReg {
+        match reg.class() {
+            RegClass::Int => self.int[reg.index() as usize],
+            RegClass::Fp => self.fp[reg.index() as usize],
+        }
+    }
+
+    /// Replaces the mapping; returns the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag's class does not match the logical register's.
+    pub fn set(&mut self, reg: ArchReg, tag: TaggedReg) -> TaggedReg {
+        assert_eq!(reg.class(), tag.class, "mapping {reg} to a tag of the wrong class");
+        let slot = match reg.class() {
+            RegClass::Int => &mut self.int[reg.index() as usize],
+            RegClass::Fp => &mut self.fp[reg.index() as usize],
+        };
+        std::mem::replace(slot, tag)
+    }
+
+    /// Iterates `(logical register, mapping)` over one class.
+    pub fn iter_class(&self, class: RegClass) -> impl Iterator<Item = (ArchReg, TaggedReg)> + '_ {
+        let regs = match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        };
+        regs.iter().enumerate().map(move |(i, t)| (ArchReg::new(class, i as u8), *t))
+    }
+
+    /// Logical registers whose mapping differs from `other` — the set the
+    /// paper's exception recovery walks ("any entry that differs indicates
+    /// a logical register whose correct state needs to be recovered",
+    /// §IV-B).
+    pub fn diff(&self, other: &MapTable) -> Vec<ArchReg> {
+        let mut out = Vec::new();
+        for class in RegClass::ALL {
+            for (reg, tag) in self.iter_class(class) {
+                if other.get(reg) != tag {
+                    out.push(reg);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for MapTable {
+    fn default() -> Self {
+        MapTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhysReg;
+    use regshare_isa::reg;
+
+    #[test]
+    fn set_returns_previous_mapping() {
+        let mut m = MapTable::new();
+        let a = TaggedReg::new(RegClass::Int, PhysReg(3), 0);
+        let b = TaggedReg::new(RegClass::Int, PhysReg(3), 1);
+        m.set(reg::x(4), a);
+        assert_eq!(m.set(reg::x(4), b), a);
+        assert_eq!(m.get(reg::x(4)), b);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut m = MapTable::new();
+        m.set(reg::x(2), TaggedReg::new(RegClass::Int, PhysReg(9), 0));
+        m.set(reg::f(2), TaggedReg::new(RegClass::Fp, PhysReg(7), 0));
+        assert_eq!(m.get(reg::x(2)).preg, PhysReg(9));
+        assert_eq!(m.get(reg::f(2)).preg, PhysReg(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong class")]
+    fn class_mismatch_panics() {
+        let mut m = MapTable::new();
+        m.set(reg::x(0), TaggedReg::new(RegClass::Fp, PhysReg(0), 0));
+    }
+
+    #[test]
+    fn diff_lists_changed_registers() {
+        let mut a = MapTable::new();
+        let b = a.clone();
+        assert!(a.diff(&b).is_empty());
+        a.set(reg::x(1), TaggedReg::new(RegClass::Int, PhysReg(8), 2));
+        a.set(reg::f(3), TaggedReg::new(RegClass::Fp, PhysReg(8), 1));
+        let d = a.diff(&b);
+        assert_eq!(d, vec![reg::x(1), reg::f(3)]);
+    }
+
+    #[test]
+    fn iter_class_covers_all_registers() {
+        let m = MapTable::new();
+        assert_eq!(m.iter_class(RegClass::Int).count(), 32);
+        assert_eq!(m.iter_class(RegClass::Fp).count(), 32);
+    }
+}

@@ -1,0 +1,339 @@
+//! The register type predictor (§IV-D).
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy accounting for Fig. 12 of the paper.
+///
+/// Categories are recorded when a physical register is released, comparing
+/// the predicted reuse count (the entry value at allocation) against the
+/// observed behavior:
+///
+/// * *reuse predicted, correct* — predicted `k ≥ 1` reuses, observed
+///   exactly `k`.
+/// * *reuse predicted, incorrect* — predicted `k ≥ 1`, observed a
+///   different count (including registers that turned out multi-use and
+///   triggered a repair).
+/// * *no-reuse predicted, correct* — predicted 0 and no reuse opportunity
+///   was ever blocked on the register.
+/// * *no-reuse predicted, incorrect* — predicted 0 but a reuse was
+///   attempted and blocked (a lost opportunity, the paper's 2.28% class).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Predicted reusable and the reuse count matched.
+    pub reuse_correct: u64,
+    /// Predicted reusable but the count did not match.
+    pub reuse_incorrect: u64,
+    /// Predicted not reusable and no opportunity was lost.
+    pub noreuse_correct: u64,
+    /// Predicted not reusable but a reuse was blocked (lost opportunity).
+    pub noreuse_incorrect: u64,
+}
+
+impl PredictorStats {
+    /// Total classified releases.
+    pub fn total(&self) -> u64 {
+        self.reuse_correct + self.reuse_incorrect + self.noreuse_correct + self.noreuse_incorrect
+    }
+
+    /// Overall accuracy in `[0, 1]`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.reuse_correct + self.noreuse_correct) as f64 / t as f64
+        }
+    }
+}
+
+/// The PC-indexed register type predictor: a table of small saturating
+/// counters whose value is the number of shadow cells (= expected reuses)
+/// the next allocation by that instruction should receive.
+///
+/// Update rules (§IV-D):
+///
+/// 1. On release, if not all allocated shadow copies were used, the entry
+///    is decremented ([`RegTypePredictor::on_release`]).
+/// 2. If a register predicted single-use is observed to be multi-use, the
+///    entry is reset to zero ([`RegTypePredictor::on_multi_use`]).
+/// 3. If a reuse is attempted but no shadow cell is available, the entry
+///    is incremented so the next allocation gets more shadow copies
+///    ([`RegTypePredictor::on_blocked_reuse`]).
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::RegTypePredictor;
+///
+/// let mut p = RegTypePredictor::new(512, 2);
+/// let e = p.entry_index(0x40);
+/// assert_eq!(p.predict(0x40), 0);      // cold: conventional register
+/// p.on_blocked_reuse(e);               // a reuse was blocked
+/// assert_eq!(p.predict(0x40), 1);      // next time: one shadow cell
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegTypePredictor {
+    table: Vec<u8>,
+    max_value: u8,
+    stats: PredictorStats,
+}
+
+impl RegTypePredictor {
+    /// Creates a predictor with `entries` counters of `bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `bits` is 0 or > 3.
+    pub fn new(entries: usize, bits: u8) -> Self {
+        assert!(entries.is_power_of_two(), "predictor entries must be a power of two");
+        assert!((1..=3).contains(&bits), "predictor entries are 1–3 bits");
+        RegTypePredictor {
+            table: vec![0; entries],
+            max_value: (1 << bits) - 1,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// The table index used for a given instruction PC (the paper's
+    /// "simple hashing function", Fig. 7).
+    pub fn entry_index(&self, pc: u64) -> usize {
+        let h = pc ^ (pc >> 9) ^ (pc >> 17);
+        (h as usize) & (self.table.len() - 1)
+    }
+
+    /// Predicted shadow-cell count (bank) for an allocation at `pc`.
+    pub fn predict(&self, pc: u64) -> u8 {
+        self.table[self.entry_index(pc)]
+    }
+
+    /// Rule 1: release-time feedback. `predicted` is the entry value used
+    /// at allocation; `actual_reuses` the number of reuses observed;
+    /// `multi_use` whether the register triggered a single-use
+    /// misprediction repair. Also classifies the release for Fig. 12.
+    pub fn on_release(&mut self, entry: usize, predicted: u8, actual_reuses: u8, multi_use: bool, blocked: bool) {
+        // Fig. 12 classification.
+        if predicted == 0 {
+            if blocked {
+                self.stats.noreuse_incorrect += 1;
+            } else {
+                self.stats.noreuse_correct += 1;
+            }
+        } else if actual_reuses == predicted && !multi_use {
+            self.stats.reuse_correct += 1;
+        } else {
+            self.stats.reuse_incorrect += 1;
+        }
+        // Learning.
+        if multi_use {
+            self.table[entry] = 0;
+        } else if actual_reuses < predicted {
+            let e = &mut self.table[entry];
+            *e = e.saturating_sub(1);
+        }
+    }
+
+    /// Rule 2: a predicted-single-use register was observed multi-use.
+    pub fn on_multi_use(&mut self, entry: usize) {
+        self.table[entry] = 0;
+    }
+
+    /// Rule 3: a reuse was attempted but no shadow cell was available.
+    pub fn on_blocked_reuse(&mut self, entry: usize) {
+        let e = &mut self.table[entry];
+        if *e < self.max_value {
+            *e += 1;
+        }
+    }
+
+    /// Accuracy statistics (Fig. 12).
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the table has no entries (never for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// The single-use predictor consulted when the first consumer of a value
+/// is *not* the redefining instruction (§IV-A2): it decides whether to
+/// speculatively reuse the source's physical register.
+///
+/// Indexed by the consuming instruction's PC. Entries are 2-bit counters
+/// starting weakly single-use; a reuse that later triggers a repair
+/// resets the entry, a reuse that survives to release reinforces it.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::SingleUsePredictor;
+///
+/// let mut p = SingleUsePredictor::new(512);
+/// let e = p.entry_index(0x40);
+/// assert!(p.predict(0x40));  // optimistic cold start
+/// p.on_wrong(e);
+/// assert!(!p.predict(0x40)); // repaired once: stop speculating
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleUsePredictor {
+    table: Vec<u8>,
+}
+
+impl SingleUsePredictor {
+    /// Creates a predictor with all entries weakly predicting single-use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "predictor entries must be a power of two");
+        SingleUsePredictor { table: vec![2; entries] }
+    }
+
+    /// The table index for a consumer PC.
+    pub fn entry_index(&self, pc: u64) -> usize {
+        let h = pc ^ (pc >> 7) ^ (pc >> 15);
+        (h as usize) & (self.table.len() - 1)
+    }
+
+    /// Whether the consumer at `pc` should speculatively reuse its
+    /// first-use source.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.entry_index(pc)] >= 2
+    }
+
+    /// A speculative reuse recorded at `entry` survived to release.
+    pub fn on_correct(&mut self, entry: usize) {
+        let e = &mut self.table[entry];
+        *e = (*e + 1).min(3);
+    }
+
+    /// A speculative reuse recorded at `entry` was repaired (the value
+    /// had another consumer).
+    pub fn on_wrong(&mut self, entry: usize) {
+        self.table[entry] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_use_predictor_learns_both_ways() {
+        let mut p = SingleUsePredictor::new(64);
+        let e = p.entry_index(12);
+        assert!(p.predict(12));
+        p.on_wrong(e);
+        assert!(!p.predict(12));
+        p.on_correct(e);
+        assert!(!p.predict(12)); // needs two confirmations from zero
+        p.on_correct(e);
+        assert!(p.predict(12));
+        p.on_correct(e);
+        p.on_correct(e); // saturates
+        assert!(p.predict(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn single_use_predictor_rejects_non_pow2() {
+        SingleUsePredictor::new(3);
+    }
+
+    #[test]
+    fn cold_predictor_predicts_conventional() {
+        let p = RegTypePredictor::new(64, 2);
+        assert_eq!(p.predict(0), 0);
+        assert_eq!(p.predict(12345), 0);
+    }
+
+    #[test]
+    fn blocked_reuse_increments_saturating() {
+        let mut p = RegTypePredictor::new(64, 2);
+        let e = p.entry_index(100);
+        for _ in 0..5 {
+            p.on_blocked_reuse(e);
+        }
+        assert_eq!(p.predict(100), 3); // saturates at 2^2 - 1
+    }
+
+    #[test]
+    fn under_use_decrements_on_release() {
+        let mut p = RegTypePredictor::new(64, 2);
+        let e = p.entry_index(0);
+        p.on_blocked_reuse(e);
+        p.on_blocked_reuse(e); // entry = 2
+        p.on_release(e, 2, 1, false, false); // only one reuse happened
+        assert_eq!(p.predict(0), 1);
+    }
+
+    #[test]
+    fn exact_use_keeps_entry() {
+        let mut p = RegTypePredictor::new(64, 2);
+        let e = p.entry_index(0);
+        p.on_blocked_reuse(e);
+        p.on_release(e, 1, 1, false, false);
+        assert_eq!(p.predict(0), 1);
+        assert_eq!(p.stats().reuse_correct, 1);
+    }
+
+    #[test]
+    fn multi_use_resets_entry() {
+        let mut p = RegTypePredictor::new(64, 2);
+        let e = p.entry_index(0);
+        p.on_blocked_reuse(e);
+        p.on_blocked_reuse(e);
+        p.on_multi_use(e);
+        assert_eq!(p.predict(0), 0);
+    }
+
+    #[test]
+    fn release_with_repair_counts_incorrect_and_resets() {
+        let mut p = RegTypePredictor::new(64, 2);
+        let e = p.entry_index(0);
+        p.on_blocked_reuse(e);
+        p.on_release(e, 1, 1, true, false);
+        assert_eq!(p.stats().reuse_incorrect, 1);
+        assert_eq!(p.predict(0), 0);
+    }
+
+    #[test]
+    fn fig12_categories_and_accuracy() {
+        let mut p = RegTypePredictor::new(64, 2);
+        let e = 0;
+        p.on_release(e, 0, 0, false, false); // noreuse correct
+        p.on_release(e, 0, 0, false, true); // lost opportunity
+        p.on_release(e, 2, 2, false, false); // reuse correct
+        p.on_release(e, 2, 0, false, false); // reuse incorrect
+        let s = *p.stats();
+        assert_eq!(s.noreuse_correct, 1);
+        assert_eq!(s.noreuse_incorrect, 1);
+        assert_eq!(s.reuse_correct, 1);
+        assert_eq!(s.reuse_incorrect, 1);
+        assert_eq!(s.total(), 4);
+        assert!((s.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_index_is_stable_and_in_range() {
+        let p = RegTypePredictor::new(512, 2);
+        for pc in [0u64, 4, 8, 1 << 20, u64::MAX] {
+            let e = p.entry_index(pc);
+            assert!(e < 512);
+            assert_eq!(e, p.entry_index(pc));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_entries_panics() {
+        RegTypePredictor::new(100, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Versioned physical register tags.
+
+use regshare_isa::RegClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of shadow cells a register can embed (3-bit version
+/// counters support up to 7 reuses; the paper's configuration uses 2-bit
+/// counters and up to 3 shadow cells).
+pub const MAX_SHADOW_CELLS: u8 = 7;
+
+/// A physical register index within one register class's file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysReg(pub u16);
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A physical register tag as carried through the rename map and the issue
+/// queue: class + register index + **version**.
+///
+/// The version is the paper's n-bit counter appended to the physical
+/// register id (§IV-A): successive reuses of the same physical register
+/// produce versions 0, 1, 2, … so the issue queue can distinguish the
+/// values of different instructions sharing the register. Under the
+/// baseline scheme the version is always 0.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::{PhysReg, TaggedReg};
+/// use regshare_isa::RegClass;
+///
+/// let t = TaggedReg::new(RegClass::Int, PhysReg(3), 1);
+/// assert_eq!(format!("{t}"), "int:P3.1");
+/// assert_eq!(t.bump(), TaggedReg::new(RegClass::Int, PhysReg(3), 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaggedReg {
+    /// Which register file the register lives in.
+    pub class: RegClass,
+    /// The physical register index.
+    pub preg: PhysReg,
+    /// The version (reuse generation) of the register's contents.
+    pub version: u8,
+}
+
+impl TaggedReg {
+    /// Creates a tag.
+    pub fn new(class: RegClass, preg: PhysReg, version: u8) -> Self {
+        TaggedReg { class, preg, version }
+    }
+
+    /// The same register at the next version (one more reuse).
+    pub fn bump(self) -> Self {
+        TaggedReg { version: self.version + 1, ..self }
+    }
+}
+
+impl fmt::Display for TaggedReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}.{}", self.class, self.preg, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", PhysReg(7)), "P7");
+        let t = TaggedReg::new(RegClass::Fp, PhysReg(0), 3);
+        assert_eq!(format!("{t}"), "fp:P0.3");
+    }
+
+    #[test]
+    fn bump_increments_version_only() {
+        let t = TaggedReg::new(RegClass::Int, PhysReg(9), 0);
+        let b = t.bump();
+        assert_eq!(b.preg, t.preg);
+        assert_eq!(b.class, t.class);
+        assert_eq!(b.version, 1);
+    }
+
+    #[test]
+    fn tags_differ_by_version() {
+        let a = TaggedReg::new(RegClass::Int, PhysReg(1), 0);
+        let b = TaggedReg::new(RegClass::Int, PhysReg(1), 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,249 @@
+//! The check-pointed physical register file with shadow bit-cells (§IV-C).
+
+use crate::{BankConfig, PhysReg, MAX_SHADOW_CELLS};
+
+/// A value-carrying physical register file whose registers may embed
+/// shadow cells.
+///
+/// Unlike the cache/DRAM models, the register file carries **real
+/// values** (64-bit patterns): register sharing is a correctness-critical
+/// mechanism, so the simulator executes through this structure and the
+/// test suite checks that shared registers never corrupt program results.
+///
+/// Semantics follow the paper:
+///
+/// * Writing version `v > 0` of a register first checkpoints the current
+///   main-cell contents (version `v−1`) into shadow cell `v−1` — "the
+///   value of a register is stored in parallel to the appropriate shadow
+///   cell, so no extra latency is added to the write" (§IV-C2).
+/// * [`RegFile::recover`] copies shadow cell `v` back into the main cell —
+///   the *recover command* issued during branch-misprediction / exception
+///   recovery. The caller charges cycles for these.
+/// * [`RegFile::read_version`] returns the value of a *specific* version,
+///   whether it currently lives in the main cell or a shadow cell — used
+///   by the single-use misprediction repair micro-ops (§IV-D1).
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::{BankConfig, PhysReg, RegFile};
+///
+/// let mut rf = RegFile::new(&BankConfig::new(vec![0, 2])); // 2 regs, 1 shadow each
+/// let p = PhysReg(0);
+/// rf.write(p, 0, 111);
+/// rf.write(p, 1, 222);              // checkpoints 111 into shadow 0
+/// assert_eq!(rf.read_current(p), 222);
+/// assert_eq!(rf.read_version(p, 0), 111);
+/// rf.recover(p, 0);                 // misprediction: roll back to v0
+/// assert_eq!(rf.read_current(p), 111);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    banks: BankConfig,
+    main: Vec<u64>,
+    main_version: Vec<u8>,
+    shadow: Vec<[u64; MAX_SHADOW_CELLS as usize]>,
+    recovers: u64,
+}
+
+impl RegFile {
+    /// Creates a zeroed register file with the given bank layout.
+    pub fn new(banks: &BankConfig) -> Self {
+        let n = banks.total();
+        RegFile {
+            banks: banks.clone(),
+            main: vec![0; n],
+            main_version: vec![0; n],
+            shadow: vec![[0; MAX_SHADOW_CELLS as usize]; n],
+            recovers: 0,
+        }
+    }
+
+    /// The bank layout.
+    pub fn banks(&self) -> &BankConfig {
+        &self.banks
+    }
+
+    /// Number of shadow cells embedded in `preg`.
+    pub fn shadow_cells_of(&self, preg: PhysReg) -> u8 {
+        self.banks.shadow_cells_of(preg)
+    }
+
+    /// Writes `bits` as version `version` of `preg`, checkpointing the
+    /// previous version into its shadow cell when `version > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` exceeds the register's shadow capacity — the
+    /// renamer must never create such a version.
+    pub fn write(&mut self, preg: PhysReg, version: u8, bits: u64) {
+        let idx = preg.0 as usize;
+        if version > 0 {
+            let cells = self.banks.shadow_cells_of(preg);
+            assert!(
+                version <= cells,
+                "version {version} written to {preg} which has only {cells} shadow cells"
+            );
+            self.shadow[idx][(version - 1) as usize] = self.main[idx];
+        }
+        self.main[idx] = bits;
+        self.main_version[idx] = version;
+    }
+
+    /// The main-cell value (most recent write).
+    pub fn read_current(&self, preg: PhysReg) -> u64 {
+        self.main[preg.0 as usize]
+    }
+
+    /// The version currently held by the main cell.
+    pub fn current_version(&self, preg: PhysReg) -> u8 {
+        self.main_version[preg.0 as usize]
+    }
+
+    /// Reads the value of a specific version: the main cell if it still
+    /// holds that version (or an older one not yet overwritten), otherwise
+    /// the corresponding shadow cell.
+    pub fn read_version(&self, preg: PhysReg, version: u8) -> u64 {
+        let idx = preg.0 as usize;
+        if self.main_version[idx] <= version {
+            self.main[idx]
+        } else {
+            self.shadow[idx][version as usize]
+        }
+    }
+
+    /// True when restoring `version` as the current contents would require
+    /// a recover command (the main cell has been overwritten by a younger
+    /// version).
+    pub fn needs_recover(&self, preg: PhysReg, version: u8) -> bool {
+        self.main_version[preg.0 as usize] > version
+    }
+
+    /// Issues a recover command: copies shadow cell `version` back to the
+    /// main cell if a younger version overwrote it. Returns whether a
+    /// recover was actually performed (for cycle accounting).
+    pub fn recover(&mut self, preg: PhysReg, version: u8) -> bool {
+        let idx = preg.0 as usize;
+        if self.main_version[idx] > version {
+            self.main[idx] = self.shadow[idx][version as usize];
+            self.main_version[idx] = version;
+            self.recovers += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets version bookkeeping for a fresh allocation of `preg`.
+    pub fn reset_on_alloc(&mut self, preg: PhysReg) {
+        self.main_version[preg.0 as usize] = 0;
+    }
+
+    /// Total recover commands issued so far.
+    pub fn recovers(&self) -> u64 {
+        self.recovers
+    }
+
+    /// Number of physical registers.
+    pub fn len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// True when the file has no registers (never for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.main.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rf3() -> RegFile {
+        // One register with 3 shadow cells.
+        RegFile::new(&BankConfig::new(vec![0, 0, 0, 1]))
+    }
+
+    #[test]
+    fn chain_of_writes_checkpoints_each_version() {
+        let mut rf = rf3();
+        let p = PhysReg(0);
+        rf.write(p, 0, 10);
+        rf.write(p, 1, 11);
+        rf.write(p, 2, 12);
+        rf.write(p, 3, 13);
+        assert_eq!(rf.read_current(p), 13);
+        assert_eq!(rf.read_version(p, 0), 10);
+        assert_eq!(rf.read_version(p, 1), 11);
+        assert_eq!(rf.read_version(p, 2), 12);
+        assert_eq!(rf.read_version(p, 3), 13);
+    }
+
+    #[test]
+    fn read_version_uses_main_when_not_overwritten() {
+        let mut rf = rf3();
+        let p = PhysReg(0);
+        rf.write(p, 0, 42);
+        // Version 1 has not been written: version 0 still lives in main.
+        assert_eq!(rf.read_version(p, 0), 42);
+        assert!(!rf.needs_recover(p, 0));
+    }
+
+    #[test]
+    fn recover_rolls_back_and_counts() {
+        let mut rf = rf3();
+        let p = PhysReg(0);
+        rf.write(p, 0, 1);
+        rf.write(p, 1, 2);
+        rf.write(p, 2, 3);
+        assert!(rf.needs_recover(p, 1));
+        assert!(rf.recover(p, 1));
+        assert_eq!(rf.read_current(p), 2);
+        assert_eq!(rf.current_version(p), 1);
+        // Idempotent: already at version 1.
+        assert!(!rf.recover(p, 1));
+        assert_eq!(rf.recovers(), 1);
+    }
+
+    #[test]
+    fn recover_to_older_version_after_partial_rollback() {
+        let mut rf = rf3();
+        let p = PhysReg(0);
+        rf.write(p, 0, 1);
+        rf.write(p, 1, 2);
+        rf.write(p, 2, 3);
+        rf.recover(p, 0);
+        assert_eq!(rf.read_current(p), 1);
+    }
+
+    #[test]
+    fn rewrite_after_recover_checkpoints_again() {
+        let mut rf = rf3();
+        let p = PhysReg(0);
+        rf.write(p, 0, 1);
+        rf.write(p, 1, 2);
+        rf.recover(p, 0);
+        rf.write(p, 1, 99); // new speculation down a different path
+        assert_eq!(rf.read_version(p, 0), 1);
+        assert_eq!(rf.read_current(p), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow cells")]
+    fn writing_beyond_shadow_capacity_panics() {
+        let mut rf = RegFile::new(&BankConfig::new(vec![1])); // conventional reg
+        rf.write(PhysReg(0), 1, 5);
+    }
+
+    #[test]
+    fn fresh_allocation_resets_version() {
+        let mut rf = rf3();
+        let p = PhysReg(0);
+        rf.write(p, 0, 1);
+        rf.write(p, 1, 2);
+        rf.reset_on_alloc(p);
+        assert_eq!(rf.current_version(p), 0);
+        rf.write(p, 0, 7);
+        assert_eq!(rf.read_current(p), 7);
+    }
+}

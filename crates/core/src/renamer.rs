@@ -1,0 +1,298 @@
+//! The [`Renamer`] trait: the interface between the rename stage of the
+//! out-of-order pipeline and a renaming scheme.
+
+use crate::{BankConfig, TaggedReg};
+use regshare_isa::{Inst, RegClass};
+use regshare_stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by both renaming schemes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenamerConfig {
+    /// Integer register file bank layout.
+    pub int_banks: BankConfig,
+    /// Floating-point register file bank layout.
+    pub fp_banks: BankConfig,
+    /// Width of the version counter in bits (the paper's 2-bit counter);
+    /// versions saturate at `2^counter_bits − 1`.
+    pub counter_bits: u8,
+    /// Register type predictor entries (512 in the paper).
+    pub predictor_entries: usize,
+    /// Register type predictor entry width in bits (2 in the paper).
+    pub predictor_bits: u8,
+    /// Allow speculative (non-redefining) reuse gated by the single-use
+    /// predictor (§IV-A2). Disabling restricts the scheme to provably
+    /// safe redefining reuses — an ablation of the paper's speculation.
+    pub speculative_reuse: bool,
+}
+
+impl RenamerConfig {
+    /// Baseline configuration: conventional single-bank files of `regs`
+    /// registers per class.
+    pub fn baseline(regs: usize) -> Self {
+        RenamerConfig {
+            int_banks: BankConfig::conventional(regs),
+            fp_banks: BankConfig::conventional(regs),
+            counter_bits: 2,
+            predictor_entries: 512,
+            predictor_bits: 2,
+            speculative_reuse: true,
+        }
+    }
+
+    /// The paper's proposed configuration at equal area to a baseline of
+    /// `baseline_regs` registers per class (Table III).
+    ///
+    /// # Panics
+    ///
+    /// Panics for sizes not listed in Table III.
+    pub fn paper(baseline_regs: usize) -> Self {
+        let banks = BankConfig::paper_row(baseline_regs);
+        RenamerConfig {
+            int_banks: banks.clone(),
+            fp_banks: banks,
+            counter_bits: 2,
+            predictor_entries: 512,
+            predictor_bits: 2,
+            speculative_reuse: true,
+        }
+    }
+
+    /// A tiny configuration for unit tests and doc examples: 40 registers
+    /// per class in banks of 34/2/2/2.
+    pub fn small_test() -> Self {
+        let banks = BankConfig::new(vec![34, 2, 2, 2]);
+        RenamerConfig {
+            int_banks: banks.clone(),
+            fp_banks: banks,
+            counter_bits: 2,
+            predictor_entries: 64,
+            predictor_bits: 2,
+            speculative_reuse: true,
+        }
+    }
+
+    /// The bank layout for one class.
+    pub fn banks(&self, class: RegClass) -> &BankConfig {
+        match class {
+            RegClass::Int => &self.int_banks,
+            RegClass::Fp => &self.fp_banks,
+        }
+    }
+
+    /// The version saturation value (`2^counter_bits − 1`).
+    pub fn max_version(&self) -> u8 {
+        (1u8 << self.counter_bits.min(3)) - 1
+    }
+}
+
+/// The kind of a renamed micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopKind {
+    /// The instruction itself.
+    Main,
+    /// A single-use-misprediction repair: moves the value of its source
+    /// tag into its destination register (§IV-D1). The pipeline charges
+    /// the 3-step cost of Fig. 8 when the value must come out of a shadow
+    /// cell, 1 step otherwise.
+    RepairMove,
+}
+
+/// A renamed micro-op: physical source/destination tags plus a sequence
+/// number. `rename` returns the repairs (if any) first and the main op
+/// last; each micro-op must be dispatched, committed and squashed like a
+/// regular instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uop {
+    /// Global sequence number (program order).
+    pub seq: u64,
+    /// Main instruction or injected repair.
+    pub kind: UopKind,
+    /// Positional source tags (aligned with `Inst::raw_sources`; `None`
+    /// for absent operands and zero-register reads).
+    pub srcs: [Option<TaggedReg>; 3],
+    /// Destination tag, if the micro-op writes a register.
+    pub dst: Option<TaggedReg>,
+    /// Second destination tag: the written-back base register of
+    /// post-increment memory operations.
+    pub dst2: Option<TaggedReg>,
+}
+
+/// The result of a squash: what the pipeline must repair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SquashOutcome {
+    /// Number of micro-ops whose rename effects were undone.
+    pub undone: u64,
+    /// Registers whose version counter was rolled back; the register file
+    /// may need a recover command for each (`RegFile::recover` decides and
+    /// the pipeline charges the cycles). The version in each tag is the
+    /// *restored* version.
+    pub recovers: Vec<TaggedReg>,
+}
+
+/// Statistics kept by a renaming scheme.
+#[derive(Debug, Clone)]
+pub struct RenameStats {
+    /// Micro-ops successfully renamed (repairs included).
+    pub renamed: u64,
+    /// Fresh physical register allocations.
+    pub allocations: u64,
+    /// Destinations that reused a source's physical register.
+    pub reuses: u64,
+    /// Reuses where the instruction redefined the source logical register
+    /// (guaranteed-safe reuses).
+    pub safe_reuses: u64,
+    /// Speculative reuses (single-use predicted).
+    pub speculative_reuses: u64,
+    /// Reuse opportunities blocked by missing shadow cells or a saturated
+    /// version counter.
+    pub blocked_reuses: u64,
+    /// Rename stalls due to register-file exhaustion.
+    pub stalls: u64,
+    /// Injected single-use-misprediction repair micro-ops.
+    pub repairs: u64,
+    /// Physical registers released.
+    pub releases: u64,
+    /// Micro-ops squashed (rename effects undone).
+    pub squashed: u64,
+    /// Reuse-chain length (number of reuses) observed at each register
+    /// release; buckets 0..=7.
+    pub chain_lengths: Histogram,
+}
+
+impl RenameStats {
+    pub(crate) fn new() -> Self {
+        RenameStats {
+            renamed: 0,
+            allocations: 0,
+            reuses: 0,
+            safe_reuses: 0,
+            speculative_reuses: 0,
+            blocked_reuses: 0,
+            stalls: 0,
+            repairs: 0,
+            releases: 0,
+            squashed: 0,
+            chain_lengths: Histogram::new("reuse_chain_lengths", 7),
+        }
+    }
+
+    /// Fraction of destination renames that avoided an allocation.
+    pub fn reuse_fraction(&self) -> f64 {
+        let denom = self.allocations + self.reuses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / denom as f64
+        }
+    }
+}
+
+impl Default for RenameStats {
+    fn default() -> Self {
+        RenameStats::new()
+    }
+}
+
+/// A register renaming scheme, driven by the pipeline in three in-order
+/// streams: [`Renamer::rename`] at the rename stage, [`Renamer::commit`]
+/// at retirement, and [`Renamer::squash_after`] on branch mispredictions
+/// and exceptions.
+///
+/// Sequence numbers are global, strictly increasing micro-op identifiers
+/// assigned by the pipeline. `rename` may expand one instruction into
+/// several micro-ops (repairs); each consumes one sequence number starting
+/// at the `seq` passed in, with the main op last.
+pub trait Renamer {
+    /// Renames one instruction. Returns `None` when the rename stage must
+    /// stall (no free physical register and no reuse possible); in that
+    /// case no state was modified.
+    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<Vec<Uop>>;
+
+    /// Commits the micro-op with sequence number `seq`. Must be called in
+    /// sequence order for every renamed micro-op that is not squashed.
+    fn commit(&mut self, seq: u64);
+
+    /// Undoes the rename effects of every micro-op with a sequence number
+    /// greater than `seq` (youngest first).
+    fn squash_after(&mut self, seq: u64) -> SquashOutcome;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &RenameStats;
+
+    /// Free registers currently available in one class.
+    fn free_regs(&self, class: RegClass) -> usize;
+
+    /// In-use (allocated) register counts per bank for one class, indexed
+    /// by shadow-cell count — the occupancy signal behind Fig. 9.
+    fn in_use_per_bank(&self, class: RegClass) -> Vec<usize>;
+
+    /// The bank layout of one class.
+    fn banks(&self, class: RegClass) -> &BankConfig;
+
+    /// Register-type predictor accuracy (Fig. 12); zeroes for schemes
+    /// without a predictor.
+    fn predictor_stats(&self) -> crate::PredictorStats {
+        crate::PredictorStats::default()
+    }
+
+    /// Notification that the micro-op `seq` has issued and read its
+    /// source operands. Default: ignored. Early-release schemes use this
+    /// to track pending reads per physical register.
+    fn on_operands_read(&mut self, seq: u64) {
+        let _ = seq;
+    }
+
+    /// Notification that every micro-op with a sequence number **below**
+    /// `boundary` can no longer be squashed by a branch misprediction
+    /// (all older branches have resolved). Default: ignored.
+    fn advance_nonspeculative(&mut self, boundary: u64) {
+        let _ = boundary;
+    }
+
+    /// Notification that the micro-op `seq` wrote its destination
+    /// register(s) back. Default: ignored. Early-release schemes must not
+    /// release a register whose previous owner's producer has not written
+    /// yet — a reallocation would otherwise be clobbered by the late
+    /// write.
+    fn on_writeback(&mut self, seq: u64) {
+        let _ = seq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        let b = RenamerConfig::baseline(64);
+        assert_eq!(b.int_banks.total(), 64);
+        assert_eq!(b.int_banks.num_banks(), 1);
+        let p = RenamerConfig::paper(64);
+        assert_eq!(p.int_banks.num_banks(), 4);
+        assert_eq!(p.max_version(), 3);
+    }
+
+    #[test]
+    fn max_version_by_counter_bits() {
+        let mut c = RenamerConfig::small_test();
+        c.counter_bits = 1;
+        assert_eq!(c.max_version(), 1);
+        c.counter_bits = 3;
+        assert_eq!(c.max_version(), 7);
+    }
+
+    #[test]
+    fn reuse_fraction_handles_empty() {
+        let s = RenameStats::new();
+        assert_eq!(s.reuse_fraction(), 0.0);
+    }
+
+    #[test]
+    fn banks_accessor_selects_class() {
+        let c = RenamerConfig::baseline(48);
+        assert_eq!(c.banks(RegClass::Int).total(), 48);
+        assert_eq!(c.banks(RegClass::Fp).total(), 48);
+    }
+}

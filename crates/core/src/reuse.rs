@@ -1,0 +1,834 @@
+//! The proposed renaming scheme: physical register sharing (§IV).
+
+use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
+use crate::{
+    BankConfig, FreeList, MapTable, PhysReg, Prt, RegTypePredictor, SingleUsePredictor, TaggedReg,
+};
+use regshare_isa::{ArchReg, Inst, RegClass};
+use std::collections::{HashMap, VecDeque};
+
+/// Per-physical-register allocation metadata, used for the predictor's
+/// release-time feedback and the Fig. 12 accuracy accounting.
+#[derive(Debug, Clone, Copy, Default)]
+struct PregMeta {
+    /// Predictor entry used at allocation.
+    entry: usize,
+    /// Entry value at allocation (the prediction).
+    predicted: u8,
+    /// Reuses observed so far (decremented when a reuse is squashed).
+    reuses: u8,
+    /// A single-use misprediction repair was triggered on this register.
+    multi_use: bool,
+    /// A reuse attempt was blocked by missing shadow capacity.
+    blocked: bool,
+    /// False for the initial architectural mappings (no allocating PC).
+    has_entry: bool,
+    /// For each version created by a *speculative* (non-redefining)
+    /// reuse: the single-use-predictor entry of the consumer that took
+    /// it, for release-time reinforcement / repair-time correction.
+    spec_entries: [Option<u32>; 8],
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DstAction {
+    None,
+    /// A fresh allocation replacing `old_map`.
+    Alloc { logical: ArchReg, old_map: TaggedReg, new_map: TaggedReg },
+    /// A reuse of a source register: version bumped from `prev_version`.
+    Reuse { logical: ArchReg, old_map: TaggedReg, new_map: TaggedReg, prev_version: u8 },
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    seq: u64,
+    /// Read bits set by this micro-op, with their previous values.
+    read_marks: Vec<(RegClass, PhysReg, bool)>,
+    dst: DstAction,
+    /// Base-register writeback of post-increment operations.
+    dst2: DstAction,
+}
+
+/// Register renaming with physical register sharing — the paper's proposed
+/// scheme.
+///
+/// On every rename the scheme:
+///
+/// 1. Maps sources through the versioned map table; a source whose version
+///    is no longer the register's current version reveals a **single-use
+///    misprediction** and triggers the repair of §IV-D1 (a fresh register
+///    plus an injected [`UopKind::RepairMove`] micro-op).
+/// 2. Sets the PRT read bit of every source (the first-consumer detector).
+/// 3. For the destination, searches the sources for a register that can be
+///    **reused**: read bit previously clear (first consumer), same class,
+///    a free shadow cell, and an unsaturated version counter. A source
+///    that the instruction also redefines is a guaranteed-safe reuse; any
+///    other qualifying source is a speculative reuse (the bank a register
+///    was allocated in *is* the single-use prediction).
+/// 4. Otherwise allocates from the bank chosen by the register type
+///    predictor, falling back to the closest bank, or stalls when the
+///    file is exhausted.
+///
+/// Physical registers are released when no rename-map entry references
+/// them any more (tracked with a per-register mapping count, evaluated at
+/// commit) — which reproduces conventional release-on-commit when no
+/// sharing happens and release-on-rename semantics when it does (§IV-A3).
+///
+/// # Examples
+///
+/// See the crate-level example for the Fig. 4 chain.
+#[derive(Debug, Clone)]
+pub struct ReuseRenamer {
+    config: RenamerConfig,
+    map: MapTable,
+    retire_map: MapTable,
+    free: [FreeList; 2],
+    prt: [Prt; 2],
+    meta: [Vec<PregMeta>; 2],
+    predictor: RegTypePredictor,
+    single_use: SingleUsePredictor,
+    records: VecDeque<Record>,
+    stats: RenameStats,
+}
+
+impl ReuseRenamer {
+    /// Creates a renamer with every logical register mapped to an initial
+    /// physical register (allocated from the conventional bank first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register file is not larger than the logical register
+    /// count.
+    pub fn new(config: RenamerConfig) -> Self {
+        let mut map = MapTable::new();
+        let mut free = [
+            FreeList::new(&config.int_banks),
+            FreeList::new(&config.fp_banks),
+        ];
+        let max_version = config.max_version();
+        let mut prt = [
+            Prt::new(config.int_banks.total(), max_version),
+            Prt::new(config.fp_banks.total(), max_version),
+        ];
+        let meta = [
+            vec![PregMeta::default(); config.int_banks.total()],
+            vec![PregMeta::default(); config.fp_banks.total()],
+        ];
+        for class in RegClass::ALL {
+            assert!(
+                config.banks(class).total() > class.num_regs(),
+                "{class} register file must exceed the {} logical registers",
+                class.num_regs()
+            );
+            for i in 0..class.num_regs() {
+                let preg = free[class.index()]
+                    .alloc(0)
+                    .expect("initial mapping fits by the assertion above");
+                prt[class.index()].map_inc(preg);
+                map.set(ArchReg::new(class, i as u8), TaggedReg::new(class, preg, 0));
+            }
+        }
+        let retire_map = map.clone();
+        let predictor = RegTypePredictor::new(config.predictor_entries, config.predictor_bits);
+        let single_use = SingleUsePredictor::new(config.predictor_entries);
+        ReuseRenamer {
+            config,
+            map,
+            retire_map,
+            free,
+            prt,
+            meta,
+            predictor,
+            single_use,
+            records: VecDeque::new(),
+            stats: RenameStats::new(),
+        }
+    }
+
+    /// The current (speculative) rename map.
+    pub fn map(&self) -> &MapTable {
+        &self.map
+    }
+
+    /// The retirement (architectural) rename map.
+    pub fn retire_map(&self) -> &MapTable {
+        &self.retire_map
+    }
+
+    /// The Physical Register Table of one class.
+    pub fn prt(&self, class: RegClass) -> &Prt {
+        &self.prt[class.index()]
+    }
+
+    /// The register type predictor.
+    pub fn predictor(&self) -> &RegTypePredictor {
+        &self.predictor
+    }
+
+    fn shadow_cells(&self, class: RegClass, preg: PhysReg) -> u8 {
+        self.config.banks(class).shadow_cells_of(preg)
+    }
+
+    fn alloc_preg(&mut self, class: RegClass, pc: u64) -> Option<(PhysReg, u8)> {
+        let predicted = self.predictor.predict(pc);
+        let preg = self.free[class.index()].alloc(predicted)?;
+        let ci = class.index();
+        self.prt[ci].reset_on_alloc(preg);
+        self.prt[ci].map_inc(preg);
+        self.meta[ci][preg.0 as usize] = PregMeta {
+            entry: self.predictor.entry_index(pc),
+            predicted,
+            reuses: 0,
+            multi_use: false,
+            blocked: false,
+            has_entry: true,
+            spec_entries: [None; 8],
+        };
+        Some((preg, predicted))
+    }
+
+    fn release(&mut self, class: RegClass, preg: PhysReg) {
+        let ci = class.index();
+        let banks = self.config.banks(class).clone();
+        self.free[ci].free(preg, &banks);
+        let meta = self.meta[ci][preg.0 as usize];
+        self.stats.releases += 1;
+        self.stats.chain_lengths.record(meta.reuses as u64);
+        if meta.has_entry {
+            self.predictor.on_release(
+                meta.entry,
+                meta.predicted,
+                meta.reuses,
+                meta.multi_use,
+                meta.blocked,
+            );
+        }
+        // Speculative reuses that survived to release were correct:
+        // reinforce the consumers' single-use predictions.
+        if !meta.multi_use {
+            for entry in meta.spec_entries.into_iter().flatten() {
+                self.single_use.on_correct(entry as usize);
+            }
+        }
+    }
+
+    /// Undoes one record's rename effects (shared by squash and the
+    /// stall rollback path). Appends recover candidates.
+    fn undo_record(&mut self, record: Record, recovers: &mut HashMap<(RegClass, PhysReg), u8>) {
+        self.undo_dst_action(record.dst2, recovers);
+        self.undo_dst_action(record.dst, recovers);
+        for (class, preg, prev) in record.read_marks.into_iter().rev() {
+            self.prt[class.index()].set_read(preg, prev);
+        }
+    }
+
+    fn undo_dst_action(
+        &mut self,
+        action: DstAction,
+        recovers: &mut HashMap<(RegClass, PhysReg), u8>,
+    ) {
+        match action {
+            DstAction::None => {}
+            DstAction::Alloc { logical, old_map, new_map } => {
+                self.map.set(logical, old_map);
+                let ci = new_map.class.index();
+                let remaining = self.prt[ci].map_dec(new_map.preg);
+                debug_assert_eq!(remaining, 0, "squashed fresh allocation still referenced");
+                let banks = self.config.banks(new_map.class).clone();
+                self.free[ci].free(new_map.preg, &banks);
+            }
+            DstAction::Reuse { logical, old_map, new_map, prev_version } => {
+                self.map.set(logical, old_map);
+                let ci = new_map.class.index();
+                // The read bit was true immediately before the bump (this
+                // micro-op was the first consumer and marked it); the
+                // read-mark undo below restores the pre-rename value.
+                self.prt[ci].rollback(new_map.preg, prev_version, true);
+                self.prt[ci].map_dec(new_map.preg);
+                let m = &mut self.meta[ci][new_map.preg.0 as usize];
+                m.reuses = m.reuses.saturating_sub(1);
+                m.spec_entries[new_map.version as usize] = None;
+                recovers.insert((new_map.class, new_map.preg), prev_version);
+            }
+        }
+    }
+}
+
+impl Renamer for ReuseRenamer {
+    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<Vec<Uop>> {
+        let mut uops: Vec<Uop> = Vec::with_capacity(2);
+        let mut staged: Vec<Record> = Vec::new();
+        let mut next_seq = seq;
+        let mut src_tags: [Option<TaggedReg>; 3] = [None; 3];
+        // Logical registers repaired in this rename (handles a register
+        // appearing in several operand slots).
+        let mut repaired: HashMap<ArchReg, TaggedReg> = HashMap::new();
+        let mut stall = false;
+        // Predictor learning is deferred until the rename is known to
+        // succeed: a stalled rename retries every cycle and must not pump
+        // the predictors with duplicate events.
+        enum Learn {
+            MultiUse { class: RegClass, preg: PhysReg, stale_version: u8 },
+            Blocked { class: RegClass, preg: PhysReg },
+        }
+        let mut learn: Vec<Learn> = Vec::new();
+
+        // Phase A: map sources; repair stale (mispredicted single-use)
+        // mappings with injected move micro-ops (§IV-D1).
+        for (slot, raw) in src_tags.iter_mut().zip(inst.raw_sources()) {
+            let Some(r) = raw.filter(|r| !r.is_zero()) else { continue };
+            if let Some(t) = repaired.get(&r) {
+                *slot = Some(*t);
+                continue;
+            }
+            let t = self.map.get(r);
+            let ci = t.class.index();
+            if self.prt[ci].entry(t.preg).counter == t.version {
+                *slot = Some(t);
+                continue;
+            }
+            // Stale mapping: the register was reused by another logical
+            // register, yet the value is being read again.
+            let Some((pn, _)) = self.alloc_preg(t.class, pc) else {
+                stall = true;
+                break;
+            };
+            let new_tag = TaggedReg::new(t.class, pn, 0);
+            let old = self.map.set(r, new_tag);
+            debug_assert_eq!(old, t);
+            // The register was not single-use after all: predictor rule 2,
+            // and the consumer whose speculative reuse overwrote version
+            // `t.version` mispredicted (learning applied on success).
+            learn.push(Learn::MultiUse { class: t.class, preg: t.preg, stale_version: t.version });
+            staged.push(Record {
+                seq: next_seq,
+                read_marks: Vec::new(),
+                dst: DstAction::Alloc { logical: r, old_map: t, new_map: new_tag },
+                dst2: DstAction::None,
+            });
+            uops.push(Uop {
+                seq: next_seq,
+                kind: UopKind::RepairMove,
+                srcs: [Some(t), None, None],
+                dst: Some(new_tag),
+                dst2: None,
+            });
+            next_seq += 1;
+            repaired.insert(r, new_tag);
+            *slot = Some(new_tag);
+        }
+
+        // Phase B: set read bits for the main micro-op's sources.
+        let mut read_marks: Vec<(RegClass, PhysReg, bool)> = Vec::new();
+        let mut prev_read: HashMap<(RegClass, PhysReg), bool> = HashMap::new();
+        if !stall {
+            for t in src_tags.iter().flatten() {
+                if prev_read.contains_key(&(t.class, t.preg)) {
+                    continue;
+                }
+                let prev = self.prt[t.class.index()].mark_read(t.preg);
+                prev_read.insert((t.class, t.preg), prev);
+                read_marks.push((t.class, t.preg, prev));
+            }
+        }
+
+        // Phase C: destination — reuse or allocate.
+        let mut dst_action = DstAction::None;
+        if !stall {
+            if let Some(dl) = inst.dst() {
+                let class = dl.class();
+                // Pair each positional source with its logical register.
+                let mut chosen: Option<(TaggedReg, bool)> = None;
+                let mut considered: Vec<PhysReg> = Vec::new();
+                for (tag, raw) in src_tags.iter().zip(inst.raw_sources()) {
+                    let (Some(t), Some(r)) = (tag, raw) else { continue };
+                    if t.class != class {
+                        continue;
+                    }
+                    if inst.dst2() == Some(*r) {
+                        // The written-back base register belongs to the
+                        // second destination's reuse decision.
+                        continue;
+                    }
+                    if considered.contains(&t.preg) {
+                        continue;
+                    }
+                    considered.push(t.preg);
+                    let first_use = !prev_read.get(&(t.class, t.preg)).copied().unwrap_or(true);
+                    if !first_use {
+                        continue;
+                    }
+                    let redefining = *r == dl;
+                    // A redefining first consumer is also the provably
+                    // last one; any other first consumer must ask the
+                    // single-use predictor before speculating (§IV-A2) —
+                    // and is excluded entirely in the safe-only ablation.
+                    if !redefining
+                        && (!self.config.speculative_reuse || !self.single_use.predict(pc))
+                    {
+                        continue;
+                    }
+                    let cells = self.shadow_cells(class, t.preg);
+                    let capacity =
+                        t.version < cells && self.prt[class.index()].can_bump(t.preg);
+                    if capacity {
+                        match chosen {
+                            // A redefining source is preferred: it is a
+                            // guaranteed-safe reuse.
+                            Some((_, true)) => {}
+                            Some(_) if !redefining => {}
+                            _ => chosen = Some((*t, redefining)),
+                        }
+                    } else {
+                        // A reuse we wanted but could not take: predictor
+                        // rule 3, and the "lost opportunity" class of
+                        // Fig. 12 (learning applied on success).
+                        learn.push(Learn::Blocked { class, preg: t.preg });
+                    }
+                }
+                if let Some((t, redefining)) = chosen {
+                    let ci = class.index();
+                    let newv = self.prt[ci].bump(t.preg);
+                    self.prt[ci].map_inc(t.preg);
+                    let new_map = TaggedReg::new(class, t.preg, newv);
+                    let old_map = self.map.set(dl, new_map);
+                    self.meta[ci][t.preg.0 as usize].reuses += 1;
+                    self.meta[ci][t.preg.0 as usize].spec_entries[newv as usize] = (!redefining)
+                        .then(|| self.single_use.entry_index(pc) as u32);
+                    self.stats.reuses += 1;
+                    if redefining {
+                        self.stats.safe_reuses += 1;
+                    } else {
+                        self.stats.speculative_reuses += 1;
+                    }
+                    dst_action = DstAction::Reuse {
+                        logical: dl,
+                        old_map,
+                        new_map,
+                        prev_version: t.version,
+                    };
+                } else {
+                    match self.alloc_preg(class, pc) {
+                        Some((preg, _)) => {
+                            let new_map = TaggedReg::new(class, preg, 0);
+                            let old_map = self.map.set(dl, new_map);
+                            self.stats.allocations += 1;
+                            dst_action = DstAction::Alloc { logical: dl, old_map, new_map };
+                        }
+                        None => stall = true,
+                    }
+                }
+            }
+        }
+
+        // Phase D: the written-back base register of post-increment
+        // memory operations. By construction the instruction is the
+        // *redefining* consumer of the base, so this is a guaranteed-safe
+        // reuse whenever the base value had no earlier consumer and the
+        // register has shadow capacity.
+        let mut dst2_action = DstAction::None;
+        if !stall {
+            if let Some(d2) = inst.dst2() {
+                let class = d2.class();
+                let base_tag = src_tags
+                    .iter()
+                    .zip(inst.raw_sources())
+                    .find_map(|(t, r)| (*r == Some(d2)).then_some(*t))
+                    .flatten()
+                    .expect("post-increment base is always a source");
+                let first_use =
+                    !prev_read.get(&(base_tag.class, base_tag.preg)).copied().unwrap_or(true);
+                let cells = self.shadow_cells(class, base_tag.preg);
+                let capacity = base_tag.version < cells
+                    && self.prt[class.index()].can_bump(base_tag.preg);
+                if first_use && capacity {
+                    let ci = class.index();
+                    let newv = self.prt[ci].bump(base_tag.preg);
+                    self.prt[ci].map_inc(base_tag.preg);
+                    let new_map = TaggedReg::new(class, base_tag.preg, newv);
+                    let old_map = self.map.set(d2, new_map);
+                    self.meta[ci][base_tag.preg.0 as usize].reuses += 1;
+                    self.stats.reuses += 1;
+                    self.stats.safe_reuses += 1;
+                    dst2_action = DstAction::Reuse {
+                        logical: d2,
+                        old_map,
+                        new_map,
+                        prev_version: base_tag.version,
+                    };
+                } else {
+                    if first_use {
+                        learn.push(Learn::Blocked { class, preg: base_tag.preg });
+                    }
+                    match self.alloc_preg(class, pc ^ 0x8000_0000) {
+                        Some((preg, _)) => {
+                            let new_map = TaggedReg::new(class, preg, 0);
+                            let old_map = self.map.set(d2, new_map);
+                            self.stats.allocations += 1;
+                            dst2_action = DstAction::Alloc { logical: d2, old_map, new_map };
+                        }
+                        None => stall = true,
+                    }
+                }
+            }
+        }
+
+        if stall {
+            // Roll back everything staged in this rename, youngest first.
+            let mut scratch = HashMap::new();
+            self.undo_record(
+                Record { seq: next_seq, read_marks, dst: dst_action, dst2: dst2_action },
+                &mut scratch,
+            );
+            for record in staged.into_iter().rev() {
+                self.undo_record(record, &mut scratch);
+            }
+            self.stats.stalls += 1;
+            return None;
+        }
+
+        // The rename succeeded: apply the deferred learning events.
+        for event in learn {
+            match event {
+                Learn::MultiUse { class, preg, stale_version } => {
+                    let ci = class.index();
+                    let victim = self.meta[ci][preg.0 as usize];
+                    if victim.has_entry {
+                        self.predictor.on_multi_use(victim.entry);
+                    }
+                    if let Some(Some(e)) = victim.spec_entries.get(stale_version as usize + 1) {
+                        self.single_use.on_wrong(*e as usize);
+                    }
+                    self.meta[ci][preg.0 as usize].multi_use = true;
+                    self.stats.repairs += 1;
+                }
+                Learn::Blocked { class, preg } => {
+                    let ci = class.index();
+                    let m = self.meta[ci][preg.0 as usize];
+                    if m.has_entry {
+                        self.predictor.on_blocked_reuse(m.entry);
+                    }
+                    self.meta[ci][preg.0 as usize].blocked = true;
+                    self.stats.blocked_reuses += 1;
+                }
+            }
+        }
+        let tag_of = |a: &DstAction| match a {
+            DstAction::None => None,
+            DstAction::Alloc { new_map, .. } | DstAction::Reuse { new_map, .. } => Some(*new_map),
+        };
+        let dst_tag = tag_of(&dst_action);
+        let dst2_tag = tag_of(&dst2_action);
+        staged.push(Record { seq: next_seq, read_marks, dst: dst_action, dst2: dst2_action });
+        uops.push(Uop {
+            seq: next_seq,
+            kind: UopKind::Main,
+            srcs: src_tags,
+            dst: dst_tag,
+            dst2: dst2_tag,
+        });
+        self.stats.renamed += uops.len() as u64;
+        self.records.extend(staged);
+        Some(uops)
+    }
+
+    fn commit(&mut self, seq: u64) {
+        let record = self
+            .records
+            .pop_front()
+            .expect("commit without an in-flight rename record");
+        assert_eq!(record.seq, seq, "commits must arrive in rename order");
+        for action in [record.dst, record.dst2] {
+            match action {
+                DstAction::None => {}
+                DstAction::Alloc { logical, old_map, new_map }
+                | DstAction::Reuse { logical, old_map, new_map, .. } => {
+                    let ci = old_map.class.index();
+                    if self.prt[ci].map_dec(old_map.preg) == 0 {
+                        self.release(old_map.class, old_map.preg);
+                    }
+                    self.retire_map.set(logical, new_map);
+                }
+            }
+        }
+    }
+
+    fn squash_after(&mut self, seq: u64) -> SquashOutcome {
+        let mut recovers: HashMap<(RegClass, PhysReg), u8> = HashMap::new();
+        let mut undone = 0;
+        while let Some(record) = self.records.back() {
+            if record.seq <= seq {
+                break;
+            }
+            let record = self.records.pop_back().expect("just checked non-empty");
+            self.undo_record(record, &mut recovers);
+            undone += 1;
+            self.stats.squashed += 1;
+        }
+        SquashOutcome {
+            undone,
+            recovers: recovers
+                .into_iter()
+                .map(|((class, preg), version)| TaggedReg::new(class, preg, version))
+                .collect(),
+        }
+    }
+
+    fn stats(&self) -> &RenameStats {
+        &self.stats
+    }
+
+    fn free_regs(&self, class: RegClass) -> usize {
+        self.free[class.index()].free_total()
+    }
+
+    fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
+        let banks = self.config.banks(class);
+        (0..banks.num_banks())
+            .map(|k| banks.sizes()[k] - self.free[class.index()].free_in_bank(k))
+            .collect()
+    }
+
+    fn banks(&self, class: RegClass) -> &BankConfig {
+        self.config.banks(class)
+    }
+
+    fn predictor_stats(&self) -> crate::PredictorStats {
+        *self.predictor.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::{reg, Opcode};
+
+    fn renamer() -> ReuseRenamer {
+        ReuseRenamer::new(RenamerConfig::small_test())
+    }
+
+    /// Renames the I1/I4 pair (define r1; redefine r1 using it) twice.
+    /// The first round trains the predictor; the second reuses.
+    fn train_and_reuse(r: &mut ReuseRenamer) -> (Uop, Uop) {
+        let i1 = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        let i4 = Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(4));
+        let mut seq = 0;
+        for _ in 0..2 {
+            for (pc, inst) in [(0u64, &i1), (4u64, &i4)] {
+                let uops = r.rename(seq, pc, inst).unwrap();
+                seq += uops.len() as u64;
+            }
+        }
+        // Repeat once more and capture the pair.
+        let a = r.rename(seq, 0, &i1).unwrap()[0];
+        let b = r.rename(seq + 1, 4, &i4).unwrap()[0];
+        (a, b)
+    }
+
+    #[test]
+    fn blocked_reuse_trains_predictor_then_reuses() {
+        let mut r = renamer();
+        assert_eq!(r.predictor().predict(0), 0);
+        let (a, b) = train_and_reuse(&mut r);
+        // After training, I1's destination lives in a shadow bank and I4
+        // reuses it.
+        let da = a.dst.unwrap();
+        let db = b.dst.unwrap();
+        assert_eq!(da.preg, db.preg);
+        assert_eq!(db.version, da.version + 1);
+        assert!(r.stats().reuses >= 1);
+        assert!(r.stats().blocked_reuses >= 1);
+        assert!(r.stats().safe_reuses >= 1);
+    }
+
+    #[test]
+    fn reuse_does_not_cross_register_classes() {
+        let mut r = renamer();
+        // cvt.i.f reads an int register and writes an fp register; even a
+        // first-and-last use must not share across files.
+        let c = Inst::rr(Opcode::CvtIf, reg::f(1), reg::x(1));
+        let u = r.rename(0, 0, &c).unwrap()[0];
+        assert_eq!(u.dst.unwrap().class, RegClass::Fp);
+        assert_eq!(u.dst.unwrap().version, 0);
+        assert_eq!(r.stats().reuses, 0);
+    }
+
+    #[test]
+    fn second_consumer_cannot_reuse() {
+        let mut r = renamer();
+        // x2 is read by a store (first consumer), then by a redefining add:
+        // the add is no longer the first consumer, so no reuse.
+        let s = Inst::store(Opcode::St, reg::x(2), reg::x(3), 0);
+        r.rename(0, 0, &s).unwrap();
+        let a = Inst::rrr(Opcode::Add, reg::x(2), reg::x(2), reg::x(4));
+        let u = r.rename(1, 4, &a).unwrap()[0];
+        assert_eq!(u.dst.unwrap().version, 0);
+        assert_eq!(r.stats().reuses, 0);
+    }
+
+    #[test]
+    fn counter_saturation_limits_chain_length() {
+        let mut cfg = RenamerConfig::small_test();
+        cfg.counter_bits = 1; // versions saturate at 1
+        // Give bank 3 plenty of room so capacity is counter-limited.
+        cfg.int_banks = BankConfig::new(vec![33, 0, 0, 8]);
+        cfg.fp_banks = cfg.int_banks.clone();
+        let mut r = ReuseRenamer::new(cfg);
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(2));
+        let mut seq = 0u64;
+        let mut versions = Vec::new();
+        // Train, then chain.
+        for pc in [0u64; 6] {
+            let u = r.rename(seq, pc, &i).unwrap();
+            versions.push(u.last().unwrap().dst.unwrap().version);
+            seq += u.len() as u64;
+        }
+        // With a 1-bit counter no version ever exceeds 1.
+        assert!(versions.iter().all(|v| *v <= 1));
+    }
+
+    #[test]
+    fn speculative_reuse_and_repair_on_second_read() {
+        let mut r = renamer();
+        // Train pc=0 to allocate with shadow cells.
+        let def = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        let use_nonredef = Inst::rrr(Opcode::Add, reg::x(5), reg::x(1), reg::x(4));
+        let mut seq = 0u64;
+        for _ in 0..2 {
+            for (pc, inst) in [(0u64, &def), (4u64, &use_nonredef)] {
+                let uops = r.rename(seq, pc, inst).unwrap();
+                seq += uops.len() as u64;
+            }
+        }
+        // Now: def allocates a shadow-bank register for r1; the next use
+        // (not redefining) speculatively reuses it for r5.
+        let d = r.rename(seq, 0, &def).unwrap()[0];
+        seq += 1;
+        let u = r.rename(seq, 4, &use_nonredef).unwrap()[0];
+        seq += 1;
+        let du = u.dst.unwrap();
+        assert_eq!(du.preg, d.dst.unwrap().preg, "speculative reuse expected");
+        assert!(r.stats().speculative_reuses >= 1);
+        // A second consumer of r1 arrives: the mapping is stale -> repair.
+        let second = Inst::rrr(Opcode::Add, reg::x(6), reg::x(1), reg::x(4));
+        let uops = r.rename(seq, 8, &second).unwrap();
+        assert_eq!(uops.len(), 2);
+        assert_eq!(uops[0].kind, UopKind::RepairMove);
+        // The repair reads the stale version and writes a fresh register.
+        assert_eq!(uops[0].srcs[0].unwrap(), d.dst.unwrap());
+        assert_eq!(uops[0].dst.unwrap().version, 0);
+        // The main op consumes the repaired register.
+        assert_eq!(uops[1].srcs[0].unwrap(), uops[0].dst.unwrap());
+        assert_eq!(r.stats().repairs, 1);
+    }
+
+    #[test]
+    fn squash_undoes_reuse_and_requests_recover() {
+        let mut r = renamer();
+        let (a, b) = train_and_reuse(&mut r);
+        let before_map = r.map().get(reg::x(1));
+        assert_eq!(before_map, b.dst.unwrap());
+        let out = r.squash_after(b.seq - 1);
+        assert_eq!(out.undone, 1);
+        assert_eq!(r.map().get(reg::x(1)), a.dst.unwrap());
+        // The squashed reuse rolled a version back: recover candidate.
+        assert_eq!(out.recovers.len(), 1);
+        assert_eq!(out.recovers[0], a.dst.unwrap());
+        // PRT counter rolled back, read bit restored to unread... no:
+        // x1's value was read by the squashed instruction only, so the
+        // read bit must be clear again.
+        let prt = r.prt(RegClass::Int).entry(a.dst.unwrap().preg);
+        assert_eq!(prt.counter, a.dst.unwrap().version);
+        assert!(!prt.read);
+    }
+
+    #[test]
+    fn squash_undoes_allocation_and_frees() {
+        let mut r = renamer();
+        let free_before = r.free_regs(RegClass::Int);
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        r.rename(7, 0, &i).unwrap();
+        assert_eq!(r.free_regs(RegClass::Int), free_before - 1);
+        r.squash_after(6);
+        assert_eq!(r.free_regs(RegClass::Int), free_before);
+    }
+
+    #[test]
+    fn commit_of_chain_releases_nothing_until_chain_dies() {
+        let mut r = renamer();
+        let (_a, b) = train_and_reuse(&mut r);
+        let releases_before = r.stats().releases;
+        // Commit everything renamed so far (seqs 0..=b.seq).
+        for s in 0..=b.seq {
+            r.commit(s);
+        }
+        // The chained register must NOT be released: r1 still maps to it.
+        let preg = b.dst.unwrap().preg;
+        assert!(r.prt(RegClass::Int).mapcount(preg) >= 1);
+        // Redefine r1 with a value that cannot be reused (different class
+        // source is irrelevant; use li which has no sources).
+        let li = Inst::ri(Opcode::Li, reg::x(1), 9);
+        let u = r.rename(b.seq + 1, 100, &li).unwrap()[0];
+        assert_eq!(u.dst.unwrap().version, 0); // fresh allocation
+        r.commit(b.seq + 1);
+        // Now the chain register is dead and must have been released.
+        assert!(r.stats().releases > releases_before);
+        assert_eq!(r.prt(RegClass::Int).mapcount(preg), 0);
+    }
+
+    #[test]
+    fn stall_rolls_back_partial_state() {
+        // 33 registers: after initial mappings a single register is free.
+        let mut cfg = RenamerConfig::small_test();
+        cfg.int_banks = BankConfig::new(vec![33]);
+        cfg.fp_banks = BankConfig::new(vec![33]);
+        let mut r = ReuseRenamer::new(cfg);
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        assert!(r.rename(0, 0, &i).is_some());
+        // Next rename must stall: no free registers, no shadow cells.
+        let j = Inst::rrr(Opcode::Add, reg::x(4), reg::x(5), reg::x(6));
+        assert!(r.rename(1, 4, &j).is_none());
+        // The stall must not have left read bits set.
+        let t5 = r.map().get(reg::x(5));
+        assert!(!r.prt(RegClass::Int).entry(t5.preg).read);
+        assert_eq!(r.stats().stalls, 1);
+        // Committing the first rename frees a register and unblocks.
+        r.commit(0);
+        assert!(r.rename(1, 4, &j).is_some());
+    }
+
+    #[test]
+    fn chain_lengths_recorded_at_release() {
+        let mut r = renamer();
+        let (_a, b) = train_and_reuse(&mut r);
+        for s in 0..=b.seq {
+            r.commit(s);
+        }
+        let li = Inst::ri(Opcode::Li, reg::x(1), 9);
+        r.rename(b.seq + 1, 100, &li).unwrap();
+        r.commit(b.seq + 1);
+        // The last released register carried one reuse.
+        assert!(r.stats().chain_lengths.count(1) >= 1);
+    }
+
+    #[test]
+    fn duplicate_source_operands_mark_one_read() {
+        let mut r = renamer();
+        let i = Inst::rrr(Opcode::Mul, reg::x(5), reg::x(1), reg::x(1));
+        r.rename(0, 0, &i).unwrap();
+        let t = r.map().get(reg::x(1));
+        assert!(r.prt(RegClass::Int).entry(t.preg).read);
+    }
+
+    #[test]
+    fn fig12_accounting_accumulates() {
+        let mut r = renamer();
+        let (_a, b) = train_and_reuse(&mut r);
+        for s in 0..=b.seq {
+            r.commit(s);
+        }
+        let li = Inst::ri(Opcode::Li, reg::x(1), 9);
+        r.rename(b.seq + 1, 100, &li).unwrap();
+        r.commit(b.seq + 1);
+        assert!(r.predictor().stats().total() >= 1);
+    }
+}

@@ -1,0 +1,480 @@
+//! Assembler-style program builder with labels.
+
+use crate::{ArchReg, DataBuilder, Inst, Memory, Opcode, Program};
+
+/// A forward-referenceable code label.
+///
+/// Create with [`Asm::label`], place with [`Asm::bind`], and use as a branch
+/// target before or after binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds TRISC programs instruction by instruction.
+///
+/// The builder follows assembler conventions: emit instructions in order,
+/// create labels with [`Asm::label`], bind them with [`Asm::bind`], and
+/// resolve everything with [`Asm::assemble`].
+///
+/// # Examples
+///
+/// A count-down loop:
+///
+/// ```
+/// use regshare_isa::{Asm, Machine, reg};
+///
+/// let mut a = Asm::new();
+/// a.li(reg::x(0), 5);
+/// a.li(reg::x(1), 0);
+/// let top = a.label();
+/// a.bind(top);
+/// a.addi(reg::x(1), reg::x(1), 1); // count iterations
+/// a.subi(reg::x(0), reg::x(0), 1);
+/// a.bne(reg::x(0), reg::zero(), top);
+/// a.halt();
+///
+/// let mut m = Machine::new(a.assemble());
+/// m.run(100).unwrap();
+/// assert_eq!(m.int_reg(reg::x(1)), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+    data: Option<Memory>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Creates a builder whose program will carry `data` as its initial
+    /// memory image.
+    pub fn with_data(data: DataBuilder) -> Self {
+        Asm { data: Some(data.build()), ..Asm::default() }
+    }
+
+    /// Attaches a data image (replacing any previous one).
+    pub fn set_data(&mut self, data: Memory) -> &mut Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Creates a new, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.insts.len() as u32);
+        self
+    }
+
+    /// Index the next emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_branch(&mut self, inst: Inst, target: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), target));
+        self.insts.push(inst);
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound, or if the program is
+    /// empty.
+    pub fn assemble(mut self) -> Program {
+        for (idx, label) in &self.fixups {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {} referenced but never bound", label.0));
+            self.insts[*idx].target = target;
+        }
+        assert!(!self.insts.is_empty(), "cannot assemble an empty program");
+        Program::new(self.insts, 0, self.data.unwrap_or_default())
+    }
+
+    // ---- integer register-register ----
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Add, rd, rs1, rs2))
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Sub, rd, rs1, rs2))
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Mul, rd, rs1, rs2))
+    }
+    /// `rd = rs1 /u rs2`
+    pub fn udiv(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Udiv, rd, rs1, rs2))
+    }
+    /// `rd = rs1 /s rs2`
+    pub fn sdiv(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Sdiv, rd, rs1, rs2))
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::And, rd, rs1, rs2))
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Or, rd, rs1, rs2))
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Xor, rd, rs1, rs2))
+    }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Sll, rd, rs1, rs2))
+    }
+    /// `rd = rs1 >>u rs2`
+    pub fn srl(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Srl, rd, rs1, rs2))
+    }
+    /// `rd = rs1 >>s rs2`
+    pub fn sra(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Sra, rd, rs1, rs2))
+    }
+    /// `rd = rs1 <s rs2`
+    pub fn slt(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Slt, rd, rs1, rs2))
+    }
+    /// `rd = rs1 <u rs2`
+    pub fn sltu(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Sltu, rd, rs1, rs2))
+    }
+    /// `rd = rs1 == rs2`
+    pub fn seq(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Seq, rd, rs1, rs2))
+    }
+
+    // ---- integer immediates ----
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Addi, rd, rs1, imm))
+    }
+    /// `rd = rs1 - imm` (sugar for `addi` with a negated immediate)
+    pub fn subi(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Addi, rd, rs1, -imm))
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Andi, rd, rs1, imm))
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Ori, rd, rs1, imm))
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Xori, rd, rs1, imm))
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Slli, rd, rs1, imm))
+    }
+    /// `rd = rs1 >>u imm`
+    pub fn srli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Srli, rd, rs1, imm))
+    }
+    /// `rd = rs1 >>s imm`
+    pub fn srai(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Srai, rd, rs1, imm))
+    }
+    /// `rd = rs1 <s imm`
+    pub fn slti(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::rri(Opcode::Slti, rd, rs1, imm))
+    }
+    /// `rd = imm`
+    pub fn li(&mut self, rd: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::ri(Opcode::Li, rd, imm))
+    }
+    /// `rd = rs1`
+    pub fn mov(&mut self, rd: ArchReg, rs1: ArchReg) -> &mut Self {
+        self.push(Inst::rr(Opcode::Mov, rd, rs1))
+    }
+
+    // ---- floating point ----
+
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Fadd, fd, fs1, fs2))
+    }
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Fsub, fd, fs1, fs2))
+    }
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Fmul, fd, fs1, fs2))
+    }
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Fdiv, fd, fs1, fs2))
+    }
+    /// `fd = sqrt(fs1)`
+    pub fn fsqrt(&mut self, fd: ArchReg, fs1: ArchReg) -> &mut Self {
+        self.push(Inst::rr(Opcode::Fsqrt, fd, fs1))
+    }
+    /// `fd = fs1 * fs2 + fs3`
+    pub fn fma(&mut self, fd: ArchReg, fs1: ArchReg, fs2: ArchReg, fs3: ArchReg) -> &mut Self {
+        self.push(Inst::rrrr(Opcode::Fma, fd, fs1, fs2, fs3))
+    }
+    /// `fd = -fs1`
+    pub fn fneg(&mut self, fd: ArchReg, fs1: ArchReg) -> &mut Self {
+        self.push(Inst::rr(Opcode::Fneg, fd, fs1))
+    }
+    /// `fd = |fs1|`
+    pub fn fabs(&mut self, fd: ArchReg, fs1: ArchReg) -> &mut Self {
+        self.push(Inst::rr(Opcode::Fabs, fd, fs1))
+    }
+    /// `fd = min(fs1, fs2)`
+    pub fn fmin(&mut self, fd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Fmin, fd, fs1, fs2))
+    }
+    /// `fd = max(fs1, fs2)`
+    pub fn fmax(&mut self, fd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Fmax, fd, fs1, fs2))
+    }
+    /// `fd = fs1`
+    pub fn fmov(&mut self, fd: ArchReg, fs1: ArchReg) -> &mut Self {
+        self.push(Inst::rr(Opcode::Fmov, fd, fs1))
+    }
+    /// `fd = value`
+    pub fn fli(&mut self, fd: ArchReg, value: f64) -> &mut Self {
+        self.push(Inst::ri(Opcode::Fli, fd, value.to_bits() as i64))
+    }
+    /// `fd = (f64) rs1`
+    pub fn cvt_i_f(&mut self, fd: ArchReg, rs1: ArchReg) -> &mut Self {
+        self.push(Inst::rr(Opcode::CvtIf, fd, rs1))
+    }
+    /// `rd = (i64) fs1`
+    pub fn cvt_f_i(&mut self, rd: ArchReg, fs1: ArchReg) -> &mut Self {
+        self.push(Inst::rr(Opcode::CvtFi, rd, fs1))
+    }
+    /// `rd = fs1 == fs2`
+    pub fn feq(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Feq, rd, fs1, fs2))
+    }
+    /// `rd = fs1 < fs2`
+    pub fn flt(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Flt, rd, fs1, fs2))
+    }
+    /// `rd = fs1 <= fs2`
+    pub fn fle(&mut self, rd: ArchReg, fs1: ArchReg, fs2: ArchReg) -> &mut Self {
+        self.push(Inst::rrr(Opcode::Fle, rd, fs1, fs2))
+    }
+
+    // ---- memory ----
+
+    /// `rd = mem64[base + imm]`
+    pub fn ld(&mut self, rd: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::load(Opcode::Ld, rd, base, imm))
+    }
+    /// `rd = zext(mem32[base + imm])`
+    pub fn ldw(&mut self, rd: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::load(Opcode::Ldw, rd, base, imm))
+    }
+    /// `rd = zext(mem8[base + imm])`
+    pub fn ldb(&mut self, rd: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::load(Opcode::Ldb, rd, base, imm))
+    }
+    /// `mem64[base + imm] = rv`
+    pub fn st(&mut self, rv: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::store(Opcode::St, rv, base, imm))
+    }
+    /// `mem32[base + imm] = rv`
+    pub fn stw(&mut self, rv: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::store(Opcode::Stw, rv, base, imm))
+    }
+    /// `mem8[base + imm] = rv`
+    pub fn stb(&mut self, rv: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::store(Opcode::Stb, rv, base, imm))
+    }
+    /// `fd = mem64[base + imm]`
+    pub fn fld(&mut self, fd: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::load(Opcode::Fld, fd, base, imm))
+    }
+    /// `mem64[base + imm] = fv`
+    pub fn fst(&mut self, fv: ArchReg, base: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::store(Opcode::Fst, fv, base, imm))
+    }
+    /// `rd = mem64[base]; base += stride` (post-increment load)
+    pub fn ld_post(&mut self, rd: ArchReg, base: ArchReg, stride: i64) -> &mut Self {
+        self.push(Inst::load_post(Opcode::LdPost, rd, base, stride))
+    }
+    /// `fd = mem64[base]; base += stride` (post-increment fp load)
+    pub fn fld_post(&mut self, fd: ArchReg, base: ArchReg, stride: i64) -> &mut Self {
+        self.push(Inst::load_post(Opcode::FldPost, fd, base, stride))
+    }
+    /// `mem64[base] = rv; base += stride` (post-increment store)
+    pub fn st_post(&mut self, rv: ArchReg, base: ArchReg, stride: i64) -> &mut Self {
+        self.push(Inst::store_post(Opcode::StPost, rv, base, stride))
+    }
+    /// `mem64[base] = fv; base += stride` (post-increment fp store)
+    pub fn fst_post(&mut self, fv: ArchReg, base: ArchReg, stride: i64) -> &mut Self {
+        self.push(Inst::store_post(Opcode::FstPost, fv, base, stride))
+    }
+
+    // ---- control ----
+
+    /// branch if `rs1 == rs2`
+    pub fn beq(&mut self, rs1: ArchReg, rs2: ArchReg, target: Label) -> &mut Self {
+        self.push_branch(Inst::branch(Opcode::Beq, rs1, rs2, 0), target)
+    }
+    /// branch if `rs1 != rs2`
+    pub fn bne(&mut self, rs1: ArchReg, rs2: ArchReg, target: Label) -> &mut Self {
+        self.push_branch(Inst::branch(Opcode::Bne, rs1, rs2, 0), target)
+    }
+    /// branch if `rs1 <s rs2`
+    pub fn blt(&mut self, rs1: ArchReg, rs2: ArchReg, target: Label) -> &mut Self {
+        self.push_branch(Inst::branch(Opcode::Blt, rs1, rs2, 0), target)
+    }
+    /// branch if `rs1 >=s rs2`
+    pub fn bge(&mut self, rs1: ArchReg, rs2: ArchReg, target: Label) -> &mut Self {
+        self.push_branch(Inst::branch(Opcode::Bge, rs1, rs2, 0), target)
+    }
+    /// branch if `rs1 <u rs2`
+    pub fn bltu(&mut self, rs1: ArchReg, rs2: ArchReg, target: Label) -> &mut Self {
+        self.push_branch(Inst::branch(Opcode::Bltu, rs1, rs2, 0), target)
+    }
+    /// branch if `rs1 >=u rs2`
+    pub fn bgeu(&mut self, rs1: ArchReg, rs2: ArchReg, target: Label) -> &mut Self {
+        self.push_branch(Inst::branch(Opcode::Bgeu, rs1, rs2, 0), target)
+    }
+    /// unconditional jump
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.push_branch(Inst::jal(None, 0), target)
+    }
+    /// call: jump and link the return address into `lr`
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.push_branch(Inst::jal(Some(crate::reg::lr()), 0), target)
+    }
+    /// return: indirect jump through `lr`
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::jalr(None, crate::reg::lr(), 0))
+    }
+    /// indirect jump through `rs1 + imm`, optionally linking
+    pub fn jalr(&mut self, link: Option<ArchReg>, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::jalr(link, rs1, imm))
+    }
+    /// no operation
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::bare(Opcode::Nop))
+    }
+    /// stop the machine
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::bare(Opcode::Halt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut a = Asm::new();
+        let end = a.label();
+        a.beq(reg::x(0), reg::x(0), end);
+        a.nop();
+        a.bind(end);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.insts()[0].target, 2);
+    }
+
+    #[test]
+    fn backward_label_resolution() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.nop();
+        a.bne(reg::x(1), reg::x(2), top);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.insts()[1].target, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jmp(l);
+        a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program")]
+    fn empty_program_panics() {
+        Asm::new().assemble();
+    }
+
+    #[test]
+    fn subi_negates_immediate() {
+        let mut a = Asm::new();
+        a.subi(reg::x(0), reg::x(0), 4);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.insts()[0].imm, -4);
+        assert_eq!(p.insts()[0].opcode, Opcode::Addi);
+    }
+
+    #[test]
+    fn with_data_carries_image() {
+        let mut d = DataBuilder::new(0x100);
+        d.u64(99);
+        let mut a = Asm::with_data(d);
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(p.data().read_u64(0x100), 99);
+    }
+
+    #[test]
+    fn call_links_lr() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.call(f);
+        a.halt();
+        a.bind(f);
+        a.ret();
+        let p = a.assemble();
+        assert_eq!(p.insts()[0].dst(), Some(reg::lr()));
+        assert_eq!(p.insts()[0].target, 2);
+    }
+}

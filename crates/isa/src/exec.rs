@@ -1,0 +1,349 @@
+//! Pure instruction semantics.
+//!
+//! Both the functional emulator ([`crate::Machine`]) and the timing
+//! simulator's execute stage call [`evaluate`] so that the two can never
+//! disagree about what an instruction *does* — only about *when* it does
+//! it. All register values are carried as `u64` bit patterns; floating
+//! point values are `f64` bits.
+
+use crate::{Inst, Opcode};
+
+/// The architectural effect of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Write `0:u64` (bit pattern) to the destination register.
+    Value(u64),
+    /// Load `width` bytes from `ea`; the loaded bits become the destination
+    /// value.
+    Load {
+        /// Effective address.
+        ea: u64,
+        /// Access size in bytes.
+        width: u8,
+    },
+    /// Store the low `width` bytes of `value` to `ea`.
+    Store {
+        /// Effective address.
+        ea: u64,
+        /// Access size in bytes.
+        width: u8,
+        /// Bits to store.
+        value: u64,
+    },
+    /// Post-increment load: load `width` bytes from `ea` into the primary
+    /// destination and write `writeback` to the base register (the second
+    /// destination).
+    LoadPost {
+        /// Effective address (the un-incremented base).
+        ea: u64,
+        /// Access size in bytes.
+        width: u8,
+        /// New base-register value (`base + imm`).
+        writeback: u64,
+    },
+    /// Post-increment store: store `value` to `ea`, then write
+    /// `writeback` to the base register.
+    StorePost {
+        /// Effective address (the un-incremented base).
+        ea: u64,
+        /// Access size in bytes.
+        width: u8,
+        /// Bits to store.
+        value: u64,
+        /// New base-register value (`base + imm`).
+        writeback: u64,
+    },
+    /// Control transfer. `taken` is the branch outcome; `target` is the
+    /// next instruction index when taken; `link` is the value written to
+    /// the link register, if any.
+    Branch {
+        /// Whether the branch is taken.
+        taken: bool,
+        /// Destination instruction index when taken.
+        target: u64,
+        /// Return address to write to the destination register, if linking.
+        link: Option<u64>,
+    },
+    /// No architectural effect (`nop`).
+    Nop,
+    /// Stop the machine (`halt`).
+    Halt,
+}
+
+impl Action {
+    /// The next PC after executing at `pc`, given this action.
+    pub fn next_pc(&self, pc: u64) -> u64 {
+        match self {
+            Action::Branch { taken: true, target, .. } => *target,
+            Action::Halt => pc,
+            _ => pc + 1,
+        }
+    }
+}
+
+#[inline]
+fn f(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+#[inline]
+fn b(value: f64) -> u64 {
+    value.to_bits()
+}
+
+#[inline]
+fn bool64(v: bool) -> u64 {
+    v as u64
+}
+
+/// Evaluates `inst` at `pc` over positional source values.
+///
+/// `ops[i]` is the bit-pattern value of `inst.raw_sources()[i]` (zero for
+/// absent operands and for reads of the hard-wired zero register — the
+/// caller is responsible for that substitution, which [`crate::Machine`]
+/// and the timing simulator's register read both perform).
+///
+/// Division by zero follows ARM semantics: the result is 0, no trap.
+/// `cvt.f.i` saturates on overflow and maps NaN to 0 (ARM-style).
+pub fn evaluate(inst: &Inst, pc: u64, ops: [u64; 3]) -> Action {
+    use Opcode::*;
+    let [a, bv, c] = ops;
+    let imm = inst.imm;
+    match inst.opcode {
+        Add => Action::Value(a.wrapping_add(bv)),
+        Sub => Action::Value(a.wrapping_sub(bv)),
+        Mul => Action::Value(a.wrapping_mul(bv)),
+        Udiv => Action::Value(if bv == 0 { 0 } else { a / bv }),
+        Sdiv => Action::Value(if bv == 0 {
+            0
+        } else {
+            (a as i64).wrapping_div(bv as i64) as u64
+        }),
+        And => Action::Value(a & bv),
+        Or => Action::Value(a | bv),
+        Xor => Action::Value(a ^ bv),
+        Sll => Action::Value(a.wrapping_shl((bv & 63) as u32)),
+        Srl => Action::Value(a.wrapping_shr((bv & 63) as u32)),
+        Sra => Action::Value(((a as i64).wrapping_shr((bv & 63) as u32)) as u64),
+        Slt => Action::Value(bool64((a as i64) < (bv as i64))),
+        Sltu => Action::Value(bool64(a < bv)),
+        Seq => Action::Value(bool64(a == bv)),
+        Addi => Action::Value(a.wrapping_add(imm as u64)),
+        Andi => Action::Value(a & imm as u64),
+        Ori => Action::Value(a | imm as u64),
+        Xori => Action::Value(a ^ imm as u64),
+        Slli => Action::Value(a.wrapping_shl((imm & 63) as u32)),
+        Srli => Action::Value(a.wrapping_shr((imm & 63) as u32)),
+        Srai => Action::Value(((a as i64).wrapping_shr((imm & 63) as u32)) as u64),
+        Slti => Action::Value(bool64((a as i64) < imm)),
+        Li => Action::Value(imm as u64),
+        Mov => Action::Value(a),
+        Fadd => Action::Value(b(f(a) + f(bv))),
+        Fsub => Action::Value(b(f(a) - f(bv))),
+        Fmul => Action::Value(b(f(a) * f(bv))),
+        Fdiv => Action::Value(b(f(a) / f(bv))),
+        Fsqrt => Action::Value(b(f(a).sqrt())),
+        Fma => Action::Value(b(f(a).mul_add(f(bv), f(c)))),
+        Fneg => Action::Value(b(-f(a))),
+        Fabs => Action::Value(b(f(a).abs())),
+        Fmin => Action::Value(b(f(a).min(f(bv)))),
+        Fmax => Action::Value(b(f(a).max(f(bv)))),
+        Fmov => Action::Value(a),
+        Fli => Action::Value(imm as u64),
+        Feq => Action::Value(bool64(f(a) == f(bv))),
+        Flt => Action::Value(bool64(f(a) < f(bv))),
+        Fle => Action::Value(bool64(f(a) <= f(bv))),
+        CvtIf => Action::Value(b(a as i64 as f64)),
+        CvtFi => {
+            let x = f(a);
+            let v = if x.is_nan() {
+                0
+            } else if x >= i64::MAX as f64 {
+                i64::MAX
+            } else if x <= i64::MIN as f64 {
+                i64::MIN
+            } else {
+                x as i64
+            };
+            Action::Value(v as u64)
+        }
+        Ld | Ldw | Ldb | Fld => Action::Load {
+            ea: a.wrapping_add(imm as u64),
+            width: inst.opcode.mem_width(),
+        },
+        St | Stw | Stb | Fst => Action::Store {
+            ea: a.wrapping_add(imm as u64),
+            width: inst.opcode.mem_width(),
+            value: bv,
+        },
+        LdPost | FldPost => Action::LoadPost {
+            ea: a,
+            width: inst.opcode.mem_width(),
+            writeback: a.wrapping_add(imm as u64),
+        },
+        StPost | FstPost => Action::StorePost {
+            ea: a,
+            width: inst.opcode.mem_width(),
+            value: bv,
+            writeback: a.wrapping_add(imm as u64),
+        },
+        Beq => cond(a == bv, inst),
+        Bne => cond(a != bv, inst),
+        Blt => cond((a as i64) < (bv as i64), inst),
+        Bge => cond((a as i64) >= (bv as i64), inst),
+        Bltu => cond(a < bv, inst),
+        Bgeu => cond(a >= bv, inst),
+        Jal => Action::Branch {
+            taken: true,
+            target: inst.target as u64,
+            link: inst.dst().map(|_| pc + 1),
+        },
+        Jalr => Action::Branch {
+            taken: true,
+            target: a.wrapping_add(imm as u64),
+            link: inst.dst().map(|_| pc + 1),
+        },
+        Nop => Action::Nop,
+        Halt => Action::Halt,
+    }
+}
+
+fn cond(taken: bool, inst: &Inst) -> Action {
+    Action::Branch { taken, target: inst.target as u64, link: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reg, Inst};
+
+    fn val(action: Action) -> u64 {
+        match action {
+            Action::Value(v) => v,
+            other => panic!("expected Value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_arithmetic_wraps() {
+        let i = Inst::rrr(Opcode::Add, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&i, 0, [u64::MAX, 1, 0])), 0);
+        let m = Inst::rrr(Opcode::Mul, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&m, 0, [u64::MAX, 2, 0])), u64::MAX - 1);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let u = Inst::rrr(Opcode::Udiv, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&u, 0, [42, 0, 0])), 0);
+        let s = Inst::rrr(Opcode::Sdiv, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&s, 0, [42, 0, 0])), 0);
+    }
+
+    #[test]
+    fn signed_division_min_by_minus_one_wraps() {
+        let s = Inst::rrr(Opcode::Sdiv, reg::x(0), reg::x(1), reg::x(2));
+        let v = val(evaluate(&s, 0, [i64::MIN as u64, -1i64 as u64, 0]));
+        assert_eq!(v, i64::MIN as u64);
+    }
+
+    #[test]
+    fn comparisons() {
+        let slt = Inst::rrr(Opcode::Slt, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&slt, 0, [-1i64 as u64, 0, 0])), 1);
+        let sltu = Inst::rrr(Opcode::Sltu, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&sltu, 0, [-1i64 as u64, 0, 0])), 0);
+        let seq = Inst::rrr(Opcode::Seq, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&seq, 0, [7, 7, 0])), 1);
+    }
+
+    #[test]
+    fn shifts_mask_the_amount() {
+        let sll = Inst::rrr(Opcode::Sll, reg::x(0), reg::x(1), reg::x(2));
+        assert_eq!(val(evaluate(&sll, 0, [1, 64, 0])), 1); // 64 & 63 == 0
+        let sra = Inst::rri(Opcode::Srai, reg::x(0), reg::x(1), 1);
+        assert_eq!(val(evaluate(&sra, 0, [-4i64 as u64, 0, 0])), -2i64 as u64);
+    }
+
+    #[test]
+    fn fp_arithmetic_and_fma() {
+        let fadd = Inst::rrr(Opcode::Fadd, reg::f(0), reg::f(1), reg::f(2));
+        let v = val(evaluate(&fadd, 0, [1.5f64.to_bits(), 2.25f64.to_bits(), 0]));
+        assert_eq!(f64::from_bits(v), 3.75);
+        let fma = Inst::rrrr(Opcode::Fma, reg::f(0), reg::f(1), reg::f(2), reg::f(3));
+        let v = val(evaluate(
+            &fma,
+            0,
+            [2.0f64.to_bits(), 3.0f64.to_bits(), 1.0f64.to_bits()],
+        ));
+        assert_eq!(f64::from_bits(v), 7.0);
+    }
+
+    #[test]
+    fn fp_convert_saturates() {
+        let c = Inst::rr(Opcode::CvtFi, reg::x(0), reg::f(1));
+        assert_eq!(val(evaluate(&c, 0, [f64::NAN.to_bits(), 0, 0])), 0);
+        assert_eq!(
+            val(evaluate(&c, 0, [1e300f64.to_bits(), 0, 0])),
+            i64::MAX as u64
+        );
+        assert_eq!(
+            val(evaluate(&c, 0, [(-1e300f64).to_bits(), 0, 0])),
+            i64::MIN as u64
+        );
+        assert_eq!(val(evaluate(&c, 0, [(-3.7f64).to_bits(), 0, 0])), -3i64 as u64);
+    }
+
+    #[test]
+    fn loads_and_stores_compute_effective_addresses() {
+        let l = Inst::load(Opcode::Ldw, reg::x(0), reg::x(1), -4);
+        assert_eq!(evaluate(&l, 0, [100, 0, 0]), Action::Load { ea: 96, width: 4 });
+        let s = Inst::store(Opcode::St, reg::x(2), reg::x(1), 8);
+        assert_eq!(
+            evaluate(&s, 0, [100, 55, 0]),
+            Action::Store { ea: 108, width: 8, value: 55 }
+        );
+    }
+
+    #[test]
+    fn conditional_branch_outcomes() {
+        let mut beq = Inst::branch(Opcode::Beq, reg::x(1), reg::x(2), 0);
+        beq.target = 10;
+        assert_eq!(
+            evaluate(&beq, 3, [5, 5, 0]),
+            Action::Branch { taken: true, target: 10, link: None }
+        );
+        assert_eq!(
+            evaluate(&beq, 3, [5, 6, 0]),
+            Action::Branch { taken: false, target: 10, link: None }
+        );
+    }
+
+    #[test]
+    fn jal_links_and_jalr_indirects() {
+        let j = Inst::jal(Some(reg::lr()), 20);
+        assert_eq!(
+            evaluate(&j, 4, [0, 0, 0]),
+            Action::Branch { taken: true, target: 20, link: Some(5) }
+        );
+        let r = Inst::jalr(None, reg::lr(), 0);
+        assert_eq!(
+            evaluate(&r, 9, [5, 0, 0]),
+            Action::Branch { taken: true, target: 5, link: None }
+        );
+    }
+
+    #[test]
+    fn next_pc_rules() {
+        assert_eq!(Action::Value(1).next_pc(7), 8);
+        assert_eq!(Action::Halt.next_pc(7), 7);
+        assert_eq!(
+            Action::Branch { taken: true, target: 2, link: None }.next_pc(7),
+            2
+        );
+        assert_eq!(
+            Action::Branch { taken: false, target: 2, link: None }.next_pc(7),
+            8
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Instruction representation.
+
+use crate::{ArchReg, Opcode};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A decoded TRISC instruction.
+///
+/// `Inst` is the unit the renaming stage operates on: it exposes exactly the
+/// operand structure renaming hardware sees — at most one destination
+/// register ([`Inst::dst`]) and up to three source registers
+/// ([`Inst::sources`]). Reads of the hard-wired zero register and writes to
+/// it are filtered out of those accessors, mirroring hardware which neither
+/// renames `xzr` nor allocates storage for it.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_isa::{Inst, Opcode, reg};
+///
+/// let add = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+/// assert_eq!(add.dst(), Some(reg::x(1)));
+/// assert_eq!(add.sources().count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    /// The operation.
+    pub opcode: Opcode,
+    dst: Option<ArchReg>,
+    dst2: Option<ArchReg>,
+    srcs: [Option<ArchReg>; 3],
+    /// Immediate operand; also carries the f64 bit pattern for [`Opcode::Fli`].
+    pub imm: i64,
+    /// Direct-branch target as an instruction index (filled by the assembler).
+    pub target: u32,
+}
+
+impl Inst {
+    /// Creates an instruction from raw parts.
+    ///
+    /// Prefer the shape-specific constructors ([`Inst::rrr`], [`Inst::rri`],
+    /// …) or the [`crate::Asm`] builder; this exists for generators and
+    /// tests that need full control.
+    pub fn from_parts(
+        opcode: Opcode,
+        dst: Option<ArchReg>,
+        srcs: [Option<ArchReg>; 3],
+        imm: i64,
+        target: u32,
+    ) -> Self {
+        Inst { opcode, dst, dst2: None, srcs, imm, target }
+    }
+
+    /// Three-register instruction: `op rd, rs1, rs2`.
+    pub fn rrr(opcode: Opcode, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> Self {
+        Inst { opcode, dst: Some(rd), dst2: None, srcs: [Some(rs1), Some(rs2), None], imm: 0, target: 0 }
+    }
+
+    /// Four-register instruction: `op rd, rs1, rs2, rs3` (FMA).
+    pub fn rrrr(opcode: Opcode, rd: ArchReg, rs1: ArchReg, rs2: ArchReg, rs3: ArchReg) -> Self {
+        Inst { opcode, dst: Some(rd), dst2: None, srcs: [Some(rs1), Some(rs2), Some(rs3)], imm: 0, target: 0 }
+    }
+
+    /// Register-immediate instruction: `op rd, rs1, #imm`.
+    pub fn rri(opcode: Opcode, rd: ArchReg, rs1: ArchReg, imm: i64) -> Self {
+        Inst { opcode, dst: Some(rd), dst2: None, srcs: [Some(rs1), None, None], imm, target: 0 }
+    }
+
+    /// Two-register instruction: `op rd, rs1`.
+    pub fn rr(opcode: Opcode, rd: ArchReg, rs1: ArchReg) -> Self {
+        Inst { opcode, dst: Some(rd), dst2: None, srcs: [Some(rs1), None, None], imm: 0, target: 0 }
+    }
+
+    /// Destination-and-immediate instruction: `op rd, #imm`.
+    pub fn ri(opcode: Opcode, rd: ArchReg, imm: i64) -> Self {
+        Inst { opcode, dst: Some(rd), dst2: None, srcs: [None, None, None], imm, target: 0 }
+    }
+
+    /// Load: `op rd, [rbase + #imm]`.
+    pub fn load(opcode: Opcode, rd: ArchReg, base: ArchReg, imm: i64) -> Self {
+        debug_assert!(opcode.is_load());
+        Inst { opcode, dst: Some(rd), dst2: None, srcs: [Some(base), None, None], imm, target: 0 }
+    }
+
+    /// Store: `op rval, [rbase + #imm]`. Sources are `[base, value]`.
+    pub fn store(opcode: Opcode, value: ArchReg, base: ArchReg, imm: i64) -> Self {
+        debug_assert!(opcode.is_store());
+        Inst { opcode, dst: None, dst2: None, srcs: [Some(base), Some(value), None], imm, target: 0 }
+    }
+
+    /// Post-increment load: `op rd, [rbase], #imm` — writes `rd` and
+    /// writes back `rbase + imm` into `rbase` (second destination).
+    /// # Panics
+    ///
+    /// Panics (debug) if `rd == base` — like ARM, writeback with
+    /// `rd == rn` is not allowed.
+    pub fn load_post(opcode: Opcode, rd: ArchReg, base: ArchReg, imm: i64) -> Self {
+        debug_assert!(opcode.is_load() && opcode.is_post_increment());
+        debug_assert!(rd != base, "post-increment load with rd == base");
+        Inst {
+            opcode,
+            dst: Some(rd),
+            dst2: Some(base),
+            srcs: [Some(base), None, None],
+            imm,
+            target: 0,
+        }
+    }
+
+    /// Post-increment store: `op rval, [rbase], #imm`. Sources are
+    /// `[base, value]`; the base writeback is the only destination.
+    pub fn store_post(opcode: Opcode, value: ArchReg, base: ArchReg, imm: i64) -> Self {
+        debug_assert!(opcode.is_store() && opcode.is_post_increment());
+        Inst {
+            opcode,
+            dst: None,
+            dst2: Some(base),
+            srcs: [Some(base), Some(value), None],
+            imm,
+            target: 0,
+        }
+    }
+
+    /// Conditional branch: `op rs1, rs2, target`.
+    pub fn branch(opcode: Opcode, rs1: ArchReg, rs2: ArchReg, target: u32) -> Self {
+        debug_assert!(opcode.is_cond_branch());
+        Inst { opcode, dst: None, dst2: None, srcs: [Some(rs1), Some(rs2), None], imm: 0, target }
+    }
+
+    /// Unconditional direct jump, optionally linking.
+    pub fn jal(link: Option<ArchReg>, target: u32) -> Self {
+        Inst { opcode: Opcode::Jal, dst: link, dst2: None, srcs: [None, None, None], imm: 0, target }
+    }
+
+    /// Indirect jump to `rs1 + imm`, optionally linking.
+    pub fn jalr(link: Option<ArchReg>, rs1: ArchReg, imm: i64) -> Self {
+        Inst { opcode: Opcode::Jalr, dst: link, dst2: None, srcs: [Some(rs1), None, None], imm, target: 0 }
+    }
+
+    /// A no-operand instruction (`nop`, `halt`).
+    pub fn bare(opcode: Opcode) -> Self {
+        Inst { opcode, dst: None, dst2: None, srcs: [None, None, None], imm: 0, target: 0 }
+    }
+
+    /// The destination register the renamer must allocate storage for.
+    ///
+    /// `None` for instructions without a destination (stores, branches,
+    /// `nop`, …) and for writes to the hard-wired zero register.
+    pub fn dst(&self) -> Option<ArchReg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+
+    /// The raw destination, including the zero register (used by the
+    /// functional emulator, which must still discard the write).
+    pub fn raw_dst(&self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// The second destination: the written-back base register of a
+    /// post-increment memory operation. `None` otherwise (and for the
+    /// zero register).
+    pub fn dst2(&self) -> Option<ArchReg> {
+        self.dst2.filter(|r| !r.is_zero())
+    }
+
+    /// Source registers the renamer must map, in operand order.
+    ///
+    /// Reads of the hard-wired zero register are excluded (hardware reads a
+    /// constant zero; no dependence is created).
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied().filter(|r| !r.is_zero())
+    }
+
+    /// All source operands in positional form, including `xzr` reads.
+    pub fn raw_sources(&self) -> &[Option<ArchReg>; 3] {
+        &self.srcs
+    }
+
+    /// True when this instruction writes a destination register.
+    pub fn has_dst(&self) -> bool {
+        self.dst().is_some()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if self.opcode.is_mem() {
+            if let Some(d) = self.dst {
+                sep(f)?;
+                write!(f, "{d}")?;
+            }
+            if self.opcode.is_store() {
+                if let Some(v) = self.srcs[1] {
+                    sep(f)?;
+                    write!(f, "{v}")?;
+                }
+            }
+            if let Some(base) = self.srcs[0] {
+                sep(f)?;
+                if self.opcode.is_post_increment() {
+                    write!(f, "[{base}], #{}", self.imm)?;
+                } else {
+                    write!(f, "[{base}{:+}]", self.imm)?;
+                }
+            }
+            return Ok(());
+        }
+        if let Some(d) = self.dst {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        for s in self.srcs.iter().flatten() {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        if matches!(self.opcode, Opcode::Fli) {
+            sep(f)?;
+            write!(f, "#{}", f64::from_bits(self.imm as u64))?;
+        } else if self.imm != 0 || matches!(self.opcode, Opcode::Li | Opcode::Addi) {
+            sep(f)?;
+            write!(f, "#{}", self.imm)?;
+        }
+        if self.opcode.is_branch() && !matches!(self.opcode, Opcode::Jalr) {
+            sep(f)?;
+            write!(f, "@{}", self.target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    #[test]
+    fn dst_filters_zero_register() {
+        let i = Inst::rrr(Opcode::Add, reg::zero(), reg::x(1), reg::x(2));
+        assert_eq!(i.dst(), None);
+        assert_eq!(i.raw_dst(), Some(reg::zero()));
+        assert!(!i.has_dst());
+    }
+
+    #[test]
+    fn sources_filter_zero_register() {
+        let i = Inst::rrr(Opcode::Add, reg::x(0), reg::zero(), reg::x(2));
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![reg::x(2)]);
+    }
+
+    #[test]
+    fn store_operand_shape() {
+        let s = Inst::store(Opcode::St, reg::x(5), reg::x(6), 16);
+        assert_eq!(s.dst(), None);
+        let srcs: Vec<_> = s.sources().collect();
+        assert_eq!(srcs, vec![reg::x(6), reg::x(5)]);
+    }
+
+    #[test]
+    fn fma_has_three_sources() {
+        let i = Inst::rrrr(Opcode::Fma, reg::f(0), reg::f(1), reg::f(2), reg::f(3));
+        assert_eq!(i.sources().count(), 3);
+        assert_eq!(i.dst(), Some(reg::f(0)));
+    }
+
+    #[test]
+    fn display_load_store_and_alu() {
+        let l = Inst::load(Opcode::Ld, reg::x(1), reg::x(2), 8);
+        assert_eq!(format!("{l}"), "ld x1, [x2+8]");
+        let s = Inst::store(Opcode::St, reg::x(3), reg::x(4), -8);
+        assert_eq!(format!("{s}"), "st x3, [x4-8]");
+        let a = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        assert_eq!(format!("{a}"), "add x1, x2, x3");
+        let b = Inst::branch(Opcode::Beq, reg::x(1), reg::x(2), 42);
+        assert_eq!(format!("{b}"), "beq x1, x2, @42");
+    }
+
+    #[test]
+    fn display_immediates() {
+        let li = Inst::ri(Opcode::Li, reg::x(1), 0);
+        assert_eq!(format!("{li}"), "li x1, #0");
+        let fli = Inst::ri(Opcode::Fli, reg::f(1), 1.5f64.to_bits() as i64);
+        assert_eq!(format!("{fli}"), "fli f1, #1.5");
+    }
+
+    #[test]
+    fn jal_and_jalr_links() {
+        let j = Inst::jal(Some(reg::lr()), 7);
+        assert_eq!(j.dst(), Some(reg::lr()));
+        assert_eq!(j.target, 7);
+        let r = Inst::jalr(None, reg::lr(), 0);
+        assert_eq!(r.dst(), None);
+        assert_eq!(r.sources().count(), 1);
+    }
+}

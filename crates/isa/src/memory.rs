@@ -1,0 +1,183 @@
+//! Sparse byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, little-endian, byte-addressable 64-bit memory.
+///
+/// Pages are allocated on first touch and reads of untouched memory return
+/// zero — convenient both for program data and for wrong-path speculative
+/// loads in the timing simulator, which must never crash the host.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_isa::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x9999_0000), 0); // untouched reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory { pages: HashMap::new() }
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & OFFSET_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on first touch.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads `width` bytes (1, 4 or 8) little-endian, zero-extended to u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 4 or 8.
+    pub fn read(&self, addr: u64, width: u8) -> u64 {
+        match width {
+            1 => self.read_u8(addr) as u64,
+            4 => self.read_u32(addr) as u64,
+            8 => self.read_u64(addr),
+            w => panic!("unsupported access width: {w}"),
+        }
+    }
+
+    /// Writes the low `width` bytes (1, 4 or 8) of `value`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 4 or 8.
+    pub fn write(&mut self, addr: u64, value: u64, width: u8) {
+        match width {
+            1 => self.write_u8(addr, value as u8),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            w => panic!("unsupported access width: {w}"),
+        }
+    }
+
+    /// Reads a little-endian u32.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads an f64 stored as its bit pattern.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an f64 as its bit pattern.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut m = Memory::new();
+        m.write(100, 0xAB, 1);
+        m.write(104, 0xDEAD_BEEF, 4);
+        m.write(112, 0x0123_4567_89AB_CDEF, 8);
+        assert_eq!(m.read(100, 1), 0xAB);
+        assert_eq!(m.read(104, 4), 0xDEAD_BEEF);
+        assert_eq!(m.read(112, 8), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(3), 4);
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = Memory::new();
+        let addr = (1 << 12) - 4; // straddles the first page boundary
+        m.write_u64(addr, u64::MAX);
+        assert_eq!(m.read_u64(addr), u64::MAX);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = Memory::new();
+        m.write_f64(64, -0.5);
+        assert_eq!(m.read_f64(64), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access width")]
+    fn bad_width_panics() {
+        Memory::new().read(0, 2);
+    }
+}

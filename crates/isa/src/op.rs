@@ -1,0 +1,398 @@
+//! Opcodes and functional-unit classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Functional-unit class an opcode executes on.
+///
+/// The timing simulator maps each class to a pool of functional units with
+/// configurable latency and pipelining (see `regshare-sim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Simple integer ALU operations (also `nop` and `halt`).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (unpipelined in the default configuration).
+    IntDiv,
+    /// Floating-point add/sub/compare/convert/move.
+    FpAlu,
+    /// Floating-point multiply and fused multiply-add.
+    FpMul,
+    /// Floating-point divide and square root.
+    FpDiv,
+    /// Memory load (int or fp).
+    Load,
+    /// Memory store (int or fp).
+    Store,
+    /// Control transfer (conditional branches, jumps, calls, returns).
+    Branch,
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAlu => "fp-alu",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// All TRISC opcodes.
+///
+/// Operand shapes (destination, sources, immediate, branch target) are
+/// carried by [`crate::Inst`]; the opcode only selects the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    // ---- integer register-register ----
+    /// `rd = rs1 + rs2`
+    Add,
+    /// `rd = rs1 - rs2`
+    Sub,
+    /// `rd = rs1 * rs2` (low 64 bits)
+    Mul,
+    /// `rd = rs1 / rs2` unsigned; division by zero yields 0 (ARM semantics)
+    Udiv,
+    /// `rd = rs1 / rs2` signed; division by zero yields 0
+    Sdiv,
+    /// `rd = rs1 & rs2`
+    And,
+    /// `rd = rs1 | rs2`
+    Or,
+    /// `rd = rs1 ^ rs2`
+    Xor,
+    /// `rd = rs1 << (rs2 & 63)`
+    Sll,
+    /// `rd = rs1 >> (rs2 & 63)` logical
+    Srl,
+    /// `rd = rs1 >> (rs2 & 63)` arithmetic
+    Sra,
+    /// `rd = (rs1 <s rs2) ? 1 : 0`
+    Slt,
+    /// `rd = (rs1 <u rs2) ? 1 : 0`
+    Sltu,
+    /// `rd = (rs1 == rs2) ? 1 : 0`
+    Seq,
+    // ---- integer register-immediate ----
+    /// `rd = rs1 + imm`
+    Addi,
+    /// `rd = rs1 & imm`
+    Andi,
+    /// `rd = rs1 | imm`
+    Ori,
+    /// `rd = rs1 ^ imm`
+    Xori,
+    /// `rd = rs1 << (imm & 63)`
+    Slli,
+    /// `rd = rs1 >> (imm & 63)` logical
+    Srli,
+    /// `rd = rs1 >> (imm & 63)` arithmetic
+    Srai,
+    /// `rd = (rs1 <s imm) ? 1 : 0`
+    Slti,
+    /// `rd = imm` (load immediate)
+    Li,
+    /// `rd = rs1` (integer register move)
+    Mov,
+    // ---- floating point ----
+    /// `fd = fs1 + fs2`
+    Fadd,
+    /// `fd = fs1 - fs2`
+    Fsub,
+    /// `fd = fs1 * fs2`
+    Fmul,
+    /// `fd = fs1 / fs2`
+    Fdiv,
+    /// `fd = sqrt(fs1)`
+    Fsqrt,
+    /// `fd = fs1 * fs2 + fs3` (fused)
+    Fma,
+    /// `fd = -fs1`
+    Fneg,
+    /// `fd = |fs1|`
+    Fabs,
+    /// `fd = min(fs1, fs2)`
+    Fmin,
+    /// `fd = max(fs1, fs2)`
+    Fmax,
+    /// `fd = fs1` (fp register move)
+    Fmov,
+    /// `fd = imm` (f64 bit pattern carried in the immediate)
+    Fli,
+    /// `fd = (f64) rs1` — signed int to fp conversion
+    CvtIf,
+    /// `rd = (i64) fs1` — fp to signed int, truncating; saturates on overflow
+    CvtFi,
+    /// `rd = (fs1 == fs2) ? 1 : 0`
+    Feq,
+    /// `rd = (fs1 < fs2) ? 1 : 0`
+    Flt,
+    /// `rd = (fs1 <= fs2) ? 1 : 0`
+    Fle,
+    // ---- memory ----
+    /// `rd = mem64[rs1 + imm]`
+    Ld,
+    /// `rd = zext(mem32[rs1 + imm])`
+    Ldw,
+    /// `rd = zext(mem8[rs1 + imm])`
+    Ldb,
+    /// `mem64[rs1 + imm] = rs2`
+    St,
+    /// `mem32[rs1 + imm] = rs2[31:0]`
+    Stw,
+    /// `mem8[rs1 + imm] = rs2[7:0]`
+    Stb,
+    /// `fd = mem64[rs1 + imm]` (fp load)
+    Fld,
+    /// `mem64[rs1 + imm] = fs2` (fp store)
+    Fst,
+    /// `rd = mem64[rs1]; rs1 += imm` — post-increment load (ARM-style
+    /// writeback addressing; the base register is a second destination)
+    LdPost,
+    /// `fd = mem64[rs1]; rs1 += imm` — post-increment fp load
+    FldPost,
+    /// `mem64[rs1] = rs2; rs1 += imm` — post-increment store
+    StPost,
+    /// `mem64[rs1] = fs2; rs1 += imm` — post-increment fp store
+    FstPost,
+    // ---- control ----
+    /// branch to target if `rs1 == rs2`
+    Beq,
+    /// branch to target if `rs1 != rs2`
+    Bne,
+    /// branch to target if `rs1 <s rs2`
+    Blt,
+    /// branch to target if `rs1 >=s rs2`
+    Bge,
+    /// branch to target if `rs1 <u rs2`
+    Bltu,
+    /// branch to target if `rs1 >=u rs2`
+    Bgeu,
+    /// unconditional jump to target; optionally links return address into `rd`
+    Jal,
+    /// indirect jump to `rs1 + imm`; optionally links return address into `rd`
+    Jalr,
+    // ---- misc ----
+    /// no operation
+    Nop,
+    /// stop the machine
+    Halt,
+}
+
+impl Opcode {
+    /// The functional-unit class this opcode executes on.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq | Addi | Andi
+            | Ori | Xori | Slli | Srli | Srai | Slti | Li | Mov | Nop | Halt => OpClass::IntAlu,
+            Mul => OpClass::IntMul,
+            Udiv | Sdiv => OpClass::IntDiv,
+            Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Fmov | Fli | CvtIf | CvtFi | Feq | Flt
+            | Fle => OpClass::FpAlu,
+            Fmul | Fma => OpClass::FpMul,
+            Fdiv | Fsqrt => OpClass::FpDiv,
+            Ld | Ldw | Ldb | Fld | LdPost | FldPost => OpClass::Load,
+            St | Stw | Stb | Fst | StPost | FstPost => OpClass::Store,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | Jal | Jalr => OpClass::Branch,
+        }
+    }
+
+    /// True for conditional branches.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu
+        )
+    }
+
+    /// True for any control-transfer instruction.
+    pub fn is_branch(self) -> bool {
+        self.class() == OpClass::Branch
+    }
+
+    /// True for loads.
+    pub fn is_load(self) -> bool {
+        self.class() == OpClass::Load
+    }
+
+    /// True for stores.
+    pub fn is_store(self) -> bool {
+        self.class() == OpClass::Store
+    }
+
+    /// True for any memory access.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// True for post-increment memory operations (base-register
+    /// writeback).
+    pub fn is_post_increment(self) -> bool {
+        matches!(self, Opcode::LdPost | Opcode::FldPost | Opcode::StPost | Opcode::FstPost)
+    }
+
+    /// The access size in bytes for memory operations, 0 otherwise.
+    pub fn mem_width(self) -> u8 {
+        match self {
+            Opcode::Ld
+            | Opcode::St
+            | Opcode::Fld
+            | Opcode::Fst
+            | Opcode::LdPost
+            | Opcode::FldPost
+            | Opcode::StPost
+            | Opcode::FstPost => 8,
+            Opcode::Ldw | Opcode::Stw => 4,
+            Opcode::Ldb | Opcode::Stb => 1,
+            _ => 0,
+        }
+    }
+
+    /// The mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Udiv => "udiv",
+            Sdiv => "sdiv",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Seq => "seq",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Slti => "slti",
+            Li => "li",
+            Mov => "mov",
+            Fadd => "fadd",
+            Fsub => "fsub",
+            Fmul => "fmul",
+            Fdiv => "fdiv",
+            Fsqrt => "fsqrt",
+            Fma => "fma",
+            Fneg => "fneg",
+            Fabs => "fabs",
+            Fmin => "fmin",
+            Fmax => "fmax",
+            Fmov => "fmov",
+            Fli => "fli",
+            CvtIf => "cvt.i.f",
+            CvtFi => "cvt.f.i",
+            Feq => "feq",
+            Flt => "flt",
+            Fle => "fle",
+            Ld => "ld",
+            Ldw => "ldw",
+            Ldb => "ldb",
+            St => "st",
+            Stw => "stw",
+            Stb => "stb",
+            Fld => "fld",
+            Fst => "fst",
+            LdPost => "ld.post",
+            FldPost => "fld.post",
+            StPost => "st.post",
+            FstPost => "fst.post",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Jal => "jal",
+            Jalr => "jalr",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_consistent() {
+        assert_eq!(Opcode::Add.class(), OpClass::IntAlu);
+        assert_eq!(Opcode::Mul.class(), OpClass::IntMul);
+        assert_eq!(Opcode::Sdiv.class(), OpClass::IntDiv);
+        assert_eq!(Opcode::Fadd.class(), OpClass::FpAlu);
+        assert_eq!(Opcode::Fma.class(), OpClass::FpMul);
+        assert_eq!(Opcode::Fsqrt.class(), OpClass::FpDiv);
+        assert_eq!(Opcode::Fld.class(), OpClass::Load);
+        assert_eq!(Opcode::Stb.class(), OpClass::Store);
+        assert_eq!(Opcode::Jalr.class(), OpClass::Branch);
+    }
+
+    #[test]
+    fn branch_predicates() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::Beq.is_branch());
+        assert!(Opcode::Jal.is_branch());
+        assert!(!Opcode::Jal.is_cond_branch());
+        assert!(!Opcode::Add.is_branch());
+    }
+
+    #[test]
+    fn memory_predicates_and_widths() {
+        assert!(Opcode::Ld.is_load());
+        assert!(Opcode::Fst.is_store());
+        assert!(Opcode::Ldb.is_mem());
+        assert_eq!(Opcode::Ld.mem_width(), 8);
+        assert_eq!(Opcode::Stw.mem_width(), 4);
+        assert_eq!(Opcode::Ldb.mem_width(), 1);
+        assert_eq!(Opcode::Add.mem_width(), 0);
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_nonempty() {
+        use std::collections::HashSet;
+        let ops = [
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::Fma,
+            Opcode::Ld,
+            Opcode::St,
+            Opcode::Beq,
+            Opcode::Halt,
+            Opcode::Nop,
+            Opcode::Fli,
+        ];
+        let set: HashSet<&str> = ops.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), ops.len());
+        assert!(ops.iter().all(|o| !o.mnemonic().is_empty()));
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(format!("{}", Opcode::CvtIf), "cvt.i.f");
+    }
+}

@@ -1,0 +1,153 @@
+//! Architectural (logical) registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer logical registers (including the hard-wired zero).
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point logical registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Index of the hard-wired zero integer register.
+pub(crate) const ZERO_REG: u8 = 31;
+
+/// The register file class a logical register belongs to.
+///
+/// The paper evaluates decoupled integer and floating-point register files
+/// (§VI-B); every renaming structure is instantiated per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// 64-bit integer registers `x0..x31`.
+    Int,
+    /// 64-bit floating-point registers `f0..f31`.
+    Fp,
+}
+
+impl RegClass {
+    /// Both register classes, in a fixed order.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Fp];
+
+    /// Number of logical registers in this class.
+    pub fn num_regs(self) -> usize {
+        match self {
+            RegClass::Int => NUM_INT_REGS,
+            RegClass::Fp => NUM_FP_REGS,
+        }
+    }
+
+    /// A compact index (0 for int, 1 for fp) for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => f.write_str("int"),
+            RegClass::Fp => f.write_str("fp"),
+        }
+    }
+}
+
+/// An architectural (logical) register: a class plus an index.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_isa::{ArchReg, RegClass};
+///
+/// let r = ArchReg::new(RegClass::Int, 5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "x5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the class.
+    pub fn new(class: RegClass, index: u8) -> Self {
+        assert!(
+            (index as usize) < class.num_regs(),
+            "register index {index} out of range for {class} class"
+        );
+        ArchReg { class, index }
+    }
+
+    /// The register file class.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the class.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// True for the hard-wired zero integer register `x31`.
+    pub fn is_zero(self) -> bool {
+        self.class == RegClass::Int && self.index == ZERO_REG
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int if self.index == ZERO_REG => f.write_str("xzr"),
+            RegClass::Int => write!(f, "x{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes() {
+        assert_eq!(RegClass::Int.num_regs(), 32);
+        assert_eq!(RegClass::Fp.num_regs(), 32);
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Fp.index(), 1);
+    }
+
+    #[test]
+    fn constructs_and_displays() {
+        let r = ArchReg::new(RegClass::Fp, 7);
+        assert_eq!(format!("{r}"), "f7");
+        assert_eq!(format!("{}", ArchReg::new(RegClass::Int, 31)), "xzr");
+        assert_eq!(format!("{}", ArchReg::new(RegClass::Int, 0)), "x0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_index() {
+        ArchReg::new(RegClass::Int, 32);
+    }
+
+    #[test]
+    fn zero_register_detection() {
+        assert!(ArchReg::new(RegClass::Int, 31).is_zero());
+        assert!(!ArchReg::new(RegClass::Fp, 31).is_zero());
+        assert!(!ArchReg::new(RegClass::Int, 0).is_zero());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a = ArchReg::new(RegClass::Int, 1);
+        let b = ArchReg::new(RegClass::Int, 2);
+        let c = ArchReg::new(RegClass::Fp, 0);
+        assert!(a < b);
+        assert!(b < c); // Int sorts before Fp
+    }
+}

@@ -1,0 +1,160 @@
+//! Table-driven semantics coverage: every TRISC opcode executes on the
+//! functional machine with a known expected result.
+
+use regshare_isa::{reg, Asm, Machine};
+
+/// Runs a tiny program and returns the final value of `x10` / `f10`.
+fn run_int(build: impl FnOnce(&mut Asm)) -> u64 {
+    let mut a = Asm::new();
+    build(&mut a);
+    a.halt();
+    let mut m = Machine::new(a.assemble());
+    m.run(1_000).expect("program runs");
+    m.int_reg(reg::x(10))
+}
+
+fn run_fp(build: impl FnOnce(&mut Asm)) -> f64 {
+    let mut a = Asm::new();
+    build(&mut a);
+    a.halt();
+    let mut m = Machine::new(a.assemble());
+    m.run(1_000).expect("program runs");
+    m.fp_reg(reg::f(10))
+}
+
+#[test]
+fn integer_register_register_ops() {
+    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, u64)> = vec![
+        ("add", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.add(reg::x(10), reg::x(1), reg::x(2)); }), 12),
+        ("sub", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.sub(reg::x(10), reg::x(1), reg::x(2)); }), 2),
+        ("mul", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.mul(reg::x(10), reg::x(1), reg::x(2)); }), 35),
+        ("udiv", Box::new(|a: &mut Asm| { a.li(reg::x(1), 37); a.li(reg::x(2), 5); a.udiv(reg::x(10), reg::x(1), reg::x(2)); }), 7),
+        ("sdiv", Box::new(|a: &mut Asm| { a.li(reg::x(1), -37); a.li(reg::x(2), 5); a.sdiv(reg::x(10), reg::x(1), reg::x(2)); }), (-7i64) as u64),
+        ("and", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0b1100); a.li(reg::x(2), 0b1010); a.and(reg::x(10), reg::x(1), reg::x(2)); }), 0b1000),
+        ("or", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0b1100); a.li(reg::x(2), 0b1010); a.or(reg::x(10), reg::x(1), reg::x(2)); }), 0b1110),
+        ("xor", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0b1100); a.li(reg::x(2), 0b1010); a.xor(reg::x(10), reg::x(1), reg::x(2)); }), 0b0110),
+        ("sll", Box::new(|a: &mut Asm| { a.li(reg::x(1), 3); a.li(reg::x(2), 4); a.sll(reg::x(10), reg::x(1), reg::x(2)); }), 48),
+        ("srl", Box::new(|a: &mut Asm| { a.li(reg::x(1), 48); a.li(reg::x(2), 4); a.srl(reg::x(10), reg::x(1), reg::x(2)); }), 3),
+        ("sra", Box::new(|a: &mut Asm| { a.li(reg::x(1), -48); a.li(reg::x(2), 4); a.sra(reg::x(10), reg::x(1), reg::x(2)); }), (-3i64) as u64),
+        ("slt", Box::new(|a: &mut Asm| { a.li(reg::x(1), -1); a.li(reg::x(2), 1); a.slt(reg::x(10), reg::x(1), reg::x(2)); }), 1),
+        ("sltu", Box::new(|a: &mut Asm| { a.li(reg::x(1), -1); a.li(reg::x(2), 1); a.sltu(reg::x(10), reg::x(1), reg::x(2)); }), 0),
+        ("seq", Box::new(|a: &mut Asm| { a.li(reg::x(1), 4); a.li(reg::x(2), 4); a.seq(reg::x(10), reg::x(1), reg::x(2)); }), 1),
+    ];
+    for (name, build, expected) in cases {
+        assert_eq!(run_int(build), expected, "{name}");
+    }
+}
+
+#[test]
+fn integer_immediate_ops() {
+    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, u64)> = vec![
+        ("addi", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.addi(reg::x(10), reg::x(1), -3); }), 4),
+        ("andi", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xFF); a.andi(reg::x(10), reg::x(1), 0x0F); }), 0x0F),
+        ("ori", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xF0); a.ori(reg::x(10), reg::x(1), 0x0F); }), 0xFF),
+        ("xori", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xFF); a.xori(reg::x(10), reg::x(1), 0x0F); }), 0xF0),
+        ("slli", Box::new(|a: &mut Asm| { a.li(reg::x(1), 1); a.slli(reg::x(10), reg::x(1), 10); }), 1024),
+        ("srli", Box::new(|a: &mut Asm| { a.li(reg::x(1), 1024); a.srli(reg::x(10), reg::x(1), 10); }), 1),
+        ("srai", Box::new(|a: &mut Asm| { a.li(reg::x(1), -1024); a.srai(reg::x(10), reg::x(1), 10); }), (-1i64) as u64),
+        ("slti", Box::new(|a: &mut Asm| { a.li(reg::x(1), -5); a.slti(reg::x(10), reg::x(1), 0); }), 1),
+        ("mov", Box::new(|a: &mut Asm| { a.li(reg::x(1), 42); a.mov(reg::x(10), reg::x(1)); }), 42),
+    ];
+    for (name, build, expected) in cases {
+        assert_eq!(run_int(build), expected, "{name}");
+    }
+}
+
+#[test]
+fn floating_point_ops() {
+    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, f64)> = vec![
+        ("fadd", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.25); a.fadd(reg::f(10), reg::f(1), reg::f(2)); }), 3.75),
+        ("fsub", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.25); a.fsub(reg::f(10), reg::f(1), reg::f(2)); }), -0.75),
+        ("fmul", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.0); a.fmul(reg::f(10), reg::f(1), reg::f(2)); }), 3.0),
+        ("fdiv", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 3.0); a.fli(reg::f(2), 2.0); a.fdiv(reg::f(10), reg::f(1), reg::f(2)); }), 1.5),
+        ("fsqrt", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 9.0); a.fsqrt(reg::f(10), reg::f(1)); }), 3.0),
+        ("fma", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 3.0); a.fli(reg::f(3), 1.0); a.fma(reg::f(10), reg::f(1), reg::f(2), reg::f(3)); }), 7.0),
+        ("fneg", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fneg(reg::f(10), reg::f(1)); }), -2.0),
+        ("fabs", Box::new(|a: &mut Asm| { a.fli(reg::f(1), -2.0); a.fabs(reg::f(10), reg::f(1)); }), 2.0),
+        ("fmin", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.0); a.fli(reg::f(2), 2.0); a.fmin(reg::f(10), reg::f(1), reg::f(2)); }), 1.0),
+        ("fmax", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.0); a.fli(reg::f(2), 2.0); a.fmax(reg::f(10), reg::f(1), reg::f(2)); }), 2.0),
+        ("fmov", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 5.5); a.fmov(reg::f(10), reg::f(1)); }), 5.5),
+        ("cvt.i.f", Box::new(|a: &mut Asm| { a.li(reg::x(1), -3); a.cvt_i_f(reg::f(10), reg::x(1)); }), -3.0),
+    ];
+    for (name, build, expected) in cases {
+        assert_eq!(run_fp(build), expected, "{name}");
+    }
+}
+
+#[test]
+fn fp_compares_and_convert_to_int() {
+    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, u64)> = vec![
+        ("feq", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 2.0); a.feq(reg::x(10), reg::f(1), reg::f(2)); }), 1),
+        ("flt", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.0); a.fli(reg::f(2), 2.0); a.flt(reg::x(10), reg::f(1), reg::f(2)); }), 1),
+        ("fle", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 2.0); a.fle(reg::x(10), reg::f(1), reg::f(2)); }), 1),
+        ("cvt.f.i", Box::new(|a: &mut Asm| { a.fli(reg::f(1), -3.9); a.cvt_f_i(reg::x(10), reg::f(1)); }), (-3i64) as u64),
+    ];
+    for (name, build, expected) in cases {
+        assert_eq!(run_int(build), expected, "{name}");
+    }
+}
+
+#[test]
+fn memory_widths_and_post_increment() {
+    let got = run_int(|a| {
+        a.li(reg::x(1), 0x9000);
+        a.li(reg::x(2), 0x1122_3344_5566_7788u64 as i64);
+        a.st(reg::x(2), reg::x(1), 0);
+        a.stw(reg::x(2), reg::x(1), 8);
+        a.stb(reg::x(2), reg::x(1), 12);
+        a.ldb(reg::x(3), reg::x(1), 12); // 0x88
+        a.ldw(reg::x(4), reg::x(1), 8); // 0x55667788
+        a.ld(reg::x(5), reg::x(1), 0); // full word
+        a.ld_post(reg::x(6), reg::x(1), 8); // full word again, x1 += 8
+        a.st_post(reg::x(3), reg::x(1), 8); // store 0x88 at 0x9008, x1 += 8
+        a.add(reg::x(10), reg::x(3), reg::x(4));
+        a.add(reg::x(10), reg::x(10), reg::x(1)); // x1 is now 0x9010
+    });
+    assert_eq!(got, 0x88 + 0x5566_7788 + 0x9010);
+}
+
+#[test]
+fn all_branch_variants_take_and_fall_through() {
+    // Each branch opcode tested in both directions via an accumulator.
+    let got = run_int(|a| {
+        a.li(reg::x(1), 1);
+        a.li(reg::x(2), 2);
+        a.li(reg::x(10), 0);
+        // beq taken path adds nothing, bne taken adds 1, etc.
+        let l1 = a.label();
+        a.beq(reg::x(1), reg::x(1), l1); // taken
+        a.addi(reg::x(10), reg::x(10), 100); // skipped
+        a.bind(l1);
+        let l2 = a.label();
+        a.bne(reg::x(1), reg::x(2), l2); // taken
+        a.addi(reg::x(10), reg::x(10), 100); // skipped
+        a.bind(l2);
+        let l3 = a.label();
+        a.blt(reg::x(1), reg::x(2), l3); // taken (1 < 2)
+        a.addi(reg::x(10), reg::x(10), 100);
+        a.bind(l3);
+        let l4 = a.label();
+        a.bge(reg::x(2), reg::x(1), l4); // taken
+        a.addi(reg::x(10), reg::x(10), 100);
+        a.bind(l4);
+        let l5 = a.label();
+        a.li(reg::x(3), -1); // unsigned max
+        a.bltu(reg::x(1), reg::x(3), l5); // taken (1 <u max)
+        a.addi(reg::x(10), reg::x(10), 100);
+        a.bind(l5);
+        let l6 = a.label();
+        a.bgeu(reg::x(3), reg::x(1), l6); // taken
+        a.addi(reg::x(10), reg::x(10), 100);
+        a.bind(l6);
+        // Fall-through cases: none of these branch.
+        let l7 = a.label();
+        a.beq(reg::x(1), reg::x(2), l7);
+        a.addi(reg::x(10), reg::x(10), 1); // executed
+        a.bind(l7);
+        a.nop();
+    });
+    assert_eq!(got, 1);
+}

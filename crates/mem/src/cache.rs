@@ -1,0 +1,236 @@
+//! Set-associative write-back cache timing model.
+
+use regshare_stats::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (a power of two).
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// `assoc × line` frames, or non-power-of-two sets/line).
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let frames = self.size_bytes / self.line_bytes;
+        assert!(
+            frames % self.assoc == 0 && frames > 0,
+            "cache geometry inconsistent: {} bytes / {}B lines / {} ways",
+            self.size_bytes,
+            self.line_bytes,
+            self.assoc
+        );
+        let sets = frames / self.assoc;
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        sets
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-allocate, write-back cache with true LRU.
+///
+/// This is a timing/occupancy model: it tracks which line addresses are
+/// resident, not their contents.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new("l1d", CacheConfig {
+///     size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 1,
+/// });
+/// assert!(!c.access(0x40, false)); // cold miss
+/// assert!(c.access(0x40, false));  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stamp: u64,
+    hits: Ratio,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::num_sets`]).
+    pub fn new(name: impl Into<String>, config: CacheConfig) -> Self {
+        let sets = vec![vec![Line::default(); config.assoc]; config.num_sets()];
+        Cache { config, sets, stamp: 0, hits: Ratio::new(name), writebacks: 0 }
+    }
+
+    #[inline]
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line as usize) & (self.sets.len() - 1);
+        (set, line)
+    }
+
+    /// Looks up `addr`; on a miss the line is filled (allocated). Returns
+    /// whether the access hit.
+    ///
+    /// `is_write` marks the line dirty; evicting a dirty line counts a
+    /// writeback.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.stamp += 1;
+        let (set_idx, tag) = self.index_tag(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.stamp;
+            line.dirty |= is_write;
+            self.hits.record(true);
+            return true;
+        }
+        self.hits.record(false);
+        self.fill_line(set_idx, tag, is_write);
+        false
+    }
+
+    /// Checks residency without updating any state (probe).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index_tag(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Inserts the line containing `addr` without counting a demand access
+    /// (used for prefetch fills). Returns `true` if the line was newly
+    /// installed.
+    pub fn fill(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let (set_idx, tag) = self.index_tag(addr);
+        if self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag) {
+            return false;
+        }
+        self.fill_line(set_idx, tag, false);
+        true
+    }
+
+    fn fill_line(&mut self, set_idx: usize, tag: u64, dirty: bool) {
+        let stamp = self.stamp;
+        let set = &mut self.sets[set_idx];
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("cache sets are never empty");
+        if victim.valid && victim.dirty {
+            self.writebacks += 1;
+        }
+        *victim = Line { tag, valid: true, dirty, lru: stamp };
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.config.latency
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hit-rate statistics.
+    pub fn hit_ratio(&self) -> &Ratio {
+        &self.hits
+    }
+
+    /// Number of dirty evictions so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64B lines.
+        Cache::new("t", CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn geometry_computation() {
+        let c = CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_bytes: 64, latency: 1 };
+        assert_eq!(c.num_sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry inconsistent")]
+    fn bad_geometry_panics() {
+        CacheConfig { size_bytes: 100, assoc: 3, line_bytes: 64, latency: 1 }.num_sets();
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0, false));
+        assert!(c.access(0, false));
+        assert!(c.access(63, false)); // same line
+        assert!(!c.access(64, false)); // next line, different set
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line index % 2 == 0): addresses 0, 128, 256...
+        c.access(0, false);
+        c.access(128, false);
+        c.access(0, false); // touch 0 again; 128 is now LRU
+        c.access(256, false); // evicts 128
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty
+        c.access(128, false);
+        c.access(256, false); // evicts 0 (dirty)
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn prefetch_fill_does_not_count_as_demand_access() {
+        let mut c = tiny();
+        assert!(c.fill(0));
+        assert!(!c.fill(0)); // already resident
+        assert_eq!(c.hit_ratio().total(), 0);
+        assert!(c.access(0, false)); // demand access now hits
+    }
+
+    #[test]
+    fn hit_ratio_tracks_accesses() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, false);
+        assert_eq!(c.hit_ratio().hits(), 1);
+        assert_eq!(c.hit_ratio().total(), 2);
+    }
+}

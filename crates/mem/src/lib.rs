@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Timing models for the memory system of the `regshare` simulator.
+//!
+//! This crate provides the latency side of the memory system described in
+//! Table I of the paper: split L1 instruction/data caches, a unified L2, a
+//! stride prefetcher, a fully-associative TLB with page-walk latency and
+//! fault injection, and a DDR3-like DRAM with open-row bank state.
+//!
+//! These are *timing* models: data values live in
+//! [`regshare_isa::Memory`](../regshare_isa/struct.Memory.html); this crate
+//! only answers "how many cycles does this access take?" and keeps hit/miss
+//! statistics. Keeping timing and values separate lets the out-of-order core
+//! speculate down wrong paths without corrupting timing state in
+//! unrealistic ways.
+//!
+//! # Examples
+//!
+//! ```
+//! use regshare_mem::{HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! let cold = mem.access_data(0x40, 0x1000, false, 0);
+//! let warm = mem.access_data(0x40, 0x1000, false, cold as u64);
+//! assert!(cold > warm); // second access hits in L1
+//! ```
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod prefetch;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{DataAccess, HierarchyConfig, MemoryHierarchy};
+pub use prefetch::{StridePrefetcher, StridePrefetcherConfig};
+pub use tlb::{Tlb, TlbConfig, Translation};

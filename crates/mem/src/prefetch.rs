@@ -1,0 +1,170 @@
+//! PC-indexed stride prefetcher (degree 1, as in Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Stride-prefetcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StridePrefetcherConfig {
+    /// Number of PC-indexed tracking entries (a power of two).
+    pub entries: usize,
+    /// Prefetch degree: how many strides ahead to fetch.
+    pub degree: u32,
+}
+
+impl Default for StridePrefetcherConfig {
+    fn default() -> Self {
+        StridePrefetcherConfig { entries: 64, degree: 1 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    pc_tag: u64,
+    last_addr: u64,
+    stride: i64,
+    confident: bool,
+    valid: bool,
+}
+
+/// A classic per-PC stride prefetcher.
+///
+/// Each load PC gets a table entry recording its last address and stride.
+/// Two consecutive accesses with the same stride make the entry confident;
+/// confident entries emit prefetch addresses `degree` strides ahead.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_mem::{StridePrefetcher, StridePrefetcherConfig};
+///
+/// let mut p = StridePrefetcher::new(StridePrefetcherConfig::default());
+/// assert!(p.observe(0x40, 0x1000).is_empty());
+/// assert!(p.observe(0x40, 0x1008).is_empty());       // stride learned
+/// assert_eq!(p.observe(0x40, 0x1010), vec![0x1018]); // now confident
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    config: StridePrefetcherConfig,
+    table: Vec<Entry>,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    /// Creates an empty prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(config: StridePrefetcherConfig) -> Self {
+        assert!(config.entries.is_power_of_two(), "prefetcher entries must be a power of two");
+        StridePrefetcher { config, table: vec![Entry::default(); config.entries], issued: 0 }
+    }
+
+    /// Observes a demand access by the load at `pc` to `addr`; returns the
+    /// prefetch addresses to issue (empty until a stable stride is seen).
+    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        let idx = (pc as usize) & (self.table.len() - 1);
+        let entry = &mut self.table[idx];
+        let mut out = Vec::new();
+        if entry.valid && entry.pc_tag == pc {
+            let stride = addr.wrapping_sub(entry.last_addr) as i64;
+            if stride == entry.stride && stride != 0 {
+                entry.confident = true;
+            } else {
+                entry.confident = false;
+                entry.stride = stride;
+            }
+            entry.last_addr = addr;
+            if entry.confident {
+                for d in 1..=self.config.degree as i64 {
+                    let target = addr.wrapping_add((entry.stride * d) as u64);
+                    out.push(target);
+                }
+                self.issued += out.len() as u64;
+            }
+        } else {
+            *entry = Entry { pc_tag: pc, last_addr: addr, stride: 0, confident: false, valid: true };
+        }
+        out
+    }
+
+    /// Number of prefetches issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> StridePrefetcher {
+        StridePrefetcher::new(StridePrefetcherConfig::default())
+    }
+
+    #[test]
+    fn needs_two_identical_strides_before_prefetching() {
+        let mut p = pf();
+        assert!(p.observe(1, 100).is_empty());
+        assert!(p.observe(1, 108).is_empty());
+        assert_eq!(p.observe(1, 116), vec![124]);
+        assert_eq!(p.issued(), 1);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = pf();
+        p.observe(1, 100);
+        p.observe(1, 108);
+        p.observe(1, 116);
+        assert!(p.observe(1, 200).is_empty()); // irregular jump
+        assert!(p.observe(1, 208).is_empty()); // relearn
+        assert_eq!(p.observe(1, 216), vec![224]);
+    }
+
+    #[test]
+    fn negative_strides_work() {
+        let mut p = pf();
+        p.observe(1, 1000);
+        p.observe(1, 992);
+        assert_eq!(p.observe(1, 984), vec![976]);
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut p = pf();
+        for _ in 0..5 {
+            assert!(p.observe(1, 64).is_empty());
+        }
+    }
+
+    #[test]
+    fn distinct_pcs_track_independently() {
+        let mut p = pf();
+        p.observe(1, 0);
+        p.observe(2, 1000);
+        p.observe(1, 8);
+        p.observe(2, 1004);
+        assert_eq!(p.observe(1, 16), vec![24]);
+        assert_eq!(p.observe(2, 1008), vec![1012]);
+    }
+
+    #[test]
+    fn degree_two_issues_two_prefetches() {
+        let mut p =
+            StridePrefetcher::new(StridePrefetcherConfig { entries: 64, degree: 2 });
+        p.observe(1, 0);
+        p.observe(1, 8);
+        assert_eq!(p.observe(1, 16), vec![24, 32]);
+    }
+
+    #[test]
+    fn table_conflict_evicts_old_pc() {
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig { entries: 1, degree: 1 });
+        p.observe(1, 0);
+        p.observe(1, 8);
+        p.observe(2, 50); // evicts pc=1
+        p.observe(1, 16); // reallocates, no confidence
+        assert!(p.observe(1, 24).is_empty());
+    }
+}

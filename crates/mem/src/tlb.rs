@@ -1,0 +1,213 @@
+//! Fully-associative TLB with page-walk latency and page-fault injection.
+
+use regshare_stats::Ratio;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// TLB configuration.
+///
+/// Defaults model the paper's 48-entry fully-associative L1 TLB; the walk
+/// penalty abstracts the hardware page-table walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: usize,
+    /// Page size in bytes (a power of two).
+    pub page_bytes: u64,
+    /// Extra latency of a TLB miss (page-table walk), in cycles.
+    pub walk_latency: u32,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig { entries: 48, page_bytes: 4096, walk_latency: 30 }
+    }
+}
+
+/// Result of a TLB translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translation {
+    /// Mapping present; no extra latency.
+    Hit,
+    /// Mapping filled by a page walk; pay the walk latency.
+    Miss {
+        /// Cycles spent walking the page table.
+        walk_latency: u32,
+    },
+    /// The page is configured to fault; the access must raise a precise
+    /// exception.
+    Fault,
+}
+
+/// A fully-associative, LRU translation look-aside buffer.
+///
+/// Pages registered with [`Tlb::inject_fault`] report [`Translation::Fault`]
+/// on their next access and are then automatically "repaired" (the fault
+/// set is one-shot) — this is the hook the test suite uses to exercise
+/// precise-exception recovery in the renaming schemes.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_mem::{Tlb, TlbConfig};
+/// use regshare_mem::Translation;
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// assert!(matches!(tlb.translate(0x1000), Translation::Miss { .. }));
+/// assert_eq!(tlb.translate(0x1008), Translation::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// (page number, lru stamp)
+    entries: Vec<(u64, u64)>,
+    stamp: u64,
+    hits: Ratio,
+    faulting_pages: HashSet<u64>,
+    faults_taken: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two or `entries` is 0.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(config.entries > 0, "TLB must have at least one entry");
+        Tlb {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            stamp: 0,
+            hits: Ratio::new("tlb"),
+            faulting_pages: HashSet::new(),
+            faults_taken: 0,
+        }
+    }
+
+    fn page_of(&self, addr: u64) -> u64 {
+        addr / self.config.page_bytes
+    }
+
+    /// Marks the page containing `addr` to fault on its next access.
+    pub fn inject_fault(&mut self, addr: u64) {
+        self.faulting_pages.insert(self.page_of(addr));
+    }
+
+    /// Checks whether the page containing `addr` would fault, without
+    /// changing any state (used by speculative accesses that must defer
+    /// the fault to commit).
+    pub fn would_fault(&self, addr: u64) -> bool {
+        self.faulting_pages.contains(&self.page_of(addr))
+    }
+
+    /// Consumes the pending fault for the page containing `addr` (called
+    /// when the faulting instruction reaches commit and the handler runs).
+    /// Returns whether a fault was pending.
+    pub fn take_fault(&mut self, addr: u64) -> bool {
+        let page = self.page_of(addr);
+        let had = self.faulting_pages.remove(&page);
+        if had {
+            self.faults_taken += 1;
+        }
+        had
+    }
+
+    /// Translates `addr`, updating LRU state and filling on miss.
+    pub fn translate(&mut self, addr: u64) -> Translation {
+        let page = self.page_of(addr);
+        if self.faulting_pages.contains(&page) {
+            return Translation::Fault;
+        }
+        self.stamp += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.stamp;
+            self.hits.record(true);
+            return Translation::Hit;
+        }
+        self.hits.record(false);
+        if self.entries.len() == self.config.entries {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("TLB non-empty when full");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((page, self.stamp));
+        Translation::Miss { walk_latency: self.config.walk_latency }
+    }
+
+    /// Hit-rate statistics (faults are not counted as accesses).
+    pub fn hit_ratio(&self) -> &Ratio {
+        &self.hits
+    }
+
+    /// Number of faults taken at commit.
+    pub fn faults_taken(&self) -> u64 {
+        self.faults_taken
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Tlb {
+        Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, walk_latency: 30 })
+    }
+
+    #[test]
+    fn miss_then_hit_within_page() {
+        let mut t = small();
+        assert_eq!(t.translate(0), Translation::Miss { walk_latency: 30 });
+        assert_eq!(t.translate(4095), Translation::Hit);
+        assert_eq!(t.translate(4096), Translation::Miss { walk_latency: 30 });
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = small();
+        t.translate(0); // page 0
+        t.translate(4096); // page 1
+        t.translate(0); // refresh page 0
+        t.translate(8192); // page 2 evicts page 1
+        assert_eq!(t.translate(0), Translation::Hit);
+        assert!(matches!(t.translate(4096), Translation::Miss { .. }));
+    }
+
+    #[test]
+    fn fault_injection_is_one_shot() {
+        let mut t = small();
+        t.inject_fault(0x5000);
+        assert!(t.would_fault(0x5008));
+        assert_eq!(t.translate(0x5000), Translation::Fault);
+        assert!(t.take_fault(0x5000));
+        assert!(!t.would_fault(0x5000));
+        assert!(matches!(t.translate(0x5000), Translation::Miss { .. }));
+        assert_eq!(t.faults_taken(), 1);
+    }
+
+    #[test]
+    fn take_fault_without_pending_returns_false() {
+        let mut t = small();
+        assert!(!t.take_fault(0));
+        assert_eq!(t.faults_taken(), 0);
+    }
+
+    #[test]
+    fn hit_ratio_ignores_faults() {
+        let mut t = small();
+        t.inject_fault(0);
+        t.translate(0);
+        assert_eq!(t.hit_ratio().total(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Simulator configuration (Table I of the paper).
+
+use regshare_isa::OpClass;
+use regshare_mem::HierarchyConfig;
+use serde::{Deserialize, Serialize};
+
+/// One functional-unit pool: how many units execute an [`OpClass`], at
+/// what latency, and whether they accept a new operation every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuConfig {
+    /// Number of identical units.
+    pub count: usize,
+    /// Execution latency in cycles.
+    pub latency: u32,
+    /// `true` = fully pipelined (initiation interval 1); `false` = the
+    /// unit is busy for the whole latency (divides).
+    pub pipelined: bool,
+}
+
+/// Full simulator configuration; [`SimConfig::default`] reproduces
+/// Table I of the paper (2 GHz ARM-class core).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Fetch-queue capacity (32 in Table I).
+    pub fetch_queue: usize,
+    /// Instructions decoded per cycle (3 in Table I).
+    pub decode_width: usize,
+    /// Instructions renamed/dispatched per cycle (3 in Table I).
+    pub rename_width: usize,
+    /// Micro-ops issued per cycle.
+    pub issue_width: usize,
+    /// Micro-ops committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries (128 in Table I).
+    pub rob_entries: usize,
+    /// Issue-queue entries (40 in Table I).
+    pub iq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Minimum branch-misprediction redirect penalty in cycles (15 in
+    /// Table I); shadow-cell recovery adds on top for the proposed scheme.
+    pub mispredict_penalty: u32,
+    /// Fixed cost of entering/leaving an exception handler.
+    pub exception_penalty: u32,
+    /// Shadow-cell recover commands executed per recovery cycle.
+    pub recover_bandwidth: u32,
+    /// Functional-unit pools.
+    pub fus: Vec<(OpClass, FuConfig)>,
+    /// Branch predictor configuration.
+    pub bpred: crate::BranchPredictorConfig,
+    /// Memory hierarchy configuration.
+    pub mem: HierarchyConfig,
+    /// Stop after this many committed instructions (0 = unlimited).
+    pub max_instructions: u64,
+    /// Hard safety limit on simulated cycles (0 = unlimited).
+    pub max_cycles: u64,
+    /// Step a functional `Machine` in lockstep at commit and report any
+    /// divergence as an error. Slower; invaluable in tests.
+    pub check_oracle: bool,
+    /// Cycle interval between register-bank occupancy samples (Fig. 9);
+    /// 0 disables sampling.
+    pub occupancy_sample_interval: u64,
+    /// Data addresses whose page faults once, on first access (exercises
+    /// precise-exception recovery).
+    pub inject_page_faults: Vec<u64>,
+    /// Record per-micro-op stage timestamps (dispatch/issue/writeback/
+    /// commit), retrievable with `Pipeline::take_trace`. Capped at
+    /// 100 000 events to bound memory.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fetch_width: 3,
+            fetch_queue: 32,
+            decode_width: 3,
+            rename_width: 3,
+            issue_width: 6,
+            commit_width: 3,
+            rob_entries: 128,
+            iq_entries: 40,
+            lq_entries: 32,
+            sq_entries: 32,
+            mispredict_penalty: 15,
+            exception_penalty: 40,
+            recover_bandwidth: 4,
+            fus: vec![
+                (OpClass::IntAlu, FuConfig { count: 2, latency: 1, pipelined: true }),
+                (OpClass::IntMul, FuConfig { count: 1, latency: 3, pipelined: true }),
+                (OpClass::IntDiv, FuConfig { count: 1, latency: 12, pipelined: false }),
+                (OpClass::FpAlu, FuConfig { count: 2, latency: 3, pipelined: true }),
+                (OpClass::FpMul, FuConfig { count: 1, latency: 4, pipelined: true }),
+                (OpClass::FpDiv, FuConfig { count: 1, latency: 12, pipelined: false }),
+                (OpClass::Load, FuConfig { count: 2, latency: 1, pipelined: true }),
+                (OpClass::Store, FuConfig { count: 1, latency: 1, pipelined: true }),
+                (OpClass::Branch, FuConfig { count: 1, latency: 1, pipelined: true }),
+            ],
+            bpred: crate::BranchPredictorConfig::default(),
+            mem: HierarchyConfig::default(),
+            max_instructions: 0,
+            max_cycles: 0,
+            check_oracle: false,
+            occupancy_sample_interval: 0,
+            inject_page_faults: Vec::new(),
+            trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The functional-unit pool for an op class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no configured pool.
+    pub fn fu(&self, class: OpClass) -> FuConfig {
+        self.fus
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, f)| *f)
+            .unwrap_or_else(|| panic!("no functional unit configured for {class}"))
+    }
+
+    /// A configuration for fast unit tests: oracle checking on, modest
+    /// structure sizes, tight cycle cap.
+    pub fn test() -> Self {
+        SimConfig {
+            check_oracle: true,
+            max_cycles: 2_000_000,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let c = SimConfig::default();
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.iq_entries, 40);
+        assert_eq!(c.decode_width, 3);
+        assert_eq!(c.rename_width, 3);
+        assert_eq!(c.fetch_queue, 32);
+        assert_eq!(c.mispredict_penalty, 15);
+    }
+
+    #[test]
+    fn fu_lookup() {
+        let c = SimConfig::default();
+        assert_eq!(c.fu(OpClass::IntAlu).count, 2);
+        assert!(!c.fu(OpClass::IntDiv).pipelined);
+    }
+
+    #[test]
+    fn every_op_class_has_a_unit() {
+        let c = SimConfig::default();
+        for class in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpAlu,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+        ] {
+            assert!(c.fu(class).count > 0);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Split load/store queues with store-to-load forwarding.
+
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct StoreEntry {
+    seq: u64,
+    addr: Option<u64>,
+    width: u8,
+    value: Option<u64>,
+}
+
+/// What a load finds when it searches the store queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreSearch {
+    /// No older store overlaps: read memory.
+    Memory,
+    /// An older store to the same address fully covers the load: forward
+    /// these bits (already masked to the load width).
+    Forward(u64),
+    /// An older store overlaps partially (or its data is not ready): the
+    /// load must wait until that store commits.
+    Conflict {
+        /// Sequence number of the blocking store.
+        store_seq: u64,
+    },
+}
+
+/// The load/store queues of the pipeline.
+///
+/// Stores enter at dispatch and hold address/data once they execute; data
+/// is written to memory at commit. Loads may only execute once every older
+/// store has a known address (conservative, no memory-dependence
+/// speculation); they then either forward from the youngest older
+/// matching store or read committed memory.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_sim::{LoadStoreQueue, StoreSearch};
+///
+/// let mut lsq = LoadStoreQueue::new(8, 8);
+/// lsq.dispatch_store(0);
+/// lsq.resolve_store(0, 0x100, 8, 42);
+/// assert_eq!(lsq.search(2, 0x100, 8), StoreSearch::Forward(42));
+/// assert_eq!(lsq.search(2, 0x200, 8), StoreSearch::Memory);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    stores: VecDeque<StoreEntry>,
+    loads: VecDeque<u64>, // seqs, for occupancy only
+    lq_cap: usize,
+    sq_cap: usize,
+}
+
+fn ranges_overlap(a: u64, aw: u8, b: u64, bw: u8) -> bool {
+    a < b + bw as u64 && b < a + aw as u64
+}
+
+impl LoadStoreQueue {
+    /// Creates empty queues with the given capacities.
+    pub fn new(lq_cap: usize, sq_cap: usize) -> Self {
+        LoadStoreQueue { stores: VecDeque::new(), loads: VecDeque::new(), lq_cap, sq_cap }
+    }
+
+    /// Whether a load (and/or store) can be dispatched right now.
+    pub fn has_room(&self, loads: usize, stores: usize) -> bool {
+        self.loads.len() + loads <= self.lq_cap && self.stores.len() + stores <= self.sq_cap
+    }
+
+    /// Dispatches a store entry (address/data unknown).
+    pub fn dispatch_store(&mut self, seq: u64) {
+        self.stores.push_back(StoreEntry { seq, addr: None, width: 0, value: None });
+    }
+
+    /// Dispatches a load entry.
+    pub fn dispatch_load(&mut self, seq: u64) {
+        self.loads.push_back(seq);
+    }
+
+    /// Records a store's address and data after it executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is not in the queue.
+    pub fn resolve_store(&mut self, seq: u64, addr: u64, width: u8, value: u64) {
+        let e = self
+            .stores
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("resolving a store that is not in the queue");
+        e.addr = Some(addr);
+        e.width = width;
+        e.value = Some(value);
+    }
+
+    /// True when every store older than `seq` has a resolved address —
+    /// the condition for a load at `seq` to execute.
+    pub fn older_stores_resolved(&self, seq: u64) -> bool {
+        self.stores.iter().take_while(|e| e.seq < seq).all(|e| e.addr.is_some())
+    }
+
+    /// Searches older stores for one supplying (or blocking) a load of
+    /// `width` bytes at `addr`.
+    pub fn search(&self, seq: u64, addr: u64, width: u8) -> StoreSearch {
+        // Youngest older store wins.
+        for e in self.stores.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            let Some(saddr) = e.addr else {
+                return StoreSearch::Conflict { store_seq: e.seq };
+            };
+            if !ranges_overlap(addr, width, saddr, e.width) {
+                continue;
+            }
+            if saddr == addr && e.width >= width {
+                let bits = e.value.expect("resolved store always has data");
+                let masked = if width == 8 { bits } else { bits & ((1u64 << (width * 8)) - 1) };
+                return StoreSearch::Forward(masked);
+            }
+            return StoreSearch::Conflict { store_seq: e.seq };
+        }
+        StoreSearch::Memory
+    }
+
+    /// Removes a committed store from the queue, returning its
+    /// address/width/value for the memory write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not the oldest store or is unresolved.
+    pub fn commit_store(&mut self, seq: u64) -> (u64, u8, u64) {
+        let e = self.stores.pop_front().expect("committing store from an empty queue");
+        assert_eq!(e.seq, seq, "stores must commit in order");
+        (
+            e.addr.expect("committed store must be resolved"),
+            e.width,
+            e.value.expect("committed store must have data"),
+        )
+    }
+
+    /// Removes a committed load.
+    pub fn commit_load(&mut self, seq: u64) {
+        let head = self.loads.pop_front().expect("committing load from an empty queue");
+        assert_eq!(head, seq, "loads must commit in order");
+    }
+
+    /// Drops every entry younger than `seq` (mis-speculation squash).
+    pub fn squash_after(&mut self, seq: u64) {
+        while matches!(self.stores.back(), Some(e) if e.seq > seq) {
+            self.stores.pop_back();
+        }
+        while matches!(self.loads.back(), Some(s) if *s > seq) {
+            self.loads.pop_back();
+        }
+    }
+
+    /// Current store-queue occupancy.
+    pub fn stores_len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Current load-queue occupancy.
+    pub fn loads_len(&self) -> usize {
+        self.loads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_masks_to_load_width() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.dispatch_store(0);
+        lsq.resolve_store(0, 0x10, 8, 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(lsq.search(1, 0x10, 1), StoreSearch::Forward(0x22));
+        assert_eq!(lsq.search(1, 0x10, 4), StoreSearch::Forward(0xEEFF_1122));
+        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Forward(0xAABB_CCDD_EEFF_1122));
+    }
+
+    #[test]
+    fn unresolved_older_store_blocks() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.dispatch_store(0);
+        assert!(!lsq.older_stores_resolved(1));
+        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Conflict { store_seq: 0 });
+        lsq.resolve_store(0, 0x999, 8, 1);
+        assert!(lsq.older_stores_resolved(1));
+        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Memory);
+    }
+
+    #[test]
+    fn partial_overlap_conflicts() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.dispatch_store(0);
+        lsq.resolve_store(0, 0x10, 4, 7); // narrower than the load
+        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Conflict { store_seq: 0 });
+        // Offset overlap.
+        assert_eq!(lsq.search(1, 0x12, 8), StoreSearch::Conflict { store_seq: 0 });
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.dispatch_store(0);
+        lsq.dispatch_store(1);
+        lsq.resolve_store(0, 0x10, 8, 111);
+        lsq.resolve_store(1, 0x10, 8, 222);
+        assert_eq!(lsq.search(2, 0x10, 8), StoreSearch::Forward(222));
+        // A load older than store 1 sees store 0.
+        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Forward(111));
+    }
+
+    #[test]
+    fn commit_pops_in_order() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.dispatch_store(0);
+        lsq.dispatch_load(1);
+        lsq.resolve_store(0, 8, 8, 5);
+        assert_eq!(lsq.commit_store(0), (8, 8, 5));
+        lsq.commit_load(1);
+        assert_eq!(lsq.stores_len(), 0);
+        assert_eq!(lsq.loads_len(), 0);
+    }
+
+    #[test]
+    fn squash_drops_younger_entries() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.dispatch_store(0);
+        lsq.dispatch_load(1);
+        lsq.dispatch_store(2);
+        lsq.dispatch_load(3);
+        lsq.squash_after(1);
+        assert_eq!(lsq.stores_len(), 1);
+        assert_eq!(lsq.loads_len(), 1);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let lsq = LoadStoreQueue::new(1, 1);
+        assert!(lsq.has_room(1, 1));
+        assert!(!lsq.has_room(2, 0));
+    }
+}

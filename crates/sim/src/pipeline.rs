@@ -1,0 +1,1051 @@
+//! The out-of-order pipeline: fetch → decode → rename → issue → execute →
+//! writeback → commit, with full mis-speculation recovery.
+
+use crate::bpred::{BranchPredictor, Prediction};
+use crate::{FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport, StoreSearch};
+use regshare_core::{RegFile, Renamer, TaggedReg, UopKind};
+use regshare_isa::exec::{self, Action};
+use regshare_isa::{Inst, Machine, Memory, Opcode, Program, RegClass};
+use regshare_mem::{DataAccess, MemoryHierarchy};
+use regshare_stats::Sampler;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Errors a simulation can end with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The lockstep functional oracle disagreed with a committed
+    /// micro-op — a correctness bug in the timing model or renamer.
+    OracleMismatch {
+        /// Simulated cycle of the divergence.
+        cycle: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// `max_cycles` elapsed before the program finished.
+    CycleLimit {
+        /// The limit that was hit.
+        cycles: u64,
+    },
+    /// No instruction committed for a long time with work in flight.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+        /// Sequence number stuck at the head of the ROB.
+        head_seq: Option<u64>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OracleMismatch { cycle, detail } => {
+                write!(f, "oracle mismatch at cycle {cycle}: {detail}")
+            }
+            SimError::CycleLimit { cycles } => write!(f, "cycle limit of {cycles} reached"),
+            SimError::Deadlock { cycle, head_seq } => {
+                write!(f, "no commit progress by cycle {cycle} (head seq {head_seq:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One pipeline-stage event from the optional cycle trace
+/// ([`SimConfig::trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event happened on.
+    pub cycle: u64,
+    /// Micro-op sequence number.
+    pub seq: u64,
+    /// Instruction index.
+    pub pc: u64,
+    /// Which stage the micro-op passed.
+    pub stage: TraceStage,
+}
+
+/// Pipeline stage of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceStage {
+    /// Renamed and inserted into the ROB/IQ.
+    Dispatch,
+    /// Selected for execution.
+    Issue,
+    /// Result written back and broadcast.
+    Writeback,
+    /// Retired in order.
+    Commit,
+}
+
+#[derive(Debug, Clone)]
+struct Fetched {
+    pc: u64,
+    inst: Inst,
+    pred: Option<Prediction>,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: u64,
+    inst: Inst,
+    kind: UopKind,
+    srcs: [Option<TaggedReg>; 3],
+    dst: Option<TaggedReg>,
+    dst2: Option<TaggedReg>,
+    pred: Option<Prediction>,
+    issued: bool,
+    done: bool,
+    exception: bool,
+    result: Option<u64>,
+    result2: Option<u64>,
+    ea: Option<u64>,
+    taken: Option<bool>,
+    next_pc: u64,
+}
+
+/// The execute-driven out-of-order core.
+///
+/// Construct with a program, a boxed [`Renamer`] (baseline or proposed)
+/// and a [`SimConfig`]; drive with [`Pipeline::run`].
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Pipeline {
+    config: SimConfig,
+    program: Program,
+    renamer: Box<dyn Renamer>,
+    rf: [RegFile; 2],
+    scoreboard: Scoreboard,
+    mem_timing: MemoryHierarchy,
+    memory: Memory,
+    bpred: BranchPredictor,
+    fus: FuPool,
+    lsq: LoadStoreQueue,
+    rob: VecDeque<RobEntry>,
+    iq: Vec<u64>,
+    fetch_pc: Option<u64>,
+    fetch_queue: VecDeque<Fetched>,
+    decode_queue: VecDeque<Fetched>,
+    fetch_stall_until: u64,
+    next_seq: u64,
+    cycle: u64,
+    completions: BTreeMap<u64, Vec<u64>>,
+    oracle: Option<Machine>,
+    halted: bool,
+    committed_instructions: u64,
+    committed_uops: u64,
+    mispredicts: u64,
+    exceptions: u64,
+    shadow_recovers: u64,
+    expensive_repairs: u64,
+    rename_stall_cycles: u64,
+    last_commit_cycle: u64,
+    int_occupancy: Vec<Sampler>,
+    fp_occupancy: Vec<Sampler>,
+    trace: Vec<TraceEvent>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline at the program entry with cold caches and
+    /// predictors.
+    pub fn new(program: Program, renamer: Box<dyn Renamer>, config: SimConfig) -> Self {
+        let rf = [
+            RegFile::new(renamer.banks(RegClass::Int)),
+            RegFile::new(renamer.banks(RegClass::Fp)),
+        ];
+        let scoreboard = Scoreboard::new(rf[0].len(), rf[1].len());
+        let mut mem_timing = MemoryHierarchy::new(config.mem);
+        for addr in &config.inject_page_faults {
+            mem_timing.tlb_mut().inject_fault(*addr);
+        }
+        let oracle = config.check_oracle.then(|| Machine::new(program.clone()));
+        let int_occupancy = (0..renamer.banks(RegClass::Int).num_banks())
+            .map(|k| Sampler::new(format!("int_bank{k}")))
+            .collect();
+        let fp_occupancy = (0..renamer.banks(RegClass::Fp).num_banks())
+            .map(|k| Sampler::new(format!("fp_bank{k}")))
+            .collect();
+        let memory = program.data().clone();
+        let entry = program.entry() as u64;
+        Pipeline {
+            bpred: BranchPredictor::new(config.bpred),
+            fus: FuPool::new(&config),
+            lsq: LoadStoreQueue::new(config.lq_entries, config.sq_entries),
+            config,
+            program,
+            renamer,
+            rf,
+            scoreboard,
+            mem_timing,
+            memory,
+            rob: VecDeque::new(),
+            iq: Vec::new(),
+            fetch_pc: Some(entry),
+            fetch_queue: VecDeque::new(),
+            decode_queue: VecDeque::new(),
+            fetch_stall_until: 0,
+            next_seq: 1,
+            cycle: 0,
+            completions: BTreeMap::new(),
+            oracle,
+            halted: false,
+            committed_instructions: 0,
+            committed_uops: 0,
+            mispredicts: 0,
+            exceptions: 0,
+            shadow_recovers: 0,
+            expensive_repairs: 0,
+            rename_stall_cycles: 0,
+            last_commit_cycle: 0,
+            int_occupancy,
+            fp_occupancy,
+            trace: Vec::new(),
+        }
+    }
+
+    fn trace_event(&mut self, seq: u64, pc: u64, stage: TraceStage) {
+        if self.config.trace && self.trace.len() < 100_000 {
+            self.trace.push(TraceEvent { cycle: self.cycle, seq, pc, stage });
+        }
+    }
+
+    /// Drains the recorded cycle trace (empty unless [`SimConfig::trace`]
+    /// was set).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    // Sequence numbers are monotonic but not contiguous (squashes leave
+    // gaps), so ROB lookup is a binary search by seq.
+    fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
+        let idx = self.rob.binary_search_by_key(&seq, |e| e.seq).ok()?;
+        self.rob.get(idx)
+    }
+
+    fn rob_entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = self.rob.binary_search_by_key(&seq, |e| e.seq).ok()?;
+        self.rob.get_mut(idx)
+    }
+
+    fn read_operands(&self, srcs: &[Option<TaggedReg>; 3]) -> [u64; 3] {
+        let mut ops = [0u64; 3];
+        for (slot, tag) in ops.iter_mut().zip(srcs.iter()) {
+            if let Some(t) = tag {
+                *slot = self.rf[t.class.index()].read_version(t.preg, t.version);
+            }
+        }
+        ops
+    }
+
+    // ---- commit ----
+
+    fn commit(&mut self) -> Result<(), SimError> {
+        for _ in 0..self.config.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done {
+                break;
+            }
+            if head.exception {
+                let (seq, pc, ea) = (head.seq, head.pc, head.ea);
+                self.take_exception(seq, pc, ea);
+                break;
+            }
+            let head = self.rob.pop_front().expect("head checked above");
+            if head.kind == UopKind::Main && head.inst.opcode.is_store() {
+                let (addr, width, value) = self.lsq.commit_store(head.seq);
+                self.memory.write(addr, value, width);
+                self.mem_timing.access_data(head.pc * 4, addr, true, self.cycle);
+            }
+            if head.kind == UopKind::Main && head.inst.opcode.is_load() {
+                self.lsq.commit_load(head.seq);
+            }
+            self.renamer.commit(head.seq);
+            self.trace_event(head.seq, head.pc, TraceStage::Commit);
+            self.committed_uops += 1;
+            if head.kind == UopKind::Main {
+                self.committed_instructions += 1;
+                self.check_oracle(&head)?;
+            }
+            self.last_commit_cycle = self.cycle;
+            if head.inst.opcode == Opcode::Halt && head.kind == UopKind::Main {
+                self.halted = true;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_oracle(&mut self, head: &RobEntry) -> Result<(), SimError> {
+        let Some(oracle) = &mut self.oracle else { return Ok(()) };
+        let expected = oracle
+            .step()
+            .map_err(|e| SimError::OracleMismatch {
+                cycle: self.cycle,
+                detail: format!("oracle failed at sim pc {}: {e}", head.pc),
+            })?
+            .ok_or_else(|| SimError::OracleMismatch {
+                cycle: self.cycle,
+                detail: format!("sim committed pc {} after oracle halted", head.pc),
+            })?;
+        let mismatch = |what: &str, exp: String, got: String| {
+            Err(SimError::OracleMismatch {
+                cycle: self.cycle,
+                detail: format!(
+                    "{what} differs at pc {} ({}): oracle {exp}, sim {got}",
+                    head.pc, head.inst
+                ),
+            })
+        };
+        if expected.pc != head.pc {
+            return mismatch("pc", expected.pc.to_string(), head.pc.to_string());
+        }
+        if head.dst.is_some() && expected.wvalue != head.result {
+            return mismatch(
+                "destination value",
+                format!("{:?}", expected.wvalue),
+                format!("{:?}", head.result),
+            );
+        }
+        if head.dst2.is_some() && expected.wvalue2 != head.result2 {
+            return mismatch(
+                "writeback value",
+                format!("{:?}", expected.wvalue2),
+                format!("{:?}", head.result2),
+            );
+        }
+        if expected.ea != head.ea {
+            return mismatch("effective address", format!("{:?}", expected.ea), format!("{:?}", head.ea));
+        }
+        if expected.taken != head.taken {
+            return mismatch("branch outcome", format!("{:?}", expected.taken), format!("{:?}", head.taken));
+        }
+        Ok(())
+    }
+
+    fn squash_younger_than(&mut self, seq: u64) -> u32 {
+        while matches!(self.rob.back(), Some(e) if e.seq > seq) {
+            self.rob.pop_back();
+        }
+        self.iq.retain(|s| *s <= seq);
+        self.lsq.squash_after(seq);
+        self.fetch_queue.clear();
+        self.decode_queue.clear();
+        let outcome = self.renamer.squash_after(seq);
+        let mut recovered = 0u32;
+        for tag in outcome.recovers {
+            if self.rf[tag.class.index()].recover(tag.preg, tag.version) {
+                recovered += 1;
+            }
+        }
+        self.shadow_recovers += recovered as u64;
+        recovered.div_ceil(self.config.recover_bandwidth.max(1))
+    }
+
+    fn take_exception(&mut self, seq: u64, pc: u64, ea: Option<u64>) {
+        // Flush the entire pipeline, including the faulting instruction
+        // (it re-executes after the handler), and restore precise state.
+        let extra = self.squash_younger_than(seq - 1);
+        if let Some(addr) = ea {
+            self.mem_timing.tlb_mut().take_fault(addr);
+        }
+        self.fetch_pc = Some(pc);
+        self.fetch_stall_until =
+            self.cycle + self.config.exception_penalty as u64 + extra as u64;
+        self.exceptions += 1;
+    }
+
+    // ---- writeback ----
+
+    fn writeback(&mut self) {
+        let Some(seqs) = self.completions.remove(&self.cycle) else { return };
+        let mut seqs = seqs;
+        seqs.sort_unstable();
+        for seq in seqs {
+            if self.rob_entry(seq).is_none() {
+                continue; // squashed while in flight
+            }
+            let (dst, result, dst2, result2) = {
+                let e = self.rob_entry_mut(seq).expect("checked above");
+                e.done = true;
+                (e.dst, e.result, e.dst2, e.result2)
+            };
+            self.renamer.on_writeback(seq);
+            if self.config.trace {
+                if let Some(pc) = self.rob_entry(seq).map(|e| e.pc) {
+                    self.trace_event(seq, pc, TraceStage::Writeback);
+                }
+            }
+            if let Some(tag) = dst {
+                let bits = result.expect("a register-writing micro-op must produce a value");
+                self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
+                self.scoreboard.set_ready(tag);
+            }
+            if let Some(tag) = dst2 {
+                let bits = result2.expect("a post-increment micro-op must produce a writeback");
+                self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
+                self.scoreboard.set_ready(tag);
+            }
+            // Resolve branches.
+            let e = self.rob_entry(seq).expect("checked above");
+            if e.kind == UopKind::Main && e.inst.opcode.is_branch() {
+                let (pc, inst, taken, next_pc, pred) = (
+                    e.pc,
+                    e.inst,
+                    e.taken.expect("resolved branch has an outcome"),
+                    e.next_pc,
+                    e.pred.expect("fetched branch carries a prediction"),
+                );
+                let target = next_pc;
+                self.bpred.update(pc, &inst, taken, target, pred);
+                let mispredicted = pred.taken != taken || (taken && pred.target != target);
+                if mispredicted {
+                    self.mispredicts += 1;
+                    let extra = self.squash_younger_than(seq);
+                    self.fetch_pc = Some(next_pc);
+                    self.fetch_stall_until = self
+                        .fetch_stall_until
+                        .max(self.cycle + self.config.mispredict_penalty as u64 + extra as u64);
+                }
+            }
+        }
+    }
+
+    // ---- issue / execute ----
+
+    fn issue(&mut self) {
+        let mut issued: Vec<u64> = Vec::new();
+        let candidates: Vec<u64> = self.iq.clone();
+        for seq in candidates {
+            if issued.len() >= self.config.issue_width {
+                break;
+            }
+            let Some(entry) = self.rob_entry(seq) else {
+                issued.push(seq); // squashed; drop from IQ
+                continue;
+            };
+            if !entry.srcs.iter().flatten().all(|t| self.scoreboard.is_ready(*t)) {
+                continue;
+            }
+            let inst = entry.inst;
+            let kind = entry.kind;
+            let pc = entry.pc;
+            let srcs = entry.srcs;
+            match kind {
+                UopKind::RepairMove => {
+                    let Some(lat) = self.fus.try_issue(regshare_isa::OpClass::IntAlu, self.cycle)
+                    else {
+                        continue;
+                    };
+                    let src = srcs[0].expect("repair moves have one source");
+                    let expensive = self.rf[src.class.index()].needs_recover(src.preg, src.version);
+                    let value = self.rf[src.class.index()].read_version(src.preg, src.version);
+                    let total = if expensive {
+                        self.expensive_repairs += 1;
+                        lat + 2 // the 3-step micro-op sequence of Fig. 8 2(a)
+                    } else {
+                        lat
+                    };
+                    let e = self.rob_entry_mut(seq).expect("still present");
+                    e.result = Some(value);
+                    e.issued = true;
+                    self.schedule(seq, total);
+                    issued.push(seq);
+                }
+                UopKind::Main if inst.opcode.is_load() => {
+                    if !self.lsq.older_stores_resolved(seq) {
+                        continue;
+                    }
+                    let ops = self.read_operands(&srcs);
+                    let (ea, width, writeback) = match exec::evaluate(&inst, pc, ops) {
+                        Action::Load { ea, width } => (ea, width, None),
+                        Action::LoadPost { ea, width, writeback } => (ea, width, Some(writeback)),
+                        other => unreachable!("loads evaluate to a load action, got {other:?}"),
+                    };
+                    match self.lsq.search(seq, ea, width) {
+                        StoreSearch::Conflict { .. } => continue,
+                        StoreSearch::Forward(bits) => {
+                            if self.fus.try_issue(regshare_isa::OpClass::Load, self.cycle).is_none()
+                            {
+                                continue;
+                            }
+                            let lat = 1 + self.config.mem.l1d.latency;
+                            let e = self.rob_entry_mut(seq).expect("still present");
+                            e.result = Some(bits);
+                            e.result2 = writeback;
+                            e.ea = Some(ea);
+                            e.issued = true;
+                            self.schedule(seq, lat);
+                            issued.push(seq);
+                        }
+                        StoreSearch::Memory => {
+                            if self.fus.try_issue(regshare_isa::OpClass::Load, self.cycle).is_none()
+                            {
+                                continue;
+                            }
+                            let access = self.mem_timing.access_data_checked(
+                                pc * 4,
+                                ea,
+                                false,
+                                self.cycle,
+                            );
+                            let (lat, bits, fault) = match access {
+                                DataAccess::Done(lat) => {
+                                    (1 + lat, self.memory.read(ea, width), false)
+                                }
+                                DataAccess::Fault => (2, 0, true),
+                            };
+                            let e = self.rob_entry_mut(seq).expect("still present");
+                            e.result = Some(bits);
+                            e.result2 = writeback;
+                            e.ea = Some(ea);
+                            e.exception = fault;
+                            e.issued = true;
+                            self.schedule(seq, lat);
+                            issued.push(seq);
+                        }
+                    }
+                }
+                UopKind::Main if inst.opcode.is_store() => {
+                    let Some(lat) = self.fus.try_issue(regshare_isa::OpClass::Store, self.cycle)
+                    else {
+                        continue;
+                    };
+                    let ops = self.read_operands(&srcs);
+                    let (ea, width, value, writeback) = match exec::evaluate(&inst, pc, ops) {
+                        Action::Store { ea, width, value } => (ea, width, value, None),
+                        Action::StorePost { ea, width, value, writeback } => {
+                            (ea, width, value, Some(writeback))
+                        }
+                        other => unreachable!("stores evaluate to a store action, got {other:?}"),
+                    };
+                    self.lsq.resolve_store(seq, ea, width, value);
+                    let fault = self.mem_timing.tlb().would_fault(ea);
+                    let e = self.rob_entry_mut(seq).expect("still present");
+                    e.ea = Some(ea);
+                    e.result2 = writeback;
+                    e.exception = fault;
+                    e.issued = true;
+                    self.schedule(seq, lat);
+                    issued.push(seq);
+                }
+                UopKind::Main => {
+                    let class = inst.opcode.class();
+                    let Some(lat) = self.fus.try_issue(class, self.cycle) else { continue };
+                    let ops = self.read_operands(&srcs);
+                    let action = exec::evaluate(&inst, pc, ops);
+                    let e = self.rob_entry_mut(seq).expect("still present");
+                    match action {
+                        Action::Value(bits) => {
+                            e.result = Some(bits);
+                            e.next_pc = pc + 1;
+                        }
+                        Action::Branch { taken, target, link } => {
+                            e.taken = Some(taken);
+                            e.next_pc = if taken { target } else { pc + 1 };
+                            e.result = link;
+                        }
+                        Action::Nop | Action::Halt => {
+                            e.next_pc = pc + 1;
+                        }
+                        Action::Load { .. }
+                        | Action::Store { .. }
+                        | Action::LoadPost { .. }
+                        | Action::StorePost { .. } => {
+                            unreachable!("memory ops handled in their own arms")
+                        }
+                    }
+                    e.issued = true;
+                    self.schedule(seq, lat);
+                    issued.push(seq);
+                }
+            }
+        }
+        self.iq.retain(|s| !issued.contains(s));
+    }
+
+    fn schedule(&mut self, seq: u64, latency: u32) {
+        self.renamer.on_operands_read(seq);
+        if self.config.trace {
+            if let Some(pc) = self.rob_entry(seq).map(|e| e.pc) {
+                self.trace_event(seq, pc, TraceStage::Issue);
+            }
+        }
+        self.completions
+            .entry(self.cycle + latency.max(1) as u64)
+            .or_default()
+            .push(seq);
+    }
+
+    // ---- rename/dispatch ----
+
+    fn rename_dispatch(&mut self) {
+        const WORST_CASE_UOPS: usize = 4;
+        let mut stalled_for_regs = false;
+        for _ in 0..self.config.rename_width {
+            let Some(f) = self.decode_queue.front() else { break };
+            let rob_free = self.config.rob_entries - self.rob.len();
+            let iq_free = self.config.iq_entries - self.iq.len();
+            let is_load = f.inst.opcode.is_load() as usize;
+            let is_store = f.inst.opcode.is_store() as usize;
+            if rob_free < WORST_CASE_UOPS
+                || iq_free < WORST_CASE_UOPS
+                || !self.lsq.has_room(is_load, is_store)
+            {
+                break;
+            }
+            let Some(uops) = self.renamer.rename(self.next_seq, f.pc, &f.inst) else {
+                stalled_for_regs = true;
+                break;
+            };
+            let f = self.decode_queue.pop_front().expect("front checked above");
+            self.next_seq += uops.len() as u64;
+            for uop in uops {
+                for dst in [uop.dst, uop.dst2].into_iter().flatten() {
+                    self.scoreboard.set_busy(dst);
+                    if dst.version == 0 {
+                        self.rf[dst.class.index()].reset_on_alloc(dst.preg);
+                    }
+                }
+                let is_main = uop.kind == UopKind::Main;
+                if is_main && f.inst.opcode.is_load() {
+                    self.lsq.dispatch_load(uop.seq);
+                }
+                if is_main && f.inst.opcode.is_store() {
+                    self.lsq.dispatch_store(uop.seq);
+                }
+                self.trace_event(uop.seq, f.pc, TraceStage::Dispatch);
+                self.rob.push_back(RobEntry {
+                    seq: uop.seq,
+                    pc: f.pc,
+                    inst: f.inst,
+                    kind: uop.kind,
+                    srcs: uop.srcs,
+                    dst: uop.dst,
+                    dst2: uop.dst2,
+                    pred: if is_main { f.pred } else { None },
+                    issued: false,
+                    done: false,
+                    exception: false,
+                    result: None,
+                    result2: None,
+                    ea: None,
+                    taken: None,
+                    next_pc: f.pc + 1,
+                });
+                self.iq.push(uop.seq);
+            }
+        }
+        if stalled_for_regs {
+            self.rename_stall_cycles += 1;
+        }
+    }
+
+    // ---- front end ----
+
+    fn decode(&mut self) {
+        let cap = self.config.rename_width * 2;
+        for _ in 0..self.config.decode_width {
+            if self.decode_queue.len() >= cap {
+                break;
+            }
+            let Some(f) = self.fetch_queue.pop_front() else { break };
+            self.decode_queue.push_back(f);
+        }
+    }
+
+    fn fetch(&mut self) {
+        if self.cycle < self.fetch_stall_until {
+            return;
+        }
+        let Some(mut pc) = self.fetch_pc else { return };
+        for _ in 0..self.config.fetch_width {
+            if self.fetch_queue.len() >= self.config.fetch_queue {
+                break;
+            }
+            let Some(inst) = self.program.fetch(pc).copied() else {
+                // Ran off the program (wrong path): wait for a redirect.
+                self.fetch_pc = None;
+                return;
+            };
+            let lat = self.mem_timing.access_inst(pc * 4, self.cycle);
+            if lat > self.config.mem.l1i.latency {
+                // I-cache miss: nothing is delivered until the line
+                // arrives; fetch retries this PC after the fill.
+                self.fetch_stall_until = self.cycle + lat as u64;
+                self.fetch_pc = Some(pc);
+                return;
+            }
+            let pred = inst
+                .opcode
+                .is_branch()
+                .then(|| self.bpred.predict(pc, &inst));
+            let taken_pred = pred.map(|p| p.taken).unwrap_or(false);
+            let next = match pred {
+                Some(p) if p.taken => p.target,
+                _ => pc + 1,
+            };
+            let is_halt = inst.opcode == Opcode::Halt;
+            self.fetch_queue.push_back(Fetched { pc, inst, pred });
+            if is_halt {
+                self.fetch_pc = None;
+                return;
+            }
+            pc = next;
+            if taken_pred || self.cycle < self.fetch_stall_until {
+                break; // a taken branch or an i-cache miss ends the group
+            }
+        }
+        self.fetch_pc = Some(pc);
+    }
+
+    fn sample_occupancy(&mut self) {
+        let interval = self.config.occupancy_sample_interval;
+        if interval == 0 || self.cycle % interval != 0 {
+            return;
+        }
+        for (class, samplers) in [
+            (RegClass::Int, &mut self.int_occupancy),
+            (RegClass::Fp, &mut self.fp_occupancy),
+        ] {
+            for (k, used) in self.renamer.in_use_per_bank(class).into_iter().enumerate() {
+                samplers[k].record(used as u64);
+            }
+        }
+    }
+
+    /// Runs one cycle.
+    fn step(&mut self) -> Result<(), SimError> {
+        self.commit()?;
+        if self.halted {
+            return Ok(());
+        }
+        self.writeback();
+        let boundary = self
+            .rob
+            .iter()
+            .find(|e| e.inst.opcode.is_branch() && !e.done)
+            .map(|e| e.seq)
+            .unwrap_or(self.next_seq);
+        self.renamer.advance_nonspeculative(boundary);
+        self.issue();
+        self.rename_dispatch();
+        self.decode();
+        self.fetch();
+        self.sample_occupancy();
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Runs to completion (halt, instruction budget, or error).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OracleMismatch`] if lockstep checking is enabled and
+    /// the timing model diverges from the functional machine;
+    /// [`SimError::CycleLimit`] / [`SimError::Deadlock`] on runaway
+    /// simulations.
+    pub fn run(&mut self) -> Result<SimReport, SimError> {
+        loop {
+            self.step()?;
+            if self.halted {
+                break;
+            }
+            if self.config.max_instructions > 0
+                && self.committed_instructions >= self.config.max_instructions
+            {
+                break;
+            }
+            if self.config.max_cycles > 0 && self.cycle >= self.config.max_cycles {
+                return Err(SimError::CycleLimit { cycles: self.config.max_cycles });
+            }
+            if !self.rob.is_empty() && self.cycle - self.last_commit_cycle > 100_000 {
+                if std::env::var_os("REGSHARE_DEBUG_DEADLOCK").is_some() {
+                    let head = self.rob.front().expect("rob checked non-empty");
+                    eprintln!(
+                        "deadlock head: seq={} pc={} {} issued={} done={} srcs={:?} \
+                         iq_has={} sq_len={} lq_len={} ready={:?}",
+                        head.seq,
+                        head.pc,
+                        head.inst,
+                        head.issued,
+                        head.done,
+                        head.srcs,
+                        self.iq.contains(&head.seq),
+                        self.lsq.stores_len(),
+                        self.lsq.loads_len(),
+                        head.srcs
+                            .iter()
+                            .flatten()
+                            .map(|t| self.scoreboard.is_ready(*t))
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    head_seq: self.rob.front().map(|e| e.seq),
+                });
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// The report for the simulation so far.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            cycles: self.cycle,
+            committed_instructions: self.committed_instructions,
+            committed_uops: self.committed_uops,
+            halted: self.halted,
+            mispredicts: self.mispredicts,
+            exceptions: self.exceptions,
+            shadow_recovers: self.shadow_recovers,
+            expensive_repairs: self.expensive_repairs,
+            rename_stall_cycles: self.rename_stall_cycles,
+            branch_direction_accuracy: self.bpred.direction_accuracy().fraction(),
+            l1d_hit_rate: self.mem_timing.l1d().hit_ratio().fraction(),
+            l2_hit_rate: self.mem_timing.l2().hit_ratio().fraction(),
+            tlb_hit_rate: self.mem_timing.tlb().hit_ratio().fraction(),
+            rename: self.renamer.stats().clone(),
+            predictor: self.renamer.predictor_stats(),
+            int_occupancy: self.int_occupancy.clone(),
+            fp_occupancy: self.fp_occupancy.clone(),
+        }
+    }
+
+    /// The committed data memory (for end-of-run output checks).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The renamer, for scheme-specific inspection.
+    pub fn renamer(&self) -> &dyn Renamer {
+        self.renamer.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_core::{BaselineRenamer, RenamerConfig, ReuseRenamer};
+    use regshare_isa::{reg, Asm};
+
+    fn baseline(regs: usize) -> Box<dyn Renamer> {
+        Box::new(BaselineRenamer::new(RenamerConfig::baseline(regs)))
+    }
+
+    fn tiny_program() -> Program {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 5);
+        a.addi(reg::x(1), reg::x(1), 1);
+        a.halt();
+        a.assemble()
+    }
+
+    #[test]
+    fn max_instructions_stops_early() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.addi(reg::x(1), reg::x(1), 1);
+        a.jmp(top);
+        let mut cfg = SimConfig::test();
+        cfg.max_instructions = 100;
+        let mut sim = Pipeline::new(a.assemble(), baseline(64), cfg);
+        let report = sim.run().expect("bounded run");
+        assert!(!report.halted);
+        assert!(report.committed_instructions >= 100);
+    }
+
+    #[test]
+    fn cycle_limit_reports_error() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.jmp(top);
+        let mut cfg = SimConfig::default();
+        cfg.max_cycles = 500;
+        let mut sim = Pipeline::new(a.assemble(), baseline(64), cfg);
+        assert!(matches!(sim.run(), Err(SimError::CycleLimit { cycles: 500 })));
+    }
+
+    #[test]
+    fn report_available_mid_run() {
+        let mut sim = Pipeline::new(tiny_program(), baseline(64), SimConfig::test());
+        let before = sim.report();
+        assert_eq!(before.committed_instructions, 0);
+        sim.run().expect("run");
+        let after = sim.report();
+        assert_eq!(after.committed_instructions, 3);
+        assert!(after.halted);
+        assert!(sim.cycle() > 0);
+    }
+
+    #[test]
+    fn occupancy_sampling_fills_samplers() {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 200);
+        let top = a.label();
+        a.bind(top);
+        a.subi(reg::x(1), reg::x(1), 1);
+        a.bne(reg::x(1), reg::zero(), top);
+        a.halt();
+        let mut cfg = SimConfig::test();
+        cfg.occupancy_sample_interval = 4;
+        let renamer = Box::new(ReuseRenamer::new(RenamerConfig::paper(64)));
+        let mut sim = Pipeline::new(a.assemble(), renamer, cfg);
+        let report = sim.run().expect("run");
+        assert_eq!(report.int_occupancy.len(), 4); // four banks
+        assert!(!report.int_occupancy[0].is_empty());
+        // The conventional bank always holds at least some committed state.
+        assert!(report.int_occupancy[0].min().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn renamer_accessor_exposes_stats() {
+        let mut sim = Pipeline::new(tiny_program(), baseline(64), SimConfig::test());
+        sim.run().expect("run");
+        assert!(sim.renamer().stats().renamed >= 3);
+        assert_eq!(sim.renamer().banks(RegClass::Int).total(), 64);
+    }
+
+    #[test]
+    fn sim_error_display_is_informative() {
+        let e = SimError::OracleMismatch { cycle: 7, detail: "x".into() };
+        assert!(format!("{e}").contains("cycle 7"));
+        let e = SimError::Deadlock { cycle: 9, head_seq: Some(3) };
+        assert!(format!("{e}").contains('9'));
+        let e = SimError::CycleLimit { cycles: 11 };
+        assert!(format!("{e}").contains("11"));
+    }
+
+    #[test]
+    fn fetch_stops_at_program_end_without_halt() {
+        // Fall off the end: fetch stalls, rob drains, deadlock guard fires
+        // only after its window — use max_instructions to stop first.
+        let mut a = Asm::new();
+        a.li(reg::x(1), 1);
+        a.addi(reg::x(1), reg::x(1), 1);
+        a.halt();
+        let mut cfg = SimConfig::test();
+        cfg.max_instructions = 2;
+        let mut sim = Pipeline::new(a.assemble(), baseline(64), cfg);
+        let report = sim.run().expect("run");
+        assert!(report.committed_instructions >= 2);
+    }
+
+    #[test]
+    fn division_occupies_unpipelined_unit() {
+        // Two back-to-back divides take at least 2x the divide latency.
+        let mut a = Asm::new();
+        a.li(reg::x(1), 100);
+        a.li(reg::x(2), 3);
+        a.sdiv(reg::x(3), reg::x(1), reg::x(2));
+        a.sdiv(reg::x(4), reg::x(1), reg::x(2));
+        a.halt();
+        let cfg = SimConfig::test();
+        let div_lat = cfg.fu(regshare_isa::OpClass::IntDiv).latency as u64;
+        let mut sim = Pipeline::new(a.assemble(), baseline(64), cfg);
+        let report = sim.run().expect("run");
+        assert!(
+            report.cycles >= 2 * div_lat,
+            "two unpipelined divides must serialize: {} cycles",
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn store_load_forwarding_avoids_memory_latency() {
+        // A load that forwards from an in-flight store never touches the
+        // data memory hierarchy; a cold load to a fresh address pays the
+        // full TLB-walk + DRAM round trip. Both programs pay the same
+        // cold I-cache miss, so the difference isolates forwarding.
+        let run = |forwarded: bool| {
+            let mut a = Asm::new();
+            a.li(reg::x(1), 0x4_0000);
+            a.li(reg::x(2), 99);
+            if forwarded {
+                a.st(reg::x(2), reg::x(1), 0);
+                a.ld(reg::x(3), reg::x(1), 0); // forwards from the store
+            } else {
+                a.nop();
+                a.ld(reg::x(3), reg::x(1), 0); // cold miss all the way down
+            }
+            a.halt();
+            let mut sim = Pipeline::new(a.assemble(), baseline(64), SimConfig::test());
+            sim.run().expect("run").cycles
+        };
+        let fwd = run(true);
+        let cold = run(false);
+        assert!(
+            fwd + 40 <= cold,
+            "forwarding should beat a cold load: forwarded {fwd} vs cold {cold}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use regshare_core::{BaselineRenamer, RenamerConfig};
+    use regshare_isa::{reg, Asm};
+
+    #[test]
+    fn trace_records_ordered_stages_per_uop() {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 3);
+        a.addi(reg::x(2), reg::x(1), 4);
+        a.mul(reg::x(3), reg::x(1), reg::x(2));
+        a.halt();
+        let mut cfg = SimConfig::test();
+        cfg.trace = true;
+        let renamer = Box::new(BaselineRenamer::new(RenamerConfig::baseline(64)));
+        let mut sim = Pipeline::new(a.assemble(), renamer, cfg);
+        sim.run().expect("run");
+        let trace = sim.take_trace();
+        assert!(!trace.is_empty());
+        // Every committed uop passed all four stages, in time order.
+        for seq in 1..=4u64 {
+            let stages: Vec<(TraceStage, u64)> = trace
+                .iter()
+                .filter(|e| e.seq == seq)
+                .map(|e| (e.stage, e.cycle))
+                .collect();
+            assert_eq!(stages.len(), 4, "seq {seq} has {stages:?}");
+            for w in stages.windows(2) {
+                assert!(w[0].0 < w[1].0, "stage order for seq {seq}: {stages:?}");
+                assert!(w[0].1 <= w[1].1, "cycle order for seq {seq}: {stages:?}");
+            }
+        }
+        // Dependent mul issues strictly after its producer's writeback.
+        let wb_addi = trace
+            .iter()
+            .find(|e| e.seq == 2 && e.stage == TraceStage::Writeback)
+            .expect("addi writeback")
+            .cycle;
+        let issue_mul = trace
+            .iter()
+            .find(|e| e.seq == 3 && e.stage == TraceStage::Issue)
+            .expect("mul issue")
+            .cycle;
+        assert!(issue_mul >= wb_addi);
+        // The trace is drained after take_trace.
+        assert!(sim.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut a = Asm::new();
+        a.halt();
+        let renamer = Box::new(BaselineRenamer::new(RenamerConfig::baseline(64)));
+        let mut sim = Pipeline::new(a.assemble(), renamer, SimConfig::test());
+        sim.run().expect("run");
+        assert!(sim.take_trace().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulation results.
+
+use regshare_core::{PredictorStats, RenameStats};
+use regshare_stats::Sampler;
+use std::fmt;
+
+/// Everything a simulation run produced.
+///
+/// The experiment harness consumes these to regenerate the paper's tables
+/// and figures; `Display` prints a human-readable summary.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions (main micro-ops; repairs excluded).
+    pub committed_instructions: u64,
+    /// Committed micro-ops (repairs included).
+    pub committed_uops: u64,
+    /// Whether the program ran to its `halt`.
+    pub halted: bool,
+    /// Branch mispredictions taken.
+    pub mispredicts: u64,
+    /// Precise exceptions taken (injected page faults).
+    pub exceptions: u64,
+    /// Shadow-cell recover commands issued during recoveries.
+    pub shadow_recovers: u64,
+    /// Repair micro-ops that needed the 3-step shadow path (Fig. 8 2(a)).
+    pub expensive_repairs: u64,
+    /// Cycles the rename stage stalled for lack of physical registers.
+    pub rename_stall_cycles: u64,
+    /// Conditional-branch direction accuracy in `[0, 1]`.
+    pub branch_direction_accuracy: f64,
+    /// L1-D hit rate in `[0, 1]`.
+    pub l1d_hit_rate: f64,
+    /// L2 hit rate in `[0, 1]`.
+    pub l2_hit_rate: f64,
+    /// Data-TLB hit rate in `[0, 1]`.
+    pub tlb_hit_rate: f64,
+    /// Renaming-scheme statistics.
+    pub rename: RenameStats,
+    /// Register-type predictor accuracy (empty for the baseline).
+    pub predictor: PredictorStats,
+    /// Per-bank occupancy samples for the integer file (Fig. 9), indexed
+    /// by shadow-cell count. Empty unless sampling was enabled.
+    pub int_occupancy: Vec<Sampler>,
+    /// Per-bank occupancy samples for the fp file.
+    pub fp_occupancy: Vec<Sampler>,
+}
+
+impl SimReport {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} insts={} ipc={:.4} halted={}",
+            self.cycles,
+            self.committed_instructions,
+            self.ipc(),
+            self.halted
+        )?;
+        writeln!(
+            f,
+            "branches: mispredicts={} dir-acc={:.2}%",
+            self.mispredicts,
+            self.branch_direction_accuracy * 100.0
+        )?;
+        writeln!(
+            f,
+            "rename: alloc={} reuse={} (safe={} spec={}) blocked={} stalls={} repairs={}",
+            self.rename.allocations,
+            self.rename.reuses,
+            self.rename.safe_reuses,
+            self.rename.speculative_reuses,
+            self.rename.blocked_reuses,
+            self.rename.stalls,
+            self.rename.repairs
+        )?;
+        writeln!(
+            f,
+            "recovery: exceptions={} shadow-recovers={} expensive-repairs={}",
+            self.exceptions, self.shadow_recovers, self.expensive_repairs
+        )?;
+        write!(
+            f,
+            "memory: l1d={:.1}% l2={:.1}% tlb={:.1}%",
+            self.l1d_hit_rate * 100.0,
+            self.l2_hit_rate * 100.0,
+            self.tlb_hit_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty() -> SimReport {
+        SimReport {
+            cycles: 0,
+            committed_instructions: 0,
+            committed_uops: 0,
+            halted: false,
+            mispredicts: 0,
+            exceptions: 0,
+            shadow_recovers: 0,
+            expensive_repairs: 0,
+            rename_stall_cycles: 0,
+            branch_direction_accuracy: 0.0,
+            l1d_hit_rate: 0.0,
+            l2_hit_rate: 0.0,
+            tlb_hit_rate: 0.0,
+            rename: RenameStats::default(),
+            predictor: PredictorStats::default(),
+            int_occupancy: Vec::new(),
+            fp_occupancy: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(empty().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_is_insts_over_cycles() {
+        let mut r = empty();
+        r.cycles = 100;
+        r.committed_instructions = 150;
+        assert!((r.ipc() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_multiline_and_nonempty() {
+        let s = format!("{}", empty());
+        assert!(s.lines().count() >= 4);
+    }
+}

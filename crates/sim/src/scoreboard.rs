@@ -1,0 +1,112 @@
+//! Readiness tracking for versioned physical register tags.
+
+use regshare_core::TaggedReg;
+use regshare_isa::RegClass;
+
+const MAX_VERSIONS: usize = 8;
+
+/// Tracks which `(physical register, version)` tags have produced their
+/// value — the wakeup state of the issue queue.
+///
+/// All tags start ready (architectural state exists at reset); a tag goes
+/// busy when a producer is dispatched for it and ready again at the
+/// producer's writeback.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_sim::Scoreboard;
+/// use regshare_core::{PhysReg, TaggedReg};
+/// use regshare_isa::RegClass;
+///
+/// let mut sb = Scoreboard::new(16, 16);
+/// let t = TaggedReg::new(RegClass::Int, PhysReg(3), 1);
+/// assert!(sb.is_ready(t));
+/// sb.set_busy(t);
+/// assert!(!sb.is_ready(t));
+/// sb.set_ready(t);
+/// assert!(sb.is_ready(t));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    ready: [Vec<[bool; MAX_VERSIONS]>; 2],
+}
+
+impl Scoreboard {
+    /// Creates a scoreboard for `int_regs`/`fp_regs` physical registers,
+    /// all versions ready.
+    pub fn new(int_regs: usize, fp_regs: usize) -> Self {
+        Scoreboard {
+            ready: [
+                vec![[true; MAX_VERSIONS]; int_regs],
+                vec![[true; MAX_VERSIONS]; fp_regs],
+            ],
+        }
+    }
+
+    fn slot(&mut self, tag: TaggedReg) -> &mut bool {
+        &mut self.ready[tag.class.index()][tag.preg.0 as usize][tag.version as usize]
+    }
+
+    /// Marks a tag busy (producer dispatched, value not yet available).
+    pub fn set_busy(&mut self, tag: TaggedReg) {
+        *self.slot(tag) = false;
+    }
+
+    /// Marks a tag ready (producer wrote back / producer squashed).
+    pub fn set_ready(&mut self, tag: TaggedReg) {
+        *self.slot(tag) = true;
+    }
+
+    /// Whether the tag's value is available.
+    pub fn is_ready(&self, tag: TaggedReg) -> bool {
+        self.ready[tag.class.index()][tag.preg.0 as usize][tag.version as usize]
+    }
+
+    /// Number of physical registers tracked for a class.
+    pub fn len(&self, class: RegClass) -> usize {
+        self.ready[class.index()].len()
+    }
+
+    /// True when a class tracks no registers.
+    pub fn is_empty(&self, class: RegClass) -> bool {
+        self.ready[class.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_core::PhysReg;
+
+    #[test]
+    fn versions_are_independent() {
+        let mut sb = Scoreboard::new(4, 4);
+        let v0 = TaggedReg::new(RegClass::Int, PhysReg(1), 0);
+        let v1 = v0.bump();
+        sb.set_busy(v1);
+        assert!(sb.is_ready(v0));
+        assert!(!sb.is_ready(v1));
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut sb = Scoreboard::new(4, 4);
+        let xi = TaggedReg::new(RegClass::Int, PhysReg(2), 0);
+        let xf = TaggedReg::new(RegClass::Fp, PhysReg(2), 0);
+        sb.set_busy(xi);
+        assert!(!sb.is_ready(xi));
+        assert!(sb.is_ready(xf));
+    }
+
+    #[test]
+    fn busy_then_ready_round_trip() {
+        let mut sb = Scoreboard::new(1, 1);
+        let t = TaggedReg::new(RegClass::Fp, PhysReg(0), 7);
+        sb.set_busy(t);
+        sb.set_ready(t);
+        assert!(sb.is_ready(t));
+        assert_eq!(sb.len(RegClass::Fp), 1);
+        assert!(!sb.is_empty(RegClass::Fp));
+    }
+}

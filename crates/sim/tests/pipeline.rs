@@ -1,0 +1,329 @@
+//! End-to-end pipeline tests: every program runs under both renaming
+//! schemes with the lockstep functional oracle enabled, so any divergence
+//! between the out-of-order timing model and the architectural semantics
+//! fails the test.
+
+use regshare_core::{BaselineRenamer, Renamer, RenamerConfig, ReuseRenamer};
+use regshare_isa::{reg, Asm, DataBuilder, Machine, Program};
+use regshare_sim::{Pipeline, SimConfig, SimReport};
+
+fn run_both(program: &Program, config: &SimConfig) -> (SimReport, SimReport) {
+    let base = BaselineRenamer::new(RenamerConfig::baseline(64));
+    let mut sim = Pipeline::new(program.clone(), Box::new(base), config.clone());
+    let a = sim.run().expect("baseline run must succeed");
+
+    let reuse = ReuseRenamer::new(RenamerConfig::paper(64));
+    let mut sim = Pipeline::new(program.clone(), Box::new(reuse), config.clone());
+    let b = sim.run().expect("reuse run must succeed");
+    (a, b)
+}
+
+fn checked() -> SimConfig {
+    SimConfig::test()
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    let mut a = Asm::new();
+    a.li(reg::x(1), 6);
+    a.li(reg::x(2), 7);
+    a.mul(reg::x(3), reg::x(1), reg::x(2));
+    a.addi(reg::x(3), reg::x(3), 100);
+    a.halt();
+    let p = a.assemble();
+    let (base, reuse) = run_both(&p, &checked());
+    assert_eq!(base.committed_instructions, 5);
+    assert_eq!(reuse.committed_instructions, 5);
+    assert!(base.halted && reuse.halted);
+}
+
+#[test]
+fn dependent_chain_reuses_registers() {
+    // A long chain of redefinitions: r1 = r1 op k — ideal for sharing.
+    let mut a = Asm::new();
+    a.li(reg::x(1), 1);
+    let top = a.label();
+    a.li(reg::x(2), 0);
+    a.bind(top);
+    a.addi(reg::x(1), reg::x(1), 1);
+    a.addi(reg::x(1), reg::x(1), 2);
+    a.addi(reg::x(1), reg::x(1), 3);
+    a.addi(reg::x(2), reg::x(2), 1);
+    a.slti(reg::x(3), reg::x(2), 50);
+    a.bne(reg::x(3), reg::zero(), top);
+    a.halt();
+    let p = a.assemble();
+    let (_base, reuse) = run_both(&p, &checked());
+    assert!(
+        reuse.rename.reuses > 50,
+        "chained redefinitions should reuse heavily, got {}",
+        reuse.rename.reuses
+    );
+}
+
+#[test]
+fn loop_with_memory_and_forwarding() {
+    // Accumulate an array through memory, with store->load forwarding on
+    // a scratch slot.
+    let mut d = DataBuilder::new(0x1000);
+    let xs = d.u64_array(&[3, 1, 4, 1, 5, 9, 2, 6]);
+    let scratch = d.zeros(8);
+    let out = d.zeros(8);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), xs as i64);
+    a.li(reg::x(2), 8); // count
+    a.li(reg::x(3), 0); // sum
+    a.li(reg::x(5), scratch as i64);
+    let top = a.label();
+    a.bind(top);
+    a.ld(reg::x(4), reg::x(1), 0);
+    a.add(reg::x(3), reg::x(3), reg::x(4));
+    a.st(reg::x(3), reg::x(5), 0); // store running sum
+    a.ld(reg::x(6), reg::x(5), 0); // forwarded load
+    a.addi(reg::x(1), reg::x(1), 8);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.li(reg::x(7), out as i64);
+    a.st(reg::x(6), reg::x(7), 0);
+    a.halt();
+    let p = a.assemble();
+    let (base, reuse) = run_both(&p, &checked());
+    assert!(base.halted && reuse.halted);
+
+    // Check the final memory value against the functional machine.
+    let mut m = Machine::new(p.clone());
+    m.run(10_000).unwrap();
+    let expected = m.memory().read_u64(out);
+    assert_eq!(expected, 31);
+
+    let base_sim = {
+        let r = BaselineRenamer::new(RenamerConfig::baseline(64));
+        let mut s = Pipeline::new(p.clone(), Box::new(r), checked());
+        s.run().unwrap();
+        s.memory().read_u64(out)
+    };
+    assert_eq!(base_sim, expected);
+    let reuse_sim = {
+        let r = ReuseRenamer::new(RenamerConfig::paper(64));
+        let mut s = Pipeline::new(p.clone(), Box::new(r), checked());
+        s.run().unwrap();
+        s.memory().read_u64(out)
+    };
+    assert_eq!(reuse_sim, expected);
+}
+
+#[test]
+fn data_dependent_branches_mispredict_and_recover() {
+    // Branch on a pseudo-random bit: forces mispredictions, so recovery
+    // (including shadow-cell recovers in the reuse scheme) is exercised.
+    let mut a = Asm::new();
+    a.li(reg::x(1), 123456789); // lcg state
+    a.li(reg::x(2), 200); // iterations
+    a.li(reg::x(3), 0); // taken counter
+    let top = a.label();
+    let skip = a.label();
+    a.bind(top);
+    // state = state * 6364136223846793005 + 1442695040888963407
+    a.li(reg::x(4), 6364136223846793005);
+    a.mul(reg::x(1), reg::x(1), reg::x(4));
+    a.li(reg::x(4), 1442695040888963407);
+    a.add(reg::x(1), reg::x(1), reg::x(4));
+    a.srli(reg::x(5), reg::x(1), 33);
+    a.andi(reg::x(5), reg::x(5), 1);
+    a.beq(reg::x(5), reg::zero(), skip);
+    a.addi(reg::x(3), reg::x(3), 1);
+    a.bind(skip);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.halt();
+    let p = a.assemble();
+    let (base, reuse) = run_both(&p, &checked());
+    assert!(base.mispredicts > 10, "random branches must mispredict");
+    assert!(reuse.mispredicts > 10);
+}
+
+#[test]
+fn function_calls_through_ras() {
+    let mut a = Asm::new();
+    let func = a.label();
+    let done = a.label();
+    a.li(reg::x(1), 0);
+    a.li(reg::x(2), 20);
+    let top = a.label();
+    a.bind(top);
+    a.call(func);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.jmp(done);
+    a.bind(func);
+    a.addi(reg::x(1), reg::x(1), 3);
+    a.ret();
+    a.bind(done);
+    a.halt();
+    let p = a.assemble();
+    let (base, reuse) = run_both(&p, &checked());
+    assert!(base.halted && reuse.halted);
+    assert_eq!(base.committed_instructions, reuse.committed_instructions);
+}
+
+#[test]
+fn fp_kernel_matches_oracle() {
+    // Dot product with FMA.
+    let mut d = DataBuilder::new(0x4000);
+    let xs = d.f64_array(&[1.5, 2.5, -3.0, 4.25]);
+    let ys = d.f64_array(&[2.0, -1.0, 0.5, 8.0]);
+    let out = d.zeros(8);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), xs as i64);
+    a.li(reg::x(2), ys as i64);
+    a.li(reg::x(3), 4);
+    a.fli(reg::f(0), 0.0);
+    let top = a.label();
+    a.bind(top);
+    a.fld(reg::f(1), reg::x(1), 0);
+    a.fld(reg::f(2), reg::x(2), 0);
+    a.fma(reg::f(0), reg::f(1), reg::f(2), reg::f(0));
+    a.addi(reg::x(1), reg::x(1), 8);
+    a.addi(reg::x(2), reg::x(2), 8);
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), top);
+    a.li(reg::x(4), out as i64);
+    a.fst(reg::f(0), reg::x(4), 0);
+    a.halt();
+    let p = a.assemble();
+    let (_b, _r) = run_both(&p, &checked());
+    let r = ReuseRenamer::new(RenamerConfig::paper(48));
+    let mut s = Pipeline::new(p.clone(), Box::new(r), checked());
+    s.run().unwrap();
+    let got = f64::from_bits(s.memory().read_u64(out));
+    assert_eq!(got, 1.5 * 2.0 + 2.5 * -1.0 + -3.0 * 0.5 + 4.25 * 8.0);
+}
+
+#[test]
+fn page_fault_recovers_precisely() {
+    let mut d = DataBuilder::new(0x8000);
+    let xs = d.u64_array(&[10, 20, 30, 40]);
+    let out = d.zeros(8);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), xs as i64);
+    a.li(reg::x(2), 4);
+    a.li(reg::x(3), 0);
+    let top = a.label();
+    a.bind(top);
+    a.ld(reg::x(4), reg::x(1), 0);
+    a.add(reg::x(3), reg::x(3), reg::x(4));
+    a.addi(reg::x(1), reg::x(1), 8);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.li(reg::x(5), out as i64);
+    a.st(reg::x(3), reg::x(5), 0);
+    a.halt();
+    let p = a.assemble();
+    let mut cfg = checked();
+    cfg.inject_page_faults = vec![xs];
+    for (name, renamer) in [
+        ("baseline", Box::new(BaselineRenamer::new(RenamerConfig::baseline(64))) as Box<dyn Renamer>),
+        ("reuse", Box::new(ReuseRenamer::new(RenamerConfig::paper(64))) as Box<dyn Renamer>),
+    ] {
+        let mut s = Pipeline::new(p.clone(), renamer, cfg.clone());
+        let rep = s.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(rep.halted, "{name} must finish");
+        assert_eq!(rep.exceptions, 1, "{name} must take the injected fault");
+        assert_eq!(s.memory().read_u64(out), 100, "{name} result after fault");
+    }
+}
+
+#[test]
+fn small_register_file_still_correct_under_pressure() {
+    // 34 physical registers leave only 2 rename registers: constant
+    // stalls, but execution must stay correct.
+    let mut a = Asm::new();
+    a.li(reg::x(1), 0);
+    a.li(reg::x(2), 30);
+    let top = a.label();
+    a.bind(top);
+    a.addi(reg::x(3), reg::x(1), 5);
+    a.addi(reg::x(4), reg::x(3), 5);
+    a.add(reg::x(1), reg::x(4), reg::zero());
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.halt();
+    let p = a.assemble();
+    let r = BaselineRenamer::new(RenamerConfig::baseline(34));
+    let mut s = Pipeline::new(p.clone(), Box::new(r), checked());
+    let rep = s.run().expect("tiny register file must still run");
+    assert!(rep.halted);
+    assert!(rep.rename_stall_cycles > 0, "expected rename stalls");
+
+    let mut cfg = RenamerConfig::paper(48);
+    cfg.int_banks = regshare_core::BankConfig::new(vec![30, 2, 1, 1]);
+    cfg.fp_banks = cfg.int_banks.clone();
+    let r = ReuseRenamer::new(cfg);
+    let mut s = Pipeline::new(p, Box::new(r), checked());
+    let rep = s.run().expect("tiny shared register file must still run");
+    assert!(rep.halted);
+}
+
+#[test]
+fn reuse_scheme_survives_speculative_reuse_plus_mispredicts() {
+    // Mix of non-redefining single uses (speculative reuse candidates),
+    // second uses (repairs) and unpredictable branches (squashes).
+    let mut a = Asm::new();
+    a.li(reg::x(1), 99991);
+    a.li(reg::x(2), 300);
+    let top = a.label();
+    let odd = a.label();
+    let join = a.label();
+    a.bind(top);
+    a.li(reg::x(4), 2862933555777941757);
+    a.mul(reg::x(1), reg::x(1), reg::x(4));
+    a.addi(reg::x(1), reg::x(1), 3037000493);
+    a.srli(reg::x(5), reg::x(1), 62);
+    // x6 = x5 + 1 : x5 used once here (speculative reuse candidate)
+    a.addi(reg::x(6), reg::x(5), 1);
+    a.bne(reg::x(6), reg::zero(), odd);
+    a.addi(reg::x(7), reg::x(6), 7); // second use of x6 on this path
+    a.jmp(join);
+    a.bind(odd);
+    a.addi(reg::x(7), reg::x(6), 3); // ... and on this one (repair!)
+    a.bind(join);
+    a.add(reg::x(8), reg::x(7), reg::x(8));
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.halt();
+    let p = a.assemble();
+    let r = ReuseRenamer::new(RenamerConfig::paper(48));
+    let mut s = Pipeline::new(p, Box::new(r), checked());
+    let rep = s.run().expect("speculative reuse with repairs must stay correct");
+    assert!(rep.halted);
+}
+
+#[test]
+fn ipc_is_reasonable_for_ilp_rich_code() {
+    // Independent operations: IPC should approach the commit width.
+    let mut a = Asm::new();
+    a.li(reg::x(10), 0);
+    a.li(reg::x(11), 500);
+    let top = a.label();
+    a.bind(top);
+    for i in 0..6 {
+        a.addi(reg::x(i), reg::x(i), 1);
+    }
+    a.addi(reg::x(10), reg::x(10), 1);
+    a.bne(reg::x(10), reg::x(11), top);
+    a.halt();
+    let p = a.assemble();
+    let (base, _) = run_both(&p, &checked());
+    assert!(base.ipc() > 1.5, "expected ILP-rich IPC, got {:.2}", base.ipc());
+}
+
+#[test]
+fn report_display_is_informative() {
+    let mut a = Asm::new();
+    a.li(reg::x(1), 1);
+    a.halt();
+    let (base, _) = run_both(&a.assemble(), &checked());
+    let text = format!("{base}");
+    assert!(text.contains("ipc="));
+    assert!(text.contains("rename:"));
+}

@@ -1,0 +1,150 @@
+//! Post-increment (writeback) addressing through the full pipeline: the
+//! base register is a second destination, and under the proposed scheme
+//! the pointer chain shares a single physical register.
+
+use regshare_core::{BaselineRenamer, RenamerConfig, ReuseRenamer};
+use regshare_isa::{reg, Asm, DataBuilder, Machine};
+use regshare_sim::{Pipeline, SimConfig};
+
+fn checked() -> SimConfig {
+    SimConfig::test()
+}
+
+#[test]
+fn post_increment_loads_match_oracle() {
+    let mut d = DataBuilder::new(0x1000);
+    let xs = d.u64_array(&[5, 10, 15, 20, 25, 30, 35, 40]);
+    let out = d.zeros(8);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), xs as i64);
+    a.li(reg::x(2), 8);
+    a.li(reg::x(3), 0);
+    let top = a.label();
+    a.bind(top);
+    a.ld_post(reg::x(4), reg::x(1), 8); // x4 = *x1; x1 += 8
+    a.add(reg::x(3), reg::x(3), reg::x(4));
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.li(reg::x(5), out as i64);
+    a.st(reg::x(3), reg::x(5), 0);
+    a.halt();
+    let p = a.assemble();
+
+    let mut m = Machine::new(p.clone());
+    m.run(1_000).unwrap();
+    assert_eq!(m.memory().read_u64(out), 180);
+
+    for renamer in [
+        Box::new(BaselineRenamer::new(RenamerConfig::baseline(64))) as Box<dyn regshare_core::Renamer>,
+        Box::new(ReuseRenamer::new(RenamerConfig::paper(64))),
+    ] {
+        let mut sim = Pipeline::new(p.clone(), renamer, checked());
+        let report = sim.run().expect("oracle-checked post-increment run");
+        assert!(report.halted);
+        assert_eq!(sim.memory().read_u64(out), 180);
+    }
+}
+
+#[test]
+fn post_increment_stores_match_oracle() {
+    let mut d = DataBuilder::new(0x2000);
+    let dst = d.zeros(64);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), dst as i64);
+    a.li(reg::x(2), 8);
+    a.li(reg::x(3), 7);
+    let top = a.label();
+    a.bind(top);
+    a.st_post(reg::x(3), reg::x(1), 8); // *x1 = x3; x1 += 8
+    a.addi(reg::x(3), reg::x(3), 7);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.halt();
+    let p = a.assemble();
+
+    let mut sim = Pipeline::new(
+        p,
+        Box::new(ReuseRenamer::new(RenamerConfig::paper(64))),
+        checked(),
+    );
+    let report = sim.run().expect("post-increment store run");
+    assert!(report.halted);
+    for i in 0..8u64 {
+        assert_eq!(sim.memory().read_u64(dst + i * 8), 7 * (i + 1));
+    }
+}
+
+#[test]
+fn pointer_chain_reuses_one_register() {
+    // A streaming fp loop written ARM-style: with post-increment, the
+    // pointer's old value has exactly one consumer (the load itself), so
+    // the pointer chain shares a physical register.
+    let mut d = DataBuilder::new(0x3000);
+    let xs: Vec<f64> = (0..256).map(|i| i as f64).collect();
+    let xa = d.f64_array(&xs);
+    let out = d.zeros(8);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), xa as i64);
+    a.li(reg::x(2), 256);
+    a.fli(reg::f(0), 0.0);
+    let top = a.label();
+    a.bind(top);
+    a.fld_post(reg::f(1), reg::x(1), 8);
+    a.fadd(reg::f(0), reg::f(0), reg::f(1));
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.li(reg::x(3), out as i64);
+    a.fst(reg::f(0), reg::x(3), 0);
+    a.halt();
+    let p = a.assemble();
+
+    let mut sim = Pipeline::new(
+        p,
+        Box::new(ReuseRenamer::new(RenamerConfig::paper(64))),
+        checked(),
+    );
+    let report = sim.run().expect("pointer chain run");
+    assert!(report.halted);
+    let expected: f64 = (0..256).map(|i| i as f64).sum();
+    assert_eq!(f64::from_bits(sim.memory().read_u64(out)), expected);
+    // The pointer chain must actually reuse (first iterations train the
+    // predictor; the rest chain).
+    assert!(
+        report.rename.safe_reuses > 100,
+        "pointer writeback should reuse heavily, got {}",
+        report.rename.safe_reuses
+    );
+}
+
+#[test]
+fn post_increment_with_page_fault_recovers() {
+    let mut d = DataBuilder::new(0x4000);
+    let xs = d.u64_array(&(0..1024).collect::<Vec<u64>>());
+    let out = d.zeros(8);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), xs as i64);
+    a.li(reg::x(2), 1024);
+    a.li(reg::x(3), 0);
+    let top = a.label();
+    a.bind(top);
+    a.ld_post(reg::x(4), reg::x(1), 8);
+    a.add(reg::x(3), reg::x(3), reg::x(4));
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.li(reg::x(5), out as i64);
+    a.st(reg::x(3), reg::x(5), 0);
+    a.halt();
+    let p = a.assemble();
+
+    let mut cfg = checked();
+    cfg.inject_page_faults = vec![(xs / 0x1000 + 1) * 0x1000]; // mid-stream
+    let mut sim = Pipeline::new(
+        p,
+        Box::new(ReuseRenamer::new(RenamerConfig::paper(48))),
+        cfg,
+    );
+    let report = sim.run().expect("faulting post-increment run");
+    assert!(report.halted);
+    assert_eq!(report.exceptions, 1);
+    assert_eq!(sim.memory().read_u64(out), (0..1024u64).sum::<u64>());
+}

@@ -1,0 +1,185 @@
+//! Exact sample collection with percentile queries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Collects `u64` samples and answers min/max/mean/percentile queries.
+///
+/// Samples are stored verbatim; queries sort lazily and cache the sorted
+/// order until the next insertion. Intended for up to a few million samples
+/// (e.g. per-cycle occupancy of a register bank).
+///
+/// # Examples
+///
+/// ```
+/// use regshare_stats::Sampler;
+///
+/// let mut s = Sampler::new("live_shadow_regs");
+/// for v in [4, 8, 6, 2] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.min(), Some(2));
+/// assert_eq!(s.max(), Some(8));
+/// assert_eq!(s.percentile(50.0), Some(4));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Sampler {
+    name: String,
+    samples: Vec<u64>,
+    #[serde(skip)]
+    sorted: std::cell::RefCell<Option<Vec<u64>>>,
+}
+
+impl Sampler {
+    /// Creates an empty sampler.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sampler { name: name.into(), samples: Vec::new(), sorted: std::cell::RefCell::new(None) }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        *self.sorted.borrow_mut() = None;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// The value at the given percentile (nearest-rank); `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not in `0.0..=100.0`.
+    pub fn percentile(&self, pct: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            v
+        });
+        let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+        Some(sorted[idx])
+    }
+
+    /// The name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A read-only view of the raw samples, in insertion order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+impl fmt::Display for Sampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(m) => write!(
+                f,
+                "{}: n={} min={} mean={:.2} max={}",
+                self.name,
+                self.len(),
+                self.min().unwrap_or(0),
+                m,
+                self.max().unwrap_or(0)
+            ),
+            None => write!(f, "{}: empty", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sampler_has_no_stats() {
+        let s = Sampler::new("s");
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+    }
+
+    #[test]
+    fn min_max_mean() {
+        let mut s = Sampler::new("s");
+        for v in [5, 1, 3] {
+            s.record(v);
+        }
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(5));
+        assert!((s.mean().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s = Sampler::new("s");
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(50.0), Some(50));
+        assert_eq!(s.percentile(90.0), Some(90));
+        assert_eq!(s.percentile(100.0), Some(100));
+        assert_eq!(s.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn percentile_cache_invalidated_by_record() {
+        let mut s = Sampler::new("s");
+        s.record(10);
+        assert_eq!(s.percentile(100.0), Some(10));
+        s.record(20);
+        assert_eq!(s.percentile(100.0), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_bad_pct() {
+        let mut s = Sampler::new("s");
+        s.record(1);
+        s.percentile(-0.1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = Sampler::new("s");
+        assert!(!format!("{s}").is_empty());
+        s.record(3);
+        assert!(format!("{s}").contains("mean"));
+    }
+}

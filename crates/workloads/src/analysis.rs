@@ -1,0 +1,365 @@
+//! Dataflow analysis over functional traces — the measurements behind the
+//! paper's motivation figures.
+//!
+//! * [`analyze`] computes, for a dynamic trace, the single-consumer
+//!   percentages of Fig. 1 and the consumer-count histogram of Fig. 2.
+//! * [`reuse_potential`] computes Fig. 3: the fraction of
+//!   destination-writing instructions that could reuse a register given a
+//!   maximum chain length.
+
+use regshare_isa::{ArchReg, Machine, Program, Retired};
+use regshare_stats::Histogram;
+use std::collections::HashMap;
+
+/// Results of the Fig. 1 / Fig. 2 analysis.
+///
+/// Fig. 1 of the paper is the *producer-side* measurement its abstract
+/// states: "for more than 50% of the instructions in SPECfp … that have a
+/// destination register, the produced value has only a single consumer."
+/// The redefining/non-redefining split records whether that single
+/// consumer also redefines the producer's logical register (the
+/// guaranteed-safe reuse case) or not (the case needing the single-use
+/// predictor).
+#[derive(Debug, Clone)]
+pub struct DataflowProfile {
+    /// Dynamic instructions analyzed.
+    pub instructions: u64,
+    /// Dynamic instructions writing a destination register.
+    pub with_dest: u64,
+    /// Producers whose value has exactly one consumer, and that consumer
+    /// redefines the same logical register (Fig. 1, "redefining" bars).
+    pub single_consumer_redefining: u64,
+    /// Producers whose value has exactly one consumer writing a different
+    /// logical register (Fig. 1, "non-redefining" bars).
+    pub single_consumer_other: u64,
+    /// Instructions (with a destination) that are themselves the sole
+    /// consumer of at least one source value — the consumer-side view the
+    /// renaming hardware acts on.
+    pub sole_consumers: u64,
+    /// Consumer count per produced value (Fig. 2); buckets 0..=6,
+    /// overflow = "more than six".
+    pub consumers: Histogram,
+}
+
+impl DataflowProfile {
+    /// Fig. 1 total: fraction of destination-writing instructions whose
+    /// value has exactly one consumer, in `[0, 1]`.
+    pub fn single_use_fraction(&self) -> f64 {
+        if self.with_dest == 0 {
+            return 0.0;
+        }
+        (self.single_consumer_redefining + self.single_consumer_other) as f64
+            / self.with_dest as f64
+    }
+
+    /// Fig. 1 "redefining" component, over destination-writing
+    /// instructions.
+    pub fn single_use_redefining_fraction(&self) -> f64 {
+        if self.with_dest == 0 {
+            return 0.0;
+        }
+        self.single_consumer_redefining as f64 / self.with_dest as f64
+    }
+
+    /// Fraction of instructions with a destination register (the paper's
+    /// "more than 85% of the instructions require a physical register").
+    pub fn dest_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.with_dest as f64 / self.instructions as f64
+    }
+
+    /// Fraction of produced values consumed exactly once (Fig. 2 "one
+    /// use"), over values with at least one consumer.
+    pub fn one_use_fraction(&self) -> f64 {
+        let consumed: u64 = (1..=self.consumers.max_inline())
+            .map(|v| self.consumers.count(v))
+            .sum::<u64>()
+            + self.consumers.overflow();
+        if consumed == 0 {
+            0.0
+        } else {
+            self.consumers.count(1) as f64 / consumed as f64
+        }
+    }
+}
+
+/// Runs a program functionally for up to `max_instructions` and analyzes
+/// its dataflow (Figs. 1 and 2).
+///
+/// # Panics
+///
+/// Panics if the program faults on the functional machine.
+pub fn analyze(program: &Program, max_instructions: u64) -> DataflowProfile {
+    let mut machine = Machine::new(program.clone());
+    let (trace, _) = machine
+        .run_trace(max_instructions)
+        .expect("analysis programs must execute cleanly");
+    analyze_trace(&trace)
+}
+
+/// Analyzes an existing retired-instruction trace (Figs. 1 and 2).
+///
+/// Post-increment memory operations produce *two* values (the loaded data
+/// and the written-back base); both are tracked as distinct values, and
+/// `with_dest` counts destination registers (allocation events), so the
+/// fractions stay meaningful for renaming.
+pub fn analyze_trace(trace: &[Retired]) -> DataflowProfile {
+    // A produced value is identified by (producing trace index, which
+    // destination): false = primary destination, true = base writeback.
+    let mut producer_of: HashMap<ArchReg, (usize, bool)> = HashMap::new();
+    let mut consumers_of: HashMap<(usize, bool), u64> = HashMap::new();
+    let mut first_consumer_redefines: HashMap<(usize, bool), bool> = HashMap::new();
+    // For each instruction: the values it consumed.
+    let mut consumed: Vec<Vec<(usize, bool)>> = vec![Vec::new(); trace.len()];
+
+    for (i, r) in trace.iter().enumerate() {
+        let dst = r.inst.dst();
+        let dst2 = r.inst.dst2();
+        let mut seen: Vec<ArchReg> = Vec::new();
+        for src in r.inst.sources() {
+            if seen.contains(&src) {
+                continue; // one read per unique register per instruction
+            }
+            seen.push(src);
+            if let Some(&p) = producer_of.get(&src) {
+                let n = consumers_of.entry(p).or_insert(0);
+                *n += 1;
+                if *n == 1 {
+                    first_consumer_redefines
+                        .insert(p, dst == Some(src) || dst2 == Some(src));
+                }
+                consumed[i].push(p);
+            }
+        }
+        if let Some(d) = dst {
+            producer_of.insert(d, (i, false));
+        }
+        if let Some(d2) = dst2 {
+            producer_of.insert(d2, (i, true));
+        }
+    }
+
+    let mut profile = DataflowProfile {
+        instructions: trace.len() as u64,
+        with_dest: 0,
+        single_consumer_redefining: 0,
+        single_consumer_other: 0,
+        sole_consumers: 0,
+        consumers: Histogram::new("consumers_per_value", 6),
+    };
+
+    for (i, r) in trace.iter().enumerate() {
+        let record_value = |profile: &mut DataflowProfile, key: (usize, bool)| {
+            let n = consumers_of.get(&key).copied().unwrap_or(0);
+            profile.consumers.record(n);
+            if n == 1 {
+                if first_consumer_redefines.get(&key).copied().unwrap_or(false) {
+                    profile.single_consumer_redefining += 1;
+                } else {
+                    profile.single_consumer_other += 1;
+                }
+            }
+        };
+        if r.inst.dst().is_some() {
+            profile.with_dest += 1;
+            record_value(&mut profile, (i, false));
+        }
+        if r.inst.dst2().is_some() {
+            profile.with_dest += 1;
+            record_value(&mut profile, (i, true));
+        }
+        // Consumer side: is this instruction the sole consumer of one of
+        // its sources?
+        if (r.inst.dst().is_some() || r.inst.dst2().is_some())
+            && consumed[i]
+                .iter()
+                .any(|p| consumers_of.get(p).copied().unwrap_or(0) == 1)
+        {
+            profile.sole_consumers += 1;
+        }
+    }
+    profile
+}
+
+/// Fig. 3: fraction of destination-writing instructions that could avoid
+/// a register allocation if each physical register may be reused up to
+/// `max_chain` times (`u64::MAX` for unlimited).
+///
+/// The model is the paper's idealized limit study: an instruction reuses a
+/// source's register when it is that value's only consumer and the chain
+/// the value sits on has not reached `max_chain` reuses.
+pub fn reuse_potential(program: &Program, max_instructions: u64, max_chain: u64) -> f64 {
+    let mut machine = Machine::new(program.clone());
+    let (trace, _) = machine
+        .run_trace(max_instructions)
+        .expect("analysis programs must execute cleanly");
+    reuse_potential_trace(&trace, max_chain)
+}
+
+/// Trace-based variant of [`reuse_potential`].
+///
+/// Counts per destination register needed: an instruction with a primary
+/// destination and a base writeback contributes two allocation events,
+/// each independently reusable.
+pub fn reuse_potential_trace(trace: &[Retired], max_chain: u64) -> f64 {
+    // First pass: consumer counts per produced value.
+    let mut producer_of: HashMap<ArchReg, (usize, bool)> = HashMap::new();
+    let mut consumers_of: HashMap<(usize, bool), u64> = HashMap::new();
+    for (i, r) in trace.iter().enumerate() {
+        let mut seen: Vec<ArchReg> = Vec::new();
+        for src in r.inst.sources() {
+            if seen.contains(&src) {
+                continue;
+            }
+            seen.push(src);
+            if let Some(&p) = producer_of.get(&src) {
+                *consumers_of.entry(p).or_insert(0) += 1;
+            }
+        }
+        if let Some(dst) = r.inst.dst() {
+            producer_of.insert(dst, (i, false));
+        }
+        if let Some(d2) = r.inst.dst2() {
+            producer_of.insert(d2, (i, true));
+        }
+    }
+
+    // Second pass: walk the trace simulating ideal chains.
+    producer_of.clear();
+    let mut chain_pos: HashMap<(usize, bool), u64> = HashMap::new();
+    let mut with_dest = 0u64;
+    let mut reused = 0u64;
+    for (i, r) in trace.iter().enumerate() {
+        let dst2 = r.inst.dst2();
+        if let Some(dst) = r.inst.dst() {
+            with_dest += 1;
+            let mut seen: Vec<ArchReg> = Vec::new();
+            for src in r.inst.sources() {
+                if seen.contains(&src) {
+                    continue;
+                }
+                seen.push(src);
+                if src.class() != dst.class() || dst2 == Some(src) {
+                    continue; // the base belongs to the writeback's reuse
+                }
+                let Some(&p) = producer_of.get(&src) else { continue };
+                let pos = chain_pos.get(&p).copied().unwrap_or(0);
+                if consumers_of.get(&p).copied().unwrap_or(0) == 1 && pos < max_chain {
+                    chain_pos.insert((i, false), pos + 1);
+                    reused += 1;
+                    break;
+                }
+            }
+        }
+        if let Some(d2) = dst2 {
+            with_dest += 1;
+            if let Some(&p) = producer_of.get(&d2) {
+                let pos = chain_pos.get(&p).copied().unwrap_or(0);
+                if consumers_of.get(&p).copied().unwrap_or(0) == 1 && pos < max_chain {
+                    chain_pos.insert((i, true), pos + 1);
+                    reused += 1;
+                }
+            }
+        }
+        if let Some(dst) = r.inst.dst() {
+            producer_of.insert(dst, (i, false));
+        }
+        if let Some(d2) = dst2 {
+            producer_of.insert(d2, (i, true));
+        }
+    }
+    if with_dest == 0 {
+        0.0
+    } else {
+        reused as f64 / with_dest as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::{reg, Asm};
+
+    fn trace_of(a: Asm) -> Vec<Retired> {
+        let mut m = Machine::new(a.assemble());
+        m.run_trace(100_000).unwrap().0
+    }
+
+    #[test]
+    fn single_use_chain_is_detected() {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 1); // value consumed once (by the next addi)
+        a.addi(reg::x(1), reg::x(1), 1); // sole consumer, redefining
+        a.addi(reg::x(2), reg::x(1), 1); // sole consumer, NOT redefining
+        a.halt();
+        let p = analyze_trace(&trace_of(a));
+        assert_eq!(p.single_consumer_redefining, 1); // li's value
+        assert_eq!(p.single_consumer_other, 1); // first addi's value
+        assert_eq!(p.sole_consumers, 2); // both addis
+        assert_eq!(p.instructions, 4);
+        assert_eq!(p.with_dest, 3);
+        assert!((p.single_use_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_consumer_values_are_not_single_use() {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 5);
+        a.addi(reg::x(2), reg::x(1), 1); // consumer 1 of x1
+        a.addi(reg::x(3), reg::x(1), 2); // consumer 2 of x1
+        a.halt();
+        let p = analyze_trace(&trace_of(a));
+        assert_eq!(p.single_consumer_redefining + p.single_consumer_other, 0);
+        assert_eq!(p.sole_consumers, 0);
+        assert_eq!(p.consumers.count(2), 1); // x1's value: two consumers
+    }
+
+    #[test]
+    fn consumer_histogram_counts_unique_reads() {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 5);
+        a.mul(reg::x(2), reg::x(1), reg::x(1)); // one consumer (unique read)
+        a.halt();
+        let p = analyze_trace(&trace_of(a));
+        assert_eq!(p.consumers.count(1), 1);
+    }
+
+    #[test]
+    fn reuse_potential_respects_chain_limit() {
+        // A chain of 4 redefinitions of x1: with unlimited reuse, all 4
+        // redefinitions reuse; with limit 1, alternate ones do.
+        let mut a = Asm::new();
+        a.li(reg::x(1), 0);
+        for _ in 0..4 {
+            a.addi(reg::x(1), reg::x(1), 1);
+        }
+        a.halt();
+        let p = a.assemble();
+        let unlimited = reuse_potential(&p, 100_000, u64::MAX);
+        let limit1 = reuse_potential(&p, 100_000, 1);
+        // 5 dest-writing instructions; 4 can reuse with no limit.
+        assert!((unlimited - 4.0 / 5.0).abs() < 1e-9, "got {unlimited}");
+        // With chain limit 1: reuse at positions 2 and 4 only.
+        assert!((limit1 - 2.0 / 5.0).abs() < 1e-9, "got {limit1}");
+    }
+
+    #[test]
+    fn reuse_potential_never_crosses_classes() {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 5);
+        a.cvt_i_f(reg::f(1), reg::x(1)); // sole consumer but fp dest
+        a.halt();
+        let p = a.assemble();
+        assert_eq!(reuse_potential(&p, 1_000, u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn fractions_are_well_defined_on_empty_trace() {
+        let p = analyze_trace(&[]);
+        assert_eq!(p.single_use_fraction(), 0.0);
+        assert_eq!(p.dest_fraction(), 0.0);
+        assert_eq!(p.one_use_fraction(), 0.0);
+    }
+}

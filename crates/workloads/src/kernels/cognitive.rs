@@ -1,0 +1,111 @@
+//! Cognitive-computing kernels: GMM acoustic scoring and a DNN MLP layer
+//! (the machine-learning workloads the paper adds to SPEC and Mediabench).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use regshare_isa::{reg, Asm, DataBuilder, Program};
+
+const SEED: u64 = 0xACDC;
+
+fn rand_f64s(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Gaussian mixture model log-likelihood scoring: 4 components × 16
+/// dimensions per observation.
+pub(super) fn gmm(scale: u64) -> Program {
+    const D: i64 = 16; // dimensions
+    let m = (scale / (D as u64 * 8)).clamp(4, 512) as i64; // components
+    let per_pass = (m * D) as u64 * 8;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut d = DataBuilder::new(0x1_0000);
+    let means = d.f64_array(&rand_f64s(&mut rng, (m * D) as usize, -2.0, 2.0)) as i64;
+    let ivars = d.f64_array(&rand_f64s(&mut rng, (m * D) as usize, 0.1, 2.0)) as i64;
+    let weights = d.f64_array(&rand_f64s(&mut rng, m as usize, -3.0, 0.0)) as i64;
+    let obs = d.f64_array(&rand_f64s(&mut rng, D as usize, -2.0, 2.0)) as i64;
+    let out = d.zeros(8) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.fli(reg::f(10), -0.5);
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), means);
+    a.li(reg::x(2), ivars);
+    a.li(reg::x(3), weights);
+    a.li(reg::x(5), m);
+    a.fli(reg::f(0), 0.0); // total score
+    let comp = a.label();
+    a.bind(comp);
+    a.li(reg::x(4), obs);
+    a.li(reg::x(6), D);
+    a.fli(reg::f(1), 0.0); // mahalanobis accumulator
+    let dim = a.label();
+    a.bind(dim);
+    a.fld_post(reg::f(2), reg::x(4), 8); // x[d]
+    a.fld_post(reg::f(3), reg::x(1), 8); // mean
+    a.fld_post(reg::f(4), reg::x(2), 8); // inverse variance
+    a.fsub(reg::f(5), reg::f(2), reg::f(3));
+    a.fmul(reg::f(5), reg::f(5), reg::f(5));
+    a.fma(reg::f(1), reg::f(5), reg::f(4), reg::f(1));
+    a.subi(reg::x(6), reg::x(6), 1);
+    a.bne(reg::x(6), reg::zero(), dim);
+    // score += w[m] - 0.5 * mahalanobis
+    a.fld(reg::f(6), reg::x(3), 0);
+    a.fma(reg::f(6), reg::f(1), reg::f(10), reg::f(6));
+    a.fadd(reg::f(0), reg::f(0), reg::f(6));
+    a.addi(reg::x(3), reg::x(3), 8);
+    a.subi(reg::x(5), reg::x(5), 1);
+    a.bne(reg::x(5), reg::zero(), comp);
+    a.li(reg::x(7), out);
+    a.fst(reg::f(0), reg::x(7), 0);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// One fully-connected DNN layer with ReLU: 16 outputs × 16 inputs.
+pub(super) fn dnn(scale: u64) -> Program {
+    let n = ((scale as f64 / 8.0).sqrt() as u64).clamp(16, 128) as i64; // square layer
+    let (in_n, out_n) = (n, n);
+    let per_pass = (in_n * out_n) as u64 * 8;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 1);
+    let mut d = DataBuilder::new(0x1_0000);
+    let weights = d.f64_array(&rand_f64s(&mut rng, (in_n * out_n) as usize, -1.0, 1.0)) as i64;
+    let bias = d.f64_array(&rand_f64s(&mut rng, out_n as usize, -0.5, 0.5)) as i64;
+    let input = d.f64_array(&rand_f64s(&mut rng, in_n as usize, -1.0, 1.0)) as i64;
+    let output = d.zeros(8 * out_n as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.fli(reg::f(10), 0.0); // for relu
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), weights);
+    a.li(reg::x(2), bias);
+    a.li(reg::x(3), output);
+    a.li(reg::x(5), out_n);
+    let neuron = a.label();
+    a.bind(neuron);
+    a.fld_post(reg::f(0), reg::x(2), 8); // acc = bias[j]
+    a.li(reg::x(4), input);
+    a.li(reg::x(6), in_n);
+    let macloop = a.label();
+    a.bind(macloop);
+    a.fld_post(reg::f(1), reg::x(1), 8);
+    a.fld_post(reg::f(2), reg::x(4), 8);
+    a.fma(reg::f(0), reg::f(1), reg::f(2), reg::f(0));
+    a.subi(reg::x(6), reg::x(6), 1);
+    a.bne(reg::x(6), reg::zero(), macloop);
+    a.fmax(reg::f(0), reg::f(0), reg::f(10)); // ReLU
+    a.fst_post(reg::f(0), reg::x(3), 8);
+    a.subi(reg::x(5), reg::x(5), 1);
+    a.bne(reg::x(5), reg::zero(), neuron);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}

@@ -1,0 +1,522 @@
+//! Floating-point numeric kernels (SPECfp-like): long single-use
+//! dependence chains, FMA-heavy inner loops, streaming memory access.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use regshare_isa::{reg, Asm, DataBuilder, Program};
+
+const SEED: u64 = 0xC0FFEE;
+
+fn rand_f64s(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect()
+}
+
+/// `y[i] += a * x[i]` over a 64-element vector, repeated to scale.
+pub(super) fn saxpy(scale: u64) -> Program {
+    let n = (scale / 9).clamp(64, 65_536) as i64;
+    let passes = (scale / (n as u64 * 8)).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut d = DataBuilder::new(0x1_0000);
+    let x = d.f64_array(&rand_f64s(&mut rng, n as usize)) as i64;
+    let y = d.f64_array(&rand_f64s(&mut rng, n as usize)) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.fli(reg::f(0), 2.5); // a
+    a.li(reg::x(4), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), x);
+    a.li(reg::x(2), y);
+    a.li(reg::x(3), n);
+    let top = a.label();
+    a.bind(top);
+    a.fld_post(reg::f(1), reg::x(1), 8);
+    a.fld(reg::f(2), reg::x(2), 0);
+    a.fma(reg::f(2), reg::f(1), reg::f(0), reg::f(2));
+    a.fst_post(reg::f(2), reg::x(2), 8);
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), top);
+    a.subi(reg::x(4), reg::x(4), 1);
+    a.bne(reg::x(4), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// 8-tap FIR filter over a 40-sample signal (32 outputs per pass).
+pub(super) fn fir(scale: u64) -> Program {
+    const TAPS: i64 = 8;
+    let outs = (scale / 22).clamp(32, 32_768) as i64;
+    let passes = (scale / (outs as u64 * 22)).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 1);
+    let mut d = DataBuilder::new(0x1_0000);
+    let signal = d.f64_array(&rand_f64s(&mut rng, (outs + TAPS) as usize)) as i64;
+    let coefs = d.f64_array(&rand_f64s(&mut rng, TAPS as usize)) as i64;
+    let out = d.zeros(8 * outs as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    // Keep the eight coefficients resident in f8..f15.
+    a.li(reg::x(1), coefs);
+    for k in 0..TAPS {
+        a.fld(reg::f(8 + k as u8), reg::x(1), 8 * k);
+    }
+    a.li(reg::x(5), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), signal);
+    a.li(reg::x(2), out);
+    a.li(reg::x(3), outs);
+    let top = a.label();
+    a.bind(top);
+    a.fli(reg::f(0), 0.0);
+    for k in 0..TAPS {
+        a.fld(reg::f(1), reg::x(1), 8 * k);
+        a.fma(reg::f(0), reg::f(1), reg::f(8 + k as u8), reg::f(0));
+    }
+    a.fst_post(reg::f(0), reg::x(2), 8);
+    a.addi(reg::x(1), reg::x(1), 8);
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), top);
+    a.subi(reg::x(5), reg::x(5), 1);
+    a.bne(reg::x(5), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Naive 8-point DCT-II applied to the rows of an 8×8 block.
+pub(super) fn dct(scale: u64) -> Program {
+    const N: i64 = 8;
+    let per_block = (N * N) as u64 * 30; // ~2k dynamic instructions per 8×8 block
+    let blocks = (scale / per_block).clamp(1, 256) as i64;
+    let passes = (scale / (per_block * blocks as u64)).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 2);
+    let mut d = DataBuilder::new(0x1_0000);
+    let block = d.f64_array(&rand_f64s(&mut rng, (N * N * blocks) as usize)) as i64;
+    // DCT basis table: cos((2x+1) u pi / 16).
+    let mut basis = Vec::new();
+    for u in 0..N {
+        for x in 0..N {
+            basis.push(((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos());
+        }
+    }
+    let table = d.f64_array(&basis) as i64;
+    let out = d.zeros((N * N * blocks * 8) as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(10), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), block); // row pointer
+    a.li(reg::x(4), out); // output pointer
+    a.li(reg::x(5), N * blocks); // rows remaining (streams all blocks)
+    let row = a.label();
+    a.bind(row);
+    a.li(reg::x(2), table); // basis row pointer
+    a.li(reg::x(6), N); // u remaining
+    let freq = a.label();
+    a.bind(freq);
+    a.fli(reg::f(0), 0.0);
+    for xx in 0..N {
+        a.fld(reg::f(1), reg::x(1), 8 * xx);
+        a.fld(reg::f(2), reg::x(2), 8 * xx);
+        a.fma(reg::f(0), reg::f(1), reg::f(2), reg::f(0));
+    }
+    a.fst_post(reg::f(0), reg::x(4), 8);
+    a.addi(reg::x(2), reg::x(2), 8 * N);
+    a.subi(reg::x(6), reg::x(6), 1);
+    a.bne(reg::x(6), reg::zero(), freq);
+    a.addi(reg::x(1), reg::x(1), 8 * N);
+    a.subi(reg::x(5), reg::x(5), 1);
+    a.bne(reg::x(5), reg::zero(), row);
+    a.subi(reg::x(10), reg::x(10), 1);
+    a.bne(reg::x(10), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// 8×8×8 matrix multiply, `C = A·B`, with explicit address arithmetic.
+pub(super) fn matmul(scale: u64) -> Program {
+    const N: i64 = 8;
+    let per_pass = 4000u64; // one 8×8×8 multiply is ~4.5k dynamic instructions
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 3);
+    let mut d = DataBuilder::new(0x1_0000);
+    let ma = d.f64_array(&rand_f64s(&mut rng, (N * N) as usize)) as i64;
+    let mb = d.f64_array(&rand_f64s(&mut rng, (N * N) as usize)) as i64;
+    let mc = d.zeros((N * N * 8) as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(10), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), 0); // i
+    let iloop = a.label();
+    a.bind(iloop);
+    a.li(reg::x(2), 0); // j
+    let jloop = a.label();
+    a.bind(jloop);
+    a.fli(reg::f(0), 0.0);
+    // a_row = ma + i*N*8 ; b_col = mb + j*8
+    a.slli(reg::x(5), reg::x(1), 6); // i*64
+    a.addi(reg::x(5), reg::x(5), ma); // &A[i][0]
+    a.slli(reg::x(6), reg::x(2), 3);
+    a.addi(reg::x(6), reg::x(6), mb); // &B[0][j]
+    a.li(reg::x(3), N); // k
+    let kloop = a.label();
+    a.bind(kloop);
+    a.fld_post(reg::f(1), reg::x(5), 8);
+    a.fld_post(reg::f(2), reg::x(6), 8 * N);
+    a.fma(reg::f(0), reg::f(1), reg::f(2), reg::f(0));
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), kloop);
+    // C[i][j] = f0
+    a.slli(reg::x(7), reg::x(1), 6);
+    a.slli(reg::x(8), reg::x(2), 3);
+    a.add(reg::x(7), reg::x(7), reg::x(8));
+    a.addi(reg::x(7), reg::x(7), mc);
+    a.fst(reg::f(0), reg::x(7), 0);
+    a.addi(reg::x(2), reg::x(2), 1);
+    a.slti(reg::x(9), reg::x(2), N);
+    a.bne(reg::x(9), reg::zero(), jloop);
+    a.addi(reg::x(1), reg::x(1), 1);
+    a.slti(reg::x(9), reg::x(1), N);
+    a.bne(reg::x(9), reg::zero(), iloop);
+    a.subi(reg::x(10), reg::x(10), 1);
+    a.bne(reg::x(10), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Degree-12 polynomial (Horner) on each element of a 32-vector: a pure
+/// fma chain, the best case for register sharing.
+pub(super) fn horner(scale: u64) -> Program {
+    const DEG: i64 = 12;
+    let n = (scale / 18).clamp(32, 32_768) as i64;
+    let per_pass = (n * (DEG + 6)) as u64;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 4);
+    let mut d = DataBuilder::new(0x1_0000);
+    let xs = d.f64_array(&rand_f64s(&mut rng, n as usize)) as i64;
+    let coefs = d.f64_array(&rand_f64s(&mut rng, (DEG + 1) as usize)) as i64;
+    let out = d.zeros(8 * n as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    // Coefficients resident in f10..f22.
+    a.li(reg::x(1), coefs);
+    for k in 0..=DEG {
+        a.fld(reg::f(10 + k as u8), reg::x(1), 8 * k);
+    }
+    a.li(reg::x(4), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), xs);
+    a.li(reg::x(2), out);
+    a.li(reg::x(3), n);
+    let top = a.label();
+    a.bind(top);
+    a.fld_post(reg::f(1), reg::x(1), 8);
+    a.fmov(reg::f(0), reg::f(22));
+    for k in (0..DEG).rev() {
+        a.fma(reg::f(0), reg::f(0), reg::f(1), reg::f(10 + k as u8));
+    }
+    a.fst_post(reg::f(0), reg::x(2), 8);
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), top);
+    a.subi(reg::x(4), reg::x(4), 1);
+    a.bne(reg::x(4), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Three-point 1-D stencil: `b[i] = 0.25 a[i-1] + 0.5 a[i] + 0.25 a[i+1]`.
+pub(super) fn stencil(scale: u64) -> Program {
+    let n = (scale / 11).clamp(64, 65_536) as i64;
+    let per_pass = n as u64 * 11;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 5);
+    let mut d = DataBuilder::new(0x1_0000);
+    let src = d.f64_array(&rand_f64s(&mut rng, (n + 2) as usize)) as i64;
+    let dst = d.zeros(8 * n as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.fli(reg::f(10), 0.25);
+    a.fli(reg::f(11), 0.5);
+    a.li(reg::x(4), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), src);
+    a.li(reg::x(2), dst);
+    a.li(reg::x(3), n);
+    let top = a.label();
+    a.bind(top);
+    a.fld(reg::f(1), reg::x(1), 0);
+    a.fld(reg::f(2), reg::x(1), 8);
+    a.fld(reg::f(3), reg::x(1), 16);
+    a.fmul(reg::f(1), reg::f(1), reg::f(10));
+    a.fma(reg::f(1), reg::f(2), reg::f(11), reg::f(1));
+    a.fma(reg::f(1), reg::f(3), reg::f(10), reg::f(1));
+    a.fst_post(reg::f(1), reg::x(2), 8);
+    a.addi(reg::x(1), reg::x(1), 8);
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), top);
+    a.subi(reg::x(4), reg::x(4), 1);
+    a.bne(reg::x(4), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Black-Scholes-style option pricing: a deep expression tree per element
+/// (divide, square root, exponential-style Horner polynomials) — the
+/// compiler-temporary-heavy dataflow SPECfp is known for.
+pub(super) fn options(scale: u64) -> Program {
+    let n = (scale / 40).clamp(16, 8192) as i64;
+    let per_pass = n as u64 * 40;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 6);
+    let spots: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..150.0)).collect();
+    let strikes: Vec<f64> = (0..n).map(|_| rng.gen_range(50.0..150.0)).collect();
+    let expiries: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+    let mut d = DataBuilder::new(0x1_0000);
+    let s_base = d.f64_array(&spots) as i64;
+    let k_base = d.f64_array(&strikes) as i64;
+    let t_base = d.f64_array(&expiries) as i64;
+    let out = d.zeros(8 * n as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    // Constants: volatility, rate, and a 6-term exp-style polynomial.
+    a.fli(reg::f(20), 0.2); // sigma
+    a.fli(reg::f(21), 0.05); // r
+    a.fli(reg::f(22), 1.0);
+    a.fli(reg::f(23), 0.5);
+    a.fli(reg::f(24), 1.0 / 6.0);
+    a.fli(reg::f(25), 1.0 / 24.0);
+    a.fli(reg::f(26), 1.0 / 120.0);
+    a.fli(reg::f(27), 0.3989422804014327); // 1/sqrt(2*pi)
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), s_base);
+    a.li(reg::x(2), k_base);
+    a.li(reg::x(3), t_base);
+    a.li(reg::x(4), out);
+    a.li(reg::x(5), n);
+    let top = a.label();
+    a.bind(top);
+    a.fld_post(reg::f(1), reg::x(1), 8); // S
+    a.fld_post(reg::f(2), reg::x(2), 8); // K
+    a.fld_post(reg::f(3), reg::x(3), 8); // T
+    // moneyness m = S/K - 1 (cheap stand-in for ln(S/K))
+    a.fdiv(reg::f(4), reg::f(1), reg::f(2));
+    a.fsub(reg::f(4), reg::f(4), reg::f(22));
+    // vol term v = sigma * sqrt(T)
+    a.fsqrt(reg::f(5), reg::f(3));
+    a.fmul(reg::f(5), reg::f(5), reg::f(20));
+    // d1 = (m + (r + sigma^2/2) T) / v
+    a.fmul(reg::f(6), reg::f(20), reg::f(20));
+    a.fmul(reg::f(6), reg::f(6), reg::f(23));
+    a.fadd(reg::f(6), reg::f(6), reg::f(21));
+    a.fma(reg::f(6), reg::f(6), reg::f(3), reg::f(4));
+    a.fdiv(reg::f(6), reg::f(6), reg::f(5));
+    // phi(d1) via a 5-term Taylor-ish polynomial of exp(-d1^2/2)
+    a.fmul(reg::f(7), reg::f(6), reg::f(6));
+    a.fmul(reg::f(7), reg::f(7), reg::f(23));
+    a.fneg(reg::f(7), reg::f(7)); // u = -d1^2/2
+    a.fmov(reg::f(8), reg::f(26));
+    a.fma(reg::f(8), reg::f(8), reg::f(7), reg::f(25));
+    a.fma(reg::f(8), reg::f(8), reg::f(7), reg::f(24));
+    a.fma(reg::f(8), reg::f(8), reg::f(7), reg::f(23));
+    a.fma(reg::f(8), reg::f(8), reg::f(7), reg::f(22));
+    a.fma(reg::f(8), reg::f(8), reg::f(7), reg::f(22)); // ~exp(u)
+    a.fmul(reg::f(8), reg::f(8), reg::f(27)); // ~phi(d1)
+    // price ~ S * phi - K * phi * v (shape, not finance)
+    a.fmul(reg::f(10), reg::f(1), reg::f(8));
+    a.fmul(reg::f(11), reg::f(2), reg::f(8));
+    a.fma(reg::f(10), reg::f(11), reg::f(5), reg::f(10));
+    a.fst_post(reg::f(10), reg::x(4), 8);
+    a.subi(reg::x(5), reg::x(5), 1);
+    a.bne(reg::x(5), reg::zero(), top);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// In-place 32-point radix-2 FFT (decimation in time) over interleaved
+/// real/imaginary arrays, restored from a bit-reversed pristine copy each
+/// pass.
+pub(super) fn fft(scale: u64) -> Program {
+    const N: i64 = 32;
+    const STAGES: i64 = 5;
+    let per_pass = 2600u64; // measured: copy + 5 stages of 16 butterflies
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 7);
+
+    // Host side: input in bit-reversed order so the kernel's DIT loop is
+    // the standard triple-nested form.
+    let mut re = vec![0.0f64; N as usize];
+    let mut im = vec![0.0f64; N as usize];
+    for i in 0..N as usize {
+        let rev = (i as u32).reverse_bits() >> (32 - STAGES as u32);
+        re[rev as usize] = rng.gen_range(-1.0..1.0);
+        im[rev as usize] = rng.gen_range(-1.0..1.0);
+    }
+    // Twiddles for the largest stage: w^j for j in 0..N/2, interleaved
+    // (wr, wi); stage s uses every (N >> s)-th entry.
+    let mut tw = Vec::new();
+    for j in 0..(N / 2) {
+        let ang = -2.0 * std::f64::consts::PI * j as f64 / N as f64;
+        tw.push(ang.cos());
+        tw.push(ang.sin());
+    }
+
+    let mut d = DataBuilder::new(0x1_0000);
+    let pristine_re = d.f64_array(&re) as i64;
+    let pristine_im = d.f64_array(&im) as i64;
+    let tw_base = d.f64_array(&tw) as i64;
+    let work_re = d.zeros(8 * N as u64) as i64;
+    let work_im = d.zeros(8 * N as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    // Copy pristine -> work (both planes).
+    for (src, dst) in [(pristine_re, work_re), (pristine_im, work_im)] {
+        a.li(reg::x(1), src);
+        a.li(reg::x(2), dst);
+        a.li(reg::x(3), N);
+        let copy = a.label();
+        a.bind(copy);
+        a.fld_post(reg::f(1), reg::x(1), 8);
+        a.fst_post(reg::f(1), reg::x(2), 8);
+        a.subi(reg::x(3), reg::x(3), 1);
+        a.bne(reg::x(3), reg::zero(), copy);
+    }
+    // x10 = m (group size), starts at 2, doubles per stage.
+    a.li(reg::x(10), 2);
+    let stage = a.label();
+    a.bind(stage);
+    a.srli(reg::x(11), reg::x(10), 1); // half = m/2
+    // twiddle stride in bytes: (N/m) entries * 16 = N*16/m
+    a.li(reg::x(12), N * 16);
+    a.udiv(reg::x(12), reg::x(12), reg::x(10));
+    a.li(reg::x(13), 0); // k (group base index)
+    let group = a.label();
+    a.bind(group);
+    a.li(reg::x(14), 0); // j within group
+    a.li(reg::x(15), tw_base); // twiddle pointer
+    let fly = a.label();
+    a.bind(fly);
+    // indices a = k + j, b = a + half  (byte offsets in x16/x17)
+    a.add(reg::x(16), reg::x(13), reg::x(14));
+    a.slli(reg::x(16), reg::x(16), 3);
+    a.slli(reg::x(17), reg::x(11), 3);
+    a.add(reg::x(17), reg::x(16), reg::x(17));
+    // load twiddle (wr, wi)
+    a.fld(reg::f(10), reg::x(15), 0);
+    a.fld(reg::f(11), reg::x(15), 8);
+    // load a and b (re/im)
+    a.li(reg::x(18), work_re);
+    a.add(reg::x(19), reg::x(18), reg::x(16));
+    a.fld(reg::f(1), reg::x(19), 0); // ar
+    a.add(reg::x(20), reg::x(18), reg::x(17));
+    a.fld(reg::f(3), reg::x(20), 0); // br
+    a.li(reg::x(18), work_im);
+    a.add(reg::x(21), reg::x(18), reg::x(16));
+    a.fld(reg::f(2), reg::x(21), 0); // ai
+    a.add(reg::x(22), reg::x(18), reg::x(17));
+    a.fld(reg::f(4), reg::x(22), 0); // bi
+    // t = w * b (complex)
+    a.fmul(reg::f(5), reg::f(10), reg::f(3));
+    a.fmul(reg::f(6), reg::f(11), reg::f(4));
+    a.fsub(reg::f(5), reg::f(5), reg::f(6)); // tr
+    a.fmul(reg::f(6), reg::f(10), reg::f(4));
+    a.fmul(reg::f(7), reg::f(11), reg::f(3));
+    a.fadd(reg::f(6), reg::f(6), reg::f(7)); // ti
+    // b = a - t ; a = a + t
+    a.fsub(reg::f(8), reg::f(1), reg::f(5));
+    a.fst(reg::f(8), reg::x(20), 0);
+    a.fsub(reg::f(8), reg::f(2), reg::f(6));
+    a.fst(reg::f(8), reg::x(22), 0);
+    a.fadd(reg::f(8), reg::f(1), reg::f(5));
+    a.fst(reg::f(8), reg::x(19), 0);
+    a.fadd(reg::f(8), reg::f(2), reg::f(6));
+    a.fst(reg::f(8), reg::x(21), 0);
+    // next butterfly
+    a.add(reg::x(15), reg::x(15), reg::x(12));
+    a.addi(reg::x(14), reg::x(14), 1);
+    a.blt(reg::x(14), reg::x(11), fly);
+    // next group
+    a.add(reg::x(13), reg::x(13), reg::x(10));
+    a.li(reg::x(23), N);
+    a.blt(reg::x(13), reg::x(23), group);
+    // next stage
+    a.slli(reg::x(10), reg::x(10), 1);
+    a.li(reg::x(23), N * 2);
+    a.blt(reg::x(10), reg::x(23), stage);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::Machine;
+
+    /// The FFT kernel's result must match a directly computed DFT.
+    #[test]
+    fn fft_matches_reference_dft() {
+        let program = fft(1); // exactly one pass
+        let mut m = Machine::new(program);
+        m.run(1_000_000).expect("fft executes");
+        assert!(m.is_halted());
+
+        // Recompute the expected spectrum host-side from the same seed.
+        const N: usize = 32;
+        let mut rng = SmallRng::seed_from_u64(SEED + 7);
+        let mut re = vec![0.0f64; N];
+        let mut im = vec![0.0f64; N];
+        for i in 0..N {
+            let rev = (i as u32).reverse_bits() >> 27;
+            re[rev as usize] = rng.gen_range(-1.0..1.0);
+            im[rev as usize] = rng.gen_range(-1.0..1.0);
+        }
+        // `re`/`im` currently hold the bit-reversed layout the kernel
+        // copies in; recover natural order for the reference DFT.
+        let mut nat_re = vec![0.0f64; N];
+        let mut nat_im = vec![0.0f64; N];
+        for i in 0..N {
+            let rev = ((i as u32).reverse_bits() >> 27) as usize;
+            nat_re[i] = re[rev];
+            nat_im[i] = im[rev];
+        }
+        // Memory layout of the kernel image (see `fft`):
+        // pristine_re, pristine_im, twiddles (N/2 × 2), work_re, work_im.
+        let work_re = 0x1_0000u64 + (N as u64) * 8 * 2 + (N as u64 / 2) * 16;
+        let work_im = work_re + (N as u64) * 8;
+        for k in 0..N {
+            let (mut xr, mut xi) = (0.0f64, 0.0f64);
+            for t in 0..N {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / N as f64;
+                xr += nat_re[t] * ang.cos() - nat_im[t] * ang.sin();
+                xi += nat_re[t] * ang.sin() + nat_im[t] * ang.cos();
+            }
+            let got_r = m.memory().read_f64(work_re + (k as u64) * 8);
+            let got_i = m.memory().read_f64(work_im + (k as u64) * 8);
+            assert!(
+                (got_r - xr).abs() < 1e-9 && (got_i - xi).abs() < 1e-9,
+                "bin {k}: expected ({xr:.6}, {xi:.6}), got ({got_r:.6}, {got_i:.6})"
+            );
+        }
+    }
+
+    /// The options kernel produces finite prices for every input.
+    #[test]
+    fn options_prices_are_finite() {
+        let program = options(2_000);
+        let mut m = Machine::new(program);
+        m.run(1_000_000).expect("options executes");
+        assert!(m.is_halted());
+    }
+}

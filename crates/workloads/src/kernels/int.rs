@@ -1,0 +1,319 @@
+//! Integer kernels (SPECint-like): branchy control flow, pointer chasing,
+//! hashing, bit manipulation — fewer single-use values than the FP suite.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use regshare_isa::{reg, Asm, DataBuilder, Program};
+
+const SEED: u64 = 0xBEEF;
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Insertion sort of a 24-element array, restored from a pristine copy
+/// each pass (data-dependent inner-loop branches).
+pub(super) fn sort(scale: u64) -> Program {
+    const N: i64 = 24;
+    let per_pass = (N * N) as u64 * 3;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut d = DataBuilder::new(0x1_0000);
+    let pristine: Vec<u64> = (0..N).map(|_| rng.gen_range(0..1000)).collect();
+    let src = d.u64_array(&pristine) as i64;
+    let work = d.zeros(8 * N as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    // Copy pristine -> work.
+    a.li(reg::x(1), src);
+    a.li(reg::x(2), work);
+    a.li(reg::x(3), N);
+    let copy = a.label();
+    a.bind(copy);
+    a.ld_post(reg::x(4), reg::x(1), 8);
+    a.st_post(reg::x(4), reg::x(2), 8);
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), copy);
+    // Insertion sort.
+    a.li(reg::x(2), work);
+    a.li(reg::x(5), 1); // i
+    let iloop = a.label();
+    let jloop = a.label();
+    let insert = a.label();
+    a.bind(iloop);
+    a.slli(reg::x(6), reg::x(5), 3);
+    a.add(reg::x(6), reg::x(6), reg::x(2));
+    a.ld(reg::x(7), reg::x(6), 0); // key
+    a.subi(reg::x(8), reg::x(5), 1); // j
+    a.bind(jloop);
+    a.blt(reg::x(8), reg::zero(), insert);
+    a.slli(reg::x(10), reg::x(8), 3);
+    a.add(reg::x(10), reg::x(10), reg::x(2));
+    a.ld(reg::x(11), reg::x(10), 0); // work[j]
+    a.bge(reg::x(7), reg::x(11), insert);
+    a.st(reg::x(11), reg::x(10), 8); // work[j+1] = work[j]
+    a.subi(reg::x(8), reg::x(8), 1);
+    a.jmp(jloop);
+    a.bind(insert);
+    a.addi(reg::x(12), reg::x(8), 1);
+    a.slli(reg::x(12), reg::x(12), 3);
+    a.add(reg::x(12), reg::x(12), reg::x(2));
+    a.st(reg::x(7), reg::x(12), 0);
+    a.addi(reg::x(5), reg::x(5), 1);
+    a.slti(reg::x(13), reg::x(5), N);
+    a.bne(reg::x(13), reg::zero(), iloop);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Probes a 256-slot open-addressing hash table with 48 present keys.
+pub(super) fn hashjoin(scale: u64) -> Program {
+    let slots: usize = ((scale / 4).next_power_of_two() as usize).clamp(256, 65_536);
+    let probes = (slots / 4) as i64;
+    let per_pass = probes as u64 * 16;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 1);
+
+    // Build the table host-side with the same hash the kernel uses.
+    let shift = 64 - slots.trailing_zeros();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while keys.len() < probes as usize {
+        let k = rng.gen_range(1..u64::MAX);
+        if seen.insert(k) {
+            keys.push(k);
+        }
+    }
+    let mut table = vec![(0u64, 0u64); slots];
+    for (i, &k) in keys.iter().enumerate() {
+        let mut h = (k.wrapping_mul(GOLDEN) >> shift) as usize;
+        while table[h].0 != 0 {
+            h = (h + 1) % slots;
+        }
+        table[h] = (k, 10 + i as u64);
+    }
+    let flat: Vec<u64> = table.iter().flat_map(|(k, v)| [*k, *v]).collect();
+
+    let mut d = DataBuilder::new(0x1_0000);
+    let table_base = d.u64_array(&flat) as i64;
+    let mut probe_keys = keys.clone();
+    probe_keys.shuffle(&mut rng);
+    let probe_base = d.u64_array(&probe_keys) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(20), table_base);
+    a.li(reg::x(21), GOLDEN as i64);
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), probe_base);
+    a.li(reg::x(2), probes);
+    let top = a.label();
+    let probe = a.label();
+    let found = a.label();
+    a.bind(top);
+    a.ld_post(reg::x(3), reg::x(1), 8); // key
+    a.mul(reg::x(5), reg::x(3), reg::x(21));
+    a.srli(reg::x(5), reg::x(5), shift as i64); // slot index
+    a.bind(probe);
+    a.slli(reg::x(6), reg::x(5), 4);
+    a.add(reg::x(6), reg::x(6), reg::x(20));
+    a.ld(reg::x(7), reg::x(6), 0); // slot key
+    a.beq(reg::x(7), reg::x(3), found);
+    a.addi(reg::x(5), reg::x(5), 1);
+    a.andi(reg::x(5), reg::x(5), (slots - 1) as i64);
+    a.jmp(probe);
+    a.bind(found);
+    a.ld(reg::x(8), reg::x(6), 8); // value
+    a.add(reg::x(10), reg::x(10), reg::x(8));
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Pointer chase through a 64-node shuffled linked list (mcf-like:
+/// latency-bound, serial loads).
+pub(super) fn pchase(scale: u64) -> Program {
+    let nodes: usize = ((scale / 6) as usize).clamp(64, 65_536);
+    let steps = nodes as i64;
+    let per_pass = steps as u64 * 6;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 2);
+
+    // Single-cycle permutation so the walk never terminates early.
+    let mut order: Vec<usize> = (1..nodes).collect();
+    order.shuffle(&mut rng);
+    let mut next = vec![0usize; nodes];
+    let mut cur = 0usize;
+    for &n in &order {
+        next[cur] = n;
+        cur = n;
+    }
+    next[cur] = 0;
+
+    let base = 0x1_0000u64;
+    let mut d = DataBuilder::new(base);
+    // Node layout: [next_ptr, value] × NODES.
+    let flat: Vec<u64> = (0..nodes)
+        .flat_map(|i| [base + (next[i] as u64) * 16, rng.gen_range(0..100)])
+        .collect();
+    let node_base = d.u64_array(&flat) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), node_base);
+    a.li(reg::x(2), steps);
+    let top = a.label();
+    a.bind(top);
+    a.ld(reg::x(3), reg::x(1), 8); // value
+    a.add(reg::x(4), reg::x(4), reg::x(3));
+    a.ld(reg::x(1), reg::x(1), 0); // next
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Bitwise CRC-32 over a 16-byte buffer (serial shift/xor with a
+/// data-dependent branch per bit).
+pub(super) fn crc32(scale: u64) -> Program {
+    let len = (scale / 55).clamp(16, 4096) as i64;
+    let per_pass = len as u64 * 55;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 3);
+    let buf: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+    let mut d = DataBuilder::new(0x1_0000);
+    let data = d.bytes(&buf) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(20), 0xEDB8_8320);
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), data);
+    a.li(reg::x(2), len);
+    a.li(reg::x(3), 0xFFFF_FFFF);
+    let byte_loop = a.label();
+    let bit_loop = a.label();
+    let no_xor = a.label();
+    a.bind(byte_loop);
+    a.ldb(reg::x(4), reg::x(1), 0);
+    a.xor(reg::x(3), reg::x(3), reg::x(4));
+    a.li(reg::x(5), 8);
+    a.bind(bit_loop);
+    a.andi(reg::x(6), reg::x(3), 1);
+    a.srli(reg::x(3), reg::x(3), 1);
+    a.beq(reg::x(6), reg::zero(), no_xor);
+    a.xor(reg::x(3), reg::x(3), reg::x(20));
+    a.bind(no_xor);
+    a.subi(reg::x(5), reg::x(5), 1);
+    a.bne(reg::x(5), reg::zero(), bit_loop);
+    a.addi(reg::x(1), reg::x(1), 1);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), byte_loop);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Run-length encodes a 128-byte buffer with bursty runs (bzip2-ish
+/// branch behavior).
+pub(super) fn rle(scale: u64) -> Program {
+    let len = (scale / 8).clamp(128, 32_768) as i64;
+    let per_pass = len as u64 * 8;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 4);
+    let mut buf = Vec::new();
+    while buf.len() < len as usize {
+        let b: u8 = rng.gen_range(b'a'..=b'f');
+        let run = rng.gen_range(1..7usize).min(len as usize - buf.len());
+        buf.extend(std::iter::repeat(b).take(run));
+    }
+    let mut d = DataBuilder::new(0x1_0000);
+    let data = d.bytes(&buf) as i64;
+    let out = d.zeros(2 * len as u64 + 2) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), data + 1);
+    a.li(reg::x(2), len - 1);
+    a.li(reg::x(3), out);
+    a.ldb(reg::x(4), reg::x(1), -1); // prev
+    a.li(reg::x(5), 1); // run length
+    let top = a.label();
+    let same = a.label();
+    let next = a.label();
+    a.bind(top);
+    a.ldb(reg::x(6), reg::x(1), 0);
+    a.beq(reg::x(6), reg::x(4), same);
+    a.stb(reg::x(4), reg::x(3), 0);
+    a.stb(reg::x(5), reg::x(3), 1);
+    a.addi(reg::x(3), reg::x(3), 2);
+    a.mov(reg::x(4), reg::x(6));
+    a.li(reg::x(5), 1);
+    a.jmp(next);
+    a.bind(same);
+    a.addi(reg::x(5), reg::x(5), 1);
+    a.bind(next);
+    a.addi(reg::x(1), reg::x(1), 1);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    // Flush the final run.
+    a.stb(reg::x(4), reg::x(3), 0);
+    a.stb(reg::x(5), reg::x(3), 1);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// Population count of 16 words with Kernighan's loop (data-dependent
+/// iteration counts).
+pub(super) fn bitcount(scale: u64) -> Program {
+    let words_n = (scale / 130).clamp(16, 8192) as i64;
+    let per_pass = words_n as u64 * 130;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 5);
+    let words: Vec<u64> = (0..words_n).map(|_| rng.gen()).collect();
+    let mut d = DataBuilder::new(0x1_0000);
+    let data = d.u64_array(&words) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), data);
+    a.li(reg::x(2), words_n);
+    a.li(reg::x(6), 0); // total
+    let word_loop = a.label();
+    let bit_loop = a.label();
+    let done_word = a.label();
+    a.bind(word_loop);
+    a.ld_post(reg::x(4), reg::x(1), 8);
+    a.bind(bit_loop);
+    a.beq(reg::x(4), reg::zero(), done_word);
+    a.subi(reg::x(5), reg::x(4), 1);
+    a.and(reg::x(4), reg::x(4), reg::x(5));
+    a.addi(reg::x(6), reg::x(6), 1);
+    a.jmp(bit_loop);
+    a.bind(done_word);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), word_loop);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}

@@ -1,0 +1,207 @@
+//! Multimedia kernels (Mediabench-like): ADPCM speech coding and motion
+//! estimation by sum-of-absolute-differences.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use regshare_isa::{reg, Asm, DataBuilder, Program};
+
+const SEED: u64 = 0xD1CE;
+
+/// IMA ADPCM step-size table (standard 89 entries).
+const STEP_TABLE: [u64; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// IMA index-adjust table (stored as two's-complement u64).
+const INDEX_ADJUST: [i64; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// IMA ADPCM encoder over 32 samples per pass.
+pub(super) fn adpcm(scale: u64) -> Program {
+    let n = (scale / 32).clamp(32, 16_384) as i64;
+    let per_pass = n as u64 * 32;
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    // A smooth-ish waveform with noise, as i64 two's complement.
+    let mut samples = Vec::new();
+    let mut v: i64 = 0;
+    for _ in 0..n {
+        v = (v + rng.gen_range(-800..800)).clamp(-30000, 30000);
+        samples.push(v as u64);
+    }
+    let mut d = DataBuilder::new(0x1_0000);
+    let input = d.u64_array(&samples) as i64;
+    let steps = d.u64_array(&STEP_TABLE) as i64;
+    let adjust = d.u64_array(&INDEX_ADJUST.map(|x| x as u64)) as i64;
+    let out = d.zeros(n as u64) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(20), steps);
+    a.li(reg::x(21), adjust);
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), input);
+    a.li(reg::x(2), out);
+    a.li(reg::x(3), n);
+    a.li(reg::x(4), 0); // predictor
+    a.li(reg::x(5), 0); // step index
+    let top = a.label();
+    a.bind(top);
+    a.ld_post(reg::x(6), reg::x(1), 8); // sample
+    a.slli(reg::x(7), reg::x(5), 3);
+    a.add(reg::x(7), reg::x(7), reg::x(20));
+    a.ld(reg::x(8), reg::x(7), 0); // step
+    a.sub(reg::x(10), reg::x(6), reg::x(4)); // diff
+    a.li(reg::x(11), 0); // code
+    let positive = a.label();
+    a.bge(reg::x(10), reg::zero(), positive);
+    a.li(reg::x(11), 8);
+    a.sub(reg::x(10), reg::zero(), reg::x(10));
+    a.bind(positive);
+    // Quantize against step, step/2, step/4.
+    let b1 = a.label();
+    a.blt(reg::x(10), reg::x(8), b1);
+    a.ori(reg::x(11), reg::x(11), 4);
+    a.sub(reg::x(10), reg::x(10), reg::x(8));
+    a.bind(b1);
+    a.srli(reg::x(12), reg::x(8), 1);
+    let b2 = a.label();
+    a.blt(reg::x(10), reg::x(12), b2);
+    a.ori(reg::x(11), reg::x(11), 2);
+    a.sub(reg::x(10), reg::x(10), reg::x(12));
+    a.bind(b2);
+    a.srli(reg::x(13), reg::x(8), 2);
+    let b3 = a.label();
+    a.blt(reg::x(10), reg::x(13), b3);
+    a.ori(reg::x(11), reg::x(11), 1);
+    a.bind(b3);
+    // Reconstruct delta from the code bits.
+    a.srli(reg::x(14), reg::x(8), 3); // delta = step>>3
+    let r1 = a.label();
+    a.andi(reg::x(15), reg::x(11), 4);
+    a.beq(reg::x(15), reg::zero(), r1);
+    a.add(reg::x(14), reg::x(14), reg::x(8));
+    a.bind(r1);
+    let r2 = a.label();
+    a.andi(reg::x(15), reg::x(11), 2);
+    a.beq(reg::x(15), reg::zero(), r2);
+    a.add(reg::x(14), reg::x(14), reg::x(12));
+    a.bind(r2);
+    let r3 = a.label();
+    a.andi(reg::x(15), reg::x(11), 1);
+    a.beq(reg::x(15), reg::zero(), r3);
+    a.add(reg::x(14), reg::x(14), reg::x(13));
+    a.bind(r3);
+    // predictor +/- delta, clamped to 16-bit range.
+    let addp = a.label();
+    let clamp = a.label();
+    a.andi(reg::x(15), reg::x(11), 8);
+    a.beq(reg::x(15), reg::zero(), addp);
+    a.sub(reg::x(4), reg::x(4), reg::x(14));
+    a.jmp(clamp);
+    a.bind(addp);
+    a.add(reg::x(4), reg::x(4), reg::x(14));
+    a.bind(clamp);
+    let chk_lo = a.label();
+    let idx = a.label();
+    a.li(reg::x(16), 32767);
+    a.bge(reg::x(16), reg::x(4), chk_lo);
+    a.mov(reg::x(4), reg::x(16));
+    a.jmp(idx);
+    a.bind(chk_lo);
+    a.li(reg::x(16), -32768);
+    a.bge(reg::x(4), reg::x(16), idx);
+    a.mov(reg::x(4), reg::x(16));
+    a.bind(idx);
+    // Step index update, clamped to 0..=88.
+    a.andi(reg::x(15), reg::x(11), 7);
+    a.slli(reg::x(15), reg::x(15), 3);
+    a.add(reg::x(15), reg::x(15), reg::x(21));
+    a.ld(reg::x(17), reg::x(15), 0);
+    a.add(reg::x(5), reg::x(5), reg::x(17));
+    let c_lo = a.label();
+    a.bge(reg::x(5), reg::zero(), c_lo);
+    a.li(reg::x(5), 0);
+    a.bind(c_lo);
+    let c_hi = a.label();
+    a.li(reg::x(18), 88);
+    a.bge(reg::x(18), reg::x(5), c_hi);
+    a.mov(reg::x(5), reg::x(18));
+    a.bind(c_hi);
+    a.stb(reg::x(11), reg::x(2), 0);
+    a.addi(reg::x(2), reg::x(2), 1);
+    a.subi(reg::x(3), reg::x(3), 1);
+    a.bne(reg::x(3), reg::zero(), top);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}
+
+/// 8×8 sum-of-absolute-differences motion search over a 3×3 candidate
+/// window in a 10×10 reference area (branchless absolute value).
+pub(super) fn sad(scale: u64) -> Program {
+    const CANDS: i64 = 9;
+    let per_pass = 4000u64; // nine 8×8 SADs are ~4.4k dynamic instructions
+    let passes = (scale / per_pass).max(1) as i64;
+    let mut rng = SmallRng::seed_from_u64(SEED + 1);
+    let cur: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+    let refa: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
+    // Candidate start offsets into the 10x10 reference: dy*10 + dx.
+    let offsets: Vec<u64> = (0..3).flat_map(|dy| (0..3).map(move |dx| dy * 10 + dx)).collect();
+    let mut d = DataBuilder::new(0x1_0000);
+    let cur_base = d.bytes(&cur) as i64;
+    let ref_base = d.bytes(&refa) as i64;
+    d.align(8);
+    let offs = d.u64_array(&offsets) as i64;
+    let best_out = d.zeros(8) as i64;
+    let mut a = Asm::with_data(d);
+
+    a.li(reg::x(9), passes);
+    let outer = a.label();
+    a.bind(outer);
+    a.li(reg::x(1), 0); // candidate index
+    a.li(reg::x(15), i64::MAX); // best sad
+    let cand = a.label();
+    a.bind(cand);
+    a.slli(reg::x(2), reg::x(1), 3);
+    a.addi(reg::x(2), reg::x(2), offs);
+    a.ld(reg::x(2), reg::x(2), 0); // offset
+    a.addi(reg::x(3), reg::x(2), ref_base); // ref row pointer
+    a.li(reg::x(4), cur_base); // cur row pointer
+    a.li(reg::x(5), 8); // rows
+    a.li(reg::x(14), 0); // sad accumulator
+    let row = a.label();
+    a.bind(row);
+    for col in 0..8 {
+        a.ldb(reg::x(6), reg::x(4), col);
+        a.ldb(reg::x(7), reg::x(3), col);
+        a.sub(reg::x(8), reg::x(6), reg::x(7));
+        a.srai(reg::x(10), reg::x(8), 63); // mask = t >> 63
+        a.xor(reg::x(8), reg::x(8), reg::x(10));
+        a.sub(reg::x(8), reg::x(8), reg::x(10)); // |t|
+        a.add(reg::x(14), reg::x(14), reg::x(8));
+    }
+    a.addi(reg::x(4), reg::x(4), 8);
+    a.addi(reg::x(3), reg::x(3), 10);
+    a.subi(reg::x(5), reg::x(5), 1);
+    a.bne(reg::x(5), reg::zero(), row);
+    let not_better = a.label();
+    a.bge(reg::x(14), reg::x(15), not_better);
+    a.mov(reg::x(15), reg::x(14));
+    a.bind(not_better);
+    a.addi(reg::x(1), reg::x(1), 1);
+    a.slti(reg::x(11), reg::x(1), CANDS);
+    a.bne(reg::x(11), reg::zero(), cand);
+    a.li(reg::x(12), best_out);
+    a.st(reg::x(15), reg::x(12), 0);
+    a.subi(reg::x(9), reg::x(9), 1);
+    a.bne(reg::x(9), reg::zero(), outer);
+    a.halt();
+    a.assemble()
+}

@@ -1,0 +1,80 @@
+//! Prints a classic pipeline diagram from the simulator's cycle trace:
+//! one row per micro-op, one column per cycle (D=dispatch, I=issue,
+//! W=writeback, C=commit).
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use regshare::core::{RenamerConfig, ReuseRenamer};
+use regshare::isa::{reg, Asm};
+use regshare::sim::{Pipeline, SimConfig, TraceStage};
+use std::collections::BTreeMap;
+
+fn main() {
+    // A short dependent sequence with a reuse chain and a load.
+    let mut a = Asm::new();
+    a.li(reg::x(1), 0x4000);
+    a.li(reg::x(2), 21);
+    a.st(reg::x(2), reg::x(1), 0);
+    a.ld(reg::x(3), reg::x(1), 0);
+    a.add(reg::x(3), reg::x(3), reg::x(3)); // redefining chain on x3
+    a.addi(reg::x(3), reg::x(3), 1);
+    a.mul(reg::x(4), reg::x(3), reg::x(2));
+    a.halt();
+    let program = a.assemble();
+    let listing: Vec<String> =
+        program.insts().iter().map(|i| format!("{i}")).collect();
+
+    let mut config = SimConfig::default();
+    config.trace = true;
+    config.check_oracle = true;
+    let renamer = ReuseRenamer::new(RenamerConfig::paper(64));
+    let mut sim = Pipeline::new(program, Box::new(renamer), config);
+    let report = sim.run().expect("traced run");
+    let trace = sim.take_trace();
+
+    // Group events per micro-op; drop the leading idle cycles (the cold
+    // I-cache miss) so the diagram starts where the action is.
+    let mut rows: BTreeMap<u64, (u64, Vec<(u64, char)>)> = BTreeMap::new();
+    let mut max_cycle = 0;
+    let min_cycle = trace.iter().map(|e| e.cycle).min().unwrap_or(0);
+    for e in &trace {
+        let c = match e.stage {
+            TraceStage::Dispatch => 'D',
+            TraceStage::Issue => 'I',
+            TraceStage::Writeback => 'W',
+            TraceStage::Commit => 'C',
+        };
+        let cycle = e.cycle - min_cycle;
+        rows.entry(e.seq).or_insert((e.pc, Vec::new())).1.push((cycle, c));
+        max_cycle = max_cycle.max(cycle);
+    }
+
+    let mut tens = String::new();
+    let mut ones = String::new();
+    for c in 0..=max_cycle {
+        tens.push_str(&((c / 10) % 10).to_string());
+        ones.push_str(&(c % 10).to_string());
+    }
+    println!("{:31}{tens}", format!("cycle (from {min_cycle}):"));
+    println!("{:31}{ones}", "");
+    for (seq, (pc, events)) in rows {
+        let mut lane = vec![' '; (max_cycle + 1) as usize];
+        for (cycle, c) in events {
+            lane[cycle as usize] = c;
+        }
+        let lane: String = lane.into_iter().collect();
+        println!(
+            "seq {seq:>2} {:24} {}",
+            listing.get(pc as usize).map(String::as_str).unwrap_or("?"),
+            lane.trim_end()
+        );
+    }
+    println!(
+        "\n{} instructions in {} cycles (IPC {:.2}); D=dispatch I=issue W=writeback C=commit",
+        report.committed_instructions,
+        report.cycles,
+        report.ipc()
+    );
+}

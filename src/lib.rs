@@ -1,0 +1,173 @@
+#![warn(missing_docs)]
+
+//! `regshare` — register renaming with physical register sharing.
+//!
+//! A from-scratch reproduction of *"A Novel Register Renaming Technique
+//! for Out-of-Order Processors"* (HPCA 2018): an execute-driven
+//! out-of-order core simulator, the paper's physical-register-sharing
+//! renaming scheme with shadow-cell recovery, the conventional baseline,
+//! benchmark kernel suites, an analytical area model, and a harness that
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace libraries and provides the
+//! [`harness`] used by the examples, the experiment binary and the
+//! criterion benches.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use regshare::harness::{run_kernel, Scheme};
+//! use regshare::workloads::all_kernels;
+//!
+//! let kernel = &all_kernels()[0]; // saxpy
+//! let base = run_kernel(kernel, Scheme::Baseline, 48, 20_000);
+//! let prop = run_kernel(kernel, Scheme::Proposed, 48, 20_000);
+//! println!("speedup: {:.3}", prop.ipc() / base.ipc());
+//! ```
+
+pub use regshare_area as area;
+pub use regshare_core as core;
+pub use regshare_isa as isa;
+pub use regshare_mem as mem;
+pub use regshare_sim as sim;
+pub use regshare_stats as stats;
+pub use regshare_workloads as workloads;
+
+pub mod harness {
+    //! Shared experiment plumbing: build a renamer for a scheme, run a
+    //! kernel through the timing simulator, and aggregate results.
+
+    use regshare_core::{BankConfig, BaselineRenamer, Renamer, RenamerConfig, ReuseRenamer};
+    use regshare_isa::RegClass;
+    use regshare_sim::{Pipeline, SimConfig, SimReport};
+    use regshare_workloads::{Kernel, Suite};
+
+    /// Number of physical registers in the register file that is *not*
+    /// being swept (the paper keeps the other file at its Table I size).
+    pub const FIXED_RF: usize = 128;
+
+    /// The register file a suite stresses — the one the paper sweeps for
+    /// that suite ("for integer benchmarks we consider different sizes of
+    /// the integer register file whereas for floating-point benchmarks we
+    /// measure performance for different sizes of the floating-point
+    /// register file", §VI-B).
+    pub fn swept_class(suite: Suite) -> RegClass {
+        match suite {
+            Suite::Fp | Suite::Cognitive => RegClass::Fp,
+            Suite::Int | Suite::Media => RegClass::Int,
+        }
+    }
+
+    /// Which renaming scheme to simulate.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Scheme {
+        /// Conventional merged register file, release-on-commit.
+        Baseline,
+        /// The paper's physical-register-sharing scheme at equal area
+        /// (Table III bank configuration).
+        Proposed,
+    }
+
+    impl Scheme {
+        /// Display label used in tables.
+        pub fn label(self) -> &'static str {
+            match self {
+                Scheme::Baseline => "baseline",
+                Scheme::Proposed => "proposed",
+            }
+        }
+    }
+
+    /// Builds the renamer for a scheme at a given *baseline-equivalent*
+    /// size of the swept register file; the other file stays at
+    /// [`FIXED_RF`] registers. The proposed scheme gets the Table III
+    /// equal-area bank split for the swept file.
+    pub fn renamer_for(scheme: Scheme, rf_regs: usize, swept: RegClass) -> Box<dyn Renamer> {
+        let fixed = BankConfig::conventional(FIXED_RF);
+        match scheme {
+            Scheme::Baseline => {
+                let swept_banks = BankConfig::conventional(rf_regs);
+                let (int_banks, fp_banks) = match swept {
+                    RegClass::Int => (swept_banks, fixed),
+                    RegClass::Fp => (fixed, swept_banks),
+                };
+                Box::new(BaselineRenamer::new(RenamerConfig {
+                    int_banks,
+                    fp_banks,
+                    ..RenamerConfig::baseline(rf_regs)
+                }))
+            }
+            Scheme::Proposed => {
+                let swept_banks = BankConfig::paper_row(rf_regs);
+                let (int_banks, fp_banks) = match swept {
+                    RegClass::Int => (swept_banks, fixed),
+                    RegClass::Fp => (fixed, swept_banks),
+                };
+                Box::new(ReuseRenamer::new(RenamerConfig {
+                    int_banks,
+                    fp_banks,
+                    ..RenamerConfig::paper(rf_regs)
+                }))
+            }
+        }
+    }
+
+    /// Builds a proposed-scheme renamer with an explicit bank layout
+    /// (used by the ablation studies).
+    pub fn proposed_with_banks(banks: BankConfig, counter_bits: u8) -> Box<dyn Renamer> {
+        let config = RenamerConfig {
+            int_banks: banks.clone(),
+            fp_banks: banks,
+            counter_bits,
+            predictor_entries: 512,
+            predictor_bits: 2,
+            speculative_reuse: true,
+        };
+        Box::new(ReuseRenamer::new(config))
+    }
+
+    /// The simulator configuration used by all experiments: Table I
+    /// defaults, instruction budget `scale`, generous cycle cap.
+    pub fn experiment_config(scale: u64) -> SimConfig {
+        SimConfig {
+            max_instructions: scale,
+            max_cycles: scale.saturating_mul(60).max(1_000_000),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Runs one kernel under one scheme and register-file size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation errors (oracle mismatch, deadlock) — an
+    /// experiment must never silently drop a run.
+    pub fn run_kernel(kernel: &Kernel, scheme: Scheme, rf_regs: usize, scale: u64) -> SimReport {
+        let program = kernel.program(scale);
+        let renamer = renamer_for(scheme, rf_regs, swept_class(kernel.suite));
+        let mut sim = Pipeline::new(program, renamer, experiment_config(scale));
+        match sim.run() {
+            Ok(report) => report,
+            Err(e) => panic!("{} ({}, {} regs): {e}", kernel.name, scheme.label(), rf_regs),
+        }
+    }
+
+    /// Runs a kernel with a custom simulator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation errors.
+    pub fn run_kernel_with(
+        kernel: &Kernel,
+        renamer: Box<dyn Renamer>,
+        config: SimConfig,
+        scale: u64,
+    ) -> SimReport {
+        let program = kernel.program(scale);
+        let mut sim = Pipeline::new(program, renamer, config);
+        match sim.run() {
+            Ok(report) => report,
+            Err(e) => panic!("{}: {e}", kernel.name),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Precise-exception recovery under register sharing: page faults are
+//! injected into kernel data, the pipeline flushes and recovers through
+//! the shadow-cell register file, and the lockstep oracle verifies every
+//! committed instruction afterwards.
+
+use regshare::harness::{experiment_config, renamer_for, swept_class, Scheme};
+use regshare::sim::Pipeline;
+use regshare::workloads::all_kernels;
+
+const SCALE: u64 = 6_000;
+
+#[test]
+fn single_fault_recovers_on_every_kernel_proposed() {
+    for k in all_kernels() {
+        let program = k.program(SCALE);
+        let mut config = experiment_config(SCALE);
+        config.check_oracle = true;
+        // Kernels lay their data at 0x1_0000; fault that page once.
+        config.inject_page_faults = vec![0x1_0000];
+        let mut sim = Pipeline::new(
+            program,
+            renamer_for(Scheme::Proposed, 56, swept_class(k.suite)),
+            config,
+        );
+        let report = sim.run().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert_eq!(report.exceptions, 1, "{} must take exactly one fault", k.name);
+    }
+}
+
+#[test]
+fn single_fault_recovers_on_every_kernel_baseline() {
+    for k in all_kernels() {
+        let program = k.program(SCALE);
+        let mut config = experiment_config(SCALE);
+        config.check_oracle = true;
+        config.inject_page_faults = vec![0x1_0000];
+        let mut sim = Pipeline::new(
+            program,
+            renamer_for(Scheme::Baseline, 56, swept_class(k.suite)),
+            config,
+        );
+        let report = sim.run().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert_eq!(report.exceptions, 1, "{} must take exactly one fault", k.name);
+    }
+}
+
+#[test]
+fn multiple_faults_across_pages() {
+    let kernels = all_kernels();
+    let k = kernels.iter().find(|k| k.name == "saxpy").expect("saxpy exists");
+    let program = k.program(60_000); // big enough to span several pages
+    let mut config = experiment_config(60_000);
+    config.check_oracle = true;
+    config.inject_page_faults = vec![0x1_0000, 0x1_1000, 0x1_2000, 0x1_3000];
+    let mut sim = Pipeline::new(
+        program,
+        renamer_for(Scheme::Proposed, 64, swept_class(k.suite)),
+        config,
+    );
+    let report = sim.run().expect("multi-fault run");
+    assert_eq!(report.exceptions, 4);
+}
+
+#[test]
+fn faults_do_not_change_results() {
+    let kernels = all_kernels();
+    let k = kernels.iter().find(|k| k.name == "gmm").expect("gmm exists");
+    let program = k.program(SCALE);
+
+    let run = |faults: Vec<u64>| {
+        let mut config = experiment_config(0);
+        config.max_cycles = 30_000_000;
+        config.inject_page_faults = faults;
+        let mut sim = Pipeline::new(
+            program.clone(),
+            renamer_for(Scheme::Proposed, 56, swept_class(k.suite)),
+            config,
+        );
+        let report = sim.run().expect("run");
+        assert!(report.halted);
+        // Output location for gmm: the score is written near the data base.
+        let mem: Vec<u64> = (0x1_0000u64..0x1_0200).step_by(8).map(|a| sim.memory().read_u64(a)).collect();
+        (report.exceptions, mem)
+    };
+
+    let (e0, clean) = run(vec![]);
+    let (e1, faulted) = run(vec![0x1_0000]);
+    assert_eq!(e0, 0);
+    assert_eq!(e1, 1);
+    assert_eq!(clean, faulted, "a precise exception must not change results");
+}
+
+#[test]
+fn fault_during_reuse_chain_uses_shadow_recovery() {
+    use regshare::isa::{reg, Asm, DataBuilder};
+
+    // A tight redefining chain ensures values live in shared registers
+    // when the fault strikes mid-loop.
+    const N: u64 = 1024; // spans three pages so the fault lands mid-loop
+    let mut d = DataBuilder::new(0x5000);
+    let arr = d.u64_array(&(0..N).collect::<Vec<u64>>());
+    let out = d.zeros(8);
+    let mut a = Asm::with_data(d);
+    a.li(reg::x(1), arr as i64);
+    a.li(reg::x(2), N as i64);
+    a.li(reg::x(3), 1);
+    let top = a.label();
+    a.bind(top);
+    a.ld(reg::x(4), reg::x(1), 0);
+    a.add(reg::x(3), reg::x(3), reg::x(4));
+    a.addi(reg::x(3), reg::x(3), 1); // chain: x3 redefined twice per iter
+    a.addi(reg::x(1), reg::x(1), 8);
+    a.subi(reg::x(2), reg::x(2), 1);
+    a.bne(reg::x(2), reg::zero(), top);
+    a.li(reg::x(5), out as i64);
+    a.st(reg::x(3), reg::x(5), 0);
+    a.halt();
+    let program = a.assemble();
+
+    let mut config = experiment_config(0);
+    config.max_cycles = 1_000_000;
+    config.check_oracle = true;
+    // Fault the array's second page so reuse chains are hot when it hits.
+    config.inject_page_faults = vec![(arr / 0x1000 + 1) * 0x1000];
+
+    let renamer = renamer_for(Scheme::Proposed, 48, regshare::isa::RegClass::Int);
+    let mut sim = Pipeline::new(program, renamer, config);
+    let report = sim.run().expect("chain fault run");
+    assert!(report.halted);
+    assert_eq!(report.exceptions, 1);
+    let expected: u64 = 1 + (0..N).sum::<u64>() + N;
+    assert_eq!(sim.memory().read_u64(out), expected);
+}

@@ -1,0 +1,141 @@
+//! The strongest end-to-end guarantee in the repository: every benchmark
+//! kernel, under both renaming schemes and several register-file sizes,
+//! commits exactly the instruction stream the functional reference
+//! machine produces (lockstep oracle), and the final architectural memory
+//! matches.
+
+use regshare::harness::{experiment_config, renamer_for, swept_class, Scheme};
+use regshare::isa::Machine;
+use regshare::sim::Pipeline;
+use regshare::workloads::{all_kernels, Kernel};
+
+const SCALE: u64 = 8_000;
+
+fn run_checked(kernel: &Kernel, scheme: Scheme, rf: usize) {
+    let program = kernel.program(SCALE);
+    let mut config = experiment_config(SCALE);
+    config.check_oracle = true;
+    let renamer = renamer_for(scheme, rf, swept_class(kernel.suite));
+    let mut sim = Pipeline::new(program, renamer, config);
+    sim.run().unwrap_or_else(|e| {
+        panic!("{} under {} @ {rf} regs: {e}", kernel.name, scheme.label())
+    });
+}
+
+#[test]
+fn all_kernels_lockstep_baseline_small_rf() {
+    for k in all_kernels() {
+        run_checked(&k, Scheme::Baseline, 48);
+    }
+}
+
+#[test]
+fn all_kernels_lockstep_baseline_large_rf() {
+    for k in all_kernels() {
+        run_checked(&k, Scheme::Baseline, 112);
+    }
+}
+
+#[test]
+fn all_kernels_lockstep_proposed_small_rf() {
+    for k in all_kernels() {
+        run_checked(&k, Scheme::Proposed, 48);
+    }
+}
+
+#[test]
+fn all_kernels_lockstep_proposed_large_rf() {
+    for k in all_kernels() {
+        run_checked(&k, Scheme::Proposed, 112);
+    }
+}
+
+#[test]
+fn committed_instruction_counts_match_across_schemes() {
+    // Both schemes must commit the same dynamic instruction stream.
+    for k in all_kernels().iter().take(6) {
+        let program = k.program(SCALE);
+        let counts: Vec<u64> = [Scheme::Baseline, Scheme::Proposed]
+            .iter()
+            .map(|s| {
+                let mut sim = Pipeline::new(
+                    program.clone(),
+                    renamer_for(*s, 64, swept_class(k.suite)),
+                    experiment_config(SCALE),
+                );
+                sim.run().expect("run").committed_instructions
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1], "{}", k.name);
+    }
+}
+
+#[test]
+fn final_memory_matches_functional_machine() {
+    // Sample memory locations after full kernel runs (no instruction cap).
+    for k in all_kernels() {
+        let program = k.program(3_000);
+        let mut machine = Machine::new(program.clone());
+        machine.run(10_000_000).expect("functional run");
+
+        let mut config = experiment_config(0);
+        config.max_instructions = 0; // run to halt
+        config.max_cycles = 30_000_000;
+        config.check_oracle = true;
+        let mut sim = Pipeline::new(
+            program,
+            renamer_for(Scheme::Proposed, 56, swept_class(k.suite)),
+            config,
+        );
+        let report = sim.run().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        assert!(report.halted, "{} must halt", k.name);
+        assert_eq!(
+            report.committed_instructions,
+            machine.retired(),
+            "{}: committed counts differ",
+            k.name
+        );
+        // Spot-check the data pages the kernel wrote.
+        for addr in (0x1_0000u64..0x1_0400).step_by(8) {
+            assert_eq!(
+                sim.memory().read_u64(addr),
+                machine.memory().read_u64(addr),
+                "{}: memory diverged at {addr:#x}",
+                k.name
+            );
+        }
+    }
+}
+
+#[test]
+fn proposed_never_allocates_more_than_baseline() {
+    for k in all_kernels().iter().take(8) {
+        let program = k.program(SCALE);
+        let mut base = Pipeline::new(
+            program.clone(),
+            renamer_for(Scheme::Baseline, 80, swept_class(k.suite)),
+            experiment_config(SCALE),
+        );
+        let rb = base.run().expect("baseline");
+        let mut prop = Pipeline::new(
+            program,
+            renamer_for(Scheme::Proposed, 80, swept_class(k.suite)),
+            experiment_config(SCALE),
+        );
+        let rp = prop.run().expect("proposed");
+        assert!(
+            rp.rename.allocations <= rb.rename.allocations,
+            "{}: proposed allocated more registers than baseline",
+            k.name
+        );
+        // Reuses only ever replace allocations; the totals stay in the
+        // same ballpark (wrong-path rename volume may differ slightly).
+        let base_total = rb.rename.allocations as f64;
+        let prop_total = (rp.rename.allocations + rp.rename.reuses) as f64;
+        assert!(
+            (prop_total - base_total).abs() / base_total < 0.2,
+            "{}: renamed destination counts diverged: {base_total} vs {prop_total}",
+            k.name
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based end-to-end testing: random synthetic programs are run
+//! through the out-of-order pipeline under both renaming schemes with the
+//! lockstep oracle enabled. Any divergence between the timing model and
+//! the functional semantics — including any register-sharing corruption —
+//! fails the property.
+
+use proptest::prelude::*;
+use regshare::core::{BankConfig, BaselineRenamer, RenamerConfig, ReuseRenamer};
+use regshare::harness::experiment_config;
+use regshare::sim::Pipeline;
+use regshare::workloads::synthetic::{generate, SyntheticConfig};
+
+fn synthetic_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        10usize..120,
+        1u64..30,
+        0.0f64..1.0,
+        0.0f64..0.8,
+        0.0f64..0.3,
+        0.0f64..0.25,
+        any::<u64>(),
+    )
+        .prop_map(|(body, iterations, bias, fp, mem, br, seed)| SyntheticConfig {
+            body,
+            iterations,
+            single_use_bias: bias,
+            fp_fraction: fp,
+            mem_fraction: mem,
+            branch_fraction: br,
+            seed,
+        })
+}
+
+fn bank_split() -> impl Strategy<Value = BankConfig> {
+    // Total 40..72 registers with assorted shadow banks (always > 32).
+    (33usize..56, 0usize..8, 0usize..8, 0usize..8)
+        .prop_map(|(n0, n1, n2, n3)| BankConfig::new(vec![n0, n1, n2, n3]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn baseline_matches_oracle(cfg in synthetic_config(), regs in 34usize..96) {
+        let program = generate(cfg);
+        let mut sim_cfg = experiment_config(0);
+        sim_cfg.max_cycles = 3_000_000;
+        sim_cfg.check_oracle = true;
+        let renamer = BaselineRenamer::new(RenamerConfig::baseline(regs));
+        let mut sim = Pipeline::new(program, Box::new(renamer), sim_cfg);
+        let report = sim.run().expect("baseline oracle run");
+        prop_assert!(report.halted);
+    }
+
+    #[test]
+    fn reuse_matches_oracle(cfg in synthetic_config(), banks in bank_split(), bits in 1u8..=3) {
+        let program = generate(cfg);
+        let mut sim_cfg = experiment_config(0);
+        sim_cfg.max_cycles = 3_000_000;
+        sim_cfg.check_oracle = true;
+        let rc = RenamerConfig {
+            int_banks: banks.clone(),
+            fp_banks: banks,
+            counter_bits: bits,
+            predictor_entries: 128,
+            predictor_bits: 2,
+            speculative_reuse: true,
+        };
+        let mut sim = Pipeline::new(program, Box::new(ReuseRenamer::new(rc)), sim_cfg);
+        let report = sim.run().expect("reuse oracle run");
+        prop_assert!(report.halted);
+    }
+
+    #[test]
+    fn reuse_with_faults_matches_oracle(cfg in synthetic_config(), fault_page in 0u64..4) {
+        let program = generate(cfg);
+        let mut sim_cfg = experiment_config(0);
+        sim_cfg.max_cycles = 3_000_000;
+        sim_cfg.check_oracle = true;
+        // The synthetic scratch region starts at 0x2_0000.
+        sim_cfg.inject_page_faults = vec![0x2_0000 + fault_page * 0x1000];
+        let renamer = ReuseRenamer::new(RenamerConfig::paper(64));
+        let mut sim = Pipeline::new(program, Box::new(renamer), sim_cfg);
+        let report = sim.run().expect("faulting oracle run");
+        prop_assert!(report.halted);
+    }
+}

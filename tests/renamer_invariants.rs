@@ -1,0 +1,213 @@
+//! Property-based invariants on the renaming schemes driven directly
+//! (without the pipeline): random rename/commit/squash interleavings must
+//! conserve registers, keep versions within capacity, and leave the map
+//! consistent.
+
+use proptest::prelude::*;
+use regshare::core::{
+    BankConfig, BaselineRenamer, EarlyReleaseRenamer, RenamerConfig, Renamer, ReuseRenamer,
+    UopKind,
+};
+use regshare::isa::{reg, Inst, Opcode, RegClass};
+use std::collections::VecDeque;
+
+/// One step of the random driver.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Rename an ALU op `x[d] <- x[s1] op x[s2]`.
+    Rename { d: u8, s1: u8, s2: u8, op: u8 },
+    /// Rename a store (no destination).
+    Store { s1: u8, s2: u8 },
+    /// Commit the oldest in-flight micro-op.
+    Commit,
+    /// Squash the youngest `n` renamed instructions.
+    Squash { keep_ratio: u8 },
+    /// Issue (read operands of) the oldest unissued micro-op and write it
+    /// back — drives the early-release hooks.
+    IssueOldest,
+    /// Advance the non-speculative boundary to the oldest in-flight op.
+    Resolve,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => (0u8..31, 0u8..31, 0u8..31, 0u8..4)
+            .prop_map(|(d, s1, s2, op)| Step::Rename { d, s1, s2, op }),
+        1 => (0u8..31, 0u8..31).prop_map(|(s1, s2)| Step::Store { s1, s2 }),
+        4 => Just(Step::Commit),
+        1 => (0u8..=100).prop_map(|keep_ratio| Step::Squash { keep_ratio }),
+        2 => Just(Step::IssueOldest),
+        2 => Just(Step::Resolve),
+    ]
+}
+
+fn inst_for(step: &Step) -> Inst {
+    match step {
+        Step::Rename { d, s1, s2, op } => {
+            let opcode = [Opcode::Add, Opcode::Sub, Opcode::Xor, Opcode::Mul][*op as usize];
+            Inst::rrr(opcode, reg::x(*d), reg::x(*s1), reg::x(*s2))
+        }
+        Step::Store { s1, s2 } => Inst::store(Opcode::St, reg::x(*s1), reg::x(*s2), 0),
+        _ => unreachable!("only rename steps have instructions"),
+    }
+}
+
+/// Drives a renamer through the steps, tracking in-flight seqs, and
+/// checks conservation invariants throughout.
+///
+/// `min_pinned` is the minimum number of distinct physical registers the
+/// 32 committed logical mappings can occupy: 32 for the baseline, but as
+/// low as 4 under register sharing (up to 8 versions of one register can
+/// each hold a logical mapping — sharing is the point of the scheme).
+fn drive(renamer: &mut dyn Renamer, steps: &[Step], total_regs: usize, min_pinned: usize) {
+    let mut in_flight: VecDeque<u64> = VecDeque::new();
+    let mut unissued: VecDeque<u64> = VecDeque::new();
+    let mut next_seq = 1u64;
+    let mut pc = 0u64;
+    for step in steps {
+        match step {
+            Step::Rename { .. } | Step::Store { .. } => {
+                let inst = inst_for(step);
+                pc += 1;
+                if let Some(uops) = renamer.rename(next_seq, pc, &inst) {
+                    for u in &uops {
+                        assert!(matches!(u.kind, UopKind::Main | UopKind::RepairMove));
+                        in_flight.push_back(u.seq);
+                        unissued.push_back(u.seq);
+                    }
+                    next_seq += uops.len() as u64;
+                }
+            }
+            Step::IssueOldest => {
+                if let Some(seq) = unissued.pop_front() {
+                    renamer.on_operands_read(seq);
+                    renamer.on_writeback(seq);
+                }
+            }
+            Step::Resolve => {
+                let boundary = in_flight.front().copied().unwrap_or(next_seq);
+                renamer.advance_nonspeculative(boundary);
+            }
+            Step::Commit => {
+                if let Some(seq) = in_flight.pop_front() {
+                    // In-order issue before commit, as the pipeline
+                    // guarantees.
+                    if unissued.front() == Some(&seq) {
+                        unissued.pop_front();
+                        renamer.on_operands_read(seq);
+                        renamer.on_writeback(seq);
+                    }
+                    renamer.commit(seq);
+                }
+            }
+            Step::Squash { keep_ratio } => {
+                let keep = in_flight.len() * (*keep_ratio as usize) / 100;
+                let boundary = if keep == 0 {
+                    // Squash everything renamed so far but not committed.
+                    in_flight.front().map(|s| s - 1).unwrap_or(0)
+                } else {
+                    in_flight[keep - 1]
+                };
+                renamer.squash_after(boundary);
+                while in_flight.len() > keep {
+                    let seq = in_flight.pop_back().expect("non-empty");
+                    unissued.retain(|s| *s != seq);
+                }
+            }
+        }
+        // Invariants: the committed mappings always pin at least
+        // `min_pinned` registers, and every register is either free or
+        // in use (conservation).
+        let free = renamer.free_regs(RegClass::Int);
+        assert!(
+            free <= total_regs - min_pinned,
+            "free list larger than possible: {free}"
+        );
+        let in_use: usize = renamer.in_use_per_bank(RegClass::Int).iter().sum();
+        assert_eq!(in_use + free, total_regs, "register conservation violated");
+    }
+    // Drain: issue and commit everything left; all mappings then stable.
+    while let Some(seq) = in_flight.pop_front() {
+        if unissued.front() == Some(&seq) {
+            unissued.pop_front();
+            renamer.on_operands_read(seq);
+            renamer.on_writeback(seq);
+        }
+        renamer.commit(seq);
+    }
+    let free = renamer.free_regs(RegClass::Int);
+    let in_use: usize = renamer.in_use_per_bank(RegClass::Int).iter().sum();
+    assert_eq!(in_use + free, total_regs);
+    assert!(in_use >= min_pinned, "committed state must stay pinned");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn baseline_conserves_registers(steps in prop::collection::vec(step_strategy(), 1..200)) {
+        let total = 64;
+        let mut r = BaselineRenamer::new(RenamerConfig::baseline(total));
+        drive(&mut r, &steps, total, 32);
+    }
+
+    #[test]
+    fn reuse_conserves_registers(
+        steps in prop::collection::vec(step_strategy(), 1..200),
+        n1 in 0usize..6, n2 in 0usize..6, n3 in 0usize..6,
+        bits in 1u8..=3,
+    ) {
+        let n0 = 48;
+        let total = n0 + n1 + n2 + n3;
+        let banks = BankConfig::new(vec![n0, n1, n2, n3]);
+        let config = RenamerConfig {
+            int_banks: banks.clone(),
+            fp_banks: banks,
+            counter_bits: bits,
+            predictor_entries: 64,
+            predictor_bits: 2,
+            speculative_reuse: true,
+        };
+        let mut r = ReuseRenamer::new(config);
+        drive(&mut r, &steps, total, 4);
+    }
+
+    #[test]
+    fn early_release_conserves_registers(steps in prop::collection::vec(step_strategy(), 1..200)) {
+        let total = 64;
+        let mut r = EarlyReleaseRenamer::new(RenamerConfig::baseline(total));
+        drive(&mut r, &steps, total, 32);
+    }
+
+    #[test]
+    fn squash_restores_rename_map(
+        steps in prop::collection::vec(step_strategy(), 1..60),
+    ) {
+        // Rename a batch, snapshot the map, rename more, squash back:
+        // the map must be restored exactly.
+        let mut r = ReuseRenamer::new(RenamerConfig::small_test());
+        let mut next_seq = 1u64;
+        let mut pc = 0u64;
+        for step in &steps {
+            if matches!(step, Step::Rename { .. } | Step::Store { .. }) {
+                if let Some(uops) = r.rename(next_seq, pc, &inst_for(step)) {
+                    next_seq += uops.len() as u64;
+                }
+                pc += 1;
+            }
+        }
+        let snapshot = r.map().clone();
+        let boundary = next_seq - 1;
+        // A second batch, then squash it entirely.
+        for step in &steps {
+            if matches!(step, Step::Rename { .. } | Step::Store { .. }) {
+                if let Some(uops) = r.rename(next_seq, pc, &inst_for(step)) {
+                    next_seq += uops.len() as u64;
+                }
+                pc += 1;
+            }
+        }
+        r.squash_after(boundary);
+        prop_assert_eq!(r.map(), &snapshot);
+    }
+}
