@@ -1,0 +1,46 @@
+//! Raw simulator throughput: committed micro-ops per host second on one
+//! integer and one floating-point kernel, under both renaming schemes.
+//!
+//! The table/figure benches measure experiment-harness latency; this one
+//! tracks the core simulator loop itself, using criterion's throughput
+//! reporting so regressions show up as uops/sec, the same unit
+//! `SimReport` prints. The event-driven wakeup, the completion wheel and
+//! the flattened scoreboard all live on this path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use regshare_bench::{baseline_renamer, proposed_renamer, run, swept_class, BENCH_SCALE};
+use regshare_workloads::all_kernels;
+use std::hint::black_box;
+
+/// One integer and one floating-point kernel, picked by name so the
+/// bench keeps measuring the same workloads if the suite grows.
+const KERNELS: [&str; 2] = ["crc32", "saxpy"];
+
+fn bench_throughput(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let mut group = c.benchmark_group("simulator_throughput");
+    for name in KERNELS {
+        let kernel = kernels
+            .iter()
+            .find(|k| k.name == name)
+            .unwrap_or_else(|| panic!("kernel {name} missing from suite"));
+        let swept = swept_class(kernel.suite);
+        // Uop counts differ per scheme (wrong-path work is excluded), so
+        // measure one run and let criterion scale by committed uops.
+        let committed = run(kernel, baseline_renamer(64, swept)).committed_uops;
+        group.throughput(Throughput::Elements(committed));
+        group.bench_function(format!("{name}_baseline_uops"), |b| {
+            b.iter(|| black_box(run(kernel, baseline_renamer(64, swept)).committed_uops))
+        });
+        let committed = run(kernel, proposed_renamer(64, swept)).committed_uops;
+        group.throughput(Throughput::Elements(committed));
+        group.bench_function(format!("{name}_proposed_uops"), |b| {
+            b.iter(|| black_box(run(kernel, proposed_renamer(64, swept)).committed_uops))
+        });
+    }
+    group.finish();
+    let _ = BENCH_SCALE; // scale is baked into `run`
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

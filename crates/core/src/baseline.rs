@@ -199,6 +199,10 @@ impl Renamer for BaselineRenamer {
     fn banks(&self, class: RegClass) -> &BankConfig {
         self.config.banks(class)
     }
+
+    fn max_version(&self) -> u8 {
+        self.config.max_version()
+    }
 }
 
 #[cfg(test)]

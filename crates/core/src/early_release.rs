@@ -25,7 +25,8 @@
 use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
 use crate::{BankConfig, FreeList, MapTable, PhysReg, TaggedReg};
 use regshare_isa::{ArchReg, Inst, RegClass};
-use std::collections::{HashMap, VecDeque};
+use regshare_stats::FastHashMap;
+use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
 struct DstChange {
@@ -80,16 +81,24 @@ pub struct EarlyReleaseRenamer {
     records: VecDeque<Record>,
     /// Pending reads per physical register.
     pending_reads: [Vec<u32>; 2],
-    /// Sources each in-flight micro-op has not read yet.
-    unread: HashMap<u64, Vec<(RegClass, PhysReg)>>,
-    /// Old registers waiting for release conditions.
-    pending_releases: Vec<PendingRelease>,
+    /// Sources each in-flight micro-op has not read yet (inline — a
+    /// micro-op has at most three sources — so the per-rename hot path
+    /// never touches the allocator).
+    unread: FastHashMap<u64, [Option<(RegClass, PhysReg)>; 3]>,
+    /// Old registers whose redefiner is still speculative, in rename
+    /// (sequence) order — the non-speculative boundary releases them
+    /// from the front as it advances.
+    spec_releases: VecDeque<PendingRelease>,
+    /// Old registers past the boundary but still blocked on pending
+    /// reads or an in-flight producer write. Usually near-empty: most
+    /// registers release the moment they become non-speculative.
+    blocked_releases: Vec<PendingRelease>,
     /// Whether each register's current producer has written back; a
     /// register must not be released (and reallocated) while its value is
     /// still in flight, or the late write would clobber the new owner.
     producer_written: [Vec<bool>; 2],
     /// Registers each in-flight micro-op will write at its writeback.
-    pending_writes: HashMap<u64, Vec<(RegClass, PhysReg)>>,
+    pending_writes: FastHashMap<u64, [Option<(RegClass, PhysReg)>; 2]>,
     ns_boundary: u64,
     stats: RenameStats,
 }
@@ -138,10 +147,11 @@ impl EarlyReleaseRenamer {
             free,
             records: VecDeque::new(),
             pending_reads,
-            unread: HashMap::new(),
-            pending_releases: Vec::new(),
+            unread: FastHashMap::default(),
+            spec_releases: VecDeque::new(),
+            blocked_releases: Vec::new(),
             producer_written,
-            pending_writes: HashMap::new(),
+            pending_writes: FastHashMap::default(),
             ns_boundary: 0,
             stats: RenameStats::new(),
         }
@@ -154,21 +164,31 @@ impl EarlyReleaseRenamer {
 
     /// Registers currently awaiting their early-release conditions.
     pub fn pending_release_count(&self) -> usize {
-        self.pending_releases.len()
+        self.spec_releases.len() + self.blocked_releases.len()
     }
 
-    fn try_release(&mut self) {
-        let boundary = self.ns_boundary;
+    fn releasable(&self, p: PendingRelease) -> bool {
+        self.pending_reads[p.class.index()][p.preg.0 as usize] == 0
+            && self.producer_written[p.class.index()][p.preg.0 as usize]
+    }
+
+    fn free_released(&mut self, p: PendingRelease) {
+        self.free[p.class.index()].free(p.preg, self.config.banks(p.class));
+        self.stats.releases += 1;
+        self.stats.chain_lengths.record(0);
+    }
+
+    /// Releases every blocked entry whose conditions now hold. Called
+    /// after a pending-read counter drops or a producer writes back —
+    /// the only events that can unblock an entry, which keeps the
+    /// release check off the every-cycle path the old full scan sat on.
+    fn release_unblocked(&mut self) {
         let mut i = 0;
-        while i < self.pending_releases.len() {
-            let p = self.pending_releases[i];
-            let reads = self.pending_reads[p.class.index()][p.preg.0 as usize];
-            let written = self.producer_written[p.class.index()][p.preg.0 as usize];
-            if p.redefiner_seq < boundary && reads == 0 && written {
-                self.free[p.class.index()].free(p.preg, self.config.banks(p.class));
-                self.stats.releases += 1;
-                self.stats.chain_lengths.record(0);
-                self.pending_releases.swap_remove(i);
+        while i < self.blocked_releases.len() {
+            let p = self.blocked_releases[i];
+            if self.releasable(p) {
+                self.free_released(p);
+                self.blocked_releases.swap_remove(i);
             } else {
                 i += 1;
             }
@@ -178,41 +198,60 @@ impl EarlyReleaseRenamer {
     fn force_release(&mut self, redefiner_seq: u64) {
         // At commit the redefiner is trivially non-speculative and all
         // older readers have committed (in-order commit), so any entry it
-        // queued can be released unconditionally.
-        let mut i = 0;
-        while i < self.pending_releases.len() {
-            let p = self.pending_releases[i];
-            if p.redefiner_seq == redefiner_seq {
-                debug_assert_eq!(
-                    self.pending_reads[p.class.index()][p.preg.0 as usize],
-                    0,
-                    "older readers must have issued before the redefiner commits"
-                );
+        // queued can be released unconditionally. In-order commit also
+        // means no older redefiner can still be queued, so its entries
+        // sit at the front of the speculative queue (when the boundary
+        // has not overtaken it yet) or in the blocked set.
+        while let Some(&p) = self.spec_releases.front() {
+            if p.redefiner_seq != redefiner_seq {
                 debug_assert!(
-                    self.producer_written[p.class.index()][p.preg.0 as usize],
-                    "the old producer must have written before the redefiner commits"
+                    p.redefiner_seq > redefiner_seq,
+                    "an older redefiner outlived a younger commit"
                 );
-                self.free[p.class.index()].free(p.preg, self.config.banks(p.class));
-                self.stats.releases += 1;
-                self.stats.chain_lengths.record(0);
-                self.pending_releases.swap_remove(i);
+                break;
+            }
+            self.check_commit_released(p);
+            self.free_released(p);
+            self.spec_releases.pop_front();
+        }
+        let mut i = 0;
+        while i < self.blocked_releases.len() {
+            let p = self.blocked_releases[i];
+            if p.redefiner_seq == redefiner_seq {
+                self.check_commit_released(p);
+                self.free_released(p);
+                self.blocked_releases.swap_remove(i);
             } else {
                 i += 1;
             }
         }
+    }
+
+    fn check_commit_released(&self, p: PendingRelease) {
+        debug_assert_eq!(
+            self.pending_reads[p.class.index()][p.preg.0 as usize],
+            0,
+            "older readers must have issued before the redefiner commits"
+        );
+        debug_assert!(
+            self.producer_written[p.class.index()][p.preg.0 as usize],
+            "the old producer must have written before the redefiner commits"
+        );
     }
 }
 
 impl Renamer for EarlyReleaseRenamer {
     fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<Vec<Uop>> {
         let mut srcs = [None; 3];
-        let mut read_list: Vec<(RegClass, PhysReg)> = Vec::new();
+        let mut read_list = [None; 3];
+        let mut n_reads = 0;
         for (slot, src) in srcs.iter_mut().zip(inst.raw_sources()) {
             if let Some(r) = src.filter(|r| !r.is_zero()) {
                 let tag = self.map.get(r);
                 *slot = Some(tag);
-                if !read_list.contains(&(tag.class, tag.preg)) {
-                    read_list.push((tag.class, tag.preg));
+                if !read_list.contains(&Some((tag.class, tag.preg))) {
+                    read_list[n_reads] = Some((tag.class, tag.preg));
+                    n_reads += 1;
                 }
             }
         }
@@ -259,23 +298,23 @@ impl Renamer for EarlyReleaseRenamer {
         // Commit to this rename: count the pending reads, mark the new
         // registers as not-yet-written, and queue the early releases of
         // the replaced mappings.
-        for (class, preg) in &read_list {
+        for (class, preg) in read_list.iter().flatten() {
             self.pending_reads[class.index()][preg.0 as usize] += 1;
         }
-        if !read_list.is_empty() {
+        if n_reads > 0 {
             self.unread.insert(seq, read_list);
         }
-        let mut writes = Vec::new();
-        for d in [dst_change, dst2_change].into_iter().flatten() {
+        let mut writes = [None; 2];
+        for (w, d) in writes.iter_mut().zip([dst_change, dst2_change].into_iter().flatten()) {
             self.producer_written[d.new_map.class.index()][d.new_map.preg.0 as usize] = false;
-            writes.push((d.new_map.class, d.new_map.preg));
-            self.pending_releases.push(PendingRelease {
+            *w = Some((d.new_map.class, d.new_map.preg));
+            self.spec_releases.push_back(PendingRelease {
                 redefiner_seq: seq,
                 class: d.old_map.class,
                 preg: d.old_map.preg,
             });
         }
-        if !writes.is_empty() {
+        if writes[0].is_some() {
             self.pending_writes.insert(seq, writes);
         }
 
@@ -296,7 +335,7 @@ impl Renamer for EarlyReleaseRenamer {
         // bookkeeping properly so a counter can never leak and pin a
         // register forever.
         if let Some(reads) = self.unread.remove(&seq) {
-            for (class, preg) in reads {
+            for (class, preg) in reads.into_iter().flatten() {
                 let c = &mut self.pending_reads[class.index()][preg.0 as usize];
                 *c = c.saturating_sub(1);
             }
@@ -316,16 +355,12 @@ impl Renamer for EarlyReleaseRenamer {
             let record = self.records.pop_back().expect("just checked non-empty");
             // Give back the reads this micro-op never performed.
             if let Some(reads) = self.unread.remove(&record.seq) {
-                for (class, preg) in reads {
+                for (class, preg) in reads.into_iter().flatten() {
                     let c = &mut self.pending_reads[class.index()][preg.0 as usize];
                     debug_assert!(*c > 0, "pending-read underflow on squash");
                     *c -= 1;
                 }
             }
-            // Cancel its queued releases (condition 1 guarantees the old
-            // register was not released yet: the redefiner was still
-            // speculative, or it could not have been squashed).
-            self.pending_releases.retain(|p| p.redefiner_seq != record.seq);
             // Its own registers will never be written now; they return to
             // the free list below and the flag resets at reallocation.
             self.pending_writes.remove(&record.seq);
@@ -337,34 +372,54 @@ impl Renamer for EarlyReleaseRenamer {
             outcome.undone += 1;
             self.stats.squashed += 1;
         }
-        self.try_release();
+        // Cancel the squashed micro-ops' queued releases (condition 1
+        // guarantees none was released yet: a releasing redefiner is
+        // non-speculative and cannot be squashed, so every casualty is
+        // still in the speculative suffix).
+        while self.spec_releases.back().is_some_and(|p| p.redefiner_seq > seq) {
+            self.spec_releases.pop_back();
+        }
+        debug_assert!(
+            self.blocked_releases.iter().all(|p| p.redefiner_seq <= seq),
+            "a non-speculative release entry was squashed"
+        );
+        // The restored read counters may have unblocked an older entry.
+        self.release_unblocked();
         outcome
     }
 
     fn on_writeback(&mut self, seq: u64) {
         if let Some(writes) = self.pending_writes.remove(&seq) {
-            for (class, preg) in writes {
+            for (class, preg) in writes.into_iter().flatten() {
                 self.producer_written[class.index()][preg.0 as usize] = true;
             }
-            self.try_release();
+            self.release_unblocked();
         }
     }
 
     fn on_operands_read(&mut self, seq: u64) {
         if let Some(reads) = self.unread.remove(&seq) {
-            for (class, preg) in reads {
+            for (class, preg) in reads.into_iter().flatten() {
                 let c = &mut self.pending_reads[class.index()][preg.0 as usize];
                 debug_assert!(*c > 0, "pending-read underflow on issue");
                 *c -= 1;
             }
-            self.try_release();
+            self.release_unblocked();
         }
     }
 
     fn advance_nonspeculative(&mut self, boundary: u64) {
-        if boundary > self.ns_boundary {
-            self.ns_boundary = boundary;
-            self.try_release();
+        if boundary <= self.ns_boundary {
+            return;
+        }
+        self.ns_boundary = boundary;
+        while self.spec_releases.front().is_some_and(|p| p.redefiner_seq < boundary) {
+            let p = self.spec_releases.pop_front().expect("front checked above");
+            if self.releasable(p) {
+                self.free_released(p);
+            } else {
+                self.blocked_releases.push(p);
+            }
         }
     }
 
@@ -385,6 +440,10 @@ impl Renamer for EarlyReleaseRenamer {
 
     fn banks(&self, class: RegClass) -> &BankConfig {
         self.config.banks(class)
+    }
+
+    fn max_version(&self) -> u8 {
+        self.config.max_version()
     }
 }
 

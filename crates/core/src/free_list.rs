@@ -27,28 +27,37 @@ use crate::{BankConfig, PhysReg};
 #[derive(Debug, Clone)]
 pub struct FreeList {
     per_bank: Vec<Vec<PhysReg>>,
+    /// `orders[p]` is the bank visit order when bank `p` is preferred
+    /// (by distance, larger bank first on ties). Precomputed once so the
+    /// per-allocation fast path is a plain table walk instead of a sort.
+    orders: Vec<Vec<u8>>,
 }
 
 impl FreeList {
     /// Creates a free list containing every register of the layout.
     pub fn new(banks: &BankConfig) -> Self {
-        let mut per_bank = Vec::with_capacity(banks.num_banks());
-        for k in 0..banks.num_banks() {
+        let n = banks.num_banks();
+        let mut per_bank = Vec::with_capacity(n);
+        for k in 0..n {
             let regs: Vec<PhysReg> = banks.bank_range(k).rev().map(PhysReg).collect();
             per_bank.push(regs);
         }
-        FreeList { per_bank }
+        let orders = (0..n as i32)
+            .map(|pref| {
+                let mut order: Vec<i32> = (0..n as i32).collect();
+                order.sort_by_key(|&k| ((k - pref).abs(), std::cmp::Reverse(k)));
+                order.into_iter().map(|k| k as u8).collect()
+            })
+            .collect();
+        FreeList { per_bank, orders }
     }
 
     /// Allocates from `preferred_bank`, falling back to the closest
     /// non-empty bank (larger first on ties). Returns `None` when every
     /// bank is empty — the rename stall condition.
     pub fn alloc(&mut self, preferred_bank: u8) -> Option<PhysReg> {
-        let n = self.per_bank.len() as i32;
-        let pref = (preferred_bank as i32).min(n - 1);
-        let mut order: Vec<i32> = (0..n).collect();
-        order.sort_by_key(|&k| ((k - pref).abs(), std::cmp::Reverse(k)));
-        for k in order {
+        let pref = (preferred_bank as usize).min(self.per_bank.len() - 1);
+        for &k in &self.orders[pref] {
             if let Some(p) = self.per_bank[k as usize].pop() {
                 return Some(p);
             }

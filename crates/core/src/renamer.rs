@@ -230,6 +230,11 @@ pub trait Renamer {
     /// The bank layout of one class.
     fn banks(&self, class: RegClass) -> &BankConfig;
 
+    /// The version saturation value of the scheme's version counter
+    /// (`2^counter_bits − 1`). The pipeline sizes its scoreboard to
+    /// exactly `max_version() + 1` slots per physical register.
+    fn max_version(&self) -> u8;
+
     /// Register-type predictor accuracy (Fig. 12); zeroes for schemes
     /// without a predictor.
     fn predictor_stats(&self) -> crate::PredictorStats {

@@ -5,7 +5,8 @@ use crate::{
     BankConfig, FreeList, MapTable, PhysReg, Prt, RegTypePredictor, SingleUsePredictor, TaggedReg,
 };
 use regshare_isa::{ArchReg, Inst, RegClass};
-use std::collections::{HashMap, VecDeque};
+use regshare_stats::FastHashMap;
+use std::collections::VecDeque;
 
 /// Per-physical-register allocation metadata, used for the predictor's
 /// release-time feedback and the Fig. 12 accuracy accounting.
@@ -213,7 +214,7 @@ impl ReuseRenamer {
 
     /// Undoes one record's rename effects (shared by squash and the
     /// stall rollback path). Appends recover candidates.
-    fn undo_record(&mut self, record: Record, recovers: &mut HashMap<(RegClass, PhysReg), u8>) {
+    fn undo_record(&mut self, record: Record, recovers: &mut FastHashMap<(RegClass, PhysReg), u8>) {
         self.undo_dst_action(record.dst2, recovers);
         self.undo_dst_action(record.dst, recovers);
         for (class, preg, prev) in record.read_marks.into_iter().rev() {
@@ -224,7 +225,7 @@ impl ReuseRenamer {
     fn undo_dst_action(
         &mut self,
         action: DstAction,
-        recovers: &mut HashMap<(RegClass, PhysReg), u8>,
+        recovers: &mut FastHashMap<(RegClass, PhysReg), u8>,
     ) {
         match action {
             DstAction::None => {}
@@ -260,8 +261,10 @@ impl Renamer for ReuseRenamer {
         let mut next_seq = seq;
         let mut src_tags: [Option<TaggedReg>; 3] = [None; 3];
         // Logical registers repaired in this rename (handles a register
-        // appearing in several operand slots).
-        let mut repaired: HashMap<ArchReg, TaggedReg> = HashMap::new();
+        // appearing in several operand slots). At most one entry per
+        // source slot, so a linear scan beats any map.
+        let mut repaired: [Option<(ArchReg, TaggedReg)>; 3] = [None; 3];
+        let mut n_repaired = 0;
         let mut stall = false;
         // Predictor learning is deferred until the rename is known to
         // succeed: a stalled rename retries every cycle and must not pump
@@ -276,7 +279,7 @@ impl Renamer for ReuseRenamer {
         // mappings with injected move micro-ops (§IV-D1).
         for (slot, raw) in src_tags.iter_mut().zip(inst.raw_sources()) {
             let Some(r) = raw.filter(|r| !r.is_zero()) else { continue };
-            if let Some(t) = repaired.get(&r) {
+            if let Some((_, t)) = repaired.iter().flatten().find(|(a, _)| *a == r) {
                 *slot = Some(*t);
                 continue;
             }
@@ -313,20 +316,24 @@ impl Renamer for ReuseRenamer {
                 dst2: None,
             });
             next_seq += 1;
-            repaired.insert(r, new_tag);
+            repaired[n_repaired] = Some((r, new_tag));
+            n_repaired += 1;
             *slot = Some(new_tag);
         }
 
         // Phase B: set read bits for the main micro-op's sources.
+        // `read_marks` doubles as this rename's previous-read-bit lookup
+        // (at most one entry per source slot).
         let mut read_marks: Vec<(RegClass, PhysReg, bool)> = Vec::new();
-        let mut prev_read: HashMap<(RegClass, PhysReg), bool> = HashMap::new();
+        let prev_read = |marks: &[(RegClass, PhysReg, bool)], class: RegClass, preg: PhysReg| {
+            marks.iter().find(|&&(c, p, _)| c == class && p == preg).map(|&(_, _, prev)| prev)
+        };
         if !stall {
             for t in src_tags.iter().flatten() {
-                if prev_read.contains_key(&(t.class, t.preg)) {
+                if prev_read(&read_marks, t.class, t.preg).is_some() {
                     continue;
                 }
                 let prev = self.prt[t.class.index()].mark_read(t.preg);
-                prev_read.insert((t.class, t.preg), prev);
                 read_marks.push((t.class, t.preg, prev));
             }
         }
@@ -353,7 +360,7 @@ impl Renamer for ReuseRenamer {
                         continue;
                     }
                     considered.push(t.preg);
-                    let first_use = !prev_read.get(&(t.class, t.preg)).copied().unwrap_or(true);
+                    let first_use = !prev_read(&read_marks, t.class, t.preg).unwrap_or(true);
                     if !first_use {
                         continue;
                     }
@@ -436,7 +443,7 @@ impl Renamer for ReuseRenamer {
                     .flatten()
                     .expect("post-increment base is always a source");
                 let first_use =
-                    !prev_read.get(&(base_tag.class, base_tag.preg)).copied().unwrap_or(true);
+                    !prev_read(&read_marks, base_tag.class, base_tag.preg).unwrap_or(true);
                 let cells = self.shadow_cells(class, base_tag.preg);
                 let capacity = base_tag.version < cells
                     && self.prt[class.index()].can_bump(base_tag.preg);
@@ -474,7 +481,7 @@ impl Renamer for ReuseRenamer {
 
         if stall {
             // Roll back everything staged in this rename, youngest first.
-            let mut scratch = HashMap::new();
+            let mut scratch = FastHashMap::default();
             self.undo_record(
                 Record { seq: next_seq, read_marks, dst: dst_action, dst2: dst2_action },
                 &mut scratch,
@@ -553,7 +560,7 @@ impl Renamer for ReuseRenamer {
     }
 
     fn squash_after(&mut self, seq: u64) -> SquashOutcome {
-        let mut recovers: HashMap<(RegClass, PhysReg), u8> = HashMap::new();
+        let mut recovers: FastHashMap<(RegClass, PhysReg), u8> = FastHashMap::default();
         let mut undone = 0;
         while let Some(record) = self.records.back() {
             if record.seq <= seq {
@@ -590,6 +597,10 @@ impl Renamer for ReuseRenamer {
 
     fn banks(&self, class: RegClass) -> &BankConfig {
         self.config.banks(class)
+    }
+
+    fn max_version(&self) -> u8 {
+        self.config.max_version()
     }
 
     fn predictor_stats(&self) -> crate::PredictorStats {

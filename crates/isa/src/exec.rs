@@ -113,7 +113,7 @@ pub fn evaluate(inst: &Inst, pc: u64, ops: [u64; 3]) -> Action {
         Add => Action::Value(a.wrapping_add(bv)),
         Sub => Action::Value(a.wrapping_sub(bv)),
         Mul => Action::Value(a.wrapping_mul(bv)),
-        Udiv => Action::Value(if bv == 0 { 0 } else { a / bv }),
+        Udiv => Action::Value(a.checked_div(bv).unwrap_or(0)),
         Sdiv => Action::Value(if bv == 0 {
             0
         } else {

@@ -1,10 +1,15 @@
 //! Sparse byte-addressable memory.
 
-use std::collections::HashMap;
+use regshare_stats::FastHashMap;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Page-number-indexed backing store. The page map sits on the
+/// simulator's load/store path, so it uses the shared fast integer
+/// hasher instead of SipHash.
+type PageMap = FastHashMap<u64, Box<[u8; PAGE_SIZE]>>;
 
 /// A sparse, little-endian, byte-addressable 64-bit memory.
 ///
@@ -24,13 +29,13 @@ const OFFSET_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        Memory { pages: HashMap::new() }
+        Memory { pages: PageMap::default() }
     }
 
     /// Reads one byte.
@@ -80,36 +85,62 @@ impl Memory {
         }
     }
 
+    /// Reads `N` little-endian bytes with a single page lookup when the
+    /// access stays inside one page (the overwhelmingly common case; a
+    /// straddling access falls back to per-byte reads).
+    #[inline]
+    fn read_wide<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let off = (addr & OFFSET_MASK) as usize;
+        if off + N <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(page) => page[off..off + N].try_into().unwrap(),
+                None => [0u8; N],
+            }
+        } else {
+            let mut bytes = [0u8; N];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr + i as u64);
+            }
+            bytes
+        }
+    }
+
+    /// Writes `N` little-endian bytes with a single page lookup when the
+    /// access stays inside one page.
+    #[inline]
+    fn write_wide<const N: usize>(&mut self, addr: u64, bytes: [u8; N]) {
+        let off = (addr & OFFSET_MASK) as usize;
+        if off + N <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + N].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8(addr + i as u64, *b);
+            }
+        }
+    }
+
     /// Reads a little-endian u32.
     pub fn read_u32(&self, addr: u64) -> u32 {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
-        }
-        u32::from_le_bytes(bytes)
+        u32::from_le_bytes(self.read_wide(addr))
     }
 
     /// Writes a little-endian u32.
     pub fn write_u32(&mut self, addr: u64, value: u32) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
-        }
+        self.write_wide(addr, value.to_le_bytes());
     }
 
     /// Reads a little-endian u64.
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let mut bytes = [0u8; 8];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
-        }
-        u64::from_le_bytes(bytes)
+        u64::from_le_bytes(self.read_wide(addr))
     }
 
     /// Writes a little-endian u64.
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
-        }
+        self.write_wide(addr, value.to_le_bytes());
     }
 
     /// Reads an f64 stored as its bit pattern.

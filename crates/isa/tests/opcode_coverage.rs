@@ -22,9 +22,12 @@ fn run_fp(build: impl FnOnce(&mut Asm)) -> f64 {
     m.fp_reg(reg::f(10))
 }
 
+/// One coverage case: mnemonic, program builder, expected x10/f10.
+type Case<V> = (&'static str, Box<dyn FnOnce(&mut Asm)>, V);
+
 #[test]
 fn integer_register_register_ops() {
-    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, u64)> = vec![
+    let cases: Vec<Case<u64>> = vec![
         ("add", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.add(reg::x(10), reg::x(1), reg::x(2)); }), 12),
         ("sub", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.sub(reg::x(10), reg::x(1), reg::x(2)); }), 2),
         ("mul", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.mul(reg::x(10), reg::x(1), reg::x(2)); }), 35),
@@ -47,7 +50,7 @@ fn integer_register_register_ops() {
 
 #[test]
 fn integer_immediate_ops() {
-    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, u64)> = vec![
+    let cases: Vec<Case<u64>> = vec![
         ("addi", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.addi(reg::x(10), reg::x(1), -3); }), 4),
         ("andi", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xFF); a.andi(reg::x(10), reg::x(1), 0x0F); }), 0x0F),
         ("ori", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xF0); a.ori(reg::x(10), reg::x(1), 0x0F); }), 0xFF),
@@ -65,7 +68,7 @@ fn integer_immediate_ops() {
 
 #[test]
 fn floating_point_ops() {
-    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, f64)> = vec![
+    let cases: Vec<Case<f64>> = vec![
         ("fadd", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.25); a.fadd(reg::f(10), reg::f(1), reg::f(2)); }), 3.75),
         ("fsub", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.25); a.fsub(reg::f(10), reg::f(1), reg::f(2)); }), -0.75),
         ("fmul", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.0); a.fmul(reg::f(10), reg::f(1), reg::f(2)); }), 3.0),
@@ -86,7 +89,7 @@ fn floating_point_ops() {
 
 #[test]
 fn fp_compares_and_convert_to_int() {
-    let cases: Vec<(&str, Box<dyn FnOnce(&mut Asm)>, u64)> = vec![
+    let cases: Vec<Case<u64>> = vec![
         ("feq", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 2.0); a.feq(reg::x(10), reg::f(1), reg::f(2)); }), 1),
         ("flt", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.0); a.fli(reg::f(2), 2.0); a.flt(reg::x(10), reg::f(1), reg::f(2)); }), 1),
         ("fle", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 2.0); a.fle(reg::x(10), reg::f(1), reg::f(2)); }), 1),

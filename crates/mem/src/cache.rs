@@ -27,7 +27,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         let frames = self.size_bytes / self.line_bytes;
         assert!(
-            frames % self.assoc == 0 && frames > 0,
+            frames > 0 && frames.is_multiple_of(self.assoc),
             "cache geometry inconsistent: {} bytes / {}B lines / {} ways",
             self.size_bytes,
             self.line_bytes,

@@ -1,8 +1,7 @@
 //! Fully-associative TLB with page-walk latency and page-fault injection.
 
-use regshare_stats::Ratio;
+use regshare_stats::{FastHashSet, Ratio};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// TLB configuration.
 ///
@@ -63,7 +62,7 @@ pub struct Tlb {
     entries: Vec<(u64, u64)>,
     stamp: u64,
     hits: Ratio,
-    faulting_pages: HashSet<u64>,
+    faulting_pages: FastHashSet<u64>,
     faults_taken: u64,
 }
 
@@ -81,7 +80,7 @@ impl Tlb {
             entries: Vec::with_capacity(config.entries),
             stamp: 0,
             hits: Ratio::new("tlb"),
-            faulting_pages: HashSet::new(),
+            faulting_pages: FastHashSet::default(),
             faults_taken: 0,
         }
     }

@@ -55,6 +55,7 @@ mod lsq;
 mod pipeline;
 mod report;
 mod scoreboard;
+mod wheel;
 
 pub use bpred::{BranchPredictor, BranchPredictorConfig};
 pub use config::{FuConfig, SimConfig};
@@ -63,3 +64,4 @@ pub use lsq::{LoadStoreQueue, StoreSearch};
 pub use pipeline::{Pipeline, SimError, TraceEvent, TraceStage};
 pub use report::SimReport;
 pub use scoreboard::Scoreboard;
+pub use wheel::CompletionWheel;

@@ -2,14 +2,15 @@
 //! writeback → commit, with full mis-speculation recovery.
 
 use crate::bpred::{BranchPredictor, Prediction};
-use crate::{FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport, StoreSearch};
+use crate::{CompletionWheel, FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport, StoreSearch};
 use regshare_core::{RegFile, Renamer, TaggedReg, UopKind};
 use regshare_isa::exec::{self, Action};
 use regshare_isa::{Inst, Machine, Memory, Opcode, Program, RegClass};
 use regshare_mem::{DataAccess, MemoryHierarchy};
 use regshare_stats::Sampler;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+use std::time::Instant;
 
 /// Errors a simulation can end with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +80,59 @@ pub enum TraceStage {
     Commit,
 }
 
+/// Ordered set of sequence numbers on a flat sorted vector. The issue
+/// queue's ready list and the unresolved-branch set hold at most a few
+/// dozen entries, where binary search plus a short `memmove` beats a
+/// BTree on every operation and steady state never allocates.
+#[derive(Debug, Clone, Default)]
+struct SeqSet(Vec<u64>);
+
+impl SeqSet {
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    fn first(&self) -> Option<u64> {
+        self.0.first().copied()
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        self.0.binary_search(&seq).is_ok()
+    }
+
+    fn insert(&mut self, seq: u64) {
+        match self.0.last() {
+            Some(&last) if last >= seq => {
+                if let Err(i) = self.0.binary_search(&seq) {
+                    self.0.insert(i, seq);
+                }
+            }
+            // Dispatch inserts in program order: appending is the norm.
+            _ => self.0.push(seq),
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> bool {
+        match self.0.binary_search(&seq) {
+            Ok(i) => {
+                self.0.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Drops every entry greater than `seq` (squash).
+    fn retain_le(&mut self, seq: u64) {
+        let keep = self.0.partition_point(|&s| s <= seq);
+        self.0.truncate(keep);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Fetched {
     pc: u64,
@@ -98,6 +152,10 @@ struct RobEntry {
     pred: Option<Prediction>,
     issued: bool,
     done: bool,
+    /// Source tags still busy — the entry's not-ready counter in the
+    /// wakeup network. The entry sits in the ready queue iff this is 0
+    /// and it has not issued.
+    pending_srcs: u8,
     exception: bool,
     result: Option<u64>,
     result2: Option<u64>,
@@ -124,14 +182,28 @@ pub struct Pipeline {
     fus: FuPool,
     lsq: LoadStoreQueue,
     rob: VecDeque<RobEntry>,
-    iq: Vec<u64>,
+    /// Operand-ready, unissued entries in sequence order — the select
+    /// stage's input. Entries with busy sources are not here; they wait
+    /// in the scoreboard's per-tag waiter lists until woken.
+    ready_q: SeqSet,
+    /// Occupied issue-queue entries (ready + waiting), for dispatch
+    /// capacity accounting.
+    iq_len: usize,
+    /// Scratch buffers reused across cycles by writeback/issue.
+    wake_scratch: Vec<u64>,
+    cand_scratch: Vec<u64>,
+    /// Sequence numbers of in-flight micro-ops carrying an unresolved
+    /// branch opcode, in program order. The oldest entry is the
+    /// speculation boundary the renamer is advanced to each cycle —
+    /// maintained incrementally instead of scanning the ROB per cycle.
+    unresolved_branches: SeqSet,
     fetch_pc: Option<u64>,
     fetch_queue: VecDeque<Fetched>,
     decode_queue: VecDeque<Fetched>,
     fetch_stall_until: u64,
     next_seq: u64,
     cycle: u64,
-    completions: BTreeMap<u64, Vec<u64>>,
+    completions: CompletionWheel,
     oracle: Option<Machine>,
     halted: bool,
     committed_instructions: u64,
@@ -145,6 +217,8 @@ pub struct Pipeline {
     int_occupancy: Vec<Sampler>,
     fp_occupancy: Vec<Sampler>,
     trace: Vec<TraceEvent>,
+    /// Host wall-clock time accumulated across `run` calls.
+    wall_seconds: f64,
 }
 
 impl Pipeline {
@@ -155,7 +229,8 @@ impl Pipeline {
             RegFile::new(renamer.banks(RegClass::Int)),
             RegFile::new(renamer.banks(RegClass::Fp)),
         ];
-        let scoreboard = Scoreboard::new(rf[0].len(), rf[1].len());
+        let scoreboard =
+            Scoreboard::new(rf[0].len(), rf[1].len(), renamer.max_version() as usize + 1);
         let mut mem_timing = MemoryHierarchy::new(config.mem);
         for addr in &config.inject_page_faults {
             mem_timing.tlb_mut().inject_fault(*addr);
@@ -181,14 +256,18 @@ impl Pipeline {
             mem_timing,
             memory,
             rob: VecDeque::new(),
-            iq: Vec::new(),
+            ready_q: SeqSet::default(),
+            iq_len: 0,
+            wake_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            unresolved_branches: SeqSet::default(),
             fetch_pc: Some(entry),
             fetch_queue: VecDeque::new(),
             decode_queue: VecDeque::new(),
             fetch_stall_until: 0,
             next_seq: 1,
             cycle: 0,
-            completions: BTreeMap::new(),
+            completions: CompletionWheel::new(),
             oracle,
             halted: false,
             committed_instructions: 0,
@@ -202,6 +281,7 @@ impl Pipeline {
             int_occupancy,
             fp_occupancy,
             trace: Vec::new(),
+            wall_seconds: 0.0,
         }
     }
 
@@ -218,14 +298,29 @@ impl Pipeline {
     }
 
     // Sequence numbers are monotonic but not contiguous (squashes leave
-    // gaps), so ROB lookup is a binary search by seq.
+    // gaps). Gaps only ever *remove* seqs, so `seq - front.seq` is an
+    // upper bound on the index and exact whenever no squash gap sits
+    // inside the window — the overwhelmingly common case. Probe that
+    // guess first and fall back to a binary search after a squash.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let guess = ((seq - front) as usize).min(self.rob.len() - 1);
+        if self.rob[guess].seq == seq {
+            return Some(guess);
+        }
+        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
     fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
-        let idx = self.rob.binary_search_by_key(&seq, |e| e.seq).ok()?;
+        let idx = self.rob_index(seq)?;
         self.rob.get(idx)
     }
 
     fn rob_entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        let idx = self.rob.binary_search_by_key(&seq, |e| e.seq).ok()?;
+        let idx = self.rob_index(seq)?;
         self.rob.get_mut(idx)
     }
 
@@ -326,9 +421,18 @@ impl Pipeline {
 
     fn squash_younger_than(&mut self, seq: u64) -> u32 {
         while matches!(self.rob.back(), Some(e) if e.seq > seq) {
-            self.rob.pop_back();
+            let e = self.rob.pop_back().expect("back checked above");
+            if !e.issued {
+                self.iq_len -= 1;
+                if e.pending_srcs == 0 {
+                    self.ready_q.remove(e.seq);
+                }
+            }
         }
-        self.iq.retain(|s| *s <= seq);
+        // Squashed consumers still parked in the wakeup network must not
+        // be woken by surviving producers.
+        self.scoreboard.drain_waiters_after(seq);
+        self.unresolved_branches.retain_le(seq);
         self.lsq.squash_after(seq);
         self.fetch_queue.clear();
         self.decode_queue.clear();
@@ -358,37 +462,63 @@ impl Pipeline {
 
     // ---- writeback ----
 
-    fn writeback(&mut self) {
-        let Some(seqs) = self.completions.remove(&self.cycle) else { return };
-        let mut seqs = seqs;
-        seqs.sort_unstable();
-        for seq in seqs {
-            if self.rob_entry(seq).is_none() {
-                continue; // squashed while in flight
+    /// Sets `tag` ready and delivers the wakeup to every consumer parked
+    /// on it: each broadcast decrements the consumer's not-ready counter,
+    /// and a counter reaching zero moves the entry to the ready queue.
+    fn broadcast_ready(&mut self, tag: TaggedReg) {
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        self.scoreboard.set_ready(tag, &mut woken);
+        for seq in woken.drain(..) {
+            let e = self.rob_entry_mut(seq).expect("waiters are drained on squash");
+            debug_assert!(e.pending_srcs > 0, "waking seq {seq} with no pending sources");
+            e.pending_srcs -= 1;
+            if e.pending_srcs == 0 {
+                self.ready_q.insert(seq);
             }
-            let (dst, result, dst2, result2) = {
-                let e = self.rob_entry_mut(seq).expect("checked above");
-                e.done = true;
-                (e.dst, e.result, e.dst2, e.result2)
+        }
+        self.wake_scratch = woken;
+    }
+
+    fn writeback(&mut self) {
+        let mut seqs = self.completions.take(self.cycle);
+        if seqs.is_empty() {
+            self.completions.recycle(seqs);
+            return;
+        }
+        // Out-of-order issue can schedule completions for one cycle in
+        // any order; broadcast oldest-first like real wakeup ports.
+        seqs.sort_unstable();
+        for &seq in &seqs {
+            let Some(idx) = self.rob_index(seq) else {
+                continue; // squashed while in flight
             };
+            // `idx` stays valid through the wakeup broadcasts below: they
+            // mutate entries in place but never insert or remove.
+            let (dst, result, dst2, result2, is_branch) = {
+                let e = &mut self.rob[idx];
+                e.done = true;
+                (e.dst, e.result, e.dst2, e.result2, e.inst.opcode.is_branch())
+            };
+            if is_branch {
+                self.unresolved_branches.remove(seq);
+            }
             self.renamer.on_writeback(seq);
             if self.config.trace {
-                if let Some(pc) = self.rob_entry(seq).map(|e| e.pc) {
-                    self.trace_event(seq, pc, TraceStage::Writeback);
-                }
+                let pc = self.rob[idx].pc;
+                self.trace_event(seq, pc, TraceStage::Writeback);
             }
             if let Some(tag) = dst {
                 let bits = result.expect("a register-writing micro-op must produce a value");
                 self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
-                self.scoreboard.set_ready(tag);
+                self.broadcast_ready(tag);
             }
             if let Some(tag) = dst2 {
                 let bits = result2.expect("a post-increment micro-op must produce a writeback");
                 self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
-                self.scoreboard.set_ready(tag);
+                self.broadcast_ready(tag);
             }
             // Resolve branches.
-            let e = self.rob_entry(seq).expect("checked above");
+            let e = &self.rob[idx];
             if e.kind == UopKind::Main && e.inst.opcode.is_branch() {
                 let (pc, inst, taken, next_pc, pred) = (
                     e.pc,
@@ -410,24 +540,37 @@ impl Pipeline {
                 }
             }
         }
+        self.completions.recycle(seqs);
     }
 
     // ---- issue / execute ----
 
     fn issue(&mut self) {
+        if self.ready_q.is_empty() {
+            return;
+        }
         let mut issued: Vec<u64> = Vec::new();
-        let candidates: Vec<u64> = self.iq.clone();
-        for seq in candidates {
+        // Select in sequence order — the same oldest-first policy the
+        // poll-based scheduler had, since the old queue was scanned in
+        // dispatch order. Entries that fail to issue (busy functional
+        // unit, store-set conflict, unresolved older store) stay in the
+        // ready queue and retry next cycle.
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        candidates.clear();
+        candidates.extend_from_slice(self.ready_q.as_slice());
+        for seq in candidates.drain(..) {
             if issued.len() >= self.config.issue_width {
                 break;
             }
-            let Some(entry) = self.rob_entry(seq) else {
-                issued.push(seq); // squashed; drop from IQ
+            let Some(idx) = self.rob_index(seq) else {
+                issued.push(seq); // squashed; drop from the ready queue
                 continue;
             };
-            if !entry.srcs.iter().flatten().all(|t| self.scoreboard.is_ready(*t)) {
-                continue;
-            }
+            let entry = &self.rob[idx];
+            debug_assert!(
+                entry.srcs.iter().flatten().all(|t| self.scoreboard.is_ready(*t)),
+                "seq {seq} selected with a busy source operand",
+            );
             let inst = entry.inst;
             let kind = entry.kind;
             let pc = entry.pc;
@@ -447,7 +590,7 @@ impl Pipeline {
                     } else {
                         lat
                     };
-                    let e = self.rob_entry_mut(seq).expect("still present");
+                    let e = &mut self.rob[idx];
                     e.result = Some(value);
                     e.issued = true;
                     self.schedule(seq, total);
@@ -471,7 +614,7 @@ impl Pipeline {
                                 continue;
                             }
                             let lat = 1 + self.config.mem.l1d.latency;
-                            let e = self.rob_entry_mut(seq).expect("still present");
+                            let e = &mut self.rob[idx];
                             e.result = Some(bits);
                             e.result2 = writeback;
                             e.ea = Some(ea);
@@ -496,7 +639,7 @@ impl Pipeline {
                                 }
                                 DataAccess::Fault => (2, 0, true),
                             };
-                            let e = self.rob_entry_mut(seq).expect("still present");
+                            let e = &mut self.rob[idx];
                             e.result = Some(bits);
                             e.result2 = writeback;
                             e.ea = Some(ea);
@@ -522,7 +665,7 @@ impl Pipeline {
                     };
                     self.lsq.resolve_store(seq, ea, width, value);
                     let fault = self.mem_timing.tlb().would_fault(ea);
-                    let e = self.rob_entry_mut(seq).expect("still present");
+                    let e = &mut self.rob[idx];
                     e.ea = Some(ea);
                     e.result2 = writeback;
                     e.exception = fault;
@@ -535,7 +678,7 @@ impl Pipeline {
                     let Some(lat) = self.fus.try_issue(class, self.cycle) else { continue };
                     let ops = self.read_operands(&srcs);
                     let action = exec::evaluate(&inst, pc, ops);
-                    let e = self.rob_entry_mut(seq).expect("still present");
+                    let e = &mut self.rob[idx];
                     match action {
                         Action::Value(bits) => {
                             e.result = Some(bits);
@@ -562,7 +705,12 @@ impl Pipeline {
                 }
             }
         }
-        self.iq.retain(|s| !issued.contains(s));
+        for s in &issued {
+            if self.ready_q.remove(*s) {
+                self.iq_len -= 1;
+            }
+        }
+        self.cand_scratch = candidates;
     }
 
     fn schedule(&mut self, seq: u64, latency: u32) {
@@ -572,10 +720,7 @@ impl Pipeline {
                 self.trace_event(seq, pc, TraceStage::Issue);
             }
         }
-        self.completions
-            .entry(self.cycle + latency.max(1) as u64)
-            .or_default()
-            .push(seq);
+        self.completions.schedule(self.cycle + latency.max(1) as u64, seq);
     }
 
     // ---- rename/dispatch ----
@@ -586,7 +731,7 @@ impl Pipeline {
         for _ in 0..self.config.rename_width {
             let Some(f) = self.decode_queue.front() else { break };
             let rob_free = self.config.rob_entries - self.rob.len();
-            let iq_free = self.config.iq_entries - self.iq.len();
+            let iq_free = self.config.iq_entries - self.iq_len;
             let is_load = f.inst.opcode.is_load() as usize;
             let is_store = f.inst.opcode.is_store() as usize;
             if rob_free < WORST_CASE_UOPS
@@ -616,6 +761,17 @@ impl Pipeline {
                     self.lsq.dispatch_store(uop.seq);
                 }
                 self.trace_event(uop.seq, f.pc, TraceStage::Dispatch);
+                // Register with the wakeup network: count the busy
+                // sources and park on each; producers can only precede
+                // consumers in rename order, so a tag observed ready
+                // here stays ready until this entry issues.
+                let mut pending_srcs = 0u8;
+                for tag in uop.srcs.iter().flatten() {
+                    if !self.scoreboard.is_ready(*tag) {
+                        self.scoreboard.watch(*tag, uop.seq);
+                        pending_srcs += 1;
+                    }
+                }
                 self.rob.push_back(RobEntry {
                     seq: uop.seq,
                     pc: f.pc,
@@ -627,6 +783,7 @@ impl Pipeline {
                     pred: if is_main { f.pred } else { None },
                     issued: false,
                     done: false,
+                    pending_srcs,
                     exception: false,
                     result: None,
                     result2: None,
@@ -634,7 +791,13 @@ impl Pipeline {
                     taken: None,
                     next_pc: f.pc + 1,
                 });
-                self.iq.push(uop.seq);
+                if pending_srcs == 0 {
+                    self.ready_q.insert(uop.seq);
+                }
+                self.iq_len += 1;
+                if f.inst.opcode.is_branch() {
+                    self.unresolved_branches.insert(uop.seq);
+                }
             }
         }
         if stalled_for_regs {
@@ -702,7 +865,7 @@ impl Pipeline {
 
     fn sample_occupancy(&mut self) {
         let interval = self.config.occupancy_sample_interval;
-        if interval == 0 || self.cycle % interval != 0 {
+        if interval == 0 || !self.cycle.is_multiple_of(interval) {
             return;
         }
         for (class, samplers) in [
@@ -722,12 +885,7 @@ impl Pipeline {
             return Ok(());
         }
         self.writeback();
-        let boundary = self
-            .rob
-            .iter()
-            .find(|e| e.inst.opcode.is_branch() && !e.done)
-            .map(|e| e.seq)
-            .unwrap_or(self.next_seq);
+        let boundary = self.unresolved_branches.first().unwrap_or(self.next_seq);
         self.renamer.advance_nonspeculative(boundary);
         self.issue();
         self.rename_dispatch();
@@ -747,6 +905,14 @@ impl Pipeline {
     /// [`SimError::CycleLimit`] / [`SimError::Deadlock`] on runaway
     /// simulations.
     pub fn run(&mut self) -> Result<SimReport, SimError> {
+        let started = Instant::now();
+        let result = self.run_loop();
+        self.wall_seconds += started.elapsed().as_secs_f64();
+        result?;
+        Ok(self.report())
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
         loop {
             self.step()?;
             if self.halted {
@@ -765,14 +931,16 @@ impl Pipeline {
                     let head = self.rob.front().expect("rob checked non-empty");
                     eprintln!(
                         "deadlock head: seq={} pc={} {} issued={} done={} srcs={:?} \
-                         iq_has={} sq_len={} lq_len={} ready={:?}",
+                         ready_q_has={} pending_srcs={} waiting={} sq_len={} lq_len={} ready={:?}",
                         head.seq,
                         head.pc,
                         head.inst,
                         head.issued,
                         head.done,
                         head.srcs,
-                        self.iq.contains(&head.seq),
+                        self.ready_q.contains(head.seq),
+                        head.pending_srcs,
+                        self.scoreboard.has_waiter(head.seq),
                         self.lsq.stores_len(),
                         self.lsq.loads_len(),
                         head.srcs
@@ -788,7 +956,7 @@ impl Pipeline {
                 });
             }
         }
-        Ok(self.report())
+        Ok(())
     }
 
     /// The report for the simulation so far.
@@ -811,6 +979,7 @@ impl Pipeline {
             predictor: self.renamer.predictor_stats(),
             int_occupancy: self.int_occupancy.clone(),
             fp_occupancy: self.fp_occupancy.clone(),
+            wall_seconds: self.wall_seconds,
         }
     }
 
@@ -869,8 +1038,7 @@ mod tests {
         let top = a.label();
         a.bind(top);
         a.jmp(top);
-        let mut cfg = SimConfig::default();
-        cfg.max_cycles = 500;
+        let cfg = SimConfig { max_cycles: 500, ..SimConfig::default() };
         let mut sim = Pipeline::new(a.assemble(), baseline(64), cfg);
         assert!(matches!(sim.run(), Err(SimError::CycleLimit { cycles: 500 })));
     }

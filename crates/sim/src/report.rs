@@ -45,6 +45,11 @@ pub struct SimReport {
     pub int_occupancy: Vec<Sampler>,
     /// Per-bank occupancy samples for the fp file.
     pub fp_occupancy: Vec<Sampler>,
+    /// Host wall-clock seconds spent inside [`Pipeline::run`]
+    /// (0 for reports taken before any run).
+    ///
+    /// [`Pipeline::run`]: crate::Pipeline::run
+    pub wall_seconds: f64,
 }
 
 impl SimReport {
@@ -54,6 +59,24 @@ impl SimReport {
             0.0
         } else {
             self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Simulator throughput: committed micro-ops per host wall-second.
+    pub fn uops_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.committed_uops as f64 / self.wall_seconds
+        }
+    }
+
+    /// Simulator speed: simulated cycles per host wall-second.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.wall_seconds
         }
     }
 }
@@ -90,12 +113,19 @@ impl fmt::Display for SimReport {
             "recovery: exceptions={} shadow-recovers={} expensive-repairs={}",
             self.exceptions, self.shadow_recovers, self.expensive_repairs
         )?;
-        write!(
+        writeln!(
             f,
             "memory: l1d={:.1}% l2={:.1}% tlb={:.1}%",
             self.l1d_hit_rate * 100.0,
             self.l2_hit_rate * 100.0,
             self.tlb_hit_rate * 100.0
+        )?;
+        write!(
+            f,
+            "host: wall={:.3}s throughput={:.0} uops/s ({:.0} cycles/s)",
+            self.wall_seconds,
+            self.uops_per_second(),
+            self.cycles_per_second()
         )
     }
 }
@@ -123,6 +153,7 @@ mod tests {
             predictor: PredictorStats::default(),
             int_occupancy: Vec::new(),
             fp_occupancy: Vec::new(),
+            wall_seconds: 0.0,
         }
     }
 
@@ -142,6 +173,24 @@ mod tests {
     #[test]
     fn display_is_multiline_and_nonempty() {
         let s = format!("{}", empty());
-        assert!(s.lines().count() >= 4);
+        assert!(s.lines().count() >= 5);
+        assert!(s.contains("uops/s"));
+    }
+
+    #[test]
+    fn throughput_handles_zero_wall_time() {
+        let r = empty();
+        assert_eq!(r.uops_per_second(), 0.0);
+        assert_eq!(r.cycles_per_second(), 0.0);
+    }
+
+    #[test]
+    fn throughput_is_uops_over_seconds() {
+        let mut r = empty();
+        r.committed_uops = 3000;
+        r.cycles = 1500;
+        r.wall_seconds = 2.0;
+        assert!((r.uops_per_second() - 1500.0).abs() < 1e-9);
+        assert!((r.cycles_per_second() - 750.0).abs() < 1e-9);
     }
 }

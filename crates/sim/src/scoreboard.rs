@@ -1,9 +1,16 @@
-//! Readiness tracking for versioned physical register tags.
+//! Readiness tracking for versioned physical register tags, with the
+//! issue queue's wakeup network built in.
+//!
+//! The scoreboard is the single source of truth for operand readiness
+//! *and* the broadcast fabric of the event-driven scheduler: a dispatched
+//! consumer whose source tag is busy registers itself as a waiter on that
+//! tag ([`Scoreboard::watch`]), and the producer's writeback
+//! ([`Scoreboard::set_ready`]) hands every waiting sequence number back to
+//! the pipeline instead of forcing a per-cycle scan of the whole issue
+//! queue.
 
 use regshare_core::TaggedReg;
 use regshare_isa::RegClass;
-
-const MAX_VERSIONS: usize = 8;
 
 /// Tracks which `(physical register, version)` tags have produced their
 /// value — the wakeup state of the issue queue.
@@ -12,6 +19,11 @@ const MAX_VERSIONS: usize = 8;
 /// busy when a producer is dispatched for it and ready again at the
 /// producer's writeback.
 ///
+/// Readiness is a flat bitset with one bit per `(register, version)`
+/// slot, sized to the renaming scheme's actual version-counter width (a
+/// 2-bit counter needs 4 slots per register, not a hardcoded maximum).
+/// Out-of-range versions are rejected with a debug assertion.
+///
 /// # Examples
 ///
 /// ```
@@ -19,58 +31,127 @@ const MAX_VERSIONS: usize = 8;
 /// use regshare_core::{PhysReg, TaggedReg};
 /// use regshare_isa::RegClass;
 ///
-/// let mut sb = Scoreboard::new(16, 16);
+/// let mut sb = Scoreboard::new(16, 16, 4);
 /// let t = TaggedReg::new(RegClass::Int, PhysReg(3), 1);
 /// assert!(sb.is_ready(t));
 /// sb.set_busy(t);
 /// assert!(!sb.is_ready(t));
-/// sb.set_ready(t);
+///
+/// // A consumer waits on the busy tag; the producer's writeback
+/// // broadcasts its sequence number back.
+/// sb.watch(t, 42);
+/// let mut woken = Vec::new();
+/// sb.set_ready(t, &mut woken);
 /// assert!(sb.is_ready(t));
+/// assert_eq!(woken, [42]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Scoreboard {
-    ready: [Vec<[bool; MAX_VERSIONS]>; 2],
+    /// One readiness bit per slot; slot = `preg * max_versions + version`.
+    ready: [Vec<u64>; 2],
+    /// Waiting consumer sequence numbers per slot. A consumer appears
+    /// once per busy source occurrence (twice if both sources are the
+    /// same busy tag), matching its not-ready counter in the pipeline.
+    waiters: [Vec<Vec<u64>>; 2],
+    regs: [usize; 2],
+    max_versions: usize,
 }
 
 impl Scoreboard {
-    /// Creates a scoreboard for `int_regs`/`fp_regs` physical registers,
-    /// all versions ready.
-    pub fn new(int_regs: usize, fp_regs: usize) -> Self {
+    /// Creates a scoreboard for `int_regs`/`fp_regs` physical registers
+    /// with `max_versions` version slots each, all ready.
+    pub fn new(int_regs: usize, fp_regs: usize, max_versions: usize) -> Self {
+        let max_versions = max_versions.max(1);
+        let words = |regs: usize| vec![u64::MAX; (regs * max_versions).div_ceil(64)];
         Scoreboard {
-            ready: [
-                vec![[true; MAX_VERSIONS]; int_regs],
-                vec![[true; MAX_VERSIONS]; fp_regs],
+            ready: [words(int_regs), words(fp_regs)],
+            waiters: [
+                vec![Vec::new(); int_regs * max_versions],
+                vec![Vec::new(); fp_regs * max_versions],
             ],
+            regs: [int_regs, fp_regs],
+            max_versions,
         }
     }
 
-    fn slot(&mut self, tag: TaggedReg) -> &mut bool {
-        &mut self.ready[tag.class.index()][tag.preg.0 as usize][tag.version as usize]
+    fn slot(&self, tag: TaggedReg) -> usize {
+        debug_assert!(
+            (tag.version as usize) < self.max_versions,
+            "version {} of {:?} exceeds the configured counter width ({} versions)",
+            tag.version,
+            tag,
+            self.max_versions,
+        );
+        tag.preg.0 as usize * self.max_versions + tag.version as usize
     }
 
     /// Marks a tag busy (producer dispatched, value not yet available).
     pub fn set_busy(&mut self, tag: TaggedReg) {
-        *self.slot(tag) = false;
+        let slot = self.slot(tag);
+        debug_assert!(
+            self.waiters[tag.class.index()][slot].is_empty(),
+            "{tag:?} re-busied while consumers wait on it — the renamer \
+             reallocated a tag with outstanding readers",
+        );
+        self.ready[tag.class.index()][slot / 64] &= !(1u64 << (slot % 64));
     }
 
-    /// Marks a tag ready (producer wrote back / producer squashed).
-    pub fn set_ready(&mut self, tag: TaggedReg) {
-        *self.slot(tag) = true;
+    /// Marks a tag ready (producer wrote back / producer squashed) and
+    /// appends every waiting consumer's sequence number to `woken`.
+    pub fn set_ready(&mut self, tag: TaggedReg, woken: &mut Vec<u64>) {
+        let slot = self.slot(tag);
+        self.ready[tag.class.index()][slot / 64] |= 1u64 << (slot % 64);
+        woken.append(&mut self.waiters[tag.class.index()][slot]);
     }
 
     /// Whether the tag's value is available.
     pub fn is_ready(&self, tag: TaggedReg) -> bool {
-        self.ready[tag.class.index()][tag.preg.0 as usize][tag.version as usize]
+        let slot = self.slot(tag);
+        self.ready[tag.class.index()][slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+
+    /// Registers consumer `seq` to be woken when `tag` becomes ready.
+    /// Must only be called for busy tags.
+    pub fn watch(&mut self, tag: TaggedReg, seq: u64) {
+        debug_assert!(!self.is_ready(tag), "watching an already-ready tag {tag:?}");
+        let slot = self.slot(tag);
+        self.waiters[tag.class.index()][slot].push(seq);
+    }
+
+    /// Removes every waiter with a sequence number greater than `seq`
+    /// (flush/recovery: squashed consumers must not be woken).
+    pub fn drain_waiters_after(&mut self, seq: u64) {
+        for class in &mut self.waiters {
+            for slot in class.iter_mut() {
+                if !slot.is_empty() {
+                    slot.retain(|s| *s <= seq);
+                }
+            }
+        }
+    }
+
+    /// Whether consumer `seq` is waiting on at least one tag (deadlock
+    /// diagnostics).
+    pub fn has_waiter(&self, seq: u64) -> bool {
+        self.waiters
+            .iter()
+            .flatten()
+            .any(|slot| slot.contains(&seq))
     }
 
     /// Number of physical registers tracked for a class.
     pub fn len(&self, class: RegClass) -> usize {
-        self.ready[class.index()].len()
+        self.regs[class.index()]
     }
 
     /// True when a class tracks no registers.
     pub fn is_empty(&self, class: RegClass) -> bool {
-        self.ready[class.index()].is_empty()
+        self.regs[class.index()] == 0
+    }
+
+    /// Version slots per register (the configured `2^counter_bits`).
+    pub fn max_versions(&self) -> usize {
+        self.max_versions
     }
 }
 
@@ -81,7 +162,7 @@ mod tests {
 
     #[test]
     fn versions_are_independent() {
-        let mut sb = Scoreboard::new(4, 4);
+        let mut sb = Scoreboard::new(4, 4, 4);
         let v0 = TaggedReg::new(RegClass::Int, PhysReg(1), 0);
         let v1 = v0.bump();
         sb.set_busy(v1);
@@ -91,7 +172,7 @@ mod tests {
 
     #[test]
     fn classes_are_independent() {
-        let mut sb = Scoreboard::new(4, 4);
+        let mut sb = Scoreboard::new(4, 4, 4);
         let xi = TaggedReg::new(RegClass::Int, PhysReg(2), 0);
         let xf = TaggedReg::new(RegClass::Fp, PhysReg(2), 0);
         sb.set_busy(xi);
@@ -101,12 +182,68 @@ mod tests {
 
     #[test]
     fn busy_then_ready_round_trip() {
-        let mut sb = Scoreboard::new(1, 1);
+        let mut sb = Scoreboard::new(1, 1, 8);
         let t = TaggedReg::new(RegClass::Fp, PhysReg(0), 7);
         sb.set_busy(t);
-        sb.set_ready(t);
+        let mut woken = Vec::new();
+        sb.set_ready(t, &mut woken);
         assert!(sb.is_ready(t));
+        assert!(woken.is_empty());
         assert_eq!(sb.len(RegClass::Fp), 1);
         assert!(!sb.is_empty(RegClass::Fp));
+        assert_eq!(sb.max_versions(), 8);
+    }
+
+    #[test]
+    fn broadcast_wakes_all_waiters_in_registration_order() {
+        let mut sb = Scoreboard::new(8, 0, 4);
+        let t = TaggedReg::new(RegClass::Int, PhysReg(5), 2);
+        sb.set_busy(t);
+        sb.watch(t, 10);
+        sb.watch(t, 11);
+        sb.watch(t, 10); // same consumer, both sources on this tag
+        assert!(sb.has_waiter(10));
+        let mut woken = Vec::new();
+        sb.set_ready(t, &mut woken);
+        assert_eq!(woken, [10, 11, 10]);
+        assert!(!sb.has_waiter(10));
+        // The broadcast drains the slot: re-busying is legal again.
+        sb.set_busy(t);
+    }
+
+    #[test]
+    fn drain_removes_only_younger_waiters() {
+        let mut sb = Scoreboard::new(8, 0, 4);
+        let a = TaggedReg::new(RegClass::Int, PhysReg(1), 0);
+        let b = TaggedReg::new(RegClass::Int, PhysReg(2), 1);
+        sb.set_busy(a);
+        sb.set_busy(b);
+        sb.watch(a, 5);
+        sb.watch(a, 9);
+        sb.watch(b, 7);
+        sb.drain_waiters_after(6);
+        let mut woken = Vec::new();
+        sb.set_ready(a, &mut woken);
+        sb.set_ready(b, &mut woken);
+        assert_eq!(woken, [5]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the configured counter width")]
+    fn out_of_range_version_is_rejected() {
+        let sb = Scoreboard::new(4, 4, 4);
+        sb.is_ready(TaggedReg::new(RegClass::Int, PhysReg(0), 4));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "re-busied while consumers wait")]
+    fn rebusying_a_watched_tag_is_rejected() {
+        let mut sb = Scoreboard::new(4, 4, 4);
+        let t = TaggedReg::new(RegClass::Int, PhysReg(1), 1);
+        sb.set_busy(t);
+        sb.watch(t, 3);
+        sb.set_busy(t);
     }
 }

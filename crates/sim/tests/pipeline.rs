@@ -196,7 +196,10 @@ fn fp_kernel_matches_oracle() {
     let mut s = Pipeline::new(p.clone(), Box::new(r), checked());
     s.run().unwrap();
     let got = f64::from_bits(s.memory().read_u64(out));
-    assert_eq!(got, 1.5 * 2.0 + 2.5 * -1.0 + -3.0 * 0.5 + 4.25 * 8.0);
+    let want = [(1.5, 2.0), (2.5, -1.0), (-3.0, 0.5), (4.25, 8.0)]
+        .iter()
+        .fold(0.0, |acc, (x, y)| acc + x * y);
+    assert_eq!(got, want);
 }
 
 #[test]

@@ -12,6 +12,9 @@
 //! * [`Table`] — fixed-width plain-text table rendering used to print the
 //!   paper's tables and figures.
 //!
+//! It also hosts [`FastHasher`], the deterministic integer hasher the
+//! simulator's hot-path hash tables share.
+//!
 //! # Examples
 //!
 //! ```
@@ -25,10 +28,12 @@
 //! assert_eq!(consumers.overflow(), 1);
 //! ```
 
+mod hash;
 mod histogram;
 mod sampler;
 mod table;
 
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use histogram::Histogram;
 pub use sampler::Sampler;
 pub use table::{Align, Table};

@@ -238,7 +238,7 @@ pub(super) fn rle(scale: u64) -> Program {
     while buf.len() < len as usize {
         let b: u8 = rng.gen_range(b'a'..=b'f');
         let run = rng.gen_range(1..7usize).min(len as usize - buf.len());
-        buf.extend(std::iter::repeat(b).take(run));
+        buf.extend(std::iter::repeat_n(b, run));
     }
     let mut d = DataBuilder::new(0x1_0000);
     let data = d.bytes(&buf) as i64;

@@ -26,9 +26,7 @@ fn main() {
     let listing: Vec<String> =
         program.insts().iter().map(|i| format!("{i}")).collect();
 
-    let mut config = SimConfig::default();
-    config.trace = true;
-    config.check_oracle = true;
+    let config = SimConfig { trace: true, check_oracle: true, ..SimConfig::default() };
     let renamer = ReuseRenamer::new(RenamerConfig::paper(64));
     let mut sim = Pipeline::new(program, Box::new(renamer), config);
     let report = sim.run().expect("traced run");

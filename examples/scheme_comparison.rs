@@ -11,7 +11,7 @@
 //! cargo run --release --example scheme_comparison
 //! ```
 
-use regshare::core::{BankConfig, EarlyReleaseRenamer, Renamer, RenamerConfig, ReuseRenamer};
+use regshare::core::{BankConfig, EarlyReleaseRenamer, Renamer, RenamerConfig};
 use regshare::harness::{experiment_config, renamer_for, swept_class, Scheme, FIXED_RF};
 use regshare::isa::RegClass;
 use regshare::sim::Pipeline;

@@ -11,7 +11,7 @@
 use regshare::area;
 use regshare::core::{BankConfig, EarlyReleaseRenamer, RenamerConfig, ReuseRenamer};
 use regshare::harness::{
-    experiment_config, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
+    experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
 };
 use regshare::isa::RegClass;
 use regshare::sim::SimConfig;
@@ -313,7 +313,8 @@ fn fig9(args: &Args) {
     // Effectively unbounded shadow banks; sample bank occupancy per cycle.
     let banks = BankConfig::new(vec![64, 48, 48, 48]);
     let mut samplers: Vec<regshare::stats::Sampler> = Vec::new();
-    for k in suite_kernels(Suite::Fp) {
+    let kernels = suite_kernels(Suite::Fp);
+    let occupancies = par_map(&kernels, |k| {
         let config = RenamerConfig {
             int_banks: BankConfig::conventional(FIXED_RF),
             fp_banks: banks.clone(),
@@ -324,13 +325,12 @@ fn fig9(args: &Args) {
         };
         let mut sim_cfg = experiment_config(args.scale);
         sim_cfg.occupancy_sample_interval = 16;
-        let report = run_kernel_with(
-            &k,
-            Box::new(ReuseRenamer::new(config)),
-            sim_cfg,
-            args.scale,
-        );
-        for (i, s) in report.fp_occupancy.into_iter().enumerate() {
+        run_kernel_with(k, Box::new(ReuseRenamer::new(config)), sim_cfg, args.scale).fp_occupancy
+    });
+    // Merge in kernel order so the aggregated sample streams match the
+    // serial sweep exactly.
+    for occupancy in occupancies {
+        for (i, s) in occupancy.into_iter().enumerate() {
             match samplers.get_mut(i) {
                 Some(dst) => {
                     for v in s.samples() {
@@ -398,31 +398,34 @@ fn equal_count_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn regshare::cor
 
 fn speedup_sweep(args: &Args, name: &str, title: &str, equal_count: bool) {
     println!("{title}");
-    let mut rows: Vec<SpeedupRow> = Vec::new();
-    for k in all_kernels() {
-        for rf in RF_SIZES {
-            let base = run_kernel(&k, Scheme::Baseline, rf, args.scale);
-            let prop = if equal_count {
-                run_kernel_with(
-                    &k,
-                    equal_count_renamer(rf, swept_class(k.suite)),
-                    experiment_config(args.scale),
-                    args.scale,
-                )
-            } else {
-                run_kernel(&k, Scheme::Proposed, rf, args.scale)
-            };
-            rows.push(SpeedupRow {
-                kernel: k.name.into(),
-                suite: k.suite.label().into(),
-                rf_regs: rf,
-                baseline_ipc: base.ipc(),
-                proposed_ipc: prop.ipc(),
-                speedup: prop.ipc() / base.ipc(),
-                reuse_pct: prop.rename.reuse_fraction() * 100.0,
-            });
+    // Every (kernel, size) point is independent; fan out across cores
+    // and collect rows back in sweep order.
+    let points: Vec<(regshare::workloads::Kernel, usize)> = all_kernels()
+        .into_iter()
+        .flat_map(|k| RF_SIZES.into_iter().map(move |rf| (k, rf)))
+        .collect();
+    let rows: Vec<SpeedupRow> = par_map(&points, |&(ref k, rf)| {
+        let base = run_kernel(k, Scheme::Baseline, rf, args.scale);
+        let prop = if equal_count {
+            run_kernel_with(
+                k,
+                equal_count_renamer(rf, swept_class(k.suite)),
+                experiment_config(args.scale),
+                args.scale,
+            )
+        } else {
+            run_kernel(k, Scheme::Proposed, rf, args.scale)
+        };
+        SpeedupRow {
+            kernel: k.name.into(),
+            suite: k.suite.label().into(),
+            rf_regs: rf,
+            baseline_ipc: base.ipc(),
+            proposed_ipc: prop.ipc(),
+            speedup: prop.ipc() / base.ipc(),
+            reuse_pct: prop.rename.reuse_fraction() * 100.0,
         }
-    }
+    });
     // Per-kernel table.
     let mut headers: Vec<String> = vec!["kernel".into(), "suite".into()];
     headers.extend(RF_SIZES.iter().map(|n| n.to_string()));
@@ -508,40 +511,47 @@ fn early_release_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn regshare::c
 
 fn fig11(args: &Args) {
     println!("== Figure 11: average IPC vs register file size ==");
+    let kernels = all_kernels();
+    let points: Vec<(usize, regshare::workloads::Kernel)> = RF_SIZES
+        .into_iter()
+        .flat_map(|rf| kernels.iter().map(move |k| (rf, *k)))
+        .collect();
+    // One point = all four schemes on one (size, kernel) pair; par_map
+    // keeps sweep order, so the per-size averages see the kernels in the
+    // same order (identical floating-point sums) as the serial loop.
+    let ipcs = par_map(&points, |&(rf, ref k)| {
+        let swept = swept_class(k.suite);
+        (
+            run_kernel(k, Scheme::Baseline, rf, args.scale).ipc(),
+            run_kernel(k, Scheme::Proposed, rf, args.scale).ipc(),
+            run_kernel_with(
+                k,
+                equal_count_renamer(rf, swept),
+                experiment_config(args.scale),
+                args.scale,
+            )
+            .ipc(),
+            run_kernel_with(
+                k,
+                early_release_renamer(rf, swept),
+                experiment_config(args.scale),
+                args.scale,
+            )
+            .ipc(),
+        )
+    });
     let mut rows = Vec::new();
-    for rf in RF_SIZES {
-        let mut base = Vec::new();
-        let mut ea = Vec::new();
-        let mut ec = Vec::new();
-        let mut er = Vec::new();
-        for k in all_kernels() {
-            base.push(run_kernel(&k, Scheme::Baseline, rf, args.scale).ipc());
-            ea.push(run_kernel(&k, Scheme::Proposed, rf, args.scale).ipc());
-            ec.push(
-                run_kernel_with(
-                    &k,
-                    equal_count_renamer(rf, swept_class(k.suite)),
-                    experiment_config(args.scale),
-                    args.scale,
-                )
-                .ipc(),
-            );
-            er.push(
-                run_kernel_with(
-                    &k,
-                    early_release_renamer(rf, swept_class(k.suite)),
-                    experiment_config(args.scale),
-                    args.scale,
-                )
-                .ipc(),
-            );
-        }
+    for (i, rf) in RF_SIZES.into_iter().enumerate() {
+        let chunk = &ipcs[i * kernels.len()..(i + 1) * kernels.len()];
+        let col = |sel: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> {
+            chunk.iter().map(sel).collect()
+        };
         rows.push(Fig11Row {
             rf_regs: rf,
-            baseline_ipc: regshare::stats::mean(&base),
-            proposed_equal_area_ipc: regshare::stats::mean(&ea),
-            proposed_equal_count_ipc: regshare::stats::mean(&ec),
-            early_release_ipc: regshare::stats::mean(&er),
+            baseline_ipc: regshare::stats::mean(&col(|t| t.0)),
+            proposed_equal_area_ipc: regshare::stats::mean(&col(|t| t.1)),
+            proposed_equal_count_ipc: regshare::stats::mean(&col(|t| t.2)),
+            early_release_ipc: regshare::stats::mean(&col(|t| t.3)),
         });
     }
     let mut table = Table::with_headers(&[
@@ -608,12 +618,14 @@ fn fig12(args: &Args) {
     let mut rows = Vec::new();
     for suite in Suite::ALL {
         let mut agg = regshare::core::PredictorStats::default();
-        for k in suite_kernels(suite) {
-            let rep = run_kernel(&k, Scheme::Proposed, 64, args.scale);
-            agg.reuse_correct += rep.predictor.reuse_correct;
-            agg.reuse_incorrect += rep.predictor.reuse_incorrect;
-            agg.noreuse_correct += rep.predictor.noreuse_correct;
-            agg.noreuse_incorrect += rep.predictor.noreuse_incorrect;
+        let kernels = suite_kernels(suite);
+        let stats =
+            par_map(&kernels, |k| run_kernel(k, Scheme::Proposed, 64, args.scale).predictor);
+        for rep in stats {
+            agg.reuse_correct += rep.reuse_correct;
+            agg.reuse_incorrect += rep.reuse_incorrect;
+            agg.noreuse_correct += rep.noreuse_correct;
+            agg.noreuse_incorrect += rep.noreuse_incorrect;
         }
         let t = agg.total().max(1) as f64;
         table.row(vec![
@@ -648,26 +660,28 @@ struct AblateRow {
 
 fn ablate<F>(args: &Args, name: &str, title: &str, settings: Vec<(String, F)>)
 where
-    F: Fn(RegClass) -> Box<dyn regshare::core::Renamer>,
+    F: Fn(RegClass) -> Box<dyn regshare::core::Renamer> + Sync,
 {
     println!("{title}");
     let mut table = Table::with_headers(&["setting", "geomean speedup", "mean reuse %"]);
     table.numeric();
     let mut rows = Vec::new();
+    let kernels = all_kernels();
     for (label, make) in settings {
-        let mut speedups = Vec::new();
-        let mut reuse = Vec::new();
-        for k in all_kernels() {
-            let base = run_kernel(&k, Scheme::Baseline, 64, args.scale);
+        // The renamer factory runs inside each worker: a boxed renamer
+        // is not `Send`, but it never crosses a thread boundary.
+        let metrics = par_map(&kernels, |k| {
+            let base = run_kernel(k, Scheme::Baseline, 64, args.scale);
             let prop = run_kernel_with(
-                &k,
+                k,
                 make(swept_class(k.suite)),
                 experiment_config(args.scale),
                 args.scale,
             );
-            speedups.push(prop.ipc() / base.ipc());
-            reuse.push(prop.rename.reuse_fraction() * 100.0);
-        }
+            (prop.ipc() / base.ipc(), prop.rename.reuse_fraction() * 100.0)
+        });
+        let speedups: Vec<f64> = metrics.iter().map(|m| m.0).collect();
+        let reuse: Vec<f64> = metrics.iter().map(|m| m.1).collect();
         let g = geomean(&speedups);
         let m = regshare::stats::mean(&reuse);
         table.row(vec![label.clone(), format!("{g:.4}"), format!("{m:.1}")]);
@@ -791,9 +805,11 @@ fn ablate_banks(args: &Args) {
 
 // ---------------------------------------------------------------- main
 
+type ExperimentFn = fn(&Args);
+
 fn main() {
     let args = parse_args();
-    let known: Vec<(&str, fn(&Args))> = vec![
+    let known: Vec<(&str, ExperimentFn)> = vec![
         ("fig1", fig1),
         ("fig2", fig2),
         ("fig3", fig3),

@@ -1,0 +1,20 @@
+//! Prints golden (kernel, scheme) -> (cycles, committed) tuples for the
+//! determinism regression test. Dev tool; output is pasted into
+//! `tests/determinism.rs`.
+
+use regshare::harness::{run_kernel, Scheme};
+use regshare::workloads::all_kernels;
+
+fn main() {
+    let scale = 8_000;
+    let rf = 64;
+    for kernel in all_kernels() {
+        for scheme in [Scheme::Baseline, Scheme::Proposed] {
+            let r = run_kernel(&kernel, scheme, rf, scale);
+            println!(
+                "    (\"{}\", Scheme::{:?}, {}, {}),",
+                kernel.name, scheme, r.cycles, r.committed_instructions
+            );
+        }
+    }
+}

@@ -134,7 +134,7 @@ fn build_renamer(o: &Options, scheme: Scheme, swept: RegClass) -> Box<dyn regsha
 fn main() {
     let o = parse();
     if o.list {
-        println!("{:10}  {}", "kernel", "suite");
+        println!("{:10}  suite", "kernel");
         for k in all_kernels() {
             println!("{:10}  {}", k.name, k.suite);
         }

@@ -41,6 +41,71 @@ pub mod harness {
     use regshare_isa::RegClass;
     use regshare_sim::{Pipeline, SimConfig, SimReport};
     use regshare_workloads::{Kernel, Suite};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Maps `f` over `items` on a scoped worker pool, one OS thread per
+    /// available core, returning results in **input order** no matter
+    /// which worker finished first.
+    ///
+    /// Each simulation point is independent (every run constructs its own
+    /// pipeline, renamer and memory image), so the experiment sweeps are
+    /// embarrassingly parallel; work is handed out through an atomic
+    /// cursor so long and short kernels balance across workers. With one
+    /// core (or one item) this degrades to a plain sequential map — the
+    /// results are bit-identical either way, which is what lets the
+    /// determinism test cover the parallel path.
+    ///
+    /// Worker panics (e.g. a simulation error surfaced by
+    /// [`run_kernel`]) are re-raised on the caller with their original
+    /// payload.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regshare::harness::par_map;
+    ///
+    /// let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
+    /// assert_eq!(squares, [1, 4, 9, 16]);
+    /// ```
+    pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, R)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        collected.sort_by_key(|&(i, _)| i);
+        collected.into_iter().map(|(_, r)| r).collect()
+    }
 
     /// Number of physical registers in the register file that is *not*
     /// being swept (the paper keeps the other file at its Table I size).

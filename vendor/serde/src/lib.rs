@@ -1,0 +1,184 @@
+//! Offline stand-in for `serde`, shaped for this workspace's needs.
+//!
+//! The real serde is unavailable in the build container (no network, no
+//! vendored registry), and the workspace only ever serializes result rows
+//! to JSON. This stub models serialization as a conversion to a [`Value`]
+//! tree which the vendored `serde_json` pretty-prints; `Deserialize` is a
+//! marker trait (nothing in the workspace deserializes).
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros come from the sibling
+//! `serde_derive` stub and support non-generic structs, tuple structs and
+//! unit enums, plus `#[serde(skip)]` on fields.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree — the in-memory serialization target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A double.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered map (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion to a JSON [`Value`] — the stub's `Serialize`.
+pub trait Serialize {
+    /// The value tree for this datum.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for serde's `Deserialize`.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for f32 {}
+impl Deserialize for f64 {}
+impl Deserialize for bool {}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(5u32.to_value(), Value::UInt(5));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_recurse() {
+        let v = vec![1u64, 2].to_value();
+        assert_eq!(v, Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+        let t = (1u64, "x".to_string()).to_value();
+        assert_eq!(t, Value::Array(vec![Value::UInt(1), Value::Str("x".into())]));
+    }
+}

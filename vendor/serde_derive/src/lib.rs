@@ -1,0 +1,271 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s [`Serialize`]/[`Deserialize`] traits for
+//! the shapes this workspace actually uses: structs with named fields,
+//! tuple structs, and enums with unit variants — no generics. The macro
+//! parses the item token stream by hand (no `syn`/`quote`, which are not
+//! available offline) and honors `#[serde(skip)]` on fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    Named { name: String, fields: Vec<Field> },
+    /// `struct Name(T, U);`
+    Tuple { name: String, arity: usize },
+    /// `enum Name { A, B, C }`
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Consumes one attribute (`#[...]`) if the cursor is on one; returns the
+/// attribute's bracketed tokens.
+fn take_attr(tokens: &[TokenTree], i: &mut usize) -> Option<Vec<TokenTree>> {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '#' {
+            if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    *i += 2;
+                    return Some(g.stream().into_iter().collect());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether an attribute body is `serde(... skip ...)`.
+fn attr_is_serde_skip(attr: &[TokenTree]) -> bool {
+    match attr.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match attr.get(1) {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let mut skip = false;
+        while let Some(attr) = take_attr(body, &mut i) {
+            if attr_is_serde_skip(&attr) {
+                skip = true;
+            }
+        }
+        if i >= body.len() {
+            break;
+        }
+        skip_vis(body, &mut i);
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected ':' after field {name}, got {other}"),
+        }
+        // Skip the type: run to the next comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_arity(body: &[TokenTree]) -> usize {
+    // Count top-level comma-separated fields (trailing comma tolerated).
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_enum_variants(body: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while take_attr(body, &mut i).is_some() {}
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                panic!("serde stub derive: enum variant {name} carries data (unsupported)")
+            }
+            Some(other) => {
+                panic!("serde stub derive: unexpected token after variant {name}: {other}")
+            }
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while take_attr(&tokens, &mut i).is_some() {}
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type {name} is unsupported");
+        }
+    }
+    let body: Vec<TokenTree> = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect()
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = parse_tuple_arity(&g.stream().into_iter().collect::<Vec<_>>());
+            return Item::Tuple { name, arity };
+        }
+        other => panic!("serde stub derive: expected item body for {name}, got {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Named { name, fields: parse_named_fields(&body) },
+        "enum" => Item::Enum { name, variants: parse_enum_variants(&body) },
+        other => panic!("serde stub derive: unsupported item kind {other}"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (JSON value tree).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::Named { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let elems: Vec<String> = (0..arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(String::from(\"{v}\"))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("serde stub derive: generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Named { name, .. } | Item::Tuple { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl parses")
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for `serde_json`: serializes the vendored `serde`
+//! [`Value`] tree to JSON text, matching serde_json's pretty format
+//! (2-space indent, `": "` separators, floats always with a decimal
+//! point).
+
+pub use serde::Value;
+use std::fmt;
+
+/// Serialization error (the stub is infallible in practice; NaN and
+/// infinities serialize as `null` like serde_json's lossy mode).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_into(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e16 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => float_into(out, *f),
+        Value::Str(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (k, (name, item)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(out, name);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value as multi-line, 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, true);
+    Ok(out)
+}
+
+/// Serializes a value as compact single-line JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, false);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_rows() {
+        let rows = vec![
+            Value::Object(vec![
+                ("kernel".to_string(), Value::Str("saxpy".into())),
+                ("speedup".to_string(), Value::Float(1.5)),
+                ("regs".to_string(), Value::UInt(64)),
+            ]),
+        ];
+        let s = to_string_pretty(&rows).unwrap();
+        assert_eq!(
+            s,
+            "[\n  {\n    \"kernel\": \"saxpy\",\n    \"speedup\": 1.5,\n    \"regs\": 64\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        let mut s = String::new();
+        float_into(&mut s, 100.0);
+        assert_eq!(s, "100.0");
+        let mut s = String::new();
+        float_into(&mut s, 0.125);
+        assert_eq!(s, "0.125");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string(&"a\"b\\c\n").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn compact_mode_is_single_line() {
+        let v = Value::Array(vec![Value::UInt(1), Value::Null]);
+        assert_eq!(to_string(&v).unwrap(), "[1,null]");
+    }
+}
