@@ -1,0 +1,235 @@
+//! A corpus of deliberately-broken programs, each annotated with the
+//! diagnostic the linter must raise for it. CI runs the linter over the
+//! whole corpus and fails if any expected diagnostic goes silent.
+
+use crate::lint::DiagCode;
+use regshare_isa::{reg, Inst, Opcode};
+
+/// One corpus entry: a malformed program and the diagnostic it must
+/// trigger.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Short description of the defect.
+    pub name: String,
+    /// The program's instructions (possibly empty).
+    pub insts: Vec<Inst>,
+    /// The program's entry index.
+    pub entry: u32,
+    /// The diagnostic code the linter must emit for this case.
+    pub expect: DiagCode,
+}
+
+/// Minimal deterministic PRNG (xorshift64) so the corpus needs no
+/// external crate and a seed fully determines every case.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A small well-formed straight-line-plus-loop program: initializes the
+/// registers it reads, does some arithmetic, halts. The linter accepts
+/// it — defects are injected on top.
+fn clean_program(rng: &mut XorShift) -> Vec<Inst> {
+    let mut insts = Vec::new();
+    // Initialize the working registers x1..x4.
+    for i in 1..=4u8 {
+        insts.push(Inst::ri(Opcode::Li, reg::x(i), i as i64 * 3 + 1));
+    }
+    let body = 2 + rng.below(6) as usize;
+    for _ in 0..body {
+        let d = reg::x(1 + rng.below(4) as u8);
+        let a = reg::x(1 + rng.below(4) as u8);
+        let b = reg::x(1 + rng.below(4) as u8);
+        let op = match rng.below(3) {
+            0 => Opcode::Add,
+            1 => Opcode::Sub,
+            _ => Opcode::Xor,
+        };
+        insts.push(Inst::rrr(op, d, a, b));
+    }
+    insts.push(Inst::bare(Opcode::Halt));
+    insts
+}
+
+/// The defect classes the generator can inject.
+const DEFECTS: [DiagCode; 6] = [
+    DiagCode::BranchTargetOutOfRange,
+    DiagCode::UninitRead,
+    DiagCode::UnreachableCode,
+    DiagCode::PostIncBaseConflict,
+    DiagCode::NoHaltPath,
+    DiagCode::FallsOffEnd,
+];
+
+/// Injects one defect into a clean program, returning the case.
+fn inject(name_idx: usize, defect: DiagCode, rng: &mut XorShift) -> CorpusCase {
+    let mut insts = clean_program(rng);
+    let entry = 0u32;
+    match defect {
+        DiagCode::BranchTargetOutOfRange => {
+            let bad = insts.len() as u32 + 1 + rng.below(100) as u32;
+            let at = insts.len() - 1; // before the halt
+            insts.insert(at, Inst::branch(Opcode::Beq, reg::x(1), reg::zero(), bad));
+        }
+        DiagCode::UninitRead => {
+            // x20 is never initialized by clean_program.
+            insts.insert(
+                0,
+                Inst::rrr(Opcode::Add, reg::x(9), reg::x(20), reg::zero()),
+            );
+        }
+        DiagCode::UnreachableCode => {
+            insts.push(Inst::bare(Opcode::Nop)); // after the halt
+        }
+        DiagCode::PostIncBaseConflict => {
+            // Constructors reject this shape; a broken generator using
+            // from_parts would not.
+            let r = reg::x(1 + rng.below(4) as u8);
+            let at = insts.len() - 1;
+            insts.insert(
+                at,
+                Inst::from_parts(Opcode::LdPost, Some(r), [Some(r), None, None], 8, 0),
+            );
+        }
+        DiagCode::NoHaltPath => {
+            let last = insts.len() - 1;
+            insts[last] = Inst::jal(None, 0); // loop forever instead of halting
+        }
+        DiagCode::FallsOffEnd => {
+            insts.pop(); // drop the halt
+        }
+        _ => unreachable!("not a generated defect class"),
+    }
+    CorpusCase {
+        name: format!("generated-{name_idx}-{defect:?}"),
+        insts,
+        entry,
+        expect: defect,
+    }
+}
+
+/// Handcrafted cases covering the diagnostics the generator cannot (or
+/// covering them from a different angle).
+fn handcrafted() -> Vec<CorpusCase> {
+    vec![
+        CorpusCase {
+            name: "empty-program".to_string(),
+            insts: Vec::new(),
+            entry: 0,
+            expect: DiagCode::EmptyProgram,
+        },
+        CorpusCase {
+            name: "entry-past-end".to_string(),
+            insts: vec![Inst::bare(Opcode::Halt)],
+            entry: 17,
+            expect: DiagCode::BadEntry,
+        },
+        CorpusCase {
+            name: "jal-out-of-range".to_string(),
+            insts: vec![Inst::jal(None, 1000), Inst::bare(Opcode::Halt)],
+            entry: 0,
+            expect: DiagCode::BranchTargetOutOfRange,
+        },
+        CorpusCase {
+            name: "fp-uninit-read".to_string(),
+            insts: vec![
+                Inst::rrr(Opcode::Fadd, reg::f(1), reg::f(2), reg::f(3)),
+                Inst::bare(Opcode::Halt),
+            ],
+            entry: 0,
+            expect: DiagCode::UninitRead,
+        },
+        CorpusCase {
+            name: "uninit-on-one-path".to_string(),
+            insts: vec![
+                Inst::ri(Opcode::Li, reg::x(2), 1),
+                Inst::branch(Opcode::Beq, reg::x(2), reg::zero(), 3),
+                Inst::ri(Opcode::Li, reg::x(1), 5),
+                Inst::rrr(Opcode::Add, reg::x(3), reg::x(1), reg::zero()),
+                Inst::bare(Opcode::Halt),
+            ],
+            entry: 0,
+            expect: DiagCode::UninitRead,
+        },
+        CorpusCase {
+            name: "infinite-self-loop".to_string(),
+            insts: vec![Inst::jal(None, 0), Inst::bare(Opcode::Halt)],
+            entry: 0,
+            expect: DiagCode::NoHaltPath,
+        },
+        CorpusCase {
+            name: "single-inst-no-halt".to_string(),
+            insts: vec![Inst::ri(Opcode::Li, reg::x(1), 1)],
+            entry: 0,
+            expect: DiagCode::FallsOffEnd,
+        },
+        CorpusCase {
+            name: "code-before-entry".to_string(),
+            insts: vec![
+                Inst::bare(Opcode::Nop),
+                Inst::ri(Opcode::Li, reg::x(1), 1),
+                Inst::bare(Opcode::Halt),
+            ],
+            entry: 1,
+            expect: DiagCode::UnreachableCode,
+        },
+    ]
+}
+
+/// Builds the full negative corpus: every handcrafted case plus `count`
+/// seeded generated cases cycling through the defect classes.
+pub fn negative_corpus(seed: u64, count: usize) -> Vec<CorpusCase> {
+    let mut rng = XorShift::new(seed);
+    let mut cases = handcrafted();
+    for i in 0..count {
+        let defect = DEFECTS[i % DEFECTS.len()];
+        cases.push(inject(i, defect, &mut rng));
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lint;
+
+    #[test]
+    fn every_case_fires_its_expected_diagnostic() {
+        for case in negative_corpus(0x5eed, 60) {
+            let diags = lint(&case.insts, case.entry);
+            assert!(
+                diags.iter().any(|d| d.code == case.expect),
+                "case {} did not raise {:?}; got {:?}",
+                case.name,
+                case.expect,
+                diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn clean_base_program_is_accepted() {
+        let mut rng = XorShift::new(42);
+        for _ in 0..20 {
+            let insts = clean_program(&mut rng);
+            let diags = lint(&insts, 0);
+            assert!(diags.is_empty(), "clean program flagged: {diags:?}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Compact sets of architectural registers.
+
+use regshare_isa::{ArchReg, RegClass};
+
+/// Total number of trackable registers (32 int + 32 fp). The hard-wired
+/// zero register occupies a bit that is simply never set, because
+/// [`regshare_isa::Inst::defs`] and [`regshare_isa::Inst::uses`] already
+/// filter it.
+pub const NUM_REGS: usize = 64;
+
+/// Maps a register to its dense bit index: int registers occupy bits
+/// 0..32, fp registers bits 32..64.
+pub fn reg_bit(r: ArchReg) -> usize {
+    r.class().index() * 32 + r.index() as usize
+}
+
+/// Inverse of [`reg_bit`].
+pub fn bit_reg(bit: usize) -> ArchReg {
+    let class = if bit < 32 {
+        RegClass::Int
+    } else {
+        RegClass::Fp
+    };
+    ArchReg::new(class, (bit % 32) as u8)
+}
+
+/// A set of architectural registers as a 64-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(pub u64);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Every register of both classes.
+    pub const ALL: RegSet = RegSet(u64::MAX);
+
+    /// Inserts a register.
+    pub fn insert(&mut self, r: ArchReg) {
+        self.0 |= 1 << reg_bit(r);
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: ArchReg) {
+        self.0 &= !(1 << reg_bit(r));
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: ArchReg) -> bool {
+        self.0 & (1 << reg_bit(r)) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no register is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members in bit order (int registers first).
+    pub fn iter(self) -> impl Iterator<Item = ArchReg> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(bit_reg(b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::reg;
+
+    #[test]
+    fn bit_mapping_round_trips() {
+        for r in [reg::x(0), reg::x(30), reg::f(0), reg::f(31)] {
+            assert_eq!(bit_reg(reg_bit(r)), r);
+        }
+        assert_ne!(reg_bit(reg::x(5)), reg_bit(reg::f(5)));
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(reg::x(3));
+        s.insert(reg::f(3));
+        assert!(s.contains(reg::x(3)));
+        assert!(!s.contains(reg::x(4)));
+        assert_eq!(s.len(), 2);
+        s.remove(reg::x(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![reg::f(3)]);
+        let t = s.union(RegSet::ALL);
+        assert_eq!(t.len(), NUM_REGS);
+    }
+}

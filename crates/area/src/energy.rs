@@ -100,9 +100,8 @@ mod tests {
         // Same register count per access path:
         assert_eq!(plain.total(), shadowed.total());
         assert!(
-            (access_energy(plain.total(), ports, 64)
-                - access_energy(shadowed.total(), ports, 64))
-            .abs()
+            (access_energy(plain.total(), ports, 64) - access_energy(shadowed.total(), ports, 64))
+                .abs()
                 < 1e-12
         );
         // But the shadowed file leaks more.
@@ -130,7 +129,15 @@ mod tests {
         assert!((e.total() - (e.dynamic + e.leakage)).abs() < 1e-12);
         // The proposed file at 64 is smaller than a 64-reg baseline, so
         // each access is cheaper.
-        let base = estimate(&BankConfig::conventional(64), ports, 64, 1000, 500, 0, 10_000);
+        let base = estimate(
+            &BankConfig::conventional(64),
+            ports,
+            64,
+            1000,
+            500,
+            0,
+            10_000,
+        );
         assert!(e.dynamic < base.dynamic * 1.02);
     }
 }

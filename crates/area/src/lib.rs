@@ -182,7 +182,10 @@ pub fn equal_area_config(baseline_regs: usize, ports: RegFilePorts) -> BankConfi
         }
         n0 -= 1;
     }
-    assert!(n0 > 0, "no equal-area configuration exists for {baseline_regs} registers");
+    assert!(
+        n0 > 0,
+        "no equal-area configuration exists for {baseline_regs} registers"
+    );
     BankConfig::new(vec![n0, s, s, s])
 }
 
@@ -198,16 +201,36 @@ mod tests {
     fn table2_matches_paper_register_files() {
         let rows = table2();
         // Paper: 0.2834 mm² (int), 0.4988 mm² (fp).
-        assert!(close(rows[0].area_mm2, 0.2834, 0.03), "int rf: {}", rows[0].area_mm2);
-        assert!(close(rows[1].area_mm2, 0.4988, 0.15), "fp rf: {}", rows[1].area_mm2);
+        assert!(
+            close(rows[0].area_mm2, 0.2834, 0.03),
+            "int rf: {}",
+            rows[0].area_mm2
+        );
+        assert!(
+            close(rows[1].area_mm2, 0.4988, 0.15),
+            "fp rf: {}",
+            rows[1].area_mm2
+        );
     }
 
     #[test]
     fn table2_matches_paper_overheads() {
         let rows = table2();
-        assert!(close(rows[2].area_mm2, 5.08e-4, 0.02), "prt: {}", rows[2].area_mm2);
-        assert!(close(rows[3].area_mm2, 1.48e-3, 0.02), "iq: {}", rows[3].area_mm2);
-        assert!(close(rows[4].area_mm2, 3.1e-3, 0.02), "pred: {}", rows[4].area_mm2);
+        assert!(
+            close(rows[2].area_mm2, 5.08e-4, 0.02),
+            "prt: {}",
+            rows[2].area_mm2
+        );
+        assert!(
+            close(rows[3].area_mm2, 1.48e-3, 0.02),
+            "iq: {}",
+            rows[3].area_mm2
+        );
+        assert!(
+            close(rows[4].area_mm2, 3.1e-3, 0.02),
+            "pred: {}",
+            rows[4].area_mm2
+        );
         let total: f64 = rows[2..].iter().map(|r| r.area_mm2).sum();
         assert!(close(total, 5.085e-3, 0.02), "total overhead: {total}");
     }
@@ -229,8 +252,15 @@ mod tests {
     fn equal_area_configs_track_table_iii() {
         let ports = RegFilePorts::default();
         // (baseline, paper's conventional-bank size)
-        for (n, paper_n0) in [(48, 28), (56, 28), (64, 36), (72, 36), (80, 42), (96, 58), (112, 75)]
-        {
+        for (n, paper_n0) in [
+            (48, 28),
+            (56, 28),
+            (64, 36),
+            (72, 36),
+            (80, 42),
+            (96, 58),
+            (112, 75),
+        ] {
             let banks = equal_area_config(n, ports);
             let n0 = banks.sizes()[0];
             assert!(

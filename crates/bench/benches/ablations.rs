@@ -27,7 +27,10 @@ fn renamer(swept: RegClass, banks: BankConfig, bits: u8, entries: usize) -> Box<
 
 fn run_with(bits: u8, entries: usize, banks: &[usize]) -> u64 {
     let kernels = all_kernels();
-    let kernel = kernels.iter().find(|k| k.name == "horner").expect("kernel exists");
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == "horner")
+        .expect("kernel exists");
     let program = kernel.program(BENCH_SCALE);
     let r = renamer(
         swept_class(kernel.suite),
@@ -74,5 +77,10 @@ fn bench_ablate_banks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(ablations, bench_ablate_counter, bench_ablate_pred, bench_ablate_banks);
+criterion_group!(
+    ablations,
+    bench_ablate_counter,
+    bench_ablate_pred,
+    bench_ablate_banks
+);
 criterion_main!(ablations);

@@ -16,7 +16,12 @@ fn rename_stream() -> Vec<Inst> {
     let mut v = Vec::new();
     for i in 0..32u8 {
         v.push(Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(20))); // chain
-        v.push(Inst::rrr(Opcode::Mul, reg::x(9 + i % 4), reg::x(20), reg::x(21)));
+        v.push(Inst::rrr(
+            Opcode::Mul,
+            reg::x(9 + i % 4),
+            reg::x(20),
+            reg::x(21),
+        ));
         v.push(Inst::store(Opcode::St, reg::x(9), reg::x(21), 0));
     }
     v
@@ -63,7 +68,10 @@ fn bench_pipeline_speed(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(BENCH_SCALE));
     for name in ["matmul", "pchase"] {
-        let kernel = *kernels.iter().find(|k| k.name == name).expect("kernel exists");
+        let kernel = *kernels
+            .iter()
+            .find(|k| k.name == name)
+            .expect("kernel exists");
         group.bench_function(format!("{name}_baseline"), |b| {
             b.iter(|| {
                 black_box(run(&kernel, baseline_renamer(64, swept_class(kernel.suite))).cycles)
@@ -84,7 +92,12 @@ fn bench_cache(c: &mut Criterion) {
     group.bench_function("l1d_stream", |b| {
         let mut cache = Cache::new(
             "l1d",
-            CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_bytes: 64, latency: 1 },
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
         );
         let mut addr = 0u64;
         b.iter(|| {
@@ -119,5 +132,11 @@ fn bench_bpred(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(components, bench_renamers, bench_pipeline_speed, bench_cache, bench_bpred);
+criterion_group!(
+    components,
+    bench_renamers,
+    bench_pipeline_speed,
+    bench_cache,
+    bench_bpred
+);
 criterion_main!(components);

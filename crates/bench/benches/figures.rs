@@ -3,9 +3,7 @@
 //! regenerate that artefact (at reduced scale).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use regshare_bench::{
-    baseline_renamer, proposed_renamer, run, swept_class, BENCH_SCALE,
-};
+use regshare_bench::{baseline_renamer, proposed_renamer, run, swept_class, BENCH_SCALE};
 use regshare_core::BankConfig;
 use regshare_workloads::{all_kernels, analysis, suite_kernels, Suite};
 use std::hint::black_box;
@@ -40,7 +38,11 @@ fn bench_fig2(c: &mut Criterion) {
 
 fn bench_fig3(c: &mut Criterion) {
     let kernels = all_kernels();
-    let programs: Vec<_> = kernels.iter().take(4).map(|k| k.program(BENCH_SCALE)).collect();
+    let programs: Vec<_> = kernels
+        .iter()
+        .take(4)
+        .map(|k| k.program(BENCH_SCALE))
+        .collect();
     c.bench_function("fig3_reuse_potential", |b| {
         b.iter(|| {
             let mut total = 0.0;
@@ -78,7 +80,10 @@ fn bench_table3(c: &mut Criterion) {
 
 fn bench_fig9(c: &mut Criterion) {
     let kernels = all_kernels();
-    let kernel = kernels.iter().find(|k| k.name == "horner").expect("kernel exists");
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == "horner")
+        .expect("kernel exists");
     c.bench_function("fig9_occupancy_sampling", |b| {
         b.iter(|| {
             let mut cfg = regshare_bench::bench_config();
@@ -93,7 +98,10 @@ fn bench_fig9(c: &mut Criterion) {
 
 fn bench_fig10(c: &mut Criterion) {
     let kernels = all_kernels();
-    let kernel = kernels.iter().find(|k| k.name == "gmm").expect("kernel exists");
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == "gmm")
+        .expect("kernel exists");
     let mut group = c.benchmark_group("fig10_speedup_point");
     group.sample_size(10);
     group.bench_function("baseline_48", |b| {
@@ -107,12 +115,17 @@ fn bench_fig10(c: &mut Criterion) {
 
 fn bench_fig11(c: &mut Criterion) {
     let kernels = all_kernels();
-    let kernel = kernels.iter().find(|k| k.name == "sad").expect("kernel exists");
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == "sad")
+        .expect("kernel exists");
     let mut group = c.benchmark_group("fig11_ipc_curve_point");
     group.sample_size(10);
     for rf in [48usize, 80] {
         group.bench_function(format!("proposed_{rf}"), |b| {
-            b.iter(|| black_box(run(kernel, proposed_renamer(rf, swept_class(kernel.suite))).cycles))
+            b.iter(|| {
+                black_box(run(kernel, proposed_renamer(rf, swept_class(kernel.suite))).cycles)
+            })
         });
     }
     group.finish();
@@ -120,7 +133,10 @@ fn bench_fig11(c: &mut Criterion) {
 
 fn bench_fig12(c: &mut Criterion) {
     let kernels = all_kernels();
-    let kernel = kernels.iter().find(|k| k.name == "fir").expect("kernel exists");
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == "fir")
+        .expect("kernel exists");
     let mut group = c.benchmark_group("fig12_predictor_accuracy");
     group.sample_size(10);
     group.bench_function("proposed_64", |b| {

@@ -108,7 +108,10 @@ impl BankConfig {
             }
             idx -= size;
         }
-        panic!("physical register {preg} out of range for {} registers", self.total());
+        panic!(
+            "physical register {preg} out of range for {} registers",
+            self.total()
+        );
     }
 
     /// The physical register index range `[start, end)` of bank `k`.
@@ -168,7 +171,10 @@ mod tests {
         for n in BankConfig::PAPER_SIZES {
             let b = BankConfig::paper_row(n);
             assert_eq!(b.num_banks(), 4);
-            assert!(b.total() < n, "proposed config trades registers for shadow cells");
+            assert!(
+                b.total() < n,
+                "proposed config trades registers for shadow cells"
+            );
         }
     }
 

@@ -111,7 +111,11 @@ impl Renamer for BaselineRenamer {
             let new_map = TaggedReg::new(class, preg, 0);
             let old_map = this.map.set(logical, new_map);
             this.stats.allocations += 1;
-            Some(DstChange { logical, old_map, new_map })
+            Some(DstChange {
+                logical,
+                old_map,
+                new_map,
+            })
         };
         let dst_change = match inst.dst() {
             Some(logical) => match allocate(self, logical) {
@@ -142,9 +146,19 @@ impl Renamer for BaselineRenamer {
         };
         let dst_tag = dst_change.as_ref().map(|d| d.new_map);
         let dst2_tag = dst2_change.as_ref().map(|d| d.new_map);
-        self.records.push_back(Record { seq, dst: dst_change, dst2: dst2_change });
+        self.records.push_back(Record {
+            seq,
+            dst: dst_change,
+            dst2: dst2_change,
+        });
         self.stats.renamed += 1;
-        Some(vec![Uop { seq, kind: UopKind::Main, srcs, dst: dst_tag, dst2: dst2_tag }])
+        Some(vec![Uop {
+            seq,
+            kind: UopKind::Main,
+            srcs,
+            dst: dst_tag,
+            dst2: dst2_tag,
+        }])
     }
 
     fn commit(&mut self, seq: u64) {

@@ -262,7 +262,11 @@ impl Renamer for EarlyReleaseRenamer {
             let new_map = TaggedReg::new(class, preg, 0);
             let old_map = this.map.set(logical, new_map);
             this.stats.allocations += 1;
-            Some(DstChange { logical, old_map, new_map })
+            Some(DstChange {
+                logical,
+                old_map,
+                new_map,
+            })
         };
         let rollback = |this: &mut Self, d: DstChange| {
             this.map.set(d.logical, d.old_map);
@@ -305,7 +309,10 @@ impl Renamer for EarlyReleaseRenamer {
             self.unread.insert(seq, read_list);
         }
         let mut writes = [None; 2];
-        for (w, d) in writes.iter_mut().zip([dst_change, dst2_change].into_iter().flatten()) {
+        for (w, d) in writes
+            .iter_mut()
+            .zip([dst_change, dst2_change].into_iter().flatten())
+        {
             self.producer_written[d.new_map.class.index()][d.new_map.preg.0 as usize] = false;
             *w = Some((d.new_map.class, d.new_map.preg));
             self.spec_releases.push_back(PendingRelease {
@@ -320,9 +327,19 @@ impl Renamer for EarlyReleaseRenamer {
 
         let dst_tag = dst_change.map(|d| d.new_map);
         let dst2_tag = dst2_change.map(|d| d.new_map);
-        self.records.push_back(Record { seq, dst: dst_change, dst2: dst2_change });
+        self.records.push_back(Record {
+            seq,
+            dst: dst_change,
+            dst2: dst2_change,
+        });
         self.stats.renamed += 1;
-        Some(vec![Uop { seq, kind: UopKind::Main, srcs, dst: dst_tag, dst2: dst2_tag }])
+        Some(vec![Uop {
+            seq,
+            kind: UopKind::Main,
+            srcs,
+            dst: dst_tag,
+            dst2: dst2_tag,
+        }])
     }
 
     fn commit(&mut self, seq: u64) {
@@ -376,7 +393,11 @@ impl Renamer for EarlyReleaseRenamer {
         // guarantees none was released yet: a releasing redefiner is
         // non-speculative and cannot be squashed, so every casualty is
         // still in the speculative suffix).
-        while self.spec_releases.back().is_some_and(|p| p.redefiner_seq > seq) {
+        while self
+            .spec_releases
+            .back()
+            .is_some_and(|p| p.redefiner_seq > seq)
+        {
             self.spec_releases.pop_back();
         }
         debug_assert!(
@@ -413,7 +434,11 @@ impl Renamer for EarlyReleaseRenamer {
             return;
         }
         self.ns_boundary = boundary;
-        while self.spec_releases.front().is_some_and(|p| p.redefiner_seq < boundary) {
+        while self
+            .spec_releases
+            .front()
+            .is_some_and(|p| p.redefiner_seq < boundary)
+        {
             let p = self.spec_releases.pop_front().expect("front checked above");
             if self.releasable(p) {
                 self.free_released(p);
@@ -514,8 +539,8 @@ mod tests {
         r.squash_after(1); // kill the reader and the redefiner
         assert_eq!(r.free_regs(RegClass::Int), free_after_one);
         assert_eq!(r.pending_release_count(), 1); // only seq 1's entry
-        // The reader's pending count was restored; advancing the boundary
-        // releases seq 1's old mapping only.
+                                                  // The reader's pending count was restored; advancing the boundary
+                                                  // releases seq 1's old mapping only.
         r.advance_nonspeculative(10);
         assert_eq!(r.free_regs(RegClass::Int), free_after_one + 1);
     }

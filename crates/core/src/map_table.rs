@@ -33,13 +33,12 @@ impl MapTable {
     /// tag (physical register 0 of its class, version 0). Renamers
     /// initialize real mappings at reset.
     pub fn new() -> Self {
-        let mk = |class: RegClass| {
-            vec![
-                TaggedReg::new(class, crate::PhysReg(0), 0);
-                class.num_regs()
-            ]
-        };
-        MapTable { int: mk(RegClass::Int), fp: mk(RegClass::Fp) }
+        let mk =
+            |class: RegClass| vec![TaggedReg::new(class, crate::PhysReg(0), 0); class.num_regs()];
+        MapTable {
+            int: mk(RegClass::Int),
+            fp: mk(RegClass::Fp),
+        }
     }
 
     /// Current mapping of a logical register.
@@ -56,7 +55,11 @@ impl MapTable {
     ///
     /// Panics if the tag's class does not match the logical register's.
     pub fn set(&mut self, reg: ArchReg, tag: TaggedReg) -> TaggedReg {
-        assert_eq!(reg.class(), tag.class, "mapping {reg} to a tag of the wrong class");
+        assert_eq!(
+            reg.class(),
+            tag.class,
+            "mapping {reg} to a tag of the wrong class"
+        );
         let slot = match reg.class() {
             RegClass::Int => &mut self.int[reg.index() as usize],
             RegClass::Fp => &mut self.fp[reg.index() as usize],
@@ -70,7 +73,9 @@ impl MapTable {
             RegClass::Int => &self.int,
             RegClass::Fp => &self.fp,
         };
-        regs.iter().enumerate().map(move |(i, t)| (ArchReg::new(class, i as u8), *t))
+        regs.iter()
+            .enumerate()
+            .map(move |(i, t)| (ArchReg::new(class, i as u8), *t))
     }
 
     /// Logical registers whose mapping differs from `other` — the set the

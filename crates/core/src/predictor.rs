@@ -85,7 +85,10 @@ impl RegTypePredictor {
     ///
     /// Panics if `entries` is not a power of two or `bits` is 0 or > 3.
     pub fn new(entries: usize, bits: u8) -> Self {
-        assert!(entries.is_power_of_two(), "predictor entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "predictor entries must be a power of two"
+        );
         assert!((1..=3).contains(&bits), "predictor entries are 1–3 bits");
         RegTypePredictor {
             table: vec![0; entries],
@@ -110,7 +113,14 @@ impl RegTypePredictor {
     /// at allocation; `actual_reuses` the number of reuses observed;
     /// `multi_use` whether the register triggered a single-use
     /// misprediction repair. Also classifies the release for Fig. 12.
-    pub fn on_release(&mut self, entry: usize, predicted: u8, actual_reuses: u8, multi_use: bool, blocked: bool) {
+    pub fn on_release(
+        &mut self,
+        entry: usize,
+        predicted: u8,
+        actual_reuses: u8,
+        multi_use: bool,
+        blocked: bool,
+    ) {
         // Fig. 12 classification.
         if predicted == 0 {
             if blocked {
@@ -192,8 +202,13 @@ impl SingleUsePredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "predictor entries must be a power of two");
-        SingleUsePredictor { table: vec![2; entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "predictor entries must be a power of two"
+        );
+        SingleUsePredictor {
+            table: vec![2; entries],
+        }
     }
 
     /// The table index for a consumer PC.

@@ -51,12 +51,19 @@ pub struct TaggedReg {
 impl TaggedReg {
     /// Creates a tag.
     pub fn new(class: RegClass, preg: PhysReg, version: u8) -> Self {
-        TaggedReg { class, preg, version }
+        TaggedReg {
+            class,
+            preg,
+            version,
+        }
     }
 
     /// The same register at the next version (one more reuse).
     pub fn bump(self) -> Self {
-        TaggedReg { version: self.version + 1, ..self }
+        TaggedReg {
+            version: self.version + 1,
+            ..self
+        }
     }
 }
 

@@ -63,7 +63,10 @@ impl Prt {
             max_version <= crate::MAX_SHADOW_CELLS,
             "version counter beyond supported shadow depth"
         );
-        Prt { entries: vec![PrtEntry::default(); num_regs], max_version }
+        Prt {
+            entries: vec![PrtEntry::default(); num_regs],
+            max_version,
+        }
     }
 
     /// The saturation value of the version counter.
@@ -237,7 +240,14 @@ mod tests {
         prt.mark_read(p);
         prt.bump(p);
         prt.reset_on_alloc(p);
-        assert_eq!(prt.entry(p), PrtEntry { read: false, counter: 0, mapcount: 0 });
+        assert_eq!(
+            prt.entry(p),
+            PrtEntry {
+                read: false,
+                counter: 0,
+                mapcount: 0
+            }
+        );
     }
 
     #[test]

@@ -34,9 +34,18 @@ struct PregMeta {
 enum DstAction {
     None,
     /// A fresh allocation replacing `old_map`.
-    Alloc { logical: ArchReg, old_map: TaggedReg, new_map: TaggedReg },
+    Alloc {
+        logical: ArchReg,
+        old_map: TaggedReg,
+        new_map: TaggedReg,
+    },
     /// A reuse of a source register: version bumped from `prev_version`.
-    Reuse { logical: ArchReg, old_map: TaggedReg, new_map: TaggedReg, prev_version: u8 },
+    Reuse {
+        logical: ArchReg,
+        old_map: TaggedReg,
+        new_map: TaggedReg,
+        prev_version: u8,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -229,7 +238,11 @@ impl ReuseRenamer {
     ) {
         match action {
             DstAction::None => {}
-            DstAction::Alloc { logical, old_map, new_map } => {
+            DstAction::Alloc {
+                logical,
+                old_map,
+                new_map,
+            } => {
                 self.map.set(logical, old_map);
                 let ci = new_map.class.index();
                 let remaining = self.prt[ci].map_dec(new_map.preg);
@@ -237,7 +250,12 @@ impl ReuseRenamer {
                 let banks = self.config.banks(new_map.class).clone();
                 self.free[ci].free(new_map.preg, &banks);
             }
-            DstAction::Reuse { logical, old_map, new_map, prev_version } => {
+            DstAction::Reuse {
+                logical,
+                old_map,
+                new_map,
+                prev_version,
+            } => {
                 self.map.set(logical, old_map);
                 let ci = new_map.class.index();
                 // The read bit was true immediately before the bump (this
@@ -270,15 +288,24 @@ impl Renamer for ReuseRenamer {
         // succeed: a stalled rename retries every cycle and must not pump
         // the predictors with duplicate events.
         enum Learn {
-            MultiUse { class: RegClass, preg: PhysReg, stale_version: u8 },
-            Blocked { class: RegClass, preg: PhysReg },
+            MultiUse {
+                class: RegClass,
+                preg: PhysReg,
+                stale_version: u8,
+            },
+            Blocked {
+                class: RegClass,
+                preg: PhysReg,
+            },
         }
         let mut learn: Vec<Learn> = Vec::new();
 
         // Phase A: map sources; repair stale (mispredicted single-use)
         // mappings with injected move micro-ops (§IV-D1).
         for (slot, raw) in src_tags.iter_mut().zip(inst.raw_sources()) {
-            let Some(r) = raw.filter(|r| !r.is_zero()) else { continue };
+            let Some(r) = raw.filter(|r| !r.is_zero()) else {
+                continue;
+            };
             if let Some((_, t)) = repaired.iter().flatten().find(|(a, _)| *a == r) {
                 *slot = Some(*t);
                 continue;
@@ -301,11 +328,19 @@ impl Renamer for ReuseRenamer {
             // The register was not single-use after all: predictor rule 2,
             // and the consumer whose speculative reuse overwrote version
             // `t.version` mispredicted (learning applied on success).
-            learn.push(Learn::MultiUse { class: t.class, preg: t.preg, stale_version: t.version });
+            learn.push(Learn::MultiUse {
+                class: t.class,
+                preg: t.preg,
+                stale_version: t.version,
+            });
             staged.push(Record {
                 seq: next_seq,
                 read_marks: Vec::new(),
-                dst: DstAction::Alloc { logical: r, old_map: t, new_map: new_tag },
+                dst: DstAction::Alloc {
+                    logical: r,
+                    old_map: t,
+                    new_map: new_tag,
+                },
                 dst2: DstAction::None,
             });
             uops.push(Uop {
@@ -326,7 +361,10 @@ impl Renamer for ReuseRenamer {
         // (at most one entry per source slot).
         let mut read_marks: Vec<(RegClass, PhysReg, bool)> = Vec::new();
         let prev_read = |marks: &[(RegClass, PhysReg, bool)], class: RegClass, preg: PhysReg| {
-            marks.iter().find(|&&(c, p, _)| c == class && p == preg).map(|&(_, _, prev)| prev)
+            marks
+                .iter()
+                .find(|&&(c, p, _)| c == class && p == preg)
+                .map(|&(_, _, prev)| prev)
         };
         if !stall {
             for t in src_tags.iter().flatten() {
@@ -338,20 +376,33 @@ impl Renamer for ReuseRenamer {
             }
         }
 
+        // The rename tag of a logical source register (all operand slots
+        // carrying the same register hold the same tag after Phase A).
+        let src_tag_of = |tags: &[Option<TaggedReg>; 3], r: ArchReg| -> Option<TaggedReg> {
+            inst.raw_sources()
+                .iter()
+                .position(|s| *s == Some(r))
+                .and_then(|i| tags[i])
+        };
+
         // Phase C: destination — reuse or allocate.
         let mut dst_action = DstAction::None;
         if !stall {
             if let Some(dl) = inst.dst() {
                 let class = dl.class();
-                // Pair each positional source with its logical register.
                 let mut chosen: Option<(TaggedReg, bool)> = None;
+                // Registers already weighed as reuse candidates: two
+                // logical sources may share a physical register, and the
+                // decision must be taken once per physical register.
                 let mut considered: Vec<PhysReg> = Vec::new();
-                for (tag, raw) in src_tags.iter().zip(inst.raw_sources()) {
-                    let (Some(t), Some(r)) = (tag, raw) else { continue };
+                for r in inst.uses() {
+                    let Some(t) = src_tag_of(&src_tags, r) else {
+                        continue;
+                    };
                     if t.class != class {
                         continue;
                     }
-                    if inst.dst2() == Some(*r) {
+                    if inst.dst2() == Some(r) {
                         // The written-back base register belongs to the
                         // second destination's reuse decision.
                         continue;
@@ -364,7 +415,7 @@ impl Renamer for ReuseRenamer {
                     if !first_use {
                         continue;
                     }
-                    let redefining = *r == dl;
+                    let redefining = r == dl;
                     // A redefining first consumer is also the provably
                     // last one; any other first consumer must ask the
                     // single-use predictor before speculating (§IV-A2) —
@@ -375,21 +426,23 @@ impl Renamer for ReuseRenamer {
                         continue;
                     }
                     let cells = self.shadow_cells(class, t.preg);
-                    let capacity =
-                        t.version < cells && self.prt[class.index()].can_bump(t.preg);
+                    let capacity = t.version < cells && self.prt[class.index()].can_bump(t.preg);
                     if capacity {
                         match chosen {
                             // A redefining source is preferred: it is a
                             // guaranteed-safe reuse.
                             Some((_, true)) => {}
                             Some(_) if !redefining => {}
-                            _ => chosen = Some((*t, redefining)),
+                            _ => chosen = Some((t, redefining)),
                         }
                     } else {
                         // A reuse we wanted but could not take: predictor
                         // rule 3, and the "lost opportunity" class of
                         // Fig. 12 (learning applied on success).
-                        learn.push(Learn::Blocked { class, preg: t.preg });
+                        learn.push(Learn::Blocked {
+                            class,
+                            preg: t.preg,
+                        });
                     }
                 }
                 if let Some((t, redefining)) = chosen {
@@ -399,8 +452,8 @@ impl Renamer for ReuseRenamer {
                     let new_map = TaggedReg::new(class, t.preg, newv);
                     let old_map = self.map.set(dl, new_map);
                     self.meta[ci][t.preg.0 as usize].reuses += 1;
-                    self.meta[ci][t.preg.0 as usize].spec_entries[newv as usize] = (!redefining)
-                        .then(|| self.single_use.entry_index(pc) as u32);
+                    self.meta[ci][t.preg.0 as usize].spec_entries[newv as usize] =
+                        (!redefining).then(|| self.single_use.entry_index(pc) as u32);
                     self.stats.reuses += 1;
                     if redefining {
                         self.stats.safe_reuses += 1;
@@ -419,7 +472,11 @@ impl Renamer for ReuseRenamer {
                             let new_map = TaggedReg::new(class, preg, 0);
                             let old_map = self.map.set(dl, new_map);
                             self.stats.allocations += 1;
-                            dst_action = DstAction::Alloc { logical: dl, old_map, new_map };
+                            dst_action = DstAction::Alloc {
+                                logical: dl,
+                                old_map,
+                                new_map,
+                            };
                         }
                         None => stall = true,
                     }
@@ -436,17 +493,13 @@ impl Renamer for ReuseRenamer {
         if !stall {
             if let Some(d2) = inst.dst2() {
                 let class = d2.class();
-                let base_tag = src_tags
-                    .iter()
-                    .zip(inst.raw_sources())
-                    .find_map(|(t, r)| (*r == Some(d2)).then_some(*t))
-                    .flatten()
-                    .expect("post-increment base is always a source");
+                let base_tag =
+                    src_tag_of(&src_tags, d2).expect("post-increment base is always a source");
                 let first_use =
                     !prev_read(&read_marks, base_tag.class, base_tag.preg).unwrap_or(true);
                 let cells = self.shadow_cells(class, base_tag.preg);
-                let capacity = base_tag.version < cells
-                    && self.prt[class.index()].can_bump(base_tag.preg);
+                let capacity =
+                    base_tag.version < cells && self.prt[class.index()].can_bump(base_tag.preg);
                 if first_use && capacity {
                     let ci = class.index();
                     let newv = self.prt[ci].bump(base_tag.preg);
@@ -464,14 +517,21 @@ impl Renamer for ReuseRenamer {
                     };
                 } else {
                     if first_use {
-                        learn.push(Learn::Blocked { class, preg: base_tag.preg });
+                        learn.push(Learn::Blocked {
+                            class,
+                            preg: base_tag.preg,
+                        });
                     }
                     match self.alloc_preg(class, pc ^ 0x8000_0000) {
                         Some((preg, _)) => {
                             let new_map = TaggedReg::new(class, preg, 0);
                             let old_map = self.map.set(d2, new_map);
                             self.stats.allocations += 1;
-                            dst2_action = DstAction::Alloc { logical: d2, old_map, new_map };
+                            dst2_action = DstAction::Alloc {
+                                logical: d2,
+                                old_map,
+                                new_map,
+                            };
                         }
                         None => stall = true,
                     }
@@ -483,7 +543,12 @@ impl Renamer for ReuseRenamer {
             // Roll back everything staged in this rename, youngest first.
             let mut scratch = FastHashMap::default();
             self.undo_record(
-                Record { seq: next_seq, read_marks, dst: dst_action, dst2: dst2_action },
+                Record {
+                    seq: next_seq,
+                    read_marks,
+                    dst: dst_action,
+                    dst2: dst2_action,
+                },
                 &mut scratch,
             );
             for record in staged.into_iter().rev() {
@@ -496,7 +561,11 @@ impl Renamer for ReuseRenamer {
         // The rename succeeded: apply the deferred learning events.
         for event in learn {
             match event {
-                Learn::MultiUse { class, preg, stale_version } => {
+                Learn::MultiUse {
+                    class,
+                    preg,
+                    stale_version,
+                } => {
                     let ci = class.index();
                     let victim = self.meta[ci][preg.0 as usize];
                     if victim.has_entry {
@@ -525,7 +594,12 @@ impl Renamer for ReuseRenamer {
         };
         let dst_tag = tag_of(&dst_action);
         let dst2_tag = tag_of(&dst2_action);
-        staged.push(Record { seq: next_seq, read_marks, dst: dst_action, dst2: dst2_action });
+        staged.push(Record {
+            seq: next_seq,
+            read_marks,
+            dst: dst_action,
+            dst2: dst2_action,
+        });
         uops.push(Uop {
             seq: next_seq,
             kind: UopKind::Main,
@@ -547,8 +621,17 @@ impl Renamer for ReuseRenamer {
         for action in [record.dst, record.dst2] {
             match action {
                 DstAction::None => {}
-                DstAction::Alloc { logical, old_map, new_map }
-                | DstAction::Reuse { logical, old_map, new_map, .. } => {
+                DstAction::Alloc {
+                    logical,
+                    old_map,
+                    new_map,
+                }
+                | DstAction::Reuse {
+                    logical,
+                    old_map,
+                    new_map,
+                    ..
+                } => {
                     let ci = old_map.class.index();
                     if self.prt[ci].map_dec(old_map.preg) == 0 {
                         self.release(old_map.class, old_map.preg);
@@ -680,7 +763,7 @@ mod tests {
     fn counter_saturation_limits_chain_length() {
         let mut cfg = RenamerConfig::small_test();
         cfg.counter_bits = 1; // versions saturate at 1
-        // Give bank 3 plenty of room so capacity is counter-limited.
+                              // Give bank 3 plenty of room so capacity is counter-limited.
         cfg.int_banks = BankConfig::new(vec![33, 0, 0, 8]);
         cfg.fp_banks = cfg.int_banks.clone();
         let mut r = ReuseRenamer::new(cfg);

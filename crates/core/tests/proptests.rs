@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use regshare_core::{
-    BankConfig, FreeList, PhysReg, Prt, RegFile, RenamerConfig, Renamer, ReuseRenamer,
+    BankConfig, FreeList, PhysReg, Prt, RegFile, Renamer, RenamerConfig, ReuseRenamer,
 };
 use regshare_isa::{reg, Inst, Opcode};
 use std::collections::HashSet;

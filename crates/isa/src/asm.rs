@@ -53,7 +53,10 @@ impl Asm {
     /// Creates a builder whose program will carry `data` as its initial
     /// memory image.
     pub fn with_data(data: DataBuilder) -> Self {
-        Asm { data: Some(data.build()), ..Asm::default() }
+        Asm {
+            data: Some(data.build()),
+            ..Asm::default()
+        }
     }
 
     /// Attaches a data image (replacing any previous one).

@@ -74,7 +74,11 @@ impl Action {
     /// The next PC after executing at `pc`, given this action.
     pub fn next_pc(&self, pc: u64) -> u64 {
         match self {
-            Action::Branch { taken: true, target, .. } => *target,
+            Action::Branch {
+                taken: true,
+                target,
+                ..
+            } => *target,
             Action::Halt => pc,
             _ => pc + 1,
         }
@@ -209,7 +213,11 @@ pub fn evaluate(inst: &Inst, pc: u64, ops: [u64; 3]) -> Action {
 }
 
 fn cond(taken: bool, inst: &Inst) -> Action {
-    Action::Branch { taken, target: inst.target as u64, link: None }
+    Action::Branch {
+        taken,
+        target: inst.target as u64,
+        link: None,
+    }
 }
 
 #[cfg(test)]
@@ -291,17 +299,27 @@ mod tests {
             val(evaluate(&c, 0, [(-1e300f64).to_bits(), 0, 0])),
             i64::MIN as u64
         );
-        assert_eq!(val(evaluate(&c, 0, [(-3.7f64).to_bits(), 0, 0])), -3i64 as u64);
+        assert_eq!(
+            val(evaluate(&c, 0, [(-3.7f64).to_bits(), 0, 0])),
+            -3i64 as u64
+        );
     }
 
     #[test]
     fn loads_and_stores_compute_effective_addresses() {
         let l = Inst::load(Opcode::Ldw, reg::x(0), reg::x(1), -4);
-        assert_eq!(evaluate(&l, 0, [100, 0, 0]), Action::Load { ea: 96, width: 4 });
+        assert_eq!(
+            evaluate(&l, 0, [100, 0, 0]),
+            Action::Load { ea: 96, width: 4 }
+        );
         let s = Inst::store(Opcode::St, reg::x(2), reg::x(1), 8);
         assert_eq!(
             evaluate(&s, 0, [100, 55, 0]),
-            Action::Store { ea: 108, width: 8, value: 55 }
+            Action::Store {
+                ea: 108,
+                width: 8,
+                value: 55
+            }
         );
     }
 
@@ -311,11 +329,19 @@ mod tests {
         beq.target = 10;
         assert_eq!(
             evaluate(&beq, 3, [5, 5, 0]),
-            Action::Branch { taken: true, target: 10, link: None }
+            Action::Branch {
+                taken: true,
+                target: 10,
+                link: None
+            }
         );
         assert_eq!(
             evaluate(&beq, 3, [5, 6, 0]),
-            Action::Branch { taken: false, target: 10, link: None }
+            Action::Branch {
+                taken: false,
+                target: 10,
+                link: None
+            }
         );
     }
 
@@ -324,12 +350,20 @@ mod tests {
         let j = Inst::jal(Some(reg::lr()), 20);
         assert_eq!(
             evaluate(&j, 4, [0, 0, 0]),
-            Action::Branch { taken: true, target: 20, link: Some(5) }
+            Action::Branch {
+                taken: true,
+                target: 20,
+                link: Some(5)
+            }
         );
         let r = Inst::jalr(None, reg::lr(), 0);
         assert_eq!(
             evaluate(&r, 9, [5, 0, 0]),
-            Action::Branch { taken: true, target: 5, link: None }
+            Action::Branch {
+                taken: true,
+                target: 5,
+                link: None
+            }
         );
     }
 
@@ -338,11 +372,21 @@ mod tests {
         assert_eq!(Action::Value(1).next_pc(7), 8);
         assert_eq!(Action::Halt.next_pc(7), 7);
         assert_eq!(
-            Action::Branch { taken: true, target: 2, link: None }.next_pc(7),
+            Action::Branch {
+                taken: true,
+                target: 2,
+                link: None
+            }
+            .next_pc(7),
             2
         );
         assert_eq!(
-            Action::Branch { taken: false, target: 2, link: None }.next_pc(7),
+            Action::Branch {
+                taken: false,
+                target: 2,
+                link: None
+            }
+            .next_pc(7),
             8
         );
     }

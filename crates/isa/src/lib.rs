@@ -47,18 +47,18 @@
 mod asm;
 pub mod exec;
 mod inst;
-mod parse;
 mod machine;
 mod memory;
 mod op;
+mod parse;
 mod program;
 mod reg_impl;
 
 pub use asm::{Asm, Label};
-pub use inst::Inst;
+pub use inst::{DefSlot, Inst};
 pub use machine::{Machine, MachineError, Retired, StopReason};
 pub use memory::Memory;
-pub use op::{OpClass, Opcode};
+pub use op::{OpClass, Opcode, OperandShape};
 pub use parse::{parse_program, ParseError};
 pub use program::{DataBuilder, Program};
 pub use reg_impl::{ArchReg, RegClass, NUM_FP_REGS, NUM_INT_REGS};

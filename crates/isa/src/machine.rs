@@ -185,7 +185,10 @@ impl Machine {
 
     /// Snapshot of the architectural register state.
     pub fn arch_state(&self) -> ArchState {
-        ArchState { int: self.int, fp: self.fp }
+        ArchState {
+            int: self.int,
+            fp: self.fp,
+        }
     }
 
     /// Executes one instruction.
@@ -203,7 +206,10 @@ impl Machine {
         let inst = *self
             .program
             .fetch(self.pc)
-            .ok_or(MachineError::PcOutOfRange { pc: self.pc, len: self.program.len() })?;
+            .ok_or(MachineError::PcOutOfRange {
+                pc: self.pc,
+                len: self.program.len(),
+            })?;
 
         let mut ops = [0u64; 3];
         for (slot, src) in ops.iter_mut().zip(inst.raw_sources()) {
@@ -246,7 +252,11 @@ impl Machine {
                 self.mem.write(ea, value, width);
                 record.ea = Some(ea);
             }
-            Action::LoadPost { ea, width, writeback } => {
+            Action::LoadPost {
+                ea,
+                width,
+                writeback,
+            } => {
                 let bits = self.mem.read(ea, width);
                 record.ea = Some(ea);
                 if let Some(d) = inst.raw_dst() {
@@ -260,7 +270,12 @@ impl Machine {
                     record.wvalue2 = Some(writeback);
                 }
             }
-            Action::StorePost { ea, width, value, writeback } => {
+            Action::StorePost {
+                ea,
+                width,
+                value,
+                writeback,
+            } => {
                 self.mem.write(ea, value, width);
                 record.ea = Some(ea);
                 if let Some(d2) = inst.dst2() {
@@ -392,8 +407,7 @@ mod tests {
         assert_eq!(stop, StopReason::Halted);
         // 1 li + 10*(sub+bne) + 1 halt
         assert_eq!(trace.len(), 22);
-        let taken: usize =
-            trace.iter().filter(|r| r.taken == Some(true)).count();
+        let taken: usize = trace.iter().filter(|r| r.taken == Some(true)).count();
         assert_eq!(taken, 9); // final bne falls through
     }
 

@@ -35,7 +35,9 @@ pub struct Memory {
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        Memory { pages: PageMap::default() }
+        Memory {
+            pages: PageMap::default(),
+        }
     }
 
     /// Reads one byte.
@@ -93,7 +95,11 @@ impl Memory {
         let off = (addr & OFFSET_MASK) as usize;
         if off + N <= PAGE_SIZE {
             match self.pages.get(&(addr >> PAGE_SHIFT)) {
-                Some(page) => page[off..off + N].try_into().unwrap(),
+                Some(page) => {
+                    let mut bytes = [0u8; N];
+                    bytes.copy_from_slice(&page[off..off + N]);
+                    bytes
+                }
                 None => [0u8; N],
             }
         } else {
@@ -197,6 +203,42 @@ mod tests {
         m.write_u64(addr, u64::MAX);
         assert_eq!(m.read_u64(addr), u64::MAX);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn straddling_reads_at_every_misalignment() {
+        let mut m = Memory::new();
+        // Walk a u64 access across the boundary between pages 2 and 3 one
+        // byte at a time; every split (8+0 through 0+8) must round-trip.
+        for k in 0..=8u64 {
+            let addr = (3 << 12) - k;
+            let val = 0x1122_3344_5566_7788u64.wrapping_add(k);
+            m.write_u64(addr, val);
+            assert_eq!(m.read_u64(addr), val, "split at {k} bytes");
+        }
+        // Same for u32 across the page 5/6 boundary.
+        for k in 0..=4u64 {
+            let addr = (6 << 12) - k;
+            m.write_u32(addr, 0xA1B2_C3D4 ^ k as u32);
+            assert_eq!(
+                m.read_u32(addr),
+                0xA1B2_C3D4 ^ k as u32,
+                "split at {k} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn straddling_read_with_page_on_one_side_only() {
+        let mut m = Memory::new();
+        let boundary = 9u64 << 12;
+        // Only the low page is resident: the high half must read as zero.
+        m.write_u32(boundary - 4, 0xFFFF_FFFF);
+        assert_eq!(m.read_u64(boundary - 4), 0x0000_0000_FFFF_FFFF);
+        // Only the high page is resident on a different boundary.
+        let boundary2 = 11u64 << 12;
+        m.write_u32(boundary2, 0xFFFF_FFFF);
+        assert_eq!(m.read_u64(boundary2 - 4), 0xFFFF_FFFF_0000_0000);
     }
 
     #[test]

@@ -187,13 +187,175 @@ pub enum Opcode {
     Halt,
 }
 
+/// The operand shape of an opcode: which destination slots it writes and
+/// how many positional source-register slots it reads.
+///
+/// This is the single source of truth the renamer-facing accessors
+/// ([`crate::Inst::defs`], [`crate::Inst::uses`]) are validated against;
+/// [`Opcode::operand_shape`] derives it with an exhaustive match (no
+/// wildcard arm), so adding an opcode without deciding its operand shape
+/// is a compile error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandShape {
+    /// The instruction writes a primary destination register. For `jal` /
+    /// `jalr` the destination (link register) is optional; this field is
+    /// `true` because the slot exists.
+    pub has_dst: bool,
+    /// The primary destination is optional at the instruction level
+    /// (linking jumps may discard the return address).
+    pub dst_optional: bool,
+    /// The instruction writes back its base register (post-increment
+    /// memory operations — the second destination slot).
+    pub has_base_writeback: bool,
+    /// Number of positional source-register slots read.
+    pub num_srcs: u8,
+    /// The instruction carries a direct branch target.
+    pub has_target: bool,
+}
+
 impl Opcode {
+    /// Every opcode, in declaration order.
+    ///
+    /// Used by exhaustiveness tests (every variant must have a defined
+    /// operand shape, mnemonic and class) and by the static analyzer's
+    /// coverage checks.
+    pub const ALL: [Opcode; 63] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Udiv,
+        Opcode::Sdiv,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Seq,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+        Opcode::Li,
+        Opcode::Mov,
+        Opcode::Fadd,
+        Opcode::Fsub,
+        Opcode::Fmul,
+        Opcode::Fdiv,
+        Opcode::Fsqrt,
+        Opcode::Fma,
+        Opcode::Fneg,
+        Opcode::Fabs,
+        Opcode::Fmin,
+        Opcode::Fmax,
+        Opcode::Fmov,
+        Opcode::Fli,
+        Opcode::CvtIf,
+        Opcode::CvtFi,
+        Opcode::Feq,
+        Opcode::Flt,
+        Opcode::Fle,
+        Opcode::Ld,
+        Opcode::Ldw,
+        Opcode::Ldb,
+        Opcode::St,
+        Opcode::Stw,
+        Opcode::Stb,
+        Opcode::Fld,
+        Opcode::Fst,
+        Opcode::LdPost,
+        Opcode::FldPost,
+        Opcode::StPost,
+        Opcode::FstPost,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Bltu,
+        Opcode::Bgeu,
+        Opcode::Jal,
+        Opcode::Jalr,
+        Opcode::Nop,
+        Opcode::Halt,
+    ];
+
+    /// The operand shape of this opcode.
+    ///
+    /// Exhaustive by construction: the match lists every variant with no
+    /// wildcard arm, so a new opcode cannot compile without declaring its
+    /// register-operand shape.
+    pub fn operand_shape(self) -> OperandShape {
+        use Opcode::*;
+        const fn shape(
+            has_dst: bool,
+            dst_optional: bool,
+            has_base_writeback: bool,
+            num_srcs: u8,
+            has_target: bool,
+        ) -> OperandShape {
+            OperandShape {
+                has_dst,
+                dst_optional,
+                has_base_writeback,
+                num_srcs,
+                has_target,
+            }
+        }
+        match self {
+            // Three-register ALU: rd, rs1, rs2.
+            Add | Sub | Mul | Udiv | Sdiv | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq => {
+                shape(true, false, false, 2, false)
+            }
+            // Register-immediate ALU: rd, rs1, #imm.
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
+                shape(true, false, false, 1, false)
+            }
+            // Destination-and-immediate: rd, #imm.
+            Li => shape(true, false, false, 0, false),
+            // Two-register move: rd, rs1.
+            Mov => shape(true, false, false, 1, false),
+            // FP three-register: fd, fs1, fs2.
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => shape(true, false, false, 2, false),
+            // FP two-register: fd, fs1.
+            Fsqrt | Fneg | Fabs | Fmov => shape(true, false, false, 1, false),
+            // Fused multiply-add: fd, fs1, fs2, fs3.
+            Fma => shape(true, false, false, 3, false),
+            // FP load-immediate: fd, #bits.
+            Fli => shape(true, false, false, 0, false),
+            // Conversions and FP compares: rd/fd, one or two sources.
+            CvtIf | CvtFi => shape(true, false, false, 1, false),
+            Feq | Flt | Fle => shape(true, false, false, 2, false),
+            // Loads: rd, [base + #imm].
+            Ld | Ldw | Ldb | Fld => shape(true, false, false, 1, false),
+            // Stores: sources are [base, value].
+            St | Stw | Stb | Fst => shape(false, false, false, 2, false),
+            // Post-increment loads: rd, [base], #imm — base written back.
+            LdPost | FldPost => shape(true, false, true, 1, false),
+            // Post-increment stores: [base, value] read, base written back.
+            StPost | FstPost => shape(false, false, true, 2, false),
+            // Conditional branches: rs1, rs2, @target.
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => shape(false, false, false, 2, true),
+            // Direct jump, optionally linking.
+            Jal => shape(true, true, false, 0, true),
+            // Indirect jump to rs1 + imm, optionally linking.
+            Jalr => shape(true, true, false, 1, false),
+            // No register operands.
+            Nop | Halt => shape(false, false, false, 0, false),
+        }
+    }
+
     /// The functional-unit class this opcode executes on.
     pub fn class(self) -> OpClass {
         use Opcode::*;
         match self {
-            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq | Addi | Andi
-            | Ori | Xori | Slli | Srli | Srai | Slti | Li | Mov | Nop | Halt => OpClass::IntAlu,
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Seq | Addi | Andi | Ori
+            | Xori | Slli | Srli | Srai | Slti | Li | Mov | Nop | Halt => OpClass::IntAlu,
             Mul => OpClass::IntMul,
             Udiv | Sdiv => OpClass::IntDiv,
             Fadd | Fsub | Fneg | Fabs | Fmin | Fmax | Fmov | Fli | CvtIf | CvtFi | Feq | Flt
@@ -237,7 +399,10 @@ impl Opcode {
     /// True for post-increment memory operations (base-register
     /// writeback).
     pub fn is_post_increment(self) -> bool {
-        matches!(self, Opcode::LdPost | Opcode::FldPost | Opcode::StPost | Opcode::FstPost)
+        matches!(
+            self,
+            Opcode::LdPost | Opcode::FldPost | Opcode::StPost | Opcode::FstPost
+        )
     }
 
     /// The access size in bytes for memory operations, 0 otherwise.

@@ -49,7 +49,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_reg(line: usize, token: &str) -> Result<crate::ArchReg, ParseError> {
@@ -92,10 +95,10 @@ fn parse_imm(line: usize, token: &str) -> Result<i64, ParseError> {
 }
 
 fn parse_f64(line: usize, token: &str) -> Result<f64, ParseError> {
-    token
-        .trim()
-        .parse::<f64>()
-        .map_err(|_| ParseError { line, message: format!("expected a float, found `{token}`") })
+    token.trim().parse::<f64>().map_err(|_| ParseError {
+        line,
+        message: format!("expected a float, found `{token}`"),
+    })
 }
 
 /// Memory operand: `[xN]`, `[xN+imm]`, `[xN-imm]` or the post-increment
@@ -178,7 +181,9 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     let mut data: Option<DataBuilder> = None;
     let mut labels: HashMap<String, Label> = HashMap::new();
     let mut label_of = |asm: &mut Asm, name: &str| -> Label {
-        *labels.entry(name.to_string()).or_insert_with(|| asm.label())
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| asm.label())
     };
 
     for (idx, raw) in source.lines().enumerate() {
@@ -240,7 +245,10 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             if n == want {
                 Ok(())
             } else {
-                err(line, format!("{mnemonic} expects {want} operands, found {n}"))
+                err(
+                    line,
+                    format!("{mnemonic} expects {want} operands, found {n}"),
+                )
             }
         };
         match mnemonic {

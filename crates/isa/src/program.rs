@@ -121,7 +121,10 @@ pub struct DataBuilder {
 impl DataBuilder {
     /// Starts laying out data at `base`.
     pub fn new(base: u64) -> Self {
-        DataBuilder { mem: Memory::new(), cursor: base }
+        DataBuilder {
+            mem: Memory::new(),
+            cursor: base,
+        }
     }
 
     /// Aligns the cursor up to `align` bytes (a power of two).

@@ -28,20 +28,132 @@ type Case<V> = (&'static str, Box<dyn FnOnce(&mut Asm)>, V);
 #[test]
 fn integer_register_register_ops() {
     let cases: Vec<Case<u64>> = vec![
-        ("add", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.add(reg::x(10), reg::x(1), reg::x(2)); }), 12),
-        ("sub", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.sub(reg::x(10), reg::x(1), reg::x(2)); }), 2),
-        ("mul", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.li(reg::x(2), 5); a.mul(reg::x(10), reg::x(1), reg::x(2)); }), 35),
-        ("udiv", Box::new(|a: &mut Asm| { a.li(reg::x(1), 37); a.li(reg::x(2), 5); a.udiv(reg::x(10), reg::x(1), reg::x(2)); }), 7),
-        ("sdiv", Box::new(|a: &mut Asm| { a.li(reg::x(1), -37); a.li(reg::x(2), 5); a.sdiv(reg::x(10), reg::x(1), reg::x(2)); }), (-7i64) as u64),
-        ("and", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0b1100); a.li(reg::x(2), 0b1010); a.and(reg::x(10), reg::x(1), reg::x(2)); }), 0b1000),
-        ("or", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0b1100); a.li(reg::x(2), 0b1010); a.or(reg::x(10), reg::x(1), reg::x(2)); }), 0b1110),
-        ("xor", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0b1100); a.li(reg::x(2), 0b1010); a.xor(reg::x(10), reg::x(1), reg::x(2)); }), 0b0110),
-        ("sll", Box::new(|a: &mut Asm| { a.li(reg::x(1), 3); a.li(reg::x(2), 4); a.sll(reg::x(10), reg::x(1), reg::x(2)); }), 48),
-        ("srl", Box::new(|a: &mut Asm| { a.li(reg::x(1), 48); a.li(reg::x(2), 4); a.srl(reg::x(10), reg::x(1), reg::x(2)); }), 3),
-        ("sra", Box::new(|a: &mut Asm| { a.li(reg::x(1), -48); a.li(reg::x(2), 4); a.sra(reg::x(10), reg::x(1), reg::x(2)); }), (-3i64) as u64),
-        ("slt", Box::new(|a: &mut Asm| { a.li(reg::x(1), -1); a.li(reg::x(2), 1); a.slt(reg::x(10), reg::x(1), reg::x(2)); }), 1),
-        ("sltu", Box::new(|a: &mut Asm| { a.li(reg::x(1), -1); a.li(reg::x(2), 1); a.sltu(reg::x(10), reg::x(1), reg::x(2)); }), 0),
-        ("seq", Box::new(|a: &mut Asm| { a.li(reg::x(1), 4); a.li(reg::x(2), 4); a.seq(reg::x(10), reg::x(1), reg::x(2)); }), 1),
+        (
+            "add",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 7);
+                a.li(reg::x(2), 5);
+                a.add(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            12,
+        ),
+        (
+            "sub",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 7);
+                a.li(reg::x(2), 5);
+                a.sub(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            2,
+        ),
+        (
+            "mul",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 7);
+                a.li(reg::x(2), 5);
+                a.mul(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            35,
+        ),
+        (
+            "udiv",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 37);
+                a.li(reg::x(2), 5);
+                a.udiv(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            7,
+        ),
+        (
+            "sdiv",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), -37);
+                a.li(reg::x(2), 5);
+                a.sdiv(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            (-7i64) as u64,
+        ),
+        (
+            "and",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 0b1100);
+                a.li(reg::x(2), 0b1010);
+                a.and(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            0b1000,
+        ),
+        (
+            "or",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 0b1100);
+                a.li(reg::x(2), 0b1010);
+                a.or(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            0b1110,
+        ),
+        (
+            "xor",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 0b1100);
+                a.li(reg::x(2), 0b1010);
+                a.xor(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            0b0110,
+        ),
+        (
+            "sll",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 3);
+                a.li(reg::x(2), 4);
+                a.sll(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            48,
+        ),
+        (
+            "srl",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 48);
+                a.li(reg::x(2), 4);
+                a.srl(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            3,
+        ),
+        (
+            "sra",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), -48);
+                a.li(reg::x(2), 4);
+                a.sra(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            (-3i64) as u64,
+        ),
+        (
+            "slt",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), -1);
+                a.li(reg::x(2), 1);
+                a.slt(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            1,
+        ),
+        (
+            "sltu",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), -1);
+                a.li(reg::x(2), 1);
+                a.sltu(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            0,
+        ),
+        (
+            "seq",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 4);
+                a.li(reg::x(2), 4);
+                a.seq(reg::x(10), reg::x(1), reg::x(2));
+            }),
+            1,
+        ),
     ];
     for (name, build, expected) in cases {
         assert_eq!(run_int(build), expected, "{name}");
@@ -51,15 +163,78 @@ fn integer_register_register_ops() {
 #[test]
 fn integer_immediate_ops() {
     let cases: Vec<Case<u64>> = vec![
-        ("addi", Box::new(|a: &mut Asm| { a.li(reg::x(1), 7); a.addi(reg::x(10), reg::x(1), -3); }), 4),
-        ("andi", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xFF); a.andi(reg::x(10), reg::x(1), 0x0F); }), 0x0F),
-        ("ori", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xF0); a.ori(reg::x(10), reg::x(1), 0x0F); }), 0xFF),
-        ("xori", Box::new(|a: &mut Asm| { a.li(reg::x(1), 0xFF); a.xori(reg::x(10), reg::x(1), 0x0F); }), 0xF0),
-        ("slli", Box::new(|a: &mut Asm| { a.li(reg::x(1), 1); a.slli(reg::x(10), reg::x(1), 10); }), 1024),
-        ("srli", Box::new(|a: &mut Asm| { a.li(reg::x(1), 1024); a.srli(reg::x(10), reg::x(1), 10); }), 1),
-        ("srai", Box::new(|a: &mut Asm| { a.li(reg::x(1), -1024); a.srai(reg::x(10), reg::x(1), 10); }), (-1i64) as u64),
-        ("slti", Box::new(|a: &mut Asm| { a.li(reg::x(1), -5); a.slti(reg::x(10), reg::x(1), 0); }), 1),
-        ("mov", Box::new(|a: &mut Asm| { a.li(reg::x(1), 42); a.mov(reg::x(10), reg::x(1)); }), 42),
+        (
+            "addi",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 7);
+                a.addi(reg::x(10), reg::x(1), -3);
+            }),
+            4,
+        ),
+        (
+            "andi",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 0xFF);
+                a.andi(reg::x(10), reg::x(1), 0x0F);
+            }),
+            0x0F,
+        ),
+        (
+            "ori",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 0xF0);
+                a.ori(reg::x(10), reg::x(1), 0x0F);
+            }),
+            0xFF,
+        ),
+        (
+            "xori",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 0xFF);
+                a.xori(reg::x(10), reg::x(1), 0x0F);
+            }),
+            0xF0,
+        ),
+        (
+            "slli",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 1);
+                a.slli(reg::x(10), reg::x(1), 10);
+            }),
+            1024,
+        ),
+        (
+            "srli",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 1024);
+                a.srli(reg::x(10), reg::x(1), 10);
+            }),
+            1,
+        ),
+        (
+            "srai",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), -1024);
+                a.srai(reg::x(10), reg::x(1), 10);
+            }),
+            (-1i64) as u64,
+        ),
+        (
+            "slti",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), -5);
+                a.slti(reg::x(10), reg::x(1), 0);
+            }),
+            1,
+        ),
+        (
+            "mov",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), 42);
+                a.mov(reg::x(10), reg::x(1));
+            }),
+            42,
+        ),
     ];
     for (name, build, expected) in cases {
         assert_eq!(run_int(build), expected, "{name}");
@@ -69,18 +244,110 @@ fn integer_immediate_ops() {
 #[test]
 fn floating_point_ops() {
     let cases: Vec<Case<f64>> = vec![
-        ("fadd", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.25); a.fadd(reg::f(10), reg::f(1), reg::f(2)); }), 3.75),
-        ("fsub", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.25); a.fsub(reg::f(10), reg::f(1), reg::f(2)); }), -0.75),
-        ("fmul", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.5); a.fli(reg::f(2), 2.0); a.fmul(reg::f(10), reg::f(1), reg::f(2)); }), 3.0),
-        ("fdiv", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 3.0); a.fli(reg::f(2), 2.0); a.fdiv(reg::f(10), reg::f(1), reg::f(2)); }), 1.5),
-        ("fsqrt", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 9.0); a.fsqrt(reg::f(10), reg::f(1)); }), 3.0),
-        ("fma", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 3.0); a.fli(reg::f(3), 1.0); a.fma(reg::f(10), reg::f(1), reg::f(2), reg::f(3)); }), 7.0),
-        ("fneg", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fneg(reg::f(10), reg::f(1)); }), -2.0),
-        ("fabs", Box::new(|a: &mut Asm| { a.fli(reg::f(1), -2.0); a.fabs(reg::f(10), reg::f(1)); }), 2.0),
-        ("fmin", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.0); a.fli(reg::f(2), 2.0); a.fmin(reg::f(10), reg::f(1), reg::f(2)); }), 1.0),
-        ("fmax", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.0); a.fli(reg::f(2), 2.0); a.fmax(reg::f(10), reg::f(1), reg::f(2)); }), 2.0),
-        ("fmov", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 5.5); a.fmov(reg::f(10), reg::f(1)); }), 5.5),
-        ("cvt.i.f", Box::new(|a: &mut Asm| { a.li(reg::x(1), -3); a.cvt_i_f(reg::f(10), reg::x(1)); }), -3.0),
+        (
+            "fadd",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 1.5);
+                a.fli(reg::f(2), 2.25);
+                a.fadd(reg::f(10), reg::f(1), reg::f(2));
+            }),
+            3.75,
+        ),
+        (
+            "fsub",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 1.5);
+                a.fli(reg::f(2), 2.25);
+                a.fsub(reg::f(10), reg::f(1), reg::f(2));
+            }),
+            -0.75,
+        ),
+        (
+            "fmul",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 1.5);
+                a.fli(reg::f(2), 2.0);
+                a.fmul(reg::f(10), reg::f(1), reg::f(2));
+            }),
+            3.0,
+        ),
+        (
+            "fdiv",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 3.0);
+                a.fli(reg::f(2), 2.0);
+                a.fdiv(reg::f(10), reg::f(1), reg::f(2));
+            }),
+            1.5,
+        ),
+        (
+            "fsqrt",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 9.0);
+                a.fsqrt(reg::f(10), reg::f(1));
+            }),
+            3.0,
+        ),
+        (
+            "fma",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 2.0);
+                a.fli(reg::f(2), 3.0);
+                a.fli(reg::f(3), 1.0);
+                a.fma(reg::f(10), reg::f(1), reg::f(2), reg::f(3));
+            }),
+            7.0,
+        ),
+        (
+            "fneg",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 2.0);
+                a.fneg(reg::f(10), reg::f(1));
+            }),
+            -2.0,
+        ),
+        (
+            "fabs",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), -2.0);
+                a.fabs(reg::f(10), reg::f(1));
+            }),
+            2.0,
+        ),
+        (
+            "fmin",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 1.0);
+                a.fli(reg::f(2), 2.0);
+                a.fmin(reg::f(10), reg::f(1), reg::f(2));
+            }),
+            1.0,
+        ),
+        (
+            "fmax",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 1.0);
+                a.fli(reg::f(2), 2.0);
+                a.fmax(reg::f(10), reg::f(1), reg::f(2));
+            }),
+            2.0,
+        ),
+        (
+            "fmov",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 5.5);
+                a.fmov(reg::f(10), reg::f(1));
+            }),
+            5.5,
+        ),
+        (
+            "cvt.i.f",
+            Box::new(|a: &mut Asm| {
+                a.li(reg::x(1), -3);
+                a.cvt_i_f(reg::f(10), reg::x(1));
+            }),
+            -3.0,
+        ),
     ];
     for (name, build, expected) in cases {
         assert_eq!(run_fp(build), expected, "{name}");
@@ -90,10 +357,41 @@ fn floating_point_ops() {
 #[test]
 fn fp_compares_and_convert_to_int() {
     let cases: Vec<Case<u64>> = vec![
-        ("feq", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 2.0); a.feq(reg::x(10), reg::f(1), reg::f(2)); }), 1),
-        ("flt", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 1.0); a.fli(reg::f(2), 2.0); a.flt(reg::x(10), reg::f(1), reg::f(2)); }), 1),
-        ("fle", Box::new(|a: &mut Asm| { a.fli(reg::f(1), 2.0); a.fli(reg::f(2), 2.0); a.fle(reg::x(10), reg::f(1), reg::f(2)); }), 1),
-        ("cvt.f.i", Box::new(|a: &mut Asm| { a.fli(reg::f(1), -3.9); a.cvt_f_i(reg::x(10), reg::f(1)); }), (-3i64) as u64),
+        (
+            "feq",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 2.0);
+                a.fli(reg::f(2), 2.0);
+                a.feq(reg::x(10), reg::f(1), reg::f(2));
+            }),
+            1,
+        ),
+        (
+            "flt",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 1.0);
+                a.fli(reg::f(2), 2.0);
+                a.flt(reg::x(10), reg::f(1), reg::f(2));
+            }),
+            1,
+        ),
+        (
+            "fle",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), 2.0);
+                a.fli(reg::f(2), 2.0);
+                a.fle(reg::x(10), reg::f(1), reg::f(2));
+            }),
+            1,
+        ),
+        (
+            "cvt.f.i",
+            Box::new(|a: &mut Asm| {
+                a.fli(reg::f(1), -3.9);
+                a.cvt_f_i(reg::x(10), reg::f(1));
+            }),
+            (-3i64) as u64,
+        ),
     ];
     for (name, build, expected) in cases {
         assert_eq!(run_int(build), expected, "{name}");

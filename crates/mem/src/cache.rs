@@ -24,7 +24,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (capacity not divisible into
     /// `assoc × line` frames, or non-power-of-two sets/line).
     pub fn num_sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let frames = self.size_bytes / self.line_bytes;
         assert!(
             frames > 0 && frames.is_multiple_of(self.assoc),
@@ -34,7 +37,10 @@ impl CacheConfig {
             self.assoc
         );
         let sets = frames / self.assoc;
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         sets
     }
 }
@@ -81,7 +87,13 @@ impl Cache {
     /// Panics if the geometry is inconsistent (see [`CacheConfig::num_sets`]).
     pub fn new(name: impl Into<String>, config: CacheConfig) -> Self {
         let sets = vec![vec![Line::default(); config.assoc]; config.num_sets()];
-        Cache { config, sets, stamp: 0, hits: Ratio::new(name), writebacks: 0 }
+        Cache {
+            config,
+            sets,
+            stamp: 0,
+            hits: Ratio::new(name),
+            writebacks: 0,
+        }
     }
 
     #[inline]
@@ -140,7 +152,12 @@ impl Cache {
         if victim.valid && victim.dirty {
             self.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty, lru: stamp };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            lru: stamp,
+        };
     }
 
     /// Hit latency in cycles.
@@ -170,19 +187,38 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 64B lines.
-        Cache::new("t", CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64, latency: 1 })
+        Cache::new(
+            "t",
+            CacheConfig {
+                size_bytes: 256,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+        )
     }
 
     #[test]
     fn geometry_computation() {
-        let c = CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_bytes: 64, latency: 1 };
+        let c = CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
         assert_eq!(c.num_sets(), 256);
     }
 
     #[test]
     #[should_panic(expected = "geometry inconsistent")]
     fn bad_geometry_panics() {
-        CacheConfig { size_bytes: 100, assoc: 3, line_bytes: 64, latency: 1 }.num_sets();
+        CacheConfig {
+            size_bytes: 100,
+            assoc: 3,
+            line_bytes: 64,
+            latency: 1,
+        }
+        .num_sets();
     }
 
     #[test]

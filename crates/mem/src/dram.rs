@@ -25,7 +25,14 @@ pub struct DramConfig {
 
 impl Default for DramConfig {
     fn default() -> Self {
-        DramConfig { t_cas: 28, t_rcd: 28, t_rp: 28, banks: 16, row_bytes: 8 * 1024, burst: 4 }
+        DramConfig {
+            t_cas: 28,
+            t_rcd: 28,
+            t_rp: 28,
+            banks: 16,
+            row_bytes: 8 * 1024,
+            burst: 4,
+        }
     }
 }
 
@@ -62,8 +69,19 @@ pub struct Dram {
 impl Dram {
     /// Creates a DRAM model with all banks precharged.
     pub fn new(config: DramConfig) -> Self {
-        let banks = vec![Bank { open_row: None, busy_until: 0 }; config.banks];
-        Dram { config, banks, accesses: 0, row_hits: 0 }
+        let banks = vec![
+            Bank {
+                open_row: None,
+                busy_until: 0
+            };
+            config.banks
+        ];
+        Dram {
+            config,
+            banks,
+            accesses: 0,
+            row_hits: 0,
+        }
     }
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
@@ -130,7 +148,10 @@ mod tests {
 
     #[test]
     fn row_conflict_pays_precharge() {
-        let cfg = DramConfig { banks: 1, ..DramConfig::default() };
+        let cfg = DramConfig {
+            banks: 1,
+            ..DramConfig::default()
+        };
         let mut d = Dram::new(cfg);
         let t = d.access(0, 0) as u64;
         // Different row, same (only) bank.
@@ -140,7 +161,10 @@ mod tests {
 
     #[test]
     fn queueing_behind_busy_bank() {
-        let cfg = DramConfig { banks: 1, ..DramConfig::default() };
+        let cfg = DramConfig {
+            banks: 1,
+            ..DramConfig::default()
+        };
         let mut d = Dram::new(cfg);
         let first = d.access(0, 0);
         // Second request issued at time 0 must wait for the first.

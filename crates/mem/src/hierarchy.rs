@@ -1,10 +1,9 @@
 //! The composed memory hierarchy: L1I + L1D + L2 + prefetcher + TLB + DRAM.
 
-use crate::{
-    Cache, CacheConfig, Dram, DramConfig, StridePrefetcher, StridePrefetcherConfig, Tlb,
-    TlbConfig,
-};
 use crate::tlb::Translation;
+use crate::{
+    Cache, CacheConfig, Dram, DramConfig, StridePrefetcher, StridePrefetcherConfig, Tlb, TlbConfig,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the whole hierarchy; defaults follow Table I of the
@@ -29,9 +28,24 @@ pub struct HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> Self {
         HierarchyConfig {
-            l1d: CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_bytes: 64, latency: 1 },
-            l1i: CacheConfig { size_bytes: 48 * 1024, assoc: 3, line_bytes: 64, latency: 1 },
-            l2: CacheConfig { size_bytes: 1024 * 1024, assoc: 16, line_bytes: 64, latency: 12 },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1i: CacheConfig {
+                size_bytes: 48 * 1024,
+                assoc: 3,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 12,
+            },
             prefetcher: StridePrefetcherConfig::default(),
             tlb: TlbConfig::default(),
             dram: DramConfig::default(),
@@ -206,7 +220,7 @@ mod tests {
         let mut m = hier();
         let a = 0x2000u64;
         m.access_data(0, a, false, 0); // warm L2+L1
-        // Evict from L1 by filling its set: L1D is 2-way, sets = 256 lines.
+                                       // Evict from L1 by filling its set: L1D is 2-way, sets = 256 lines.
         let l1_sets = 32 * 1024 / 64 / 2;
         m.access_data(0, a + (l1_sets * 64) as u64, false, 0);
         m.access_data(0, a + (2 * l1_sets * 64) as u64, false, 0);
@@ -246,7 +260,10 @@ mod tests {
     fn faulting_page_reports_fault() {
         let mut m = hier();
         m.tlb_mut().inject_fault(0x7000);
-        assert_eq!(m.access_data_checked(0, 0x7000, false, 0), DataAccess::Fault);
+        assert_eq!(
+            m.access_data_checked(0, 0x7000, false, 0),
+            DataAccess::Fault
+        );
         // Non-checked variant degrades to a latency.
         let lat = m.access_data(0, 0x7008, false, 0);
         assert!(lat > 0);

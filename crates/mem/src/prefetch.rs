@@ -13,7 +13,10 @@ pub struct StridePrefetcherConfig {
 
 impl Default for StridePrefetcherConfig {
     fn default() -> Self {
-        StridePrefetcherConfig { entries: 64, degree: 1 }
+        StridePrefetcherConfig {
+            entries: 64,
+            degree: 1,
+        }
     }
 }
 
@@ -56,8 +59,15 @@ impl StridePrefetcher {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(config: StridePrefetcherConfig) -> Self {
-        assert!(config.entries.is_power_of_two(), "prefetcher entries must be a power of two");
-        StridePrefetcher { config, table: vec![Entry::default(); config.entries], issued: 0 }
+        assert!(
+            config.entries.is_power_of_two(),
+            "prefetcher entries must be a power of two"
+        );
+        StridePrefetcher {
+            config,
+            table: vec![Entry::default(); config.entries],
+            issued: 0,
+        }
     }
 
     /// Observes a demand access by the load at `pc` to `addr`; returns the
@@ -83,7 +93,13 @@ impl StridePrefetcher {
                 self.issued += out.len() as u64;
             }
         } else {
-            *entry = Entry { pc_tag: pc, last_addr: addr, stride: 0, confident: false, valid: true };
+            *entry = Entry {
+                pc_tag: pc,
+                last_addr: addr,
+                stride: 0,
+                confident: false,
+                valid: true,
+            };
         }
         out
     }
@@ -151,8 +167,10 @@ mod tests {
 
     #[test]
     fn degree_two_issues_two_prefetches() {
-        let mut p =
-            StridePrefetcher::new(StridePrefetcherConfig { entries: 64, degree: 2 });
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig {
+            entries: 64,
+            degree: 2,
+        });
         p.observe(1, 0);
         p.observe(1, 8);
         assert_eq!(p.observe(1, 16), vec![24, 32]);
@@ -160,7 +178,10 @@ mod tests {
 
     #[test]
     fn table_conflict_evicts_old_pc() {
-        let mut p = StridePrefetcher::new(StridePrefetcherConfig { entries: 1, degree: 1 });
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig {
+            entries: 1,
+            degree: 1,
+        });
         p.observe(1, 0);
         p.observe(1, 8);
         p.observe(2, 50); // evicts pc=1

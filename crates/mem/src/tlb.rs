@@ -19,7 +19,11 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> Self {
-        TlbConfig { entries: 48, page_bytes: 4096, walk_latency: 30 }
+        TlbConfig {
+            entries: 48,
+            page_bytes: 4096,
+            walk_latency: 30,
+        }
     }
 }
 
@@ -73,7 +77,10 @@ impl Tlb {
     ///
     /// Panics if `page_bytes` is not a power of two or `entries` is 0.
     pub fn new(config: TlbConfig) -> Self {
-        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(config.entries > 0, "TLB must have at least one entry");
         Tlb {
             config,
@@ -137,7 +144,9 @@ impl Tlb {
             self.entries.swap_remove(victim);
         }
         self.entries.push((page, self.stamp));
-        Translation::Miss { walk_latency: self.config.walk_latency }
+        Translation::Miss {
+            walk_latency: self.config.walk_latency,
+        }
     }
 
     /// Hit-rate statistics (faults are not counted as accesses).
@@ -161,7 +170,11 @@ mod tests {
     use super::*;
 
     fn small() -> Tlb {
-        Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, walk_latency: 30 })
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            walk_latency: 30,
+        })
     }
 
     #[test]

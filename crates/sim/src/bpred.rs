@@ -20,7 +20,12 @@ pub struct BranchPredictorConfig {
 
 impl Default for BranchPredictorConfig {
     fn default() -> Self {
-        BranchPredictorConfig { pht_entries: 4096, history_bits: 8, btb_entries: 2048, ras_depth: 16 }
+        BranchPredictorConfig {
+            pht_entries: 4096,
+            history_bits: 8,
+            btb_entries: 2048,
+            ras_depth: 16,
+        }
     }
 }
 
@@ -68,8 +73,14 @@ impl BranchPredictor {
     ///
     /// Panics if table sizes are not powers of two.
     pub fn new(config: BranchPredictorConfig) -> Self {
-        assert!(config.pht_entries.is_power_of_two(), "PHT entries must be a power of two");
-        assert!(config.btb_entries.is_power_of_two(), "BTB entries must be a power of two");
+        assert!(
+            config.pht_entries.is_power_of_two(),
+            "PHT entries must be a power of two"
+        );
+        assert!(
+            config.btb_entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
         BranchPredictor {
             config,
             pht: vec![1; config.pht_entries],
@@ -98,7 +109,10 @@ impl BranchPredictor {
                 if inst.dst().is_some() {
                     self.push_ras(pc + 1);
                 }
-                Prediction { taken: true, target: inst.target as u64 }
+                Prediction {
+                    taken: true,
+                    target: inst.target as u64,
+                }
             }
             Opcode::Jalr => {
                 // Calls through jalr also push the return address.
@@ -106,7 +120,10 @@ impl BranchPredictor {
                     self.push_ras(pc + 1);
                     // An indirect call's target comes from the BTB.
                     let t = self.btb_lookup(pc).unwrap_or(pc + 1);
-                    return Prediction { taken: true, target: t };
+                    return Prediction {
+                        taken: true,
+                        target: t,
+                    };
                 }
                 // A plain jalr is treated as a return: prefer the RAS.
                 let target = self
@@ -114,13 +131,22 @@ impl BranchPredictor {
                     .pop()
                     .or_else(|| self.btb_lookup(pc))
                     .unwrap_or(pc + 1);
-                Prediction { taken: true, target }
+                Prediction {
+                    taken: true,
+                    target,
+                }
             }
             op if op.is_cond_branch() => {
                 let taken = self.pht[self.pht_index(pc)] >= 2;
-                Prediction { taken, target: inst.target as u64 }
+                Prediction {
+                    taken,
+                    target: inst.target as u64,
+                }
             }
-            _ => Prediction { taken: false, target: pc + 1 },
+            _ => Prediction {
+                taken: false,
+                target: pc + 1,
+            },
         }
     }
 
@@ -267,6 +293,9 @@ mod tests {
             }
             bp.update(5, &b, taken, 3, p);
         }
-        assert!(correct > 140, "gshare should learn the alternating pattern, got {correct}");
+        assert!(
+            correct > 140,
+            "gshare should learn the alternating pattern, got {correct}"
+        );
     }
 }

@@ -90,15 +90,78 @@ impl Default for SimConfig {
             exception_penalty: 40,
             recover_bandwidth: 4,
             fus: vec![
-                (OpClass::IntAlu, FuConfig { count: 2, latency: 1, pipelined: true }),
-                (OpClass::IntMul, FuConfig { count: 1, latency: 3, pipelined: true }),
-                (OpClass::IntDiv, FuConfig { count: 1, latency: 12, pipelined: false }),
-                (OpClass::FpAlu, FuConfig { count: 2, latency: 3, pipelined: true }),
-                (OpClass::FpMul, FuConfig { count: 1, latency: 4, pipelined: true }),
-                (OpClass::FpDiv, FuConfig { count: 1, latency: 12, pipelined: false }),
-                (OpClass::Load, FuConfig { count: 2, latency: 1, pipelined: true }),
-                (OpClass::Store, FuConfig { count: 1, latency: 1, pipelined: true }),
-                (OpClass::Branch, FuConfig { count: 1, latency: 1, pipelined: true }),
+                (
+                    OpClass::IntAlu,
+                    FuConfig {
+                        count: 2,
+                        latency: 1,
+                        pipelined: true,
+                    },
+                ),
+                (
+                    OpClass::IntMul,
+                    FuConfig {
+                        count: 1,
+                        latency: 3,
+                        pipelined: true,
+                    },
+                ),
+                (
+                    OpClass::IntDiv,
+                    FuConfig {
+                        count: 1,
+                        latency: 12,
+                        pipelined: false,
+                    },
+                ),
+                (
+                    OpClass::FpAlu,
+                    FuConfig {
+                        count: 2,
+                        latency: 3,
+                        pipelined: true,
+                    },
+                ),
+                (
+                    OpClass::FpMul,
+                    FuConfig {
+                        count: 1,
+                        latency: 4,
+                        pipelined: true,
+                    },
+                ),
+                (
+                    OpClass::FpDiv,
+                    FuConfig {
+                        count: 1,
+                        latency: 12,
+                        pipelined: false,
+                    },
+                ),
+                (
+                    OpClass::Load,
+                    FuConfig {
+                        count: 2,
+                        latency: 1,
+                        pipelined: true,
+                    },
+                ),
+                (
+                    OpClass::Store,
+                    FuConfig {
+                        count: 1,
+                        latency: 1,
+                        pipelined: true,
+                    },
+                ),
+                (
+                    OpClass::Branch,
+                    FuConfig {
+                        count: 1,
+                        latency: 1,
+                        pipelined: true,
+                    },
+                ),
             ],
             bpred: crate::BranchPredictorConfig::default(),
             mem: HierarchyConfig::default(),

@@ -60,7 +60,12 @@ fn ranges_overlap(a: u64, aw: u8, b: u64, bw: u8) -> bool {
 impl LoadStoreQueue {
     /// Creates empty queues with the given capacities.
     pub fn new(lq_cap: usize, sq_cap: usize) -> Self {
-        LoadStoreQueue { stores: VecDeque::new(), loads: VecDeque::new(), lq_cap, sq_cap }
+        LoadStoreQueue {
+            stores: VecDeque::new(),
+            loads: VecDeque::new(),
+            lq_cap,
+            sq_cap,
+        }
     }
 
     /// Whether a load (and/or store) can be dispatched right now.
@@ -70,7 +75,12 @@ impl LoadStoreQueue {
 
     /// Dispatches a store entry (address/data unknown).
     pub fn dispatch_store(&mut self, seq: u64) {
-        self.stores.push_back(StoreEntry { seq, addr: None, width: 0, value: None });
+        self.stores.push_back(StoreEntry {
+            seq,
+            addr: None,
+            width: 0,
+            value: None,
+        });
     }
 
     /// Dispatches a load entry.
@@ -97,7 +107,10 @@ impl LoadStoreQueue {
     /// True when every store older than `seq` has a resolved address —
     /// the condition for a load at `seq` to execute.
     pub fn older_stores_resolved(&self, seq: u64) -> bool {
-        self.stores.iter().take_while(|e| e.seq < seq).all(|e| e.addr.is_some())
+        self.stores
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .all(|e| e.addr.is_some())
     }
 
     /// Searches older stores for one supplying (or blocking) a load of
@@ -116,7 +129,11 @@ impl LoadStoreQueue {
             }
             if saddr == addr && e.width >= width {
                 let bits = e.value.expect("resolved store always has data");
-                let masked = if width == 8 { bits } else { bits & ((1u64 << (width * 8)) - 1) };
+                let masked = if width == 8 {
+                    bits
+                } else {
+                    bits & ((1u64 << (width * 8)) - 1)
+                };
                 return StoreSearch::Forward(masked);
             }
             return StoreSearch::Conflict { store_seq: e.seq };
@@ -131,7 +148,10 @@ impl LoadStoreQueue {
     ///
     /// Panics if `seq` is not the oldest store or is unresolved.
     pub fn commit_store(&mut self, seq: u64) -> (u64, u8, u64) {
-        let e = self.stores.pop_front().expect("committing store from an empty queue");
+        let e = self
+            .stores
+            .pop_front()
+            .expect("committing store from an empty queue");
         assert_eq!(e.seq, seq, "stores must commit in order");
         (
             e.addr.expect("committed store must be resolved"),
@@ -142,7 +162,10 @@ impl LoadStoreQueue {
 
     /// Removes a committed load.
     pub fn commit_load(&mut self, seq: u64) {
-        let head = self.loads.pop_front().expect("committing load from an empty queue");
+        let head = self
+            .loads
+            .pop_front()
+            .expect("committing load from an empty queue");
         assert_eq!(head, seq, "loads must commit in order");
     }
 
@@ -178,7 +201,10 @@ mod tests {
         lsq.resolve_store(0, 0x10, 8, 0xAABB_CCDD_EEFF_1122);
         assert_eq!(lsq.search(1, 0x10, 1), StoreSearch::Forward(0x22));
         assert_eq!(lsq.search(1, 0x10, 4), StoreSearch::Forward(0xEEFF_1122));
-        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Forward(0xAABB_CCDD_EEFF_1122));
+        assert_eq!(
+            lsq.search(1, 0x10, 8),
+            StoreSearch::Forward(0xAABB_CCDD_EEFF_1122)
+        );
     }
 
     #[test]
@@ -186,7 +212,10 @@ mod tests {
         let mut lsq = LoadStoreQueue::new(4, 4);
         lsq.dispatch_store(0);
         assert!(!lsq.older_stores_resolved(1));
-        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Conflict { store_seq: 0 });
+        assert_eq!(
+            lsq.search(1, 0x10, 8),
+            StoreSearch::Conflict { store_seq: 0 }
+        );
         lsq.resolve_store(0, 0x999, 8, 1);
         assert!(lsq.older_stores_resolved(1));
         assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Memory);
@@ -197,9 +226,15 @@ mod tests {
         let mut lsq = LoadStoreQueue::new(4, 4);
         lsq.dispatch_store(0);
         lsq.resolve_store(0, 0x10, 4, 7); // narrower than the load
-        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Conflict { store_seq: 0 });
+        assert_eq!(
+            lsq.search(1, 0x10, 8),
+            StoreSearch::Conflict { store_seq: 0 }
+        );
         // Offset overlap.
-        assert_eq!(lsq.search(1, 0x12, 8), StoreSearch::Conflict { store_seq: 0 });
+        assert_eq!(
+            lsq.search(1, 0x12, 8),
+            StoreSearch::Conflict { store_seq: 0 }
+        );
     }
 
     #[test]

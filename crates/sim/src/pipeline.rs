@@ -2,7 +2,9 @@
 //! writeback → commit, with full mis-speculation recovery.
 
 use crate::bpred::{BranchPredictor, Prediction};
-use crate::{CompletionWheel, FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport, StoreSearch};
+use crate::{
+    CompletionWheel, FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport, StoreSearch,
+};
 use regshare_core::{RegFile, Renamer, TaggedReg, UopKind};
 use regshare_isa::exec::{self, Action};
 use regshare_isa::{Inst, Machine, Memory, Opcode, Program, RegClass};
@@ -45,7 +47,10 @@ impl fmt::Display for SimError {
             }
             SimError::CycleLimit { cycles } => write!(f, "cycle limit of {cycles} reached"),
             SimError::Deadlock { cycle, head_seq } => {
-                write!(f, "no commit progress by cycle {cycle} (head seq {head_seq:?})")
+                write!(
+                    f,
+                    "no commit progress by cycle {cycle} (head seq {head_seq:?})"
+                )
             }
         }
     }
@@ -287,7 +292,12 @@ impl Pipeline {
 
     fn trace_event(&mut self, seq: u64, pc: u64, stage: TraceStage) {
         if self.config.trace && self.trace.len() < 100_000 {
-            self.trace.push(TraceEvent { cycle: self.cycle, seq, pc, stage });
+            self.trace.push(TraceEvent {
+                cycle: self.cycle,
+                seq,
+                pc,
+                stage,
+            });
         }
     }
 
@@ -351,7 +361,8 @@ impl Pipeline {
             if head.kind == UopKind::Main && head.inst.opcode.is_store() {
                 let (addr, width, value) = self.lsq.commit_store(head.seq);
                 self.memory.write(addr, value, width);
-                self.mem_timing.access_data(head.pc * 4, addr, true, self.cycle);
+                self.mem_timing
+                    .access_data(head.pc * 4, addr, true, self.cycle);
             }
             if head.kind == UopKind::Main && head.inst.opcode.is_load() {
                 self.lsq.commit_load(head.seq);
@@ -373,7 +384,9 @@ impl Pipeline {
     }
 
     fn check_oracle(&mut self, head: &RobEntry) -> Result<(), SimError> {
-        let Some(oracle) = &mut self.oracle else { return Ok(()) };
+        let Some(oracle) = &mut self.oracle else {
+            return Ok(());
+        };
         let expected = oracle
             .step()
             .map_err(|e| SimError::OracleMismatch {
@@ -411,10 +424,18 @@ impl Pipeline {
             );
         }
         if expected.ea != head.ea {
-            return mismatch("effective address", format!("{:?}", expected.ea), format!("{:?}", head.ea));
+            return mismatch(
+                "effective address",
+                format!("{:?}", expected.ea),
+                format!("{:?}", head.ea),
+            );
         }
         if expected.taken != head.taken {
-            return mismatch("branch outcome", format!("{:?}", expected.taken), format!("{:?}", head.taken));
+            return mismatch(
+                "branch outcome",
+                format!("{:?}", expected.taken),
+                format!("{:?}", head.taken),
+            );
         }
         Ok(())
     }
@@ -455,8 +476,7 @@ impl Pipeline {
             self.mem_timing.tlb_mut().take_fault(addr);
         }
         self.fetch_pc = Some(pc);
-        self.fetch_stall_until =
-            self.cycle + self.config.exception_penalty as u64 + extra as u64;
+        self.fetch_stall_until = self.cycle + self.config.exception_penalty as u64 + extra as u64;
         self.exceptions += 1;
     }
 
@@ -469,8 +489,13 @@ impl Pipeline {
         let mut woken = std::mem::take(&mut self.wake_scratch);
         self.scoreboard.set_ready(tag, &mut woken);
         for seq in woken.drain(..) {
-            let e = self.rob_entry_mut(seq).expect("waiters are drained on squash");
-            debug_assert!(e.pending_srcs > 0, "waking seq {seq} with no pending sources");
+            let e = self
+                .rob_entry_mut(seq)
+                .expect("waiters are drained on squash");
+            debug_assert!(
+                e.pending_srcs > 0,
+                "waking seq {seq} with no pending sources"
+            );
             e.pending_srcs -= 1;
             if e.pending_srcs == 0 {
                 self.ready_q.insert(seq);
@@ -497,7 +522,13 @@ impl Pipeline {
             let (dst, result, dst2, result2, is_branch) = {
                 let e = &mut self.rob[idx];
                 e.done = true;
-                (e.dst, e.result, e.dst2, e.result2, e.inst.opcode.is_branch())
+                (
+                    e.dst,
+                    e.result,
+                    e.dst2,
+                    e.result2,
+                    e.inst.opcode.is_branch(),
+                )
             };
             if is_branch {
                 self.unresolved_branches.remove(seq);
@@ -568,7 +599,11 @@ impl Pipeline {
             };
             let entry = &self.rob[idx];
             debug_assert!(
-                entry.srcs.iter().flatten().all(|t| self.scoreboard.is_ready(*t)),
+                entry
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .all(|t| self.scoreboard.is_ready(*t)),
                 "seq {seq} selected with a busy source operand",
             );
             let inst = entry.inst;
@@ -577,7 +612,9 @@ impl Pipeline {
             let srcs = entry.srcs;
             match kind {
                 UopKind::RepairMove => {
-                    let Some(lat) = self.fus.try_issue(regshare_isa::OpClass::IntAlu, self.cycle)
+                    let Some(lat) = self
+                        .fus
+                        .try_issue(regshare_isa::OpClass::IntAlu, self.cycle)
                     else {
                         continue;
                     };
@@ -603,13 +640,20 @@ impl Pipeline {
                     let ops = self.read_operands(&srcs);
                     let (ea, width, writeback) = match exec::evaluate(&inst, pc, ops) {
                         Action::Load { ea, width } => (ea, width, None),
-                        Action::LoadPost { ea, width, writeback } => (ea, width, Some(writeback)),
+                        Action::LoadPost {
+                            ea,
+                            width,
+                            writeback,
+                        } => (ea, width, Some(writeback)),
                         other => unreachable!("loads evaluate to a load action, got {other:?}"),
                     };
                     match self.lsq.search(seq, ea, width) {
                         StoreSearch::Conflict { .. } => continue,
                         StoreSearch::Forward(bits) => {
-                            if self.fus.try_issue(regshare_isa::OpClass::Load, self.cycle).is_none()
+                            if self
+                                .fus
+                                .try_issue(regshare_isa::OpClass::Load, self.cycle)
+                                .is_none()
                             {
                                 continue;
                             }
@@ -623,16 +667,16 @@ impl Pipeline {
                             issued.push(seq);
                         }
                         StoreSearch::Memory => {
-                            if self.fus.try_issue(regshare_isa::OpClass::Load, self.cycle).is_none()
+                            if self
+                                .fus
+                                .try_issue(regshare_isa::OpClass::Load, self.cycle)
+                                .is_none()
                             {
                                 continue;
                             }
-                            let access = self.mem_timing.access_data_checked(
-                                pc * 4,
-                                ea,
-                                false,
-                                self.cycle,
-                            );
+                            let access =
+                                self.mem_timing
+                                    .access_data_checked(pc * 4, ea, false, self.cycle);
                             let (lat, bits, fault) = match access {
                                 DataAccess::Done(lat) => {
                                     (1 + lat, self.memory.read(ea, width), false)
@@ -658,9 +702,12 @@ impl Pipeline {
                     let ops = self.read_operands(&srcs);
                     let (ea, width, value, writeback) = match exec::evaluate(&inst, pc, ops) {
                         Action::Store { ea, width, value } => (ea, width, value, None),
-                        Action::StorePost { ea, width, value, writeback } => {
-                            (ea, width, value, Some(writeback))
-                        }
+                        Action::StorePost {
+                            ea,
+                            width,
+                            value,
+                            writeback,
+                        } => (ea, width, value, Some(writeback)),
                         other => unreachable!("stores evaluate to a store action, got {other:?}"),
                     };
                     self.lsq.resolve_store(seq, ea, width, value);
@@ -675,7 +722,9 @@ impl Pipeline {
                 }
                 UopKind::Main => {
                     let class = inst.opcode.class();
-                    let Some(lat) = self.fus.try_issue(class, self.cycle) else { continue };
+                    let Some(lat) = self.fus.try_issue(class, self.cycle) else {
+                        continue;
+                    };
                     let ops = self.read_operands(&srcs);
                     let action = exec::evaluate(&inst, pc, ops);
                     let e = &mut self.rob[idx];
@@ -684,7 +733,11 @@ impl Pipeline {
                             e.result = Some(bits);
                             e.next_pc = pc + 1;
                         }
-                        Action::Branch { taken, target, link } => {
+                        Action::Branch {
+                            taken,
+                            target,
+                            link,
+                        } => {
                             e.taken = Some(taken);
                             e.next_pc = if taken { target } else { pc + 1 };
                             e.result = link;
@@ -720,7 +773,8 @@ impl Pipeline {
                 self.trace_event(seq, pc, TraceStage::Issue);
             }
         }
-        self.completions.schedule(self.cycle + latency.max(1) as u64, seq);
+        self.completions
+            .schedule(self.cycle + latency.max(1) as u64, seq);
     }
 
     // ---- rename/dispatch ----
@@ -729,7 +783,9 @@ impl Pipeline {
         const WORST_CASE_UOPS: usize = 4;
         let mut stalled_for_regs = false;
         for _ in 0..self.config.rename_width {
-            let Some(f) = self.decode_queue.front() else { break };
+            let Some(f) = self.decode_queue.front() else {
+                break;
+            };
             let rob_free = self.config.rob_entries - self.rob.len();
             let iq_free = self.config.iq_entries - self.iq_len;
             let is_load = f.inst.opcode.is_load() as usize;
@@ -813,7 +869,9 @@ impl Pipeline {
             if self.decode_queue.len() >= cap {
                 break;
             }
-            let Some(f) = self.fetch_queue.pop_front() else { break };
+            let Some(f) = self.fetch_queue.pop_front() else {
+                break;
+            };
             self.decode_queue.push_back(f);
         }
     }
@@ -924,7 +982,9 @@ impl Pipeline {
                 break;
             }
             if self.config.max_cycles > 0 && self.cycle >= self.config.max_cycles {
-                return Err(SimError::CycleLimit { cycles: self.config.max_cycles });
+                return Err(SimError::CycleLimit {
+                    cycles: self.config.max_cycles,
+                });
             }
             if !self.rob.is_empty() && self.cycle - self.last_commit_cycle > 100_000 {
                 if std::env::var_os("REGSHARE_DEBUG_DEADLOCK").is_some() {
@@ -1038,9 +1098,15 @@ mod tests {
         let top = a.label();
         a.bind(top);
         a.jmp(top);
-        let cfg = SimConfig { max_cycles: 500, ..SimConfig::default() };
+        let cfg = SimConfig {
+            max_cycles: 500,
+            ..SimConfig::default()
+        };
         let mut sim = Pipeline::new(a.assemble(), baseline(64), cfg);
-        assert!(matches!(sim.run(), Err(SimError::CycleLimit { cycles: 500 })));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::CycleLimit { cycles: 500 })
+        ));
     }
 
     #[test]
@@ -1085,9 +1151,15 @@ mod tests {
 
     #[test]
     fn sim_error_display_is_informative() {
-        let e = SimError::OracleMismatch { cycle: 7, detail: "x".into() };
+        let e = SimError::OracleMismatch {
+            cycle: 7,
+            detail: "x".into(),
+        };
         assert!(format!("{e}").contains("cycle 7"));
-        let e = SimError::Deadlock { cycle: 9, head_seq: Some(3) };
+        let e = SimError::Deadlock {
+            cycle: 9,
+            head_seq: Some(3),
+        };
         assert!(format!("{e}").contains('9'));
         let e = SimError::CycleLimit { cycles: 11 };
         assert!(format!("{e}").contains("11"));

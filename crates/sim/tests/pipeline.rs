@@ -225,8 +225,14 @@ fn page_fault_recovers_precisely() {
     let mut cfg = checked();
     cfg.inject_page_faults = vec![xs];
     for (name, renamer) in [
-        ("baseline", Box::new(BaselineRenamer::new(RenamerConfig::baseline(64))) as Box<dyn Renamer>),
-        ("reuse", Box::new(ReuseRenamer::new(RenamerConfig::paper(64))) as Box<dyn Renamer>),
+        (
+            "baseline",
+            Box::new(BaselineRenamer::new(RenamerConfig::baseline(64))) as Box<dyn Renamer>,
+        ),
+        (
+            "reuse",
+            Box::new(ReuseRenamer::new(RenamerConfig::paper(64))) as Box<dyn Renamer>,
+        ),
     ] {
         let mut s = Pipeline::new(p.clone(), renamer, cfg.clone());
         let rep = s.run().unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -297,7 +303,9 @@ fn reuse_scheme_survives_speculative_reuse_plus_mispredicts() {
     let p = a.assemble();
     let r = ReuseRenamer::new(RenamerConfig::paper(48));
     let mut s = Pipeline::new(p, Box::new(r), checked());
-    let rep = s.run().expect("speculative reuse with repairs must stay correct");
+    let rep = s
+        .run()
+        .expect("speculative reuse with repairs must stay correct");
     assert!(rep.halted);
 }
 
@@ -317,7 +325,11 @@ fn ipc_is_reasonable_for_ilp_rich_code() {
     a.halt();
     let p = a.assemble();
     let (base, _) = run_both(&p, &checked());
-    assert!(base.ipc() > 1.5, "expected ILP-rich IPC, got {:.2}", base.ipc());
+    assert!(
+        base.ipc() > 1.5,
+        "expected ILP-rich IPC, got {:.2}",
+        base.ipc()
+    );
 }
 
 #[test]

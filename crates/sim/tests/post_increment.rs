@@ -35,7 +35,8 @@ fn post_increment_loads_match_oracle() {
     assert_eq!(m.memory().read_u64(out), 180);
 
     for renamer in [
-        Box::new(BaselineRenamer::new(RenamerConfig::baseline(64))) as Box<dyn regshare_core::Renamer>,
+        Box::new(BaselineRenamer::new(RenamerConfig::baseline(64)))
+            as Box<dyn regshare_core::Renamer>,
         Box::new(ReuseRenamer::new(RenamerConfig::paper(64))),
     ] {
         let mut sim = Pipeline::new(p.clone(), renamer, checked());

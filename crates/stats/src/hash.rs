@@ -107,7 +107,11 @@ mod tests {
         // not collide there.
         let mask = 0x7f;
         let buckets: FastHashSet<u64> = (0..64u64).map(|k| hash_of(k) & mask).collect();
-        assert!(buckets.len() > 48, "only {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() > 48,
+            "only {} distinct buckets",
+            buckets.len()
+        );
     }
 
     #[test]

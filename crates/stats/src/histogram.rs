@@ -130,7 +130,10 @@ impl Histogram {
     ///
     /// Panics if `pct` is not in `0.0..=100.0`.
     pub fn percentile(&self, pct: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "percentile out of range: {pct}"
+        );
         if self.total == 0 {
             return 0;
         }

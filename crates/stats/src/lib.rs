@@ -62,7 +62,10 @@ pub struct Counter {
 impl Counter {
     /// Creates a counter starting at zero.
     pub fn new(name: impl Into<String>) -> Self {
-        Counter { name: name.into(), value: 0 }
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
     }
 
     /// Increments the counter by one.
@@ -125,7 +128,11 @@ pub struct Ratio {
 impl Ratio {
     /// Creates an empty ratio.
     pub fn new(name: impl Into<String>) -> Self {
-        Ratio { name: name.into(), hits: 0, total: 0 }
+        Ratio {
+            name: name.into(),
+            hits: 0,
+            total: 0,
+        }
     }
 
     /// Records one event; `hit` selects whether it counts toward the numerator.
@@ -175,7 +182,14 @@ impl Ratio {
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {:.2}% ({}/{})", self.name, self.percent(), self.hits, self.total)
+        write!(
+            f,
+            "{}: {:.2}% ({}/{})",
+            self.name,
+            self.percent(),
+            self.hits,
+            self.total
+        )
     }
 }
 

@@ -33,7 +33,11 @@ pub struct Sampler {
 impl Sampler {
     /// Creates an empty sampler.
     pub fn new(name: impl Into<String>) -> Self {
-        Sampler { name: name.into(), samples: Vec::new(), sorted: std::cell::RefCell::new(None) }
+        Sampler {
+            name: name.into(),
+            samples: Vec::new(),
+            sorted: std::cell::RefCell::new(None),
+        }
     }
 
     /// Records one sample.
@@ -78,7 +82,10 @@ impl Sampler {
     ///
     /// Panics if `pct` is not in `0.0..=100.0`.
     pub fn percentile(&self, pct: f64) -> Option<u64> {
-        assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "percentile out of range: {pct}"
+        );
         if self.samples.is_empty() {
             return None;
         }

@@ -40,7 +40,11 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
         let aligns = vec![Align::Left; headers.len()];
-        Table { headers, aligns, rows: Vec::new() }
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Convenience constructor from string slices.
@@ -73,7 +77,11 @@ impl Table {
     ///
     /// Panics if the row has a different number of cells than the header.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(cells);
         self
     }

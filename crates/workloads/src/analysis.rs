@@ -7,9 +7,13 @@
 //!   destination-writing instructions that could reuse a register given a
 //!   maximum chain length.
 
-use regshare_isa::{ArchReg, Machine, Program, Retired};
+use regshare_isa::{ArchReg, DefSlot, Machine, Program, Retired};
 use regshare_stats::Histogram;
 use std::collections::HashMap;
+
+/// A dynamic value: which trace index produced it, and through which
+/// destination slot (post-increment ops produce two distinct values).
+type ValueId = (usize, DefSlot);
 
 /// Results of the Fig. 1 / Fig. 2 analysis.
 ///
@@ -106,38 +110,28 @@ pub fn analyze(program: &Program, max_instructions: u64) -> DataflowProfile {
 /// `with_dest` counts destination registers (allocation events), so the
 /// fractions stay meaningful for renaming.
 pub fn analyze_trace(trace: &[Retired]) -> DataflowProfile {
-    // A produced value is identified by (producing trace index, which
-    // destination): false = primary destination, true = base writeback.
-    let mut producer_of: HashMap<ArchReg, (usize, bool)> = HashMap::new();
-    let mut consumers_of: HashMap<(usize, bool), u64> = HashMap::new();
-    let mut first_consumer_redefines: HashMap<(usize, bool), bool> = HashMap::new();
+    let mut producer_of: HashMap<ArchReg, ValueId> = HashMap::new();
+    let mut consumers_of: HashMap<ValueId, u64> = HashMap::new();
+    let mut first_consumer_redefines: HashMap<ValueId, bool> = HashMap::new();
     // For each instruction: the values it consumed.
-    let mut consumed: Vec<Vec<(usize, bool)>> = vec![Vec::new(); trace.len()];
+    let mut consumed: Vec<Vec<ValueId>> = vec![Vec::new(); trace.len()];
 
     for (i, r) in trace.iter().enumerate() {
-        let dst = r.inst.dst();
-        let dst2 = r.inst.dst2();
-        let mut seen: Vec<ArchReg> = Vec::new();
-        for src in r.inst.sources() {
-            if seen.contains(&src) {
-                continue; // one read per unique register per instruction
-            }
-            seen.push(src);
+        // `uses()` yields one read per unique register per instruction —
+        // exactly the consumption granularity Fig. 2 counts.
+        for src in r.inst.uses() {
             if let Some(&p) = producer_of.get(&src) {
                 let n = consumers_of.entry(p).or_insert(0);
                 *n += 1;
                 if *n == 1 {
-                    first_consumer_redefines
-                        .insert(p, dst == Some(src) || dst2 == Some(src));
+                    let redefines = r.inst.defs().any(|(_, d)| d == src);
+                    first_consumer_redefines.insert(p, redefines);
                 }
                 consumed[i].push(p);
             }
         }
-        if let Some(d) = dst {
-            producer_of.insert(d, (i, false));
-        }
-        if let Some(d2) = dst2 {
-            producer_of.insert(d2, (i, true));
+        for (slot, d) in r.inst.defs() {
+            producer_of.insert(d, (i, slot));
         }
     }
 
@@ -151,7 +145,7 @@ pub fn analyze_trace(trace: &[Retired]) -> DataflowProfile {
     };
 
     for (i, r) in trace.iter().enumerate() {
-        let record_value = |profile: &mut DataflowProfile, key: (usize, bool)| {
+        let record_value = |profile: &mut DataflowProfile, key: ValueId| {
             let n = consumers_of.get(&key).copied().unwrap_or(0);
             profile.consumers.record(n);
             if n == 1 {
@@ -162,17 +156,15 @@ pub fn analyze_trace(trace: &[Retired]) -> DataflowProfile {
                 }
             }
         };
-        if r.inst.dst().is_some() {
+        let mut defines = false;
+        for (slot, _) in r.inst.defs() {
+            defines = true;
             profile.with_dest += 1;
-            record_value(&mut profile, (i, false));
-        }
-        if r.inst.dst2().is_some() {
-            profile.with_dest += 1;
-            record_value(&mut profile, (i, true));
+            record_value(&mut profile, (i, slot));
         }
         // Consumer side: is this instruction the sole consumer of one of
         // its sources?
-        if (r.inst.dst().is_some() || r.inst.dst2().is_some())
+        if defines
             && consumed[i]
                 .iter()
                 .any(|p| consumers_of.get(p).copied().unwrap_or(0) == 1)
@@ -205,49 +197,38 @@ pub fn reuse_potential(program: &Program, max_instructions: u64, max_chain: u64)
 /// each independently reusable.
 pub fn reuse_potential_trace(trace: &[Retired], max_chain: u64) -> f64 {
     // First pass: consumer counts per produced value.
-    let mut producer_of: HashMap<ArchReg, (usize, bool)> = HashMap::new();
-    let mut consumers_of: HashMap<(usize, bool), u64> = HashMap::new();
+    let mut producer_of: HashMap<ArchReg, ValueId> = HashMap::new();
+    let mut consumers_of: HashMap<ValueId, u64> = HashMap::new();
     for (i, r) in trace.iter().enumerate() {
-        let mut seen: Vec<ArchReg> = Vec::new();
-        for src in r.inst.sources() {
-            if seen.contains(&src) {
-                continue;
-            }
-            seen.push(src);
+        for src in r.inst.uses() {
             if let Some(&p) = producer_of.get(&src) {
                 *consumers_of.entry(p).or_insert(0) += 1;
             }
         }
-        if let Some(dst) = r.inst.dst() {
-            producer_of.insert(dst, (i, false));
-        }
-        if let Some(d2) = r.inst.dst2() {
-            producer_of.insert(d2, (i, true));
+        for (slot, d) in r.inst.defs() {
+            producer_of.insert(d, (i, slot));
         }
     }
 
     // Second pass: walk the trace simulating ideal chains.
     producer_of.clear();
-    let mut chain_pos: HashMap<(usize, bool), u64> = HashMap::new();
+    let mut chain_pos: HashMap<ValueId, u64> = HashMap::new();
     let mut with_dest = 0u64;
     let mut reused = 0u64;
     for (i, r) in trace.iter().enumerate() {
         let dst2 = r.inst.dst2();
         if let Some(dst) = r.inst.dst() {
             with_dest += 1;
-            let mut seen: Vec<ArchReg> = Vec::new();
-            for src in r.inst.sources() {
-                if seen.contains(&src) {
-                    continue;
-                }
-                seen.push(src);
+            for src in r.inst.uses() {
                 if src.class() != dst.class() || dst2 == Some(src) {
                     continue; // the base belongs to the writeback's reuse
                 }
-                let Some(&p) = producer_of.get(&src) else { continue };
+                let Some(&p) = producer_of.get(&src) else {
+                    continue;
+                };
                 let pos = chain_pos.get(&p).copied().unwrap_or(0);
                 if consumers_of.get(&p).copied().unwrap_or(0) == 1 && pos < max_chain {
-                    chain_pos.insert((i, false), pos + 1);
+                    chain_pos.insert((i, DefSlot::Primary), pos + 1);
                     reused += 1;
                     break;
                 }
@@ -258,16 +239,13 @@ pub fn reuse_potential_trace(trace: &[Retired], max_chain: u64) -> f64 {
             if let Some(&p) = producer_of.get(&d2) {
                 let pos = chain_pos.get(&p).copied().unwrap_or(0);
                 if consumers_of.get(&p).copied().unwrap_or(0) == 1 && pos < max_chain {
-                    chain_pos.insert((i, true), pos + 1);
+                    chain_pos.insert((i, DefSlot::Writeback), pos + 1);
                     reused += 1;
                 }
             }
         }
-        if let Some(dst) = r.inst.dst() {
-            producer_of.insert(dst, (i, false));
-        }
-        if let Some(d2) = dst2 {
-            producer_of.insert(d2, (i, true));
+        for (slot, d) in r.inst.defs() {
+            producer_of.insert(d, (i, slot));
         }
     }
     if with_dest == 0 {

@@ -304,7 +304,7 @@ pub(super) fn options(scale: u64) -> Program {
     a.fld_post(reg::f(1), reg::x(1), 8); // S
     a.fld_post(reg::f(2), reg::x(2), 8); // K
     a.fld_post(reg::f(3), reg::x(3), 8); // T
-    // moneyness m = S/K - 1 (cheap stand-in for ln(S/K))
+                                         // moneyness m = S/K - 1 (cheap stand-in for ln(S/K))
     a.fdiv(reg::f(4), reg::f(1), reg::f(2));
     a.fsub(reg::f(4), reg::f(4), reg::f(22));
     // vol term v = sigma * sqrt(T)
@@ -327,7 +327,7 @@ pub(super) fn options(scale: u64) -> Program {
     a.fma(reg::f(8), reg::f(8), reg::f(7), reg::f(22));
     a.fma(reg::f(8), reg::f(8), reg::f(7), reg::f(22)); // ~exp(u)
     a.fmul(reg::f(8), reg::f(8), reg::f(27)); // ~phi(d1)
-    // price ~ S * phi - K * phi * v (shape, not finance)
+                                              // price ~ S * phi - K * phi * v (shape, not finance)
     a.fmul(reg::f(10), reg::f(1), reg::f(8));
     a.fmul(reg::f(11), reg::f(2), reg::f(8));
     a.fma(reg::f(10), reg::f(11), reg::f(5), reg::f(10));
@@ -396,7 +396,7 @@ pub(super) fn fft(scale: u64) -> Program {
     let stage = a.label();
     a.bind(stage);
     a.srli(reg::x(11), reg::x(10), 1); // half = m/2
-    // twiddle stride in bytes: (N/m) entries * 16 = N*16/m
+                                       // twiddle stride in bytes: (N/m) entries * 16 = N*16/m
     a.li(reg::x(12), N * 16);
     a.udiv(reg::x(12), reg::x(12), reg::x(10));
     a.li(reg::x(13), 0); // k (group base index)
@@ -425,14 +425,14 @@ pub(super) fn fft(scale: u64) -> Program {
     a.fld(reg::f(2), reg::x(21), 0); // ai
     a.add(reg::x(22), reg::x(18), reg::x(17));
     a.fld(reg::f(4), reg::x(22), 0); // bi
-    // t = w * b (complex)
+                                     // t = w * b (complex)
     a.fmul(reg::f(5), reg::f(10), reg::f(3));
     a.fmul(reg::f(6), reg::f(11), reg::f(4));
     a.fsub(reg::f(5), reg::f(5), reg::f(6)); // tr
     a.fmul(reg::f(6), reg::f(10), reg::f(4));
     a.fmul(reg::f(7), reg::f(11), reg::f(3));
     a.fadd(reg::f(6), reg::f(6), reg::f(7)); // ti
-    // b = a - t ; a = a + t
+                                             // b = a - t ; a = a + t
     a.fsub(reg::f(8), reg::f(1), reg::f(5));
     a.fst(reg::f(8), reg::x(20), 0);
     a.fsub(reg::f(8), reg::f(2), reg::f(6));

@@ -106,6 +106,7 @@ pub(super) fn hashjoin(scale: u64) -> Program {
 
     a.li(reg::x(20), table_base);
     a.li(reg::x(21), GOLDEN as i64);
+    a.li(reg::x(10), 0); // join-sum accumulator
     a.li(reg::x(9), passes);
     let outer = a.label();
     a.bind(outer);
@@ -166,6 +167,7 @@ pub(super) fn pchase(scale: u64) -> Program {
     let node_base = d.u64_array(&flat) as i64;
     let mut a = Asm::with_data(d);
 
+    a.li(reg::x(4), 0); // value-sum accumulator
     a.li(reg::x(9), passes);
     let outer = a.label();
     a.bind(outer);

@@ -10,11 +10,10 @@ const SEED: u64 = 0xD1CE;
 /// IMA ADPCM step-size table (standard 89 entries).
 const STEP_TABLE: [u64; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// IMA index-adjust table (stored as two's-complement u64).
@@ -153,7 +152,9 @@ pub(super) fn sad(scale: u64) -> Program {
     let cur: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
     let refa: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
     // Candidate start offsets into the 10x10 reference: dy*10 + dx.
-    let offsets: Vec<u64> = (0..3).flat_map(|dy| (0..3).map(move |dx| dy * 10 + dx)).collect();
+    let offsets: Vec<u64> = (0..3)
+        .flat_map(|dy| (0..3).map(move |dx| dy * 10 + dx))
+        .collect();
     let mut d = DataBuilder::new(0x1_0000);
     let cur_base = d.bytes(&cur) as i64;
     let ref_base = d.bytes(&refa) as i64;

@@ -10,23 +10,95 @@ use crate::{Kernel, Suite};
 /// All kernels in presentation order.
 pub(crate) fn all() -> Vec<Kernel> {
     vec![
-        Kernel { name: "saxpy", suite: Suite::Fp, build: fp::saxpy },
-        Kernel { name: "fir", suite: Suite::Fp, build: fp::fir },
-        Kernel { name: "dct", suite: Suite::Fp, build: fp::dct },
-        Kernel { name: "matmul", suite: Suite::Fp, build: fp::matmul },
-        Kernel { name: "horner", suite: Suite::Fp, build: fp::horner },
-        Kernel { name: "stencil", suite: Suite::Fp, build: fp::stencil },
-        Kernel { name: "options", suite: Suite::Fp, build: fp::options },
-        Kernel { name: "fft", suite: Suite::Fp, build: fp::fft },
-        Kernel { name: "sort", suite: Suite::Int, build: int::sort },
-        Kernel { name: "hashjoin", suite: Suite::Int, build: int::hashjoin },
-        Kernel { name: "pchase", suite: Suite::Int, build: int::pchase },
-        Kernel { name: "crc32", suite: Suite::Int, build: int::crc32 },
-        Kernel { name: "rle", suite: Suite::Int, build: int::rle },
-        Kernel { name: "bitcount", suite: Suite::Int, build: int::bitcount },
-        Kernel { name: "adpcm", suite: Suite::Media, build: media::adpcm },
-        Kernel { name: "sad", suite: Suite::Media, build: media::sad },
-        Kernel { name: "gmm", suite: Suite::Cognitive, build: cognitive::gmm },
-        Kernel { name: "dnn", suite: Suite::Cognitive, build: cognitive::dnn },
+        Kernel {
+            name: "saxpy",
+            suite: Suite::Fp,
+            build: fp::saxpy,
+        },
+        Kernel {
+            name: "fir",
+            suite: Suite::Fp,
+            build: fp::fir,
+        },
+        Kernel {
+            name: "dct",
+            suite: Suite::Fp,
+            build: fp::dct,
+        },
+        Kernel {
+            name: "matmul",
+            suite: Suite::Fp,
+            build: fp::matmul,
+        },
+        Kernel {
+            name: "horner",
+            suite: Suite::Fp,
+            build: fp::horner,
+        },
+        Kernel {
+            name: "stencil",
+            suite: Suite::Fp,
+            build: fp::stencil,
+        },
+        Kernel {
+            name: "options",
+            suite: Suite::Fp,
+            build: fp::options,
+        },
+        Kernel {
+            name: "fft",
+            suite: Suite::Fp,
+            build: fp::fft,
+        },
+        Kernel {
+            name: "sort",
+            suite: Suite::Int,
+            build: int::sort,
+        },
+        Kernel {
+            name: "hashjoin",
+            suite: Suite::Int,
+            build: int::hashjoin,
+        },
+        Kernel {
+            name: "pchase",
+            suite: Suite::Int,
+            build: int::pchase,
+        },
+        Kernel {
+            name: "crc32",
+            suite: Suite::Int,
+            build: int::crc32,
+        },
+        Kernel {
+            name: "rle",
+            suite: Suite::Int,
+            build: int::rle,
+        },
+        Kernel {
+            name: "bitcount",
+            suite: Suite::Int,
+            build: int::bitcount,
+        },
+        Kernel {
+            name: "adpcm",
+            suite: Suite::Media,
+            build: media::adpcm,
+        },
+        Kernel {
+            name: "sad",
+            suite: Suite::Media,
+            build: media::sad,
+        },
+        Kernel {
+            name: "gmm",
+            suite: Suite::Cognitive,
+            build: cognitive::gmm,
+        },
+        Kernel {
+            name: "dnn",
+            suite: Suite::Cognitive,
+            build: cognitive::dnn,
+        },
     ]
 }

@@ -114,7 +114,10 @@ pub fn all_kernels() -> Vec<Kernel> {
 
 /// The kernels of one suite.
 pub fn suite_kernels(suite: Suite) -> Vec<Kernel> {
-    all_kernels().into_iter().filter(|k| k.suite == suite).collect()
+    all_kernels()
+        .into_iter()
+        .filter(|k| k.suite == suite)
+        .collect()
 }
 
 #[cfg(test)]

@@ -61,6 +61,13 @@ pub fn generate(config: SyntheticConfig) -> Program {
         a.li(reg::x(20 + i), rng.gen_range(1..100));
         a.fli(reg::f(20 + i), rng.gen_range(0.5..2.0));
     }
+    // Seed the single-use chain registers so no instruction reads a
+    // register that was never written (the static linter's UninitRead
+    // check holds on every generated program).
+    for i in 1..=8 {
+        a.li(reg::x(i), i as i64);
+        a.fli(reg::f(i), 1.0 + i as f64 / 8.0);
+    }
     a.li(reg::x(28), scratch);
     a.li(reg::x(27), config.iterations as i64);
     let top = a.label();
@@ -151,7 +158,11 @@ mod tests {
     #[test]
     fn generated_programs_halt() {
         for seed in 0..5 {
-            let p = generate(SyntheticConfig { seed, iterations: 10, ..Default::default() });
+            let p = generate(SyntheticConfig {
+                seed,
+                iterations: 10,
+                ..Default::default()
+            });
             let mut m = Machine::new(p);
             assert_eq!(m.run(1_000_000).unwrap(), StopReason::Halted, "seed {seed}");
         }

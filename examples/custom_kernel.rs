@@ -61,9 +61,15 @@ fn main() {
     let mut machine = Machine::new(program.clone());
     machine.run(10_000_000).expect("kernel executes cleanly");
     let expected = machine.memory().read_f64(out_addr);
-    println!("functional result: {expected:.6} ({} instructions)\n", machine.retired());
+    println!(
+        "functional result: {expected:.6} ({} instructions)\n",
+        machine.retired()
+    );
 
-    println!("{:>6} {:>12} {:>12} {:>9} {:>8}", "regs", "baseline IPC", "proposed IPC", "speedup", "reuse%");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9} {:>8}",
+        "regs", "baseline IPC", "proposed IPC", "speedup", "reuse%"
+    );
     for regs in [48usize, 64, 80, 112] {
         let scale = 60_000;
         let mut base = Pipeline::new(

@@ -28,14 +28,38 @@ use regshare::isa::{reg, Inst, Opcode};
 
 fn sequence() -> Vec<(&'static str, Inst)> {
     vec![
-        ("I1: add r1 <- r2, r3", Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3))),
-        ("I2: ld  r3 <- m(x10)", Inst::load(Opcode::Ld, reg::x(3), reg::x(10), 0)),
-        ("I3: mul r2 <- r3, r4", Inst::rrr(Opcode::Mul, reg::x(2), reg::x(3), reg::x(4))),
-        ("I4: add r1 <- r1, r4", Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(4))),
-        ("I5: mul r1 <- r1, r1", Inst::rrr(Opcode::Mul, reg::x(1), reg::x(1), reg::x(1))),
-        ("I6: mul r1 <- r1, r3", Inst::rrr(Opcode::Mul, reg::x(1), reg::x(1), reg::x(3))),
-        ("I7: add r5 <- r1, r2", Inst::rrr(Opcode::Add, reg::x(5), reg::x(1), reg::x(2))),
-        ("I8: sub r2 <- r5, r1", Inst::rrr(Opcode::Sub, reg::x(2), reg::x(5), reg::x(1))),
+        (
+            "I1: add r1 <- r2, r3",
+            Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3)),
+        ),
+        (
+            "I2: ld  r3 <- m(x10)",
+            Inst::load(Opcode::Ld, reg::x(3), reg::x(10), 0),
+        ),
+        (
+            "I3: mul r2 <- r3, r4",
+            Inst::rrr(Opcode::Mul, reg::x(2), reg::x(3), reg::x(4)),
+        ),
+        (
+            "I4: add r1 <- r1, r4",
+            Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(4)),
+        ),
+        (
+            "I5: mul r1 <- r1, r1",
+            Inst::rrr(Opcode::Mul, reg::x(1), reg::x(1), reg::x(1)),
+        ),
+        (
+            "I6: mul r1 <- r1, r3",
+            Inst::rrr(Opcode::Mul, reg::x(1), reg::x(1), reg::x(3)),
+        ),
+        (
+            "I7: add r5 <- r1, r2",
+            Inst::rrr(Opcode::Add, reg::x(5), reg::x(1), reg::x(2)),
+        ),
+        (
+            "I8: sub r2 <- r5, r1",
+            Inst::rrr(Opcode::Sub, reg::x(2), reg::x(5), reg::x(1)),
+        ),
     ]
 }
 
@@ -63,7 +87,12 @@ fn walk(renamer: &mut dyn Renamer, label: &str, passes: usize) {
                     if fresh { "(new register)" } else { "(reused!)" }
                 );
             }
-            if uops.last().and_then(|u| u.dst).map(|t| t.version == 0).unwrap_or(false) {
+            if uops
+                .last()
+                .and_then(|u| u.dst)
+                .map(|t| t.version == 0)
+                .unwrap_or(false)
+            {
                 allocations += 1;
             }
             // Commit immediately: this example has no speculation.

@@ -23,10 +23,13 @@ fn main() {
     a.mul(reg::x(4), reg::x(3), reg::x(2));
     a.halt();
     let program = a.assemble();
-    let listing: Vec<String> =
-        program.insts().iter().map(|i| format!("{i}")).collect();
+    let listing: Vec<String> = program.insts().iter().map(|i| format!("{i}")).collect();
 
-    let config = SimConfig { trace: true, check_oracle: true, ..SimConfig::default() };
+    let config = SimConfig {
+        trace: true,
+        check_oracle: true,
+        ..SimConfig::default()
+    };
     let renamer = ReuseRenamer::new(RenamerConfig::paper(64));
     let mut sim = Pipeline::new(program, Box::new(renamer), config);
     let report = sim.run().expect("traced run");
@@ -45,7 +48,10 @@ fn main() {
             TraceStage::Commit => 'C',
         };
         let cycle = e.cycle - min_cycle;
-        rows.entry(e.seq).or_insert((e.pc, Vec::new())).1.push((cycle, c));
+        rows.entry(e.seq)
+            .or_insert((e.pc, Vec::new()))
+            .1
+            .push((cycle, c));
         max_cycle = max_cycle.max(cycle);
     }
 

@@ -10,11 +10,17 @@ use regshare::workloads::all_kernels;
 
 fn main() {
     let kernels = all_kernels();
-    let kernel = kernels.iter().find(|k| k.name == "gmm").expect("gmm kernel exists");
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name == "gmm")
+        .expect("gmm kernel exists");
     let regs = 48; // baseline-equivalent register file size
     let scale = 100_000; // committed instructions to simulate
 
-    println!("kernel: {} ({} suite), {} registers\n", kernel.name, kernel.suite, regs);
+    println!(
+        "kernel: {} ({} suite), {} registers\n",
+        kernel.name, kernel.suite, regs
+    );
 
     let base = run_kernel(kernel, Scheme::Baseline, regs, scale);
     println!("--- conventional renaming ---\n{base}\n");

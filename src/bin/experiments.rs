@@ -48,7 +48,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: experiments [EXPERIMENT..] [--scale N] [--out DIR]\n\
                      experiments: fig1 fig2 fig3 table1 table2 table3 fig9 fig10 fig10ec \
-                     fig11 fig12 ablate-counter ablate-predictor ablate-banks \
+                     fig11 fig12 analyze ablate-counter ablate-predictor ablate-banks \
                      ablate-speculation all"
                 );
                 std::process::exit(0);
@@ -59,7 +59,11 @@ fn parse_args() -> Args {
     if exps.is_empty() {
         exps.push("all".into());
     }
-    Args { exps, scale, out_dir }
+    Args {
+        exps,
+        scale,
+        out_dir,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -93,7 +97,8 @@ struct Fig1Row {
 
 fn fig1(args: &Args) {
     println!("== Figure 1: single-consumer destinations (redefining vs not) ==");
-    let mut table = Table::with_headers(&["kernel", "suite", "redef%", "other%", "total%", "dest%"]);
+    let mut table =
+        Table::with_headers(&["kernel", "suite", "redef%", "other%", "total%", "dest%"]);
     table.numeric();
     let mut rows = Vec::new();
     let mut per_suite: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
@@ -147,8 +152,7 @@ struct Fig2Row {
 
 fn fig2(args: &Args) {
     println!("== Figure 2: consumers per produced value ==");
-    let mut table =
-        Table::with_headers(&["suite", "1", "2", "3", "4", "5", "6+", "(0)"]);
+    let mut table = Table::with_headers(&["suite", "1", "2", "3", "4", "5", "6+", "(0)"]);
     table.numeric();
     let mut rows = Vec::new();
     for suite in Suite::ALL {
@@ -195,8 +199,7 @@ struct Fig3Row {
 
 fn fig3(args: &Args) {
     println!("== Figure 3: reuse potential for chain limits 1/2/3/unlimited ==");
-    let mut table =
-        Table::with_headers(&["kernel", "suite", "<=1", "<=2", "<=3", "unlimited"]);
+    let mut table = Table::with_headers(&["kernel", "suite", "<=1", "<=2", "<=3", "unlimited"]);
     table.numeric();
     let mut rows = Vec::new();
     for k in all_kernels() {
@@ -238,12 +241,24 @@ fn table1(args: &Args) {
         ("Issue queue", format!("{} entries", c.iq_entries)),
         ("Decode/dispatch width", format!("{}", c.decode_width)),
         ("Fetch queue", format!("{} instructions", c.fetch_queue)),
-        ("Branch predictor", format!("gshare {} + {}-entry BTB", c.bpred.pht_entries, c.bpred.btb_entries)),
-        ("Mispredict penalty", format!("{} cycles", c.mispredict_penalty)),
+        (
+            "Branch predictor",
+            format!(
+                "gshare {} + {}-entry BTB",
+                c.bpred.pht_entries, c.bpred.btb_entries
+            ),
+        ),
+        (
+            "Mispredict penalty",
+            format!("{} cycles", c.mispredict_penalty),
+        ),
         ("L1-D", "32 KB, 2-way, 1 cycle".into()),
         ("L1-I", "48 KB, 3-way, 1 cycle".into()),
         ("L2", "1 MB, 16-way, 12 cycles".into()),
-        ("TLB", format!("{}-entry fully associative", c.mem.tlb.entries)),
+        (
+            "TLB",
+            format!("{}-entry fully associative", c.mem.tlb.entries),
+        ),
         ("Prefetcher", "stride, degree 1".into()),
         ("DRAM", "DDR3-1600-like, 16 banks, 8 KB rows".into()),
     ];
@@ -251,7 +266,14 @@ fn table1(args: &Args) {
         table.row(vec![(*k).into(), v.clone()]);
     }
     print!("{table}");
-    save(&args.out_dir, "table1", &rows.iter().map(|(k, v)| (k.to_string(), v.clone())).collect::<Vec<_>>());
+    save(
+        &args.out_dir,
+        "table1",
+        &rows
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn table2(args: &Args) {
@@ -260,10 +282,18 @@ fn table2(args: &Args) {
     let mut table = Table::with_headers(&["unit", "configuration", "area (mm^2)"]);
     table.numeric();
     for r in &rows {
-        table.row(vec![r.unit.clone(), r.configuration.clone(), format!("{:.3e}", r.area_mm2)]);
+        table.row(vec![
+            r.unit.clone(),
+            r.configuration.clone(),
+            format!("{:.3e}", r.area_mm2),
+        ]);
     }
     let overhead: f64 = rows[2..].iter().map(|r| r.area_mm2).sum();
-    table.row(vec!["Total overhead".into(), "-".into(), format!("{overhead:.3e}")]);
+    table.row(vec![
+        "Total overhead".into(),
+        "-".into(),
+        format!("{overhead:.3e}"),
+    ]);
     print!("{table}");
     save(&args.out_dir, "table2", &rows);
 }
@@ -341,12 +371,21 @@ fn fig9(args: &Args) {
             }
         }
     }
-    let mut table =
-        Table::with_headers(&["coverage %", "1-shadow regs", "2-shadow regs", "3-shadow regs"]);
+    let mut table = Table::with_headers(&[
+        "coverage %",
+        "1-shadow regs",
+        "2-shadow regs",
+        "3-shadow regs",
+    ]);
     table.numeric();
     let mut rows = Vec::new();
     for pct_cov in [50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
-        let need = |bank: usize| samplers.get(bank).and_then(|s| s.percentile(pct_cov)).unwrap_or(0);
+        let need = |bank: usize| {
+            samplers
+                .get(bank)
+                .and_then(|s| s.percentile(pct_cov))
+                .unwrap_or(0)
+        };
         table.row(vec![
             format!("{pct_cov}"),
             need(1).to_string(),
@@ -457,8 +496,11 @@ fn speedup_sweep(args: &Args, name: &str, title: &str, equal_count: bool) {
     }
     let mut cells = vec!["GEOMEAN".to_string(), "ALL".to_string()];
     for rf in RF_SIZES {
-        let vals: Vec<f64> =
-            rows.iter().filter(|r| r.rf_regs == rf).map(|r| r.speedup).collect();
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.rf_regs == rf)
+            .map(|r| r.speedup)
+            .collect();
         cells.push(format!("{:.3}", geomean(&vals)));
     }
     table.row(cells);
@@ -543,9 +585,8 @@ fn fig11(args: &Args) {
     let mut rows = Vec::new();
     for (i, rf) in RF_SIZES.into_iter().enumerate() {
         let chunk = &ipcs[i * kernels.len()..(i + 1) * kernels.len()];
-        let col = |sel: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> {
-            chunk.iter().map(sel).collect()
-        };
+        let col =
+            |sel: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> { chunk.iter().map(sel).collect() };
         rows.push(Fig11Row {
             rf_regs: rf,
             baseline_ipc: regshare::stats::mean(&col(|t| t.0)),
@@ -619,8 +660,9 @@ fn fig12(args: &Args) {
     for suite in Suite::ALL {
         let mut agg = regshare::core::PredictorStats::default();
         let kernels = suite_kernels(suite);
-        let stats =
-            par_map(&kernels, |k| run_kernel(k, Scheme::Proposed, 64, args.scale).predictor);
+        let stats = par_map(&kernels, |k| {
+            run_kernel(k, Scheme::Proposed, 64, args.scale).predictor
+        });
         for rep in stats {
             agg.reuse_correct += rep.reuse_correct;
             agg.reuse_incorrect += rep.reuse_incorrect;
@@ -678,20 +720,32 @@ where
                 experiment_config(args.scale),
                 args.scale,
             );
-            (prop.ipc() / base.ipc(), prop.rename.reuse_fraction() * 100.0)
+            (
+                prop.ipc() / base.ipc(),
+                prop.rename.reuse_fraction() * 100.0,
+            )
         });
         let speedups: Vec<f64> = metrics.iter().map(|m| m.0).collect();
         let reuse: Vec<f64> = metrics.iter().map(|m| m.1).collect();
         let g = geomean(&speedups);
         let m = regshare::stats::mean(&reuse);
         table.row(vec![label.clone(), format!("{g:.4}"), format!("{m:.1}")]);
-        rows.push(AblateRow { setting: label, geomean_speedup: g, mean_reuse_pct: m });
+        rows.push(AblateRow {
+            setting: label,
+            geomean_speedup: g,
+            mean_reuse_pct: m,
+        });
     }
     print!("{table}");
     save(&args.out_dir, name, &rows);
 }
 
-fn renamer_with(swept: RegClass, swept_banks: BankConfig, counter_bits: u8, entries: usize) -> Box<dyn regshare::core::Renamer> {
+fn renamer_with(
+    swept: RegClass,
+    swept_banks: BankConfig,
+    counter_bits: u8,
+    entries: usize,
+) -> Box<dyn regshare::core::Renamer> {
     renamer_with_spec(swept, swept_banks, counter_bits, entries, true)
 }
 
@@ -718,15 +772,18 @@ fn renamer_with_spec(
 }
 
 fn ablate_speculation(args: &Args) {
-    let settings = [("safe reuses only", false), ("with speculation (paper)", true)]
-        .into_iter()
-        .map(|(label, spec)| {
-            (label.to_string(), move |swept: RegClass| {
-                let banks = BankConfig::new(vec![52, 4, 4, 4]);
-                renamer_with_spec(swept, banks, 2, 512, spec)
-            })
+    let settings = [
+        ("safe reuses only", false),
+        ("with speculation (paper)", true),
+    ]
+    .into_iter()
+    .map(|(label, spec)| {
+        (label.to_string(), move |swept: RegClass| {
+            let banks = BankConfig::new(vec![52, 4, 4, 4]);
+            renamer_with_spec(swept, banks, 2, 512, spec)
         })
-        .collect();
+    })
+    .collect();
     ablate(
         args,
         "ablate_speculation",
@@ -803,6 +860,131 @@ fn ablate_banks(args: &Args) {
     );
 }
 
+// ------------------------------------------------------- static oracle
+
+#[derive(Serialize)]
+struct StaticOracleRow {
+    kernel: String,
+    suite: String,
+    lint_diagnostics: usize,
+    static_sites: usize,
+    dead_sites: usize,
+    single_safe_sites: usize,
+    single_needs_predictor_sites: usize,
+    unknown_sites: usize,
+    multi_consumer_sites: usize,
+    static_guaranteed_single_pct: f64,
+    static_possibly_single_pct: f64,
+    weighted_lower_bound_pct: f64,
+    weighted_upper_bound_pct: f64,
+    dynamic_single_use_pct: f64,
+    dynamic_single_use_redefining_pct: f64,
+    trace_complete: bool,
+    oracle_violations: usize,
+    predictor_accuracy_pct: f64,
+    predictor_reuse_correct: u64,
+    predictor_reuse_incorrect: u64,
+    predictor_noreuse_correct: u64,
+    predictor_noreuse_incorrect: u64,
+}
+
+fn analyze(args: &Args) {
+    use regshare::analyze::{classify, lint_program, oracle_check, Cfg, SiteClass};
+    println!("== Static oracle: per-kernel static sharing bounds vs dynamic measurement ==");
+    // Kernels halt at a loop boundary, so the functional budget must be
+    // comfortably above the sizing scale for complete traces (the
+    // soundness cross-checks need them).
+    let budget = args.scale.saturating_mul(64);
+    let kernels = all_kernels();
+    let rows: Vec<StaticOracleRow> = par_map(&kernels, |k| {
+        let program = k.program(args.scale);
+        let diags = lint_program(&program);
+        let cfg = Cfg::build(program.insts(), program.entry());
+        let c = classify(&cfg, program.insts());
+        let report = oracle_check(&program, budget)
+            .unwrap_or_else(|e| panic!("{}: oracle run failed: {e}", k.name));
+        let predictor = run_kernel(k, Scheme::Proposed, 64, args.scale).predictor;
+        let sites = c.len().max(1) as f64;
+        StaticOracleRow {
+            kernel: k.name.into(),
+            suite: k.suite.label().into(),
+            lint_diagnostics: diags.len(),
+            static_sites: c.len(),
+            dead_sites: c.count(SiteClass::Dead),
+            single_safe_sites: c.count(SiteClass::SingleSafeReuse),
+            single_needs_predictor_sites: c.count(SiteClass::SingleNeedsPredictor),
+            unknown_sites: c.count(SiteClass::Unknown),
+            multi_consumer_sites: c.count(SiteClass::MultiConsumer),
+            static_guaranteed_single_pct: c.guaranteed_single() as f64 / sites * 100.0,
+            static_possibly_single_pct: c.possibly_single() as f64 / sites * 100.0,
+            weighted_lower_bound_pct: report.lower_bound_fraction() * 100.0,
+            weighted_upper_bound_pct: report.upper_bound_fraction() * 100.0,
+            dynamic_single_use_pct: report.single_use_fraction() * 100.0,
+            dynamic_single_use_redefining_pct: ratio_pct(
+                report.single_use_redefining_instances,
+                report.def_instances,
+            ),
+            trace_complete: report.trace_complete,
+            oracle_violations: report.violations.len(),
+            predictor_accuracy_pct: predictor.accuracy() * 100.0,
+            predictor_reuse_correct: predictor.reuse_correct,
+            predictor_reuse_incorrect: predictor.reuse_incorrect,
+            predictor_noreuse_correct: predictor.noreuse_correct,
+            predictor_noreuse_incorrect: predictor.noreuse_incorrect,
+        }
+    });
+    let mut table = Table::with_headers(&[
+        "kernel",
+        "suite",
+        "lint",
+        "sites",
+        "lower%",
+        "dyn-single%",
+        "upper%",
+        "pred-acc%",
+    ]);
+    table.numeric();
+    for r in &rows {
+        table.row(vec![
+            r.kernel.clone(),
+            r.suite.clone(),
+            r.lint_diagnostics.to_string(),
+            r.static_sites.to_string(),
+            format!("{:.1}", r.weighted_lower_bound_pct),
+            format!("{:.1}", r.dynamic_single_use_pct),
+            format!("{:.1}", r.weighted_upper_bound_pct),
+            format!("{:.1}", r.predictor_accuracy_pct),
+        ]);
+    }
+    print!("{table}");
+    for r in &rows {
+        assert!(
+            r.weighted_upper_bound_pct + 1e-9 >= r.dynamic_single_use_pct
+                && r.weighted_lower_bound_pct <= r.dynamic_single_use_pct + 1e-9,
+            "{}: static bounds do not bracket the dynamic single-use fraction",
+            r.kernel
+        );
+        assert_eq!(
+            r.oracle_violations, 0,
+            "{}: static/dynamic disagreement",
+            r.kernel
+        );
+    }
+    println!(
+        "static bounds bracket the dynamic single-use fraction on all {} kernels",
+        rows.len()
+    );
+    save(&args.out_dir, "static_oracle", &rows);
+}
+
+fn ratio_pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64 * 100.0
+    }
+}
+
 // ---------------------------------------------------------------- main
 
 type ExperimentFn = fn(&Args);
@@ -821,6 +1003,7 @@ fn main() {
         ("fig10ec", fig10ec),
         ("fig11", fig11),
         ("fig12", fig12),
+        ("analyze", analyze),
         ("ablate-counter", ablate_counter),
         ("ablate-speculation", ablate_speculation),
         ("ablate-predictor", ablate_predictor),

@@ -158,17 +158,18 @@ fn main() {
             iterations: (o.scale / 100).max(1),
             ..SyntheticConfig::default()
         };
-        (generate(cfg), RegClass::Int, format!("synthetic(bias={}, seed={})", o.bias, o.seed))
+        (
+            generate(cfg),
+            RegClass::Int,
+            format!("synthetic(bias={}, seed={})", o.bias, o.seed),
+        )
     } else {
         let name = o.kernel.clone().unwrap_or_else(|| usage());
         let kernels = all_kernels();
-        let kernel: &Kernel = kernels
-            .iter()
-            .find(|k| k.name == name)
-            .unwrap_or_else(|| {
-                eprintln!("error: unknown kernel {name} (try --list)");
-                std::process::exit(2);
-            });
+        let kernel: &Kernel = kernels.iter().find(|k| k.name == name).unwrap_or_else(|| {
+            eprintln!("error: unknown kernel {name} (try --list)");
+            std::process::exit(2);
+        });
         (kernel.program(o.scale), swept_class(kernel.suite), name)
     };
 

@@ -25,6 +25,7 @@
 //! println!("speedup: {:.3}", prop.ipc() / base.ipc());
 //! ```
 
+pub use regshare_analyze as analyze;
 pub use regshare_area as area;
 pub use regshare_core as core;
 pub use regshare_isa as isa;
@@ -74,7 +75,9 @@ pub mod harness {
         F: Fn(&T) -> R + Sync,
     {
         let n = items.len();
-        let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(n);
         if workers <= 1 {
             return items.iter().map(f).collect();
         }
@@ -213,7 +216,12 @@ pub mod harness {
         let mut sim = Pipeline::new(program, renamer, experiment_config(scale));
         match sim.run() {
             Ok(report) => report,
-            Err(e) => panic!("{} ({}, {} regs): {e}", kernel.name, scheme.label(), rf_regs),
+            Err(e) => panic!(
+                "{} ({}, {} regs): {e}",
+                kernel.name,
+                scheme.label(),
+                rf_regs
+            ),
         }
     }
 

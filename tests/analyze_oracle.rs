@@ -1,0 +1,126 @@
+//! Static analyzer vs. dynamic execution: the linter must accept every
+//! program the workload generators produce, and the static sharing
+//! bounds must bracket the dynamically measured single-use fraction on
+//! every kernel.
+
+use proptest::prelude::*;
+use regshare::analyze::{lint_program, oracle_check};
+use regshare::workloads::synthetic::{generate, SyntheticConfig};
+use regshare::workloads::{all_kernels, analysis};
+
+/// Workload sizing passed to `Kernel::program`.
+const SCALE: u64 = 8_000;
+
+/// Instruction budget for functional runs. Kernels sized at [`SCALE`]
+/// retire on the order of `SCALE` instructions but only halt at a loop
+/// boundary, so the budget is generously larger — the oracle's soundness
+/// checks need complete traces.
+const BUDGET: u64 = 64 * SCALE;
+
+#[test]
+fn linter_accepts_every_kernel() {
+    let mut failures = Vec::new();
+    for k in all_kernels() {
+        let program = k.program(SCALE);
+        let diags = lint_program(&program);
+        if !diags.is_empty() {
+            failures.push(format!("{}: {diags:?}", k.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "linter flagged shipping kernels:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn static_bounds_bracket_dynamic_single_use_on_every_kernel() {
+    for k in all_kernels() {
+        let program = k.program(SCALE);
+        let report = oracle_check(&program, BUDGET).expect("kernel executes");
+        assert!(
+            report.trace_complete,
+            "{}: kernel did not halt within {BUDGET} instructions",
+            k.name
+        );
+        assert!(
+            report.violations.is_empty(),
+            "{}: static/dynamic disagreement: {:?}",
+            k.name,
+            report.violations
+        );
+        let lower = report.lower_bound_fraction();
+        let single = report.single_use_fraction();
+        let upper = report.upper_bound_fraction();
+        assert!(
+            lower <= single + 1e-12 && single <= upper + 1e-12,
+            "{}: bounds do not bracket: lower {lower:.4} single {single:.4} upper {upper:.4}",
+            k.name
+        );
+
+        // The oracle's own dynamic count must agree with the Fig. 1
+        // profiler, and the static upper bound must dominate it.
+        let profile = analysis::analyze(&program, BUDGET);
+        assert!(
+            (profile.single_use_fraction() - single).abs() < 1e-12,
+            "{}: oracle and profiler disagree on the single-use fraction",
+            k.name
+        );
+        assert!(
+            upper + 1e-12 >= profile.single_use_fraction(),
+            "{}: static upper bound {upper:.4} below dynamic {:.4}",
+            k.name,
+            profile.single_use_fraction()
+        );
+    }
+}
+
+fn synthetic_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        10usize..120,
+        1u64..30,
+        0.0f64..1.0,
+        0.0f64..0.8,
+        0.0f64..0.3,
+        0.0f64..0.25,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(body, iterations, bias, fp, mem, br, seed)| SyntheticConfig {
+                body,
+                iterations,
+                single_use_bias: bias,
+                fp_fraction: fp,
+                mem_fraction: mem,
+                branch_fraction: br,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linter_accepts_every_synthetic_program(cfg in synthetic_config()) {
+        let program = generate(cfg);
+        let diags = lint_program(&program);
+        prop_assert!(diags.is_empty(), "synthetic program flagged: {diags:?}");
+    }
+
+    #[test]
+    fn oracle_holds_on_synthetic_programs(cfg in synthetic_config()) {
+        let program = generate(cfg);
+        let report = oracle_check(&program, 200_000).expect("synthetic executes");
+        prop_assert!(report.violations.is_empty(), "{:?}", report.violations);
+        prop_assert!(
+            report.single_use_instances <= report.upper_bound_instances
+        );
+        if report.trace_complete {
+            prop_assert!(
+                report.lower_bound_instances <= report.single_use_instances
+            );
+        }
+    }
+}

@@ -31,9 +31,9 @@ fn all_kernels_lockstep_early_release() {
             let program = k.program(SCALE);
             let mut config = experiment_config(SCALE);
             config.check_oracle = true;
-            let mut sim =
-                Pipeline::new(program, early_renamer(rf, swept_class(k.suite)), config);
-            sim.run().unwrap_or_else(|e| panic!("{} @ {rf}: {e}", k.name));
+            let mut sim = Pipeline::new(program, early_renamer(rf, swept_class(k.suite)), config);
+            sim.run()
+                .unwrap_or_else(|e| panic!("{} @ {rf}: {e}", k.name));
         }
     }
 }
@@ -45,7 +45,10 @@ fn early_release_never_loses_to_baseline_badly_and_often_wins() {
     // beat it on register-pressure-bound kernels.
     let mut wins = 0;
     let mut total = 0;
-    for k in suite_kernels(Suite::Int).into_iter().chain(suite_kernels(Suite::Media)) {
+    for k in suite_kernels(Suite::Int)
+        .into_iter()
+        .chain(suite_kernels(Suite::Media))
+    {
         let base = {
             let program = k.program(SCALE);
             let renamer = renamer_for(Scheme::Baseline, 48, swept_class(k.suite));

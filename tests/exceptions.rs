@@ -23,7 +23,11 @@ fn single_fault_recovers_on_every_kernel_proposed() {
             config,
         );
         let report = sim.run().unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        assert_eq!(report.exceptions, 1, "{} must take exactly one fault", k.name);
+        assert_eq!(
+            report.exceptions, 1,
+            "{} must take exactly one fault",
+            k.name
+        );
     }
 }
 
@@ -40,14 +44,21 @@ fn single_fault_recovers_on_every_kernel_baseline() {
             config,
         );
         let report = sim.run().unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        assert_eq!(report.exceptions, 1, "{} must take exactly one fault", k.name);
+        assert_eq!(
+            report.exceptions, 1,
+            "{} must take exactly one fault",
+            k.name
+        );
     }
 }
 
 #[test]
 fn multiple_faults_across_pages() {
     let kernels = all_kernels();
-    let k = kernels.iter().find(|k| k.name == "saxpy").expect("saxpy exists");
+    let k = kernels
+        .iter()
+        .find(|k| k.name == "saxpy")
+        .expect("saxpy exists");
     let program = k.program(60_000); // big enough to span several pages
     let mut config = experiment_config(60_000);
     config.check_oracle = true;
@@ -64,7 +75,10 @@ fn multiple_faults_across_pages() {
 #[test]
 fn faults_do_not_change_results() {
     let kernels = all_kernels();
-    let k = kernels.iter().find(|k| k.name == "gmm").expect("gmm exists");
+    let k = kernels
+        .iter()
+        .find(|k| k.name == "gmm")
+        .expect("gmm exists");
     let program = k.program(SCALE);
 
     let run = |faults: Vec<u64>| {
@@ -79,7 +93,10 @@ fn faults_do_not_change_results() {
         let report = sim.run().expect("run");
         assert!(report.halted);
         // Output location for gmm: the score is written near the data base.
-        let mem: Vec<u64> = (0x1_0000u64..0x1_0200).step_by(8).map(|a| sim.memory().read_u64(a)).collect();
+        let mem: Vec<u64> = (0x1_0000u64..0x1_0200)
+            .step_by(8)
+            .map(|a| sim.memory().read_u64(a))
+            .collect();
         (report.exceptions, mem)
     };
 
@@ -87,7 +104,10 @@ fn faults_do_not_change_results() {
     let (e1, faulted) = run(vec![0x1_0000]);
     assert_eq!(e0, 0);
     assert_eq!(e1, 1);
-    assert_eq!(clean, faulted, "a precise exception must not change results");
+    assert_eq!(
+        clean, faulted,
+        "a precise exception must not change results"
+    );
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Negative-corpus linter coverage: every deliberately-broken program in
+//! the seeded corpus must raise exactly the diagnostic it was built to
+//! demonstrate. CI runs this as a gate (see .github/workflows/ci.yml).
+
+use regshare::analyze::{is_clean_of_errors, lint, negative_corpus, DiagCode, Severity};
+
+#[test]
+fn every_corpus_case_raises_its_expected_diagnostic() {
+    let corpus = negative_corpus(0xC0FFEE, 120);
+    assert!(corpus.len() > 100, "corpus unexpectedly small");
+    for case in corpus {
+        let diags = lint(&case.insts, case.entry);
+        assert!(
+            diags.iter().any(|d| d.code == case.expect),
+            "case {} did not raise {:?}; diagnostics: {:?}",
+            case.name,
+            case.expect,
+            diags
+        );
+    }
+}
+
+#[test]
+fn error_class_defects_are_errors_not_warnings() {
+    for case in negative_corpus(7, 60) {
+        let is_error_class = matches!(
+            case.expect,
+            DiagCode::EmptyProgram
+                | DiagCode::BadEntry
+                | DiagCode::BranchTargetOutOfRange
+                | DiagCode::PostIncBaseConflict
+                | DiagCode::FallsOffEnd
+        );
+        if !is_error_class {
+            continue;
+        }
+        let diags = lint(&case.insts, case.entry);
+        assert!(
+            !is_clean_of_errors(&diags),
+            "case {} produced no error",
+            case.name
+        );
+        let hit = diags
+            .iter()
+            .find(|d| d.code == case.expect)
+            .expect("expected code fires");
+        assert_eq!(hit.severity, Severity::Error, "case {}", case.name);
+    }
+}
+
+#[test]
+fn diagnostics_are_machine_readable() {
+    let corpus = negative_corpus(1, 6);
+    let diags = lint(&corpus[0].insts, corpus[0].entry);
+    let json = serde_json::to_string(&diags).expect("diagnostics serialize");
+    assert!(json.contains("\"code\""));
+    assert!(json.contains("\"pc\""));
+}

@@ -17,9 +17,8 @@ fn run_checked(kernel: &Kernel, scheme: Scheme, rf: usize) {
     config.check_oracle = true;
     let renamer = renamer_for(scheme, rf, swept_class(kernel.suite));
     let mut sim = Pipeline::new(program, renamer, config);
-    sim.run().unwrap_or_else(|e| {
-        panic!("{} under {} @ {rf} regs: {e}", kernel.name, scheme.label())
-    });
+    sim.run()
+        .unwrap_or_else(|e| panic!("{} under {} @ {rf} regs: {e}", kernel.name, scheme.label()));
 }
 
 #[test]

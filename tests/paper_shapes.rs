@@ -2,8 +2,10 @@
 //! the renamer, simulator or kernels breaks one of the reproduced results
 //! documented in EXPERIMENTS.md, these tests fail.
 
-use regshare::harness::{experiment_config, renamer_for, run_kernel, swept_class, Scheme, FIXED_RF};
 use regshare::core::{BankConfig, RenamerConfig, ReuseRenamer};
+use regshare::harness::{
+    experiment_config, renamer_for, run_kernel, swept_class, Scheme, FIXED_RF,
+};
 use regshare::isa::RegClass;
 use regshare::sim::Pipeline;
 use regshare::stats::{geomean, mean};
@@ -15,7 +17,9 @@ const SIM_SCALE: u64 = 40_000;
 fn suite_single_use(suite: Suite) -> f64 {
     let vals: Vec<f64> = suite_kernels(suite)
         .iter()
-        .map(|k| analysis::analyze(&k.program(ANALYSIS_SCALE), ANALYSIS_SCALE).single_use_fraction())
+        .map(|k| {
+            analysis::analyze(&k.program(ANALYSIS_SCALE), ANALYSIS_SCALE).single_use_fraction()
+        })
         .collect();
     mean(&vals)
 }
@@ -47,7 +51,11 @@ fn fig3_reuse_potential_is_monotone_and_front_loaded() {
         let two = analysis::reuse_potential(&p, ANALYSIS_SCALE, 2);
         let three = analysis::reuse_potential(&p, ANALYSIS_SCALE, 3);
         let unlimited = analysis::reuse_potential(&p, ANALYSIS_SCALE, u64::MAX);
-        assert!(one <= two && two <= three && three <= unlimited, "{}", k.name);
+        assert!(
+            one <= two && two <= three && three <= unlimited,
+            "{}",
+            k.name
+        );
         // The first reuse level contributes the majority of the total —
         // the paper's justification for a small version counter.
         assert!(
@@ -95,7 +103,10 @@ fn fig10ec_equal_count_wins_at_small_files() {
 fn fig10_gains_shrink_with_register_file_size() {
     // Equal-area speedups must converge toward 1.0 at the largest file.
     let kernels = suite_kernels(Suite::Media);
-    let k = kernels.iter().find(|k| k.name == "sad").expect("sad exists");
+    let k = kernels
+        .iter()
+        .find(|k| k.name == "sad")
+        .expect("sad exists");
     let small = {
         let b = run_kernel(k, Scheme::Baseline, 48, SIM_SCALE);
         let p = run_kernel(k, Scheme::Proposed, 48, SIM_SCALE);
@@ -106,7 +117,10 @@ fn fig10_gains_shrink_with_register_file_size() {
         let p = run_kernel(k, Scheme::Proposed, 112, SIM_SCALE);
         p.ipc() / b.ipc()
     };
-    assert!(small > 1.1, "sad at 48 regs lost its equal-area win: {small:.3}");
+    assert!(
+        small > 1.1,
+        "sad at 48 regs lost its equal-area win: {small:.3}"
+    );
     assert!(
         (large - 1.0).abs() < 0.1,
         "speedup should vanish at 112 regs, got {large:.3}"

@@ -20,15 +20,17 @@ fn synthetic_config() -> impl Strategy<Value = SyntheticConfig> {
         0.0f64..0.25,
         any::<u64>(),
     )
-        .prop_map(|(body, iterations, bias, fp, mem, br, seed)| SyntheticConfig {
-            body,
-            iterations,
-            single_use_bias: bias,
-            fp_fraction: fp,
-            mem_fraction: mem,
-            branch_fraction: br,
-            seed,
-        })
+        .prop_map(
+            |(body, iterations, bias, fp, mem, br, seed)| SyntheticConfig {
+                body,
+                iterations,
+                single_use_bias: bias,
+                fp_fraction: fp,
+                mem_fraction: mem,
+                branch_fraction: br,
+                seed,
+            },
+        )
 }
 
 fn bank_split() -> impl Strategy<Value = BankConfig> {

@@ -5,8 +5,7 @@
 
 use proptest::prelude::*;
 use regshare::core::{
-    BankConfig, BaselineRenamer, EarlyReleaseRenamer, RenamerConfig, Renamer, ReuseRenamer,
-    UopKind,
+    BankConfig, BaselineRenamer, EarlyReleaseRenamer, Renamer, RenamerConfig, ReuseRenamer, UopKind,
 };
 use regshare::isa::{reg, Inst, Opcode, RegClass};
 use std::collections::VecDeque;

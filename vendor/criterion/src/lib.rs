@@ -51,8 +51,16 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
-fn run_one(id: &str, sample_count: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { samples: Vec::new(), target_samples: sample_count.max(1) };
+fn run_one(
+    id: &str,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        target_samples: sample_count.max(1),
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{id:<50} (no samples)");
@@ -75,7 +83,10 @@ fn run_one(id: &str, sample_count: usize, throughput: Option<Throughput>, f: &mu
                 line.push_str(&format!("  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6));
             }
             Throughput::Bytes(n) => {
-                line.push_str(&format!("  thrpt: {:.3} MiB/s", n as f64 / secs / (1 << 20) as f64));
+                line.push_str(&format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / secs / (1 << 20) as f64
+                ));
             }
         }
     }
@@ -89,7 +100,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_samples: 10 }
+        Criterion {
+            default_samples: 10,
+        }
     }
 }
 
@@ -174,7 +187,10 @@ mod tests {
 
     #[test]
     fn bencher_collects_requested_samples() {
-        let mut b = Bencher { samples: Vec::new(), target_samples: 5 };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: 5,
+        };
         let mut n = 0u64;
         b.iter(|| {
             n += 1;

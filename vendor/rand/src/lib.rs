@@ -262,6 +262,9 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 64-element shuffle leaving order intact is astronomically unlikely");
+        assert_ne!(
+            v, sorted,
+            "a 64-element shuffle leaving order intact is astronomically unlikely"
+        );
     }
 }

@@ -179,6 +179,9 @@ mod tests {
         let v = vec![1u64, 2].to_value();
         assert_eq!(v, Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
         let t = (1u64, "x".to_string()).to_value();
-        assert_eq!(t, Value::Array(vec![Value::UInt(1), Value::Str("x".into())]));
+        assert_eq!(
+            t,
+            Value::Array(vec![Value::UInt(1), Value::Str("x".into())])
+        );
     }
 }

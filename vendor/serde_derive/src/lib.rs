@@ -192,8 +192,14 @@ fn parse_item(input: TokenStream) -> Item {
         other => panic!("serde stub derive: expected item body for {name}, got {other:?}"),
     };
     match kind.as_str() {
-        "struct" => Item::Named { name, fields: parse_named_fields(&body) },
-        "enum" => Item::Enum { name, variants: parse_enum_variants(&body) },
+        "struct" => Item::Named {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_enum_variants(&body),
+        },
         other => panic!("serde stub derive: unsupported item kind {other}"),
     }
 }
@@ -256,7 +262,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde stub derive: generated impl parses")
+    code.parse()
+        .expect("serde stub derive: generated impl parses")
 }
 
 /// Derives the vendored `serde::Deserialize` marker trait.

@@ -122,13 +122,11 @@ mod tests {
 
     #[test]
     fn pretty_prints_nested_rows() {
-        let rows = vec![
-            Value::Object(vec![
-                ("kernel".to_string(), Value::Str("saxpy".into())),
-                ("speedup".to_string(), Value::Float(1.5)),
-                ("regs".to_string(), Value::UInt(64)),
-            ]),
-        ];
+        let rows = vec![Value::Object(vec![
+            ("kernel".to_string(), Value::Str("saxpy".into())),
+            ("speedup".to_string(), Value::Float(1.5)),
+            ("regs".to_string(), Value::UInt(64)),
+        ])];
         let s = to_string_pretty(&rows).unwrap();
         assert_eq!(
             s,
