@@ -217,6 +217,59 @@ impl Renamer for BaselineRenamer {
     fn max_version(&self) -> u8 {
         self.config.max_version()
     }
+
+    fn audit(&self) -> Result<(), String> {
+        for class in RegClass::ALL {
+            let ci = class.index();
+            let total = self.config.banks(class).total();
+            // Every register is either free or referenced exactly once:
+            // by a current map entry, or by an in-flight record keeping
+            // the redefined mapping alive until commit.
+            let mut refs = vec![0u32; total];
+            for (_, tag) in self.map.iter_class(class) {
+                refs[tag.preg.0 as usize] += 1;
+            }
+            for record in &self.records {
+                for d in [&record.dst, &record.dst2].into_iter().flatten() {
+                    if d.old_map.class == class {
+                        refs[d.old_map.preg.0 as usize] += 1;
+                    }
+                }
+            }
+            let mut free = vec![false; total];
+            for p in self.free[ci].iter() {
+                if free[p.0 as usize] {
+                    return Err(format!("{class}: {p} appears twice in the free list"));
+                }
+                free[p.0 as usize] = true;
+            }
+            for (i, (&r, &f)) in refs.iter().zip(free.iter()).enumerate() {
+                match (r, f) {
+                    (0, false) => {
+                        return Err(format!(
+                            "{class}: p{i} leaked — unreferenced but not on the free list"
+                        ))
+                    }
+                    (1, false) | (0, true) => {}
+                    (_, true) => {
+                        return Err(format!(
+                            "{class}: p{i} is on the free list but referenced {r} time(s)"
+                        ))
+                    }
+                    _ => {
+                        return Err(format!(
+                            "{class}: p{i} referenced {r} times — the baseline never shares"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn arch_map(&self) -> Option<&MapTable> {
+        Some(&self.retire_map)
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +379,20 @@ mod tests {
         r.rename(0, 0, &i).unwrap();
         r.rename(1, 4, &i).unwrap();
         r.commit(1);
+    }
+
+    #[test]
+    fn audit_is_clean_through_rename_squash_commit() {
+        let mut r = renamer();
+        r.audit().unwrap();
+        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+        r.rename(0, 0, &i).unwrap();
+        r.rename(1, 4, &i).unwrap();
+        r.audit().unwrap();
+        r.squash_after(0);
+        r.audit().unwrap();
+        r.commit(0);
+        r.audit().unwrap();
     }
 
     #[test]

@@ -98,6 +98,19 @@ impl FreeList {
     pub fn is_exhausted(&self) -> bool {
         self.free_total() == 0
     }
+
+    /// Iterates over every free register, bank by bank. Used by the
+    /// invariant auditor to check the free list against the map table.
+    pub fn iter(&self) -> impl Iterator<Item = PhysReg> + '_ {
+        self.per_bank.iter().flat_map(|bank| bank.iter().copied())
+    }
+
+    /// Removes one free register (any bank), or `None` when exhausted.
+    /// Exists only so auditor self-tests can *deliberately* leak a
+    /// register; normal allocation goes through [`FreeList::alloc`].
+    pub(crate) fn pop_any(&mut self) -> Option<PhysReg> {
+        self.per_bank.iter_mut().find_map(Vec::pop)
+    }
 }
 
 #[cfg(test)]

@@ -96,4 +96,4 @@ pub use preg::{PhysReg, TaggedReg, MAX_SHADOW_CELLS};
 pub use prt::Prt;
 pub use regfile::RegFile;
 pub use renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
-pub use reuse::ReuseRenamer;
+pub use reuse::{CorruptKind, ReuseRenamer};

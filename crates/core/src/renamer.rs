@@ -1,7 +1,7 @@
 //! The [`Renamer`] trait: the interface between the rename stage of the
 //! out-of-order pipeline and a renaming scheme.
 
-use crate::{BankConfig, TaggedReg};
+use crate::{BankConfig, MapTable, TaggedReg};
 use regshare_isa::{Inst, RegClass};
 use regshare_stats::Histogram;
 use serde::{Deserialize, Serialize};
@@ -262,6 +262,24 @@ pub trait Renamer {
     /// write.
     fn on_writeback(&mut self, seq: u64) {
         let _ = seq;
+    }
+
+    /// Checks the scheme's internal bookkeeping invariants — free-list /
+    /// map-table / reference-count consistency. Returns `Err` with a
+    /// human-readable diagnostic on the first violation found. Default:
+    /// vacuously `Ok` for schemes without auditable state.
+    ///
+    /// Called by the pipeline's invariant auditor every
+    /// `SimConfig::audit_interval` cycles; must not mutate state.
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// The architectural (retire-time) map table, if the scheme maintains
+    /// one precise enough for an architectural register-state diff.
+    /// Default: `None` (the oracle then skips register diffs).
+    fn arch_map(&self) -> Option<&MapTable> {
+        None
     }
 }
 

@@ -8,6 +8,22 @@ use regshare_isa::{ArchReg, Inst, RegClass};
 use regshare_stats::FastHashMap;
 use std::collections::VecDeque;
 
+/// A deliberate bookkeeping corruption, used by the invariant auditor's
+/// self-tests: each kind breaks exactly one invariant that
+/// [`Renamer::audit`] must then report with a matching diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Silently drop a register from the integer free list — a physical
+    /// register leak.
+    LeakPreg,
+    /// Advance `x1`'s map-table version tag past its PRT counter — a
+    /// stale version tag that no rename could have produced.
+    StaleVersionTag,
+    /// Add a phantom mapping reference to `x1`'s physical register — a
+    /// reference-count off-by-one.
+    RefcountOffByOne,
+}
+
 /// Per-physical-register allocation metadata, used for the predictor's
 /// release-time feedback and the Fig. 12 accuracy accounting.
 #[derive(Debug, Clone, Copy, Default)]
@@ -267,6 +283,30 @@ impl ReuseRenamer {
                 m.reuses = m.reuses.saturating_sub(1);
                 m.spec_entries[new_map.version as usize] = None;
                 recovers.insert((new_map.class, new_map.preg), prev_version);
+            }
+        }
+    }
+
+    /// Deliberately corrupts internal bookkeeping (auditor self-tests
+    /// only). The corrupted state violates exactly the invariant named by
+    /// `kind`; the next [`Renamer::audit`] call must detect it.
+    pub fn corrupt(&mut self, kind: CorruptKind) {
+        let r1 = ArchReg::new(RegClass::Int, 1);
+        let ci = RegClass::Int.index();
+        match kind {
+            CorruptKind::LeakPreg => {
+                let leaked = self.free[ci].pop_any();
+                debug_assert!(leaked.is_some(), "no free register to leak");
+            }
+            CorruptKind::StaleVersionTag => {
+                let t = self.map.get(r1);
+                let counter = self.prt[ci].entry(t.preg).counter;
+                self.map
+                    .set(r1, TaggedReg::new(t.class, t.preg, counter + 1));
+            }
+            CorruptKind::RefcountOffByOne => {
+                let t = self.map.get(r1);
+                self.prt[ci].map_inc(t.preg);
             }
         }
     }
@@ -689,6 +729,94 @@ impl Renamer for ReuseRenamer {
     fn predictor_stats(&self) -> crate::PredictorStats {
         *self.predictor.stats()
     }
+
+    fn audit(&self) -> Result<(), String> {
+        for class in RegClass::ALL {
+            let ci = class.index();
+            let banks = self.config.banks(class);
+            let total = banks.total();
+            let max_version = self.config.max_version();
+            // Reference-count conservation: every PRT mapping count must
+            // equal the references actually held — speculative map-table
+            // entries plus the previous mappings kept alive by in-flight
+            // rename records (they are decremented at commit).
+            let mut expected = vec![0u32; total];
+            for (_, tag) in self.map.iter_class(class) {
+                expected[tag.preg.0 as usize] += 1;
+            }
+            for record in &self.records {
+                for action in [&record.dst, &record.dst2] {
+                    if let DstAction::Alloc { old_map, .. } | DstAction::Reuse { old_map, .. } =
+                        action
+                    {
+                        if old_map.class == class {
+                            expected[old_map.preg.0 as usize] += 1;
+                        }
+                    }
+                }
+            }
+            let mut free = vec![false; total];
+            for p in self.free[ci].iter() {
+                if free[p.0 as usize] {
+                    return Err(format!("{class}: {p} appears twice in the free list"));
+                }
+                free[p.0 as usize] = true;
+            }
+            for i in 0..total {
+                let p = PhysReg(i as u16);
+                let count = self.prt[ci].mapcount(p) as u32;
+                if count != expected[i] {
+                    return Err(format!(
+                        "{class}: {p} mapping count {count} != {} references held by \
+                         the map table and in-flight renames",
+                        expected[i]
+                    ));
+                }
+                if free[i] && count != 0 {
+                    return Err(format!(
+                        "{class}: {p} is on the free list but still mapped {count} time(s)"
+                    ));
+                }
+                if !free[i] && count == 0 {
+                    return Err(format!(
+                        "{class}: {p} leaked — mapping count is 0 but it is not on the free list"
+                    ));
+                }
+                let counter = self.prt[ci].entry(p).counter;
+                if counter > max_version {
+                    return Err(format!(
+                        "{class}: {p} version counter {counter} exceeds the maximum {max_version}"
+                    ));
+                }
+            }
+            // Version-tag sanity: no map may hold a version the PRT never
+            // issued, nor one without a backing shadow cell.
+            for (table, name) in [(&self.map, "map table"), (&self.retire_map, "retire map")] {
+                for (r, tag) in table.iter_class(class) {
+                    let counter = self.prt[ci].entry(tag.preg).counter;
+                    if tag.version > counter {
+                        return Err(format!(
+                            "{class}: {name} entry {r} holds stale version tag {tag} \
+                             beyond PRT counter {counter}"
+                        ));
+                    }
+                    let cells = banks.shadow_cells_of(tag.preg);
+                    if tag.version > cells {
+                        return Err(format!(
+                            "{class}: {name} entry {r} version {} exceeds the {cells} \
+                             shadow cell(s) of {}",
+                            tag.version, tag.preg
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn arch_map(&self) -> Option<&MapTable> {
+        Some(&self.retire_map)
+    }
 }
 
 #[cfg(test)]
@@ -911,6 +1039,35 @@ mod tests {
         r.rename(0, 0, &i).unwrap();
         let t = r.map().get(reg::x(1));
         assert!(r.prt(RegClass::Int).entry(t.preg).read);
+    }
+
+    #[test]
+    fn audit_is_clean_across_rename_squash_commit() {
+        let mut r = renamer();
+        r.audit().unwrap();
+        let (_a, b) = train_and_reuse(&mut r);
+        r.audit().unwrap();
+        r.squash_after(b.seq - 1);
+        r.audit().unwrap();
+        for s in 0..b.seq {
+            r.commit(s);
+        }
+        r.audit().unwrap();
+    }
+
+    #[test]
+    fn each_corruption_kind_is_detected() {
+        for (kind, needle) in [
+            (CorruptKind::LeakPreg, "leak"),
+            (CorruptKind::StaleVersionTag, "stale version"),
+            (CorruptKind::RefcountOffByOne, "mapping count"),
+        ] {
+            let mut r = renamer();
+            r.audit().unwrap();
+            r.corrupt(kind);
+            let err = r.audit().unwrap_err();
+            assert!(err.contains(needle), "{kind:?} diagnostic was: {err}");
+        }
     }
 
     #[test]

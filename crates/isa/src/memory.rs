@@ -163,6 +163,53 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Finds the lowest address where two memories disagree, returning
+    /// `(addr, self_byte, other_byte)` — or `None` when they are
+    /// byte-identical. Pages absent from one side compare as zero, so two
+    /// memories that differ only in which all-zero pages happen to be
+    /// resident are equal.
+    ///
+    /// Used by the precise-state oracle to diff the out-of-order core's
+    /// memory against the functional reference at recovery boundaries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regshare_isa::Memory;
+    ///
+    /// let mut a = Memory::new();
+    /// let mut b = Memory::new();
+    /// a.write_u64(0x2000, 7);
+    /// b.write_u64(0x2000, 7);
+    /// assert_eq!(a.first_difference(&b), None);
+    /// b.write_u8(0x2003, 0xFF);
+    /// assert_eq!(a.first_difference(&b), Some((0x2003, 0x00, 0xFF)));
+    /// ```
+    pub fn first_difference(&self, other: &Memory) -> Option<(u64, u8, u8)> {
+        static ZERO: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+        let mut pages: Vec<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for pn in pages {
+            let a = self.pages.get(&pn).map_or(&ZERO, |p| &**p);
+            let b = other.pages.get(&pn).map_or(&ZERO, |p| &**p);
+            if a == b {
+                continue;
+            }
+            for i in 0..PAGE_SIZE {
+                if a[i] != b[i] {
+                    return Some(((pn << PAGE_SHIFT) | i as u64, a[i], b[i]));
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -252,5 +299,27 @@ mod tests {
     #[should_panic(expected = "unsupported access width")]
     fn bad_width_panics() {
         Memory::new().read(0, 2);
+    }
+
+    #[test]
+    fn first_difference_ignores_zero_pages() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        // Resident but all-zero page on one side only: still equal.
+        a.write_u8(0x5000, 1);
+        a.write_u8(0x5000, 0);
+        assert_eq!(a.first_difference(&b), None);
+        assert_eq!(b.first_difference(&a), None);
+    }
+
+    #[test]
+    fn first_difference_reports_lowest_address() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.write_u8(0x9000, 3);
+        a.write_u8(0x1234, 9);
+        b.write_u8(0x9000, 4);
+        assert_eq!(a.first_difference(&b), Some((0x1234, 9, 0)));
+        assert_eq!(b.first_difference(&a), Some((0x1234, 0, 9)));
     }
 }

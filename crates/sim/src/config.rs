@@ -64,6 +64,11 @@ pub struct SimConfig {
     /// Cycle interval between register-bank occupancy samples (Fig. 9);
     /// 0 disables sampling.
     pub occupancy_sample_interval: u64,
+    /// Cycle interval between invariant audits of the renamer's free-list
+    /// / PRT / map-table bookkeeping and the pipeline's IQ/ROB wakeup
+    /// state; 0 (the default) disables auditing. A violation stops the
+    /// run with `SimError::Invariant` and a pipeline snapshot.
+    pub audit_interval: u64,
     /// Data addresses whose page faults once, on first access (exercises
     /// precise-exception recovery).
     pub inject_page_faults: Vec<u64>,
@@ -169,6 +174,7 @@ impl Default for SimConfig {
             max_cycles: 0,
             check_oracle: false,
             occupancy_sample_interval: 0,
+            audit_interval: 0,
             inject_page_faults: Vec::new(),
             trace: false,
         }

@@ -1,0 +1,219 @@
+//! Deterministic fault-injection schedules.
+//!
+//! The paper's correctness story rests on precise state recovery through
+//! the shadow-cell register file; workloads alone exercise only the
+//! recovery paths their branches happen to take. An [`InjectSchedule`]
+//! drives the machinery adversarially: seeded asynchronous interrupts,
+//! forced load/store faults, forced branch-prediction flips and squash
+//! storms land at arbitrary cycles — including nested events arriving
+//! mid-recovery — while the lockstep oracle and the invariant auditor
+//! check that architectural state and renamer bookkeeping survive.
+//!
+//! Schedules are pure data derived from a seed with a splitmix64 stream,
+//! so a campaign is reproducible from `(kernel, scheme, seed)` alone.
+
+/// The kind of one injected event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InjectKind {
+    /// Asynchronous interrupt: flush the entire speculative window at the
+    /// next commit boundary and refetch from the oldest unretired
+    /// instruction. Architecturally transparent.
+    Interrupt,
+    /// Force the next load to take a synchronous memory fault; it retries
+    /// (successfully) after the precise exception flush.
+    LoadFault,
+    /// Force the next store to take a synchronous memory fault.
+    StoreFault,
+    /// Invert the next conditional-branch prediction, manufacturing a
+    /// misprediction (or, for an about-to-mispredict branch, a correct
+    /// prediction) the workload would not produce on its own.
+    BranchFlip,
+    /// Squash storm: pick a completed in-flight micro-op and squash
+    /// everything younger, as a resolving branch would.
+    SquashStorm,
+}
+
+/// One scheduled event: `kind` fires at the first opportunity at or after
+/// `cycle`. `pick` selects among candidates where the event needs one
+/// (e.g. which in-flight micro-op a squash storm cuts at).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectEvent {
+    /// Cycle at which the event becomes pending.
+    pub cycle: u64,
+    /// What to inject.
+    pub kind: InjectKind,
+    /// Candidate selector for events that need one.
+    pub pick: u8,
+}
+
+/// A deterministic schedule of injected events for one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_sim::InjectSchedule;
+///
+/// let a = InjectSchedule::seeded(42, 10_000);
+/// let b = InjectSchedule::seeded(42, 10_000);
+/// assert_eq!(a, b); // reproducible from the seed
+/// assert!(!a.events.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InjectSchedule {
+    /// Events ordered by cycle.
+    pub events: Vec<InjectEvent>,
+    /// Mispredict ordinals (0 = the first branch misprediction of the
+    /// run) at which an interrupt is delivered *in the same cycle* as the
+    /// misprediction squash — the nested-recovery case.
+    pub interrupts_on_mispredict: Vec<u64>,
+}
+
+/// Splitmix64: a tiny, high-quality PRNG step. Good enough to scatter
+/// events, dependency-free, and stable across platforms.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl InjectSchedule {
+    /// Derives a schedule from `seed`, spreading events over roughly
+    /// `horizon` cycles (clamped to at least 1000). Every seed yields
+    /// 1–3 interrupts, 0–2 forced faults of each kind, 0–3 branch flips,
+    /// 0–2 squash storms and 0–2 nested interrupt-on-mispredict events.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let mut s = seed;
+        let horizon = horizon.max(1_000);
+        let cycle = |s: &mut u64| 100 + splitmix64(s) % (horizon - 100);
+        let mut events = Vec::new();
+        let counts = [
+            (InjectKind::Interrupt, 1 + (splitmix64(&mut s) % 3)),
+            (InjectKind::LoadFault, splitmix64(&mut s) % 3),
+            (InjectKind::StoreFault, splitmix64(&mut s) % 3),
+            (InjectKind::BranchFlip, splitmix64(&mut s) % 4),
+            (InjectKind::SquashStorm, splitmix64(&mut s) % 3),
+        ];
+        for (kind, n) in counts {
+            for _ in 0..n {
+                events.push(InjectEvent {
+                    cycle: cycle(&mut s),
+                    kind,
+                    pick: (splitmix64(&mut s) & 0xFF) as u8,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.cycle, e.kind, e.pick));
+        let mut interrupts_on_mispredict: Vec<u64> = (0..splitmix64(&mut s) % 3)
+            .map(|_| splitmix64(&mut s) % 40)
+            .collect();
+        interrupts_on_mispredict.sort_unstable();
+        interrupts_on_mispredict.dedup();
+        InjectSchedule {
+            events,
+            interrupts_on_mispredict,
+        }
+    }
+}
+
+/// Counts of events actually delivered during a run (a scheduled event
+/// lands only if the pipeline reaches its cycle with a matching
+/// opportunity, e.g. a branch flip needs a later conditional branch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectStats {
+    /// Asynchronous interrupts delivered.
+    pub interrupts: u64,
+    /// Interrupts delivered in the same cycle as a misprediction squash.
+    pub nested_interrupts: u64,
+    /// Forced load faults consumed by a load.
+    pub load_faults: u64,
+    /// Forced store faults consumed by a store.
+    pub store_faults: u64,
+    /// Branch predictions inverted at fetch.
+    pub branch_flips: u64,
+    /// Squash storms executed against an in-flight micro-op.
+    pub squash_storms: u64,
+}
+
+impl InjectStats {
+    /// Total events delivered.
+    pub fn total(&self) -> u64 {
+        self.interrupts
+            + self.load_faults
+            + self.store_faults
+            + self.branch_flips
+            + self.squash_storms
+    }
+}
+
+/// Live injection state inside the pipeline: the schedule, a cursor over
+/// it, and the armed one-shot flags events translate into.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InjectState {
+    pub(crate) events: Vec<InjectEvent>,
+    pub(crate) next: usize,
+    pub(crate) nested_ordinals: Vec<u64>,
+    /// Branch mispredictions observed so far (indexes `nested_ordinals`).
+    pub(crate) mispredicts_seen: u64,
+    /// An interrupt is pending delivery at the next boundary.
+    pub(crate) pending_interrupt: bool,
+    /// The next load to issue takes a forced fault.
+    pub(crate) armed_load_fault: bool,
+    /// The next store to issue takes a forced fault.
+    pub(crate) armed_store_fault: bool,
+    /// The next conditional-branch prediction is inverted at fetch.
+    pub(crate) armed_flip: bool,
+    pub(crate) stats: InjectStats,
+}
+
+impl InjectState {
+    pub(crate) fn new(schedule: InjectSchedule) -> Self {
+        InjectState {
+            events: schedule.events,
+            nested_ordinals: schedule.interrupts_on_mispredict,
+            ..InjectState::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_sorted() {
+        for seed in 0..50u64 {
+            let a = InjectSchedule::seeded(seed, 20_000);
+            let b = InjectSchedule::seeded(seed, 20_000);
+            assert_eq!(a, b);
+            assert!(a.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+            assert!(!a.events.is_empty(), "at least one interrupt per seed");
+            assert!(a.events.iter().all(|e| e.cycle >= 100));
+            assert!(a.events.iter().all(|e| e.cycle < 20_000));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(
+            InjectSchedule::seeded(1, 10_000),
+            InjectSchedule::seeded(2, 10_000)
+        );
+    }
+
+    #[test]
+    fn tiny_horizon_is_clamped() {
+        let s = InjectSchedule::seeded(9, 0);
+        assert!(s.events.iter().all(|e| e.cycle < 1_000));
+    }
+
+    #[test]
+    fn nested_ordinals_sorted_dedup() {
+        for seed in 0..50u64 {
+            let s = InjectSchedule::seeded(seed, 5_000);
+            let o = &s.interrupts_on_mispredict;
+            assert!(o.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -51,6 +51,7 @@
 mod bpred;
 mod config;
 mod fu;
+mod inject;
 mod lsq;
 mod pipeline;
 mod report;
@@ -60,8 +61,9 @@ mod wheel;
 pub use bpred::{BranchPredictor, BranchPredictorConfig};
 pub use config::{FuConfig, SimConfig};
 pub use fu::FuPool;
-pub use lsq::{LoadStoreQueue, StoreSearch};
-pub use pipeline::{Pipeline, SimError, TraceEvent, TraceStage};
+pub use inject::{InjectEvent, InjectKind, InjectSchedule, InjectStats};
+pub use lsq::{LoadStoreQueue, LsqError, StoreSearch};
+pub use pipeline::{HeadSnapshot, Pipeline, PipelineSnapshot, SimError, TraceEvent, TraceStage};
 pub use report::SimReport;
 pub use scoreboard::Scoreboard;
 pub use wheel::CompletionWheel;

@@ -10,6 +10,26 @@ struct StoreEntry {
     value: Option<u64>,
 }
 
+/// Malformed load/store-queue state detected on the issue or commit path:
+/// which micro-op was involved and what was wrong with the queue entry.
+/// The pipeline wraps this into `SimError::Lsq` together with a pipeline
+/// snapshot, so injection campaigns report instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsqError {
+    /// Sequence number of the offending micro-op.
+    pub seq: u64,
+    /// What the queue expected and what it found.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LsqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lsq entry seq {}: {}", self.seq, self.detail)
+    }
+}
+
+impl std::error::Error for LsqError {}
+
 /// What a load finds when it searches the store queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreSearch {
@@ -41,9 +61,9 @@ pub enum StoreSearch {
 ///
 /// let mut lsq = LoadStoreQueue::new(8, 8);
 /// lsq.dispatch_store(0);
-/// lsq.resolve_store(0, 0x100, 8, 42);
-/// assert_eq!(lsq.search(2, 0x100, 8), StoreSearch::Forward(42));
-/// assert_eq!(lsq.search(2, 0x200, 8), StoreSearch::Memory);
+/// lsq.resolve_store(0, 0x100, 8, 42).unwrap();
+/// assert_eq!(lsq.search(2, 0x100, 8), Ok(StoreSearch::Forward(42)));
+/// assert_eq!(lsq.search(2, 0x200, 8), Ok(StoreSearch::Memory));
 /// ```
 #[derive(Debug, Clone)]
 pub struct LoadStoreQueue {
@@ -88,20 +108,25 @@ impl LoadStoreQueue {
         self.loads.push_back(seq);
     }
 
-    /// Records a store's address and data after it executes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store is not in the queue.
-    pub fn resolve_store(&mut self, seq: u64, addr: u64, width: u8, value: u64) {
-        let e = self
-            .stores
-            .iter_mut()
-            .find(|e| e.seq == seq)
-            .expect("resolving a store that is not in the queue");
+    /// Records a store's address and data after it executes. Errors if
+    /// the store is not in the queue.
+    pub fn resolve_store(
+        &mut self,
+        seq: u64,
+        addr: u64,
+        width: u8,
+        value: u64,
+    ) -> Result<(), LsqError> {
+        let Some(e) = self.stores.iter_mut().find(|e| e.seq == seq) else {
+            return Err(LsqError {
+                seq,
+                detail: "resolving a store that is not in the queue".into(),
+            });
+        };
         e.addr = Some(addr);
         e.width = width;
         e.value = Some(value);
+        Ok(())
     }
 
     /// True when every store older than `seq` has a resolved address —
@@ -114,59 +139,85 @@ impl LoadStoreQueue {
     }
 
     /// Searches older stores for one supplying (or blocking) a load of
-    /// `width` bytes at `addr`.
-    pub fn search(&self, seq: u64, addr: u64, width: u8) -> StoreSearch {
+    /// `width` bytes at `addr`. Errors on a resolved store entry with no
+    /// data (malformed forwarding state).
+    pub fn search(&self, seq: u64, addr: u64, width: u8) -> Result<StoreSearch, LsqError> {
         // Youngest older store wins.
         for e in self.stores.iter().rev() {
             if e.seq >= seq {
                 continue;
             }
             let Some(saddr) = e.addr else {
-                return StoreSearch::Conflict { store_seq: e.seq };
+                return Ok(StoreSearch::Conflict { store_seq: e.seq });
             };
             if !ranges_overlap(addr, width, saddr, e.width) {
                 continue;
             }
             if saddr == addr && e.width >= width {
-                let bits = e.value.expect("resolved store always has data");
+                let Some(bits) = e.value else {
+                    return Err(LsqError {
+                        seq: e.seq,
+                        detail: format!(
+                            "store resolved to {saddr:#x}/{} has no data to forward",
+                            e.width
+                        ),
+                    });
+                };
                 let masked = if width == 8 {
                     bits
                 } else {
                     bits & ((1u64 << (width * 8)) - 1)
                 };
-                return StoreSearch::Forward(masked);
+                return Ok(StoreSearch::Forward(masked));
             }
-            return StoreSearch::Conflict { store_seq: e.seq };
+            return Ok(StoreSearch::Conflict { store_seq: e.seq });
         }
-        StoreSearch::Memory
+        Ok(StoreSearch::Memory)
     }
 
     /// Removes a committed store from the queue, returning its
-    /// address/width/value for the memory write.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is not the oldest store or is unresolved.
-    pub fn commit_store(&mut self, seq: u64) -> (u64, u8, u64) {
-        let e = self
-            .stores
-            .pop_front()
-            .expect("committing store from an empty queue");
-        assert_eq!(e.seq, seq, "stores must commit in order");
-        (
-            e.addr.expect("committed store must be resolved"),
-            e.width,
-            e.value.expect("committed store must have data"),
-        )
+    /// address/width/value for the memory write. Errors if `seq` is not
+    /// the oldest store or the entry is unresolved.
+    pub fn commit_store(&mut self, seq: u64) -> Result<(u64, u8, u64), LsqError> {
+        let Some(e) = self.stores.pop_front() else {
+            return Err(LsqError {
+                seq,
+                detail: "committing store from an empty queue".into(),
+            });
+        };
+        if e.seq != seq {
+            return Err(LsqError {
+                seq,
+                detail: format!("stores must commit in order (queue head is seq {})", e.seq),
+            });
+        }
+        let (Some(addr), Some(value)) = (e.addr, e.value) else {
+            return Err(LsqError {
+                seq,
+                detail: format!(
+                    "committing unresolved store (addr {:?}, value {:?})",
+                    e.addr, e.value
+                ),
+            });
+        };
+        Ok((addr, e.width, value))
     }
 
-    /// Removes a committed load.
-    pub fn commit_load(&mut self, seq: u64) {
-        let head = self
-            .loads
-            .pop_front()
-            .expect("committing load from an empty queue");
-        assert_eq!(head, seq, "loads must commit in order");
+    /// Removes a committed load. Errors if `seq` is not the oldest load.
+    pub fn commit_load(&mut self, seq: u64) -> Result<(), LsqError> {
+        let Some(head) = self.loads.pop_front() else {
+            return Err(LsqError {
+                seq,
+                detail: "committing load from an empty queue".into(),
+            });
+        };
+        if head != seq {
+            return Err(LsqError {
+                seq,
+                detail: format!("loads must commit in order (queue head is seq {head})"),
+            });
+        }
+        Ok(())
     }
 
     /// Drops every entry younger than `seq` (mis-speculation squash).
@@ -198,12 +249,16 @@ mod tests {
     fn forwarding_masks_to_load_width() {
         let mut lsq = LoadStoreQueue::new(4, 4);
         lsq.dispatch_store(0);
-        lsq.resolve_store(0, 0x10, 8, 0xAABB_CCDD_EEFF_1122);
-        assert_eq!(lsq.search(1, 0x10, 1), StoreSearch::Forward(0x22));
-        assert_eq!(lsq.search(1, 0x10, 4), StoreSearch::Forward(0xEEFF_1122));
+        lsq.resolve_store(0, 0x10, 8, 0xAABB_CCDD_EEFF_1122)
+            .unwrap();
+        assert_eq!(lsq.search(1, 0x10, 1), Ok(StoreSearch::Forward(0x22)));
+        assert_eq!(
+            lsq.search(1, 0x10, 4),
+            Ok(StoreSearch::Forward(0xEEFF_1122))
+        );
         assert_eq!(
             lsq.search(1, 0x10, 8),
-            StoreSearch::Forward(0xAABB_CCDD_EEFF_1122)
+            Ok(StoreSearch::Forward(0xAABB_CCDD_EEFF_1122))
         );
     }
 
@@ -214,26 +269,26 @@ mod tests {
         assert!(!lsq.older_stores_resolved(1));
         assert_eq!(
             lsq.search(1, 0x10, 8),
-            StoreSearch::Conflict { store_seq: 0 }
+            Ok(StoreSearch::Conflict { store_seq: 0 })
         );
-        lsq.resolve_store(0, 0x999, 8, 1);
+        lsq.resolve_store(0, 0x999, 8, 1).unwrap();
         assert!(lsq.older_stores_resolved(1));
-        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Memory);
+        assert_eq!(lsq.search(1, 0x10, 8), Ok(StoreSearch::Memory));
     }
 
     #[test]
     fn partial_overlap_conflicts() {
         let mut lsq = LoadStoreQueue::new(4, 4);
         lsq.dispatch_store(0);
-        lsq.resolve_store(0, 0x10, 4, 7); // narrower than the load
+        lsq.resolve_store(0, 0x10, 4, 7).unwrap(); // narrower than the load
         assert_eq!(
             lsq.search(1, 0x10, 8),
-            StoreSearch::Conflict { store_seq: 0 }
+            Ok(StoreSearch::Conflict { store_seq: 0 })
         );
         // Offset overlap.
         assert_eq!(
             lsq.search(1, 0x12, 8),
-            StoreSearch::Conflict { store_seq: 0 }
+            Ok(StoreSearch::Conflict { store_seq: 0 })
         );
     }
 
@@ -242,11 +297,11 @@ mod tests {
         let mut lsq = LoadStoreQueue::new(4, 4);
         lsq.dispatch_store(0);
         lsq.dispatch_store(1);
-        lsq.resolve_store(0, 0x10, 8, 111);
-        lsq.resolve_store(1, 0x10, 8, 222);
-        assert_eq!(lsq.search(2, 0x10, 8), StoreSearch::Forward(222));
+        lsq.resolve_store(0, 0x10, 8, 111).unwrap();
+        lsq.resolve_store(1, 0x10, 8, 222).unwrap();
+        assert_eq!(lsq.search(2, 0x10, 8), Ok(StoreSearch::Forward(222)));
         // A load older than store 1 sees store 0.
-        assert_eq!(lsq.search(1, 0x10, 8), StoreSearch::Forward(111));
+        assert_eq!(lsq.search(1, 0x10, 8), Ok(StoreSearch::Forward(111)));
     }
 
     #[test]
@@ -254,11 +309,35 @@ mod tests {
         let mut lsq = LoadStoreQueue::new(4, 4);
         lsq.dispatch_store(0);
         lsq.dispatch_load(1);
-        lsq.resolve_store(0, 8, 8, 5);
-        assert_eq!(lsq.commit_store(0), (8, 8, 5));
-        lsq.commit_load(1);
+        lsq.resolve_store(0, 8, 8, 5).unwrap();
+        assert_eq!(lsq.commit_store(0).unwrap(), (8, 8, 5));
+        lsq.commit_load(1).unwrap();
         assert_eq!(lsq.stores_len(), 0);
         assert_eq!(lsq.loads_len(), 0);
+    }
+
+    #[test]
+    fn malformed_states_error_with_offending_entry() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        // Resolving an absent store.
+        let e = lsq.resolve_store(7, 0x10, 8, 1).unwrap_err();
+        assert_eq!(e.seq, 7);
+        assert!(e.to_string().contains("not in the queue"));
+        // Committing from empty queues.
+        assert!(lsq.commit_store(0).unwrap_err().detail.contains("empty"));
+        assert!(lsq.commit_load(0).unwrap_err().detail.contains("empty"));
+        // Out-of-order commits.
+        lsq.dispatch_store(2);
+        lsq.dispatch_load(3);
+        lsq.resolve_store(2, 0x20, 8, 9).unwrap();
+        assert!(lsq.commit_store(5).unwrap_err().detail.contains("in order"));
+        assert!(lsq.commit_load(5).unwrap_err().detail.contains("in order"));
+        // Committing an unresolved store.
+        let mut lsq2 = LoadStoreQueue::new(4, 4);
+        lsq2.dispatch_store(0);
+        let e = lsq2.commit_store(0).unwrap_err();
+        assert_eq!(e.seq, 0);
+        assert!(e.detail.contains("unresolved"));
     }
 
     #[test]

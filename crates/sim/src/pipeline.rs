@@ -2,8 +2,10 @@
 //! writeback → commit, with full mis-speculation recovery.
 
 use crate::bpred::{BranchPredictor, Prediction};
+use crate::inject::{InjectKind, InjectSchedule, InjectState, InjectStats};
 use crate::{
-    CompletionWheel, FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport, StoreSearch,
+    CompletionWheel, FuPool, LoadStoreQueue, LsqError, Scoreboard, SimConfig, SimReport,
+    StoreSearch,
 };
 use regshare_core::{RegFile, Renamer, TaggedReg, UopKind};
 use regshare_isa::exec::{self, Action};
@@ -14,7 +16,9 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::time::Instant;
 
-/// Errors a simulation can end with.
+/// Errors a simulation can end with. Every variant that arises from a
+/// live pipeline carries a [`PipelineSnapshot`] taken at the failure, so
+/// a bare `Display` of the error is already a usable diagnostic dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The lockstep functional oracle disagreed with a committed
@@ -24,6 +28,8 @@ pub enum SimError {
         cycle: u64,
         /// What went wrong.
         detail: String,
+        /// Pipeline state at the divergence.
+        snapshot: Box<PipelineSnapshot>,
     },
     /// `max_cycles` elapsed before the program finished.
     CycleLimit {
@@ -36,20 +42,70 @@ pub enum SimError {
         cycle: u64,
         /// Sequence number stuck at the head of the ROB.
         head_seq: Option<u64>,
+        /// Pipeline state at the stall, including the stuck head's
+        /// operand-readiness — the forward-progress watchdog's dump.
+        snapshot: Box<PipelineSnapshot>,
+    },
+    /// An invariant audit found corrupted bookkeeping (renamer free
+    /// list / PRT / map table, or pipeline IQ/ROB/wakeup state).
+    Invariant {
+        /// Cycle of the failed audit.
+        cycle: u64,
+        /// Which invariant was violated.
+        what: String,
+        /// Pipeline state at the violation.
+        snapshot: Box<PipelineSnapshot>,
+    },
+    /// The load/store queue rejected an operation as malformed.
+    Lsq {
+        /// Cycle of the rejected operation.
+        cycle: u64,
+        /// The queue's own description of the problem.
+        error: LsqError,
+        /// Pipeline state at the failure.
+        snapshot: Box<PipelineSnapshot>,
     },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OracleMismatch { cycle, detail } => {
-                write!(f, "oracle mismatch at cycle {cycle}: {detail}")
+            SimError::OracleMismatch {
+                cycle,
+                detail,
+                snapshot,
+            } => {
+                write!(f, "oracle mismatch at cycle {cycle}: {detail}\n{snapshot}")
             }
             SimError::CycleLimit { cycles } => write!(f, "cycle limit of {cycles} reached"),
-            SimError::Deadlock { cycle, head_seq } => {
+            SimError::Deadlock {
+                cycle,
+                head_seq,
+                snapshot,
+            } => {
                 write!(
                     f,
-                    "no commit progress by cycle {cycle} (head seq {head_seq:?})"
+                    "no commit progress by cycle {cycle} (head seq {head_seq:?})\n{snapshot}"
+                )
+            }
+            SimError::Invariant {
+                cycle,
+                what,
+                snapshot,
+            } => {
+                write!(
+                    f,
+                    "invariant violation at cycle {cycle}: {what}\n{snapshot}"
+                )
+            }
+            SimError::Lsq {
+                cycle,
+                error,
+                snapshot,
+            } => {
+                write!(
+                    f,
+                    "load/store queue error at cycle {cycle}: {error}\n{snapshot}"
                 )
             }
         }
@@ -57,6 +113,116 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// A point-in-time summary of pipeline state, attached to every
+/// structured [`SimError`] and printable on its own. Queue depths plus a
+/// detailed view of the ROB head — the micro-op whose stall or
+/// misbehaviour usually explains the failure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// Cycle the snapshot was taken on.
+    pub cycle: u64,
+    /// Last cycle any micro-op committed.
+    pub last_commit_cycle: u64,
+    /// Next fetch PC (`None`: fetch is waiting for a redirect).
+    pub fetch_pc: Option<u64>,
+    /// Cycle until which fetch is stalled (redirect/exception penalty).
+    pub fetch_stall_until: u64,
+    /// Fetch-queue depth.
+    pub fetch_queue: usize,
+    /// Decode-queue depth.
+    pub decode_queue: usize,
+    /// Reorder-buffer occupancy.
+    pub rob: usize,
+    /// Issue-queue occupancy (ready + waiting).
+    pub iq: usize,
+    /// Operand-ready, unissued micro-ops.
+    pub ready: usize,
+    /// In-flight unresolved branches.
+    pub unresolved_branches: usize,
+    /// Load-queue occupancy.
+    pub lsq_loads: usize,
+    /// Store-queue occupancy.
+    pub lsq_stores: usize,
+    /// Free integer physical registers.
+    pub free_int: usize,
+    /// Free floating-point physical registers.
+    pub free_fp: usize,
+    /// The oldest in-flight micro-op, if any.
+    pub head: Option<HeadSnapshot>,
+}
+
+/// The ROB head's state inside a [`PipelineSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeadSnapshot {
+    /// Sequence number.
+    pub seq: u64,
+    /// Instruction index.
+    pub pc: u64,
+    /// Disassembly of the instruction.
+    pub inst: String,
+    /// Micro-op kind (`Main` / `RepairMove`).
+    pub kind: String,
+    /// Selected for execution.
+    pub issued: bool,
+    /// Result written back.
+    pub done: bool,
+    /// Busy source operands still being waited on.
+    pub pending_srcs: u8,
+    /// Present in the ready queue.
+    pub in_ready_q: bool,
+    /// Parked in a scoreboard waiter list.
+    pub has_waiter: bool,
+    /// Per-source scoreboard readiness.
+    pub srcs_ready: Vec<bool>,
+    /// Marked for a precise exception at commit.
+    pub exception: bool,
+}
+
+impl fmt::Display for PipelineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline snapshot at cycle {} (last commit at cycle {}):",
+            self.cycle, self.last_commit_cycle
+        )?;
+        writeln!(
+            f,
+            "  fetch pc {:?}, stalled until {}, fetchq {}, decodeq {}",
+            self.fetch_pc, self.fetch_stall_until, self.fetch_queue, self.decode_queue
+        )?;
+        writeln!(
+            f,
+            "  rob {}, iq {} ({} ready), unresolved branches {}, lsq {} loads / {} stores",
+            self.rob,
+            self.iq,
+            self.ready,
+            self.unresolved_branches,
+            self.lsq_loads,
+            self.lsq_stores
+        )?;
+        write!(f, "  free regs: {} int, {} fp", self.free_int, self.free_fp)?;
+        if let Some(h) = &self.head {
+            write!(
+                f,
+                "\n  head: seq {} pc {} `{}` [{}] issued={} done={} pending_srcs={} \
+                 in_ready_q={} has_waiter={} srcs_ready={:?} exception={}",
+                h.seq,
+                h.pc,
+                h.inst,
+                h.kind,
+                h.issued,
+                h.done,
+                h.pending_srcs,
+                h.in_ready_q,
+                h.has_waiter,
+                h.srcs_ready,
+                h.exception
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// One pipeline-stage event from the optional cycle trace
 /// ([`SimConfig::trace`]).
@@ -210,6 +376,13 @@ pub struct Pipeline {
     cycle: u64,
     completions: CompletionWheel,
     oracle: Option<Machine>,
+    /// Armed fault-injection schedule, if any ([`Pipeline::set_inject`]).
+    inject: Option<InjectState>,
+    /// A recovery happened this cycle: run the full architectural diff
+    /// against the oracle at the end of the recovery before resuming.
+    pending_verify: bool,
+    /// Invariant audits performed ([`SimConfig::audit_interval`]).
+    audits: u64,
     halted: bool,
     committed_instructions: u64,
     committed_uops: u64,
@@ -274,6 +447,9 @@ impl Pipeline {
             cycle: 0,
             completions: CompletionWheel::new(),
             oracle,
+            inject: None,
+            pending_verify: false,
+            audits: 0,
             halted: false,
             committed_instructions: 0,
             committed_uops: 0,
@@ -329,11 +505,6 @@ impl Pipeline {
         self.rob.get(idx)
     }
 
-    fn rob_entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        let idx = self.rob_index(seq)?;
-        self.rob.get_mut(idx)
-    }
-
     fn read_operands(&self, srcs: &[Option<TaggedReg>; 3]) -> [u64; 3] {
         let mut ops = [0u64; 3];
         for (slot, tag) in ops.iter_mut().zip(srcs.iter()) {
@@ -342,6 +513,355 @@ impl Pipeline {
             }
         }
         ops
+    }
+
+    // ---- diagnostics / fault injection ----
+
+    /// Captures the current pipeline state for a diagnostic dump.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        let free = |class: RegClass| {
+            let in_use: usize = self.renamer.in_use_per_bank(class).into_iter().sum();
+            self.renamer.banks(class).total().saturating_sub(in_use)
+        };
+        let head = self.rob.front().map(|e| HeadSnapshot {
+            seq: e.seq,
+            pc: e.pc,
+            inst: e.inst.to_string(),
+            kind: format!("{:?}", e.kind),
+            issued: e.issued,
+            done: e.done,
+            pending_srcs: e.pending_srcs,
+            in_ready_q: self.ready_q.contains(e.seq),
+            has_waiter: self.scoreboard.has_waiter(e.seq),
+            srcs_ready: e
+                .srcs
+                .iter()
+                .flatten()
+                .map(|t| self.scoreboard.is_ready(*t))
+                .collect(),
+            exception: e.exception,
+        });
+        PipelineSnapshot {
+            cycle: self.cycle,
+            last_commit_cycle: self.last_commit_cycle,
+            fetch_pc: self.fetch_pc,
+            fetch_stall_until: self.fetch_stall_until,
+            fetch_queue: self.fetch_queue.len(),
+            decode_queue: self.decode_queue.len(),
+            rob: self.rob.len(),
+            iq: self.iq_len,
+            ready: self.ready_q.as_slice().len(),
+            unresolved_branches: self.unresolved_branches.as_slice().len(),
+            lsq_loads: self.lsq.loads_len(),
+            lsq_stores: self.lsq.stores_len(),
+            free_int: free(RegClass::Int),
+            free_fp: free(RegClass::Fp),
+            head,
+        }
+    }
+
+    fn corrupt_err(&self, what: impl Into<String>) -> SimError {
+        SimError::Invariant {
+            cycle: self.cycle,
+            what: what.into(),
+            snapshot: Box::new(self.snapshot()),
+        }
+    }
+
+    fn lsq_err(&self, error: LsqError) -> SimError {
+        SimError::Lsq {
+            cycle: self.cycle,
+            error,
+            snapshot: Box::new(self.snapshot()),
+        }
+    }
+
+    /// Arms a deterministic fault-injection schedule. Events fire at the
+    /// first opportunity at or after their scheduled cycle; all are
+    /// architecturally transparent, so a lockstep oracle must still see a
+    /// divergence-free run.
+    pub fn set_inject(&mut self, schedule: InjectSchedule) {
+        self.inject = Some(InjectState::new(schedule));
+    }
+
+    /// Counts of injected events actually delivered so far.
+    pub fn inject_stats(&self) -> InjectStats {
+        self.inject.as_ref().map(|i| i.stats).unwrap_or_default()
+    }
+
+    /// Number of invariant audits performed so far.
+    pub fn audits(&self) -> u64 {
+        self.audits
+    }
+
+    /// Translates due schedule entries into armed one-shot flags and
+    /// executes squash storms on the spot.
+    fn poll_injections(&mut self) {
+        let mut storms: Vec<u8> = Vec::new();
+        {
+            let Some(inj) = &mut self.inject else { return };
+            while let Some(e) = inj.events.get(inj.next) {
+                if e.cycle > self.cycle {
+                    break;
+                }
+                inj.next += 1;
+                match e.kind {
+                    InjectKind::Interrupt => inj.pending_interrupt = true,
+                    InjectKind::LoadFault => inj.armed_load_fault = true,
+                    InjectKind::StoreFault => inj.armed_store_fault = true,
+                    InjectKind::BranchFlip => inj.armed_flip = true,
+                    InjectKind::SquashStorm => storms.push(e.pick),
+                }
+            }
+        }
+        for pick in storms {
+            self.squash_storm(pick);
+        }
+    }
+
+    /// Squashes everything younger than a completed in-flight micro-op,
+    /// exactly as a resolving branch would, and refetches from its
+    /// successor. Candidates are restricted to done, exception-free
+    /// `Main` micro-ops so the cut point's `next_pc` is an
+    /// architecturally valid resume address.
+    fn squash_storm(&mut self, pick: u8) {
+        let candidates: Vec<(u64, u64)> = self
+            .rob
+            .iter()
+            .filter(|e| {
+                e.kind == UopKind::Main && e.done && !e.exception && e.inst.opcode != Opcode::Halt
+            })
+            .map(|e| (e.seq, e.next_pc))
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let (seq, next_pc) = candidates[pick as usize % candidates.len()];
+        let extra = self.squash_younger_than(seq);
+        self.fetch_pc = Some(next_pc);
+        self.fetch_stall_until = self
+            .fetch_stall_until
+            .max(self.cycle + self.config.mispredict_penalty as u64 + extra as u64);
+        self.pending_verify = true;
+        if let Some(inj) = &mut self.inject {
+            inj.stats.squash_storms += 1;
+        }
+    }
+
+    /// Delivers a pending asynchronous interrupt: flush the entire
+    /// speculative window and refetch from the oldest unretired
+    /// instruction. Runs after writeback so an interrupt armed by a
+    /// misprediction (`interrupts_on_mispredict`) lands in the same cycle
+    /// as the branch's own squash — nested recovery.
+    fn deliver_pending_interrupt(&mut self) {
+        if !self.inject.as_ref().is_some_and(|i| i.pending_interrupt) {
+            return;
+        }
+        if let Some(inj) = &mut self.inject {
+            inj.pending_interrupt = false;
+        }
+        // The precise resume point: the oldest in-flight instruction,
+        // wherever it is in the pipe, else wherever fetch would go next.
+        let resume = self
+            .rob
+            .front()
+            .map(|e| e.pc)
+            .or_else(|| self.decode_queue.front().map(|f| f.pc))
+            .or_else(|| self.fetch_queue.front().map(|f| f.pc))
+            .or(self.fetch_pc);
+        let Some(resume) = resume else {
+            return; // nothing in flight and nothing to fetch: no-op
+        };
+        let squash_seq = self
+            .rob
+            .front()
+            .map(|e| e.seq.saturating_sub(1))
+            .unwrap_or(self.next_seq);
+        let extra = self.squash_younger_than(squash_seq);
+        self.fetch_pc = Some(resume);
+        self.fetch_stall_until = self
+            .fetch_stall_until
+            .max(self.cycle + self.config.exception_penalty as u64 + extra as u64);
+        self.pending_verify = true;
+        if let Some(inj) = &mut self.inject {
+            inj.stats.interrupts += 1;
+        }
+    }
+
+    /// One-shot consumption of an armed forced load fault.
+    fn consume_armed_load_fault(&mut self) -> bool {
+        match &mut self.inject {
+            Some(inj) if inj.armed_load_fault => {
+                inj.armed_load_fault = false;
+                inj.stats.load_faults += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// One-shot consumption of an armed forced store fault.
+    fn consume_armed_store_fault(&mut self) -> bool {
+        match &mut self.inject {
+            Some(inj) if inj.armed_store_fault => {
+                inj.armed_store_fault = false;
+                inj.stats.store_faults += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// If a recovery completed this cycle, diff the full architectural
+    /// state (every register through the retirement map, plus memory)
+    /// against the lockstep oracle. No-op without an oracle.
+    fn check_recovery_boundary(&mut self) -> Result<(), SimError> {
+        if !self.pending_verify {
+            return Ok(());
+        }
+        self.pending_verify = false;
+        self.verify_arch_state()
+    }
+
+    fn verify_arch_state(&self) -> Result<(), SimError> {
+        let Some(oracle) = &self.oracle else {
+            return Ok(());
+        };
+        if let Some(map) = self.renamer.arch_map() {
+            for class in [RegClass::Int, RegClass::Fp] {
+                for (r, tag) in map.iter_class(class) {
+                    if r.is_zero() {
+                        continue;
+                    }
+                    let got = self.rf[tag.class.index()].read_version(tag.preg, tag.version);
+                    let want = oracle.reg_bits(r);
+                    if got != want {
+                        return Err(SimError::OracleMismatch {
+                            cycle: self.cycle,
+                            detail: format!(
+                                "architectural state diff: {r} (mapped to {tag}) \
+                                 is {got:#x}, oracle has {want:#x}"
+                            ),
+                            snapshot: Box::new(self.snapshot()),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some((addr, got, want)) = self.memory.first_difference(oracle.memory()) {
+            return Err(SimError::OracleMismatch {
+                cycle: self.cycle,
+                detail: format!("memory diff: byte {addr:#x} is {got:#x}, oracle has {want:#x}"),
+                snapshot: Box::new(self.snapshot()),
+            });
+        }
+        Ok(())
+    }
+
+    // ---- invariant audits ----
+
+    /// Every [`SimConfig::audit_interval`] cycles, cross-check the
+    /// renamer's bookkeeping (free list / PRT / map tables) and the
+    /// pipeline's IQ/ROB/wakeup state against their invariants.
+    fn audit_if_due(&mut self) -> Result<(), SimError> {
+        let n = self.config.audit_interval;
+        if n == 0 || self.cycle == 0 || !self.cycle.is_multiple_of(n) {
+            return Ok(());
+        }
+        self.audits += 1;
+        if let Err(what) = self.renamer.audit() {
+            return Err(self.corrupt_err(format!("renamer audit: {what}")));
+        }
+        self.audit_pipeline()
+    }
+
+    fn audit_pipeline(&self) -> Result<(), SimError> {
+        let max_version = self.renamer.max_version();
+        let mut unissued = 0usize;
+        let mut prev_seq = None;
+        for e in &self.rob {
+            if let Some(p) = prev_seq {
+                if e.seq <= p {
+                    return Err(
+                        self.corrupt_err(format!("ROB order: seq {} follows seq {p}", e.seq))
+                    );
+                }
+            }
+            prev_seq = Some(e.seq);
+            let busy = e
+                .srcs
+                .iter()
+                .flatten()
+                .filter(|t| !self.scoreboard.is_ready(**t))
+                .count() as u8;
+            if !e.issued {
+                unissued += 1;
+                if e.pending_srcs != busy {
+                    return Err(self.corrupt_err(format!(
+                        "seq {}: pending_srcs {} but {busy} busy source operand(s)",
+                        e.seq, e.pending_srcs
+                    )));
+                }
+                if (e.pending_srcs == 0) != self.ready_q.contains(e.seq) {
+                    return Err(self.corrupt_err(format!(
+                        "seq {}: ready-queue membership ({}) disagrees with pending_srcs {}",
+                        e.seq,
+                        self.ready_q.contains(e.seq),
+                        e.pending_srcs
+                    )));
+                }
+            } else if e.pending_srcs != 0 {
+                return Err(self.corrupt_err(format!(
+                    "seq {} issued with pending_srcs {}",
+                    e.seq, e.pending_srcs
+                )));
+            }
+            if e.done {
+                for tag in [e.dst, e.dst2].into_iter().flatten() {
+                    if !self.scoreboard.is_ready(tag) {
+                        return Err(self.corrupt_err(format!(
+                            "seq {} done but destination {tag} is still busy",
+                            e.seq
+                        )));
+                    }
+                }
+            }
+            for tag in e.srcs.iter().chain([e.dst, e.dst2].iter()).flatten() {
+                if tag.version > max_version {
+                    return Err(self.corrupt_err(format!(
+                        "seq {}: tag {tag} version exceeds the counter maximum {max_version}",
+                        e.seq
+                    )));
+                }
+                let cells = self.renamer.banks(tag.class).shadow_cells_of(tag.preg);
+                if tag.version > 0 && tag.version > cells {
+                    return Err(self.corrupt_err(format!(
+                        "seq {}: tag {tag} version has no backing shadow cell ({cells} available)",
+                        e.seq
+                    )));
+                }
+            }
+        }
+        if unissued != self.iq_len {
+            return Err(self.corrupt_err(format!(
+                "issue-queue occupancy {} but {unissued} unissued ROB entries",
+                self.iq_len
+            )));
+        }
+        for &seq in self.ready_q.as_slice() {
+            match self.rob_entry(seq) {
+                None => {
+                    return Err(self.corrupt_err(format!(
+                        "ready queue holds seq {seq} which is not in the ROB"
+                    )));
+                }
+                Some(e) if e.issued => {
+                    return Err(self.corrupt_err(format!("ready queue holds issued seq {seq}")));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
     }
 
     // ---- commit ----
@@ -357,22 +877,35 @@ impl Pipeline {
                 self.take_exception(seq, pc, ea);
                 break;
             }
-            let head = self.rob.pop_front().expect("head checked above");
+            let Some(head) = self.rob.pop_front() else {
+                break;
+            };
             if head.kind == UopKind::Main && head.inst.opcode.is_store() {
-                let (addr, width, value) = self.lsq.commit_store(head.seq);
+                let (addr, width, value) = match self.lsq.commit_store(head.seq) {
+                    Ok(committed) => committed,
+                    Err(e) => return Err(self.lsq_err(e)),
+                };
                 self.memory.write(addr, value, width);
                 self.mem_timing
                     .access_data(head.pc * 4, addr, true, self.cycle);
             }
             if head.kind == UopKind::Main && head.inst.opcode.is_load() {
-                self.lsq.commit_load(head.seq);
+                if let Err(e) = self.lsq.commit_load(head.seq) {
+                    return Err(self.lsq_err(e));
+                }
             }
             self.renamer.commit(head.seq);
             self.trace_event(head.seq, head.pc, TraceStage::Commit);
             self.committed_uops += 1;
             if head.kind == UopKind::Main {
                 self.committed_instructions += 1;
-                self.check_oracle(&head)?;
+                if let Err(detail) = self.check_oracle(&head) {
+                    return Err(SimError::OracleMismatch {
+                        cycle: self.cycle,
+                        detail,
+                        snapshot: Box::new(self.snapshot()),
+                    });
+                }
             }
             self.last_commit_cycle = self.cycle;
             if head.inst.opcode == Opcode::Halt && head.kind == UopKind::Main {
@@ -383,28 +916,22 @@ impl Pipeline {
         Ok(())
     }
 
-    fn check_oracle(&mut self, head: &RobEntry) -> Result<(), SimError> {
+    // Returns the divergence detail only; the caller wraps it into
+    // `SimError::OracleMismatch` with a snapshot (the oracle is borrowed
+    // mutably here, so the snapshot must be taken outside).
+    fn check_oracle(&mut self, head: &RobEntry) -> Result<(), String> {
         let Some(oracle) = &mut self.oracle else {
             return Ok(());
         };
         let expected = oracle
             .step()
-            .map_err(|e| SimError::OracleMismatch {
-                cycle: self.cycle,
-                detail: format!("oracle failed at sim pc {}: {e}", head.pc),
-            })?
-            .ok_or_else(|| SimError::OracleMismatch {
-                cycle: self.cycle,
-                detail: format!("sim committed pc {} after oracle halted", head.pc),
-            })?;
+            .map_err(|e| format!("oracle failed at sim pc {}: {e}", head.pc))?
+            .ok_or_else(|| format!("sim committed pc {} after oracle halted", head.pc))?;
         let mismatch = |what: &str, exp: String, got: String| {
-            Err(SimError::OracleMismatch {
-                cycle: self.cycle,
-                detail: format!(
-                    "{what} differs at pc {} ({}): oracle {exp}, sim {got}",
-                    head.pc, head.inst
-                ),
-            })
+            Err(format!(
+                "{what} differs at pc {} ({}): oracle {exp}, sim {got}",
+                head.pc, head.inst
+            ))
         };
         if expected.pc != head.pc {
             return mismatch("pc", expected.pc.to_string(), head.pc.to_string());
@@ -442,7 +969,7 @@ impl Pipeline {
 
     fn squash_younger_than(&mut self, seq: u64) -> u32 {
         while matches!(self.rob.back(), Some(e) if e.seq > seq) {
-            let e = self.rob.pop_back().expect("back checked above");
+            let Some(e) = self.rob.pop_back() else { break };
             if !e.issued {
                 self.iq_len -= 1;
                 if e.pending_srcs == 0 {
@@ -478,6 +1005,7 @@ impl Pipeline {
         self.fetch_pc = Some(pc);
         self.fetch_stall_until = self.cycle + self.config.exception_penalty as u64 + extra as u64;
         self.exceptions += 1;
+        self.pending_verify = true;
     }
 
     // ---- writeback ----
@@ -485,30 +1013,44 @@ impl Pipeline {
     /// Sets `tag` ready and delivers the wakeup to every consumer parked
     /// on it: each broadcast decrements the consumer's not-ready counter,
     /// and a counter reaching zero moves the entry to the ready queue.
-    fn broadcast_ready(&mut self, tag: TaggedReg) {
+    fn broadcast_ready(&mut self, tag: TaggedReg) -> Result<(), SimError> {
         let mut woken = std::mem::take(&mut self.wake_scratch);
         self.scoreboard.set_ready(tag, &mut woken);
-        for seq in woken.drain(..) {
-            let e = self
-                .rob_entry_mut(seq)
-                .expect("waiters are drained on squash");
-            debug_assert!(
-                e.pending_srcs > 0,
-                "waking seq {seq} with no pending sources"
-            );
-            e.pending_srcs -= 1;
-            if e.pending_srcs == 0 {
-                self.ready_q.insert(seq);
+        for i in 0..woken.len() {
+            let seq = woken[i];
+            // Waiters are drained on squash, so a woken seq must be a
+            // live ROB entry still counting down busy sources.
+            let mut problem = None;
+            match self.rob_index(seq) {
+                Some(idx) => {
+                    let e = &mut self.rob[idx];
+                    if e.pending_srcs == 0 {
+                        problem = Some("woken with no pending source operands");
+                    } else {
+                        e.pending_srcs -= 1;
+                        if e.pending_srcs == 0 {
+                            self.ready_q.insert(seq);
+                        }
+                    }
+                }
+                None => problem = Some("a scoreboard waiter that is not in the ROB"),
+            }
+            if let Some(what) = problem {
+                woken.clear();
+                self.wake_scratch = woken;
+                return Err(self.corrupt_err(format!("wakeup on {tag}: seq {seq} is {what}")));
             }
         }
+        woken.clear();
         self.wake_scratch = woken;
+        Ok(())
     }
 
-    fn writeback(&mut self) {
+    fn writeback(&mut self) -> Result<(), SimError> {
         let mut seqs = self.completions.take(self.cycle);
         if seqs.is_empty() {
             self.completions.recycle(seqs);
-            return;
+            return Ok(());
         }
         // Out-of-order issue can schedule completions for one cycle in
         // any order; broadcast oldest-first like real wakeup ports.
@@ -539,25 +1081,35 @@ impl Pipeline {
                 self.trace_event(seq, pc, TraceStage::Writeback);
             }
             if let Some(tag) = dst {
-                let bits = result.expect("a register-writing micro-op must produce a value");
+                let Some(bits) = result else {
+                    return Err(
+                        self.corrupt_err(format!("seq {seq} writes {tag} but produced no value"))
+                    );
+                };
                 self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
-                self.broadcast_ready(tag);
+                self.broadcast_ready(tag)?;
             }
             if let Some(tag) = dst2 {
-                let bits = result2.expect("a post-increment micro-op must produce a writeback");
+                let Some(bits) = result2 else {
+                    return Err(self.corrupt_err(format!(
+                        "seq {seq} writes back {tag} but produced no value"
+                    )));
+                };
                 self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
-                self.broadcast_ready(tag);
+                self.broadcast_ready(tag)?;
             }
             // Resolve branches.
             let e = &self.rob[idx];
             if e.kind == UopKind::Main && e.inst.opcode.is_branch() {
-                let (pc, inst, taken, next_pc, pred) = (
-                    e.pc,
-                    e.inst,
-                    e.taken.expect("resolved branch has an outcome"),
-                    e.next_pc,
-                    e.pred.expect("fetched branch carries a prediction"),
-                );
+                let (pc, inst, next_pc) = (e.pc, e.inst, e.next_pc);
+                let (taken, pred) = match (e.taken, e.pred) {
+                    (Some(t), Some(p)) => (t, p),
+                    _ => {
+                        return Err(self.corrupt_err(format!(
+                            "resolved branch seq {seq} is missing its outcome or prediction"
+                        )));
+                    }
+                };
                 let target = next_pc;
                 self.bpred.update(pc, &inst, taken, target, pred);
                 let mispredicted = pred.taken != taken || (taken && pred.target != target);
@@ -568,17 +1120,30 @@ impl Pipeline {
                     self.fetch_stall_until = self
                         .fetch_stall_until
                         .max(self.cycle + self.config.mispredict_penalty as u64 + extra as u64);
+                    self.pending_verify = true;
+                    // Nested-recovery injection: an interrupt scheduled
+                    // on this misprediction ordinal is delivered later
+                    // this same cycle, mid-recovery.
+                    if let Some(inj) = &mut self.inject {
+                        let ordinal = inj.mispredicts_seen;
+                        inj.mispredicts_seen += 1;
+                        if inj.nested_ordinals.binary_search(&ordinal).is_ok() {
+                            inj.pending_interrupt = true;
+                            inj.stats.nested_interrupts += 1;
+                        }
+                    }
                 }
             }
         }
         self.completions.recycle(seqs);
+        Ok(())
     }
 
     // ---- issue / execute ----
 
-    fn issue(&mut self) {
+    fn issue(&mut self) -> Result<(), SimError> {
         if self.ready_q.is_empty() {
-            return;
+            return Ok(());
         }
         let mut issued: Vec<u64> = Vec::new();
         // Select in sequence order — the same oldest-first policy the
@@ -618,7 +1183,10 @@ impl Pipeline {
                     else {
                         continue;
                     };
-                    let src = srcs[0].expect("repair moves have one source");
+                    let Some(src) = srcs[0] else {
+                        return Err(self
+                            .corrupt_err(format!("repair move seq {seq} has no source operand")));
+                    };
                     let expensive = self.rf[src.class.index()].needs_recover(src.preg, src.version);
                     let value = self.rf[src.class.index()].read_version(src.preg, src.version);
                     let total = if expensive {
@@ -645,9 +1213,17 @@ impl Pipeline {
                             width,
                             writeback,
                         } => (ea, width, Some(writeback)),
-                        other => unreachable!("loads evaluate to a load action, got {other:?}"),
+                        other => {
+                            return Err(self.corrupt_err(format!(
+                                "load seq {seq} evaluated to a non-load action {other:?}"
+                            )));
+                        }
                     };
-                    match self.lsq.search(seq, ea, width) {
+                    let found = match self.lsq.search(seq, ea, width) {
+                        Ok(found) => found,
+                        Err(e) => return Err(self.lsq_err(e)),
+                    };
+                    match found {
                         StoreSearch::Conflict { .. } => continue,
                         StoreSearch::Forward(bits) => {
                             if self
@@ -683,6 +1259,9 @@ impl Pipeline {
                                 }
                                 DataAccess::Fault => (2, 0, true),
                             };
+                            // A forced fault retries cleanly after the
+                            // precise flush (the armed flag is one-shot).
+                            let fault = fault || self.consume_armed_load_fault();
                             let e = &mut self.rob[idx];
                             e.result = Some(bits);
                             e.result2 = writeback;
@@ -708,10 +1287,17 @@ impl Pipeline {
                             value,
                             writeback,
                         } => (ea, width, value, Some(writeback)),
-                        other => unreachable!("stores evaluate to a store action, got {other:?}"),
+                        other => {
+                            return Err(self.corrupt_err(format!(
+                                "store seq {seq} evaluated to a non-store action {other:?}"
+                            )));
+                        }
                     };
-                    self.lsq.resolve_store(seq, ea, width, value);
-                    let fault = self.mem_timing.tlb().would_fault(ea);
+                    if let Err(e) = self.lsq.resolve_store(seq, ea, width, value) {
+                        return Err(self.lsq_err(e));
+                    }
+                    let forced = self.consume_armed_store_fault();
+                    let fault = self.mem_timing.tlb().would_fault(ea) || forced;
                     let e = &mut self.rob[idx];
                     e.ea = Some(ea);
                     e.result2 = writeback;
@@ -749,7 +1335,9 @@ impl Pipeline {
                         | Action::Store { .. }
                         | Action::LoadPost { .. }
                         | Action::StorePost { .. } => {
-                            unreachable!("memory ops handled in their own arms")
+                            return Err(self.corrupt_err(format!(
+                                "non-memory seq {seq} evaluated to a memory action"
+                            )));
                         }
                     }
                     e.issued = true;
@@ -764,6 +1352,7 @@ impl Pipeline {
             }
         }
         self.cand_scratch = candidates;
+        Ok(())
     }
 
     fn schedule(&mut self, seq: u64, latency: u32) {
@@ -898,10 +1487,21 @@ impl Pipeline {
                 self.fetch_pc = Some(pc);
                 return;
             }
-            let pred = inst
-                .opcode
-                .is_branch()
-                .then(|| self.bpred.predict(pc, &inst));
+            let pred = inst.opcode.is_branch().then(|| {
+                let mut p = self.bpred.predict(pc, &inst);
+                // An armed injection flip inverts the next prediction,
+                // manufacturing a misprediction (and its recovery) the
+                // workload would not produce on its own. Wrong-path
+                // fetch is already a normal mode of this pipeline.
+                if let Some(inj) = &mut self.inject {
+                    if inj.armed_flip {
+                        inj.armed_flip = false;
+                        inj.stats.branch_flips += 1;
+                        p.taken = !p.taken;
+                    }
+                }
+                p
+            });
             let taken_pred = pred.map(|p| p.taken).unwrap_or(false);
             let next = match pred {
                 Some(p) if p.taken => p.target,
@@ -938,17 +1538,21 @@ impl Pipeline {
 
     /// Runs one cycle.
     fn step(&mut self) -> Result<(), SimError> {
+        self.poll_injections();
         self.commit()?;
         if self.halted {
             return Ok(());
         }
-        self.writeback();
+        self.writeback()?;
+        self.deliver_pending_interrupt();
+        self.check_recovery_boundary()?;
         let boundary = self.unresolved_branches.first().unwrap_or(self.next_seq);
         self.renamer.advance_nonspeculative(boundary);
-        self.issue();
+        self.issue()?;
         self.rename_dispatch();
         self.decode();
         self.fetch();
+        self.audit_if_due()?;
         self.sample_occupancy();
         self.cycle += 1;
         Ok(())
@@ -986,35 +1590,21 @@ impl Pipeline {
                     cycles: self.config.max_cycles,
                 });
             }
+            // Forward-progress watchdog: convert a hang into a
+            // structured diagnostic with a full pipeline snapshot
+            // (the snapshot's head section carries operand readiness).
             if !self.rob.is_empty() && self.cycle - self.last_commit_cycle > 100_000 {
-                if std::env::var_os("REGSHARE_DEBUG_DEADLOCK").is_some() {
-                    let head = self.rob.front().expect("rob checked non-empty");
-                    eprintln!(
-                        "deadlock head: seq={} pc={} {} issued={} done={} srcs={:?} \
-                         ready_q_has={} pending_srcs={} waiting={} sq_len={} lq_len={} ready={:?}",
-                        head.seq,
-                        head.pc,
-                        head.inst,
-                        head.issued,
-                        head.done,
-                        head.srcs,
-                        self.ready_q.contains(head.seq),
-                        head.pending_srcs,
-                        self.scoreboard.has_waiter(head.seq),
-                        self.lsq.stores_len(),
-                        self.lsq.loads_len(),
-                        head.srcs
-                            .iter()
-                            .flatten()
-                            .map(|t| self.scoreboard.is_ready(*t))
-                            .collect::<Vec<_>>(),
-                    );
-                }
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
                     head_seq: self.rob.front().map(|e| e.seq),
+                    snapshot: Box::new(self.snapshot()),
                 });
             }
+        }
+        if self.halted {
+            // End-of-run precise-state check: the committed register file
+            // and memory must match the functional oracle exactly.
+            self.verify_arch_state()?;
         }
         Ok(())
     }
@@ -1154,15 +1744,53 @@ mod tests {
         let e = SimError::OracleMismatch {
             cycle: 7,
             detail: "x".into(),
+            snapshot: Box::default(),
         };
         assert!(format!("{e}").contains("cycle 7"));
         let e = SimError::Deadlock {
             cycle: 9,
             head_seq: Some(3),
+            snapshot: Box::default(),
         };
         assert!(format!("{e}").contains('9'));
         let e = SimError::CycleLimit { cycles: 11 };
         assert!(format!("{e}").contains("11"));
+        let e = SimError::Invariant {
+            cycle: 13,
+            what: "free list leak".into(),
+            snapshot: Box::default(),
+        };
+        assert!(format!("{e}").contains("free list leak"));
+        let e = SimError::Lsq {
+            cycle: 15,
+            error: LsqError {
+                seq: 4,
+                detail: "bad".into(),
+            },
+            snapshot: Box::default(),
+        };
+        let shown = format!("{e}");
+        assert!(shown.contains("seq 4") && shown.contains("pipeline snapshot"));
+    }
+
+    #[test]
+    fn snapshot_describes_live_state() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.addi(reg::x(1), reg::x(1), 1);
+        a.jmp(top);
+        let mut cfg = SimConfig::test();
+        cfg.max_instructions = 50;
+        let mut sim = Pipeline::new(a.assemble(), baseline(64), cfg);
+        sim.run().expect("bounded run");
+        let snap = sim.snapshot();
+        assert_eq!(snap.cycle, sim.cycle());
+        assert!(snap.rob > 0, "infinite loop keeps the ROB busy");
+        let head = snap.head.as_ref().expect("rob non-empty");
+        assert!(!head.inst.is_empty());
+        let shown = format!("{snap}");
+        assert!(shown.contains("pipeline snapshot") && shown.contains("head:"));
     }
 
     #[test]

@@ -11,10 +11,11 @@
 use regshare::area;
 use regshare::core::{BankConfig, EarlyReleaseRenamer, RenamerConfig, ReuseRenamer};
 use regshare::harness::{
-    experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
+    experiment_config, par_map, renamer_for, run_kernel, run_kernel_with, swept_class, Scheme,
+    FIXED_RF,
 };
 use regshare::isa::RegClass;
-use regshare::sim::SimConfig;
+use regshare::sim::{InjectSchedule, Pipeline, SimConfig, SimError};
 use regshare::stats::{geomean, Table};
 use regshare::workloads::{all_kernels, analysis, suite_kernels, Suite};
 use serde::Serialize;
@@ -26,12 +27,21 @@ struct Args {
     exps: Vec<String>,
     scale: u64,
     out_dir: String,
+    /// Number of fault-injection campaigns (`inject`).
+    campaigns: usize,
+    /// Base seed for fault-injection schedules (`inject`).
+    seed: u64,
+    /// Kernel subset for `inject` (`None` = all kernels).
+    kernels: Option<Vec<String>>,
 }
 
 fn parse_args() -> Args {
     let mut exps = Vec::new();
     let mut scale = 150_000u64;
     let mut out_dir = "results".to_string();
+    let mut campaigns = 108usize;
+    let mut seed = 0xC0FFEEu64;
+    let mut kernels = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -44,12 +54,31 @@ fn parse_args() -> Args {
             "--out" => {
                 out_dir = it.next().unwrap_or_else(|| die("--out needs a directory"));
             }
+            "--campaigns" => {
+                campaigns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--campaigns needs a number"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--kernels" => {
+                let list = it.next().unwrap_or_else(|| die("--kernels needs a list"));
+                kernels = Some(list.split(',').map(str::to_string).collect());
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [EXPERIMENT..] [--scale N] [--out DIR]\n\
+                     \x20                 [--campaigns N] [--seed N] [--kernels a,b,c]\n\
                      experiments: fig1 fig2 fig3 table1 table2 table3 fig9 fig10 fig10ec \
                      fig11 fig12 analyze ablate-counter ablate-predictor ablate-banks \
-                     ablate-speculation all"
+                     ablate-speculation inject all\n\
+                     --campaigns/--seed/--kernels apply to the `inject` fault-injection \
+                     sweep only"
                 );
                 std::process::exit(0);
             }
@@ -63,6 +92,9 @@ fn parse_args() -> Args {
         exps,
         scale,
         out_dir,
+        campaigns,
+        seed,
+        kernels,
     }
 }
 
@@ -987,6 +1019,135 @@ fn ratio_pct(num: u64, den: u64) -> f64 {
 
 // ---------------------------------------------------------------- main
 
+// ------------------------------------------------------------------ inject
+
+#[derive(Serialize)]
+struct InjectRow {
+    campaign: usize,
+    kernel: String,
+    scheme: String,
+    seed: u64,
+    interrupts: u64,
+    nested_interrupts: u64,
+    load_faults: u64,
+    store_faults: u64,
+    branch_flips: u64,
+    squash_storms: u64,
+    events_total: u64,
+    audits: u64,
+    cycles: u64,
+    committed_instructions: u64,
+    mispredicts: u64,
+    exceptions: u64,
+    shadow_recovers: u64,
+    status: String,
+}
+
+fn inject(args: &Args) {
+    println!("== Fault injection: seeded interrupts / faults / flips / squash storms ==");
+    // Injection stresses recovery paths, not steady-state IPC: modest
+    // runs keep a 100+-campaign sweep fast, and the schedule horizon
+    // covers the whole run either way.
+    let scale = args.scale.min(20_000);
+    let mut kernels = all_kernels();
+    if let Some(names) = &args.kernels {
+        for n in names {
+            if !kernels.iter().any(|k| k.name == n.as_str()) {
+                die(&format!("unknown kernel for --kernels: {n}"));
+            }
+        }
+        kernels.retain(|k| names.iter().any(|n| n == k.name));
+    }
+    // Campaign i covers kernel i mod K, alternating schemes across
+    // passes, with a per-campaign schedule seed derived from --seed.
+    let schemes = [Scheme::Baseline, Scheme::Proposed];
+    let points: Vec<usize> = (0..args.campaigns.max(1)).collect();
+    let runs: Vec<(InjectRow, Option<String>)> = par_map(&points, |&i| {
+        let kernel = &kernels[i % kernels.len()];
+        let scheme = schemes[(i / kernels.len()) % schemes.len()];
+        let seed = args.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut cfg = experiment_config(scale);
+        cfg.check_oracle = true;
+        cfg.audit_interval = 256;
+        let renamer = renamer_for(scheme, 64, swept_class(kernel.suite));
+        let mut sim = Pipeline::new(kernel.program(scale), renamer, cfg);
+        sim.set_inject(InjectSchedule::seeded(seed, scale));
+        let (status, error) = match sim.run() {
+            Ok(_) => ("ok", None),
+            Err(e) => {
+                let status = match &e {
+                    SimError::OracleMismatch { .. } => "oracle-mismatch",
+                    SimError::CycleLimit { .. } => "cycle-limit",
+                    SimError::Deadlock { .. } => "deadlock",
+                    SimError::Invariant { .. } => "invariant-violation",
+                    SimError::Lsq { .. } => "lsq-error",
+                };
+                let detail = format!(
+                    "campaign {i} ({}, {}, seed {seed:#x}): {e}",
+                    kernel.name,
+                    scheme.label()
+                );
+                (status, Some(detail))
+            }
+        };
+        let report = sim.report();
+        let stats = sim.inject_stats();
+        let row = InjectRow {
+            campaign: i,
+            kernel: kernel.name.into(),
+            scheme: scheme.label().into(),
+            seed,
+            interrupts: stats.interrupts,
+            nested_interrupts: stats.nested_interrupts,
+            load_faults: stats.load_faults,
+            store_faults: stats.store_faults,
+            branch_flips: stats.branch_flips,
+            squash_storms: stats.squash_storms,
+            events_total: stats.total(),
+            audits: sim.audits(),
+            cycles: report.cycles,
+            committed_instructions: report.committed_instructions,
+            mispredicts: report.mispredicts,
+            exceptions: report.exceptions,
+            shadow_recovers: report.shadow_recovers,
+            status: status.into(),
+        };
+        (row, error)
+    });
+    let errors: Vec<String> = runs.iter().filter_map(|(_, e)| e.clone()).collect();
+    let rows: Vec<InjectRow> = runs.into_iter().map(|(r, _)| r).collect();
+    let sum = |f: fn(&InjectRow) -> u64| rows.iter().map(f).sum::<u64>();
+    println!(
+        "  {} campaigns over {} kernels x {} schemes at scale {scale}: \
+         {} events delivered ({} interrupts incl. {} nested, {} load faults, \
+         {} store faults, {} branch flips, {} squash storms), {} invariant audits, \
+         {} clean",
+        rows.len(),
+        kernels.len(),
+        schemes.len(),
+        sum(|r| r.events_total),
+        sum(|r| r.interrupts),
+        sum(|r| r.nested_interrupts),
+        sum(|r| r.load_faults),
+        sum(|r| r.store_faults),
+        sum(|r| r.branch_flips),
+        sum(|r| r.squash_storms),
+        sum(|r| r.audits),
+        rows.iter().filter(|r| r.status == "ok").count(),
+    );
+    save(&args.out_dir, "inject_report", &rows);
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("{e}");
+        }
+        die(&format!(
+            "{} of {} injection campaigns failed",
+            errors.len(),
+            rows.len()
+        ));
+    }
+}
+
 type ExperimentFn = fn(&Args);
 
 fn main() {
@@ -1008,6 +1169,7 @@ fn main() {
         ("ablate-speculation", ablate_speculation),
         ("ablate-predictor", ablate_predictor),
         ("ablate-banks", ablate_banks),
+        ("inject", inject),
     ];
     let selected: Vec<&str> = if args.exps.iter().any(|e| e == "all") {
         known.iter().map(|(n, _)| *n).collect()

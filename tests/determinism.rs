@@ -9,7 +9,8 @@
 //! and must be deliberate (regenerate with `cargo run --release --bin
 //! golden_probe`).
 
-use regshare::harness::{par_map, run_kernel, Scheme};
+use regshare::harness::{experiment_config, par_map, renamer_for, run_kernel, swept_class, Scheme};
+use regshare::sim::Pipeline;
 use regshare::workloads::all_kernels;
 
 const SCALE: u64 = 8_000;
@@ -70,9 +71,24 @@ fn every_kernel_matches_golden_counts() {
         (k.name, scheme, r.cycles, r.committed_instructions)
     });
     let mut mismatches = Vec::new();
-    for (got, want) in reports.iter().zip(GOLDEN.iter()) {
+    for ((got, want), (k, scheme)) in reports.iter().zip(GOLDEN.iter()).zip(points.iter()) {
         if got != want {
-            mismatches.push(format!("got {got:?}, want {want:?}"));
+            // Re-run the diverging point on a pipeline we keep, so the
+            // failure message carries its end-state diagnostic dump.
+            let renamer = renamer_for(*scheme, RF_REGS, swept_class(k.suite));
+            let mut sim = Pipeline::new(k.program(SCALE), renamer, experiment_config(SCALE));
+            let rerun = sim.run();
+            mismatches.push(format!(
+                "got {got:?}, want {want:?}\n  rerun: {}\n  {}",
+                match &rerun {
+                    Ok(r) => format!(
+                        "{} cycles, {} committed",
+                        r.cycles, r.committed_instructions
+                    ),
+                    Err(e) => format!("error: {e}"),
+                },
+                sim.snapshot()
+            ));
         }
     }
     assert!(
