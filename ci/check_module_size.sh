@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Module-size guard: no .rs file under crates/ may exceed MAX_LINES.
+#
+# The pipeline monolith was split into per-stage modules precisely so no
+# single file re-accretes every mechanism; this gate keeps it that way.
+# Files that predate the split and are still awaiting their own
+# decomposition go in ALLOWLIST (one path per line, relative to the repo
+# root) — shrink it, never grow it.
+set -eu
+
+MAX_LINES=900
+ALLOWLIST="
+"
+
+cd "$(dirname "$0")/.."
+status=0
+for f in $(find crates -name '*.rs' | sort); do
+    lines=$(wc -l <"$f")
+    if [ "$lines" -gt "$MAX_LINES" ]; then
+        case "$ALLOWLIST" in
+            *"$f"*)
+                echo "allowlisted (still to split): $f ($lines lines)"
+                ;;
+            *)
+                echo "FAIL: $f has $lines lines (max $MAX_LINES)" >&2
+                status=1
+                ;;
+        esac
+    fi
+done
+exit $status

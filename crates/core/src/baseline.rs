@@ -1,10 +1,10 @@
 //! The conventional renaming scheme: merged register file with
 //! release-on-commit (the paper's baseline, §II).
 
+use crate::rename_common::{CheckpointStack, RenameTables, SeqRecord};
 use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
-use crate::{BankConfig, FreeList, MapTable, TaggedReg};
+use crate::{BankConfig, MapTable, TaggedReg};
 use regshare_isa::{ArchReg, Inst, RegClass};
-use std::collections::VecDeque;
 
 #[derive(Debug, Clone)]
 struct DstChange {
@@ -18,6 +18,12 @@ struct Record {
     seq: u64,
     dst: Option<DstChange>,
     dst2: Option<DstChange>,
+}
+
+impl SeqRecord for Record {
+    fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 /// Conventional register renaming: every destination gets a fresh physical
@@ -38,12 +44,8 @@ struct Record {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BaselineRenamer {
-    config: RenamerConfig,
-    map: MapTable,
-    retire_map: MapTable,
-    free: [FreeList; 2],
-    records: VecDeque<Record>,
-    stats: RenameStats,
+    t: RenameTables,
+    records: CheckpointStack<Record>,
 }
 
 impl BaselineRenamer {
@@ -55,43 +57,20 @@ impl BaselineRenamer {
     /// Panics if a register file is smaller than the logical register
     /// count (no registers would remain for renaming).
     pub fn new(config: RenamerConfig) -> Self {
-        let mut map = MapTable::new();
-        let mut free = [
-            FreeList::new(&config.int_banks),
-            FreeList::new(&config.fp_banks),
-        ];
-        for class in RegClass::ALL {
-            assert!(
-                config.banks(class).total() > class.num_regs(),
-                "{class} register file must exceed the {} logical registers",
-                class.num_regs()
-            );
-            for i in 0..class.num_regs() {
-                let preg = free[class.index()]
-                    .alloc(0)
-                    .expect("initial mapping fits by the assertion above");
-                map.set(ArchReg::new(class, i as u8), TaggedReg::new(class, preg, 0));
-            }
-        }
-        let retire_map = map.clone();
         BaselineRenamer {
-            config,
-            map,
-            retire_map,
-            free,
-            records: VecDeque::new(),
-            stats: RenameStats::new(),
+            t: RenameTables::new(config, |_, _| {}),
+            records: CheckpointStack::new(),
         }
     }
 
     /// The current (speculative) rename map.
     pub fn map(&self) -> &MapTable {
-        &self.map
+        self.t.map()
     }
 
     /// The retirement (architectural) rename map.
     pub fn retire_map(&self) -> &MapTable {
-        &self.retire_map
+        self.t.retire_map()
     }
 }
 
@@ -101,16 +80,16 @@ impl Renamer for BaselineRenamer {
         let mut srcs = [None; 3];
         for (slot, src) in srcs.iter_mut().zip(inst.raw_sources()) {
             if let Some(r) = src.filter(|r| !r.is_zero()) {
-                *slot = Some(self.map.get(r));
+                *slot = Some(self.t.map.get(r));
             }
         }
         // Destinations: allocate (post-increment ops have a second one).
-        let allocate = |this: &mut Self, logical: regshare_isa::ArchReg| {
+        let allocate = |t: &mut RenameTables, logical: ArchReg| {
             let class = logical.class();
-            let preg = this.free[class.index()].alloc(0)?;
+            let preg = t.free[class.index()].alloc(0)?;
             let new_map = TaggedReg::new(class, preg, 0);
-            let old_map = this.map.set(logical, new_map);
-            this.stats.allocations += 1;
+            let old_map = t.map.set(logical, new_map);
+            t.stats.allocations += 1;
             Some(DstChange {
                 logical,
                 old_map,
@@ -118,27 +97,27 @@ impl Renamer for BaselineRenamer {
             })
         };
         let dst_change = match inst.dst() {
-            Some(logical) => match allocate(self, logical) {
+            Some(logical) => match allocate(&mut self.t, logical) {
                 Some(c) => Some(c),
                 None => {
-                    self.stats.stalls += 1;
+                    self.t.stats.stalls += 1;
                     return None;
                 }
             },
             None => None,
         };
         let dst2_change = match inst.dst2() {
-            Some(logical) => match allocate(self, logical) {
+            Some(logical) => match allocate(&mut self.t, logical) {
                 Some(c) => Some(c),
                 None => {
                     // Roll the first allocation back before stalling.
                     if let Some(d) = dst_change {
-                        self.map.set(d.logical, d.old_map);
+                        self.t.map.set(d.logical, d.old_map);
                         let class = d.new_map.class;
-                        self.free[class.index()].free(d.new_map.preg, self.config.banks(class));
-                        self.stats.allocations -= 1;
+                        self.t.free[class.index()].free(d.new_map.preg, self.t.config.banks(class));
+                        self.t.stats.allocations -= 1;
                     }
-                    self.stats.stalls += 1;
+                    self.t.stats.stalls += 1;
                     return None;
                 }
             },
@@ -146,12 +125,12 @@ impl Renamer for BaselineRenamer {
         };
         let dst_tag = dst_change.as_ref().map(|d| d.new_map);
         let dst2_tag = dst2_change.as_ref().map(|d| d.new_map);
-        self.records.push_back(Record {
+        self.records.push(Record {
             seq,
             dst: dst_change,
             dst2: dst2_change,
         });
-        self.stats.renamed += 1;
+        self.t.stats.renamed += 1;
         Some(vec![Uop {
             seq,
             kind: UopKind::Main,
@@ -162,87 +141,73 @@ impl Renamer for BaselineRenamer {
     }
 
     fn commit(&mut self, seq: u64) {
-        let record = self
-            .records
-            .pop_front()
-            .expect("commit without an in-flight rename record");
-        assert_eq!(record.seq, seq, "commits must arrive in rename order");
+        let record = self.records.commit_front(seq);
         for d in [record.dst, record.dst2].into_iter().flatten() {
             // Release-on-commit: the redefined mapping dies here.
             let class = d.old_map.class;
-            self.free[class.index()].free(d.old_map.preg, self.config.banks(class));
-            self.stats.releases += 1;
-            self.stats.chain_lengths.record(0);
-            self.retire_map.set(d.logical, d.new_map);
+            self.t.free[class.index()].free(d.old_map.preg, self.t.config.banks(class));
+            self.t.stats.releases += 1;
+            self.t.stats.chain_lengths.record(0);
+            self.t.retire_map.set(d.logical, d.new_map);
         }
     }
 
     fn squash_after(&mut self, seq: u64) -> SquashOutcome {
         let mut outcome = SquashOutcome::default();
-        while let Some(record) = self.records.back() {
-            if record.seq <= seq {
-                break;
-            }
-            let record = self.records.pop_back().expect("just checked non-empty");
+        while let Some(record) = self.records.pop_younger(seq) {
             for d in [record.dst2, record.dst].into_iter().flatten() {
-                self.map.set(d.logical, d.old_map);
+                self.t.map.set(d.logical, d.old_map);
                 let class = d.new_map.class;
-                self.free[class.index()].free(d.new_map.preg, self.config.banks(class));
+                self.t.free[class.index()].free(d.new_map.preg, self.t.config.banks(class));
             }
             outcome.undone += 1;
-            self.stats.squashed += 1;
+            self.t.stats.squashed += 1;
         }
         outcome
     }
 
     fn stats(&self) -> &RenameStats {
-        &self.stats
+        &self.t.stats
     }
 
     fn free_regs(&self, class: RegClass) -> usize {
-        self.free[class.index()].free_total()
+        self.t.free_regs(class)
     }
 
     fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
-        let banks = self.config.banks(class);
-        (0..banks.num_banks())
-            .map(|k| banks.sizes()[k] - self.free[class.index()].free_in_bank(k))
-            .collect()
+        self.t.in_use_per_bank(class)
+    }
+
+    fn allocated_total(&self, class: RegClass) -> usize {
+        self.t.allocated_total(class)
     }
 
     fn banks(&self, class: RegClass) -> &BankConfig {
-        self.config.banks(class)
+        self.t.banks(class)
     }
 
     fn max_version(&self) -> u8 {
-        self.config.max_version()
+        self.t.max_version()
     }
 
     fn audit(&self) -> Result<(), String> {
         for class in RegClass::ALL {
-            let ci = class.index();
-            let total = self.config.banks(class).total();
+            let total = self.t.config.banks(class).total();
             // Every register is either free or referenced exactly once:
             // by a current map entry, or by an in-flight record keeping
             // the redefined mapping alive until commit.
             let mut refs = vec![0u32; total];
-            for (_, tag) in self.map.iter_class(class) {
+            for (_, tag) in self.t.map.iter_class(class) {
                 refs[tag.preg.0 as usize] += 1;
             }
-            for record in &self.records {
+            for record in self.records.iter() {
                 for d in [&record.dst, &record.dst2].into_iter().flatten() {
                     if d.old_map.class == class {
                         refs[d.old_map.preg.0 as usize] += 1;
                     }
                 }
             }
-            let mut free = vec![false; total];
-            for p in self.free[ci].iter() {
-                if free[p.0 as usize] {
-                    return Err(format!("{class}: {p} appears twice in the free list"));
-                }
-                free[p.0 as usize] = true;
-            }
+            let free = self.t.free_bitmap(class)?;
             for (i, (&r, &f)) in refs.iter().zip(free.iter()).enumerate() {
                 match (r, f) {
                     (0, false) => {
@@ -268,7 +233,7 @@ impl Renamer for BaselineRenamer {
     }
 
     fn arch_map(&self) -> Option<&MapTable> {
-        Some(&self.retire_map)
+        Some(&self.t.retire_map)
     }
 }
 

@@ -83,6 +83,7 @@ mod predictor;
 mod preg;
 mod prt;
 mod regfile;
+mod rename_common;
 mod renamer;
 mod reuse;
 
@@ -95,5 +96,6 @@ pub use predictor::{PredictorStats, RegTypePredictor, SingleUsePredictor};
 pub use preg::{PhysReg, TaggedReg, MAX_SHADOW_CELLS};
 pub use prt::Prt;
 pub use regfile::RegFile;
+pub use rename_common::{CheckpointStack, RenameTables, SeqRecord};
 pub use renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
 pub use reuse::{CorruptKind, ReuseRenamer};

@@ -227,6 +227,13 @@ pub trait Renamer {
     /// by shadow-cell count — the occupancy signal behind Fig. 9.
     fn in_use_per_bank(&self, class: RegClass) -> Vec<usize>;
 
+    /// Total allocated physical registers of one class. The per-bank
+    /// counts of [`Renamer::in_use_per_bank`] must sum to exactly this
+    /// value; the pipeline audit cross-checks the two readouts.
+    fn allocated_total(&self, class: RegClass) -> usize {
+        self.banks(class).total() - self.free_regs(class)
+    }
+
     /// The bank layout of one class.
     fn banks(&self, class: RegClass) -> &BankConfig;
 

@@ -1,12 +1,10 @@
 //! The proposed renaming scheme: physical register sharing (§IV).
 
+use crate::rename_common::{CheckpointStack, RenameTables, SeqRecord};
 use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
-use crate::{
-    BankConfig, FreeList, MapTable, PhysReg, Prt, RegTypePredictor, SingleUsePredictor, TaggedReg,
-};
+use crate::{BankConfig, MapTable, PhysReg, Prt, RegTypePredictor, SingleUsePredictor, TaggedReg};
 use regshare_isa::{ArchReg, Inst, RegClass};
 use regshare_stats::FastHashMap;
-use std::collections::VecDeque;
 
 /// A deliberate bookkeeping corruption, used by the invariant auditor's
 /// self-tests: each kind breaks exactly one invariant that
@@ -74,6 +72,12 @@ struct Record {
     dst2: DstAction,
 }
 
+impl SeqRecord for Record {
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// Register renaming with physical register sharing — the paper's proposed
 /// scheme.
 ///
@@ -104,16 +108,12 @@ struct Record {
 /// See the crate-level example for the Fig. 4 chain.
 #[derive(Debug, Clone)]
 pub struct ReuseRenamer {
-    config: RenamerConfig,
-    map: MapTable,
-    retire_map: MapTable,
-    free: [FreeList; 2],
+    t: RenameTables,
     prt: [Prt; 2],
     meta: [Vec<PregMeta>; 2],
     predictor: RegTypePredictor,
     single_use: SingleUsePredictor,
-    records: VecDeque<Record>,
-    stats: RenameStats,
+    records: CheckpointStack<Record>,
 }
 
 impl ReuseRenamer {
@@ -125,11 +125,6 @@ impl ReuseRenamer {
     /// Panics if a register file is not larger than the logical register
     /// count.
     pub fn new(config: RenamerConfig) -> Self {
-        let mut map = MapTable::new();
-        let mut free = [
-            FreeList::new(&config.int_banks),
-            FreeList::new(&config.fp_banks),
-        ];
         let max_version = config.max_version();
         let mut prt = [
             Prt::new(config.int_banks.total(), max_version),
@@ -139,45 +134,29 @@ impl ReuseRenamer {
             vec![PregMeta::default(); config.int_banks.total()],
             vec![PregMeta::default(); config.fp_banks.total()],
         ];
-        for class in RegClass::ALL {
-            assert!(
-                config.banks(class).total() > class.num_regs(),
-                "{class} register file must exceed the {} logical registers",
-                class.num_regs()
-            );
-            for i in 0..class.num_regs() {
-                let preg = free[class.index()]
-                    .alloc(0)
-                    .expect("initial mapping fits by the assertion above");
-                prt[class.index()].map_inc(preg);
-                map.set(ArchReg::new(class, i as u8), TaggedReg::new(class, preg, 0));
-            }
-        }
-        let retire_map = map.clone();
         let predictor = RegTypePredictor::new(config.predictor_entries, config.predictor_bits);
         let single_use = SingleUsePredictor::new(config.predictor_entries);
+        let t = RenameTables::new(config, |class, preg| {
+            prt[class.index()].map_inc(preg);
+        });
         ReuseRenamer {
-            config,
-            map,
-            retire_map,
-            free,
+            t,
             prt,
             meta,
             predictor,
             single_use,
-            records: VecDeque::new(),
-            stats: RenameStats::new(),
+            records: CheckpointStack::new(),
         }
     }
 
     /// The current (speculative) rename map.
     pub fn map(&self) -> &MapTable {
-        &self.map
+        self.t.map()
     }
 
     /// The retirement (architectural) rename map.
     pub fn retire_map(&self) -> &MapTable {
-        &self.retire_map
+        self.t.retire_map()
     }
 
     /// The Physical Register Table of one class.
@@ -191,12 +170,12 @@ impl ReuseRenamer {
     }
 
     fn shadow_cells(&self, class: RegClass, preg: PhysReg) -> u8 {
-        self.config.banks(class).shadow_cells_of(preg)
+        self.t.config.banks(class).shadow_cells_of(preg)
     }
 
     fn alloc_preg(&mut self, class: RegClass, pc: u64) -> Option<(PhysReg, u8)> {
         let predicted = self.predictor.predict(pc);
-        let preg = self.free[class.index()].alloc(predicted)?;
+        let preg = self.t.free[class.index()].alloc(predicted)?;
         let ci = class.index();
         self.prt[ci].reset_on_alloc(preg);
         self.prt[ci].map_inc(preg);
@@ -214,11 +193,11 @@ impl ReuseRenamer {
 
     fn release(&mut self, class: RegClass, preg: PhysReg) {
         let ci = class.index();
-        let banks = self.config.banks(class).clone();
-        self.free[ci].free(preg, &banks);
+        let banks = self.t.config.banks(class).clone();
+        self.t.free[ci].free(preg, &banks);
         let meta = self.meta[ci][preg.0 as usize];
-        self.stats.releases += 1;
-        self.stats.chain_lengths.record(meta.reuses as u64);
+        self.t.stats.releases += 1;
+        self.t.stats.chain_lengths.record(meta.reuses as u64);
         if meta.has_entry {
             self.predictor.on_release(
                 meta.entry,
@@ -259,12 +238,12 @@ impl ReuseRenamer {
                 old_map,
                 new_map,
             } => {
-                self.map.set(logical, old_map);
+                self.t.map.set(logical, old_map);
                 let ci = new_map.class.index();
                 let remaining = self.prt[ci].map_dec(new_map.preg);
                 debug_assert_eq!(remaining, 0, "squashed fresh allocation still referenced");
-                let banks = self.config.banks(new_map.class).clone();
-                self.free[ci].free(new_map.preg, &banks);
+                let banks = self.t.config.banks(new_map.class).clone();
+                self.t.free[ci].free(new_map.preg, &banks);
             }
             DstAction::Reuse {
                 logical,
@@ -272,7 +251,7 @@ impl ReuseRenamer {
                 new_map,
                 prev_version,
             } => {
-                self.map.set(logical, old_map);
+                self.t.map.set(logical, old_map);
                 let ci = new_map.class.index();
                 // The read bit was true immediately before the bump (this
                 // micro-op was the first consumer and marked it); the
@@ -295,17 +274,18 @@ impl ReuseRenamer {
         let ci = RegClass::Int.index();
         match kind {
             CorruptKind::LeakPreg => {
-                let leaked = self.free[ci].pop_any();
+                let leaked = self.t.free[ci].pop_any();
                 debug_assert!(leaked.is_some(), "no free register to leak");
             }
             CorruptKind::StaleVersionTag => {
-                let t = self.map.get(r1);
+                let t = self.t.map.get(r1);
                 let counter = self.prt[ci].entry(t.preg).counter;
-                self.map
+                self.t
+                    .map
                     .set(r1, TaggedReg::new(t.class, t.preg, counter + 1));
             }
             CorruptKind::RefcountOffByOne => {
-                let t = self.map.get(r1);
+                let t = self.t.map.get(r1);
                 self.prt[ci].map_inc(t.preg);
             }
         }
@@ -350,7 +330,7 @@ impl Renamer for ReuseRenamer {
                 *slot = Some(*t);
                 continue;
             }
-            let t = self.map.get(r);
+            let t = self.t.map.get(r);
             let ci = t.class.index();
             if self.prt[ci].entry(t.preg).counter == t.version {
                 *slot = Some(t);
@@ -363,7 +343,7 @@ impl Renamer for ReuseRenamer {
                 break;
             };
             let new_tag = TaggedReg::new(t.class, pn, 0);
-            let old = self.map.set(r, new_tag);
+            let old = self.t.map.set(r, new_tag);
             debug_assert_eq!(old, t);
             // The register was not single-use after all: predictor rule 2,
             // and the consumer whose speculative reuse overwrote version
@@ -461,7 +441,7 @@ impl Renamer for ReuseRenamer {
                     // single-use predictor before speculating (§IV-A2) —
                     // and is excluded entirely in the safe-only ablation.
                     if !redefining
-                        && (!self.config.speculative_reuse || !self.single_use.predict(pc))
+                        && (!self.t.config.speculative_reuse || !self.single_use.predict(pc))
                     {
                         continue;
                     }
@@ -490,15 +470,15 @@ impl Renamer for ReuseRenamer {
                     let newv = self.prt[ci].bump(t.preg);
                     self.prt[ci].map_inc(t.preg);
                     let new_map = TaggedReg::new(class, t.preg, newv);
-                    let old_map = self.map.set(dl, new_map);
+                    let old_map = self.t.map.set(dl, new_map);
                     self.meta[ci][t.preg.0 as usize].reuses += 1;
                     self.meta[ci][t.preg.0 as usize].spec_entries[newv as usize] =
                         (!redefining).then(|| self.single_use.entry_index(pc) as u32);
-                    self.stats.reuses += 1;
+                    self.t.stats.reuses += 1;
                     if redefining {
-                        self.stats.safe_reuses += 1;
+                        self.t.stats.safe_reuses += 1;
                     } else {
-                        self.stats.speculative_reuses += 1;
+                        self.t.stats.speculative_reuses += 1;
                     }
                     dst_action = DstAction::Reuse {
                         logical: dl,
@@ -510,8 +490,8 @@ impl Renamer for ReuseRenamer {
                     match self.alloc_preg(class, pc) {
                         Some((preg, _)) => {
                             let new_map = TaggedReg::new(class, preg, 0);
-                            let old_map = self.map.set(dl, new_map);
-                            self.stats.allocations += 1;
+                            let old_map = self.t.map.set(dl, new_map);
+                            self.t.stats.allocations += 1;
                             dst_action = DstAction::Alloc {
                                 logical: dl,
                                 old_map,
@@ -545,10 +525,10 @@ impl Renamer for ReuseRenamer {
                     let newv = self.prt[ci].bump(base_tag.preg);
                     self.prt[ci].map_inc(base_tag.preg);
                     let new_map = TaggedReg::new(class, base_tag.preg, newv);
-                    let old_map = self.map.set(d2, new_map);
+                    let old_map = self.t.map.set(d2, new_map);
                     self.meta[ci][base_tag.preg.0 as usize].reuses += 1;
-                    self.stats.reuses += 1;
-                    self.stats.safe_reuses += 1;
+                    self.t.stats.reuses += 1;
+                    self.t.stats.safe_reuses += 1;
                     dst2_action = DstAction::Reuse {
                         logical: d2,
                         old_map,
@@ -565,8 +545,8 @@ impl Renamer for ReuseRenamer {
                     match self.alloc_preg(class, pc ^ 0x8000_0000) {
                         Some((preg, _)) => {
                             let new_map = TaggedReg::new(class, preg, 0);
-                            let old_map = self.map.set(d2, new_map);
-                            self.stats.allocations += 1;
+                            let old_map = self.t.map.set(d2, new_map);
+                            self.t.stats.allocations += 1;
                             dst2_action = DstAction::Alloc {
                                 logical: d2,
                                 old_map,
@@ -594,7 +574,7 @@ impl Renamer for ReuseRenamer {
             for record in staged.into_iter().rev() {
                 self.undo_record(record, &mut scratch);
             }
-            self.stats.stalls += 1;
+            self.t.stats.stalls += 1;
             return None;
         }
 
@@ -615,7 +595,7 @@ impl Renamer for ReuseRenamer {
                         self.single_use.on_wrong(*e as usize);
                     }
                     self.meta[ci][preg.0 as usize].multi_use = true;
-                    self.stats.repairs += 1;
+                    self.t.stats.repairs += 1;
                 }
                 Learn::Blocked { class, preg } => {
                     let ci = class.index();
@@ -624,7 +604,7 @@ impl Renamer for ReuseRenamer {
                         self.predictor.on_blocked_reuse(m.entry);
                     }
                     self.meta[ci][preg.0 as usize].blocked = true;
-                    self.stats.blocked_reuses += 1;
+                    self.t.stats.blocked_reuses += 1;
                 }
             }
         }
@@ -647,17 +627,13 @@ impl Renamer for ReuseRenamer {
             dst: dst_tag,
             dst2: dst2_tag,
         });
-        self.stats.renamed += uops.len() as u64;
+        self.t.stats.renamed += uops.len() as u64;
         self.records.extend(staged);
         Some(uops)
     }
 
     fn commit(&mut self, seq: u64) {
-        let record = self
-            .records
-            .pop_front()
-            .expect("commit without an in-flight rename record");
-        assert_eq!(record.seq, seq, "commits must arrive in rename order");
+        let record = self.records.commit_front(seq);
         for action in [record.dst, record.dst2] {
             match action {
                 DstAction::None => {}
@@ -676,7 +652,7 @@ impl Renamer for ReuseRenamer {
                     if self.prt[ci].map_dec(old_map.preg) == 0 {
                         self.release(old_map.class, old_map.preg);
                     }
-                    self.retire_map.set(logical, new_map);
+                    self.t.retire_map.set(logical, new_map);
                 }
             }
         }
@@ -685,14 +661,10 @@ impl Renamer for ReuseRenamer {
     fn squash_after(&mut self, seq: u64) -> SquashOutcome {
         let mut recovers: FastHashMap<(RegClass, PhysReg), u8> = FastHashMap::default();
         let mut undone = 0;
-        while let Some(record) = self.records.back() {
-            if record.seq <= seq {
-                break;
-            }
-            let record = self.records.pop_back().expect("just checked non-empty");
+        while let Some(record) = self.records.pop_younger(seq) {
             self.undo_record(record, &mut recovers);
             undone += 1;
-            self.stats.squashed += 1;
+            self.t.stats.squashed += 1;
         }
         SquashOutcome {
             undone,
@@ -704,26 +676,27 @@ impl Renamer for ReuseRenamer {
     }
 
     fn stats(&self) -> &RenameStats {
-        &self.stats
+        &self.t.stats
     }
 
     fn free_regs(&self, class: RegClass) -> usize {
-        self.free[class.index()].free_total()
+        self.t.free_regs(class)
     }
 
     fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
-        let banks = self.config.banks(class);
-        (0..banks.num_banks())
-            .map(|k| banks.sizes()[k] - self.free[class.index()].free_in_bank(k))
-            .collect()
+        self.t.in_use_per_bank(class)
+    }
+
+    fn allocated_total(&self, class: RegClass) -> usize {
+        self.t.allocated_total(class)
     }
 
     fn banks(&self, class: RegClass) -> &BankConfig {
-        self.config.banks(class)
+        self.t.banks(class)
     }
 
     fn max_version(&self) -> u8 {
-        self.config.max_version()
+        self.t.max_version()
     }
 
     fn predictor_stats(&self) -> crate::PredictorStats {
@@ -733,18 +706,18 @@ impl Renamer for ReuseRenamer {
     fn audit(&self) -> Result<(), String> {
         for class in RegClass::ALL {
             let ci = class.index();
-            let banks = self.config.banks(class);
+            let banks = self.t.config.banks(class);
             let total = banks.total();
-            let max_version = self.config.max_version();
+            let max_version = self.t.config.max_version();
             // Reference-count conservation: every PRT mapping count must
             // equal the references actually held — speculative map-table
             // entries plus the previous mappings kept alive by in-flight
             // rename records (they are decremented at commit).
             let mut expected = vec![0u32; total];
-            for (_, tag) in self.map.iter_class(class) {
+            for (_, tag) in self.t.map.iter_class(class) {
                 expected[tag.preg.0 as usize] += 1;
             }
-            for record in &self.records {
+            for record in self.records.iter() {
                 for action in [&record.dst, &record.dst2] {
                     if let DstAction::Alloc { old_map, .. } | DstAction::Reuse { old_map, .. } =
                         action
@@ -755,13 +728,7 @@ impl Renamer for ReuseRenamer {
                     }
                 }
             }
-            let mut free = vec![false; total];
-            for p in self.free[ci].iter() {
-                if free[p.0 as usize] {
-                    return Err(format!("{class}: {p} appears twice in the free list"));
-                }
-                free[p.0 as usize] = true;
-            }
+            let free = self.t.free_bitmap(class)?;
             for i in 0..total {
                 let p = PhysReg(i as u16);
                 let count = self.prt[ci].mapcount(p) as u32;
@@ -791,7 +758,10 @@ impl Renamer for ReuseRenamer {
             }
             // Version-tag sanity: no map may hold a version the PRT never
             // issued, nor one without a backing shadow cell.
-            for (table, name) in [(&self.map, "map table"), (&self.retire_map, "retire map")] {
+            for (table, name) in [
+                (&self.t.map, "map table"),
+                (&self.t.retire_map, "retire map"),
+            ] {
                 for (r, tag) in table.iter_class(class) {
                     let counter = self.prt[ci].entry(tag.preg).counter;
                     if tag.version > counter {
@@ -815,271 +785,6 @@ impl Renamer for ReuseRenamer {
     }
 
     fn arch_map(&self) -> Option<&MapTable> {
-        Some(&self.retire_map)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use regshare_isa::{reg, Opcode};
-
-    fn renamer() -> ReuseRenamer {
-        ReuseRenamer::new(RenamerConfig::small_test())
-    }
-
-    /// Renames the I1/I4 pair (define r1; redefine r1 using it) twice.
-    /// The first round trains the predictor; the second reuses.
-    fn train_and_reuse(r: &mut ReuseRenamer) -> (Uop, Uop) {
-        let i1 = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
-        let i4 = Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(4));
-        let mut seq = 0;
-        for _ in 0..2 {
-            for (pc, inst) in [(0u64, &i1), (4u64, &i4)] {
-                let uops = r.rename(seq, pc, inst).unwrap();
-                seq += uops.len() as u64;
-            }
-        }
-        // Repeat once more and capture the pair.
-        let a = r.rename(seq, 0, &i1).unwrap()[0];
-        let b = r.rename(seq + 1, 4, &i4).unwrap()[0];
-        (a, b)
-    }
-
-    #[test]
-    fn blocked_reuse_trains_predictor_then_reuses() {
-        let mut r = renamer();
-        assert_eq!(r.predictor().predict(0), 0);
-        let (a, b) = train_and_reuse(&mut r);
-        // After training, I1's destination lives in a shadow bank and I4
-        // reuses it.
-        let da = a.dst.unwrap();
-        let db = b.dst.unwrap();
-        assert_eq!(da.preg, db.preg);
-        assert_eq!(db.version, da.version + 1);
-        assert!(r.stats().reuses >= 1);
-        assert!(r.stats().blocked_reuses >= 1);
-        assert!(r.stats().safe_reuses >= 1);
-    }
-
-    #[test]
-    fn reuse_does_not_cross_register_classes() {
-        let mut r = renamer();
-        // cvt.i.f reads an int register and writes an fp register; even a
-        // first-and-last use must not share across files.
-        let c = Inst::rr(Opcode::CvtIf, reg::f(1), reg::x(1));
-        let u = r.rename(0, 0, &c).unwrap()[0];
-        assert_eq!(u.dst.unwrap().class, RegClass::Fp);
-        assert_eq!(u.dst.unwrap().version, 0);
-        assert_eq!(r.stats().reuses, 0);
-    }
-
-    #[test]
-    fn second_consumer_cannot_reuse() {
-        let mut r = renamer();
-        // x2 is read by a store (first consumer), then by a redefining add:
-        // the add is no longer the first consumer, so no reuse.
-        let s = Inst::store(Opcode::St, reg::x(2), reg::x(3), 0);
-        r.rename(0, 0, &s).unwrap();
-        let a = Inst::rrr(Opcode::Add, reg::x(2), reg::x(2), reg::x(4));
-        let u = r.rename(1, 4, &a).unwrap()[0];
-        assert_eq!(u.dst.unwrap().version, 0);
-        assert_eq!(r.stats().reuses, 0);
-    }
-
-    #[test]
-    fn counter_saturation_limits_chain_length() {
-        let mut cfg = RenamerConfig::small_test();
-        cfg.counter_bits = 1; // versions saturate at 1
-                              // Give bank 3 plenty of room so capacity is counter-limited.
-        cfg.int_banks = BankConfig::new(vec![33, 0, 0, 8]);
-        cfg.fp_banks = cfg.int_banks.clone();
-        let mut r = ReuseRenamer::new(cfg);
-        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(2));
-        let mut seq = 0u64;
-        let mut versions = Vec::new();
-        // Train, then chain.
-        for pc in [0u64; 6] {
-            let u = r.rename(seq, pc, &i).unwrap();
-            versions.push(u.last().unwrap().dst.unwrap().version);
-            seq += u.len() as u64;
-        }
-        // With a 1-bit counter no version ever exceeds 1.
-        assert!(versions.iter().all(|v| *v <= 1));
-    }
-
-    #[test]
-    fn speculative_reuse_and_repair_on_second_read() {
-        let mut r = renamer();
-        // Train pc=0 to allocate with shadow cells.
-        let def = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
-        let use_nonredef = Inst::rrr(Opcode::Add, reg::x(5), reg::x(1), reg::x(4));
-        let mut seq = 0u64;
-        for _ in 0..2 {
-            for (pc, inst) in [(0u64, &def), (4u64, &use_nonredef)] {
-                let uops = r.rename(seq, pc, inst).unwrap();
-                seq += uops.len() as u64;
-            }
-        }
-        // Now: def allocates a shadow-bank register for r1; the next use
-        // (not redefining) speculatively reuses it for r5.
-        let d = r.rename(seq, 0, &def).unwrap()[0];
-        seq += 1;
-        let u = r.rename(seq, 4, &use_nonredef).unwrap()[0];
-        seq += 1;
-        let du = u.dst.unwrap();
-        assert_eq!(du.preg, d.dst.unwrap().preg, "speculative reuse expected");
-        assert!(r.stats().speculative_reuses >= 1);
-        // A second consumer of r1 arrives: the mapping is stale -> repair.
-        let second = Inst::rrr(Opcode::Add, reg::x(6), reg::x(1), reg::x(4));
-        let uops = r.rename(seq, 8, &second).unwrap();
-        assert_eq!(uops.len(), 2);
-        assert_eq!(uops[0].kind, UopKind::RepairMove);
-        // The repair reads the stale version and writes a fresh register.
-        assert_eq!(uops[0].srcs[0].unwrap(), d.dst.unwrap());
-        assert_eq!(uops[0].dst.unwrap().version, 0);
-        // The main op consumes the repaired register.
-        assert_eq!(uops[1].srcs[0].unwrap(), uops[0].dst.unwrap());
-        assert_eq!(r.stats().repairs, 1);
-    }
-
-    #[test]
-    fn squash_undoes_reuse_and_requests_recover() {
-        let mut r = renamer();
-        let (a, b) = train_and_reuse(&mut r);
-        let before_map = r.map().get(reg::x(1));
-        assert_eq!(before_map, b.dst.unwrap());
-        let out = r.squash_after(b.seq - 1);
-        assert_eq!(out.undone, 1);
-        assert_eq!(r.map().get(reg::x(1)), a.dst.unwrap());
-        // The squashed reuse rolled a version back: recover candidate.
-        assert_eq!(out.recovers.len(), 1);
-        assert_eq!(out.recovers[0], a.dst.unwrap());
-        // PRT counter rolled back, read bit restored to unread... no:
-        // x1's value was read by the squashed instruction only, so the
-        // read bit must be clear again.
-        let prt = r.prt(RegClass::Int).entry(a.dst.unwrap().preg);
-        assert_eq!(prt.counter, a.dst.unwrap().version);
-        assert!(!prt.read);
-    }
-
-    #[test]
-    fn squash_undoes_allocation_and_frees() {
-        let mut r = renamer();
-        let free_before = r.free_regs(RegClass::Int);
-        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
-        r.rename(7, 0, &i).unwrap();
-        assert_eq!(r.free_regs(RegClass::Int), free_before - 1);
-        r.squash_after(6);
-        assert_eq!(r.free_regs(RegClass::Int), free_before);
-    }
-
-    #[test]
-    fn commit_of_chain_releases_nothing_until_chain_dies() {
-        let mut r = renamer();
-        let (_a, b) = train_and_reuse(&mut r);
-        let releases_before = r.stats().releases;
-        // Commit everything renamed so far (seqs 0..=b.seq).
-        for s in 0..=b.seq {
-            r.commit(s);
-        }
-        // The chained register must NOT be released: r1 still maps to it.
-        let preg = b.dst.unwrap().preg;
-        assert!(r.prt(RegClass::Int).mapcount(preg) >= 1);
-        // Redefine r1 with a value that cannot be reused (different class
-        // source is irrelevant; use li which has no sources).
-        let li = Inst::ri(Opcode::Li, reg::x(1), 9);
-        let u = r.rename(b.seq + 1, 100, &li).unwrap()[0];
-        assert_eq!(u.dst.unwrap().version, 0); // fresh allocation
-        r.commit(b.seq + 1);
-        // Now the chain register is dead and must have been released.
-        assert!(r.stats().releases > releases_before);
-        assert_eq!(r.prt(RegClass::Int).mapcount(preg), 0);
-    }
-
-    #[test]
-    fn stall_rolls_back_partial_state() {
-        // 33 registers: after initial mappings a single register is free.
-        let mut cfg = RenamerConfig::small_test();
-        cfg.int_banks = BankConfig::new(vec![33]);
-        cfg.fp_banks = BankConfig::new(vec![33]);
-        let mut r = ReuseRenamer::new(cfg);
-        let i = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
-        assert!(r.rename(0, 0, &i).is_some());
-        // Next rename must stall: no free registers, no shadow cells.
-        let j = Inst::rrr(Opcode::Add, reg::x(4), reg::x(5), reg::x(6));
-        assert!(r.rename(1, 4, &j).is_none());
-        // The stall must not have left read bits set.
-        let t5 = r.map().get(reg::x(5));
-        assert!(!r.prt(RegClass::Int).entry(t5.preg).read);
-        assert_eq!(r.stats().stalls, 1);
-        // Committing the first rename frees a register and unblocks.
-        r.commit(0);
-        assert!(r.rename(1, 4, &j).is_some());
-    }
-
-    #[test]
-    fn chain_lengths_recorded_at_release() {
-        let mut r = renamer();
-        let (_a, b) = train_and_reuse(&mut r);
-        for s in 0..=b.seq {
-            r.commit(s);
-        }
-        let li = Inst::ri(Opcode::Li, reg::x(1), 9);
-        r.rename(b.seq + 1, 100, &li).unwrap();
-        r.commit(b.seq + 1);
-        // The last released register carried one reuse.
-        assert!(r.stats().chain_lengths.count(1) >= 1);
-    }
-
-    #[test]
-    fn duplicate_source_operands_mark_one_read() {
-        let mut r = renamer();
-        let i = Inst::rrr(Opcode::Mul, reg::x(5), reg::x(1), reg::x(1));
-        r.rename(0, 0, &i).unwrap();
-        let t = r.map().get(reg::x(1));
-        assert!(r.prt(RegClass::Int).entry(t.preg).read);
-    }
-
-    #[test]
-    fn audit_is_clean_across_rename_squash_commit() {
-        let mut r = renamer();
-        r.audit().unwrap();
-        let (_a, b) = train_and_reuse(&mut r);
-        r.audit().unwrap();
-        r.squash_after(b.seq - 1);
-        r.audit().unwrap();
-        for s in 0..b.seq {
-            r.commit(s);
-        }
-        r.audit().unwrap();
-    }
-
-    #[test]
-    fn each_corruption_kind_is_detected() {
-        for (kind, needle) in [
-            (CorruptKind::LeakPreg, "leak"),
-            (CorruptKind::StaleVersionTag, "stale version"),
-            (CorruptKind::RefcountOffByOne, "mapping count"),
-        ] {
-            let mut r = renamer();
-            r.audit().unwrap();
-            r.corrupt(kind);
-            let err = r.audit().unwrap_err();
-            assert!(err.contains(needle), "{kind:?} diagnostic was: {err}");
-        }
-    }
-
-    #[test]
-    fn fig12_accounting_accumulates() {
-        let mut r = renamer();
-        let (_a, b) = train_and_reuse(&mut r);
-        for s in 0..=b.seq {
-            r.commit(s);
-        }
-        let li = Inst::ri(Opcode::Li, reg::x(1), 9);
-        r.rename(b.seq + 1, 100, &li).unwrap();
-        r.commit(b.seq + 1);
-        assert!(r.predictor().stats().total() >= 1);
+        Some(&self.t.retire_map)
     }
 }

@@ -4,6 +4,36 @@ use regshare_isa::OpClass;
 use regshare_mem::HierarchyConfig;
 use serde::{Deserialize, Serialize};
 
+/// Which order the issue stage considers operand-ready micro-ops in
+/// (the [`crate::IssueSelect`] implementation to instantiate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IssuePolicyKind {
+    /// Oldest (lowest sequence number) first — the classic age-ordered
+    /// select matrix, and the behaviour the paper's results assume.
+    #[default]
+    OldestFirst,
+    /// Youngest first — a deliberately adversarial select order that
+    /// exercises dependence tracking under maximal reordering.
+    YoungestFirst,
+}
+
+/// How mis-speculation recovery is charged (the
+/// [`crate::RecoveryPolicy`] implementation to instantiate). Both
+/// policies restore identical architectural state; they differ only in
+/// the extra redirect cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicyKind {
+    /// Walk the rename checkpoints youngest-first and charge
+    /// `SimConfig::recover_bandwidth` shadow-cell recover commands per
+    /// cycle (§IV-C1) — the paper's model and the default.
+    #[default]
+    CheckpointWalk,
+    /// Squash-all: a flash restore of every shadow cell inside the
+    /// redirect bubble, charging no extra cycles — the idealised
+    /// checkpoint-RAM recovery conventional cores approximate.
+    SquashAll,
+}
+
 /// One functional-unit pool: how many units execute an [`OpClass`], at
 /// what latency, and whether they accept a new operation every cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +78,10 @@ pub struct SimConfig {
     pub exception_penalty: u32,
     /// Shadow-cell recover commands executed per recovery cycle.
     pub recover_bandwidth: u32,
+    /// Issue-stage selection order.
+    pub issue_policy: IssuePolicyKind,
+    /// Mis-speculation recovery timing model.
+    pub recovery_policy: RecoveryPolicyKind,
     /// Functional-unit pools.
     pub fus: Vec<(OpClass, FuConfig)>,
     /// Branch predictor configuration.
@@ -94,6 +128,8 @@ impl Default for SimConfig {
             mispredict_penalty: 15,
             exception_penalty: 40,
             recover_bandwidth: 4,
+            issue_policy: IssuePolicyKind::default(),
+            recovery_policy: RecoveryPolicyKind::default(),
             fus: vec![
                 (
                     OpClass::IntAlu,

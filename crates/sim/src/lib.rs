@@ -50,20 +50,29 @@
 
 mod bpred;
 mod config;
+mod core_state;
+mod errors;
 mod fu;
 mod inject;
 mod lsq;
 mod pipeline;
+mod policy;
+mod recovery;
 mod report;
 mod scoreboard;
+mod stages;
 mod wheel;
 
 pub use bpred::{BranchPredictor, BranchPredictorConfig};
-pub use config::{FuConfig, SimConfig};
+pub use config::{FuConfig, IssuePolicyKind, RecoveryPolicyKind, SimConfig};
+pub use errors::{HeadSnapshot, PipelineSnapshot, SimError, TraceEvent, TraceStage};
 pub use fu::FuPool;
 pub use inject::{InjectEvent, InjectKind, InjectSchedule, InjectStats};
 pub use lsq::{LoadStoreQueue, LsqError, StoreSearch};
-pub use pipeline::{HeadSnapshot, Pipeline, PipelineSnapshot, SimError, TraceEvent, TraceStage};
+pub use pipeline::Pipeline;
+pub use policy::{
+    CheckpointWalk, IssueSelect, OldestFirst, RecoveryPolicy, SquashAll, YoungestFirst,
+};
 pub use report::SimReport;
 pub use scoreboard::Scoreboard;
 pub use wheel::CompletionWheel;

@@ -1,408 +1,53 @@
-//! The out-of-order pipeline: fetch → decode → rename → issue → execute →
-//! writeback → commit, with full mis-speculation recovery.
+//! The out-of-order pipeline driver: fetch → decode → rename → issue →
+//! execute → writeback → commit, with full mis-speculation recovery.
+//!
+//! The driver is deliberately thin. All machine structures live in
+//! [`CoreState`], the inter-stage queues live in [`StageIo`], the
+//! per-stage logic lives under [`crate::stages`], and every flush path
+//! funnels through [`crate::recovery`]. What remains here is the cycle
+//! loop: sequencing the stage ticks in commit-first order, the run /
+//! watchdog / report plumbing, and the public inspection API.
 
-use crate::bpred::{BranchPredictor, Prediction};
-use crate::inject::{InjectKind, InjectSchedule, InjectState, InjectStats};
-use crate::{
-    CompletionWheel, FuPool, LoadStoreQueue, LsqError, Scoreboard, SimConfig, SimReport,
-    StoreSearch,
+use crate::bpred::BranchPredictor;
+use crate::core_state::{CoreState, SeqSet, StageIo};
+use crate::errors::{PipelineSnapshot, SimError, TraceEvent};
+use crate::inject::{InjectSchedule, InjectState, InjectStats};
+use crate::policy::RecoveryPolicy;
+use crate::recovery;
+use crate::stages::{
+    CommitStage, DecodeStage, DispatchStage, ExecuteStage, FetchStage, IssueStage, RenameStage,
+    StageOutcome, WritebackStage,
 };
-use regshare_core::{RegFile, Renamer, TaggedReg, UopKind};
-use regshare_isa::exec::{self, Action};
-use regshare_isa::{Inst, Machine, Memory, Opcode, Program, RegClass};
-use regshare_mem::{DataAccess, MemoryHierarchy};
+use crate::{CompletionWheel, FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport};
+use regshare_core::{RegFile, Renamer};
+use regshare_isa::{Machine, Memory, Program, RegClass};
+use regshare_mem::MemoryHierarchy;
 use regshare_stats::Sampler;
 use std::collections::VecDeque;
-use std::fmt;
 use std::time::Instant;
 
-/// Errors a simulation can end with. Every variant that arises from a
-/// live pipeline carries a [`PipelineSnapshot`] taken at the failure, so
-/// a bare `Display` of the error is already a usable diagnostic dump.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
-    /// The lockstep functional oracle disagreed with a committed
-    /// micro-op — a correctness bug in the timing model or renamer.
-    OracleMismatch {
-        /// Simulated cycle of the divergence.
-        cycle: u64,
-        /// What went wrong.
-        detail: String,
-        /// Pipeline state at the divergence.
-        snapshot: Box<PipelineSnapshot>,
-    },
-    /// `max_cycles` elapsed before the program finished.
-    CycleLimit {
-        /// The limit that was hit.
-        cycles: u64,
-    },
-    /// No instruction committed for a long time with work in flight.
-    Deadlock {
-        /// Cycle at which the deadlock was declared.
-        cycle: u64,
-        /// Sequence number stuck at the head of the ROB.
-        head_seq: Option<u64>,
-        /// Pipeline state at the stall, including the stuck head's
-        /// operand-readiness — the forward-progress watchdog's dump.
-        snapshot: Box<PipelineSnapshot>,
-    },
-    /// An invariant audit found corrupted bookkeeping (renamer free
-    /// list / PRT / map table, or pipeline IQ/ROB/wakeup state).
-    Invariant {
-        /// Cycle of the failed audit.
-        cycle: u64,
-        /// Which invariant was violated.
-        what: String,
-        /// Pipeline state at the violation.
-        snapshot: Box<PipelineSnapshot>,
-    },
-    /// The load/store queue rejected an operation as malformed.
-    Lsq {
-        /// Cycle of the rejected operation.
-        cycle: u64,
-        /// The queue's own description of the problem.
-        error: LsqError,
-        /// Pipeline state at the failure.
-        snapshot: Box<PipelineSnapshot>,
-    },
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::OracleMismatch {
-                cycle,
-                detail,
-                snapshot,
-            } => {
-                write!(f, "oracle mismatch at cycle {cycle}: {detail}\n{snapshot}")
-            }
-            SimError::CycleLimit { cycles } => write!(f, "cycle limit of {cycles} reached"),
-            SimError::Deadlock {
-                cycle,
-                head_seq,
-                snapshot,
-            } => {
-                write!(
-                    f,
-                    "no commit progress by cycle {cycle} (head seq {head_seq:?})\n{snapshot}"
-                )
-            }
-            SimError::Invariant {
-                cycle,
-                what,
-                snapshot,
-            } => {
-                write!(
-                    f,
-                    "invariant violation at cycle {cycle}: {what}\n{snapshot}"
-                )
-            }
-            SimError::Lsq {
-                cycle,
-                error,
-                snapshot,
-            } => {
-                write!(
-                    f,
-                    "load/store queue error at cycle {cycle}: {error}\n{snapshot}"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-/// A point-in-time summary of pipeline state, attached to every
-/// structured [`SimError`] and printable on its own. Queue depths plus a
-/// detailed view of the ROB head — the micro-op whose stall or
-/// misbehaviour usually explains the failure.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct PipelineSnapshot {
-    /// Cycle the snapshot was taken on.
-    pub cycle: u64,
-    /// Last cycle any micro-op committed.
-    pub last_commit_cycle: u64,
-    /// Next fetch PC (`None`: fetch is waiting for a redirect).
-    pub fetch_pc: Option<u64>,
-    /// Cycle until which fetch is stalled (redirect/exception penalty).
-    pub fetch_stall_until: u64,
-    /// Fetch-queue depth.
-    pub fetch_queue: usize,
-    /// Decode-queue depth.
-    pub decode_queue: usize,
-    /// Reorder-buffer occupancy.
-    pub rob: usize,
-    /// Issue-queue occupancy (ready + waiting).
-    pub iq: usize,
-    /// Operand-ready, unissued micro-ops.
-    pub ready: usize,
-    /// In-flight unresolved branches.
-    pub unresolved_branches: usize,
-    /// Load-queue occupancy.
-    pub lsq_loads: usize,
-    /// Store-queue occupancy.
-    pub lsq_stores: usize,
-    /// Free integer physical registers.
-    pub free_int: usize,
-    /// Free floating-point physical registers.
-    pub free_fp: usize,
-    /// The oldest in-flight micro-op, if any.
-    pub head: Option<HeadSnapshot>,
-}
-
-/// The ROB head's state inside a [`PipelineSnapshot`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct HeadSnapshot {
-    /// Sequence number.
-    pub seq: u64,
-    /// Instruction index.
-    pub pc: u64,
-    /// Disassembly of the instruction.
-    pub inst: String,
-    /// Micro-op kind (`Main` / `RepairMove`).
-    pub kind: String,
-    /// Selected for execution.
-    pub issued: bool,
-    /// Result written back.
-    pub done: bool,
-    /// Busy source operands still being waited on.
-    pub pending_srcs: u8,
-    /// Present in the ready queue.
-    pub in_ready_q: bool,
-    /// Parked in a scoreboard waiter list.
-    pub has_waiter: bool,
-    /// Per-source scoreboard readiness.
-    pub srcs_ready: Vec<bool>,
-    /// Marked for a precise exception at commit.
-    pub exception: bool,
-}
-
-impl fmt::Display for PipelineSnapshot {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "pipeline snapshot at cycle {} (last commit at cycle {}):",
-            self.cycle, self.last_commit_cycle
-        )?;
-        writeln!(
-            f,
-            "  fetch pc {:?}, stalled until {}, fetchq {}, decodeq {}",
-            self.fetch_pc, self.fetch_stall_until, self.fetch_queue, self.decode_queue
-        )?;
-        writeln!(
-            f,
-            "  rob {}, iq {} ({} ready), unresolved branches {}, lsq {} loads / {} stores",
-            self.rob,
-            self.iq,
-            self.ready,
-            self.unresolved_branches,
-            self.lsq_loads,
-            self.lsq_stores
-        )?;
-        write!(f, "  free regs: {} int, {} fp", self.free_int, self.free_fp)?;
-        if let Some(h) = &self.head {
-            write!(
-                f,
-                "\n  head: seq {} pc {} `{}` [{}] issued={} done={} pending_srcs={} \
-                 in_ready_q={} has_waiter={} srcs_ready={:?} exception={}",
-                h.seq,
-                h.pc,
-                h.inst,
-                h.kind,
-                h.issued,
-                h.done,
-                h.pending_srcs,
-                h.in_ready_q,
-                h.has_waiter,
-                h.srcs_ready,
-                h.exception
-            )?;
-        }
-        Ok(())
-    }
-}
-
-/// One pipeline-stage event from the optional cycle trace
-/// ([`SimConfig::trace`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Cycle the event happened on.
-    pub cycle: u64,
-    /// Micro-op sequence number.
-    pub seq: u64,
-    /// Instruction index.
-    pub pc: u64,
-    /// Which stage the micro-op passed.
-    pub stage: TraceStage,
-}
-
-/// Pipeline stage of a [`TraceEvent`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum TraceStage {
-    /// Renamed and inserted into the ROB/IQ.
-    Dispatch,
-    /// Selected for execution.
-    Issue,
-    /// Result written back and broadcast.
-    Writeback,
-    /// Retired in order.
-    Commit,
-}
-
-/// Ordered set of sequence numbers on a flat sorted vector. The issue
-/// queue's ready list and the unresolved-branch set hold at most a few
-/// dozen entries, where binary search plus a short `memmove` beats a
-/// BTree on every operation and steady state never allocates.
-#[derive(Debug, Clone, Default)]
-struct SeqSet(Vec<u64>);
-
-impl SeqSet {
-    fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-
-    fn as_slice(&self) -> &[u64] {
-        &self.0
-    }
-
-    fn first(&self) -> Option<u64> {
-        self.0.first().copied()
-    }
-
-    fn contains(&self, seq: u64) -> bool {
-        self.0.binary_search(&seq).is_ok()
-    }
-
-    fn insert(&mut self, seq: u64) {
-        match self.0.last() {
-            Some(&last) if last >= seq => {
-                if let Err(i) = self.0.binary_search(&seq) {
-                    self.0.insert(i, seq);
-                }
-            }
-            // Dispatch inserts in program order: appending is the norm.
-            _ => self.0.push(seq),
-        }
-    }
-
-    fn remove(&mut self, seq: u64) -> bool {
-        match self.0.binary_search(&seq) {
-            Ok(i) => {
-                self.0.remove(i);
-                true
-            }
-            Err(_) => false,
-        }
-    }
-
-    /// Drops every entry greater than `seq` (squash).
-    fn retain_le(&mut self, seq: u64) {
-        let keep = self.0.partition_point(|&s| s <= seq);
-        self.0.truncate(keep);
-    }
-}
-
-#[derive(Debug, Clone)]
-struct Fetched {
-    pc: u64,
-    inst: Inst,
-    pred: Option<Prediction>,
-}
-
-#[derive(Debug, Clone)]
-struct RobEntry {
-    seq: u64,
-    pc: u64,
-    inst: Inst,
-    kind: UopKind,
-    srcs: [Option<TaggedReg>; 3],
-    dst: Option<TaggedReg>,
-    dst2: Option<TaggedReg>,
-    pred: Option<Prediction>,
-    issued: bool,
-    done: bool,
-    /// Source tags still busy — the entry's not-ready counter in the
-    /// wakeup network. The entry sits in the ready queue iff this is 0
-    /// and it has not issued.
-    pending_srcs: u8,
-    exception: bool,
-    result: Option<u64>,
-    result2: Option<u64>,
-    ea: Option<u64>,
-    taken: Option<bool>,
-    next_pc: u64,
-}
-
-/// The execute-driven out-of-order core.
-///
-/// Construct with a program, a boxed [`Renamer`] (baseline or proposed)
-/// and a [`SimConfig`]; drive with [`Pipeline::run`].
-///
-/// See the crate-level docs for an end-to-end example.
+/// The cycle-accurate out-of-order core.
 pub struct Pipeline {
-    config: SimConfig,
-    program: Program,
-    renamer: Box<dyn Renamer>,
-    rf: [RegFile; 2],
-    scoreboard: Scoreboard,
-    mem_timing: MemoryHierarchy,
-    memory: Memory,
-    bpred: BranchPredictor,
-    fus: FuPool,
-    lsq: LoadStoreQueue,
-    rob: VecDeque<RobEntry>,
-    /// Operand-ready, unissued entries in sequence order — the select
-    /// stage's input. Entries with busy sources are not here; they wait
-    /// in the scoreboard's per-tag waiter lists until woken.
-    ready_q: SeqSet,
-    /// Occupied issue-queue entries (ready + waiting), for dispatch
-    /// capacity accounting.
-    iq_len: usize,
-    /// Scratch buffers reused across cycles by writeback/issue.
-    wake_scratch: Vec<u64>,
-    cand_scratch: Vec<u64>,
-    /// Sequence numbers of in-flight micro-ops carrying an unresolved
-    /// branch opcode, in program order. The oldest entry is the
-    /// speculation boundary the renamer is advanced to each cycle —
-    /// maintained incrementally instead of scanning the ROB per cycle.
-    unresolved_branches: SeqSet,
-    fetch_pc: Option<u64>,
-    fetch_queue: VecDeque<Fetched>,
-    decode_queue: VecDeque<Fetched>,
-    fetch_stall_until: u64,
-    next_seq: u64,
-    cycle: u64,
-    completions: CompletionWheel,
-    oracle: Option<Machine>,
-    /// Armed fault-injection schedule, if any ([`Pipeline::set_inject`]).
-    inject: Option<InjectState>,
-    /// A recovery happened this cycle: run the full architectural diff
-    /// against the oracle at the end of the recovery before resuming.
-    pending_verify: bool,
-    /// Invariant audits performed ([`SimConfig::audit_interval`]).
-    audits: u64,
-    halted: bool,
-    committed_instructions: u64,
-    committed_uops: u64,
-    mispredicts: u64,
-    exceptions: u64,
-    shadow_recovers: u64,
-    expensive_repairs: u64,
-    rename_stall_cycles: u64,
-    last_commit_cycle: u64,
-    int_occupancy: Vec<Sampler>,
-    fp_occupancy: Vec<Sampler>,
-    trace: Vec<TraceEvent>,
-    /// Host wall-clock time accumulated across `run` calls.
-    wall_seconds: f64,
+    core: CoreState,
+    lat: StageIo,
+    fetch: FetchStage,
+    decode: DecodeStage,
+    rename: RenameStage,
+    dispatch: DispatchStage,
+    issue: IssueStage,
+    execute: ExecuteStage,
+    writeback: WritebackStage,
+    commit: CommitStage,
+    recovery: Box<dyn RecoveryPolicy>,
 }
 
 impl Pipeline {
     /// Creates a pipeline at the program entry with cold caches and
-    /// predictors.
+    /// predictors. The issue-selection and recovery policies are built
+    /// from [`SimConfig::issue_policy`] / [`SimConfig::recovery_policy`].
     pub fn new(program: Program, renamer: Box<dyn Renamer>, config: SimConfig) -> Self {
+        let issue_select = config.issue_policy.build();
+        let recovery = config.recovery_policy.build();
         let rf = [
             RegFile::new(renamer.banks(RegClass::Int)),
             RegFile::new(renamer.banks(RegClass::Fp)),
@@ -422,7 +67,7 @@ impl Pipeline {
             .collect();
         let memory = program.data().clone();
         let entry = program.entry() as u64;
-        Pipeline {
+        let core = CoreState {
             bpred: BranchPredictor::new(config.bpred),
             fus: FuPool::new(&config),
             lsq: LoadStoreQueue::new(config.lq_entries, config.sq_entries),
@@ -437,11 +82,8 @@ impl Pipeline {
             ready_q: SeqSet::default(),
             iq_len: 0,
             wake_scratch: Vec::new(),
-            cand_scratch: Vec::new(),
             unresolved_branches: SeqSet::default(),
             fetch_pc: Some(entry),
-            fetch_queue: VecDeque::new(),
-            decode_queue: VecDeque::new(),
             fetch_stall_until: 0,
             next_seq: 1,
             cycle: 0,
@@ -463,117 +105,33 @@ impl Pipeline {
             fp_occupancy,
             trace: Vec::new(),
             wall_seconds: 0.0,
-        }
-    }
-
-    fn trace_event(&mut self, seq: u64, pc: u64, stage: TraceStage) {
-        if self.config.trace && self.trace.len() < 100_000 {
-            self.trace.push(TraceEvent {
-                cycle: self.cycle,
-                seq,
-                pc,
-                stage,
-            });
+        };
+        Pipeline {
+            core,
+            lat: StageIo::default(),
+            fetch: FetchStage,
+            decode: DecodeStage,
+            rename: RenameStage,
+            dispatch: DispatchStage,
+            issue: IssueStage::new(issue_select),
+            execute: ExecuteStage,
+            writeback: WritebackStage,
+            commit: CommitStage,
+            recovery,
         }
     }
 
     /// Drains the recorded cycle trace (empty unless [`SimConfig::trace`]
     /// was set).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.trace)
-    }
-
-    // Sequence numbers are monotonic but not contiguous (squashes leave
-    // gaps). Gaps only ever *remove* seqs, so `seq - front.seq` is an
-    // upper bound on the index and exact whenever no squash gap sits
-    // inside the window — the overwhelmingly common case. Probe that
-    // guess first and fall back to a binary search after a squash.
-    fn rob_index(&self, seq: u64) -> Option<usize> {
-        let front = self.rob.front()?.seq;
-        if seq < front {
-            return None;
-        }
-        let guess = ((seq - front) as usize).min(self.rob.len() - 1);
-        if self.rob[guess].seq == seq {
-            return Some(guess);
-        }
-        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
-    }
-
-    fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
-        let idx = self.rob_index(seq)?;
-        self.rob.get(idx)
-    }
-
-    fn read_operands(&self, srcs: &[Option<TaggedReg>; 3]) -> [u64; 3] {
-        let mut ops = [0u64; 3];
-        for (slot, tag) in ops.iter_mut().zip(srcs.iter()) {
-            if let Some(t) = tag {
-                *slot = self.rf[t.class.index()].read_version(t.preg, t.version);
-            }
-        }
-        ops
+        std::mem::take(&mut self.core.trace)
     }
 
     // ---- diagnostics / fault injection ----
 
     /// Captures the current pipeline state for a diagnostic dump.
     pub fn snapshot(&self) -> PipelineSnapshot {
-        let free = |class: RegClass| {
-            let in_use: usize = self.renamer.in_use_per_bank(class).into_iter().sum();
-            self.renamer.banks(class).total().saturating_sub(in_use)
-        };
-        let head = self.rob.front().map(|e| HeadSnapshot {
-            seq: e.seq,
-            pc: e.pc,
-            inst: e.inst.to_string(),
-            kind: format!("{:?}", e.kind),
-            issued: e.issued,
-            done: e.done,
-            pending_srcs: e.pending_srcs,
-            in_ready_q: self.ready_q.contains(e.seq),
-            has_waiter: self.scoreboard.has_waiter(e.seq),
-            srcs_ready: e
-                .srcs
-                .iter()
-                .flatten()
-                .map(|t| self.scoreboard.is_ready(*t))
-                .collect(),
-            exception: e.exception,
-        });
-        PipelineSnapshot {
-            cycle: self.cycle,
-            last_commit_cycle: self.last_commit_cycle,
-            fetch_pc: self.fetch_pc,
-            fetch_stall_until: self.fetch_stall_until,
-            fetch_queue: self.fetch_queue.len(),
-            decode_queue: self.decode_queue.len(),
-            rob: self.rob.len(),
-            iq: self.iq_len,
-            ready: self.ready_q.as_slice().len(),
-            unresolved_branches: self.unresolved_branches.as_slice().len(),
-            lsq_loads: self.lsq.loads_len(),
-            lsq_stores: self.lsq.stores_len(),
-            free_int: free(RegClass::Int),
-            free_fp: free(RegClass::Fp),
-            head,
-        }
-    }
-
-    fn corrupt_err(&self, what: impl Into<String>) -> SimError {
-        SimError::Invariant {
-            cycle: self.cycle,
-            what: what.into(),
-            snapshot: Box::new(self.snapshot()),
-        }
-    }
-
-    fn lsq_err(&self, error: LsqError) -> SimError {
-        SimError::Lsq {
-            cycle: self.cycle,
-            error,
-            snapshot: Box::new(self.snapshot()),
-        }
+        self.core.snapshot(&self.lat)
     }
 
     /// Arms a deterministic fault-injection schedule. Events fire at the
@@ -581,980 +139,51 @@ impl Pipeline {
     /// architecturally transparent, so a lockstep oracle must still see a
     /// divergence-free run.
     pub fn set_inject(&mut self, schedule: InjectSchedule) {
-        self.inject = Some(InjectState::new(schedule));
+        self.core.inject = Some(InjectState::new(schedule));
     }
 
     /// Counts of injected events actually delivered so far.
     pub fn inject_stats(&self) -> InjectStats {
-        self.inject.as_ref().map(|i| i.stats).unwrap_or_default()
+        self.core
+            .inject
+            .as_ref()
+            .map(|i| i.stats)
+            .unwrap_or_default()
     }
 
     /// Number of invariant audits performed so far.
     pub fn audits(&self) -> u64 {
-        self.audits
+        self.core.audits
     }
 
-    /// Translates due schedule entries into armed one-shot flags and
-    /// executes squash storms on the spot.
-    fn poll_injections(&mut self) {
-        let mut storms: Vec<u8> = Vec::new();
-        {
-            let Some(inj) = &mut self.inject else { return };
-            while let Some(e) = inj.events.get(inj.next) {
-                if e.cycle > self.cycle {
-                    break;
-                }
-                inj.next += 1;
-                match e.kind {
-                    InjectKind::Interrupt => inj.pending_interrupt = true,
-                    InjectKind::LoadFault => inj.armed_load_fault = true,
-                    InjectKind::StoreFault => inj.armed_store_fault = true,
-                    InjectKind::BranchFlip => inj.armed_flip = true,
-                    InjectKind::SquashStorm => storms.push(e.pick),
-                }
-            }
-        }
-        for pick in storms {
-            self.squash_storm(pick);
-        }
-    }
+    // ---- the cycle loop ----
 
-    /// Squashes everything younger than a completed in-flight micro-op,
-    /// exactly as a resolving branch would, and refetches from its
-    /// successor. Candidates are restricted to done, exception-free
-    /// `Main` micro-ops so the cut point's `next_pc` is an
-    /// architecturally valid resume address.
-    fn squash_storm(&mut self, pick: u8) {
-        let candidates: Vec<(u64, u64)> = self
-            .rob
-            .iter()
-            .filter(|e| {
-                e.kind == UopKind::Main && e.done && !e.exception && e.inst.opcode != Opcode::Halt
-            })
-            .map(|e| (e.seq, e.next_pc))
-            .collect();
-        if candidates.is_empty() {
-            return;
-        }
-        let (seq, next_pc) = candidates[pick as usize % candidates.len()];
-        let extra = self.squash_younger_than(seq);
-        self.fetch_pc = Some(next_pc);
-        self.fetch_stall_until = self
-            .fetch_stall_until
-            .max(self.cycle + self.config.mispredict_penalty as u64 + extra as u64);
-        self.pending_verify = true;
-        if let Some(inj) = &mut self.inject {
-            inj.stats.squash_storms += 1;
-        }
-    }
-
-    /// Delivers a pending asynchronous interrupt: flush the entire
-    /// speculative window and refetch from the oldest unretired
-    /// instruction. Runs after writeback so an interrupt armed by a
-    /// misprediction (`interrupts_on_mispredict`) lands in the same cycle
-    /// as the branch's own squash — nested recovery.
-    fn deliver_pending_interrupt(&mut self) {
-        if !self.inject.as_ref().is_some_and(|i| i.pending_interrupt) {
-            return;
-        }
-        if let Some(inj) = &mut self.inject {
-            inj.pending_interrupt = false;
-        }
-        // The precise resume point: the oldest in-flight instruction,
-        // wherever it is in the pipe, else wherever fetch would go next.
-        let resume = self
-            .rob
-            .front()
-            .map(|e| e.pc)
-            .or_else(|| self.decode_queue.front().map(|f| f.pc))
-            .or_else(|| self.fetch_queue.front().map(|f| f.pc))
-            .or(self.fetch_pc);
-        let Some(resume) = resume else {
-            return; // nothing in flight and nothing to fetch: no-op
-        };
-        let squash_seq = self
-            .rob
-            .front()
-            .map(|e| e.seq.saturating_sub(1))
-            .unwrap_or(self.next_seq);
-        let extra = self.squash_younger_than(squash_seq);
-        self.fetch_pc = Some(resume);
-        self.fetch_stall_until = self
-            .fetch_stall_until
-            .max(self.cycle + self.config.exception_penalty as u64 + extra as u64);
-        self.pending_verify = true;
-        if let Some(inj) = &mut self.inject {
-            inj.stats.interrupts += 1;
-        }
-    }
-
-    /// One-shot consumption of an armed forced load fault.
-    fn consume_armed_load_fault(&mut self) -> bool {
-        match &mut self.inject {
-            Some(inj) if inj.armed_load_fault => {
-                inj.armed_load_fault = false;
-                inj.stats.load_faults += 1;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// One-shot consumption of an armed forced store fault.
-    fn consume_armed_store_fault(&mut self) -> bool {
-        match &mut self.inject {
-            Some(inj) if inj.armed_store_fault => {
-                inj.armed_store_fault = false;
-                inj.stats.store_faults += 1;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// If a recovery completed this cycle, diff the full architectural
-    /// state (every register through the retirement map, plus memory)
-    /// against the lockstep oracle. No-op without an oracle.
-    fn check_recovery_boundary(&mut self) -> Result<(), SimError> {
-        if !self.pending_verify {
-            return Ok(());
-        }
-        self.pending_verify = false;
-        self.verify_arch_state()
-    }
-
-    fn verify_arch_state(&self) -> Result<(), SimError> {
-        let Some(oracle) = &self.oracle else {
-            return Ok(());
-        };
-        if let Some(map) = self.renamer.arch_map() {
-            for class in [RegClass::Int, RegClass::Fp] {
-                for (r, tag) in map.iter_class(class) {
-                    if r.is_zero() {
-                        continue;
-                    }
-                    let got = self.rf[tag.class.index()].read_version(tag.preg, tag.version);
-                    let want = oracle.reg_bits(r);
-                    if got != want {
-                        return Err(SimError::OracleMismatch {
-                            cycle: self.cycle,
-                            detail: format!(
-                                "architectural state diff: {r} (mapped to {tag}) \
-                                 is {got:#x}, oracle has {want:#x}"
-                            ),
-                            snapshot: Box::new(self.snapshot()),
-                        });
-                    }
-                }
-            }
-        }
-        if let Some((addr, got, want)) = self.memory.first_difference(oracle.memory()) {
-            return Err(SimError::OracleMismatch {
-                cycle: self.cycle,
-                detail: format!("memory diff: byte {addr:#x} is {got:#x}, oracle has {want:#x}"),
-                snapshot: Box::new(self.snapshot()),
-            });
-        }
-        Ok(())
-    }
-
-    // ---- invariant audits ----
-
-    /// Every [`SimConfig::audit_interval`] cycles, cross-check the
-    /// renamer's bookkeeping (free list / PRT / map tables) and the
-    /// pipeline's IQ/ROB/wakeup state against their invariants.
-    fn audit_if_due(&mut self) -> Result<(), SimError> {
-        let n = self.config.audit_interval;
-        if n == 0 || self.cycle == 0 || !self.cycle.is_multiple_of(n) {
-            return Ok(());
-        }
-        self.audits += 1;
-        if let Err(what) = self.renamer.audit() {
-            return Err(self.corrupt_err(format!("renamer audit: {what}")));
-        }
-        self.audit_pipeline()
-    }
-
-    fn audit_pipeline(&self) -> Result<(), SimError> {
-        let max_version = self.renamer.max_version();
-        let mut unissued = 0usize;
-        let mut prev_seq = None;
-        for e in &self.rob {
-            if let Some(p) = prev_seq {
-                if e.seq <= p {
-                    return Err(
-                        self.corrupt_err(format!("ROB order: seq {} follows seq {p}", e.seq))
-                    );
-                }
-            }
-            prev_seq = Some(e.seq);
-            let busy = e
-                .srcs
-                .iter()
-                .flatten()
-                .filter(|t| !self.scoreboard.is_ready(**t))
-                .count() as u8;
-            if !e.issued {
-                unissued += 1;
-                if e.pending_srcs != busy {
-                    return Err(self.corrupt_err(format!(
-                        "seq {}: pending_srcs {} but {busy} busy source operand(s)",
-                        e.seq, e.pending_srcs
-                    )));
-                }
-                if (e.pending_srcs == 0) != self.ready_q.contains(e.seq) {
-                    return Err(self.corrupt_err(format!(
-                        "seq {}: ready-queue membership ({}) disagrees with pending_srcs {}",
-                        e.seq,
-                        self.ready_q.contains(e.seq),
-                        e.pending_srcs
-                    )));
-                }
-            } else if e.pending_srcs != 0 {
-                return Err(self.corrupt_err(format!(
-                    "seq {} issued with pending_srcs {}",
-                    e.seq, e.pending_srcs
-                )));
-            }
-            if e.done {
-                for tag in [e.dst, e.dst2].into_iter().flatten() {
-                    if !self.scoreboard.is_ready(tag) {
-                        return Err(self.corrupt_err(format!(
-                            "seq {} done but destination {tag} is still busy",
-                            e.seq
-                        )));
-                    }
-                }
-            }
-            for tag in e.srcs.iter().chain([e.dst, e.dst2].iter()).flatten() {
-                if tag.version > max_version {
-                    return Err(self.corrupt_err(format!(
-                        "seq {}: tag {tag} version exceeds the counter maximum {max_version}",
-                        e.seq
-                    )));
-                }
-                let cells = self.renamer.banks(tag.class).shadow_cells_of(tag.preg);
-                if tag.version > 0 && tag.version > cells {
-                    return Err(self.corrupt_err(format!(
-                        "seq {}: tag {tag} version has no backing shadow cell ({cells} available)",
-                        e.seq
-                    )));
-                }
-            }
-        }
-        if unissued != self.iq_len {
-            return Err(self.corrupt_err(format!(
-                "issue-queue occupancy {} but {unissued} unissued ROB entries",
-                self.iq_len
-            )));
-        }
-        for &seq in self.ready_q.as_slice() {
-            match self.rob_entry(seq) {
-                None => {
-                    return Err(self.corrupt_err(format!(
-                        "ready queue holds seq {seq} which is not in the ROB"
-                    )));
-                }
-                Some(e) if e.issued => {
-                    return Err(self.corrupt_err(format!("ready queue holds issued seq {seq}")));
-                }
-                Some(_) => {}
-            }
-        }
-        Ok(())
-    }
-
-    // ---- commit ----
-
-    fn commit(&mut self) -> Result<(), SimError> {
-        for _ in 0..self.config.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.done {
-                break;
-            }
-            if head.exception {
-                let (seq, pc, ea) = (head.seq, head.pc, head.ea);
-                self.take_exception(seq, pc, ea);
-                break;
-            }
-            let Some(head) = self.rob.pop_front() else {
-                break;
-            };
-            if head.kind == UopKind::Main && head.inst.opcode.is_store() {
-                let (addr, width, value) = match self.lsq.commit_store(head.seq) {
-                    Ok(committed) => committed,
-                    Err(e) => return Err(self.lsq_err(e)),
-                };
-                self.memory.write(addr, value, width);
-                self.mem_timing
-                    .access_data(head.pc * 4, addr, true, self.cycle);
-            }
-            if head.kind == UopKind::Main && head.inst.opcode.is_load() {
-                if let Err(e) = self.lsq.commit_load(head.seq) {
-                    return Err(self.lsq_err(e));
-                }
-            }
-            self.renamer.commit(head.seq);
-            self.trace_event(head.seq, head.pc, TraceStage::Commit);
-            self.committed_uops += 1;
-            if head.kind == UopKind::Main {
-                self.committed_instructions += 1;
-                if let Err(detail) = self.check_oracle(&head) {
-                    return Err(SimError::OracleMismatch {
-                        cycle: self.cycle,
-                        detail,
-                        snapshot: Box::new(self.snapshot()),
-                    });
-                }
-            }
-            self.last_commit_cycle = self.cycle;
-            if head.inst.opcode == Opcode::Halt && head.kind == UopKind::Main {
-                self.halted = true;
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    // Returns the divergence detail only; the caller wraps it into
-    // `SimError::OracleMismatch` with a snapshot (the oracle is borrowed
-    // mutably here, so the snapshot must be taken outside).
-    fn check_oracle(&mut self, head: &RobEntry) -> Result<(), String> {
-        let Some(oracle) = &mut self.oracle else {
-            return Ok(());
-        };
-        let expected = oracle
-            .step()
-            .map_err(|e| format!("oracle failed at sim pc {}: {e}", head.pc))?
-            .ok_or_else(|| format!("sim committed pc {} after oracle halted", head.pc))?;
-        let mismatch = |what: &str, exp: String, got: String| {
-            Err(format!(
-                "{what} differs at pc {} ({}): oracle {exp}, sim {got}",
-                head.pc, head.inst
-            ))
-        };
-        if expected.pc != head.pc {
-            return mismatch("pc", expected.pc.to_string(), head.pc.to_string());
-        }
-        if head.dst.is_some() && expected.wvalue != head.result {
-            return mismatch(
-                "destination value",
-                format!("{:?}", expected.wvalue),
-                format!("{:?}", head.result),
-            );
-        }
-        if head.dst2.is_some() && expected.wvalue2 != head.result2 {
-            return mismatch(
-                "writeback value",
-                format!("{:?}", expected.wvalue2),
-                format!("{:?}", head.result2),
-            );
-        }
-        if expected.ea != head.ea {
-            return mismatch(
-                "effective address",
-                format!("{:?}", expected.ea),
-                format!("{:?}", head.ea),
-            );
-        }
-        if expected.taken != head.taken {
-            return mismatch(
-                "branch outcome",
-                format!("{:?}", expected.taken),
-                format!("{:?}", head.taken),
-            );
-        }
-        Ok(())
-    }
-
-    fn squash_younger_than(&mut self, seq: u64) -> u32 {
-        while matches!(self.rob.back(), Some(e) if e.seq > seq) {
-            let Some(e) = self.rob.pop_back() else { break };
-            if !e.issued {
-                self.iq_len -= 1;
-                if e.pending_srcs == 0 {
-                    self.ready_q.remove(e.seq);
-                }
-            }
-        }
-        // Squashed consumers still parked in the wakeup network must not
-        // be woken by surviving producers.
-        self.scoreboard.drain_waiters_after(seq);
-        self.unresolved_branches.retain_le(seq);
-        self.lsq.squash_after(seq);
-        self.fetch_queue.clear();
-        self.decode_queue.clear();
-        let outcome = self.renamer.squash_after(seq);
-        let mut recovered = 0u32;
-        for tag in outcome.recovers {
-            if self.rf[tag.class.index()].recover(tag.preg, tag.version) {
-                recovered += 1;
-            }
-        }
-        self.shadow_recovers += recovered as u64;
-        recovered.div_ceil(self.config.recover_bandwidth.max(1))
-    }
-
-    fn take_exception(&mut self, seq: u64, pc: u64, ea: Option<u64>) {
-        // Flush the entire pipeline, including the faulting instruction
-        // (it re-executes after the handler), and restore precise state.
-        let extra = self.squash_younger_than(seq - 1);
-        if let Some(addr) = ea {
-            self.mem_timing.tlb_mut().take_fault(addr);
-        }
-        self.fetch_pc = Some(pc);
-        self.fetch_stall_until = self.cycle + self.config.exception_penalty as u64 + extra as u64;
-        self.exceptions += 1;
-        self.pending_verify = true;
-    }
-
-    // ---- writeback ----
-
-    /// Sets `tag` ready and delivers the wakeup to every consumer parked
-    /// on it: each broadcast decrements the consumer's not-ready counter,
-    /// and a counter reaching zero moves the entry to the ready queue.
-    fn broadcast_ready(&mut self, tag: TaggedReg) -> Result<(), SimError> {
-        let mut woken = std::mem::take(&mut self.wake_scratch);
-        self.scoreboard.set_ready(tag, &mut woken);
-        for i in 0..woken.len() {
-            let seq = woken[i];
-            // Waiters are drained on squash, so a woken seq must be a
-            // live ROB entry still counting down busy sources.
-            let mut problem = None;
-            match self.rob_index(seq) {
-                Some(idx) => {
-                    let e = &mut self.rob[idx];
-                    if e.pending_srcs == 0 {
-                        problem = Some("woken with no pending source operands");
-                    } else {
-                        e.pending_srcs -= 1;
-                        if e.pending_srcs == 0 {
-                            self.ready_q.insert(seq);
-                        }
-                    }
-                }
-                None => problem = Some("a scoreboard waiter that is not in the ROB"),
-            }
-            if let Some(what) = problem {
-                woken.clear();
-                self.wake_scratch = woken;
-                return Err(self.corrupt_err(format!("wakeup on {tag}: seq {seq} is {what}")));
-            }
-        }
-        woken.clear();
-        self.wake_scratch = woken;
-        Ok(())
-    }
-
-    fn writeback(&mut self) -> Result<(), SimError> {
-        let mut seqs = self.completions.take(self.cycle);
-        if seqs.is_empty() {
-            self.completions.recycle(seqs);
-            return Ok(());
-        }
-        // Out-of-order issue can schedule completions for one cycle in
-        // any order; broadcast oldest-first like real wakeup ports.
-        seqs.sort_unstable();
-        for &seq in &seqs {
-            let Some(idx) = self.rob_index(seq) else {
-                continue; // squashed while in flight
-            };
-            // `idx` stays valid through the wakeup broadcasts below: they
-            // mutate entries in place but never insert or remove.
-            let (dst, result, dst2, result2, is_branch) = {
-                let e = &mut self.rob[idx];
-                e.done = true;
-                (
-                    e.dst,
-                    e.result,
-                    e.dst2,
-                    e.result2,
-                    e.inst.opcode.is_branch(),
-                )
-            };
-            if is_branch {
-                self.unresolved_branches.remove(seq);
-            }
-            self.renamer.on_writeback(seq);
-            if self.config.trace {
-                let pc = self.rob[idx].pc;
-                self.trace_event(seq, pc, TraceStage::Writeback);
-            }
-            if let Some(tag) = dst {
-                let Some(bits) = result else {
-                    return Err(
-                        self.corrupt_err(format!("seq {seq} writes {tag} but produced no value"))
-                    );
-                };
-                self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
-                self.broadcast_ready(tag)?;
-            }
-            if let Some(tag) = dst2 {
-                let Some(bits) = result2 else {
-                    return Err(self.corrupt_err(format!(
-                        "seq {seq} writes back {tag} but produced no value"
-                    )));
-                };
-                self.rf[tag.class.index()].write(tag.preg, tag.version, bits);
-                self.broadcast_ready(tag)?;
-            }
-            // Resolve branches.
-            let e = &self.rob[idx];
-            if e.kind == UopKind::Main && e.inst.opcode.is_branch() {
-                let (pc, inst, next_pc) = (e.pc, e.inst, e.next_pc);
-                let (taken, pred) = match (e.taken, e.pred) {
-                    (Some(t), Some(p)) => (t, p),
-                    _ => {
-                        return Err(self.corrupt_err(format!(
-                            "resolved branch seq {seq} is missing its outcome or prediction"
-                        )));
-                    }
-                };
-                let target = next_pc;
-                self.bpred.update(pc, &inst, taken, target, pred);
-                let mispredicted = pred.taken != taken || (taken && pred.target != target);
-                if mispredicted {
-                    self.mispredicts += 1;
-                    let extra = self.squash_younger_than(seq);
-                    self.fetch_pc = Some(next_pc);
-                    self.fetch_stall_until = self
-                        .fetch_stall_until
-                        .max(self.cycle + self.config.mispredict_penalty as u64 + extra as u64);
-                    self.pending_verify = true;
-                    // Nested-recovery injection: an interrupt scheduled
-                    // on this misprediction ordinal is delivered later
-                    // this same cycle, mid-recovery.
-                    if let Some(inj) = &mut self.inject {
-                        let ordinal = inj.mispredicts_seen;
-                        inj.mispredicts_seen += 1;
-                        if inj.nested_ordinals.binary_search(&ordinal).is_ok() {
-                            inj.pending_interrupt = true;
-                            inj.stats.nested_interrupts += 1;
-                        }
-                    }
-                }
-            }
-        }
-        self.completions.recycle(seqs);
-        Ok(())
-    }
-
-    // ---- issue / execute ----
-
-    fn issue(&mut self) -> Result<(), SimError> {
-        if self.ready_q.is_empty() {
-            return Ok(());
-        }
-        let mut issued: Vec<u64> = Vec::new();
-        // Select in sequence order — the same oldest-first policy the
-        // poll-based scheduler had, since the old queue was scanned in
-        // dispatch order. Entries that fail to issue (busy functional
-        // unit, store-set conflict, unresolved older store) stay in the
-        // ready queue and retry next cycle.
-        let mut candidates = std::mem::take(&mut self.cand_scratch);
-        candidates.clear();
-        candidates.extend_from_slice(self.ready_q.as_slice());
-        for seq in candidates.drain(..) {
-            if issued.len() >= self.config.issue_width {
-                break;
-            }
-            let Some(idx) = self.rob_index(seq) else {
-                issued.push(seq); // squashed; drop from the ready queue
-                continue;
-            };
-            let entry = &self.rob[idx];
-            debug_assert!(
-                entry
-                    .srcs
-                    .iter()
-                    .flatten()
-                    .all(|t| self.scoreboard.is_ready(*t)),
-                "seq {seq} selected with a busy source operand",
-            );
-            let inst = entry.inst;
-            let kind = entry.kind;
-            let pc = entry.pc;
-            let srcs = entry.srcs;
-            match kind {
-                UopKind::RepairMove => {
-                    let Some(lat) = self
-                        .fus
-                        .try_issue(regshare_isa::OpClass::IntAlu, self.cycle)
-                    else {
-                        continue;
-                    };
-                    let Some(src) = srcs[0] else {
-                        return Err(self
-                            .corrupt_err(format!("repair move seq {seq} has no source operand")));
-                    };
-                    let expensive = self.rf[src.class.index()].needs_recover(src.preg, src.version);
-                    let value = self.rf[src.class.index()].read_version(src.preg, src.version);
-                    let total = if expensive {
-                        self.expensive_repairs += 1;
-                        lat + 2 // the 3-step micro-op sequence of Fig. 8 2(a)
-                    } else {
-                        lat
-                    };
-                    let e = &mut self.rob[idx];
-                    e.result = Some(value);
-                    e.issued = true;
-                    self.schedule(seq, total);
-                    issued.push(seq);
-                }
-                UopKind::Main if inst.opcode.is_load() => {
-                    if !self.lsq.older_stores_resolved(seq) {
-                        continue;
-                    }
-                    let ops = self.read_operands(&srcs);
-                    let (ea, width, writeback) = match exec::evaluate(&inst, pc, ops) {
-                        Action::Load { ea, width } => (ea, width, None),
-                        Action::LoadPost {
-                            ea,
-                            width,
-                            writeback,
-                        } => (ea, width, Some(writeback)),
-                        other => {
-                            return Err(self.corrupt_err(format!(
-                                "load seq {seq} evaluated to a non-load action {other:?}"
-                            )));
-                        }
-                    };
-                    let found = match self.lsq.search(seq, ea, width) {
-                        Ok(found) => found,
-                        Err(e) => return Err(self.lsq_err(e)),
-                    };
-                    match found {
-                        StoreSearch::Conflict { .. } => continue,
-                        StoreSearch::Forward(bits) => {
-                            if self
-                                .fus
-                                .try_issue(regshare_isa::OpClass::Load, self.cycle)
-                                .is_none()
-                            {
-                                continue;
-                            }
-                            let lat = 1 + self.config.mem.l1d.latency;
-                            let e = &mut self.rob[idx];
-                            e.result = Some(bits);
-                            e.result2 = writeback;
-                            e.ea = Some(ea);
-                            e.issued = true;
-                            self.schedule(seq, lat);
-                            issued.push(seq);
-                        }
-                        StoreSearch::Memory => {
-                            if self
-                                .fus
-                                .try_issue(regshare_isa::OpClass::Load, self.cycle)
-                                .is_none()
-                            {
-                                continue;
-                            }
-                            let access =
-                                self.mem_timing
-                                    .access_data_checked(pc * 4, ea, false, self.cycle);
-                            let (lat, bits, fault) = match access {
-                                DataAccess::Done(lat) => {
-                                    (1 + lat, self.memory.read(ea, width), false)
-                                }
-                                DataAccess::Fault => (2, 0, true),
-                            };
-                            // A forced fault retries cleanly after the
-                            // precise flush (the armed flag is one-shot).
-                            let fault = fault || self.consume_armed_load_fault();
-                            let e = &mut self.rob[idx];
-                            e.result = Some(bits);
-                            e.result2 = writeback;
-                            e.ea = Some(ea);
-                            e.exception = fault;
-                            e.issued = true;
-                            self.schedule(seq, lat);
-                            issued.push(seq);
-                        }
-                    }
-                }
-                UopKind::Main if inst.opcode.is_store() => {
-                    let Some(lat) = self.fus.try_issue(regshare_isa::OpClass::Store, self.cycle)
-                    else {
-                        continue;
-                    };
-                    let ops = self.read_operands(&srcs);
-                    let (ea, width, value, writeback) = match exec::evaluate(&inst, pc, ops) {
-                        Action::Store { ea, width, value } => (ea, width, value, None),
-                        Action::StorePost {
-                            ea,
-                            width,
-                            value,
-                            writeback,
-                        } => (ea, width, value, Some(writeback)),
-                        other => {
-                            return Err(self.corrupt_err(format!(
-                                "store seq {seq} evaluated to a non-store action {other:?}"
-                            )));
-                        }
-                    };
-                    if let Err(e) = self.lsq.resolve_store(seq, ea, width, value) {
-                        return Err(self.lsq_err(e));
-                    }
-                    let forced = self.consume_armed_store_fault();
-                    let fault = self.mem_timing.tlb().would_fault(ea) || forced;
-                    let e = &mut self.rob[idx];
-                    e.ea = Some(ea);
-                    e.result2 = writeback;
-                    e.exception = fault;
-                    e.issued = true;
-                    self.schedule(seq, lat);
-                    issued.push(seq);
-                }
-                UopKind::Main => {
-                    let class = inst.opcode.class();
-                    let Some(lat) = self.fus.try_issue(class, self.cycle) else {
-                        continue;
-                    };
-                    let ops = self.read_operands(&srcs);
-                    let action = exec::evaluate(&inst, pc, ops);
-                    let e = &mut self.rob[idx];
-                    match action {
-                        Action::Value(bits) => {
-                            e.result = Some(bits);
-                            e.next_pc = pc + 1;
-                        }
-                        Action::Branch {
-                            taken,
-                            target,
-                            link,
-                        } => {
-                            e.taken = Some(taken);
-                            e.next_pc = if taken { target } else { pc + 1 };
-                            e.result = link;
-                        }
-                        Action::Nop | Action::Halt => {
-                            e.next_pc = pc + 1;
-                        }
-                        Action::Load { .. }
-                        | Action::Store { .. }
-                        | Action::LoadPost { .. }
-                        | Action::StorePost { .. } => {
-                            return Err(self.corrupt_err(format!(
-                                "non-memory seq {seq} evaluated to a memory action"
-                            )));
-                        }
-                    }
-                    e.issued = true;
-                    self.schedule(seq, lat);
-                    issued.push(seq);
-                }
-            }
-        }
-        for s in &issued {
-            if self.ready_q.remove(*s) {
-                self.iq_len -= 1;
-            }
-        }
-        self.cand_scratch = candidates;
-        Ok(())
-    }
-
-    fn schedule(&mut self, seq: u64, latency: u32) {
-        self.renamer.on_operands_read(seq);
-        if self.config.trace {
-            if let Some(pc) = self.rob_entry(seq).map(|e| e.pc) {
-                self.trace_event(seq, pc, TraceStage::Issue);
-            }
-        }
-        self.completions
-            .schedule(self.cycle + latency.max(1) as u64, seq);
-    }
-
-    // ---- rename/dispatch ----
-
-    fn rename_dispatch(&mut self) {
-        const WORST_CASE_UOPS: usize = 4;
-        let mut stalled_for_regs = false;
-        for _ in 0..self.config.rename_width {
-            let Some(f) = self.decode_queue.front() else {
-                break;
-            };
-            let rob_free = self.config.rob_entries - self.rob.len();
-            let iq_free = self.config.iq_entries - self.iq_len;
-            let is_load = f.inst.opcode.is_load() as usize;
-            let is_store = f.inst.opcode.is_store() as usize;
-            if rob_free < WORST_CASE_UOPS
-                || iq_free < WORST_CASE_UOPS
-                || !self.lsq.has_room(is_load, is_store)
-            {
-                break;
-            }
-            let Some(uops) = self.renamer.rename(self.next_seq, f.pc, &f.inst) else {
-                stalled_for_regs = true;
-                break;
-            };
-            let f = self.decode_queue.pop_front().expect("front checked above");
-            self.next_seq += uops.len() as u64;
-            for uop in uops {
-                for dst in [uop.dst, uop.dst2].into_iter().flatten() {
-                    self.scoreboard.set_busy(dst);
-                    if dst.version == 0 {
-                        self.rf[dst.class.index()].reset_on_alloc(dst.preg);
-                    }
-                }
-                let is_main = uop.kind == UopKind::Main;
-                if is_main && f.inst.opcode.is_load() {
-                    self.lsq.dispatch_load(uop.seq);
-                }
-                if is_main && f.inst.opcode.is_store() {
-                    self.lsq.dispatch_store(uop.seq);
-                }
-                self.trace_event(uop.seq, f.pc, TraceStage::Dispatch);
-                // Register with the wakeup network: count the busy
-                // sources and park on each; producers can only precede
-                // consumers in rename order, so a tag observed ready
-                // here stays ready until this entry issues.
-                let mut pending_srcs = 0u8;
-                for tag in uop.srcs.iter().flatten() {
-                    if !self.scoreboard.is_ready(*tag) {
-                        self.scoreboard.watch(*tag, uop.seq);
-                        pending_srcs += 1;
-                    }
-                }
-                self.rob.push_back(RobEntry {
-                    seq: uop.seq,
-                    pc: f.pc,
-                    inst: f.inst,
-                    kind: uop.kind,
-                    srcs: uop.srcs,
-                    dst: uop.dst,
-                    dst2: uop.dst2,
-                    pred: if is_main { f.pred } else { None },
-                    issued: false,
-                    done: false,
-                    pending_srcs,
-                    exception: false,
-                    result: None,
-                    result2: None,
-                    ea: None,
-                    taken: None,
-                    next_pc: f.pc + 1,
-                });
-                if pending_srcs == 0 {
-                    self.ready_q.insert(uop.seq);
-                }
-                self.iq_len += 1;
-                if f.inst.opcode.is_branch() {
-                    self.unresolved_branches.insert(uop.seq);
-                }
-            }
-        }
-        if stalled_for_regs {
-            self.rename_stall_cycles += 1;
-        }
-    }
-
-    // ---- front end ----
-
-    fn decode(&mut self) {
-        let cap = self.config.rename_width * 2;
-        for _ in 0..self.config.decode_width {
-            if self.decode_queue.len() >= cap {
-                break;
-            }
-            let Some(f) = self.fetch_queue.pop_front() else {
-                break;
-            };
-            self.decode_queue.push_back(f);
-        }
-    }
-
-    fn fetch(&mut self) {
-        if self.cycle < self.fetch_stall_until {
-            return;
-        }
-        let Some(mut pc) = self.fetch_pc else { return };
-        for _ in 0..self.config.fetch_width {
-            if self.fetch_queue.len() >= self.config.fetch_queue {
-                break;
-            }
-            let Some(inst) = self.program.fetch(pc).copied() else {
-                // Ran off the program (wrong path): wait for a redirect.
-                self.fetch_pc = None;
-                return;
-            };
-            let lat = self.mem_timing.access_inst(pc * 4, self.cycle);
-            if lat > self.config.mem.l1i.latency {
-                // I-cache miss: nothing is delivered until the line
-                // arrives; fetch retries this PC after the fill.
-                self.fetch_stall_until = self.cycle + lat as u64;
-                self.fetch_pc = Some(pc);
-                return;
-            }
-            let pred = inst.opcode.is_branch().then(|| {
-                let mut p = self.bpred.predict(pc, &inst);
-                // An armed injection flip inverts the next prediction,
-                // manufacturing a misprediction (and its recovery) the
-                // workload would not produce on its own. Wrong-path
-                // fetch is already a normal mode of this pipeline.
-                if let Some(inj) = &mut self.inject {
-                    if inj.armed_flip {
-                        inj.armed_flip = false;
-                        inj.stats.branch_flips += 1;
-                        p.taken = !p.taken;
-                    }
-                }
-                p
-            });
-            let taken_pred = pred.map(|p| p.taken).unwrap_or(false);
-            let next = match pred {
-                Some(p) if p.taken => p.target,
-                _ => pc + 1,
-            };
-            let is_halt = inst.opcode == Opcode::Halt;
-            self.fetch_queue.push_back(Fetched { pc, inst, pred });
-            if is_halt {
-                self.fetch_pc = None;
-                return;
-            }
-            pc = next;
-            if taken_pred || self.cycle < self.fetch_stall_until {
-                break; // a taken branch or an i-cache miss ends the group
-            }
-        }
-        self.fetch_pc = Some(pc);
-    }
-
-    fn sample_occupancy(&mut self) {
-        let interval = self.config.occupancy_sample_interval;
-        if interval == 0 || !self.cycle.is_multiple_of(interval) {
-            return;
-        }
-        for (class, samplers) in [
-            (RegClass::Int, &mut self.int_occupancy),
-            (RegClass::Fp, &mut self.fp_occupancy),
-        ] {
-            for (k, used) in self.renamer.in_use_per_bank(class).into_iter().enumerate() {
-                samplers[k].record(used as u64);
-            }
-        }
-    }
-
-    /// Runs one cycle.
+    /// Runs one cycle, ticking the stages oldest-first so each stage
+    /// sees the machine state its position in the pipe implies.
     fn step(&mut self) -> Result<(), SimError> {
-        self.poll_injections();
-        self.commit()?;
-        if self.halted {
+        let policy = self.recovery.as_ref();
+        recovery::poll_injections(&mut self.core, &mut self.lat, policy);
+        if self.commit.tick(&mut self.core, &mut self.lat, policy)? == StageOutcome::Halted {
             return Ok(());
         }
-        self.writeback()?;
-        self.deliver_pending_interrupt();
-        self.check_recovery_boundary()?;
-        let boundary = self.unresolved_branches.first().unwrap_or(self.next_seq);
-        self.renamer.advance_nonspeculative(boundary);
-        self.issue()?;
-        self.rename_dispatch();
-        self.decode();
-        self.fetch();
-        self.audit_if_due()?;
-        self.sample_occupancy();
-        self.cycle += 1;
+        self.writeback.tick(&mut self.core, &mut self.lat, policy)?;
+        recovery::deliver_pending_interrupt(&mut self.core, &mut self.lat, policy);
+        self.core.check_recovery_boundary(&self.lat)?;
+        let boundary = self
+            .core
+            .unresolved_branches
+            .first()
+            .unwrap_or(self.core.next_seq);
+        self.core.renamer.advance_nonspeculative(boundary);
+        self.issue
+            .tick(&mut self.core, &mut self.lat, &mut self.execute)?;
+        self.rename
+            .tick(&mut self.core, &mut self.lat, &mut self.dispatch);
+        self.decode.tick(&mut self.core, &mut self.lat);
+        self.fetch.tick(&mut self.core, &mut self.lat);
+        self.core.audit_if_due(&self.lat)?;
+        self.core.sample_occupancy();
+        self.core.cycle += 1;
         Ok(())
     }
 
@@ -1569,7 +198,7 @@ impl Pipeline {
     pub fn run(&mut self) -> Result<SimReport, SimError> {
         let started = Instant::now();
         let result = self.run_loop();
-        self.wall_seconds += started.elapsed().as_secs_f64();
+        self.core.wall_seconds += started.elapsed().as_secs_f64();
         result?;
         Ok(self.report())
     }
@@ -1577,34 +206,35 @@ impl Pipeline {
     fn run_loop(&mut self) -> Result<(), SimError> {
         loop {
             self.step()?;
-            if self.halted {
+            if self.core.halted {
                 break;
             }
-            if self.config.max_instructions > 0
-                && self.committed_instructions >= self.config.max_instructions
+            if self.core.config.max_instructions > 0
+                && self.core.committed_instructions >= self.core.config.max_instructions
             {
                 break;
             }
-            if self.config.max_cycles > 0 && self.cycle >= self.config.max_cycles {
+            if self.core.config.max_cycles > 0 && self.core.cycle >= self.core.config.max_cycles {
                 return Err(SimError::CycleLimit {
-                    cycles: self.config.max_cycles,
+                    cycles: self.core.config.max_cycles,
                 });
             }
             // Forward-progress watchdog: convert a hang into a
             // structured diagnostic with a full pipeline snapshot
             // (the snapshot's head section carries operand readiness).
-            if !self.rob.is_empty() && self.cycle - self.last_commit_cycle > 100_000 {
+            if !self.core.rob.is_empty() && self.core.cycle - self.core.last_commit_cycle > 100_000
+            {
                 return Err(SimError::Deadlock {
-                    cycle: self.cycle,
-                    head_seq: self.rob.front().map(|e| e.seq),
-                    snapshot: Box::new(self.snapshot()),
+                    cycle: self.core.cycle,
+                    head_seq: self.core.rob.front().map(|e| e.seq),
+                    snapshot: Box::new(self.core.snapshot(&self.lat)),
                 });
             }
         }
-        if self.halted {
+        if self.core.halted {
             // End-of-run precise-state check: the committed register file
             // and memory must match the functional oracle exactly.
-            self.verify_arch_state()?;
+            self.core.verify_arch_state(&self.lat)?;
         }
         Ok(())
     }
@@ -1612,46 +242,47 @@ impl Pipeline {
     /// The report for the simulation so far.
     pub fn report(&self) -> SimReport {
         SimReport {
-            cycles: self.cycle,
-            committed_instructions: self.committed_instructions,
-            committed_uops: self.committed_uops,
-            halted: self.halted,
-            mispredicts: self.mispredicts,
-            exceptions: self.exceptions,
-            shadow_recovers: self.shadow_recovers,
-            expensive_repairs: self.expensive_repairs,
-            rename_stall_cycles: self.rename_stall_cycles,
-            branch_direction_accuracy: self.bpred.direction_accuracy().fraction(),
-            l1d_hit_rate: self.mem_timing.l1d().hit_ratio().fraction(),
-            l2_hit_rate: self.mem_timing.l2().hit_ratio().fraction(),
-            tlb_hit_rate: self.mem_timing.tlb().hit_ratio().fraction(),
-            rename: self.renamer.stats().clone(),
-            predictor: self.renamer.predictor_stats(),
-            int_occupancy: self.int_occupancy.clone(),
-            fp_occupancy: self.fp_occupancy.clone(),
-            wall_seconds: self.wall_seconds,
+            cycles: self.core.cycle,
+            committed_instructions: self.core.committed_instructions,
+            committed_uops: self.core.committed_uops,
+            halted: self.core.halted,
+            mispredicts: self.core.mispredicts,
+            exceptions: self.core.exceptions,
+            shadow_recovers: self.core.shadow_recovers,
+            expensive_repairs: self.core.expensive_repairs,
+            rename_stall_cycles: self.core.rename_stall_cycles,
+            branch_direction_accuracy: self.core.bpred.direction_accuracy().fraction(),
+            l1d_hit_rate: self.core.mem_timing.l1d().hit_ratio().fraction(),
+            l2_hit_rate: self.core.mem_timing.l2().hit_ratio().fraction(),
+            tlb_hit_rate: self.core.mem_timing.tlb().hit_ratio().fraction(),
+            rename: self.core.renamer.stats().clone(),
+            predictor: self.core.renamer.predictor_stats(),
+            int_occupancy: self.core.int_occupancy.clone(),
+            fp_occupancy: self.core.fp_occupancy.clone(),
+            wall_seconds: self.core.wall_seconds,
         }
     }
 
     /// The committed data memory (for end-of-run output checks).
     pub fn memory(&self) -> &Memory {
-        &self.memory
+        &self.core.memory
     }
 
     /// Current cycle count.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.core.cycle
     }
 
     /// The renamer, for scheme-specific inspection.
     pub fn renamer(&self) -> &dyn Renamer {
-        self.renamer.as_ref()
+        self.core.renamer.as_ref()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LsqError;
     use regshare_core::{BaselineRenamer, RenamerConfig, ReuseRenamer};
     use regshare_isa::{reg, Asm};
 
@@ -1861,6 +492,7 @@ mod tests {
 #[cfg(test)]
 mod trace_tests {
     use super::*;
+    use crate::errors::TraceStage;
     use regshare_core::{BaselineRenamer, RenamerConfig};
     use regshare_isa::{reg, Asm};
 

@@ -1,0 +1,174 @@
+//! Pluggable scheduling and recovery policies, selected through
+//! [`SimConfig`] ([`crate::IssuePolicyKind`],
+//! [`crate::RecoveryPolicyKind`]) so experiments can sweep them.
+
+use crate::config::{IssuePolicyKind, RecoveryPolicyKind};
+use crate::SimConfig;
+
+/// The issue stage's selection order: given the operand-ready micro-ops
+/// in sequence order, emit the candidate order the select ports should
+/// consider them in. Selection is still bounded by
+/// [`SimConfig::issue_width`] and by structural hazards downstream;
+/// candidates that fail to issue retry next cycle.
+pub trait IssueSelect {
+    /// A short label for reports and sweeps.
+    fn name(&self) -> &'static str;
+
+    /// Appends the candidate order to `out`. `ready` is sorted by
+    /// sequence number (oldest first) and `out` arrives empty.
+    fn select(&self, ready: &[u64], out: &mut Vec<u64>);
+}
+
+/// Oldest-first (age-ordered) select — the classic select matrix and the
+/// order the paper's results assume. This is the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OldestFirst;
+
+impl IssueSelect for OldestFirst {
+    fn name(&self) -> &'static str {
+        "oldest-first"
+    }
+
+    fn select(&self, ready: &[u64], out: &mut Vec<u64>) {
+        out.extend_from_slice(ready);
+    }
+}
+
+/// Youngest-first select — an adversarial order that starves old
+/// micro-ops and maximises in-flight reordering; useful for stressing
+/// dependence tracking and recovery, not for performance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YoungestFirst;
+
+impl IssueSelect for YoungestFirst {
+    fn name(&self) -> &'static str {
+        "youngest-first"
+    }
+
+    fn select(&self, ready: &[u64], out: &mut Vec<u64>) {
+        out.extend(ready.iter().rev());
+    }
+}
+
+/// How a mis-speculation recovery is charged. Every recovery performs
+/// the identical architectural restore — ROB/IQ/LSQ squash, rename
+/// checkpoint walk, shadow-cell recover commands — through one shared
+/// code path; the policy only decides how many extra redirect cycles
+/// that restore costs.
+pub trait RecoveryPolicy {
+    /// A short label for reports and sweeps.
+    fn name(&self) -> &'static str;
+
+    /// Extra redirect cycles for a recovery that executed `recovers`
+    /// shadow-cell recover commands.
+    fn extra_cycles(&self, recovers: u32, config: &SimConfig) -> u32;
+}
+
+/// Checkpoint-walk recovery: recover commands drain at
+/// [`SimConfig::recover_bandwidth`] per cycle, so deep reuse chains
+/// lengthen the redirect (§IV-C1). The paper's model and the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointWalk;
+
+impl RecoveryPolicy for CheckpointWalk {
+    fn name(&self) -> &'static str {
+        "checkpoint-walk"
+    }
+
+    fn extra_cycles(&self, recovers: u32, config: &SimConfig) -> u32 {
+        recovers.div_ceil(config.recover_bandwidth.max(1))
+    }
+}
+
+/// Squash-all recovery: every shadow cell restores in parallel inside
+/// the redirect bubble, charging no extra cycles — the idealised
+/// checkpoint-RAM recovery that conventional map-table checkpointing
+/// approximates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SquashAll;
+
+impl RecoveryPolicy for SquashAll {
+    fn name(&self) -> &'static str {
+        "squash-all"
+    }
+
+    fn extra_cycles(&self, _recovers: u32, _config: &SimConfig) -> u32 {
+        0
+    }
+}
+
+impl IssuePolicyKind {
+    /// Instantiates the configured [`IssueSelect`] implementation.
+    pub fn build(self) -> Box<dyn IssueSelect> {
+        match self {
+            IssuePolicyKind::OldestFirst => Box::new(OldestFirst),
+            IssuePolicyKind::YoungestFirst => Box::new(YoungestFirst),
+        }
+    }
+}
+
+impl RecoveryPolicyKind {
+    /// Instantiates the configured [`RecoveryPolicy`] implementation.
+    pub fn build(self) -> Box<dyn RecoveryPolicy> {
+        match self {
+            RecoveryPolicyKind::CheckpointWalk => Box::new(CheckpointWalk),
+            RecoveryPolicyKind::SquashAll => Box::new(SquashAll),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_first_preserves_sequence_order() {
+        let mut out = Vec::new();
+        OldestFirst.select(&[3, 7, 9], &mut out);
+        assert_eq!(out, vec![3, 7, 9]);
+        assert_eq!(OldestFirst.name(), "oldest-first");
+    }
+
+    #[test]
+    fn youngest_first_reverses() {
+        let mut out = Vec::new();
+        YoungestFirst.select(&[3, 7, 9], &mut out);
+        assert_eq!(out, vec![9, 7, 3]);
+        assert_eq!(YoungestFirst.name(), "youngest-first");
+    }
+
+    #[test]
+    fn checkpoint_walk_charges_by_bandwidth() {
+        let mut c = SimConfig {
+            recover_bandwidth: 4,
+            ..SimConfig::default()
+        };
+        assert_eq!(CheckpointWalk.extra_cycles(0, &c), 0);
+        assert_eq!(CheckpointWalk.extra_cycles(1, &c), 1);
+        assert_eq!(CheckpointWalk.extra_cycles(4, &c), 1);
+        assert_eq!(CheckpointWalk.extra_cycles(5, &c), 2);
+        c.recover_bandwidth = 0; // guarded against division by zero
+        assert_eq!(CheckpointWalk.extra_cycles(3, &c), 3);
+    }
+
+    #[test]
+    fn squash_all_is_free() {
+        let c = SimConfig::default();
+        assert_eq!(SquashAll.extra_cycles(1000, &c), 0);
+    }
+
+    #[test]
+    fn kinds_build_matching_impls() {
+        use crate::config::{IssuePolicyKind, RecoveryPolicyKind};
+        assert_eq!(IssuePolicyKind::OldestFirst.build().name(), "oldest-first");
+        assert_eq!(
+            IssuePolicyKind::YoungestFirst.build().name(),
+            "youngest-first"
+        );
+        assert_eq!(
+            RecoveryPolicyKind::CheckpointWalk.build().name(),
+            "checkpoint-walk"
+        );
+        assert_eq!(RecoveryPolicyKind::SquashAll.build().name(), "squash-all");
+    }
+}

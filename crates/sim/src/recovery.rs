@@ -1,0 +1,167 @@
+//! The unified mis-speculation recovery path.
+//!
+//! Every flush in the simulator — branch mispredicts resolved at
+//! writeback, injected squash storms, asynchronous interrupts, and
+//! precise exceptions at commit — funnels through
+//! [`squash_younger_than`]: one architectural walk (ROB/IQ/LSQ squash,
+//! rename checkpoint unwind, shadow-cell recover commands) whose cycle
+//! cost is delegated to the configured [`RecoveryPolicy`]. The redirect
+//! paths that also re-steer fetch share [`redirect_after_squash`].
+
+use crate::core_state::{CoreState, StageIo};
+use crate::inject::InjectKind;
+use crate::policy::RecoveryPolicy;
+use regshare_core::UopKind;
+use regshare_isa::Opcode;
+
+/// Squashes every micro-op with a sequence number greater than `seq`:
+/// ROB and issue-queue entries, scoreboard waiters, unresolved branches,
+/// LSQ entries and both front-end latches, then unwinds the renamer and
+/// executes the shadow-cell recover commands it reports. Returns the
+/// extra redirect cycles the [`RecoveryPolicy`] charges for the restore.
+pub(crate) fn squash_younger_than(
+    core: &mut CoreState,
+    lat: &mut StageIo,
+    policy: &dyn RecoveryPolicy,
+    seq: u64,
+) -> u32 {
+    while matches!(core.rob.back(), Some(e) if e.seq > seq) {
+        let Some(e) = core.rob.pop_back() else { break };
+        if !e.issued {
+            core.iq_len -= 1;
+            if e.pending_srcs == 0 {
+                core.ready_q.remove(e.seq);
+            }
+        }
+    }
+    // Squashed consumers still parked in the wakeup network must not
+    // be woken by surviving producers.
+    core.scoreboard.drain_waiters_after(seq);
+    core.unresolved_branches.retain_le(seq);
+    core.lsq.squash_after(seq);
+    lat.fetched.clear();
+    lat.decoded.clear();
+    let outcome = core.renamer.squash_after(seq);
+    let mut recovered = 0u32;
+    for tag in outcome.recovers {
+        if core.rf[tag.class.index()].recover(tag.preg, tag.version) {
+            recovered += 1;
+        }
+    }
+    core.shadow_recovers += recovered as u64;
+    policy.extra_cycles(recovered, &core.config)
+}
+
+/// A squash followed by a fetch redirect: flush everything younger than
+/// `seq`, re-steer fetch to `resume_pc`, and extend the fetch stall by
+/// `penalty` plus the policy's recovery charge. The arch-state diff
+/// against the oracle is armed for the end of the cycle.
+pub(crate) fn redirect_after_squash(
+    core: &mut CoreState,
+    lat: &mut StageIo,
+    policy: &dyn RecoveryPolicy,
+    seq: u64,
+    resume_pc: u64,
+    penalty: u32,
+) {
+    let extra = squash_younger_than(core, lat, policy, seq);
+    core.fetch_pc = Some(resume_pc);
+    core.fetch_stall_until = core
+        .fetch_stall_until
+        .max(core.cycle + penalty as u64 + extra as u64);
+    core.pending_verify = true;
+}
+
+/// Translates due schedule entries into armed one-shot flags and
+/// executes squash storms on the spot.
+pub(crate) fn poll_injections(
+    core: &mut CoreState,
+    lat: &mut StageIo,
+    policy: &dyn RecoveryPolicy,
+) {
+    let mut storms: Vec<u8> = Vec::new();
+    {
+        let Some(inj) = &mut core.inject else { return };
+        while let Some(e) = inj.events.get(inj.next) {
+            if e.cycle > core.cycle {
+                break;
+            }
+            inj.next += 1;
+            match e.kind {
+                InjectKind::Interrupt => inj.pending_interrupt = true,
+                InjectKind::LoadFault => inj.armed_load_fault = true,
+                InjectKind::StoreFault => inj.armed_store_fault = true,
+                InjectKind::BranchFlip => inj.armed_flip = true,
+                InjectKind::SquashStorm => storms.push(e.pick),
+            }
+        }
+    }
+    for pick in storms {
+        squash_storm(core, lat, policy, pick);
+    }
+}
+
+/// Squashes everything younger than a completed in-flight micro-op,
+/// exactly as a resolving branch would, and refetches from its
+/// successor. Candidates are restricted to done, exception-free
+/// `Main` micro-ops so the cut point's `next_pc` is an
+/// architecturally valid resume address.
+fn squash_storm(core: &mut CoreState, lat: &mut StageIo, policy: &dyn RecoveryPolicy, pick: u8) {
+    let candidates: Vec<(u64, u64)> = core
+        .rob
+        .iter()
+        .filter(|e| {
+            e.kind == UopKind::Main && e.done && !e.exception && e.inst.opcode != Opcode::Halt
+        })
+        .map(|e| (e.seq, e.next_pc))
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let (seq, next_pc) = candidates[pick as usize % candidates.len()];
+    let penalty = core.config.mispredict_penalty;
+    redirect_after_squash(core, lat, policy, seq, next_pc, penalty);
+    if let Some(inj) = &mut core.inject {
+        inj.stats.squash_storms += 1;
+    }
+}
+
+/// Delivers a pending asynchronous interrupt: flush the entire
+/// speculative window and refetch from the oldest unretired
+/// instruction. Runs after writeback so an interrupt armed by a
+/// misprediction (`interrupts_on_mispredict`) lands in the same cycle
+/// as the branch's own squash — nested recovery.
+pub(crate) fn deliver_pending_interrupt(
+    core: &mut CoreState,
+    lat: &mut StageIo,
+    policy: &dyn RecoveryPolicy,
+) {
+    if !core.inject.as_ref().is_some_and(|i| i.pending_interrupt) {
+        return;
+    }
+    if let Some(inj) = &mut core.inject {
+        inj.pending_interrupt = false;
+    }
+    // The precise resume point: the oldest in-flight instruction,
+    // wherever it is in the pipe, else wherever fetch would go next.
+    let resume = core
+        .rob
+        .front()
+        .map(|e| e.pc)
+        .or_else(|| lat.decoded.front().map(|f| f.pc))
+        .or_else(|| lat.fetched.front().map(|f| f.pc))
+        .or(core.fetch_pc);
+    let Some(resume) = resume else {
+        return; // nothing in flight and nothing to fetch: no-op
+    };
+    let squash_seq = core
+        .rob
+        .front()
+        .map(|e| e.seq.saturating_sub(1))
+        .unwrap_or(core.next_seq);
+    let penalty = core.config.exception_penalty;
+    redirect_after_squash(core, lat, policy, squash_seq, resume, penalty);
+    if let Some(inj) = &mut core.inject {
+        inj.stats.interrupts += 1;
+    }
+}

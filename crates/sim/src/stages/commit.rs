@@ -1,0 +1,149 @@
+//! Commit: retire finished micro-ops in program order.
+
+use crate::core_state::{CoreState, RobEntry, StageIo};
+use crate::errors::TraceStage;
+use crate::policy::RecoveryPolicy;
+use crate::recovery;
+use crate::stages::StageOutcome;
+use crate::SimError;
+use regshare_core::UopKind;
+use regshare_isa::{Machine, Opcode};
+
+/// The commit stage. Retires up to `commit_width` done micro-ops from
+/// the ROB head per cycle: stores drain to memory, loads leave the LSQ,
+/// the renamer releases checkpoint state, and every committed main op is
+/// cross-checked against the in-order oracle. An excepting head flushes
+/// the pipeline precisely and redirects fetch at the faulting pc.
+#[derive(Debug, Default)]
+pub(crate) struct CommitStage;
+
+impl CommitStage {
+    pub(crate) fn tick(
+        &mut self,
+        core: &mut CoreState,
+        lat: &mut StageIo,
+        policy: &dyn RecoveryPolicy,
+    ) -> Result<StageOutcome, SimError> {
+        for _ in 0..core.config.commit_width {
+            let Some(head) = core.rob.front() else { break };
+            if !head.done {
+                break;
+            }
+            if head.exception {
+                let (seq, pc, ea) = (head.seq, head.pc, head.ea);
+                take_exception(core, lat, policy, seq, pc, ea);
+                break;
+            }
+            let Some(head) = core.rob.pop_front() else {
+                break;
+            };
+            if head.kind == UopKind::Main && head.inst.opcode.is_store() {
+                let (addr, width, value) = match core.lsq.commit_store(head.seq) {
+                    Ok(committed) => committed,
+                    Err(e) => return Err(core.lsq_err(lat, e)),
+                };
+                core.memory.write(addr, value, width);
+                core.mem_timing
+                    .access_data(head.pc * 4, addr, true, core.cycle);
+            }
+            if head.kind == UopKind::Main && head.inst.opcode.is_load() {
+                if let Err(e) = core.lsq.commit_load(head.seq) {
+                    return Err(core.lsq_err(lat, e));
+                }
+            }
+            core.renamer.commit(head.seq);
+            core.trace_event(head.seq, head.pc, TraceStage::Commit);
+            core.committed_uops += 1;
+            if head.kind == UopKind::Main {
+                core.committed_instructions += 1;
+                if let Err(detail) = check_oracle(&mut core.oracle, &head) {
+                    return Err(SimError::OracleMismatch {
+                        cycle: core.cycle,
+                        detail,
+                        snapshot: Box::new(core.snapshot(lat)),
+                    });
+                }
+            }
+            core.last_commit_cycle = core.cycle;
+            if head.inst.opcode == Opcode::Halt && head.kind == UopKind::Main {
+                core.halted = true;
+                return Ok(StageOutcome::Halted);
+            }
+        }
+        Ok(StageOutcome::Ran)
+    }
+}
+
+fn take_exception(
+    core: &mut CoreState,
+    lat: &mut StageIo,
+    policy: &dyn RecoveryPolicy,
+    seq: u64,
+    pc: u64,
+    ea: Option<u64>,
+) {
+    // Flush the entire pipeline, including the faulting instruction
+    // (it re-executes after the handler), and restore precise state.
+    let extra = recovery::squash_younger_than(core, lat, policy, seq - 1);
+    if let Some(addr) = ea {
+        core.mem_timing.tlb_mut().take_fault(addr);
+    }
+    core.fetch_pc = Some(pc);
+    // Unlike the redirects in writeback, an exception's stall overrides
+    // any earlier redirect outright: the flush discarded whatever that
+    // redirect was refilling.
+    core.fetch_stall_until = core.cycle + core.config.exception_penalty as u64 + extra as u64;
+    core.exceptions += 1;
+    core.pending_verify = true;
+}
+
+// Returns the divergence detail only; the caller wraps it into
+// `SimError::OracleMismatch` with a snapshot (the oracle is borrowed
+// mutably here, so the snapshot must be taken outside).
+fn check_oracle(oracle: &mut Option<Machine>, head: &RobEntry) -> Result<(), String> {
+    let Some(oracle) = oracle else {
+        return Ok(());
+    };
+    let expected = oracle
+        .step()
+        .map_err(|e| format!("oracle failed at sim pc {}: {e}", head.pc))?
+        .ok_or_else(|| format!("sim committed pc {} after oracle halted", head.pc))?;
+    let mismatch = |what: &str, exp: String, got: String| {
+        Err(format!(
+            "{what} differs at pc {} ({}): oracle {exp}, sim {got}",
+            head.pc, head.inst
+        ))
+    };
+    if expected.pc != head.pc {
+        return mismatch("pc", expected.pc.to_string(), head.pc.to_string());
+    }
+    if head.dst.is_some() && expected.wvalue != head.result {
+        return mismatch(
+            "destination value",
+            format!("{:?}", expected.wvalue),
+            format!("{:?}", head.result),
+        );
+    }
+    if head.dst2.is_some() && expected.wvalue2 != head.result2 {
+        return mismatch(
+            "writeback value",
+            format!("{:?}", expected.wvalue2),
+            format!("{:?}", head.result2),
+        );
+    }
+    if expected.ea != head.ea {
+        return mismatch(
+            "effective address",
+            format!("{:?}", expected.ea),
+            format!("{:?}", head.ea),
+        );
+    }
+    if expected.taken != head.taken {
+        return mismatch(
+            "branch outcome",
+            format!("{:?}", expected.taken),
+            format!("{:?}", head.taken),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Decode: move fetched instructions toward rename.
+
+use crate::core_state::{CoreState, StageIo};
+use crate::stages::StageOutcome;
+
+/// The decode stage. Transfers up to `decode_width` instructions per
+/// cycle from the fetch latch into the decode → rename latch, bounded by
+/// a small skid buffer (twice the rename width) so a rename stall backs
+/// pressure up into fetch.
+#[derive(Debug, Default)]
+pub(crate) struct DecodeStage;
+
+impl DecodeStage {
+    pub(crate) fn tick(&mut self, core: &mut CoreState, lat: &mut StageIo) -> StageOutcome {
+        let cap = core.config.rename_width * 2;
+        for _ in 0..core.config.decode_width {
+            if lat.decoded.len() >= cap {
+                break;
+            }
+            let Some(f) = lat.fetched.pop_front() else {
+                break;
+            };
+            lat.decoded.push_back(f);
+        }
+        StageOutcome::Ran
+    }
+}

@@ -1,0 +1,77 @@
+//! Dispatch: insert renamed micro-ops into the ROB, issue queue, LSQ
+//! and the wakeup network.
+
+use crate::core_state::{CoreState, RenamedBundle, RobEntry};
+use crate::errors::TraceStage;
+use regshare_core::UopKind;
+
+/// The dispatch stage. Consumes one [`RenamedBundle`] per call — driven
+/// by rename within the same tick (see [`crate::stages::RenameStage`]) —
+/// allocating ROB/IQ entries, registering destinations with the
+/// scoreboard, and parking each micro-op on its busy source tags.
+#[derive(Debug, Default)]
+pub(crate) struct DispatchStage;
+
+impl DispatchStage {
+    pub(crate) fn dispatch(&mut self, core: &mut CoreState, bundle: RenamedBundle) {
+        let RenamedBundle {
+            uops,
+            pc,
+            inst,
+            pred,
+        } = bundle;
+        for uop in uops {
+            for dst in [uop.dst, uop.dst2].into_iter().flatten() {
+                core.scoreboard.set_busy(dst);
+                if dst.version == 0 {
+                    core.rf[dst.class.index()].reset_on_alloc(dst.preg);
+                }
+            }
+            let is_main = uop.kind == UopKind::Main;
+            if is_main && inst.opcode.is_load() {
+                core.lsq.dispatch_load(uop.seq);
+            }
+            if is_main && inst.opcode.is_store() {
+                core.lsq.dispatch_store(uop.seq);
+            }
+            core.trace_event(uop.seq, pc, TraceStage::Dispatch);
+            // Register with the wakeup network: count the busy
+            // sources and park on each; producers can only precede
+            // consumers in rename order, so a tag observed ready
+            // here stays ready until this entry issues.
+            let mut pending_srcs = 0u8;
+            for tag in uop.srcs.iter().flatten() {
+                if !core.scoreboard.is_ready(*tag) {
+                    core.scoreboard.watch(*tag, uop.seq);
+                    pending_srcs += 1;
+                }
+            }
+            core.rob.push_back(RobEntry {
+                seq: uop.seq,
+                pc,
+                inst,
+                kind: uop.kind,
+                srcs: uop.srcs,
+                dst: uop.dst,
+                dst2: uop.dst2,
+                pred: if is_main { pred } else { None },
+                issued: false,
+                done: false,
+                pending_srcs,
+                exception: false,
+                result: None,
+                result2: None,
+                ea: None,
+                taken: None,
+                next_pc: pc + 1,
+            });
+            if pending_srcs == 0 {
+                core.ready_q.insert(uop.seq);
+            }
+            core.iq_len += 1;
+            if inst.opcode.is_branch() {
+                core.unresolved_branches.insert(uop.seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Fetch: follow predicted PCs through the real program image.
+
+use crate::core_state::{CoreState, Fetched, StageIo};
+use crate::stages::StageOutcome;
+use regshare_isa::Opcode;
+
+/// The fetch stage. Walks the predicted path (gshare + BTB), honours
+/// redirect/exception stalls and i-cache miss latency, and deposits
+/// [`Fetched`] instructions into the fetch → decode latch.
+#[derive(Debug, Default)]
+pub(crate) struct FetchStage;
+
+impl FetchStage {
+    pub(crate) fn tick(&mut self, core: &mut CoreState, lat: &mut StageIo) -> StageOutcome {
+        if core.cycle < core.fetch_stall_until {
+            return StageOutcome::Ran;
+        }
+        let Some(mut pc) = core.fetch_pc else {
+            return StageOutcome::Ran;
+        };
+        for _ in 0..core.config.fetch_width {
+            if lat.fetched.len() >= core.config.fetch_queue {
+                break;
+            }
+            let Some(inst) = core.program.fetch(pc).copied() else {
+                // Ran off the program (wrong path): wait for a redirect.
+                core.fetch_pc = None;
+                return StageOutcome::Ran;
+            };
+            let lat_cycles = core.mem_timing.access_inst(pc * 4, core.cycle);
+            if lat_cycles > core.config.mem.l1i.latency {
+                // I-cache miss: nothing is delivered until the line
+                // arrives; fetch retries this PC after the fill.
+                core.fetch_stall_until = core.cycle + lat_cycles as u64;
+                core.fetch_pc = Some(pc);
+                return StageOutcome::Ran;
+            }
+            let pred = inst.opcode.is_branch().then(|| {
+                let mut p = core.bpred.predict(pc, &inst);
+                // An armed injection flip inverts the next prediction,
+                // manufacturing a misprediction (and its recovery) the
+                // workload would not produce on its own. Wrong-path
+                // fetch is already a normal mode of this pipeline.
+                if let Some(inj) = &mut core.inject {
+                    if inj.armed_flip {
+                        inj.armed_flip = false;
+                        inj.stats.branch_flips += 1;
+                        p.taken = !p.taken;
+                    }
+                }
+                p
+            });
+            let taken_pred = pred.map(|p| p.taken).unwrap_or(false);
+            let next = match pred {
+                Some(p) if p.taken => p.target,
+                _ => pc + 1,
+            };
+            let is_halt = inst.opcode == Opcode::Halt;
+            lat.fetched.push_back(Fetched { pc, inst, pred });
+            if is_halt {
+                core.fetch_pc = None;
+                return StageOutcome::Ran;
+            }
+            pc = next;
+            if taken_pred || core.cycle < core.fetch_stall_until {
+                break; // a taken branch or an i-cache miss ends the group
+            }
+        }
+        core.fetch_pc = Some(pc);
+        StageOutcome::Ran
+    }
+}

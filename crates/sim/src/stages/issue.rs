@@ -1,0 +1,61 @@
+//! Issue: select operand-ready micro-ops and send them to execute.
+
+use crate::core_state::{CoreState, StageIo};
+use crate::policy::IssueSelect;
+use crate::stages::{ExecuteStage, StageOutcome};
+use crate::SimError;
+
+/// The issue stage. Orders the ready queue through the configured
+/// [`IssueSelect`] policy and drives [`ExecuteStage::try_execute`] per
+/// candidate, up to `issue_width` successes per cycle. Candidates that
+/// report a structural hazard (busy functional unit, store-set
+/// conflict, unresolved older store) stay in the ready queue and retry
+/// next cycle.
+pub(crate) struct IssueStage {
+    select: Box<dyn IssueSelect>,
+    /// Scratch buffer reused across cycles for the candidate order.
+    cand_scratch: Vec<u64>,
+}
+
+impl IssueStage {
+    pub(crate) fn new(select: Box<dyn IssueSelect>) -> Self {
+        IssueStage {
+            select,
+            cand_scratch: Vec::new(),
+        }
+    }
+
+    pub(crate) fn tick(
+        &mut self,
+        core: &mut CoreState,
+        lat: &mut StageIo,
+        exec: &mut ExecuteStage,
+    ) -> Result<StageOutcome, SimError> {
+        if core.ready_q.is_empty() {
+            return Ok(StageOutcome::Ran);
+        }
+        let mut issued: Vec<u64> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        candidates.clear();
+        self.select.select(core.ready_q.as_slice(), &mut candidates);
+        for seq in candidates.drain(..) {
+            if issued.len() >= core.config.issue_width {
+                break;
+            }
+            let Some(idx) = core.rob_index(seq) else {
+                issued.push(seq); // squashed; drop from the ready queue
+                continue;
+            };
+            if exec.try_execute(core, lat, seq, idx)? {
+                issued.push(seq);
+            }
+        }
+        for s in &issued {
+            if core.ready_q.remove(*s) {
+                core.iq_len -= 1;
+            }
+        }
+        self.cand_scratch = candidates;
+        Ok(StageOutcome::Ran)
+    }
+}

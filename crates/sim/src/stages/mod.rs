@@ -1,0 +1,45 @@
+//! The eight pipeline stages, one module each.
+//!
+//! Every stage is a struct whose `tick` mutates the shared
+//! [`crate::core_state::CoreState`] and the typed latches in
+//! [`crate::core_state::StageIo`]; the slim `Pipeline` driver sequences
+//! the ticks in commit-first order (so a cycle's results are visible to
+//! younger stages only a cycle later) and owns nothing stage-specific.
+//!
+//! Two pairs are fused by construction rather than latched:
+//!
+//! * **rename → dispatch**: rename's per-instruction capacity checks
+//!   read the live ROB/IQ/LSQ occupancy that dispatch just updated, so
+//!   rename drives [`DispatchStage::dispatch`] directly, handing over a
+//!   [`crate::core_state::RenamedBundle`] per instruction.
+//! * **issue → execute**: the select loop consults structural hazards
+//!   (functional units, unresolved older stores) that only evaluation
+//!   can decide, so issue drives [`ExecuteStage::try_execute`] per
+//!   candidate and keeps candidates that report a hazard for next cycle.
+
+mod commit;
+mod decode;
+mod dispatch;
+mod execute;
+mod fetch;
+mod issue;
+mod rename;
+mod writeback;
+
+pub(crate) use commit::CommitStage;
+pub(crate) use decode::DecodeStage;
+pub(crate) use dispatch::DispatchStage;
+pub(crate) use execute::ExecuteStage;
+pub(crate) use fetch::FetchStage;
+pub(crate) use issue::IssueStage;
+pub(crate) use rename::RenameStage;
+pub(crate) use writeback::WritebackStage;
+
+/// What a stage's tick did, as far as the driver cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StageOutcome {
+    /// The stage ran; the cycle continues.
+    Ran,
+    /// Commit retired a `halt`: the driver stops the cycle here.
+    Halted,
+}

@@ -1,0 +1,64 @@
+//! Rename: drive the renaming scheme and hand micro-ops to dispatch.
+
+use crate::core_state::{CoreState, RenamedBundle, StageIo};
+use crate::stages::{DispatchStage, StageOutcome};
+
+/// The rename stage. Pulls decoded instructions, checks downstream
+/// capacity, asks the [`regshare_core::Renamer`] for the micro-op
+/// expansion (repairs first, main op last), and hands each renamed
+/// instruction to dispatch as a [`RenamedBundle`].
+///
+/// Rename and dispatch are fused within one tick: each instruction's
+/// capacity check must see the ROB/IQ/LSQ occupancy left by the
+/// previous instruction's dispatch, so batching renames behind a latch
+/// would change stall timing.
+#[derive(Debug, Default)]
+pub(crate) struct RenameStage;
+
+impl RenameStage {
+    pub(crate) fn tick(
+        &mut self,
+        core: &mut CoreState,
+        lat: &mut StageIo,
+        dispatch: &mut DispatchStage,
+    ) -> StageOutcome {
+        // A renamed instruction expands to at most the main op plus one
+        // repair per source: reserve conservatively before renaming.
+        const WORST_CASE_UOPS: usize = 4;
+        let mut stalled_for_regs = false;
+        for _ in 0..core.config.rename_width {
+            let Some(f) = lat.decoded.front() else {
+                break;
+            };
+            let rob_free = core.config.rob_entries - core.rob.len();
+            let iq_free = core.config.iq_entries - core.iq_len;
+            let is_load = f.inst.opcode.is_load() as usize;
+            let is_store = f.inst.opcode.is_store() as usize;
+            if rob_free < WORST_CASE_UOPS
+                || iq_free < WORST_CASE_UOPS
+                || !core.lsq.has_room(is_load, is_store)
+            {
+                break;
+            }
+            let Some(uops) = core.renamer.rename(core.next_seq, f.pc, &f.inst) else {
+                stalled_for_regs = true;
+                break;
+            };
+            let f = lat.decoded.pop_front().expect("front checked above");
+            core.next_seq += uops.len() as u64;
+            dispatch.dispatch(
+                core,
+                RenamedBundle {
+                    uops,
+                    pc: f.pc,
+                    inst: f.inst,
+                    pred: f.pred,
+                },
+            );
+        }
+        if stalled_for_regs {
+            core.rename_stall_cycles += 1;
+        }
+        StageOutcome::Ran
+    }
+}

@@ -6,34 +6,11 @@
 //! ```
 //!
 //! Each experiment prints its table and writes machine-readable rows to
-//! `results/<exp>.json`.
+//! `results/<exp>.json`. The experiments themselves live in
+//! `regshare::experiments` (one module per subcommand); this binary only
+//! parses flags and dispatches through the registry.
 
-use regshare::area;
-use regshare::core::{BankConfig, EarlyReleaseRenamer, RenamerConfig, ReuseRenamer};
-use regshare::harness::{
-    experiment_config, par_map, renamer_for, run_kernel, run_kernel_with, swept_class, Scheme,
-    FIXED_RF,
-};
-use regshare::isa::RegClass;
-use regshare::sim::{InjectSchedule, Pipeline, SimConfig, SimError};
-use regshare::stats::{geomean, Table};
-use regshare::workloads::{all_kernels, analysis, suite_kernels, Suite};
-use serde::Serialize;
-use std::collections::BTreeMap;
-
-const RF_SIZES: [usize; 7] = [48, 56, 64, 72, 80, 96, 112];
-
-struct Args {
-    exps: Vec<String>,
-    scale: u64,
-    out_dir: String,
-    /// Number of fault-injection campaigns (`inject`).
-    campaigns: usize,
-    /// Base seed for fault-injection schedules (`inject`).
-    seed: u64,
-    /// Kernel subset for `inject` (`None` = all kernels).
-    kernels: Option<Vec<String>>,
-}
+use regshare::experiments::{die, registry, Args};
 
 fn parse_args() -> Args {
     let mut exps = Vec::new();
@@ -98,1079 +75,9 @@ fn parse_args() -> Args {
     }
 }
 
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
-}
-
-fn save<T: Serialize>(out_dir: &str, name: &str, rows: &T) {
-    std::fs::create_dir_all(out_dir).expect("create results directory");
-    let path = format!("{out_dir}/{name}.json");
-    let json = serde_json::to_string_pretty(rows).expect("results serialize");
-    std::fs::write(&path, json).expect("write results file");
-    println!("  -> {path}\n");
-}
-
-fn pct(x: f64) -> String {
-    format!("{:.1}", x * 100.0)
-}
-
-// ---------------------------------------------------------------- fig 1/2/3
-
-#[derive(Serialize)]
-struct Fig1Row {
-    kernel: String,
-    suite: String,
-    redefining_pct: f64,
-    non_redefining_pct: f64,
-    total_pct: f64,
-    dest_pct: f64,
-}
-
-fn fig1(args: &Args) {
-    println!("== Figure 1: single-consumer destinations (redefining vs not) ==");
-    let mut table =
-        Table::with_headers(&["kernel", "suite", "redef%", "other%", "total%", "dest%"]);
-    table.numeric();
-    let mut rows = Vec::new();
-    let mut per_suite: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    for k in all_kernels() {
-        let p = analysis::analyze(&k.program(args.scale), args.scale);
-        let redef = p.single_use_redefining_fraction();
-        let total = p.single_use_fraction();
-        table.row(vec![
-            k.name.into(),
-            k.suite.label().into(),
-            pct(redef),
-            pct(total - redef),
-            pct(total),
-            pct(p.dest_fraction()),
-        ]);
-        per_suite.entry(k.suite.label()).or_default().push(total);
-        rows.push(Fig1Row {
-            kernel: k.name.into(),
-            suite: k.suite.label().into(),
-            redefining_pct: redef * 100.0,
-            non_redefining_pct: (total - redef) * 100.0,
-            total_pct: total * 100.0,
-            dest_pct: p.dest_fraction() * 100.0,
-        });
-    }
-    for (suite, vals) in &per_suite {
-        table.row(vec![
-            "AVERAGE".into(),
-            (*suite).into(),
-            "-".into(),
-            "-".into(),
-            pct(regshare::stats::mean(vals)),
-            "-".into(),
-        ]);
-    }
-    print!("{table}");
-    save(&args.out_dir, "fig1", &rows);
-}
-
-#[derive(Serialize)]
-struct Fig2Row {
-    suite: String,
-    one: f64,
-    two: f64,
-    three: f64,
-    four: f64,
-    five: f64,
-    six_plus: f64,
-    zero: f64,
-}
-
-fn fig2(args: &Args) {
-    println!("== Figure 2: consumers per produced value ==");
-    let mut table = Table::with_headers(&["suite", "1", "2", "3", "4", "5", "6+", "(0)"]);
-    table.numeric();
-    let mut rows = Vec::new();
-    for suite in Suite::ALL {
-        let mut hist = regshare::stats::Histogram::new("consumers", 6);
-        for k in suite_kernels(suite) {
-            let p = analysis::analyze(&k.program(args.scale), args.scale);
-            hist.merge(&p.consumers);
-        }
-        let f = |v: u64| hist.fraction(v);
-        table.row(vec![
-            suite.label().into(),
-            pct(f(1)),
-            pct(f(2)),
-            pct(f(3)),
-            pct(f(4)),
-            pct(f(5)),
-            pct(hist.overflow_fraction() + f(6)),
-            pct(f(0)),
-        ]);
-        rows.push(Fig2Row {
-            suite: suite.label().into(),
-            one: f(1) * 100.0,
-            two: f(2) * 100.0,
-            three: f(3) * 100.0,
-            four: f(4) * 100.0,
-            five: f(5) * 100.0,
-            six_plus: (hist.overflow_fraction() + f(6)) * 100.0,
-            zero: f(0) * 100.0,
-        });
-    }
-    print!("{table}");
-    save(&args.out_dir, "fig2", &rows);
-}
-
-#[derive(Serialize)]
-struct Fig3Row {
-    kernel: String,
-    suite: String,
-    one_reuse: f64,
-    two_reuses: f64,
-    three_reuses: f64,
-    unlimited: f64,
-}
-
-fn fig3(args: &Args) {
-    println!("== Figure 3: reuse potential for chain limits 1/2/3/unlimited ==");
-    let mut table = Table::with_headers(&["kernel", "suite", "<=1", "<=2", "<=3", "unlimited"]);
-    table.numeric();
-    let mut rows = Vec::new();
-    for k in all_kernels() {
-        let p = k.program(args.scale);
-        let vals: Vec<f64> = [1, 2, 3, u64::MAX]
-            .iter()
-            .map(|lim| analysis::reuse_potential(&p, args.scale, *lim))
-            .collect();
-        table.row(vec![
-            k.name.into(),
-            k.suite.label().into(),
-            pct(vals[0]),
-            pct(vals[1]),
-            pct(vals[2]),
-            pct(vals[3]),
-        ]);
-        rows.push(Fig3Row {
-            kernel: k.name.into(),
-            suite: k.suite.label().into(),
-            one_reuse: vals[0] * 100.0,
-            two_reuses: vals[1] * 100.0,
-            three_reuses: vals[2] * 100.0,
-            unlimited: vals[3] * 100.0,
-        });
-    }
-    print!("{table}");
-    save(&args.out_dir, "fig3", &rows);
-}
-
-// ---------------------------------------------------------------- tables
-
-fn table1(args: &Args) {
-    println!("== Table I: system configuration ==");
-    let c = SimConfig::default();
-    let mut table = Table::with_headers(&["parameter", "value"]);
-    let rows: Vec<(&str, String)> = vec![
-        ("ISA", "TRISC (ARM-flavoured 64-bit RISC)".into()),
-        ("ROB", format!("{} entries", c.rob_entries)),
-        ("Issue queue", format!("{} entries", c.iq_entries)),
-        ("Decode/dispatch width", format!("{}", c.decode_width)),
-        ("Fetch queue", format!("{} instructions", c.fetch_queue)),
-        (
-            "Branch predictor",
-            format!(
-                "gshare {} + {}-entry BTB",
-                c.bpred.pht_entries, c.bpred.btb_entries
-            ),
-        ),
-        (
-            "Mispredict penalty",
-            format!("{} cycles", c.mispredict_penalty),
-        ),
-        ("L1-D", "32 KB, 2-way, 1 cycle".into()),
-        ("L1-I", "48 KB, 3-way, 1 cycle".into()),
-        ("L2", "1 MB, 16-way, 12 cycles".into()),
-        (
-            "TLB",
-            format!("{}-entry fully associative", c.mem.tlb.entries),
-        ),
-        ("Prefetcher", "stride, degree 1".into()),
-        ("DRAM", "DDR3-1600-like, 16 banks, 8 KB rows".into()),
-    ];
-    for (k, v) in &rows {
-        table.row(vec![(*k).into(), v.clone()]);
-    }
-    print!("{table}");
-    save(
-        &args.out_dir,
-        "table1",
-        &rows
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.clone()))
-            .collect::<Vec<_>>(),
-    );
-}
-
-fn table2(args: &Args) {
-    println!("== Table II: area of register files and overhead structures ==");
-    let rows = area::table2();
-    let mut table = Table::with_headers(&["unit", "configuration", "area (mm^2)"]);
-    table.numeric();
-    for r in &rows {
-        table.row(vec![
-            r.unit.clone(),
-            r.configuration.clone(),
-            format!("{:.3e}", r.area_mm2),
-        ]);
-    }
-    let overhead: f64 = rows[2..].iter().map(|r| r.area_mm2).sum();
-    table.row(vec![
-        "Total overhead".into(),
-        "-".into(),
-        format!("{overhead:.3e}"),
-    ]);
-    print!("{table}");
-    save(&args.out_dir, "table2", &rows);
-}
-
-#[derive(Serialize)]
-struct Table3Row {
-    baseline_regs: usize,
-    paper_banks: Vec<usize>,
-    solver_banks: Vec<usize>,
-}
-
-fn table3(args: &Args) {
-    println!("== Table III: equal-area register file configurations ==");
-    let ports = area::RegFilePorts::default();
-    let mut table = Table::with_headers(&["baseline", "paper (0/1/2/3-sh)", "our solver"]);
-    let mut rows = Vec::new();
-    for n in RF_SIZES {
-        let paper = BankConfig::paper_row(n);
-        let solved = area::equal_area_config(n, ports);
-        table.row(vec![
-            n.to_string(),
-            format!("{:?}", paper.sizes()),
-            format!("{:?}", solved.sizes()),
-        ]);
-        rows.push(Table3Row {
-            baseline_regs: n,
-            paper_banks: paper.sizes().to_vec(),
-            solver_banks: solved.sizes().to_vec(),
-        });
-    }
-    print!("{table}");
-    save(&args.out_dir, "table3", &rows);
-}
-
-// ---------------------------------------------------------------- fig 9
-
-#[derive(Serialize)]
-struct Fig9Row {
-    coverage_pct: f64,
-    one_shadow: u64,
-    two_shadow: u64,
-    three_shadow: u64,
-}
-
-fn fig9(args: &Args) {
-    println!("== Figure 9: shadow registers needed to cover % of execution (fp suite) ==");
-    // Effectively unbounded shadow banks; sample bank occupancy per cycle.
-    let banks = BankConfig::new(vec![64, 48, 48, 48]);
-    let mut samplers: Vec<regshare::stats::Sampler> = Vec::new();
-    let kernels = suite_kernels(Suite::Fp);
-    let occupancies = par_map(&kernels, |k| {
-        let config = RenamerConfig {
-            int_banks: BankConfig::conventional(FIXED_RF),
-            fp_banks: banks.clone(),
-            counter_bits: 2,
-            predictor_entries: 512,
-            predictor_bits: 2,
-            speculative_reuse: true,
-        };
-        let mut sim_cfg = experiment_config(args.scale);
-        sim_cfg.occupancy_sample_interval = 16;
-        run_kernel_with(k, Box::new(ReuseRenamer::new(config)), sim_cfg, args.scale).fp_occupancy
-    });
-    // Merge in kernel order so the aggregated sample streams match the
-    // serial sweep exactly.
-    for occupancy in occupancies {
-        for (i, s) in occupancy.into_iter().enumerate() {
-            match samplers.get_mut(i) {
-                Some(dst) => {
-                    for v in s.samples() {
-                        dst.record(*v);
-                    }
-                }
-                None => samplers.push(s),
-            }
-        }
-    }
-    let mut table = Table::with_headers(&[
-        "coverage %",
-        "1-shadow regs",
-        "2-shadow regs",
-        "3-shadow regs",
-    ]);
-    table.numeric();
-    let mut rows = Vec::new();
-    for pct_cov in [50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
-        let need = |bank: usize| {
-            samplers
-                .get(bank)
-                .and_then(|s| s.percentile(pct_cov))
-                .unwrap_or(0)
-        };
-        table.row(vec![
-            format!("{pct_cov}"),
-            need(1).to_string(),
-            need(2).to_string(),
-            need(3).to_string(),
-        ]);
-        rows.push(Fig9Row {
-            coverage_pct: pct_cov,
-            one_shadow: need(1),
-            two_shadow: need(2),
-            three_shadow: need(3),
-        });
-    }
-    print!("{table}");
-    save(&args.out_dir, "fig9", &rows);
-}
-
-// ---------------------------------------------------------------- fig 10/11
-
-#[derive(Serialize)]
-struct SpeedupRow {
-    kernel: String,
-    suite: String,
-    rf_regs: usize,
-    baseline_ipc: f64,
-    proposed_ipc: f64,
-    speedup: f64,
-    reuse_pct: f64,
-}
-
-/// Proposed-scheme renamer at the same register *count* as the baseline
-/// (mechanism benefit without the equal-area discount).
-fn equal_count_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn regshare::core::Renamer> {
-    let swept_banks = BankConfig::new(vec![rf_regs - 12, 4, 4, 4]);
-    let fixed = BankConfig::conventional(FIXED_RF);
-    let (int_banks, fp_banks) = match swept {
-        RegClass::Int => (swept_banks, fixed),
-        RegClass::Fp => (fixed, swept_banks),
-    };
-    Box::new(ReuseRenamer::new(RenamerConfig {
-        int_banks,
-        fp_banks,
-        counter_bits: 2,
-        predictor_entries: 512,
-        predictor_bits: 2,
-        speculative_reuse: true,
-    }))
-}
-
-fn speedup_sweep(args: &Args, name: &str, title: &str, equal_count: bool) {
-    println!("{title}");
-    // Every (kernel, size) point is independent; fan out across cores
-    // and collect rows back in sweep order.
-    let points: Vec<(regshare::workloads::Kernel, usize)> = all_kernels()
-        .into_iter()
-        .flat_map(|k| RF_SIZES.into_iter().map(move |rf| (k, rf)))
-        .collect();
-    let rows: Vec<SpeedupRow> = par_map(&points, |&(ref k, rf)| {
-        let base = run_kernel(k, Scheme::Baseline, rf, args.scale);
-        let prop = if equal_count {
-            run_kernel_with(
-                k,
-                equal_count_renamer(rf, swept_class(k.suite)),
-                experiment_config(args.scale),
-                args.scale,
-            )
-        } else {
-            run_kernel(k, Scheme::Proposed, rf, args.scale)
-        };
-        SpeedupRow {
-            kernel: k.name.into(),
-            suite: k.suite.label().into(),
-            rf_regs: rf,
-            baseline_ipc: base.ipc(),
-            proposed_ipc: prop.ipc(),
-            speedup: prop.ipc() / base.ipc(),
-            reuse_pct: prop.rename.reuse_fraction() * 100.0,
-        }
-    });
-    // Per-kernel table.
-    let mut headers: Vec<String> = vec!["kernel".into(), "suite".into()];
-    headers.extend(RF_SIZES.iter().map(|n| n.to_string()));
-    let mut table = Table::new(headers);
-    table.numeric();
-    for k in all_kernels() {
-        let mut cells = vec![k.name.to_string(), k.suite.label().to_string()];
-        for rf in RF_SIZES {
-            let r = rows
-                .iter()
-                .find(|r| r.kernel == k.name && r.rf_regs == rf)
-                .expect("row exists");
-            cells.push(format!("{:.3}", r.speedup));
-        }
-        table.row(cells);
-    }
-    // Per-suite geomeans.
-    for suite in Suite::ALL {
-        let mut cells = vec!["GEOMEAN".to_string(), suite.label().to_string()];
-        for rf in RF_SIZES {
-            let vals: Vec<f64> = rows
-                .iter()
-                .filter(|r| r.suite == suite.label() && r.rf_regs == rf)
-                .map(|r| r.speedup)
-                .collect();
-            cells.push(format!("{:.3}", geomean(&vals)));
-        }
-        table.row(cells);
-    }
-    let mut cells = vec!["GEOMEAN".to_string(), "ALL".to_string()];
-    for rf in RF_SIZES {
-        let vals: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.rf_regs == rf)
-            .map(|r| r.speedup)
-            .collect();
-        cells.push(format!("{:.3}", geomean(&vals)));
-    }
-    table.row(cells);
-    print!("{table}");
-    save(&args.out_dir, name, &rows);
-}
-
-fn fig10(args: &Args) {
-    speedup_sweep(
-        args,
-        "fig10",
-        "== Figure 10: equal-area speedup vs baseline, per register file size ==",
-        false,
-    );
-}
-
-fn fig10ec(args: &Args) {
-    speedup_sweep(
-        args,
-        "fig10ec",
-        "== Figure 10-EC (extension): equal-register-count speedup vs baseline ==",
-        true,
-    );
-}
-
-#[derive(Serialize)]
-struct Fig11Row {
-    rf_regs: usize,
-    baseline_ipc: f64,
-    proposed_equal_area_ipc: f64,
-    proposed_equal_count_ipc: f64,
-    early_release_ipc: f64,
-}
-
-/// The Moudgill/Monreal-style early-release comparator (related work,
-/// §VII) at the same register count as the baseline.
-fn early_release_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn regshare::core::Renamer> {
-    let fixed = BankConfig::conventional(FIXED_RF);
-    let swept_banks = BankConfig::conventional(rf_regs);
-    let (int_banks, fp_banks) = match swept {
-        RegClass::Int => (swept_banks, fixed),
-        RegClass::Fp => (fixed, swept_banks),
-    };
-    Box::new(EarlyReleaseRenamer::new(RenamerConfig {
-        int_banks,
-        fp_banks,
-        ..RenamerConfig::baseline(rf_regs)
-    }))
-}
-
-fn fig11(args: &Args) {
-    println!("== Figure 11: average IPC vs register file size ==");
-    let kernels = all_kernels();
-    let points: Vec<(usize, regshare::workloads::Kernel)> = RF_SIZES
-        .into_iter()
-        .flat_map(|rf| kernels.iter().map(move |k| (rf, *k)))
-        .collect();
-    // One point = all four schemes on one (size, kernel) pair; par_map
-    // keeps sweep order, so the per-size averages see the kernels in the
-    // same order (identical floating-point sums) as the serial loop.
-    let ipcs = par_map(&points, |&(rf, ref k)| {
-        let swept = swept_class(k.suite);
-        (
-            run_kernel(k, Scheme::Baseline, rf, args.scale).ipc(),
-            run_kernel(k, Scheme::Proposed, rf, args.scale).ipc(),
-            run_kernel_with(
-                k,
-                equal_count_renamer(rf, swept),
-                experiment_config(args.scale),
-                args.scale,
-            )
-            .ipc(),
-            run_kernel_with(
-                k,
-                early_release_renamer(rf, swept),
-                experiment_config(args.scale),
-                args.scale,
-            )
-            .ipc(),
-        )
-    });
-    let mut rows = Vec::new();
-    for (i, rf) in RF_SIZES.into_iter().enumerate() {
-        let chunk = &ipcs[i * kernels.len()..(i + 1) * kernels.len()];
-        let col =
-            |sel: fn(&(f64, f64, f64, f64)) -> f64| -> Vec<f64> { chunk.iter().map(sel).collect() };
-        rows.push(Fig11Row {
-            rf_regs: rf,
-            baseline_ipc: regshare::stats::mean(&col(|t| t.0)),
-            proposed_equal_area_ipc: regshare::stats::mean(&col(|t| t.1)),
-            proposed_equal_count_ipc: regshare::stats::mean(&col(|t| t.2)),
-            early_release_ipc: regshare::stats::mean(&col(|t| t.3)),
-        });
-    }
-    let mut table = Table::with_headers(&[
-        "regs",
-        "baseline IPC",
-        "proposed (equal area)",
-        "proposed (equal count)",
-        "early release (§VII)",
-    ]);
-    table.numeric();
-    for r in &rows {
-        table.row(vec![
-            r.rf_regs.to_string(),
-            format!("{:.4}", r.baseline_ipc),
-            format!("{:.4}", r.proposed_equal_area_ipc),
-            format!("{:.4}", r.proposed_equal_count_ipc),
-            format!("{:.4}", r.early_release_ipc),
-        ]);
-    }
-    print!("{table}");
-    // Register-savings estimate: for each baseline size, the smallest
-    // proposed equal-count configuration that matches its IPC.
-    for target in &rows {
-        for r in &rows {
-            if r.rf_regs < target.rf_regs
-                && r.proposed_equal_count_ipc >= target.baseline_ipc * 0.999
-            {
-                println!(
-                    "proposed scheme matches baseline-{} IPC with {} registers ({:.1}% fewer)",
-                    target.rf_regs,
-                    r.rf_regs,
-                    (1.0 - r.rf_regs as f64 / target.rf_regs as f64) * 100.0
-                );
-                break;
-            }
-        }
-    }
-    save(&args.out_dir, "fig11", &rows);
-}
-
-// ---------------------------------------------------------------- fig 12
-
-#[derive(Serialize)]
-struct Fig12Row {
-    suite: String,
-    reuse_correct_pct: f64,
-    reuse_incorrect_pct: f64,
-    noreuse_correct_pct: f64,
-    noreuse_incorrect_pct: f64,
-    accuracy_pct: f64,
-}
-
-fn fig12(args: &Args) {
-    println!("== Figure 12: register type predictor accuracy (at 64 regs) ==");
-    let mut table = Table::with_headers(&[
-        "suite",
-        "reuse-correct",
-        "reuse-incorrect",
-        "noreuse-correct",
-        "noreuse-incorrect",
-        "accuracy",
-    ]);
-    table.numeric();
-    let mut rows = Vec::new();
-    for suite in Suite::ALL {
-        let mut agg = regshare::core::PredictorStats::default();
-        let kernels = suite_kernels(suite);
-        let stats = par_map(&kernels, |k| {
-            run_kernel(k, Scheme::Proposed, 64, args.scale).predictor
-        });
-        for rep in stats {
-            agg.reuse_correct += rep.reuse_correct;
-            agg.reuse_incorrect += rep.reuse_incorrect;
-            agg.noreuse_correct += rep.noreuse_correct;
-            agg.noreuse_incorrect += rep.noreuse_incorrect;
-        }
-        let t = agg.total().max(1) as f64;
-        table.row(vec![
-            suite.label().into(),
-            pct(agg.reuse_correct as f64 / t),
-            pct(agg.reuse_incorrect as f64 / t),
-            pct(agg.noreuse_correct as f64 / t),
-            pct(agg.noreuse_incorrect as f64 / t),
-            pct(agg.accuracy()),
-        ]);
-        rows.push(Fig12Row {
-            suite: suite.label().into(),
-            reuse_correct_pct: agg.reuse_correct as f64 / t * 100.0,
-            reuse_incorrect_pct: agg.reuse_incorrect as f64 / t * 100.0,
-            noreuse_correct_pct: agg.noreuse_correct as f64 / t * 100.0,
-            noreuse_incorrect_pct: agg.noreuse_incorrect as f64 / t * 100.0,
-            accuracy_pct: agg.accuracy() * 100.0,
-        });
-    }
-    print!("{table}");
-    save(&args.out_dir, "fig12", &rows);
-}
-
-// ---------------------------------------------------------------- ablations
-
-#[derive(Serialize)]
-struct AblateRow {
-    setting: String,
-    geomean_speedup: f64,
-    mean_reuse_pct: f64,
-}
-
-fn ablate<F>(args: &Args, name: &str, title: &str, settings: Vec<(String, F)>)
-where
-    F: Fn(RegClass) -> Box<dyn regshare::core::Renamer> + Sync,
-{
-    println!("{title}");
-    let mut table = Table::with_headers(&["setting", "geomean speedup", "mean reuse %"]);
-    table.numeric();
-    let mut rows = Vec::new();
-    let kernels = all_kernels();
-    for (label, make) in settings {
-        // The renamer factory runs inside each worker: a boxed renamer
-        // is not `Send`, but it never crosses a thread boundary.
-        let metrics = par_map(&kernels, |k| {
-            let base = run_kernel(k, Scheme::Baseline, 64, args.scale);
-            let prop = run_kernel_with(
-                k,
-                make(swept_class(k.suite)),
-                experiment_config(args.scale),
-                args.scale,
-            );
-            (
-                prop.ipc() / base.ipc(),
-                prop.rename.reuse_fraction() * 100.0,
-            )
-        });
-        let speedups: Vec<f64> = metrics.iter().map(|m| m.0).collect();
-        let reuse: Vec<f64> = metrics.iter().map(|m| m.1).collect();
-        let g = geomean(&speedups);
-        let m = regshare::stats::mean(&reuse);
-        table.row(vec![label.clone(), format!("{g:.4}"), format!("{m:.1}")]);
-        rows.push(AblateRow {
-            setting: label,
-            geomean_speedup: g,
-            mean_reuse_pct: m,
-        });
-    }
-    print!("{table}");
-    save(&args.out_dir, name, &rows);
-}
-
-fn renamer_with(
-    swept: RegClass,
-    swept_banks: BankConfig,
-    counter_bits: u8,
-    entries: usize,
-) -> Box<dyn regshare::core::Renamer> {
-    renamer_with_spec(swept, swept_banks, counter_bits, entries, true)
-}
-
-fn renamer_with_spec(
-    swept: RegClass,
-    swept_banks: BankConfig,
-    counter_bits: u8,
-    entries: usize,
-    speculative_reuse: bool,
-) -> Box<dyn regshare::core::Renamer> {
-    let fixed = BankConfig::conventional(FIXED_RF);
-    let (int_banks, fp_banks) = match swept {
-        RegClass::Int => (swept_banks, fixed),
-        RegClass::Fp => (fixed, swept_banks),
-    };
-    Box::new(ReuseRenamer::new(RenamerConfig {
-        int_banks,
-        fp_banks,
-        counter_bits,
-        predictor_entries: entries,
-        predictor_bits: 2,
-        speculative_reuse,
-    }))
-}
-
-fn ablate_speculation(args: &Args) {
-    let settings = [
-        ("safe reuses only", false),
-        ("with speculation (paper)", true),
-    ]
-    .into_iter()
-    .map(|(label, spec)| {
-        (label.to_string(), move |swept: RegClass| {
-            let banks = BankConfig::new(vec![52, 4, 4, 4]);
-            renamer_with_spec(swept, banks, 2, 512, spec)
-        })
-    })
-    .collect();
-    ablate(
-        args,
-        "ablate_speculation",
-        "== Ablation: speculative (non-redefining) reuse, §IV-A2 (equal count, 64 regs) ==",
-        settings,
-    );
-}
-
-fn ablate_counter(args: &Args) {
-    // Version-counter width: an n-bit counter allows 2^n - 1 reuses; banks
-    // sized to the same register count (52/4/4/4 = 64).
-    let settings = [1u8, 2, 3]
-        .into_iter()
-        .map(|bits| {
-            let label = format!("{bits}-bit counter");
-            (label, move |swept: RegClass| {
-                // Same bank layout throughout; narrower counters simply
-                // saturate earlier and leave deeper shadow cells unused.
-                let banks = BankConfig::new(vec![52, 4, 4, 4]);
-                renamer_with(swept, banks, bits, 512)
-            })
-        })
-        .collect();
-    ablate(
-        args,
-        "ablate_counter",
-        "== Ablation: version counter width (equal count, 64 regs) ==",
-        settings,
-    );
-}
-
-fn ablate_predictor(args: &Args) {
-    let settings = [64usize, 128, 256, 512, 1024, 4096]
-        .into_iter()
-        .map(|entries| {
-            let label = format!("{entries} entries");
-            (label, move |swept: RegClass| {
-                let banks = BankConfig::new(vec![52, 4, 4, 4]);
-                renamer_with(swept, banks, 2, entries)
-            })
-        })
-        .collect();
-    ablate(
-        args,
-        "ablate_predictor",
-        "== Ablation: register type predictor size (equal count, 64 regs) ==",
-        settings,
-    );
-}
-
-fn ablate_banks(args: &Args) {
-    let splits: Vec<Vec<usize>> = vec![
-        vec![52, 4, 4, 4],
-        vec![48, 8, 4, 4],
-        vec![48, 4, 4, 8],
-        vec![44, 12, 4, 4],
-        vec![52, 12, 0, 0],
-        vec![56, 0, 0, 8],
-    ];
-    let settings = splits
-        .into_iter()
-        .map(|sizes| {
-            let label = format!("{sizes:?}");
-            (label, move |swept: RegClass| {
-                renamer_with(swept, BankConfig::new(sizes.clone()), 2, 512)
-            })
-        })
-        .collect();
-    ablate(
-        args,
-        "ablate_banks",
-        "== Ablation: bank split at 64 registers (equal count) ==",
-        settings,
-    );
-}
-
-// ------------------------------------------------------- static oracle
-
-#[derive(Serialize)]
-struct StaticOracleRow {
-    kernel: String,
-    suite: String,
-    lint_diagnostics: usize,
-    static_sites: usize,
-    dead_sites: usize,
-    single_safe_sites: usize,
-    single_needs_predictor_sites: usize,
-    unknown_sites: usize,
-    multi_consumer_sites: usize,
-    static_guaranteed_single_pct: f64,
-    static_possibly_single_pct: f64,
-    weighted_lower_bound_pct: f64,
-    weighted_upper_bound_pct: f64,
-    dynamic_single_use_pct: f64,
-    dynamic_single_use_redefining_pct: f64,
-    trace_complete: bool,
-    oracle_violations: usize,
-    predictor_accuracy_pct: f64,
-    predictor_reuse_correct: u64,
-    predictor_reuse_incorrect: u64,
-    predictor_noreuse_correct: u64,
-    predictor_noreuse_incorrect: u64,
-}
-
-fn analyze(args: &Args) {
-    use regshare::analyze::{classify, lint_program, oracle_check, Cfg, SiteClass};
-    println!("== Static oracle: per-kernel static sharing bounds vs dynamic measurement ==");
-    // Kernels halt at a loop boundary, so the functional budget must be
-    // comfortably above the sizing scale for complete traces (the
-    // soundness cross-checks need them).
-    let budget = args.scale.saturating_mul(64);
-    let kernels = all_kernels();
-    let rows: Vec<StaticOracleRow> = par_map(&kernels, |k| {
-        let program = k.program(args.scale);
-        let diags = lint_program(&program);
-        let cfg = Cfg::build(program.insts(), program.entry());
-        let c = classify(&cfg, program.insts());
-        let report = oracle_check(&program, budget)
-            .unwrap_or_else(|e| panic!("{}: oracle run failed: {e}", k.name));
-        let predictor = run_kernel(k, Scheme::Proposed, 64, args.scale).predictor;
-        let sites = c.len().max(1) as f64;
-        StaticOracleRow {
-            kernel: k.name.into(),
-            suite: k.suite.label().into(),
-            lint_diagnostics: diags.len(),
-            static_sites: c.len(),
-            dead_sites: c.count(SiteClass::Dead),
-            single_safe_sites: c.count(SiteClass::SingleSafeReuse),
-            single_needs_predictor_sites: c.count(SiteClass::SingleNeedsPredictor),
-            unknown_sites: c.count(SiteClass::Unknown),
-            multi_consumer_sites: c.count(SiteClass::MultiConsumer),
-            static_guaranteed_single_pct: c.guaranteed_single() as f64 / sites * 100.0,
-            static_possibly_single_pct: c.possibly_single() as f64 / sites * 100.0,
-            weighted_lower_bound_pct: report.lower_bound_fraction() * 100.0,
-            weighted_upper_bound_pct: report.upper_bound_fraction() * 100.0,
-            dynamic_single_use_pct: report.single_use_fraction() * 100.0,
-            dynamic_single_use_redefining_pct: ratio_pct(
-                report.single_use_redefining_instances,
-                report.def_instances,
-            ),
-            trace_complete: report.trace_complete,
-            oracle_violations: report.violations.len(),
-            predictor_accuracy_pct: predictor.accuracy() * 100.0,
-            predictor_reuse_correct: predictor.reuse_correct,
-            predictor_reuse_incorrect: predictor.reuse_incorrect,
-            predictor_noreuse_correct: predictor.noreuse_correct,
-            predictor_noreuse_incorrect: predictor.noreuse_incorrect,
-        }
-    });
-    let mut table = Table::with_headers(&[
-        "kernel",
-        "suite",
-        "lint",
-        "sites",
-        "lower%",
-        "dyn-single%",
-        "upper%",
-        "pred-acc%",
-    ]);
-    table.numeric();
-    for r in &rows {
-        table.row(vec![
-            r.kernel.clone(),
-            r.suite.clone(),
-            r.lint_diagnostics.to_string(),
-            r.static_sites.to_string(),
-            format!("{:.1}", r.weighted_lower_bound_pct),
-            format!("{:.1}", r.dynamic_single_use_pct),
-            format!("{:.1}", r.weighted_upper_bound_pct),
-            format!("{:.1}", r.predictor_accuracy_pct),
-        ]);
-    }
-    print!("{table}");
-    for r in &rows {
-        assert!(
-            r.weighted_upper_bound_pct + 1e-9 >= r.dynamic_single_use_pct
-                && r.weighted_lower_bound_pct <= r.dynamic_single_use_pct + 1e-9,
-            "{}: static bounds do not bracket the dynamic single-use fraction",
-            r.kernel
-        );
-        assert_eq!(
-            r.oracle_violations, 0,
-            "{}: static/dynamic disagreement",
-            r.kernel
-        );
-    }
-    println!(
-        "static bounds bracket the dynamic single-use fraction on all {} kernels",
-        rows.len()
-    );
-    save(&args.out_dir, "static_oracle", &rows);
-}
-
-fn ratio_pct(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        num as f64 / den as f64 * 100.0
-    }
-}
-
-// ---------------------------------------------------------------- main
-
-// ------------------------------------------------------------------ inject
-
-#[derive(Serialize)]
-struct InjectRow {
-    campaign: usize,
-    kernel: String,
-    scheme: String,
-    seed: u64,
-    interrupts: u64,
-    nested_interrupts: u64,
-    load_faults: u64,
-    store_faults: u64,
-    branch_flips: u64,
-    squash_storms: u64,
-    events_total: u64,
-    audits: u64,
-    cycles: u64,
-    committed_instructions: u64,
-    mispredicts: u64,
-    exceptions: u64,
-    shadow_recovers: u64,
-    status: String,
-}
-
-fn inject(args: &Args) {
-    println!("== Fault injection: seeded interrupts / faults / flips / squash storms ==");
-    // Injection stresses recovery paths, not steady-state IPC: modest
-    // runs keep a 100+-campaign sweep fast, and the schedule horizon
-    // covers the whole run either way.
-    let scale = args.scale.min(20_000);
-    let mut kernels = all_kernels();
-    if let Some(names) = &args.kernels {
-        for n in names {
-            if !kernels.iter().any(|k| k.name == n.as_str()) {
-                die(&format!("unknown kernel for --kernels: {n}"));
-            }
-        }
-        kernels.retain(|k| names.iter().any(|n| n == k.name));
-    }
-    // Campaign i covers kernel i mod K, alternating schemes across
-    // passes, with a per-campaign schedule seed derived from --seed.
-    let schemes = [Scheme::Baseline, Scheme::Proposed];
-    let points: Vec<usize> = (0..args.campaigns.max(1)).collect();
-    let runs: Vec<(InjectRow, Option<String>)> = par_map(&points, |&i| {
-        let kernel = &kernels[i % kernels.len()];
-        let scheme = schemes[(i / kernels.len()) % schemes.len()];
-        let seed = args.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mut cfg = experiment_config(scale);
-        cfg.check_oracle = true;
-        cfg.audit_interval = 256;
-        let renamer = renamer_for(scheme, 64, swept_class(kernel.suite));
-        let mut sim = Pipeline::new(kernel.program(scale), renamer, cfg);
-        sim.set_inject(InjectSchedule::seeded(seed, scale));
-        let (status, error) = match sim.run() {
-            Ok(_) => ("ok", None),
-            Err(e) => {
-                let status = match &e {
-                    SimError::OracleMismatch { .. } => "oracle-mismatch",
-                    SimError::CycleLimit { .. } => "cycle-limit",
-                    SimError::Deadlock { .. } => "deadlock",
-                    SimError::Invariant { .. } => "invariant-violation",
-                    SimError::Lsq { .. } => "lsq-error",
-                };
-                let detail = format!(
-                    "campaign {i} ({}, {}, seed {seed:#x}): {e}",
-                    kernel.name,
-                    scheme.label()
-                );
-                (status, Some(detail))
-            }
-        };
-        let report = sim.report();
-        let stats = sim.inject_stats();
-        let row = InjectRow {
-            campaign: i,
-            kernel: kernel.name.into(),
-            scheme: scheme.label().into(),
-            seed,
-            interrupts: stats.interrupts,
-            nested_interrupts: stats.nested_interrupts,
-            load_faults: stats.load_faults,
-            store_faults: stats.store_faults,
-            branch_flips: stats.branch_flips,
-            squash_storms: stats.squash_storms,
-            events_total: stats.total(),
-            audits: sim.audits(),
-            cycles: report.cycles,
-            committed_instructions: report.committed_instructions,
-            mispredicts: report.mispredicts,
-            exceptions: report.exceptions,
-            shadow_recovers: report.shadow_recovers,
-            status: status.into(),
-        };
-        (row, error)
-    });
-    let errors: Vec<String> = runs.iter().filter_map(|(_, e)| e.clone()).collect();
-    let rows: Vec<InjectRow> = runs.into_iter().map(|(r, _)| r).collect();
-    let sum = |f: fn(&InjectRow) -> u64| rows.iter().map(f).sum::<u64>();
-    println!(
-        "  {} campaigns over {} kernels x {} schemes at scale {scale}: \
-         {} events delivered ({} interrupts incl. {} nested, {} load faults, \
-         {} store faults, {} branch flips, {} squash storms), {} invariant audits, \
-         {} clean",
-        rows.len(),
-        kernels.len(),
-        schemes.len(),
-        sum(|r| r.events_total),
-        sum(|r| r.interrupts),
-        sum(|r| r.nested_interrupts),
-        sum(|r| r.load_faults),
-        sum(|r| r.store_faults),
-        sum(|r| r.branch_flips),
-        sum(|r| r.squash_storms),
-        sum(|r| r.audits),
-        rows.iter().filter(|r| r.status == "ok").count(),
-    );
-    save(&args.out_dir, "inject_report", &rows);
-    if !errors.is_empty() {
-        for e in &errors {
-            eprintln!("{e}");
-        }
-        die(&format!(
-            "{} of {} injection campaigns failed",
-            errors.len(),
-            rows.len()
-        ));
-    }
-}
-
-type ExperimentFn = fn(&Args);
-
 fn main() {
     let args = parse_args();
-    let known: Vec<(&str, ExperimentFn)> = vec![
-        ("fig1", fig1),
-        ("fig2", fig2),
-        ("fig3", fig3),
-        ("table1", table1),
-        ("table2", table2),
-        ("table3", table3),
-        ("fig9", fig9),
-        ("fig10", fig10),
-        ("fig10ec", fig10ec),
-        ("fig11", fig11),
-        ("fig12", fig12),
-        ("analyze", analyze),
-        ("ablate-counter", ablate_counter),
-        ("ablate-speculation", ablate_speculation),
-        ("ablate-predictor", ablate_predictor),
-        ("ablate-banks", ablate_banks),
-        ("inject", inject),
-    ];
+    let known = registry();
     let selected: Vec<&str> = if args.exps.iter().any(|e| e == "all") {
         known.iter().map(|(n, _)| *n).collect()
     } else {

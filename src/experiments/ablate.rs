@@ -1,0 +1,90 @@
+//! The shared ablation harness and renamer factories used by the four
+//! `ablate-*` subcommands.
+
+use super::common::{save, Args};
+use crate::core::{BankConfig, Renamer, RenamerConfig, ReuseRenamer};
+use crate::harness::{
+    experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
+};
+use crate::isa::RegClass;
+use crate::stats::{geomean, Table};
+use crate::workloads::all_kernels;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblateRow {
+    setting: String,
+    geomean_speedup: f64,
+    mean_reuse_pct: f64,
+}
+
+pub(crate) fn ablate<F>(args: &Args, name: &str, title: &str, settings: Vec<(String, F)>)
+where
+    F: Fn(RegClass) -> Box<dyn Renamer> + Sync,
+{
+    println!("{title}");
+    let mut table = Table::with_headers(&["setting", "geomean speedup", "mean reuse %"]);
+    table.numeric();
+    let mut rows = Vec::new();
+    let kernels = all_kernels();
+    for (label, make) in settings {
+        // The renamer factory runs inside each worker: a boxed renamer
+        // is not `Send`, but it never crosses a thread boundary.
+        let metrics = par_map(&kernels, |k| {
+            let base = run_kernel(k, Scheme::Baseline, 64, args.scale);
+            let prop = run_kernel_with(
+                k,
+                make(swept_class(k.suite)),
+                experiment_config(args.scale),
+                args.scale,
+            );
+            (
+                prop.ipc() / base.ipc(),
+                prop.rename.reuse_fraction() * 100.0,
+            )
+        });
+        let speedups: Vec<f64> = metrics.iter().map(|m| m.0).collect();
+        let reuse: Vec<f64> = metrics.iter().map(|m| m.1).collect();
+        let g = geomean(&speedups);
+        let m = crate::stats::mean(&reuse);
+        table.row(vec![label.clone(), format!("{g:.4}"), format!("{m:.1}")]);
+        rows.push(AblateRow {
+            setting: label,
+            geomean_speedup: g,
+            mean_reuse_pct: m,
+        });
+    }
+    print!("{table}");
+    save(&args.out_dir, name, &rows);
+}
+
+pub(crate) fn renamer_with(
+    swept: RegClass,
+    swept_banks: BankConfig,
+    counter_bits: u8,
+    entries: usize,
+) -> Box<dyn Renamer> {
+    renamer_with_spec(swept, swept_banks, counter_bits, entries, true)
+}
+
+pub(crate) fn renamer_with_spec(
+    swept: RegClass,
+    swept_banks: BankConfig,
+    counter_bits: u8,
+    entries: usize,
+    speculative_reuse: bool,
+) -> Box<dyn Renamer> {
+    let fixed = BankConfig::conventional(FIXED_RF);
+    let (int_banks, fp_banks) = match swept {
+        RegClass::Int => (swept_banks, fixed),
+        RegClass::Fp => (fixed, swept_banks),
+    };
+    Box::new(ReuseRenamer::new(RenamerConfig {
+        int_banks,
+        fp_banks,
+        counter_bits,
+        predictor_entries: entries,
+        predictor_bits: 2,
+        speculative_reuse,
+    }))
+}

@@ -1,0 +1,26 @@
+//! Ablation: register type predictor size.
+
+use super::ablate::{ablate, renamer_with};
+use super::common::Args;
+use crate::core::BankConfig;
+use crate::isa::RegClass;
+
+/// Runs the ablation and writes `ablate_predictor.json`.
+pub fn run(args: &Args) {
+    let settings = [64usize, 128, 256, 512, 1024, 4096]
+        .into_iter()
+        .map(|entries| {
+            let label = format!("{entries} entries");
+            (label, move |swept: RegClass| {
+                let banks = BankConfig::new(vec![52, 4, 4, 4]);
+                renamer_with(swept, banks, 2, entries)
+            })
+        })
+        .collect();
+    ablate(
+        args,
+        "ablate_predictor",
+        "== Ablation: register type predictor size (equal count, 64 regs) ==",
+        settings,
+    );
+}

@@ -1,0 +1,51 @@
+//! Shared plumbing for the experiment subcommands: the parsed CLI
+//! options, result persistence, and small formatting helpers.
+
+use serde::Serialize;
+
+/// The baseline register-file sizes every sweep walks (§VI-B).
+pub const RF_SIZES: [usize; 7] = [48, 56, 64, 72, 80, 96, 112];
+
+/// Options shared by every experiment, parsed once by the CLI front end.
+pub struct Args {
+    /// Experiment names to run, in request order (`all` expands to the
+    /// full registry).
+    pub exps: Vec<String>,
+    /// Instruction budget per simulation point.
+    pub scale: u64,
+    /// Directory the per-experiment JSON rows are written to.
+    pub out_dir: String,
+    /// Number of fault-injection campaigns (`inject`).
+    pub campaigns: usize,
+    /// Base seed for fault-injection schedules (`inject`).
+    pub seed: u64,
+    /// Kernel subset for `inject` (`None` = all kernels).
+    pub kernels: Option<Vec<String>>,
+}
+
+/// Prints `msg` as an error and exits with status 2.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Writes one experiment's rows to `<out_dir>/<name>.json`.
+pub(crate) fn save<T: Serialize>(out_dir: &str, name: &str, rows: &T) {
+    std::fs::create_dir_all(out_dir).expect("create results directory");
+    let path = format!("{out_dir}/{name}.json");
+    let json = serde_json::to_string_pretty(rows).expect("results serialize");
+    std::fs::write(&path, json).expect("write results file");
+    println!("  -> {path}\n");
+}
+
+pub(crate) fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+pub(crate) fn ratio_pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64 * 100.0
+    }
+}

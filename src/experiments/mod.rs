@@ -1,0 +1,59 @@
+//! The paper's evaluation as a library: one module per experiment
+//! subcommand, a shared [`Args`] options struct, and the [`registry`]
+//! the `experiments` binary dispatches through.
+//!
+//! Each subcommand module exposes `run(&Args)`, prints its table, and
+//! writes machine-readable rows to `<out_dir>/<name>.json`. The binary
+//! in `src/bin/experiments.rs` is a thin CLI: it parses flags into
+//! [`Args`] and walks the registry.
+
+mod ablate;
+mod ablate_banks;
+mod ablate_counter;
+mod ablate_predictor;
+mod ablate_speculation;
+mod analyze;
+mod common;
+mod fig1;
+mod fig10;
+mod fig10ec;
+mod fig11;
+mod fig12;
+mod fig2;
+mod fig3;
+mod fig9;
+mod inject;
+mod sweeps;
+mod table1;
+mod table2;
+mod table3;
+
+pub use common::{die, Args, RF_SIZES};
+
+/// An experiment entry point.
+pub type ExperimentFn = fn(&Args);
+
+/// Every experiment in canonical order — `all` runs them in exactly
+/// this sequence, so the registry order is part of the reproducibility
+/// contract.
+pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("fig1", fig1::run),
+        ("fig2", fig2::run),
+        ("fig3", fig3::run),
+        ("table1", table1::run),
+        ("table2", table2::run),
+        ("table3", table3::run),
+        ("fig9", fig9::run),
+        ("fig10", fig10::run),
+        ("fig10ec", fig10ec::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("analyze", analyze::run),
+        ("ablate-counter", ablate_counter::run),
+        ("ablate-speculation", ablate_speculation::run),
+        ("ablate-predictor", ablate_predictor::run),
+        ("ablate-banks", ablate_banks::run),
+        ("inject", inject::run),
+    ]
+}

@@ -1,0 +1,131 @@
+//! The shared IPC-sweep harness and comparator renamers used by the
+//! figure 10/10-EC/11 subcommands.
+
+use super::common::{save, Args, RF_SIZES};
+use crate::core::{BankConfig, EarlyReleaseRenamer, Renamer, RenamerConfig, ReuseRenamer};
+use crate::harness::{
+    experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
+};
+use crate::isa::RegClass;
+use crate::stats::{geomean, Table};
+use crate::workloads::{all_kernels, Suite};
+use serde::Serialize;
+
+#[derive(Serialize)]
+pub(crate) struct SpeedupRow {
+    pub(crate) kernel: String,
+    pub(crate) suite: String,
+    pub(crate) rf_regs: usize,
+    pub(crate) baseline_ipc: f64,
+    pub(crate) proposed_ipc: f64,
+    pub(crate) speedup: f64,
+    pub(crate) reuse_pct: f64,
+}
+
+/// Proposed-scheme renamer at the same register *count* as the baseline
+/// (mechanism benefit without the equal-area discount).
+pub(crate) fn equal_count_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn Renamer> {
+    let swept_banks = BankConfig::new(vec![rf_regs - 12, 4, 4, 4]);
+    let fixed = BankConfig::conventional(FIXED_RF);
+    let (int_banks, fp_banks) = match swept {
+        RegClass::Int => (swept_banks, fixed),
+        RegClass::Fp => (fixed, swept_banks),
+    };
+    Box::new(ReuseRenamer::new(RenamerConfig {
+        int_banks,
+        fp_banks,
+        counter_bits: 2,
+        predictor_entries: 512,
+        predictor_bits: 2,
+        speculative_reuse: true,
+    }))
+}
+
+/// The Moudgill/Monreal-style early-release comparator (related work,
+/// §VII) at the same register count as the baseline.
+pub(crate) fn early_release_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn Renamer> {
+    let fixed = BankConfig::conventional(FIXED_RF);
+    let swept_banks = BankConfig::conventional(rf_regs);
+    let (int_banks, fp_banks) = match swept {
+        RegClass::Int => (swept_banks, fixed),
+        RegClass::Fp => (fixed, swept_banks),
+    };
+    Box::new(EarlyReleaseRenamer::new(RenamerConfig {
+        int_banks,
+        fp_banks,
+        ..RenamerConfig::baseline(rf_regs)
+    }))
+}
+
+pub(crate) fn speedup_sweep(args: &Args, name: &str, title: &str, equal_count: bool) {
+    println!("{title}");
+    // Every (kernel, size) point is independent; fan out across cores
+    // and collect rows back in sweep order.
+    let points: Vec<(crate::workloads::Kernel, usize)> = all_kernels()
+        .into_iter()
+        .flat_map(|k| RF_SIZES.into_iter().map(move |rf| (k, rf)))
+        .collect();
+    let rows: Vec<SpeedupRow> = par_map(&points, |&(ref k, rf)| {
+        let base = run_kernel(k, Scheme::Baseline, rf, args.scale);
+        let prop = if equal_count {
+            run_kernel_with(
+                k,
+                equal_count_renamer(rf, swept_class(k.suite)),
+                experiment_config(args.scale),
+                args.scale,
+            )
+        } else {
+            run_kernel(k, Scheme::Proposed, rf, args.scale)
+        };
+        SpeedupRow {
+            kernel: k.name.into(),
+            suite: k.suite.label().into(),
+            rf_regs: rf,
+            baseline_ipc: base.ipc(),
+            proposed_ipc: prop.ipc(),
+            speedup: prop.ipc() / base.ipc(),
+            reuse_pct: prop.rename.reuse_fraction() * 100.0,
+        }
+    });
+    // Per-kernel table.
+    let mut headers: Vec<String> = vec!["kernel".into(), "suite".into()];
+    headers.extend(RF_SIZES.iter().map(|n| n.to_string()));
+    let mut table = Table::new(headers);
+    table.numeric();
+    for k in all_kernels() {
+        let mut cells = vec![k.name.to_string(), k.suite.label().to_string()];
+        for rf in RF_SIZES {
+            let r = rows
+                .iter()
+                .find(|r| r.kernel == k.name && r.rf_regs == rf)
+                .expect("row exists");
+            cells.push(format!("{:.3}", r.speedup));
+        }
+        table.row(cells);
+    }
+    // Per-suite geomeans.
+    for suite in Suite::ALL {
+        let mut cells = vec!["GEOMEAN".to_string(), suite.label().to_string()];
+        for rf in RF_SIZES {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.suite == suite.label() && r.rf_regs == rf)
+                .map(|r| r.speedup)
+                .collect();
+            cells.push(format!("{:.3}", geomean(&vals)));
+        }
+        table.row(cells);
+    }
+    let mut cells = vec!["GEOMEAN".to_string(), "ALL".to_string()];
+    for rf in RF_SIZES {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.rf_regs == rf)
+            .map(|r| r.speedup)
+            .collect();
+        cells.push(format!("{:.3}", geomean(&vals)));
+    }
+    table.row(cells);
+    print!("{table}");
+    save(&args.out_dir, name, &rows);
+}

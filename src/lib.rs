@@ -25,6 +25,8 @@
 //! println!("speedup: {:.3}", prop.ipc() / base.ipc());
 //! ```
 
+pub mod experiments;
+
 pub use regshare_analyze as analyze;
 pub use regshare_area as area;
 pub use regshare_core as core;

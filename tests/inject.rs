@@ -73,6 +73,50 @@ fn interrupt_during_mispredict_recovery_is_transparent() {
     }
 }
 
+/// Pins the exact timing of nested recovery (interrupt delivered inside
+/// a misprediction squash) so the unified `RecoveryPolicy` path can be
+/// checked against the hand-rolled walks it replaced: same cycles, same
+/// committed count, same delivered-event mix, to the cycle.
+#[test]
+fn nested_recovery_matches_pre_refactor_goldens() {
+    // (kernel, scheme, cycles, committed, nested_interrupts) captured on
+    // the monolithic pipeline before the stage split.
+    let golden: [(&str, Scheme, u64, u64, u64); 4] = [
+        ("hashjoin", Scheme::Baseline, 15771, 6166, 3),
+        ("hashjoin", Scheme::Proposed, 14175, 6166, 3),
+        ("fft", Scheme::Baseline, 5854, 8000, 3),
+        ("fft", Scheme::Proposed, 5927, 8000, 3),
+    ];
+    let mut observed = Vec::new();
+    for (name, scheme, ..) in golden {
+        let k = kernel(name);
+        let schedule = InjectSchedule {
+            events: Vec::new(),
+            interrupts_on_mispredict: vec![0, 3, 10],
+        };
+        let sim = run_with_schedule(&k, scheme, schedule);
+        let report = sim.report();
+        observed.push((
+            name,
+            scheme,
+            report.cycles,
+            report.committed_instructions,
+            sim.inject_stats().nested_interrupts,
+        ));
+        println!(
+            "(\"{name}\", Scheme::{scheme:?}, {}, {}, {}),",
+            report.cycles,
+            report.committed_instructions,
+            sim.inject_stats().nested_interrupts
+        );
+    }
+    assert_eq!(
+        observed,
+        golden.to_vec(),
+        "nested recovery diverged from the pre-refactor goldens"
+    );
+}
+
 #[test]
 fn each_event_kind_is_delivered_and_transparent() {
     // saxpy loads and stores on every iteration, so a fault armed at any
