@@ -86,6 +86,7 @@ mod regfile;
 mod rename_common;
 mod renamer;
 mod reuse;
+mod warm;
 
 pub use banks::BankConfig;
 pub use baseline::BaselineRenamer;
@@ -99,3 +100,4 @@ pub use regfile::RegFile;
 pub use rename_common::{CheckpointStack, RenameTables, SeqRecord};
 pub use renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
 pub use reuse::{CorruptKind, ReuseRenamer};
+pub use warm::ReuseWarmer;

@@ -160,6 +160,13 @@ impl RegTypePredictor {
         &self.stats
     }
 
+    /// Clears the Fig. 12 accounting, keeping the learned counters. Used
+    /// when a functionally-warmed predictor is handed to a measurement
+    /// window.
+    pub fn reset_stats(&mut self) {
+        self.stats = PredictorStats::default();
+    }
+
     /// Number of table entries.
     pub fn len(&self) -> usize {
         self.table.len()

@@ -288,6 +288,18 @@ pub trait Renamer {
     fn arch_map(&self) -> Option<&MapTable> {
         None
     }
+
+    /// Installs functionally-warmed predictor tables into the scheme,
+    /// clearing their accuracy accounting so a measurement window starts
+    /// from trained-but-unmeasured predictors. Default: ignored — the
+    /// baseline scheme has no predictors to warm.
+    fn install_predictors(
+        &mut self,
+        predictor: &crate::RegTypePredictor,
+        single_use: &crate::SingleUsePredictor,
+    ) {
+        let _ = (predictor, single_use);
+    }
 }
 
 #[cfg(test)]

@@ -787,4 +787,14 @@ impl Renamer for ReuseRenamer {
     fn arch_map(&self) -> Option<&MapTable> {
         Some(&self.t.retire_map)
     }
+
+    fn install_predictors(
+        &mut self,
+        predictor: &RegTypePredictor,
+        single_use: &SingleUsePredictor,
+    ) {
+        self.predictor = predictor.clone();
+        self.predictor.reset_stats();
+        self.single_use = single_use.clone();
+    }
 }

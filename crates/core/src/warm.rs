@@ -1,0 +1,253 @@
+//! Functional warming of the reuse-scheme predictors.
+//!
+//! The detailed renamer trains its register type predictor (§IV-D) and
+//! single-use predictor (§IV-A2) from release-time events that only exist
+//! inside a timing simulation: shadow-cell consumption, repair micro-ops,
+//! blocked reuses. A functional fast-forward has none of that machinery,
+//! so [`ReuseWarmer`] maintains a *model* of it: one live-definition slot
+//! per architectural register, tracking how the defining instruction's
+//! value is consumed, and driving the same predictor update rules the
+//! renamer would have applied.
+//!
+//! The model is an approximation — it assumes every predicted shadow cell
+//! is available (no bank pressure) and every speculative reuse is taken
+//! when the single-use predictor says so. That is exactly the program's
+//! *dataflow* signal, which is what the PC-indexed predictors learn from;
+//! the sampled-vs-full equivalence test bounds the residual error.
+
+use crate::{RegTypePredictor, RenamerConfig, SingleUsePredictor};
+use regshare_isa::{ArchReg, Inst, NUM_FP_REGS, NUM_INT_REGS};
+
+/// Model of one in-flight (live) register definition.
+#[derive(Debug, Clone, Copy, Default)]
+struct LiveDef {
+    valid: bool,
+    /// Predictor entry of the defining PC.
+    entry: usize,
+    /// Shadow cells the predictor would have granted at allocation.
+    predicted: u8,
+    /// Reuses the model charged against those shadow cells.
+    reuses: u8,
+    /// Consumers observed so far.
+    uses: u32,
+    /// A predicted-single-use value turned out multi-use (repair).
+    multi_use: bool,
+    /// A reuse opportunity arrived with no shadow cell left.
+    blocked: bool,
+    /// Single-use predictor entry of the first consumer, while its
+    /// speculative reuse is still unconfirmed.
+    spec_entry: Option<usize>,
+}
+
+/// Streams a functionally-executed instruction sequence through a model
+/// of the reuse renamer's predictor training.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::{RenamerConfig, ReuseWarmer};
+/// use regshare_isa::{reg, Inst, Opcode};
+///
+/// let mut w = ReuseWarmer::new(&RenamerConfig::small_test());
+/// // x1 = x1 + 1 redefines its own source: a safe-reuse opportunity.
+/// let inst = Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 1);
+/// w.observe(0x10, &inst);
+/// w.observe(0x10, &inst);
+/// assert!(w.predictor().predict(0x10) >= 1); // learned to grant a cell
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseWarmer {
+    predictor: RegTypePredictor,
+    single_use: SingleUsePredictor,
+    live: [Vec<LiveDef>; 2],
+    speculative_reuse: bool,
+}
+
+impl ReuseWarmer {
+    /// Creates a warmer with cold predictor tables sized per `config`.
+    pub fn new(config: &RenamerConfig) -> Self {
+        ReuseWarmer {
+            predictor: RegTypePredictor::new(config.predictor_entries, config.predictor_bits),
+            single_use: SingleUsePredictor::new(config.predictor_entries),
+            live: [
+                vec![LiveDef::default(); NUM_INT_REGS],
+                vec![LiveDef::default(); NUM_FP_REGS],
+            ],
+            speculative_reuse: config.speculative_reuse,
+        }
+    }
+
+    /// The warmed register type predictor.
+    pub fn predictor(&self) -> &RegTypePredictor {
+        &self.predictor
+    }
+
+    /// The warmed single-use predictor.
+    pub fn single_use(&self) -> &SingleUsePredictor {
+        &self.single_use
+    }
+
+    fn slot(&mut self, r: ArchReg) -> &mut LiveDef {
+        &mut self.live[r.class().index()][r.index() as usize]
+    }
+
+    /// Observes one retired instruction at `pc`.
+    pub fn observe(&mut self, pc: u64, inst: &Inst) {
+        let dst = inst.dst();
+        let dst2 = inst.dst2();
+        // Consumer reads. A source the instruction also redefines is the
+        // renamer's safe-reuse path and is charged at the redefinition
+        // below, not as an ordinary consumer.
+        let mut seen: [Option<ArchReg>; 3] = [None; 3];
+        for (i, src) in inst.raw_sources().iter().enumerate() {
+            let Some(r) = *src else { continue };
+            if r.is_zero() || seen[..i].contains(&Some(r)) {
+                continue;
+            }
+            seen[i] = Some(r);
+            if Some(r) == dst || Some(r) == dst2 {
+                continue;
+            }
+            self.on_consumer(pc, r);
+        }
+        // Redefinitions: close the previous live definition and open a
+        // new one under the defining PC's prediction.
+        for d in [dst, dst2].into_iter().flatten() {
+            let redefining_read = inst.raw_sources().contains(&Some(d));
+            self.on_redefine(pc, d, redefining_read);
+        }
+    }
+
+    fn on_consumer(&mut self, pc: u64, r: ArchReg) {
+        let spec_ok = self.speculative_reuse && self.single_use.predict(pc);
+        let spec_index = self.single_use.entry_index(pc);
+        let slot = self.slot(r);
+        if !slot.valid {
+            return;
+        }
+        slot.uses += 1;
+        match slot.uses {
+            // First consumer: the renamer consults the single-use
+            // predictor and reuses speculatively on a hit.
+            1 if spec_ok => {
+                slot.spec_entry = Some(spec_index);
+                if slot.predicted > slot.reuses {
+                    slot.reuses += 1;
+                } else {
+                    slot.blocked = true;
+                    let entry = slot.entry;
+                    self.predictor.on_blocked_reuse(entry);
+                }
+            }
+            2 => {
+                // Second consumer: a speculative reuse (if taken) was a
+                // single-use misprediction and gets repaired.
+                if let Some(e) = slot.spec_entry.take() {
+                    slot.multi_use = true;
+                    let entry = slot.entry;
+                    self.single_use.on_wrong(e);
+                    self.predictor.on_multi_use(entry);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_redefine(&mut self, pc: u64, r: ArchReg, redefining_read: bool) {
+        let entry = self.predictor.entry_index(pc);
+        let predicted = self.predictor.predict(pc);
+        let slot = *self.slot(r);
+        if slot.valid {
+            let mut closing = slot;
+            if redefining_read {
+                // The renamer's guaranteed-safe reuse: needs a shadow cell.
+                if closing.predicted > closing.reuses {
+                    closing.reuses += 1;
+                } else {
+                    closing.blocked = true;
+                    self.predictor.on_blocked_reuse(closing.entry);
+                }
+            }
+            if let Some(e) = closing.spec_entry {
+                // The sole speculative consumer survived to release.
+                self.single_use.on_correct(e);
+            }
+            self.predictor.on_release(
+                closing.entry,
+                closing.predicted,
+                closing.reuses,
+                closing.multi_use,
+                closing.blocked,
+            );
+        }
+        *self.slot(r) = LiveDef {
+            valid: true,
+            entry,
+            predicted,
+            ..LiveDef::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::{reg, Opcode};
+
+    fn warmer() -> ReuseWarmer {
+        ReuseWarmer::new(&RenamerConfig::small_test())
+    }
+
+    #[test]
+    fn redefining_chain_learns_shadow_cells() {
+        let mut w = warmer();
+        let inst = Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 1);
+        // First redefinition is blocked (cold predictor grants 0 cells),
+        // bumping the entry; later ones are granted a cell and confirmed.
+        for _ in 0..8 {
+            w.observe(0x10, &inst);
+        }
+        assert!(w.predictor().predict(0x10) >= 1);
+        assert!(w.predictor().stats().total() > 0);
+    }
+
+    #[test]
+    fn multi_use_value_trains_single_use_predictor_down() {
+        let mut w = warmer();
+        let def = Inst::rri(Opcode::Addi, reg::x(1), reg::x(2), 1);
+        let use_a = Inst::rrr(Opcode::Add, reg::x(3), reg::x(1), reg::x(4));
+        let use_b = Inst::rrr(Opcode::Add, reg::x(5), reg::x(1), reg::x(6));
+        assert!(w.single_use().predict(0x20), "optimistic cold start");
+        for _ in 0..4 {
+            w.observe(0x10, &def);
+            w.observe(0x20, &use_a); // speculative reuse
+            w.observe(0x30, &use_b); // second use: repair
+        }
+        assert!(
+            !w.single_use().predict(0x20),
+            "repeated repairs must stop the speculation"
+        );
+    }
+
+    #[test]
+    fn single_use_value_keeps_speculation_on() {
+        let mut w = warmer();
+        let def = Inst::rri(Opcode::Addi, reg::x(1), reg::x(2), 1);
+        let only_use = Inst::rrr(Opcode::Add, reg::x(3), reg::x(1), reg::x(4));
+        for _ in 0..4 {
+            w.observe(0x10, &def);
+            w.observe(0x20, &only_use);
+        }
+        assert!(w.single_use().predict(0x20));
+    }
+
+    #[test]
+    fn zero_register_is_ignored() {
+        let mut w = warmer();
+        let inst = Inst::rrr(Opcode::Add, reg::zero(), reg::zero(), reg::zero());
+        for _ in 0..4 {
+            w.observe(0x10, &inst);
+        }
+        assert_eq!(w.predictor().stats().total(), 0);
+    }
+}

@@ -320,6 +320,34 @@ impl Machine {
         Ok(StopReason::MaxInstructions)
     }
 
+    /// Runs like [`Machine::run`], handing each retired record to
+    /// `observe` instead of collecting a trace.
+    ///
+    /// This is the functional-warming fast path: the observer updates
+    /// warmable microarchitectural state (caches, TLB, predictors) while
+    /// the emulator advances architectural state, with no per-record
+    /// allocation and a single fused loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError`] from [`Machine::step`].
+    pub fn run_observe(
+        &mut self,
+        max_instructions: u64,
+        mut observe: impl FnMut(&Retired),
+    ) -> Result<StopReason, MachineError> {
+        while self.retired < max_instructions {
+            match self.step()? {
+                Some(r) => observe(&r),
+                None => return Ok(StopReason::Halted),
+            }
+            if self.halted {
+                return Ok(StopReason::Halted);
+            }
+        }
+        Ok(StopReason::MaxInstructions)
+    }
+
     /// Runs like [`Machine::run`] but collects the retired-instruction
     /// trace.
     ///

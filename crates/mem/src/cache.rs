@@ -73,10 +73,26 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// `log2(line_bytes)`, precomputed so the hot address-split avoids a
+    /// runtime division (the divisor is only known to be a power of two
+    /// dynamically, so the compiler cannot strength-reduce it).
+    line_shift: u32,
+    /// `num_sets − 1` (sets are a power of two).
+    set_mask: usize,
+    /// All lines, flattened set-major (`set × assoc + way`): one
+    /// contiguous allocation instead of a pointer chase per set.
+    lines: Vec<Line>,
     stamp: u64,
     hits: Ratio,
     writebacks: u64,
+    /// Per-set most-recently-touched way, a fast path for repeated
+    /// accesses to a set's hot line. Every site that touches a line
+    /// (slow-path hit, demand fill, prefetch fill) stamps it most-recent
+    /// *and* records its way here, so a hinted tag match needs neither
+    /// the way scan nor an LRU stamp bump: the line is already the
+    /// newest in its set, and LRU ordering is per-set, so skipping the
+    /// bump changes no relative order and no future eviction.
+    mru: Vec<u16>,
 }
 
 impl Cache {
@@ -86,20 +102,24 @@ impl Cache {
     ///
     /// Panics if the geometry is inconsistent (see [`CacheConfig::num_sets`]).
     pub fn new(name: impl Into<String>, config: CacheConfig) -> Self {
-        let sets = vec![vec![Line::default(); config.assoc]; config.num_sets()];
+        let num_sets = config.num_sets();
+        let lines = vec![Line::default(); config.assoc * num_sets];
         Cache {
             config,
-            sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
+            lines,
             stamp: 0,
             hits: Ratio::new(name),
             writebacks: 0,
+            mru: vec![0; num_sets],
         }
     }
 
     #[inline]
     fn index_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let set = (line as usize) & (self.sets.len() - 1);
+        let line = addr >> self.line_shift;
+        let set = (line as usize) & self.set_mask;
         (set, line)
     }
 
@@ -109,13 +129,21 @@ impl Cache {
     /// `is_write` marks the line dirty; evicting a dirty line counts a
     /// writeback.
     pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
-        self.stamp += 1;
         let (set_idx, tag) = self.index_tag(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.stamp;
-            line.dirty |= is_write;
+        let base = set_idx * self.config.assoc;
+        let hinted = &mut self.lines[base + self.mru[set_idx] as usize];
+        if hinted.valid && hinted.tag == tag {
+            hinted.dirty |= is_write;
             self.hits.record(true);
+            return true;
+        }
+        self.stamp += 1;
+        let set = &mut self.lines[base..base + self.config.assoc];
+        if let Some(way) = set.iter().position(|l| l.valid && l.tag == tag) {
+            set[way].lru = self.stamp;
+            set[way].dirty |= is_write;
+            self.hits.record(true);
+            self.mru[set_idx] = way as u16;
             return true;
         }
         self.hits.record(false);
@@ -126,7 +154,14 @@ impl Cache {
     /// Checks residency without updating any state (probe).
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index_tag(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        let base = set_idx * self.config.assoc;
+        let hinted = &self.lines[base + self.mru[set_idx] as usize];
+        if hinted.valid && hinted.tag == tag {
+            return true;
+        }
+        self.lines[base..base + self.config.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Inserts the line containing `addr` without counting a demand access
@@ -135,7 +170,11 @@ impl Cache {
     pub fn fill(&mut self, addr: u64) -> bool {
         self.stamp += 1;
         let (set_idx, tag) = self.index_tag(addr);
-        if self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag) {
+        let base = set_idx * self.config.assoc;
+        if self.lines[base..base + self.config.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+        {
             return false;
         }
         self.fill_line(set_idx, tag, false);
@@ -144,11 +183,12 @@ impl Cache {
 
     fn fill_line(&mut self, set_idx: usize, tag: u64, dirty: bool) {
         let stamp = self.stamp;
-        let set = &mut self.sets[set_idx];
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+        let base = set_idx * self.config.assoc;
+        let set = &mut self.lines[base..base + self.config.assoc];
+        let way = (0..set.len())
+            .min_by_key(|&w| if set[w].valid { set[w].lru } else { 0 })
             .expect("cache sets are never empty");
+        let victim = &mut set[way];
         if victim.valid && victim.dirty {
             self.writebacks += 1;
         }
@@ -158,6 +198,7 @@ impl Cache {
             dirty,
             lru: stamp,
         };
+        self.mru[set_idx] = way as u16;
     }
 
     /// Hit latency in cycles.
@@ -178,6 +219,13 @@ impl Cache {
     /// Number of dirty evictions so far.
     pub fn writebacks(&self) -> u64 {
         self.writebacks
+    }
+
+    /// Clears access statistics, keeping the resident lines. Used when a
+    /// functionally-warmed cache is handed to a measurement window.
+    pub fn reset_stats(&mut self) {
+        self.hits.reset();
+        self.writebacks = 0;
     }
 }
 
@@ -259,6 +307,48 @@ mod tests {
         assert!(!c.fill(0)); // already resident
         assert_eq!(c.hit_ratio().total(), 0);
         assert!(c.access(0, false)); // demand access now hits
+    }
+
+    #[test]
+    fn consecutive_same_line_hits_preserve_lru_order() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(128, false);
+        // Many fast-path hits on 128 must leave it most-recent...
+        for _ in 0..10 {
+            c.access(128, false);
+        }
+        c.access(0, false); // ...and 0 refreshed after them.
+        c.access(256, false); // evicts 128 (least recent), not 0
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+    }
+
+    #[test]
+    fn fast_path_write_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false); // clean, becomes the fast-path line
+        c.access(0, true); // fast-path write must still dirty it
+        c.access(128, false);
+        c.access(256, false); // evicts 0
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn fill_clobbering_the_hinted_line_is_detected_by_tag() {
+        // Direct-mapped: the just-accessed line is also the only victim.
+        let mut c = Cache::new(
+            "dm",
+            CacheConfig {
+                size_bytes: 128,
+                assoc: 1,
+                line_bytes: 64,
+                latency: 1,
+            },
+        );
+        c.access(0, false); // line 0 resident, fast path armed
+        c.fill(128); // prefetch fill evicts line 0 in-place
+        assert!(!c.access(0, false), "line 0 is gone; must miss");
     }
 
     #[test]

@@ -90,6 +90,35 @@ impl Dram {
         (bank, row)
     }
 
+    /// Clears access statistics and bank busy times, keeping each bank's
+    /// open row. Used when a functionally-warmed DRAM — whose clock was an
+    /// instruction-count pseudo-time — is handed to a measurement window
+    /// that counts cycles from zero: stale `busy_until` values from the
+    /// old clock domain would otherwise queue the window's first accesses
+    /// behind fictitious billion-cycle reservations.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.row_hits = 0;
+        for b in &mut self.banks {
+            b.busy_until = 0;
+        }
+    }
+
+    /// Records an access without timing: updates the bank's open row and
+    /// the hit statistics but not its busy time. This is the functional-
+    /// warming path — row *contents* persist across the warm/detailed
+    /// handoff while busy times are window-local (see
+    /// [`Dram::reset_stats`]), so warming never needs a clock.
+    pub fn touch(&mut self, addr: u64) {
+        self.accesses += 1;
+        let (bank_idx, row) = self.bank_and_row(addr);
+        let bank = &mut self.banks[bank_idx];
+        if bank.open_row == Some(row) {
+            self.row_hits += 1;
+        }
+        bank.open_row = Some(row);
+    }
+
     /// Performs an access at time `now`; returns its total latency in
     /// cycles (including any queueing behind the bank's previous request).
     pub fn access(&mut self, addr: u64, now: u64) -> u32 {
@@ -144,6 +173,18 @@ mod tests {
         let t = miss as u64;
         let hit = d.access(128, t);
         assert_eq!(hit, cfg.t_cas + cfg.burst);
+    }
+
+    #[test]
+    fn reset_stats_clears_busy_times_but_keeps_open_rows() {
+        let mut d = Dram::new(DramConfig::default());
+        let cfg = *d.config();
+        d.access(0, 1_000_000_000); // bank reserved far into pseudo-time
+        d.reset_stats();
+        assert_eq!(d.accesses(), 0);
+        // Same row at time 0: open-row hit, no queueing behind the stale
+        // billion-cycle reservation.
+        assert_eq!(d.access(128, 0), cfg.t_cas + cfg.burst);
     }
 
     #[test]

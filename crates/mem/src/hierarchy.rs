@@ -109,6 +109,38 @@ impl MemoryHierarchy {
         latency
     }
 
+    /// Instruction-fetch access on the functional-warming path: updates
+    /// line and row state, computes no latency.
+    pub fn warm_inst(&mut self, pc_addr: u64) {
+        if !self.l1i.access(pc_addr, false) && !self.l2.access(pc_addr, false) {
+            self.dram.touch(pc_addr);
+        }
+    }
+
+    /// Data access on the functional-warming path: trains the TLB, the
+    /// caches and the prefetcher exactly like [`MemoryHierarchy::
+    /// access_data`] — same lines resident, same rows open, same
+    /// prefetches issued — but skips every latency computation and
+    /// therefore needs no clock. Timing state (bank busy times) is
+    /// window-local and reset at the warm/detailed handoff.
+    pub fn warm_data(&mut self, pc_addr: u64, addr: u64, is_write: bool) {
+        match self.tlb.translate(addr) {
+            Translation::Hit | Translation::Miss { .. } => {}
+            Translation::Fault => return,
+        }
+        if !self.l1d.access(addr, is_write) && !self.l2.access(addr, is_write) {
+            self.dram.touch(addr);
+        }
+        if !is_write {
+            for &target in self.prefetcher.observe(pc_addr, addr).as_slice() {
+                if !self.l1d.probe(target) {
+                    self.l2.fill(target);
+                    self.l1d.fill(target);
+                }
+            }
+        }
+    }
+
     /// Data access by the memory instruction at byte PC `pc_addr` to
     /// address `addr` at time `now`. Returns the total latency in cycles.
     ///
@@ -150,7 +182,7 @@ impl MemoryHierarchy {
         // Train the prefetcher on demand loads and fill without charging
         // the demand access (prefetch proceeds in the background).
         if !is_write {
-            for target in self.prefetcher.observe(pc_addr, addr) {
+            for &target in self.prefetcher.observe(pc_addr, addr).as_slice() {
                 if !self.l1d.probe(target) {
                     self.l2.fill(target);
                     self.l1d.fill(target);
@@ -193,6 +225,18 @@ impl MemoryHierarchy {
     /// Prefetcher statistics.
     pub fn prefetcher(&self) -> &StridePrefetcher {
         &self.prefetcher
+    }
+
+    /// Clears hit/miss statistics on every level while keeping all resident
+    /// lines, TLB mappings and predictor state. A measurement window seeded
+    /// from a functionally-warmed hierarchy calls this so its report covers
+    /// only the window's own traffic.
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l1i.reset_stats();
+        self.l2.reset_stats();
+        self.tlb.reset_stats();
+        self.dram.reset_stats();
     }
 }
 

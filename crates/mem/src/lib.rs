@@ -34,5 +34,7 @@ mod tlb;
 pub use cache::{Cache, CacheConfig};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{DataAccess, HierarchyConfig, MemoryHierarchy};
-pub use prefetch::{StridePrefetcher, StridePrefetcherConfig};
+pub use prefetch::{
+    PrefetchTargets, StridePrefetcher, StridePrefetcherConfig, MAX_PREFETCH_DEGREE,
+};
 pub use tlb::{Tlb, TlbConfig, Translation};

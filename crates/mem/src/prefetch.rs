@@ -29,6 +29,54 @@ struct Entry {
     valid: bool,
 }
 
+/// Maximum prefetch degree supported without heap allocation.
+pub const MAX_PREFETCH_DEGREE: usize = 8;
+
+/// Prefetch addresses produced by one [`StridePrefetcher::observe`] call.
+///
+/// An inline fixed-capacity buffer: `observe` sits on the data-access hot
+/// path of both the detailed and the functional-warming engines, and a
+/// `Vec` allocation per confident load dominated the warming profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchTargets {
+    addrs: [u64; MAX_PREFETCH_DEGREE],
+    len: u8,
+}
+
+impl PrefetchTargets {
+    #[inline]
+    fn push(&mut self, addr: u64) {
+        self.addrs[self.len as usize] = addr;
+        self.len += 1;
+    }
+
+    /// The prefetch addresses, oldest stride first.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.addrs[..self.len as usize]
+    }
+
+    /// Number of addresses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no prefetch should be issued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a PrefetchTargets {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A classic per-PC stride prefetcher.
 ///
 /// Each load PC gets a table entry recording its last address and stride.
@@ -42,8 +90,8 @@ struct Entry {
 ///
 /// let mut p = StridePrefetcher::new(StridePrefetcherConfig::default());
 /// assert!(p.observe(0x40, 0x1000).is_empty());
-/// assert!(p.observe(0x40, 0x1008).is_empty());       // stride learned
-/// assert_eq!(p.observe(0x40, 0x1010), vec![0x1018]); // now confident
+/// assert!(p.observe(0x40, 0x1008).is_empty()); // stride learned
+/// assert_eq!(p.observe(0x40, 0x1010).as_slice(), &[0x1018]); // confident
 /// ```
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
@@ -63,6 +111,10 @@ impl StridePrefetcher {
             config.entries.is_power_of_two(),
             "prefetcher entries must be a power of two"
         );
+        assert!(
+            config.degree as usize <= MAX_PREFETCH_DEGREE,
+            "prefetch degree above {MAX_PREFETCH_DEGREE} is unsupported"
+        );
         StridePrefetcher {
             config,
             table: vec![Entry::default(); config.entries],
@@ -72,10 +124,10 @@ impl StridePrefetcher {
 
     /// Observes a demand access by the load at `pc` to `addr`; returns the
     /// prefetch addresses to issue (empty until a stable stride is seen).
-    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+    pub fn observe(&mut self, pc: u64, addr: u64) -> PrefetchTargets {
         let idx = (pc as usize) & (self.table.len() - 1);
         let entry = &mut self.table[idx];
-        let mut out = Vec::new();
+        let mut out = PrefetchTargets::default();
         if entry.valid && entry.pc_tag == pc {
             let stride = addr.wrapping_sub(entry.last_addr) as i64;
             if stride == entry.stride && stride != 0 {
@@ -123,7 +175,7 @@ mod tests {
         let mut p = pf();
         assert!(p.observe(1, 100).is_empty());
         assert!(p.observe(1, 108).is_empty());
-        assert_eq!(p.observe(1, 116), vec![124]);
+        assert_eq!(p.observe(1, 116).as_slice(), &[124]);
         assert_eq!(p.issued(), 1);
     }
 
@@ -135,7 +187,7 @@ mod tests {
         p.observe(1, 116);
         assert!(p.observe(1, 200).is_empty()); // irregular jump
         assert!(p.observe(1, 208).is_empty()); // relearn
-        assert_eq!(p.observe(1, 216), vec![224]);
+        assert_eq!(p.observe(1, 216).as_slice(), &[224]);
     }
 
     #[test]
@@ -143,7 +195,7 @@ mod tests {
         let mut p = pf();
         p.observe(1, 1000);
         p.observe(1, 992);
-        assert_eq!(p.observe(1, 984), vec![976]);
+        assert_eq!(p.observe(1, 984).as_slice(), &[976]);
     }
 
     #[test]
@@ -161,8 +213,8 @@ mod tests {
         p.observe(2, 1000);
         p.observe(1, 8);
         p.observe(2, 1004);
-        assert_eq!(p.observe(1, 16), vec![24]);
-        assert_eq!(p.observe(2, 1008), vec![1012]);
+        assert_eq!(p.observe(1, 16).as_slice(), &[24]);
+        assert_eq!(p.observe(2, 1008).as_slice(), &[1012]);
     }
 
     #[test]
@@ -173,7 +225,7 @@ mod tests {
         });
         p.observe(1, 0);
         p.observe(1, 8);
-        assert_eq!(p.observe(1, 16), vec![24, 32]);
+        assert_eq!(p.observe(1, 16).as_slice(), &[24, 32]);
     }
 
     #[test]

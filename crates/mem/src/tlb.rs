@@ -1,6 +1,6 @@
 //! Fully-associative TLB with page-walk latency and page-fault injection.
 
-use regshare_stats::{FastHashSet, Ratio};
+use regshare_stats::{FastHashMap, FastHashSet, Ratio};
 use serde::{Deserialize, Serialize};
 
 /// TLB configuration.
@@ -62,9 +62,21 @@ pub enum Translation {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
+    /// `log2(page_bytes)`, precomputed so the hot page split avoids a
+    /// runtime division by a dynamically-known divisor.
+    page_shift: u32,
     /// (page number, lru stamp)
     entries: Vec<(u64, u64)>,
+    /// page number → index in `entries`. A pure lookup accelerator for
+    /// the associative search; kept exactly in sync across fills and
+    /// `swap_remove` evictions.
+    index: FastHashMap<u64, usize>,
     stamp: u64,
+    /// Most-recently translated page. Consecutive accesses to the same
+    /// page skip the associative search *and* the stamp bump: no other
+    /// entry is touched between the repeats, so relative LRU order — and
+    /// therefore every future eviction decision — is unchanged.
+    last_page: Option<u64>,
     hits: Ratio,
     faulting_pages: FastHashSet<u64>,
     faults_taken: u64,
@@ -84,8 +96,11 @@ impl Tlb {
         assert!(config.entries > 0, "TLB must have at least one entry");
         Tlb {
             config,
+            page_shift: config.page_bytes.trailing_zeros(),
             entries: Vec::with_capacity(config.entries),
+            index: FastHashMap::default(),
             stamp: 0,
+            last_page: None,
             hits: Ratio::new("tlb"),
             faulting_pages: FastHashSet::default(),
             faults_taken: 0,
@@ -93,12 +108,17 @@ impl Tlb {
     }
 
     fn page_of(&self, addr: u64) -> u64 {
-        addr / self.config.page_bytes
+        addr >> self.page_shift
     }
 
     /// Marks the page containing `addr` to fault on its next access.
     pub fn inject_fault(&mut self, addr: u64) {
-        self.faulting_pages.insert(self.page_of(addr));
+        let page = self.page_of(addr);
+        self.faulting_pages.insert(page);
+        // The fast path must not bypass the fault check for this page.
+        if self.last_page == Some(page) {
+            self.last_page = None;
+        }
     }
 
     /// Checks whether the page containing `addr` would fault, without
@@ -123,12 +143,19 @@ impl Tlb {
     /// Translates `addr`, updating LRU state and filling on miss.
     pub fn translate(&mut self, addr: u64) -> Translation {
         let page = self.page_of(addr);
-        if self.faulting_pages.contains(&page) {
+        if self.last_page == Some(page) {
+            self.hits.record(true);
+            return Translation::Hit;
+        }
+        // The emptiness check keeps the (rare) fault machinery off the
+        // hot translate path: most runs never inject a fault.
+        if !self.faulting_pages.is_empty() && self.faulting_pages.contains(&page) {
             return Translation::Fault;
         }
+        self.last_page = Some(page);
         self.stamp += 1;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.stamp;
+        if let Some(&i) = self.index.get(&page) {
+            self.entries[i].1 = self.stamp;
             self.hits.record(true);
             return Translation::Hit;
         }
@@ -141,8 +168,14 @@ impl Tlb {
                 .min_by_key(|(_, (_, lru))| *lru)
                 .map(|(i, _)| i)
                 .expect("TLB non-empty when full");
-            self.entries.swap_remove(victim);
+            let (evicted, _) = self.entries.swap_remove(victim);
+            self.index.remove(&evicted);
+            // swap_remove moved the former last entry into `victim`.
+            if victim < self.entries.len() {
+                self.index.insert(self.entries[victim].0, victim);
+            }
         }
+        self.index.insert(page, self.entries.len());
         self.entries.push((page, self.stamp));
         Translation::Miss {
             walk_latency: self.config.walk_latency,
@@ -152,6 +185,13 @@ impl Tlb {
     /// Hit-rate statistics (faults are not counted as accesses).
     pub fn hit_ratio(&self) -> &Ratio {
         &self.hits
+    }
+
+    /// Clears access statistics, keeping the translation state. Used when
+    /// a functionally-warmed TLB is handed to a measurement window.
+    pub fn reset_stats(&mut self) {
+        self.hits.reset();
+        self.faults_taken = 0;
     }
 
     /// Number of faults taken at commit.
@@ -221,5 +261,40 @@ mod tests {
         t.inject_fault(0);
         t.translate(0);
         assert_eq!(t.hit_ratio().total(), 0);
+    }
+
+    #[test]
+    fn fault_injected_on_most_recent_page_is_not_bypassed() {
+        let mut t = small();
+        t.translate(0); // page 0 is now the MRU fast-path page
+        assert_eq!(t.translate(8), Translation::Hit);
+        t.inject_fault(0);
+        assert_eq!(t.translate(0), Translation::Fault);
+    }
+
+    #[test]
+    fn consecutive_same_page_hits_preserve_lru_order() {
+        let mut t = small();
+        t.translate(0); // page 0
+        t.translate(4096); // page 1
+        for _ in 0..10 {
+            assert_eq!(t.translate(4100), Translation::Hit); // fast path
+        }
+        // Refresh page 0 so page 1 becomes least-recent; the fast-path
+        // repeats must not have disturbed that ordering.
+        assert_eq!(t.translate(8), Translation::Hit);
+        t.translate(8192); // fills page 2, evicting page 1
+        assert_eq!(t.translate(0), Translation::Hit);
+        assert!(matches!(t.translate(4096), Translation::Miss { .. }));
+    }
+
+    #[test]
+    fn reset_stats_keeps_translations() {
+        let mut t = small();
+        t.translate(0);
+        t.translate(8);
+        t.reset_stats();
+        assert_eq!(t.hit_ratio().total(), 0);
+        assert_eq!(t.translate(16), Translation::Hit); // mapping survived
     }
 }

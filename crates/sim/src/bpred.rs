@@ -196,6 +196,48 @@ impl BranchPredictor {
         }
     }
 
+    /// Trains the predictor from a functionally-executed control
+    /// instruction without recording accuracy statistics.
+    ///
+    /// Functional warming has no fetch-time prediction to score, so this
+    /// performs the same PHT/history/BTB training as
+    /// [`BranchPredictor::update`] *and* the RAS side effects that
+    /// [`BranchPredictor::predict`] would have applied, leaving the
+    /// accuracy ratios untouched for the measurement window.
+    pub fn warm(&mut self, pc: u64, inst: &Inst, taken: bool, target: u64) {
+        match inst.opcode {
+            Opcode::Jal if inst.dst().is_some() => self.push_ras(pc + 1),
+            Opcode::Jalr => {
+                if inst.dst().is_some() {
+                    self.push_ras(pc + 1);
+                } else {
+                    self.ras.pop();
+                }
+            }
+            op if op.is_cond_branch() => {
+                let idx = self.pht_index(pc);
+                let c = &mut self.pht[idx];
+                if taken {
+                    *c = (*c + 1).min(3);
+                } else {
+                    *c = c.saturating_sub(1);
+                }
+                self.history = (self.history << 1) | taken as u64;
+            }
+            _ => {}
+        }
+        if taken {
+            let idx = self.btb_index(pc);
+            self.btb[idx] = Some((pc, target));
+        }
+    }
+
+    /// Clears accuracy statistics, keeping all trained state.
+    pub fn reset_stats(&mut self) {
+        self.direction.reset();
+        self.target.reset();
+    }
+
     /// Direction-prediction accuracy for conditional branches.
     pub fn direction_accuracy(&self) -> &Ratio {
         &self.direction
@@ -276,6 +318,40 @@ mod tests {
         let p = bp.predict(9, &ret);
         bp.update(9, &ret, true, 77, p);
         assert_eq!(bp.predict(9, &ret).target, 77);
+    }
+
+    #[test]
+    fn warming_trains_without_recording_stats() {
+        let mut bp = bp();
+        let b = Inst::branch(Opcode::Bne, reg::x(1), reg::x(2), 3);
+        for _ in 0..32 {
+            bp.warm(10, &b, true, 3);
+        }
+        assert_eq!(bp.direction_accuracy().total(), 0);
+        assert_eq!(bp.target_accuracy().total(), 0);
+        assert!(bp.predict(10, &b).taken, "warming should train the PHT");
+    }
+
+    #[test]
+    fn warming_maintains_the_ras() {
+        let mut bp = bp();
+        let call = Inst::jal(Some(reg::lr()), 100);
+        bp.warm(7, &call, true, 100);
+        let ret = Inst::jalr(None, reg::lr(), 0);
+        assert_eq!(bp.predict(100, &ret).target, 8);
+    }
+
+    #[test]
+    fn reset_stats_keeps_training() {
+        let mut bp = bp();
+        let b = Inst::branch(Opcode::Bne, reg::x(1), reg::x(2), 3);
+        for _ in 0..32 {
+            let p = bp.predict(10, &b);
+            bp.update(10, &b, true, 3, p);
+        }
+        bp.reset_stats();
+        assert_eq!(bp.direction_accuracy().total(), 0);
+        assert!(bp.predict(10, &b).taken);
     }
 
     #[test]

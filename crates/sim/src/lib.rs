@@ -59,8 +59,10 @@ mod pipeline;
 mod policy;
 mod recovery;
 mod report;
+mod sampled;
 mod scoreboard;
 mod stages;
+mod warm;
 mod wheel;
 
 pub use bpred::{BranchPredictor, BranchPredictorConfig};
@@ -74,5 +76,10 @@ pub use policy::{
     CheckpointWalk, IssueSelect, OldestFirst, RecoveryPolicy, SquashAll, YoungestFirst,
 };
 pub use report::SimReport;
+pub use sampled::{
+    run_window, sample_windows, window_specs, SampledConfig, SampledReport, WindowJob,
+    WindowResult, WindowSpec, DEFAULT_BATCH, DEFAULT_LEAD,
+};
 pub use scoreboard::Scoreboard;
+pub use warm::{Checkpoint, FunctionalWarmer, MemWarm, Warmable};
 pub use wheel::CompletionWheel;

@@ -46,6 +46,80 @@ impl Pipeline {
     /// predictors. The issue-selection and recovery policies are built
     /// from [`SimConfig::issue_policy`] / [`SimConfig::recovery_policy`].
     pub fn new(program: Program, renamer: Box<dyn Renamer>, config: SimConfig) -> Self {
+        let memory = program.data().clone();
+        let entry = program.entry() as u64;
+        let oracle = config.check_oracle.then(|| Machine::new(program.clone()));
+        let mem_timing = MemoryHierarchy::new(config.mem);
+        let bpred = BranchPredictor::new(config.bpred);
+        Pipeline::build(
+            program,
+            renamer,
+            config,
+            memory,
+            Some(entry),
+            oracle,
+            mem_timing,
+            bpred,
+        )
+    }
+
+    /// Creates a pipeline resuming mid-stream from a functional machine
+    /// state, with pre-warmed memory timing and branch predictor (their
+    /// hit/accuracy accounting is cleared so the run's report reflects
+    /// only detailed simulation). The committed register file is seeded
+    /// with the machine's architectural values through the renamer's
+    /// retire-time map; the lockstep oracle (when enabled) starts from a
+    /// clone of the same machine, so mid-stream windows get full
+    /// divergence checking.
+    pub fn from_checkpoint(
+        machine: &Machine,
+        mut mem_timing: MemoryHierarchy,
+        mut bpred: BranchPredictor,
+        renamer: Box<dyn Renamer>,
+        config: SimConfig,
+    ) -> Self {
+        mem_timing.reset_stats();
+        bpred.reset_stats();
+        let memory = machine.memory().clone();
+        let fetch_pc = (!machine.is_halted()).then(|| machine.pc());
+        let oracle = config.check_oracle.then(|| machine.clone());
+        let mut pipe = Pipeline::build(
+            machine.program().clone(),
+            renamer,
+            config,
+            memory,
+            fetch_pc,
+            oracle,
+            mem_timing,
+            bpred,
+        );
+        let mut seeds = Vec::new();
+        if let Some(map) = pipe.core.renamer.arch_map() {
+            for class in [RegClass::Int, RegClass::Fp] {
+                for (r, tag) in map.iter_class(class) {
+                    if !r.is_zero() {
+                        seeds.push((tag, machine.reg_bits(r)));
+                    }
+                }
+            }
+        }
+        for (tag, bits) in seeds {
+            pipe.core.rf[tag.class.index()].write(tag.preg, tag.version, bits);
+        }
+        pipe
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        program: Program,
+        renamer: Box<dyn Renamer>,
+        config: SimConfig,
+        memory: Memory,
+        fetch_pc: Option<u64>,
+        oracle: Option<Machine>,
+        mut mem_timing: MemoryHierarchy,
+        bpred: BranchPredictor,
+    ) -> Self {
         let issue_select = config.issue_policy.build();
         let recovery = config.recovery_policy.build();
         let rf = [
@@ -54,21 +128,17 @@ impl Pipeline {
         ];
         let scoreboard =
             Scoreboard::new(rf[0].len(), rf[1].len(), renamer.max_version() as usize + 1);
-        let mut mem_timing = MemoryHierarchy::new(config.mem);
         for addr in &config.inject_page_faults {
             mem_timing.tlb_mut().inject_fault(*addr);
         }
-        let oracle = config.check_oracle.then(|| Machine::new(program.clone()));
         let int_occupancy = (0..renamer.banks(RegClass::Int).num_banks())
             .map(|k| Sampler::new(format!("int_bank{k}")))
             .collect();
         let fp_occupancy = (0..renamer.banks(RegClass::Fp).num_banks())
             .map(|k| Sampler::new(format!("fp_bank{k}")))
             .collect();
-        let memory = program.data().clone();
-        let entry = program.entry() as u64;
         let core = CoreState {
-            bpred: BranchPredictor::new(config.bpred),
+            bpred,
             fus: FuPool::new(&config),
             lsq: LoadStoreQueue::new(config.lq_entries, config.sq_entries),
             config,
@@ -83,7 +153,7 @@ impl Pipeline {
             iq_len: 0,
             wake_scratch: Vec::new(),
             unresolved_branches: SeqSet::default(),
-            fetch_pc: Some(entry),
+            fetch_pc,
             fetch_stall_until: 0,
             next_seq: 1,
             cycle: 0,
@@ -239,6 +309,15 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Replaces the committed-instruction budget. The budget is absolute
+    /// (compared against total committed instructions), so a run that
+    /// stopped on it can be resumed by raising the budget and calling
+    /// [`Pipeline::run`] again — the sampled engine uses this to split a
+    /// window into a discarded warmup and a measured portion.
+    pub fn set_max_instructions(&mut self, n: u64) {
+        self.core.config.max_instructions = n;
+    }
+
     /// The report for the simulation so far.
     pub fn report(&self) -> SimReport {
         SimReport {
@@ -260,6 +339,8 @@ impl Pipeline {
             int_occupancy: self.core.int_occupancy.clone(),
             fp_occupancy: self.core.fp_occupancy.clone(),
             wall_seconds: self.core.wall_seconds,
+            warm_seconds: 0.0,
+            warm_instructions: 0,
         }
     }
 

@@ -50,6 +50,13 @@ pub struct SimReport {
     ///
     /// [`Pipeline::run`]: crate::Pipeline::run
     pub wall_seconds: f64,
+    /// Host wall-clock seconds spent in functional warming (0 for plain
+    /// detailed runs). `wall_seconds` covers detailed simulation only, so
+    /// a two-speed run's total time is `wall_seconds + warm_seconds`.
+    pub warm_seconds: f64,
+    /// Instructions executed by the functional-warming fast path (0 for
+    /// plain detailed runs).
+    pub warm_instructions: u64,
 }
 
 impl SimReport {
@@ -77,6 +84,26 @@ impl SimReport {
             0.0
         } else {
             self.cycles as f64 / self.wall_seconds
+        }
+    }
+
+    /// Simulator throughput: committed *instructions* (repairs excluded)
+    /// per host wall-second of detailed simulation.
+    pub fn instructions_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.wall_seconds
+        }
+    }
+
+    /// Functional-warming throughput: warmed instructions per host
+    /// wall-second of warming (0 for plain detailed runs).
+    pub fn warm_instructions_per_second(&self) -> f64 {
+        if self.warm_seconds <= 0.0 {
+            0.0
+        } else {
+            self.warm_instructions as f64 / self.warm_seconds
         }
     }
 }
@@ -122,11 +149,24 @@ impl fmt::Display for SimReport {
         )?;
         write!(
             f,
-            "host: wall={:.3}s throughput={:.0} uops/s ({:.0} cycles/s)",
+            "host: wall={:.3}s throughput={:.0} insts/s, {:.0} uops/s ({:.0} cycles/s)",
             self.wall_seconds,
+            self.instructions_per_second(),
             self.uops_per_second(),
             self.cycles_per_second()
-        )
+        )?;
+        if self.warm_instructions > 0 {
+            write!(
+                f,
+                "\nwarming: {:.3}s for {} insts ({:.0} insts/s); detailed {:.3}s ({:.1}% of total)",
+                self.warm_seconds,
+                self.warm_instructions,
+                self.warm_instructions_per_second(),
+                self.wall_seconds,
+                100.0 * self.wall_seconds / (self.wall_seconds + self.warm_seconds).max(1e-12),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -154,6 +194,8 @@ mod tests {
             int_occupancy: Vec::new(),
             fp_occupancy: Vec::new(),
             wall_seconds: 0.0,
+            warm_seconds: 0.0,
+            warm_instructions: 0,
         }
     }
 
@@ -188,9 +230,21 @@ mod tests {
     fn throughput_is_uops_over_seconds() {
         let mut r = empty();
         r.committed_uops = 3000;
+        r.committed_instructions = 2800;
         r.cycles = 1500;
         r.wall_seconds = 2.0;
         assert!((r.uops_per_second() - 1500.0).abs() < 1e-9);
+        assert!((r.instructions_per_second() - 1400.0).abs() < 1e-9);
         assert!((r.cycles_per_second() - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warming_split_appears_when_present() {
+        let mut r = empty();
+        assert!(!format!("{r}").contains("warming:"));
+        r.warm_instructions = 1_000_000;
+        r.warm_seconds = 0.5;
+        assert!((r.warm_instructions_per_second() - 2_000_000.0).abs() < 1e-6);
+        assert!(format!("{r}").contains("warming:"));
     }
 }

@@ -1,0 +1,270 @@
+//! Functional warming: the fast half of the two-speed engine.
+//!
+//! Paper-scale instruction counts (10⁹) are far beyond what the detailed
+//! pipeline can simulate whole. The two-speed engine fast-forwards the
+//! program on the functional [`Machine`] while updating only *warmable*
+//! microarchitectural state — structures whose contents build up over
+//! long histories and would otherwise start every detailed window cold:
+//!
+//! * caches and the TLB ([`MemWarm`], warmed continuously so a window's
+//!   memory state reflects the entire preceding stream);
+//! * the branch predictor and the reuse-scheme predictors (warmed in a
+//!   short functional lead immediately before each window — they are
+//!   small and converge within ~10⁵ instructions, so a bounded lead
+//!   reproduces their steady state without paying per-instruction cost
+//!   over the whole fast-forward).
+//!
+//! No pipeline tick happens here: one functionally-retired instruction
+//! drives one [`Warmable::warm_retired`] call over the hierarchy's
+//! clock-free warming path (`warm_inst`/`warm_data`) — the only timing
+//! state in the hierarchy, DRAM bank busy times, is window-local and
+//! reset at the warm/detailed handoff, so warming needs no clock at all.
+
+use crate::bpred::BranchPredictor;
+use crate::SimConfig;
+use regshare_core::ReuseWarmer;
+use regshare_isa::{Machine, MachineError, Program, Retired, StopReason};
+use regshare_mem::MemoryHierarchy;
+use std::time::Instant;
+
+/// Microarchitectural state that can be trained from a functional
+/// instruction stream, without a pipeline.
+pub trait Warmable {
+    /// Updates the structure from one functionally-retired instruction.
+    fn warm_retired(&mut self, r: &Retired);
+}
+
+/// Continuously-warmed memory state: the cache hierarchy and TLB, plus
+/// a last fetched-line filter so sequential instructions in one cache
+/// line cost a single I-cache touch.
+#[derive(Debug, Clone)]
+pub struct MemWarm {
+    mem: MemoryHierarchy,
+    last_line: Option<u64>,
+}
+
+impl MemWarm {
+    /// Cold memory state configured like the detailed simulator's.
+    pub fn new(config: &SimConfig) -> Self {
+        MemWarm {
+            mem: MemoryHierarchy::new(config.mem),
+            last_line: None,
+        }
+    }
+
+    /// The warmed hierarchy (caches + TLB), for inspection.
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Consumes the warmer, yielding the hierarchy for a detailed run.
+    pub fn into_hierarchy(self) -> MemoryHierarchy {
+        self.mem
+    }
+}
+
+impl Warmable for MemWarm {
+    fn warm_retired(&mut self, r: &Retired) {
+        // Instruction slots are 4 bytes, cache lines 64: sixteen
+        // sequential instructions share a line, so only touch the
+        // I-cache when the stream crosses a line boundary.
+        let line = r.pc >> 4;
+        if self.last_line != Some(line) {
+            self.last_line = Some(line);
+            self.mem.warm_inst(r.pc * 4);
+        }
+        if let Some(ea) = r.ea {
+            self.mem.warm_data(r.pc * 4, ea, r.inst.opcode.is_store());
+        }
+    }
+}
+
+impl Warmable for BranchPredictor {
+    fn warm_retired(&mut self, r: &Retired) {
+        if let Some(taken) = r.taken {
+            self.warm(r.pc, &r.inst, taken, r.next_pc);
+        }
+    }
+}
+
+impl Warmable for ReuseWarmer {
+    fn warm_retired(&mut self, r: &Retired) {
+        self.observe(r.pc, &r.inst);
+    }
+}
+
+/// A functional snapshot of the program mid-stream: everything a
+/// detailed window needs to start at `instruction` as if the whole
+/// prefix had been simulated — architectural state (registers, memory,
+/// PC, inside the cloned [`Machine`]) plus the continuously-warmed
+/// memory state.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Retired-instruction position of the snapshot.
+    pub instruction: u64,
+    /// Architectural machine state at that position.
+    pub machine: Machine,
+    /// Cache/TLB state warmed by the entire prefix.
+    pub mem: MemWarm,
+}
+
+/// Drives the functional [`Machine`] forward while warming memory state,
+/// taking [`Checkpoint`]s on demand.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_isa::{reg, Asm};
+/// use regshare_sim::{FunctionalWarmer, SimConfig};
+///
+/// let mut a = Asm::new();
+/// a.li(reg::x(1), 100);
+/// let top = a.label();
+/// a.bind(top);
+/// a.subi(reg::x(1), reg::x(1), 1);
+/// a.bne(reg::x(1), reg::zero(), top);
+/// a.halt();
+///
+/// let mut w = FunctionalWarmer::new(a.assemble(), &SimConfig::default());
+/// w.run_until(50).unwrap();
+/// let cp = w.checkpoint();
+/// assert_eq!(cp.instruction, 50);
+/// assert_eq!(cp.machine.retired(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalWarmer {
+    machine: Machine,
+    mem: MemWarm,
+    wall_seconds: f64,
+}
+
+impl FunctionalWarmer {
+    /// A warmer at the program entry with cold caches.
+    pub fn new(program: Program, config: &SimConfig) -> Self {
+        FunctionalWarmer {
+            machine: Machine::new(program),
+            mem: MemWarm::new(config),
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Fast-forwards to `target` total retired instructions (a no-op if
+    /// already past), warming caches and TLB along the way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional execution faults ([`MachineError`]).
+    pub fn run_until(&mut self, target: u64) -> Result<StopReason, MachineError> {
+        let started = Instant::now();
+        let mem = &mut self.mem;
+        let result = self.machine.run_observe(target, |r| mem.warm_retired(r));
+        self.wall_seconds += started.elapsed().as_secs_f64();
+        result
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.machine.retired()
+    }
+
+    /// Whether the program ran to its `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.machine.is_halted()
+    }
+
+    /// Host seconds spent fast-forwarding.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+
+    /// The underlying functional machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Snapshots the current position (clones machine + warm state).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            instruction: self.machine.retired(),
+            machine: self.machine.clone(),
+            mem: self.mem.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::{reg, Asm};
+
+    fn loop_program(iters: i64) -> Program {
+        let mut a = Asm::new();
+        a.li(reg::x(1), iters);
+        a.li(reg::x(2), 0x4_0000);
+        let top = a.label();
+        a.bind(top);
+        a.ld(reg::x(3), reg::x(2), 0);
+        a.addi(reg::x(3), reg::x(3), 1);
+        a.st(reg::x(3), reg::x(2), 0);
+        a.subi(reg::x(1), reg::x(1), 1);
+        a.bne(reg::x(1), reg::zero(), top);
+        a.halt();
+        a.assemble()
+    }
+
+    #[test]
+    fn warming_advances_and_checkpoints() {
+        let mut w = FunctionalWarmer::new(loop_program(1000), &SimConfig::default());
+        assert_eq!(w.run_until(100).unwrap(), StopReason::MaxInstructions);
+        assert_eq!(w.retired(), 100);
+        let cp = w.checkpoint();
+        assert_eq!(cp.instruction, 100);
+        // The checkpoint is independent of further warming.
+        w.run_until(200).unwrap();
+        assert_eq!(cp.machine.retired(), 100);
+        assert_eq!(w.retired(), 200);
+    }
+
+    #[test]
+    fn warming_trains_caches_and_tlb() {
+        let mut w = FunctionalWarmer::new(loop_program(1000), &SimConfig::default());
+        w.run_until(2000).unwrap();
+        let h = w.checkpoint().mem;
+        let h = h.hierarchy();
+        assert!(h.l1d().hit_ratio().fraction() > 0.9, "steady loop hits L1D");
+        assert!(h.tlb().hit_ratio().fraction() > 0.9);
+    }
+
+    #[test]
+    fn warming_stops_at_halt() {
+        let mut w = FunctionalWarmer::new(loop_program(10), &SimConfig::default());
+        assert_eq!(w.run_until(1_000_000).unwrap(), StopReason::Halted);
+        assert!(w.is_halted());
+        assert!(w.retired() < 100);
+    }
+
+    #[test]
+    fn checkpoint_resumes_identically() {
+        // Warming A→B in one pass or via a checkpoint clone must agree.
+        let mut w = FunctionalWarmer::new(loop_program(1000), &SimConfig::default());
+        w.run_until(500).unwrap();
+        let mut resumed = FunctionalWarmer {
+            machine: w.checkpoint().machine,
+            mem: w.checkpoint().mem,
+            wall_seconds: 0.0,
+        };
+        w.run_until(900).unwrap();
+        resumed.run_until(900).unwrap();
+        assert_eq!(w.machine().pc(), resumed.machine().pc());
+        assert_eq!(
+            w.checkpoint().mem.hierarchy().l1d().hit_ratio().fraction(),
+            resumed
+                .checkpoint()
+                .mem
+                .hierarchy()
+                .l1d()
+                .hit_ratio()
+                .fraction()
+        );
+    }
+}

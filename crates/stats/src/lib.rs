@@ -35,7 +35,7 @@ mod table;
 
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use histogram::Histogram;
-pub use sampler::Sampler;
+pub use sampler::{SamplePlan, Sampler, Welford};
 pub use table::{Align, Table};
 
 use serde::{Deserialize, Serialize};
@@ -177,6 +177,14 @@ impl Ratio {
     /// The name given at construction.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Resets the numerator and denominator to zero, keeping the name.
+    /// Used when warmed state is handed to a measurement window whose
+    /// statistics must not include the warming traffic.
+    pub fn reset(&mut self) {
+        self.hits = 0;
+        self.total = 0;
     }
 }
 

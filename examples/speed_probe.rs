@@ -1,0 +1,34 @@
+//! Quick two-speed throughput probe: detailed vs functional-warming speed.
+
+use regshare::harness::{experiment_config, renamer_for, swept_class, Scheme};
+use regshare::isa::Machine;
+use regshare::sim::{FunctionalWarmer, Pipeline};
+use regshare::workloads::all_kernels;
+use std::time::Instant;
+
+fn main() {
+    for k in all_kernels().iter().take(4) {
+        let scale = 30_000_000u64;
+        let mut m = Machine::new(k.program(scale));
+        let t = Instant::now();
+        m.run_observe(scale, |_| {}).unwrap();
+        let raw_ips = m.retired() as f64 / t.elapsed().as_secs_f64();
+
+        let mut w = FunctionalWarmer::new(k.program(scale), &experiment_config(scale));
+        w.run_until(scale).unwrap();
+        let warm_ips = w.retired() as f64 / w.wall_seconds();
+
+        let dscale = 300_000u64;
+        let renamer = renamer_for(Scheme::Proposed, 64, swept_class(k.suite));
+        let mut sim = Pipeline::new(k.program(dscale), renamer, experiment_config(dscale));
+        let r = sim.run().unwrap();
+        println!(
+            "{:14} raw {:6.1}M  warm {:6.1}M  detailed {:5.2}M inst/s  ratio {:5.0}x",
+            k.name,
+            raw_ips / 1e6,
+            warm_ips / 1e6,
+            r.instructions_per_second() / 1e6,
+            warm_ips / r.instructions_per_second()
+        );
+    }
+}

@@ -19,6 +19,11 @@ fn parse_args() -> Args {
     let mut campaigns = 108usize;
     let mut seed = 0xC0FFEEu64;
     let mut kernels = None;
+    let mut sample = false;
+    let mut workers = None;
+    let mut period = None;
+    let mut warmup = None;
+    let mut measure = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -47,15 +52,49 @@ fn parse_args() -> Args {
                 let list = it.next().unwrap_or_else(|| die("--kernels needs a list"));
                 kernels = Some(list.split(',').map(str::to_string).collect());
             }
+            "--sample" => sample = true,
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--workers needs a number")),
+                );
+            }
+            "--period" => {
+                period = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--period needs a number")),
+                );
+            }
+            "--warmup" => {
+                warmup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--warmup needs a number")),
+                );
+            }
+            "--measure" => {
+                measure = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--measure needs a number")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [EXPERIMENT..] [--scale N] [--out DIR]\n\
                      \x20                 [--campaigns N] [--seed N] [--kernels a,b,c]\n\
+                     \x20                 [--sample] [--workers N] [--period N] \
+                     [--warmup N] [--measure N]\n\
                      experiments: fig1 fig2 fig3 table1 table2 table3 fig9 fig10 fig10ec \
                      fig11 fig12 analyze ablate-counter ablate-predictor ablate-banks \
-                     ablate-speculation inject all\n\
+                     ablate-speculation inject sample shape bench all\n\
                      --campaigns/--seed/--kernels apply to the `inject` fault-injection \
-                     sweep only"
+                     sweep only\n\
+                     --sample makes `all` run the two-speed sampled registry (sample, \
+                     shape, bench), the mode that scales to --scale 1000000000\n\
+                     --workers/--period/--warmup/--measure tune sampled runs"
                 );
                 std::process::exit(0);
             }
@@ -72,14 +111,31 @@ fn parse_args() -> Args {
         campaigns,
         seed,
         kernels,
+        sample,
+        workers,
+        period,
+        warmup,
+        measure,
     }
 }
 
 fn main() {
     let args = parse_args();
     let known = registry();
+    // The two-speed registry: everything that scales to 10⁹. Kept out of
+    // plain `all`, which promises bit-identical output across runs — the
+    // `bench` report's payload is wall-clock throughput.
+    let sampled = ["sample", "shape", "bench"];
     let selected: Vec<&str> = if args.exps.iter().any(|e| e == "all") {
-        known.iter().map(|(n, _)| *n).collect()
+        if args.sample {
+            sampled.to_vec()
+        } else {
+            known
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| !sampled.contains(n))
+                .collect()
+        }
     } else {
         args.exps.iter().map(String::as_str).collect()
     };

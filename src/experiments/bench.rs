@@ -1,0 +1,130 @@
+//! Engine throughput benchmark: detailed-mode committed-uops/sec versus
+//! functional-warming instructions/sec, per kernel and aggregate, written
+//! to `BENCH_sample.json`. This is the evidence for the two-speed
+//! engine's speed ratio and the cost model behind the sampled mode.
+
+use super::common::{save, Args};
+use crate::harness::{experiment_config, run_kernel, Scheme};
+use crate::sim::FunctionalWarmer;
+use crate::stats::Table;
+use crate::workloads::all_kernels;
+use serde::Serialize;
+
+/// Swept-file size for the detailed-mode measurement.
+const RF_REGS: usize = 64;
+
+/// Detailed-mode instruction budget: throughput stabilizes well within
+/// this, so the benchmark does not pay paper-scale detailed time.
+const DETAILED_CAP: u64 = 200_000;
+
+/// Warming-mode budget bounds: enough instructions for a stable
+/// measurement even at smoke scales, capped so the benchmark itself
+/// stays cheap at paper scales.
+const WARM_FLOOR: u64 = 2_000_000;
+const WARM_CAP: u64 = 20_000_000;
+
+#[derive(Serialize)]
+struct BenchRow {
+    kernel: String,
+    suite: String,
+    detailed_instructions: u64,
+    detailed_seconds: f64,
+    detailed_uops_per_sec: f64,
+    detailed_instructions_per_sec: f64,
+    warm_instructions: u64,
+    warm_seconds: f64,
+    warm_instructions_per_sec: f64,
+    /// Warming instructions/sec over detailed committed-uops/sec.
+    speed_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    scale: u64,
+    rows: Vec<BenchRow>,
+    total_detailed_uops: u64,
+    total_detailed_seconds: f64,
+    total_warm_instructions: u64,
+    total_warm_seconds: f64,
+    aggregate_detailed_uops_per_sec: f64,
+    aggregate_warm_instructions_per_sec: f64,
+    aggregate_speed_ratio: f64,
+    /// Wall time of this whole benchmark sweep, in seconds.
+    sweep_wall_seconds: f64,
+}
+
+/// Runs the benchmark and writes `BENCH_sample.json`.
+pub fn run(args: &Args) {
+    let detailed_scale = args.scale.min(DETAILED_CAP);
+    let warm_scale = args.scale.clamp(WARM_FLOOR, WARM_CAP);
+    println!(
+        "== Engine throughput: detailed ({detailed_scale} instructions) vs \
+         functional warming ({warm_scale} instructions) =="
+    );
+    let mut table =
+        Table::with_headers(&["kernel", "suite", "detailed uops/s", "warm inst/s", "ratio"]);
+    table.numeric();
+    let sweep_started = std::time::Instant::now();
+    let mut rows = Vec::new();
+    let mut total_uops = 0u64;
+    let mut total_detailed_seconds = 0.0;
+    let mut total_warm_instructions = 0u64;
+    let mut total_warm_seconds = 0.0;
+    for k in all_kernels() {
+        let detailed = run_kernel(&k, Scheme::Proposed, RF_REGS, detailed_scale);
+        let mut warmer =
+            FunctionalWarmer::new(k.program(warm_scale), &experiment_config(warm_scale));
+        warmer.run_until(warm_scale).unwrap_or_else(|e| {
+            panic!("{}: functional warming failed: {e}", k.name);
+        });
+        let warm_per_sec = warmer.retired() as f64 / warmer.wall_seconds().max(1e-12);
+        let ratio = warm_per_sec / detailed.uops_per_second().max(1e-12);
+        table.row(vec![
+            k.name.into(),
+            k.suite.label().into(),
+            format!("{:.0}", detailed.uops_per_second()),
+            format!("{:.0}", warm_per_sec),
+            format!("{:.1}", ratio),
+        ]);
+        total_uops += detailed.committed_uops;
+        total_detailed_seconds += detailed.wall_seconds;
+        total_warm_instructions += warmer.retired();
+        total_warm_seconds += warmer.wall_seconds();
+        rows.push(BenchRow {
+            kernel: k.name.into(),
+            suite: k.suite.label().into(),
+            detailed_instructions: detailed.committed_instructions,
+            detailed_seconds: detailed.wall_seconds,
+            detailed_uops_per_sec: detailed.uops_per_second(),
+            detailed_instructions_per_sec: detailed.instructions_per_second(),
+            warm_instructions: warmer.retired(),
+            warm_seconds: warmer.wall_seconds(),
+            warm_instructions_per_sec: warm_per_sec,
+            speed_ratio: ratio,
+        });
+    }
+    let aggregate_detailed = total_uops as f64 / total_detailed_seconds.max(1e-12);
+    let aggregate_warm = total_warm_instructions as f64 / total_warm_seconds.max(1e-12);
+    let aggregate_ratio = aggregate_warm / aggregate_detailed.max(1e-12);
+    table.row(vec![
+        "AGGREGATE".into(),
+        "-".into(),
+        format!("{aggregate_detailed:.0}"),
+        format!("{aggregate_warm:.0}"),
+        format!("{aggregate_ratio:.1}"),
+    ]);
+    print!("{table}");
+    let report = BenchReport {
+        scale: args.scale,
+        rows,
+        total_detailed_uops: total_uops,
+        total_detailed_seconds,
+        total_warm_instructions,
+        total_warm_seconds,
+        aggregate_detailed_uops_per_sec: aggregate_detailed,
+        aggregate_warm_instructions_per_sec: aggregate_warm,
+        aggregate_speed_ratio: aggregate_ratio,
+        sweep_wall_seconds: sweep_started.elapsed().as_secs_f64(),
+    };
+    save(&args.out_dir, "BENCH_sample", &report);
+}

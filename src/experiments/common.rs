@@ -1,10 +1,17 @@
 //! Shared plumbing for the experiment subcommands: the parsed CLI
 //! options, result persistence, and small formatting helpers.
 
+use regshare_stats::SamplePlan;
 use serde::Serialize;
 
 /// The baseline register-file sizes every sweep walks (§VI-B).
 pub const RF_SIZES: [usize; 7] = [48, 56, 64, 72, 80, 96, 112];
+
+/// Default detailed-warmup instructions per sampled window.
+pub const DEFAULT_WARMUP: u64 = 2_000;
+
+/// Default measured instructions per sampled window.
+pub const DEFAULT_MEASURE: u64 = 10_000;
 
 /// Options shared by every experiment, parsed once by the CLI front end.
 pub struct Args {
@@ -21,6 +28,32 @@ pub struct Args {
     pub seed: u64,
     /// Kernel subset for `inject` (`None` = all kernels).
     pub kernels: Option<Vec<String>>,
+    /// Run through the two-speed sampled engine (`all` then dispatches
+    /// the reduced sampled registry).
+    pub sample: bool,
+    /// Worker threads for time-parallel window slicing (`None` = one per
+    /// core; results are identical either way).
+    pub workers: Option<usize>,
+    /// Override: instructions between sampled-window starts.
+    pub period: Option<u64>,
+    /// Override: detailed warmup instructions per window.
+    pub warmup: Option<u64>,
+    /// Override: measured instructions per window.
+    pub measure: Option<u64>,
+}
+
+impl Args {
+    /// The sampling plan at a given instruction budget: defaults scale
+    /// the period so a run gets ~50 windows, floored so windows never
+    /// overlap and short smoke runs still get a handful of observations.
+    pub fn sample_plan(&self, scale: u64) -> SamplePlan {
+        let warmup = self.warmup.unwrap_or(DEFAULT_WARMUP);
+        let measure = self.measure.unwrap_or(DEFAULT_MEASURE);
+        let period = self
+            .period
+            .unwrap_or_else(|| (scale / 50).max(warmup + measure));
+        SamplePlan::new(period, warmup, measure)
+    }
 }
 
 /// Prints `msg` as an error and exits with status 2.

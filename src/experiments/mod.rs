@@ -13,6 +13,7 @@ mod ablate_counter;
 mod ablate_predictor;
 mod ablate_speculation;
 mod analyze;
+mod bench;
 mod common;
 mod fig1;
 mod fig10;
@@ -23,6 +24,8 @@ mod fig2;
 mod fig3;
 mod fig9;
 mod inject;
+mod sample;
+mod shape;
 mod sweeps;
 mod table1;
 mod table2;
@@ -55,5 +58,9 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ablate-predictor", ablate_predictor::run),
         ("ablate-banks", ablate_banks::run),
         ("inject", inject::run),
+        // Two-speed engine: the sampled registry `all --sample` runs.
+        ("sample", sample::run),
+        ("shape", shape::run),
+        ("bench", bench::run),
     ]
 }

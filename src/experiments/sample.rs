@@ -1,0 +1,148 @@
+//! Sampled per-kernel IPC through the two-speed engine: one sequential
+//! functional-warming pass per kernel feeds periodic detailed windows
+//! (both schemes measured from the *same* checkpoints), the windows of
+//! each batch sliced across worker threads. Reports mean IPC with a 95%
+//! confidence interval — the mode that scales to 10⁹-instruction runs.
+
+use super::common::{save, Args};
+use crate::harness::{
+    experiment_config, par_map_with, renamer_config_for, renamer_for, swept_class, Scheme,
+};
+use crate::sim::{run_window, sample_windows, SampledConfig, WindowResult};
+use crate::stats::{Table, Welford};
+use crate::workloads::all_kernels;
+use serde::Serialize;
+
+/// Swept-file size used for the sampled comparison (the paper's
+/// headline 64-register point).
+const RF_REGS: usize = 64;
+
+#[derive(Serialize)]
+struct SampleRow {
+    kernel: String,
+    suite: String,
+    scheme: String,
+    rf_regs: usize,
+    scale: u64,
+    period: u64,
+    warmup: u64,
+    measure: u64,
+    windows: usize,
+    ipc_mean: f64,
+    ipc_ci95_half_width: f64,
+    warm_instructions: u64,
+    detailed_instructions: u64,
+}
+
+fn aggregate(windows: &[WindowResult]) -> (Welford, u64) {
+    let mut ipc = Welford::new();
+    let mut instructions = 0;
+    for w in windows {
+        if w.cycles > 0 {
+            ipc.record(w.ipc());
+        }
+        instructions += w.instructions;
+    }
+    (ipc, instructions)
+}
+
+/// Runs the experiment and writes `sampled.json`.
+pub fn run(args: &Args) {
+    let scale = args.scale;
+    let plan = args.sample_plan(scale);
+    println!(
+        "== Sampled IPC (two-speed engine): {} instructions, window {}+{} every {} ==",
+        scale, plan.warmup, plan.measure, plan.period
+    );
+    let mut table = Table::with_headers(&[
+        "kernel", "suite", "windows", "base IPC", "±95%", "prop IPC", "±95%", "speedup",
+    ]);
+    table.numeric();
+    let mut rows = Vec::new();
+    for k in all_kernels() {
+        let swept = swept_class(k.suite);
+        let bcfg = renamer_config_for(Scheme::Baseline, RF_REGS, swept);
+        let pcfg = renamer_config_for(Scheme::Proposed, RF_REGS, swept);
+        let config = experiment_config(scale);
+        let sample_cfg = SampledConfig::new(plan);
+        // Both schemes measure from the same checkpoints, so the
+        // (expensive) sequential warming pass is paid once per kernel.
+        let mut base_windows: Vec<WindowResult> = Vec::new();
+        let prop = sample_windows(&k.program(scale), &config, &sample_cfg, scale, |jobs| {
+            let pairs = par_map_with(&jobs, args.workers, |job| {
+                let run = |scheme: Scheme, rcfg| {
+                    run_window(
+                        job,
+                        renamer_for(scheme, RF_REGS, swept),
+                        rcfg,
+                        config.clone(),
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} ({}) window at {}: {e}",
+                            k.name,
+                            scheme.label(),
+                            job.spec.start
+                        )
+                    })
+                };
+                (run(Scheme::Baseline, &bcfg), run(Scheme::Proposed, &pcfg))
+            });
+            pairs
+                .into_iter()
+                .map(|(b, p)| {
+                    base_windows.push(b);
+                    p
+                })
+                .collect()
+        });
+        let (base_ipc, base_instructions) = aggregate(&base_windows);
+        let speedup = if base_ipc.mean() > 0.0 {
+            prop.ipc_mean() / base_ipc.mean()
+        } else {
+            0.0
+        };
+        table.row(vec![
+            k.name.into(),
+            k.suite.label().into(),
+            prop.windows.len().to_string(),
+            format!("{:.3}", base_ipc.mean()),
+            format!("{:.3}", base_ipc.ci95_half_width()),
+            format!("{:.3}", prop.ipc_mean()),
+            format!("{:.3}", prop.ipc_ci95()),
+            format!("{:.3}", speedup),
+        ]);
+        for (scheme, ipc, windows, detailed_instructions) in [
+            (
+                Scheme::Baseline,
+                &base_ipc,
+                base_windows.len(),
+                base_instructions,
+            ),
+            (
+                Scheme::Proposed,
+                &prop.ipc,
+                prop.windows.len(),
+                prop.detailed_instructions,
+            ),
+        ] {
+            rows.push(SampleRow {
+                kernel: k.name.into(),
+                suite: k.suite.label().into(),
+                scheme: scheme.label().into(),
+                rf_regs: RF_REGS,
+                scale,
+                period: plan.period,
+                warmup: plan.warmup,
+                measure: plan.measure,
+                windows,
+                ipc_mean: ipc.mean(),
+                ipc_ci95_half_width: ipc.ci95_half_width(),
+                warm_instructions: prop.warm_instructions,
+                detailed_instructions,
+            });
+        }
+    }
+    print!("{table}");
+    save(&args.out_dir, "sampled", &rows);
+}

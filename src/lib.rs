@@ -42,7 +42,9 @@ pub mod harness {
 
     use regshare_core::{BankConfig, BaselineRenamer, Renamer, RenamerConfig, ReuseRenamer};
     use regshare_isa::RegClass;
-    use regshare_sim::{Pipeline, SimConfig, SimReport};
+    use regshare_sim::{
+        run_window, sample_windows, Pipeline, SampledConfig, SampledReport, SimConfig, SimReport,
+    };
     use regshare_workloads::{Kernel, Suite};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -76,9 +78,22 @@ pub mod harness {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        par_map_with(items, None, f)
+    }
+
+    /// [`par_map`] with an explicit worker count (`None` = one per
+    /// available core). Results are in input order and bit-identical for
+    /// every worker count — the property the time-parallel slicing
+    /// determinism test pins down by sweeping `workers`.
+    pub fn par_map_with<T, R, F>(items: &[T], workers: Option<usize>, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let n = items.len();
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |p| p.get())
+        let workers = workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
             .min(n);
         if workers <= 1 {
             return items.iter().map(f).collect();
@@ -148,37 +163,40 @@ pub mod harness {
         }
     }
 
-    /// Builds the renamer for a scheme at a given *baseline-equivalent*
-    /// size of the swept register file; the other file stays at
-    /// [`FIXED_RF`] registers. The proposed scheme gets the Table III
-    /// equal-area bank split for the swept file.
-    pub fn renamer_for(scheme: Scheme, rf_regs: usize, swept: RegClass) -> Box<dyn Renamer> {
+    /// The renamer configuration for a scheme at a given
+    /// *baseline-equivalent* size of the swept register file; the other
+    /// file stays at [`FIXED_RF`] registers. The proposed scheme gets the
+    /// Table III equal-area bank split for the swept file.
+    pub fn renamer_config_for(scheme: Scheme, rf_regs: usize, swept: RegClass) -> RenamerConfig {
         let fixed = BankConfig::conventional(FIXED_RF);
+        let (swept_banks, template) = match scheme {
+            Scheme::Baseline => (
+                BankConfig::conventional(rf_regs),
+                RenamerConfig::baseline(rf_regs),
+            ),
+            Scheme::Proposed => (
+                BankConfig::paper_row(rf_regs),
+                RenamerConfig::paper(rf_regs),
+            ),
+        };
+        let (int_banks, fp_banks) = match swept {
+            RegClass::Int => (swept_banks, fixed),
+            RegClass::Fp => (fixed, swept_banks),
+        };
+        RenamerConfig {
+            int_banks,
+            fp_banks,
+            ..template
+        }
+    }
+
+    /// Builds the renamer for a scheme (see [`renamer_config_for`] for
+    /// the sizing rules).
+    pub fn renamer_for(scheme: Scheme, rf_regs: usize, swept: RegClass) -> Box<dyn Renamer> {
+        let config = renamer_config_for(scheme, rf_regs, swept);
         match scheme {
-            Scheme::Baseline => {
-                let swept_banks = BankConfig::conventional(rf_regs);
-                let (int_banks, fp_banks) = match swept {
-                    RegClass::Int => (swept_banks, fixed),
-                    RegClass::Fp => (fixed, swept_banks),
-                };
-                Box::new(BaselineRenamer::new(RenamerConfig {
-                    int_banks,
-                    fp_banks,
-                    ..RenamerConfig::baseline(rf_regs)
-                }))
-            }
-            Scheme::Proposed => {
-                let swept_banks = BankConfig::paper_row(rf_regs);
-                let (int_banks, fp_banks) = match swept {
-                    RegClass::Int => (swept_banks, fixed),
-                    RegClass::Fp => (fixed, swept_banks),
-                };
-                Box::new(ReuseRenamer::new(RenamerConfig {
-                    int_banks,
-                    fp_banks,
-                    ..RenamerConfig::paper(rf_regs)
-                }))
-            }
+            Scheme::Baseline => Box::new(BaselineRenamer::new(config)),
+            Scheme::Proposed => Box::new(ReuseRenamer::new(config)),
         }
     }
 
@@ -244,5 +262,45 @@ pub mod harness {
             Ok(report) => report,
             Err(e) => panic!("{}: {e}", kernel.name),
         }
+    }
+
+    /// Runs one kernel through the two-speed engine: a sequential
+    /// functional-warming pass with periodic detailed windows, the
+    /// windows of each batch sliced across `workers` threads (`None` =
+    /// one per core). Window positions depend only on `(plan, scale,
+    /// lead)` and every window runs from its own checkpoint clone, so
+    /// the report is bit-identical for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window's detailed simulation errors — a sampled
+    /// experiment must never silently drop an observation.
+    pub fn run_kernel_sampled(
+        kernel: &Kernel,
+        scheme: Scheme,
+        rf_regs: usize,
+        scale: u64,
+        sample: &SampledConfig,
+        workers: Option<usize>,
+    ) -> SampledReport {
+        let program = kernel.program(scale);
+        let swept = swept_class(kernel.suite);
+        let rconfig = renamer_config_for(scheme, rf_regs, swept);
+        let config = experiment_config(scale);
+        sample_windows(&program, &config, sample, scale, |jobs| {
+            par_map_with(&jobs, workers, |job| {
+                let renamer = renamer_for(scheme, rf_regs, swept);
+                match run_window(job, renamer, &rconfig, config.clone()) {
+                    Ok(r) => r,
+                    Err(e) => panic!(
+                        "{} ({}, {} regs) window at {}: {e}",
+                        kernel.name,
+                        scheme.label(),
+                        rf_regs,
+                        job.spec.start
+                    ),
+                }
+            })
+        })
     }
 }

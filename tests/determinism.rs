@@ -9,8 +9,11 @@
 //! and must be deliberate (regenerate with `cargo run --release --bin
 //! golden_probe`).
 
-use regshare::harness::{experiment_config, par_map, renamer_for, run_kernel, swept_class, Scheme};
-use regshare::sim::Pipeline;
+use regshare::harness::{
+    experiment_config, par_map, renamer_for, run_kernel, run_kernel_sampled, swept_class, Scheme,
+};
+use regshare::sim::{Pipeline, SampledConfig};
+use regshare::stats::SamplePlan;
 use regshare::workloads::all_kernels;
 
 const SCALE: u64 = 8_000;
@@ -108,6 +111,31 @@ fn repeated_runs_are_bit_identical() {
     assert_eq!(a.committed_instructions, b.committed_instructions);
     assert_eq!(a.committed_uops, b.committed_uops);
     assert_eq!(a.rename.reuse_fraction(), b.rename.reuse_fraction());
+}
+
+#[test]
+fn sliced_sampled_runs_are_identical_for_any_worker_count() {
+    // Time-parallel slicing promises byte-identical window results
+    // regardless of how many workers the windows are spread over: each
+    // window runs from a checkpoint clone at a position that is a pure
+    // function of the plan. Wall-clock fields are the one legitimate
+    // difference, so compare everything but them.
+    let kernels = all_kernels();
+    let k = kernels.iter().find(|k| k.name == "matmul").unwrap();
+    let sample = SampledConfig::new(SamplePlan::new(10_000, 1_000, 3_000));
+    let runs: Vec<Vec<(u64, u64, u64, u64)>> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| {
+            run_kernel_sampled(k, Scheme::Proposed, RF_REGS, 60_000, &sample, Some(workers))
+                .windows
+                .iter()
+                .map(|w| (w.start, w.instructions, w.cycles, w.uops))
+                .collect()
+        })
+        .collect();
+    assert!(!runs[0].is_empty(), "expected at least one window");
+    assert_eq!(runs[0], runs[1], "1 worker vs 2 workers diverged");
+    assert_eq!(runs[0], runs[2], "1 worker vs 8 workers diverged");
 }
 
 #[test]

@@ -1,0 +1,74 @@
+//! Sampled-vs-full equivalence: the two-speed engine's 95% confidence
+//! interval must cover the IPC of a full detailed run of the same
+//! stream.
+//!
+//! SMARTS-style sampling replaces exhaustive detailed simulation with
+//! periodic measured windows over a functionally-warmed stream; its
+//! whole claim is that the window-mean IPC estimates the full-run IPC.
+//! These tests check that claim end to end at a scale (10⁵) where the
+//! full detailed run is still affordable.
+
+use regshare::harness::{run_kernel, run_kernel_sampled, Scheme};
+use regshare::sim::SampledConfig;
+use regshare::stats::SamplePlan;
+use regshare::workloads::all_kernels;
+
+const SCALE: u64 = 100_000;
+const RF_REGS: usize = 64;
+
+/// One kernel per suite family, each with genuine window-to-window
+/// variance so the CI check is meaningful. (Perfectly periodic kernels
+/// like saxpy produce identical windows and a degenerate zero-width CI
+/// that can never cover the full run's cold-start transient.) Everything
+/// here is deterministic: these either pass forever or fail forever.
+const KERNELS: [&str; 3] = ["matmul", "bitcount", "adpcm"];
+
+fn plan() -> SampledConfig {
+    // 10 windows over 10⁵ instructions: 1k detailed warmup, 3k measured.
+    SampledConfig::new(SamplePlan::new(10_000, 1_000, 3_000))
+}
+
+#[test]
+fn sampled_ci_covers_full_detailed_ipc() {
+    let kernels = all_kernels();
+    let mut failures = Vec::new();
+    for name in KERNELS {
+        let k = kernels.iter().find(|k| k.name == name).unwrap();
+        let full = run_kernel(k, Scheme::Proposed, RF_REGS, SCALE);
+        let full_ipc = full.committed_instructions as f64 / full.cycles as f64;
+        let sampled = run_kernel_sampled(k, Scheme::Proposed, RF_REGS, SCALE, &plan(), Some(2));
+        if !sampled.ci_covers(full_ipc) {
+            failures.push(format!(
+                "{name}: full IPC {full_ipc:.4} outside sampled {:.4} ±{:.4} ({} windows)",
+                sampled.ipc_mean(),
+                sampled.ipc_ci95(),
+                sampled.ipc.count(),
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "sampled CI misses full-run IPC:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn sampled_report_accounts_for_both_speeds() {
+    let kernels = all_kernels();
+    let k = kernels.iter().find(|k| k.name == "saxpy").unwrap();
+    // A short explicit lead keeps checkpoints *after* stream start, so
+    // the sequential warming pass actually fast-forwards. (The default
+    // 100k lead clamps to the window start at this scale, putting every
+    // checkpoint at instruction 0.)
+    let mut sample = plan();
+    sample.lead = 2_000;
+    let r = run_kernel_sampled(k, Scheme::Baseline, RF_REGS, SCALE, &sample, Some(2));
+    // The warming pass covers the stream the windows sample from.
+    assert!(r.warm_instructions > 0);
+    assert!(r.detailed_instructions > 0);
+    // Every non-degenerate window contributes one observation.
+    let live = r.windows.iter().filter(|w| w.cycles > 0).count() as u64;
+    assert_eq!(r.ipc.count(), live);
+    assert!(live >= 2, "expected several live windows at this scale");
+}
