@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Determinism guard: the simulation crates promise bit-identical results
+# across runs, so the constructs that smuggle nondeterminism in are
+# banned at the source level:
+#
+#   * std HashMap/HashSet (randomized SipHash seeds perturb iteration
+#     order) — use stats::FastHashMap / FastHashSet instead,
+#   * Instant::now (wall clock) — only the two-speed engine's
+#     throughput reports may read it, marked `det-lint: allow`,
+#   * thread_rng / OS randomness — all stochastic inputs must flow from
+#     an explicitly seeded generator.
+#
+# A line may opt out with a trailing `// det-lint: allow <reason>`
+# comment; reviewers see the reason in the diff. Test modules are
+# exempt (nondeterministic iteration in a test harness can't leak into
+# simulation results).
+set -eu
+
+CRATES="crates/sim/src crates/core/src crates/mem/src"
+
+cd "$(dirname "$0")/.."
+status=0
+
+scan() {
+    pattern="$1"
+    label="$2"
+    # Strip the sanctioned spellings, then flag what is left. Lines
+    # carrying the explicit allow marker or inside test files pass.
+    for f in $(find $CRATES -name '*.rs' | sort); do
+        in_tests=0
+        n=0
+        while IFS= read -r line || [ -n "$line" ]; do
+            n=$((n + 1))
+            case "$line" in
+                *'#[cfg(test)]'*) in_tests=1 ;;
+            esac
+            [ "$in_tests" -eq 1 ] && continue
+            case "$line" in
+                *'det-lint: allow'*) continue ;;
+            esac
+            stripped=$(printf '%s\n' "$line" | sed 's/FastHashMap//g; s/FastHashSet//g')
+            if printf '%s\n' "$stripped" | grep -qE "$pattern"; then
+                echo "FAIL: $f:$n: $label" >&2
+                echo "      $line" >&2
+                status=1
+            fi
+        done <"$f"
+    done
+}
+
+scan '\bHashMap\b|\bHashSet\b' "randomized-hasher collection (use FastHashMap/FastHashSet)"
+scan 'Instant::now' "wall-clock read in a simulation crate (mark 'det-lint: allow' if it only feeds a throughput report)"
+scan '\bthread_rng\b|\brandom\(\)' "unseeded randomness in a simulation crate"
+
+if [ "$status" -eq 0 ]; then
+    echo "determinism lint: clean"
+fi
+exit $status

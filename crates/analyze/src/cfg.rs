@@ -250,6 +250,17 @@ impl Cfg {
         &self.idom
     }
 
+    /// True when the CFG edge `from → to` is a loop back edge (the
+    /// target dominates the source). On irreducible regions — which the
+    /// conservative `jalr`-to-everywhere edges create — some retreating
+    /// edges are *not* dominated and therefore not detected; callers
+    /// (the loop-split consumer analysis) only ever treat detection as
+    /// an opportunity, never a requirement, so a missed back edge costs
+    /// precision, not soundness.
+    pub fn is_back_edge(&self, from: usize, to: usize) -> bool {
+        self.blocks[from].succs.contains(&to) && self.dominates(to, from)
+    }
+
     /// True when block `a` dominates block `b` (reflexive).
     pub fn dominates(&self, a: usize, b: usize) -> bool {
         if !self.reachable[b] {
@@ -426,6 +437,9 @@ mod tests {
         assert!(cfg.dominates(cfg.entry_block(), body));
         assert!(cfg.dominates(body, exit));
         assert!(!cfg.dominates(exit, body));
+        // The self edge is the loop back edge; the exit edge is not.
+        assert!(cfg.is_back_edge(body, body));
+        assert!(!cfg.is_back_edge(body, exit));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! sharing-table occupancy argument.
 
 use crate::cfg::Cfg;
-use crate::dataflow::{use_counts_pinned, Analysis, DefSite, UseCounts, MIN_SAT};
+use crate::dataflow::{
+    split_transfer, use_counts_pinned, use_counts_split, Analysis, DefSite, UseCounts, MIN_SAT,
+};
+use crate::memdis::dead_stores;
 use crate::regset::reg_bit;
 use regshare_isa::Inst;
 
@@ -24,6 +27,14 @@ pub enum SiteClass {
     Unknown,
     /// At least two consumers on every path — never a sharing candidate.
     MultiConsumer,
+    /// Zero or exactly one consumer, never more (loop-split proof:
+    /// `max ≤ 1` over both contexts). Speculating single-use here is
+    /// exact — if a consumer shows up it is the only one.
+    AtMostOnce,
+    /// Zero consumers on every no-back-edge future and at least two on
+    /// every loop-carried one — the count is never exactly one, so
+    /// single-use speculation is provably always wrong.
+    NeverSingle,
 }
 
 /// A classified definition site.
@@ -75,13 +86,27 @@ impl Classification {
     }
 
     /// Sites that *could* have exactly one consumer — everything not
-    /// proven dead or multi-consumer. The static *upper* bracket on
-    /// single-use sharing.
+    /// proven dead, multi-consumer, or never-single. The static *upper*
+    /// bracket on single-use sharing.
     pub fn possibly_single(&self) -> usize {
         self.sites
             .iter()
-            .filter(|s| !matches!(s.class, SiteClass::Dead | SiteClass::MultiConsumer))
+            .filter(|s| {
+                !matches!(
+                    s.class,
+                    SiteClass::Dead | SiteClass::MultiConsumer | SiteClass::NeverSingle
+                )
+            })
             .count()
+    }
+
+    /// Fraction of sites classified [`SiteClass::Unknown`] (0 when the
+    /// program has no sites).
+    pub fn unknown_fraction(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 0.0;
+        }
+        self.count(SiteClass::Unknown) as f64 / self.sites.len() as f64
     }
 }
 
@@ -132,6 +157,109 @@ pub fn classify(cfg: &Cfg, insts: &[Inst]) -> Classification {
     }
     sites.sort_by_key(|s| (s.site.pc, s.site.slot));
     Classification { sites }
+}
+
+/// Classifies every reachable definition site using the loop-split
+/// consumer analysis ([`use_counts_split`]). This is the deepened PR 7
+/// classifier: in addition to everything [`classify`] proves, the
+/// per-context bounds recover [`SiteClass::AtMostOnce`] and
+/// [`SiteClass::NeverSingle`] proofs on loop-carried definitions that
+/// the joined analysis saturates to `Unknown`. [`classify`] itself is
+/// kept frozen as the PR 2 baseline the static oracle pins.
+pub fn classify_with_loops(cfg: &Cfg, insts: &[Inst]) -> Classification {
+    let facts = use_counts_split(cfg, insts);
+    let mut sites = Vec::new();
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let mut fact = facts.input[b].clone();
+        let mut block_sites = Vec::new();
+        for pc in (block.start..block.end).rev() {
+            for (slot, reg) in insts[pc].defs() {
+                let a = fact.exit.0[reg_bit(reg)];
+                let c = fact.carried.0[reg_bit(reg)];
+                // Overall bounds are the union of the two contexts; a
+                // vacuous component (min at MIN_UNKNOWN, max 0) is the
+                // identity of both folds.
+                let min = a.min.min(c.min).min(MIN_SAT);
+                let max = a.max.max(c.max);
+                let redefining = a.redefining && c.redefining;
+                let class = if max == 0 {
+                    SiteClass::Dead
+                } else if min >= 2 {
+                    SiteClass::MultiConsumer
+                } else if min == 1 && max == 1 {
+                    if redefining {
+                        SiteClass::SingleSafeReuse
+                    } else {
+                        SiteClass::SingleNeedsPredictor
+                    }
+                } else if max == 1 {
+                    SiteClass::AtMostOnce
+                } else if a.max == 0 && c.min >= MIN_SAT {
+                    // No-back-edge futures never read the value; carried
+                    // futures read it at least twice (a vacuous carried
+                    // component passes trivially: every real future is
+                    // then a zero-read exit future).
+                    SiteClass::NeverSingle
+                } else {
+                    SiteClass::Unknown
+                };
+                block_sites.push(ClassifiedSite {
+                    site: DefSite { pc, slot, reg },
+                    class,
+                    min_consumers: min,
+                    max_consumers: max,
+                });
+            }
+            split_transfer(&insts[pc], &mut fact);
+        }
+        block_sites.reverse();
+        sites.extend(block_sites);
+    }
+    sites.sort_by_key(|s| (s.site.pc, s.site.slot));
+    Classification { sites }
+}
+
+/// Fate of a reachable store under the conservative store/load
+/// disambiguation pass ([`crate::memdis`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreFate {
+    /// Every stored byte is provably overwritten before any load could
+    /// observe it — the store is dead.
+    Overwritten,
+    /// The store may be observed (by a later load, another block, or
+    /// the program's consumer — memory is program output).
+    Observable,
+}
+
+/// A classified store instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifiedStore {
+    /// Instruction index of the store.
+    pub pc: usize,
+    /// What the disambiguation pass proved about it.
+    pub fate: StoreFate,
+}
+
+/// Classifies every reachable store by whether the disambiguation pass
+/// proves it dead, in pc order.
+pub fn classify_stores(cfg: &Cfg, insts: &[Inst]) -> Vec<ClassifiedStore> {
+    let dead = dead_stores(cfg, insts);
+    insts
+        .iter()
+        .enumerate()
+        .filter(|(pc, inst)| inst.opcode.is_store() && cfg.is_reachable(cfg.block_of(*pc)))
+        .map(|(pc, _)| ClassifiedStore {
+            pc,
+            fate: if dead.binary_search(&pc).is_ok() {
+                StoreFate::Overwritten
+            } else {
+                StoreFate::Observable
+            },
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -266,5 +394,106 @@ mod tests {
         // by subi (2 total, redefining); on exit path just 1. Min 1 max
         // 2 -> Unknown.
         assert_eq!(class_at(&c, 1), SiteClass::Unknown);
+    }
+
+    fn classify_loops(insts: &[Inst]) -> Classification {
+        let cfg = Cfg::build(insts, 0);
+        classify_with_loops(&cfg, insts)
+    }
+
+    #[test]
+    fn loop_split_proves_pointer_bump_never_single() {
+        // 0: li x1, 0 ; 1: li x2, 4
+        // 2: ld x3, [x1] ; 3: addi x1, x1, 8 ; 4: subi x2, x2, 1
+        // 5: bne x2, xzr, @2 ; 6: halt
+        // The bump at 3 is read 0 times on exit, >=2 when carried
+        // (next load + next bump): never exactly once.
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 0),
+            Inst::ri(Opcode::Li, reg::x(2), 4),
+            Inst::load(Opcode::Ld, reg::x(3), reg::x(1), 0),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 8),
+            Inst::rri(Opcode::Addi, reg::x(2), reg::x(2), -1),
+            Inst::branch(Opcode::Bne, reg::x(2), reg::zero(), 2),
+            Inst::bare(Opcode::Halt),
+        ];
+        // The joined baseline saturates to Unknown ...
+        assert_eq!(class_at(&classify_insts(&insts), 3), SiteClass::Unknown);
+        // ... the split analysis proves the stronger fact.
+        assert_eq!(class_at(&classify_loops(&insts), 3), SiteClass::NeverSingle);
+    }
+
+    #[test]
+    fn loop_split_proves_post_increment_writeback_at_most_once() {
+        // 0: li x1, 0 ; 1: li x2, 4
+        // 2: ld.post x3, [x1], 8 ; 3: subi x2, x2, 1
+        // 4: bne x2, xzr, @2 ; 5: halt
+        // The writeback at 2 is read 0 times on exit, exactly once
+        // (by the redefining next ld.post) when carried.
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 0),
+            Inst::ri(Opcode::Li, reg::x(2), 4),
+            Inst::load_post(Opcode::LdPost, reg::x(3), reg::x(1), 8),
+            Inst::rri(Opcode::Addi, reg::x(2), reg::x(2), -1),
+            Inst::branch(Opcode::Bne, reg::x(2), reg::zero(), 2),
+            Inst::bare(Opcode::Halt),
+        ];
+        let wb = |c: &Classification| {
+            c.sites
+                .iter()
+                .find(|s| s.site.pc == 2 && s.site.slot == DefSlot::Writeback)
+                .expect("writeback site")
+                .class
+        };
+        assert_eq!(wb(&classify_insts(&insts)), SiteClass::Unknown);
+        assert_eq!(wb(&classify_loops(&insts)), SiteClass::AtMostOnce);
+    }
+
+    #[test]
+    fn loop_split_keeps_genuinely_variable_counts_unknown() {
+        // The induction-variable shape (1 consumer on exit, 2 when
+        // carried) is genuinely path-dependent: still Unknown.
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 4),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), -1),
+            Inst::branch(Opcode::Bne, reg::x(1), reg::zero(), 1),
+            Inst::bare(Opcode::Halt),
+        ];
+        assert_eq!(class_at(&classify_loops(&insts), 1), SiteClass::Unknown);
+    }
+
+    #[test]
+    fn loop_split_agrees_with_baseline_on_straight_line_code() {
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 1),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 1),
+            Inst::rrr(Opcode::Add, reg::x(2), reg::x(1), reg::x(1)),
+            Inst::rrr(Opcode::Add, reg::x(3), reg::x(1), reg::zero()),
+            Inst::bare(Opcode::Halt),
+        ];
+        let base = classify_insts(&insts);
+        let split = classify_loops(&insts);
+        for (a, b) in base.sites.iter().zip(split.sites.iter()) {
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.min_consumers, b.min_consumers);
+            assert_eq!(a.max_consumers, b.max_consumers);
+        }
+    }
+
+    #[test]
+    fn classify_stores_reports_overwritten() {
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 0x1000),
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0),
+            Inst::store(Opcode::St, reg::x(3), reg::x(1), 0),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = Cfg::build(&insts, 0);
+        let stores = classify_stores(&cfg, &insts);
+        assert_eq!(stores.len(), 2);
+        assert_eq!(stores[0].pc, 1);
+        assert_eq!(stores[0].fate, StoreFate::Overwritten);
+        assert_eq!(stores[1].fate, StoreFate::Observable);
     }
 }

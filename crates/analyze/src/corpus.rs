@@ -68,13 +68,15 @@ fn clean_program(rng: &mut XorShift) -> Vec<Inst> {
 }
 
 /// The defect classes the generator can inject.
-const DEFECTS: [DiagCode; 6] = [
+const DEFECTS: [DiagCode; 8] = [
     DiagCode::BranchTargetOutOfRange,
     DiagCode::UninitRead,
     DiagCode::UnreachableCode,
     DiagCode::PostIncBaseConflict,
     DiagCode::NoHaltPath,
     DiagCode::FallsOffEnd,
+    DiagCode::DeadStore,
+    DiagCode::RedundantSelfMove,
 ];
 
 /// Injects one defect into a clean program, returning the case.
@@ -113,6 +115,21 @@ fn inject(name_idx: usize, defect: DiagCode, rng: &mut XorShift) -> CorpusCase {
         }
         DiagCode::FallsOffEnd => {
             insts.pop(); // drop the halt
+        }
+        DiagCode::DeadStore => {
+            // Two back-to-back stores to the same slot: the first is
+            // provably dead — nothing can load it before the overwrite.
+            let v1 = reg::x(1 + rng.below(4) as u8);
+            let v2 = reg::x(1 + rng.below(4) as u8);
+            let base = reg::x(1 + rng.below(4) as u8);
+            let at = insts.len() - 1; // before the halt
+            insts.insert(at, Inst::store(Opcode::St, v2, base, 0));
+            insts.insert(at, Inst::store(Opcode::St, v1, base, 0));
+        }
+        DiagCode::RedundantSelfMove => {
+            let d = reg::x(1 + rng.below(4) as u8);
+            let at = insts.len() - 1;
+            insts.insert(at, Inst::rri(Opcode::Addi, d, d, 0));
         }
         _ => unreachable!("not a generated defect class"),
     }
@@ -178,6 +195,28 @@ fn handcrafted() -> Vec<CorpusCase> {
             insts: vec![Inst::ri(Opcode::Li, reg::x(1), 1)],
             entry: 0,
             expect: DiagCode::FallsOffEnd,
+        },
+        CorpusCase {
+            name: "dead-store-same-slot".to_string(),
+            insts: vec![
+                Inst::ri(Opcode::Li, reg::x(1), 64),
+                Inst::ri(Opcode::Li, reg::x(2), 7),
+                Inst::store(Opcode::St, reg::x(2), reg::x(1), 16),
+                Inst::store(Opcode::St, reg::x(2), reg::x(1), 16),
+                Inst::bare(Opcode::Halt),
+            ],
+            entry: 0,
+            expect: DiagCode::DeadStore,
+        },
+        CorpusCase {
+            name: "or-register-onto-itself".to_string(),
+            insts: vec![
+                Inst::ri(Opcode::Li, reg::x(1), 1),
+                Inst::rrr(Opcode::Or, reg::x(1), reg::x(1), reg::x(1)),
+                Inst::bare(Opcode::Halt),
+            ],
+            entry: 0,
+            expect: DiagCode::RedundantSelfMove,
         },
         CorpusCase {
             name: "code-before-entry".to_string(),

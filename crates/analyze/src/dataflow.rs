@@ -532,6 +532,141 @@ pub fn use_counts_pinned(cfg: &Cfg, insts: &[Inst]) -> BlockFacts<CountFact> {
     solve_backward(cfg, insts, &UseCountsWithPin { cfg })
 }
 
+// ------------------------------------ loop-split consumer counts
+
+/// The `top` (vacuous, join-identity) per-register count.
+pub const TOP_COUNT: RegCount = RegCount {
+    min: MIN_UNKNOWN,
+    max: 0,
+    redefining: true,
+};
+
+/// [`CountFact`] split by loop context. `exit` bounds the consumer
+/// count over futures in which the value dies (is redefined, or the
+/// program exits) without ever crossing a loop back edge — the
+/// final-iteration context. `carried` bounds futures whose value stays
+/// live across at least one back edge — the loop-carried context. The
+/// two components partition every real future exactly, which is what
+/// lets the classifier prove facts like "never exactly one consumer"
+/// (`exit` shows zero, `carried` shows at least two) that the joined
+/// [`UseCounts`] analysis saturates to `Unknown`. This is the backward
+/// mirror of first-iteration peeling: instead of peeling the entry into
+/// the loop, it peels the exit out of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitFact {
+    /// Bounds over futures that never cross a back edge.
+    pub exit: CountFact,
+    /// Bounds over futures that cross at least one back edge while the
+    /// value is live.
+    pub carried: CountFact,
+}
+
+impl SplitFact {
+    fn top() -> SplitFact {
+        SplitFact {
+            exit: UseCounts.top(),
+            carried: UseCounts.top(),
+        }
+    }
+}
+
+/// Transfers one instruction backward across a [`SplitFact`]. Reads
+/// accumulate into both components (the instruction crosses no edge, so
+/// a future's class is unchanged); a redefinition ends the value's
+/// lifetime on the spot, so the whole count lands in the no-back-edge
+/// `exit` component and `carried` resets to vacuous.
+pub fn split_transfer(inst: &Inst, fact: &mut SplitFact) {
+    fn bump(c: &mut RegCount) {
+        c.min = if c.min == MIN_UNKNOWN {
+            MIN_UNKNOWN
+        } else {
+            (c.min + 1).min(MIN_SAT)
+        };
+        c.max = (c.max + 1).min(MAX_SAT);
+        c.redefining = false;
+    }
+    let mut defines = RegSet::EMPTY;
+    for (_, d) in inst.defs() {
+        defines.insert(d);
+    }
+    for u in inst.uses() {
+        let bit = reg_bit(u);
+        if defines.contains(u) {
+            fact.exit.0[bit] = RegCount {
+                min: 1,
+                max: 1,
+                redefining: true,
+            };
+            fact.carried.0[bit] = TOP_COUNT;
+        } else {
+            bump(&mut fact.exit.0[bit]);
+            bump(&mut fact.carried.0[bit]);
+        }
+    }
+    for d in defines.iter() {
+        if inst.uses().any(|u| u == d) {
+            continue; // read-then-redefine, handled above
+        }
+        fact.exit.0[reg_bit(d)] = RegCount {
+            min: 0,
+            max: 0,
+            redefining: true,
+        };
+        fact.carried.0[reg_bit(d)] = TOP_COUNT;
+    }
+}
+
+/// Solves the loop-split consumer-count analysis. The solver is the
+/// standard backward worklist with one edge-aware twist: a fact flowing
+/// backward over a detected back edge moves wholesale into the
+/// `carried` component (whatever happens beyond that edge, the value
+/// was live across it), while normal edges join componentwise. Exit
+/// boundaries — real and the same no-exit pinning as
+/// [`UseCountsWithPin`] — feed only the `exit` component: a dead value
+/// crossed no further edges. Vacuous components are the join identity
+/// (`min` stays [`MIN_UNKNOWN`], `max` stays 0), so an undetected back
+/// edge or an unreachable context can only blur bounds toward
+/// `Unknown`, never sharpen them.
+pub fn use_counts_split(cfg: &Cfg, insts: &[Inst]) -> BlockFacts<SplitFact> {
+    let n = cfg.blocks().len();
+    let mut input = vec![SplitFact::top(); n];
+    let mut output = vec![SplitFact::top(); n];
+    let pin = UseCountsWithPin { cfg };
+    let mut work: Vec<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(b) = work.pop() {
+        queued[b] = false;
+        let mut fact = SplitFact::top();
+        if pin.is_virtual_exit(cfg, b) {
+            UseCounts.join(&mut fact.exit, &UseCounts.boundary());
+        }
+        for &s in &cfg.blocks()[b].succs {
+            if cfg.is_back_edge(b, s) {
+                let mut over = output[s].exit.clone();
+                UseCounts.join(&mut over, &output[s].carried);
+                UseCounts.join(&mut fact.carried, &over);
+            } else {
+                UseCounts.join(&mut fact.exit, &output[s].exit);
+                UseCounts.join(&mut fact.carried, &output[s].carried);
+            }
+        }
+        input[b] = fact.clone();
+        for pc in (cfg.blocks()[b].start..cfg.blocks()[b].end).rev() {
+            split_transfer(&insts[pc], &mut fact);
+        }
+        if fact != output[b] {
+            output[b] = fact;
+            for &p in &cfg.blocks()[b].preds {
+                if !queued[p] {
+                    queued[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+    }
+    BlockFacts { input, output }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,5 +824,75 @@ mod tests {
             c0.min
         );
         assert_eq!(c0.max, 1);
+    }
+
+    #[test]
+    fn split_counts_separate_exit_from_carried_context() {
+        // Pointer-bump shape: x1 is bumped each iteration, read only by
+        // the *next* iteration's load, never on the exit path.
+        // 0: li x1, 0
+        // 1: li x2, 4
+        // 2: ld x3, [x1]        <- loop top
+        // 3: addi x1, x1, 8     <- the bump: def under test
+        // 4: subi x2, x2, 1
+        // 5: bne x2, xzr, @2
+        // 6: halt
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 0),
+            Inst::ri(Opcode::Li, reg::x(2), 4),
+            Inst::load(Opcode::Ld, reg::x(3), reg::x(1), 0),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 8),
+            Inst::rri(Opcode::Addi, reg::x(2), reg::x(2), -1),
+            Inst::branch(Opcode::Bne, reg::x(2), reg::zero(), 2),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        let facts = use_counts_split(&cfg, &insts);
+        // Replay the loop block backward to the point just after pc 3.
+        let body = cfg.block_of(3);
+        let mut f = facts.input[body].clone();
+        for pc in (4..6).rev() {
+            split_transfer(&insts[pc], &mut f);
+        }
+        let a = f.exit.0[reg_bit(reg::x(1))];
+        let b = f.carried.0[reg_bit(reg::x(1))];
+        // Exit context: the bumped pointer is never read again.
+        assert_eq!((a.min, a.max), (0, 0));
+        // Carried context: read by the next iteration's load, then by
+        // the redefining bump — at least two consumers.
+        assert!(b.min >= 2, "carried min {} should prove >=2", b.min);
+    }
+
+    #[test]
+    fn split_counts_bound_post_increment_writeback() {
+        // FldPost-style writeback consumed zero times on exit, once per
+        // carried iteration (by the redefining next post-increment).
+        // 0: li x1, 0 ; 1: li x2, 4
+        // 2: ld.post x3, [x1], 8   <- writeback def under test
+        // 3: subi x2, x2, 1
+        // 4: bne x2, xzr, @2
+        // 5: halt
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 0),
+            Inst::ri(Opcode::Li, reg::x(2), 4),
+            Inst::load_post(Opcode::LdPost, reg::x(3), reg::x(1), 8),
+            Inst::rri(Opcode::Addi, reg::x(2), reg::x(2), -1),
+            Inst::branch(Opcode::Bne, reg::x(2), reg::zero(), 2),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        let facts = use_counts_split(&cfg, &insts);
+        let body = cfg.block_of(2);
+        let mut f = facts.input[body].clone();
+        for pc in (3..5).rev() {
+            split_transfer(&insts[pc], &mut f);
+        }
+        let a = f.exit.0[reg_bit(reg::x(1))];
+        let b = f.carried.0[reg_bit(reg::x(1))];
+        assert_eq!((a.min, a.max), (0, 0), "never read on the exit path");
+        // Carried: exactly one read, and the reader (the next ld.post)
+        // redefines the base — the overall bound is 0 or 1, never more.
+        assert_eq!((b.min, b.max), (1, 1));
+        assert!(b.redefining);
     }
 }

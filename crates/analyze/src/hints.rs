@@ -1,0 +1,127 @@
+//! Compiles the classifier's proofs into the ISA's [`ShareHintTable`]
+//! sidecar.
+//!
+//! Every hint except [`ShareHint::Unknown`] is an *exact* proof about
+//! the defined value's consumer count, which is what lets the renamer's
+//! Hybrid policy override the dynamic predictor without a correctness
+//! (well, accuracy) risk:
+//!
+//! * [`ShareHint::NoReuse`] — provably never consumed.
+//! * [`ShareHint::SingleUse`] — provably at most one consumer, so
+//!   single-use speculation can never trigger a multi-use repair.
+//! * [`ShareHint::Multi`] — provably never *exactly* one consumer, so
+//!   single-use speculation is always wasted.
+
+use crate::cfg::Cfg;
+use crate::classify::{classify_with_loops, SiteClass};
+use regshare_isa::{Program, ShareHint, ShareHintTable};
+
+/// Maps a site class onto the hint the renamer should see.
+pub fn hint_for_class(class: SiteClass) -> ShareHint {
+    match class {
+        SiteClass::Dead => ShareHint::NoReuse,
+        // All three prove max_consumers <= 1: single-use speculation is
+        // exact (it never hits a second consumer).
+        SiteClass::SingleSafeReuse | SiteClass::SingleNeedsPredictor | SiteClass::AtMostOnce => {
+            ShareHint::SingleUse
+        }
+        // Both prove the count is never exactly one.
+        SiteClass::MultiConsumer | SiteClass::NeverSingle => ShareHint::Multi,
+        SiteClass::Unknown => ShareHint::Unknown,
+    }
+}
+
+/// Runs the loop-split classifier over `program` and compiles the
+/// result into a [`ShareHintTable`]. Unreachable sites keep the default
+/// [`ShareHint::Unknown`] (they never rename, so any hint is moot).
+pub fn compile_hints(program: &Program) -> ShareHintTable {
+    let insts = program.insts();
+    let cfg = Cfg::build(insts, program.entry());
+    let classes = classify_with_loops(&cfg, insts);
+    let mut table = ShareHintTable::new(insts.len());
+    for site in &classes.sites {
+        table.set(site.site.pc, site.site.slot, hint_for_class(site.class));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::{reg, DefSlot, Inst, Opcode, Program};
+
+    fn program(insts: Vec<Inst>) -> Program {
+        Program::new(insts, 0, Default::default())
+    }
+
+    #[test]
+    fn every_class_maps_to_the_documented_hint() {
+        assert_eq!(hint_for_class(SiteClass::Dead), ShareHint::NoReuse);
+        assert_eq!(
+            hint_for_class(SiteClass::SingleSafeReuse),
+            ShareHint::SingleUse
+        );
+        assert_eq!(
+            hint_for_class(SiteClass::SingleNeedsPredictor),
+            ShareHint::SingleUse
+        );
+        assert_eq!(hint_for_class(SiteClass::AtMostOnce), ShareHint::SingleUse);
+        assert_eq!(hint_for_class(SiteClass::MultiConsumer), ShareHint::Multi);
+        assert_eq!(hint_for_class(SiteClass::NeverSingle), ShareHint::Multi);
+        assert_eq!(hint_for_class(SiteClass::Unknown), ShareHint::Unknown);
+    }
+
+    #[test]
+    fn straight_line_program_compiles_expected_hints() {
+        // 0: li x1       -> single consumer       -> SingleUse
+        // 1: addi x1,x1,1-> two consumers          -> Multi
+        // 2: add x2,...  -> dead                   -> NoReuse
+        // 3: add x3,...  -> dead                   -> NoReuse
+        let p = program(vec![
+            Inst::ri(Opcode::Li, reg::x(1), 1),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 1),
+            Inst::rrr(Opcode::Add, reg::x(2), reg::x(1), reg::x(1)),
+            Inst::rrr(Opcode::Add, reg::x(3), reg::x(1), reg::zero()),
+            Inst::bare(Opcode::Halt),
+        ]);
+        let t = compile_hints(&p);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(0, DefSlot::Primary), ShareHint::SingleUse);
+        assert_eq!(t.get(1, DefSlot::Primary), ShareHint::Multi);
+        assert_eq!(t.get(2, DefSlot::Primary), ShareHint::NoReuse);
+        assert_eq!(t.get(3, DefSlot::Primary), ShareHint::NoReuse);
+        // halt defines nothing; both slots stay Unknown.
+        assert_eq!(t.get(4, DefSlot::Primary), ShareHint::Unknown);
+    }
+
+    #[test]
+    fn loop_proofs_reach_the_table() {
+        // The pointer bump (pc 3) is NeverSingle under the split
+        // classifier -> Multi; the baseline classifier would have left
+        // it Unknown.
+        let p = program(vec![
+            Inst::ri(Opcode::Li, reg::x(1), 0),
+            Inst::ri(Opcode::Li, reg::x(2), 4),
+            Inst::load(Opcode::Ld, reg::x(3), reg::x(1), 0),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 8),
+            Inst::rri(Opcode::Addi, reg::x(2), reg::x(2), -1),
+            Inst::branch(Opcode::Bne, reg::x(2), reg::zero(), 2),
+            Inst::bare(Opcode::Halt),
+        ]);
+        let t = compile_hints(&p);
+        assert_eq!(t.get(3, DefSlot::Primary), ShareHint::Multi);
+        // The genuinely variable induction decrement stays Unknown.
+        assert_eq!(t.get(4, DefSlot::Primary), ShareHint::Unknown);
+    }
+
+    #[test]
+    fn unreachable_sites_stay_unknown() {
+        let p = program(vec![
+            Inst::jal(None, 2),
+            Inst::ri(Opcode::Li, reg::x(1), 1), // unreachable
+            Inst::bare(Opcode::Halt),
+        ]);
+        let t = compile_hints(&p);
+        assert_eq!(t.get(1, DefSlot::Primary), ShareHint::Unknown);
+    }
+}

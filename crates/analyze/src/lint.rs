@@ -38,6 +38,12 @@ pub enum DiagCode {
     /// No path from the entry reaches a `halt`: the program cannot
     /// terminate normally.
     NoHaltPath,
+    /// A store whose every byte is overwritten by a later store in the
+    /// same block before any load could observe it.
+    DeadStore,
+    /// An instruction that provably copies a register onto itself
+    /// (`addi xN, xN, 0`, `add xN, xN, xzr`, `or xN, xN, xN`, ...).
+    RedundantSelfMove,
 }
 
 /// Diagnostic severity.
@@ -61,6 +67,33 @@ pub struct Diagnostic {
     pub pc: u32,
     /// Human-readable explanation.
     pub message: String,
+}
+
+/// True when `inst` provably writes its destination with the
+/// destination's own current value — a no-op the compiler (or kernel
+/// author) should have deleted.
+fn is_redundant_self_move(inst: &Inst) -> bool {
+    let Some(d) = inst.raw_dst() else {
+        return false;
+    };
+    let s0 = inst.raw_sources()[0];
+    let s1 = inst.raw_sources()[1];
+    let zero = |s: Option<regshare_isa::ArchReg>| s.is_some_and(|r| r.is_zero());
+    match inst.opcode {
+        // d = d op identity-immediate.
+        Opcode::Addi | Opcode::Ori | Opcode::Xori | Opcode::Slli | Opcode::Srli | Opcode::Srai => {
+            s0 == Some(d) && inst.imm == 0
+        }
+        // d = d op zero-register (and the commutative flip for add/or).
+        Opcode::Add | Opcode::Or => {
+            (s0 == Some(d) && (zero(s1) || s1 == Some(d) && inst.opcode == Opcode::Or))
+                || (zero(s0) && s1 == Some(d))
+        }
+        Opcode::Sub | Opcode::Xor => s0 == Some(d) && zero(s1),
+        // d = d & d.
+        Opcode::And => s0 == Some(d) && s1 == Some(d),
+        _ => false,
+    }
 }
 
 fn diag(code: DiagCode, severity: Severity, pc: usize, message: String) -> Diagnostic {
@@ -111,6 +144,18 @@ pub fn lint(insts: &[Inst], entry: u32) -> Vec<Diagnostic> {
                 format!(
                     "branch target @{} is outside the program (len {n})",
                     inst.target
+                ),
+            ));
+        }
+        if is_redundant_self_move(inst) {
+            out.push(diag(
+                DiagCode::RedundantSelfMove,
+                Severity::Warning,
+                pc,
+                format!(
+                    "{} copies {} onto itself",
+                    inst.opcode,
+                    inst.raw_dst().expect("self-move has a destination")
                 ),
             ));
         }
@@ -168,6 +213,14 @@ pub fn lint(insts: &[Inst], entry: u32) -> Vec<Diagnostic> {
             Severity::Warning,
             entry as usize,
             "no path from the entry reaches a halt".to_string(),
+        ));
+    }
+    for pc in crate::memdis::dead_stores(&cfg, insts) {
+        out.push(diag(
+            DiagCode::DeadStore,
+            Severity::Warning,
+            pc,
+            "store is fully overwritten before any load could observe it".to_string(),
         ));
     }
     for (pc, r) in uninit_reads(&cfg, insts) {
@@ -292,6 +345,59 @@ mod tests {
         let insts = vec![Inst::ri(Opcode::Li, reg::x(1), 1), Inst::bare(Opcode::Halt)];
         let program = Program::new(insts, 0, regshare_isa::Memory::new());
         assert!(lint_program(&program).is_empty());
+    }
+
+    #[test]
+    fn redundant_self_moves_are_warnings() {
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 3),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 0), // x1 += 0
+            Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::zero()), // x1 += xzr
+            Inst::rrr(Opcode::Or, reg::x(1), reg::x(1), reg::x(1)), // x1 |= x1
+            Inst::bare(Opcode::Halt),
+        ];
+        let diags = lint(&insts, 0);
+        let hits: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::RedundantSelfMove)
+            .map(|d| d.pc)
+            .collect();
+        assert_eq!(hits, vec![1, 2, 3]);
+        assert!(is_clean_of_errors(&diags));
+    }
+
+    #[test]
+    fn genuine_arithmetic_is_not_a_self_move() {
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 3),
+            Inst::rri(Opcode::Addi, reg::x(1), reg::x(1), 1), // real increment
+            Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(1)), // doubling
+            Inst::rrr(Opcode::Xor, reg::x(1), reg::x(1), reg::x(1)), // zeroing idiom
+            Inst::rrr(Opcode::And, reg::x(1), reg::x(1), reg::zero()), // clears x1
+            Inst::bare(Opcode::Halt),
+        ];
+        assert!(lint(&insts, 0).is_empty());
+    }
+
+    #[test]
+    fn dead_store_is_flagged_and_observed_store_is_not() {
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 64),
+            Inst::ri(Opcode::Li, reg::x(2), 7),
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0), // dead
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 8), // live (read below)
+            Inst::load(Opcode::Ld, reg::x(3), reg::x(1), 8),
+            Inst::store(Opcode::St, reg::x(3), reg::x(1), 0), // overwrites pc 2
+            Inst::bare(Opcode::Halt),
+        ];
+        let diags = lint(&insts, 0);
+        let hits: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::DeadStore)
+            .map(|d| d.pc)
+            .collect();
+        assert_eq!(hits, vec![2]);
+        assert!(is_clean_of_errors(&diags));
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Conservative store/load disambiguation over TRISC address
+//! expressions.
+//!
+//! Addresses are value-numbered *within a basic block*: every register
+//! holds an opaque root value plus a known constant displacement, `li`
+//! constants and the zero register share the absolute root, and the
+//! pointer-shaped definitions the kernels actually use (`addi r, s, k`,
+//! `mov`, post-increment writebacks) propagate the root with a shifted
+//! displacement instead of killing it. Two references disambiguate
+//! exactly when they share a root and their byte ranges provably do or
+//! do not overlap; everything else is may-alias. The analysis never
+//! crosses a block boundary, so its proofs are local and trivially
+//! sound.
+
+use crate::cfg::Cfg;
+use crate::regset::{reg_bit, NUM_REGS};
+use regshare_isa::{DefSlot, Inst, Opcode};
+
+/// The value number shared by all compile-time-constant addresses
+/// (`li` results and the zero register).
+pub const ABS_ROOT: u32 = 0;
+
+/// A memory reference with a block-locally value-numbered address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Instruction index of the access.
+    pub pc: usize,
+    /// Value number of the address root ([`ABS_ROOT`] for absolute
+    /// addresses; fresh numbers for opaque values).
+    pub root: u32,
+    /// Byte displacement of the first accessed byte from the root.
+    pub disp: i64,
+    /// Access width in bytes.
+    pub width: u8,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+}
+
+/// True unless the two references provably touch disjoint bytes: same
+/// root with non-overlapping `[disp, disp+width)` ranges.
+pub fn may_alias(a: &MemRef, b: &MemRef) -> bool {
+    if a.root != b.root {
+        return true;
+    }
+    a.disp < b.disp + b.width as i64 && b.disp < a.disp + a.width as i64
+}
+
+/// True when `outer` provably overwrites every byte `inner` wrote.
+pub fn covers(outer: &MemRef, inner: &MemRef) -> bool {
+    outer.root == inner.root
+        && outer.disp <= inner.disp
+        && inner.disp + inner.width as i64 <= outer.disp + outer.width as i64
+}
+
+/// Tracks `(root, displacement)` per register through one block.
+struct ValueNumbers {
+    map: [Option<(u32, i64)>; NUM_REGS],
+    next: u32,
+}
+
+impl ValueNumbers {
+    fn new() -> Self {
+        ValueNumbers {
+            map: [None; NUM_REGS],
+            next: ABS_ROOT + 1,
+        }
+    }
+
+    fn lookup(&mut self, r: regshare_isa::ArchReg) -> (u32, i64) {
+        let bit = reg_bit(r);
+        if let Some(v) = self.map[bit] {
+            return v;
+        }
+        let v = if r == regshare_isa::reg::zero() {
+            (ABS_ROOT, 0)
+        } else {
+            self.next += 1;
+            (self.next - 1, 0)
+        };
+        self.map[bit] = Some(v);
+        v
+    }
+
+    fn set(&mut self, r: regshare_isa::ArchReg, v: (u32, i64)) {
+        self.map[reg_bit(r)] = Some(v);
+    }
+
+    fn fresh(&mut self, r: regshare_isa::ArchReg) {
+        self.next += 1;
+        self.map[reg_bit(r)] = Some((self.next - 1, 0));
+    }
+
+    /// Applies the definitions of `inst`, preserving roots for the
+    /// pointer-arithmetic shapes whose result is base + constant.
+    fn apply_defs(&mut self, inst: &Inst) {
+        match inst.opcode {
+            Opcode::Addi => {
+                if let (Some(rd), Some(rs)) = (inst.dst(), inst.sources().next()) {
+                    let (root, disp) = self.lookup(rs);
+                    self.set(rd, (root, disp.wrapping_add(inst.imm)));
+                } else if let Some(rd) = inst.dst() {
+                    self.fresh(rd);
+                }
+            }
+            Opcode::Mov => {
+                if let (Some(rd), Some(rs)) = (inst.dst(), inst.sources().next()) {
+                    let v = self.lookup(rs);
+                    self.set(rd, v);
+                } else if let Some(rd) = inst.dst() {
+                    // mov rd, xzr: an absolute zero.
+                    self.set(rd, (ABS_ROOT, 0));
+                }
+            }
+            Opcode::Li => {
+                if let Some(rd) = inst.dst() {
+                    self.set(rd, (ABS_ROOT, inst.imm));
+                }
+            }
+            op if op.is_post_increment() => {
+                // The writeback is base + stride: shift the root.
+                for (slot, reg) in inst.defs() {
+                    match slot {
+                        DefSlot::Writeback => {
+                            let (root, disp) = self.lookup(reg);
+                            self.set(reg, (root, disp.wrapping_add(inst.imm)));
+                        }
+                        DefSlot::Primary => self.fresh(reg),
+                    }
+                }
+            }
+            _ => {
+                for (_, reg) in inst.defs() {
+                    self.fresh(reg);
+                }
+            }
+        }
+    }
+}
+
+/// Value-numbers every memory reference, block by block. Returns one
+/// vector per basic block, each in program order.
+pub fn block_mem_refs(cfg: &Cfg, insts: &[Inst]) -> Vec<Vec<MemRef>> {
+    cfg.blocks()
+        .iter()
+        .map(|block| {
+            let mut vn = ValueNumbers::new();
+            let mut refs = Vec::new();
+            for (pc, inst) in insts.iter().enumerate().take(block.end).skip(block.start) {
+                if inst.opcode.is_mem() {
+                    if let Some(base) = inst.raw_sources()[0] {
+                        let (root, disp) = vn.lookup(base);
+                        let offset = if inst.opcode.is_post_increment() {
+                            0 // access precedes the bump
+                        } else {
+                            inst.imm
+                        };
+                        refs.push(MemRef {
+                            pc,
+                            root,
+                            disp: disp.wrapping_add(offset),
+                            width: inst.opcode.mem_width(),
+                            is_store: inst.opcode.is_store(),
+                        });
+                    }
+                }
+                vn.apply_defs(inst);
+            }
+            refs
+        })
+        .collect()
+}
+
+/// Provably-dead stores: reachable stores whose every byte is
+/// overwritten by a later store in the same block before any load that
+/// may observe it. Stores still pending at a block boundary are never
+/// reported — memory is program output, and another block (or the
+/// program's consumer) may read it. Returns instruction indices in
+/// ascending order.
+pub fn dead_stores(cfg: &Cfg, insts: &[Inst]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (b, refs) in block_mem_refs(cfg, insts).iter().enumerate() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for (i, s) in refs.iter().enumerate() {
+            if !s.is_store {
+                continue;
+            }
+            for later in &refs[i + 1..] {
+                if later.is_store {
+                    if covers(later, s) {
+                        out.push(s.pc);
+                        break;
+                    }
+                    // A partially-overlapping store neither observes nor
+                    // fully replaces the bytes; keep scanning.
+                } else if may_alias(later, s) {
+                    break; // possibly observed by this load
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::{reg, Inst, Opcode};
+
+    fn cfg_of(insts: &[Inst]) -> Cfg {
+        Cfg::build(insts, 0)
+    }
+
+    #[test]
+    fn same_base_disjoint_offsets_disambiguate() {
+        // st [x1+0]; ld [x1+8] — provably disjoint; ld [x1+4] overlaps
+        // the 8-byte store.
+        let insts = vec![
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0),
+            Inst::load(Opcode::Ld, reg::x(3), reg::x(1), 8),
+            Inst::load(Opcode::Ld, reg::x(4), reg::x(1), 4),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        let refs = &block_mem_refs(&cfg, &insts)[cfg.block_of(0)];
+        assert_eq!(refs.len(), 3);
+        assert!(!may_alias(&refs[0], &refs[1]));
+        assert!(may_alias(&refs[0], &refs[2]));
+    }
+
+    #[test]
+    fn pointer_bump_keeps_the_root() {
+        // st.post [x1], 8 ; st [x1] — the second store is 8 bytes past
+        // the first: same root, disjoint.
+        let insts = vec![
+            Inst::store_post(Opcode::StPost, reg::x(2), reg::x(1), 8),
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        let refs = &block_mem_refs(&cfg, &insts)[cfg.block_of(0)];
+        assert_eq!(refs[0].root, refs[1].root);
+        assert_eq!(refs[1].disp - refs[0].disp, 8);
+        assert!(!may_alias(&refs[0], &refs[1]));
+    }
+
+    #[test]
+    fn li_constants_are_absolute() {
+        // Two different li bases: provably disjoint absolute ranges.
+        let insts = vec![
+            Inst::ri(Opcode::Li, reg::x(1), 0x1000),
+            Inst::ri(Opcode::Li, reg::x(2), 0x2000),
+            Inst::store(Opcode::St, reg::x(3), reg::x(1), 0),
+            Inst::load(Opcode::Ld, reg::x(4), reg::x(2), 0),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        let refs = &block_mem_refs(&cfg, &insts)[cfg.block_of(0)];
+        assert_eq!(refs[0].root, ABS_ROOT);
+        assert_eq!(refs[1].root, ABS_ROOT);
+        assert!(!may_alias(&refs[0], &refs[1]));
+    }
+
+    #[test]
+    fn dead_store_found_only_without_intervening_observer() {
+        // st [x1+0] ; st [x1+0]      -> first is dead
+        // st [x1+8] ; ld [x1+8] ; st [x1+8] -> observed, not dead
+        let insts = vec![
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0),
+            Inst::store(Opcode::St, reg::x(3), reg::x(1), 0),
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 8),
+            Inst::load(Opcode::Ld, reg::x(4), reg::x(1), 8),
+            Inst::store(Opcode::St, reg::x(3), reg::x(1), 8),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        assert_eq!(dead_stores(&cfg, &insts), vec![0]);
+    }
+
+    #[test]
+    fn unknown_base_redefinition_blocks_the_proof() {
+        // The base is clobbered by an opaque add between the stores, so
+        // nothing is provable.
+        let insts = vec![
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0),
+            Inst::rrr(Opcode::Add, reg::x(1), reg::x(1), reg::x(5)),
+            Inst::store(Opcode::St, reg::x(3), reg::x(1), 0),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        assert!(dead_stores(&cfg, &insts).is_empty());
+    }
+
+    #[test]
+    fn narrow_store_does_not_kill_wide_store() {
+        // An 8-byte store followed by a 1-byte store at the same
+        // address: 7 bytes survive.
+        let insts = vec![
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0),
+            Inst::store(Opcode::Stb, reg::x(3), reg::x(1), 0),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        assert!(dead_stores(&cfg, &insts).is_empty());
+        // The reverse — wide store covering a narrow one — is dead.
+        let insts = vec![
+            Inst::store(Opcode::Stb, reg::x(3), reg::x(1), 0),
+            Inst::store(Opcode::St, reg::x(2), reg::x(1), 0),
+            Inst::bare(Opcode::Halt),
+        ];
+        let cfg = cfg_of(&insts);
+        assert_eq!(dead_stores(&cfg, &insts), vec![0]);
+    }
+}

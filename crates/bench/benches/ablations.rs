@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use regshare_bench::{bench_config, swept_class, BENCH_SCALE};
-use regshare_core::{BankConfig, RenamerConfig, ReuseRenamer};
+use regshare_core::{BankConfig, HintPolicy, RenamerConfig, ReuseRenamer};
 use regshare_isa::RegClass;
 use regshare_sim::Pipeline;
 use regshare_workloads::all_kernels;
@@ -22,6 +22,7 @@ fn renamer(swept: RegClass, banks: BankConfig, bits: u8, entries: usize) -> Box<
         predictor_entries: entries,
         predictor_bits: 2,
         speculative_reuse: true,
+        hint_policy: HintPolicy::DynamicOnly,
     }))
 }
 

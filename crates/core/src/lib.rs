@@ -98,6 +98,8 @@ pub use preg::{PhysReg, TaggedReg, MAX_SHADOW_CELLS};
 pub use prt::Prt;
 pub use regfile::RegFile;
 pub use rename_common::{CheckpointStack, RenameTables, SeqRecord};
-pub use renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
+pub use renamer::{
+    HintPolicy, HintStats, RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind,
+};
 pub use reuse::{CorruptKind, ReuseRenamer};
 pub use warm::ReuseWarmer;

@@ -2,9 +2,81 @@
 //! out-of-order pipeline and a renaming scheme.
 
 use crate::{BankConfig, MapTable, TaggedReg};
-use regshare_isa::{Inst, RegClass};
+use regshare_isa::{Inst, RegClass, ShareHintTable};
 use regshare_stats::Histogram;
 use serde::{Deserialize, Serialize};
+
+/// How the renamer combines the compiler's static sharing hints with its
+/// dynamic predictors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HintPolicy {
+    /// Ignore static hints entirely — the paper's configuration. This is
+    /// the default and is bit-identical to the pre-hint simulator.
+    #[default]
+    DynamicOnly,
+    /// Trust only the static proofs: speculate exactly where the hint is
+    /// `SingleUse`, pick banks from the hint, and never consult or train
+    /// the dynamic predictors.
+    StaticOnly,
+    /// Exact static proofs override the dynamic predictors; `Unknown`
+    /// sites fall back to them unchanged.
+    Hybrid,
+}
+
+/// Accuracy accounting for the static-hint path, split by the source of
+/// each decision (static proof vs dynamic predictor) — the Fig. 12
+/// analogue for the hint study.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HintStats {
+    /// Destination allocations whose bank was chosen by a static hint.
+    pub static_allocs: u64,
+    /// Destination allocations banked by the dynamic type predictor.
+    pub dynamic_allocs: u64,
+    /// Speculative reuses granted by a static `SingleUse` proof.
+    pub static_speculations: u64,
+    /// Speculative reuses granted by the dynamic single-use predictor.
+    pub dynamic_speculations: u64,
+    /// Speculation opportunities denied by an exact static negative
+    /// proof (`Multi` / `NoReuse`).
+    pub static_denials: u64,
+    /// Statically-granted speculations that survived to release.
+    pub static_correct: u64,
+    /// Statically-granted speculations repaired by a misprediction.
+    pub static_repaired: u64,
+    /// Dynamically-granted speculations that survived to release.
+    pub dynamic_correct: u64,
+    /// Dynamically-granted speculations repaired by a misprediction.
+    pub dynamic_repaired: u64,
+    /// Releases of statically-banked registers whose reuse count matched
+    /// the hint-derived bank (Fig. 12 "correct" for the static source).
+    pub static_bank_correct: u64,
+    /// Releases of statically-banked registers that mismatched.
+    pub static_bank_incorrect: u64,
+}
+
+impl HintStats {
+    /// Accuracy of statically-granted speculations in `[0, 1]`; 0 when
+    /// none resolved.
+    pub fn static_accuracy(&self) -> f64 {
+        let t = self.static_correct + self.static_repaired;
+        if t == 0 {
+            0.0
+        } else {
+            self.static_correct as f64 / t as f64
+        }
+    }
+
+    /// Accuracy of dynamically-granted speculations in `[0, 1]`; 0 when
+    /// none resolved.
+    pub fn dynamic_accuracy(&self) -> f64 {
+        let t = self.dynamic_correct + self.dynamic_repaired;
+        if t == 0 {
+            0.0
+        } else {
+            self.dynamic_correct as f64 / t as f64
+        }
+    }
+}
 
 /// Configuration shared by both renaming schemes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +96,9 @@ pub struct RenamerConfig {
     /// predictor (§IV-A2). Disabling restricts the scheme to provably
     /// safe redefining reuses — an ablation of the paper's speculation.
     pub speculative_reuse: bool,
+    /// How static sharing hints combine with the dynamic predictors.
+    #[serde(default)]
+    pub hint_policy: HintPolicy,
 }
 
 impl RenamerConfig {
@@ -37,6 +112,7 @@ impl RenamerConfig {
             predictor_entries: 512,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         }
     }
 
@@ -55,6 +131,7 @@ impl RenamerConfig {
             predictor_entries: 512,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         }
     }
 
@@ -69,6 +146,7 @@ impl RenamerConfig {
             predictor_entries: 64,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         }
     }
 
@@ -299,6 +377,19 @@ pub trait Renamer {
         single_use: &crate::SingleUsePredictor,
     ) {
         let _ = (predictor, single_use);
+    }
+
+    /// Installs the program's static sharing-hint table. Default:
+    /// ignored — schemes without a hint path (and the baseline) simply
+    /// never consult hints.
+    fn install_hints(&mut self, hints: &ShareHintTable) {
+        let _ = hints;
+    }
+
+    /// Accuracy accounting for the static-hint path, split by decision
+    /// source. Default: all zero for schemes without a hint path.
+    fn hint_stats(&self) -> HintStats {
+        HintStats::default()
     }
 }
 

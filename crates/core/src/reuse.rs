@@ -1,26 +1,16 @@
 //! The proposed renaming scheme: physical register sharing (§IV).
 
 use crate::rename_common::{CheckpointStack, RenameTables, SeqRecord};
-use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
+use crate::renamer::{
+    HintPolicy, HintStats, RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind,
+};
 use crate::{BankConfig, MapTable, PhysReg, Prt, RegTypePredictor, SingleUsePredictor, TaggedReg};
-use regshare_isa::{ArchReg, Inst, RegClass};
+use regshare_isa::{ArchReg, DefSlot, Inst, RegClass, ShareHint, ShareHintTable};
 use regshare_stats::FastHashMap;
 
-/// A deliberate bookkeeping corruption, used by the invariant auditor's
-/// self-tests: each kind breaks exactly one invariant that
-/// [`Renamer::audit`] must then report with a matching diagnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CorruptKind {
-    /// Silently drop a register from the integer free list — a physical
-    /// register leak.
-    LeakPreg,
-    /// Advance `x1`'s map-table version tag past its PRT counter — a
-    /// stale version tag that no rename could have produced.
-    StaleVersionTag,
-    /// Add a phantom mapping reference to `x1`'s physical register — a
-    /// reference-count off-by-one.
-    RefcountOffByOne,
-}
+mod audit;
+
+pub use audit::CorruptKind;
 
 /// Per-physical-register allocation metadata, used for the predictor's
 /// release-time feedback and the Fig. 12 accuracy accounting.
@@ -38,10 +28,42 @@ struct PregMeta {
     blocked: bool,
     /// False for the initial architectural mappings (no allocating PC).
     has_entry: bool,
+    /// The bank was chosen by a static hint rather than the type
+    /// predictor; release feedback then goes to [`HintStats`] instead of
+    /// the predictor.
+    static_bank: bool,
     /// For each version created by a *speculative* (non-redefining)
     /// reuse: the single-use-predictor entry of the consumer that took
     /// it, for release-time reinforcement / repair-time correction.
     spec_entries: [Option<u32>; 8],
+    /// Versions created by a speculation granted by a static `SingleUse`
+    /// proof (never trains the dynamic predictor).
+    spec_static: [bool; 8],
+    /// The compiler's hint for the producer of each live version, used
+    /// when this register is weighed as a reuse source. Cleared back to
+    /// `Unknown` when the version is squashed.
+    version_hints: [ShareHint; 8],
+}
+
+/// Who authorised a speculative (non-redefining) reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecSource {
+    /// A static `SingleUse` proof from the hint table.
+    Static,
+    /// The dynamic single-use predictor.
+    Dynamic,
+}
+
+/// Outcome of weighing a speculative-reuse candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecDecision {
+    Grant(SpecSource),
+    /// Denied by an exact static proof (`NoReuse`/`Multi`) — counted in
+    /// [`HintStats::static_denials`].
+    DenyStatic,
+    /// Denied without a static proof (predictor said no, or the policy
+    /// has no grounds to speculate).
+    Deny,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +136,10 @@ pub struct ReuseRenamer {
     predictor: RegTypePredictor,
     single_use: SingleUsePredictor,
     records: CheckpointStack<Record>,
+    /// The program's static hint table (`None` until installed; an
+    /// absent table behaves as all-`Unknown`).
+    hints: Option<ShareHintTable>,
+    hint_stats: HintStats,
 }
 
 impl ReuseRenamer {
@@ -146,7 +172,17 @@ impl ReuseRenamer {
             predictor,
             single_use,
             records: CheckpointStack::new(),
+            hints: None,
+            hint_stats: HintStats::default(),
         }
+    }
+
+    /// The compiler's hint for the definition slot `(pc, slot)`;
+    /// `Unknown` without an installed table.
+    fn hint_at(&self, pc: u64, slot: DefSlot) -> ShareHint {
+        self.hints
+            .as_ref()
+            .map_or(ShareHint::Unknown, |h| h.get(pc as usize, slot))
     }
 
     /// The current (speculative) rename map.
@@ -173,21 +209,48 @@ impl ReuseRenamer {
         self.t.config.banks(class).shadow_cells_of(preg)
     }
 
-    fn alloc_preg(&mut self, class: RegClass, pc: u64) -> Option<(PhysReg, u8)> {
-        let predicted = self.predictor.predict(pc);
+    fn alloc_preg(&mut self, class: RegClass, pc: u64, hint: ShareHint) -> Option<(PhysReg, u8)> {
+        // Bank choice: the hint supplies the expected reuse count where
+        // the policy lets it; otherwise the type predictor does. A
+        // statically-banked register neither trains the predictor nor
+        // counts in its Fig. 12 accounting — its release feedback goes
+        // to `HintStats` instead.
+        let static_bank = match self.t.config.hint_policy {
+            HintPolicy::DynamicOnly => false,
+            HintPolicy::StaticOnly => true,
+            HintPolicy::Hybrid => hint.is_exact(),
+        };
+        let predicted = if static_bank {
+            match hint {
+                ShareHint::SingleUse => 1,
+                _ => 0,
+            }
+        } else {
+            self.predictor.predict(pc)
+        };
         let preg = self.t.free[class.index()].alloc(predicted)?;
         let ci = class.index();
         self.prt[ci].reset_on_alloc(preg);
         self.prt[ci].map_inc(preg);
+        let mut version_hints = [ShareHint::Unknown; 8];
+        version_hints[0] = hint;
         self.meta[ci][preg.0 as usize] = PregMeta {
             entry: self.predictor.entry_index(pc),
             predicted,
             reuses: 0,
             multi_use: false,
             blocked: false,
-            has_entry: true,
+            has_entry: !static_bank,
+            static_bank,
             spec_entries: [None; 8],
+            spec_static: [false; 8],
+            version_hints,
         };
+        if static_bank {
+            self.hint_stats.static_allocs += 1;
+        } else {
+            self.hint_stats.dynamic_allocs += 1;
+        }
         Some((preg, predicted))
     }
 
@@ -206,12 +269,31 @@ impl ReuseRenamer {
                 meta.multi_use,
                 meta.blocked,
             );
+        } else if meta.static_bank {
+            // Fig. 12 classification for a statically-banked register,
+            // judged by the same rules the predictor applies to its own.
+            let correct = if meta.predicted == 0 {
+                !meta.blocked
+            } else {
+                meta.reuses == meta.predicted && !meta.multi_use
+            };
+            if correct {
+                self.hint_stats.static_bank_correct += 1;
+            } else {
+                self.hint_stats.static_bank_incorrect += 1;
+            }
         }
         // Speculative reuses that survived to release were correct:
-        // reinforce the consumers' single-use predictions.
+        // reinforce dynamically-predicted consumers, and credit each
+        // grant to its source.
         if !meta.multi_use {
-            for entry in meta.spec_entries.into_iter().flatten() {
-                self.single_use.on_correct(entry as usize);
+            for (v, entry) in meta.spec_entries.iter().enumerate() {
+                if let Some(e) = entry {
+                    self.single_use.on_correct(*e as usize);
+                    self.hint_stats.dynamic_correct += 1;
+                } else if meta.spec_static[v] {
+                    self.hint_stats.static_correct += 1;
+                }
             }
         }
     }
@@ -223,6 +305,37 @@ impl ReuseRenamer {
         self.undo_dst_action(record.dst, recovers);
         for (class, preg, prev) in record.read_marks.into_iter().rev() {
             self.prt[class.index()].set_read(preg, prev);
+        }
+    }
+
+    /// Whether a *non-redefining* first consumer may take a speculative
+    /// reuse of `src`, and on whose authority. Pure decision logic: the
+    /// caller records any statistics once the rename is known to succeed.
+    fn speculation_decision(&self, pc: u64, src: TaggedReg) -> SpecDecision {
+        if !self.t.config.speculative_reuse {
+            return SpecDecision::Deny;
+        }
+        let hint =
+            self.meta[src.class.index()][src.preg.0 as usize].version_hints[src.version as usize];
+        let dynamic = || {
+            if self.single_use.predict(pc) {
+                SpecDecision::Grant(SpecSource::Dynamic)
+            } else {
+                SpecDecision::Deny
+            }
+        };
+        match self.t.config.hint_policy {
+            HintPolicy::DynamicOnly => dynamic(),
+            HintPolicy::StaticOnly => match hint {
+                ShareHint::SingleUse => SpecDecision::Grant(SpecSource::Static),
+                ShareHint::NoReuse | ShareHint::Multi => SpecDecision::DenyStatic,
+                ShareHint::Unknown => SpecDecision::Deny,
+            },
+            HintPolicy::Hybrid => match hint {
+                ShareHint::SingleUse => SpecDecision::Grant(SpecSource::Static),
+                ShareHint::NoReuse | ShareHint::Multi => SpecDecision::DenyStatic,
+                ShareHint::Unknown => dynamic(),
+            },
         }
     }
 
@@ -261,32 +374,9 @@ impl ReuseRenamer {
                 let m = &mut self.meta[ci][new_map.preg.0 as usize];
                 m.reuses = m.reuses.saturating_sub(1);
                 m.spec_entries[new_map.version as usize] = None;
+                m.spec_static[new_map.version as usize] = false;
+                m.version_hints[new_map.version as usize] = ShareHint::Unknown;
                 recovers.insert((new_map.class, new_map.preg), prev_version);
-            }
-        }
-    }
-
-    /// Deliberately corrupts internal bookkeeping (auditor self-tests
-    /// only). The corrupted state violates exactly the invariant named by
-    /// `kind`; the next [`Renamer::audit`] call must detect it.
-    pub fn corrupt(&mut self, kind: CorruptKind) {
-        let r1 = ArchReg::new(RegClass::Int, 1);
-        let ci = RegClass::Int.index();
-        match kind {
-            CorruptKind::LeakPreg => {
-                let leaked = self.t.free[ci].pop_any();
-                debug_assert!(leaked.is_some(), "no free register to leak");
-            }
-            CorruptKind::StaleVersionTag => {
-                let t = self.t.map.get(r1);
-                let counter = self.prt[ci].entry(t.preg).counter;
-                self.t
-                    .map
-                    .set(r1, TaggedReg::new(t.class, t.preg, counter + 1));
-            }
-            CorruptKind::RefcountOffByOne => {
-                let t = self.t.map.get(r1);
-                self.prt[ci].map_inc(t.preg);
             }
         }
     }
@@ -337,8 +427,9 @@ impl Renamer for ReuseRenamer {
                 continue;
             }
             // Stale mapping: the register was reused by another logical
-            // register, yet the value is being read again.
-            let Some((pn, _)) = self.alloc_preg(t.class, pc) else {
+            // register, yet the value is being read again. Repair moves
+            // have no compiler-visible definition site, so no hint.
+            let Some((pn, _)) = self.alloc_preg(t.class, pc, ShareHint::Unknown) else {
                 stall = true;
                 break;
             };
@@ -410,7 +501,7 @@ impl Renamer for ReuseRenamer {
         if !stall {
             if let Some(dl) = inst.dst() {
                 let class = dl.class();
-                let mut chosen: Option<(TaggedReg, bool)> = None;
+                let mut chosen: Option<(TaggedReg, bool, Option<SpecSource>)> = None;
                 // Registers already weighed as reuse candidates: two
                 // logical sources may share a physical register, and the
                 // decision must be taken once per physical register.
@@ -437,13 +528,20 @@ impl Renamer for ReuseRenamer {
                     }
                     let redefining = r == dl;
                     // A redefining first consumer is also the provably
-                    // last one; any other first consumer must ask the
-                    // single-use predictor before speculating (§IV-A2) —
-                    // and is excluded entirely in the safe-only ablation.
-                    if !redefining
-                        && (!self.t.config.speculative_reuse || !self.single_use.predict(pc))
-                    {
-                        continue;
+                    // last one; any other first consumer needs a grant —
+                    // a static `SingleUse` proof or the single-use
+                    // predictor, per the hint policy (§IV-A2) — and is
+                    // excluded entirely in the safe-only ablation.
+                    let mut spec_source = None;
+                    if !redefining {
+                        match self.speculation_decision(pc, t) {
+                            SpecDecision::Grant(s) => spec_source = Some(s),
+                            SpecDecision::DenyStatic => {
+                                self.hint_stats.static_denials += 1;
+                                continue;
+                            }
+                            SpecDecision::Deny => continue,
+                        }
                     }
                     let cells = self.shadow_cells(class, t.preg);
                     let capacity = t.version < cells && self.prt[class.index()].can_bump(t.preg);
@@ -451,9 +549,9 @@ impl Renamer for ReuseRenamer {
                         match chosen {
                             // A redefining source is preferred: it is a
                             // guaranteed-safe reuse.
-                            Some((_, true)) => {}
+                            Some((_, true, _)) => {}
                             Some(_) if !redefining => {}
-                            _ => chosen = Some((t, redefining)),
+                            _ => chosen = Some((t, redefining, spec_source)),
                         }
                     } else {
                         // A reuse we wanted but could not take: predictor
@@ -465,15 +563,28 @@ impl Renamer for ReuseRenamer {
                         });
                     }
                 }
-                if let Some((t, redefining)) = chosen {
+                if let Some((t, redefining, spec_source)) = chosen {
                     let ci = class.index();
                     let newv = self.prt[ci].bump(t.preg);
                     self.prt[ci].map_inc(t.preg);
                     let new_map = TaggedReg::new(class, t.preg, newv);
                     let old_map = self.t.map.set(dl, new_map);
-                    self.meta[ci][t.preg.0 as usize].reuses += 1;
-                    self.meta[ci][t.preg.0 as usize].spec_entries[newv as usize] =
-                        (!redefining).then(|| self.single_use.entry_index(pc) as u32);
+                    let dst_hint = self.hint_at(pc, DefSlot::Primary);
+                    let su_entry = self.single_use.entry_index(pc) as u32;
+                    let m = &mut self.meta[ci][t.preg.0 as usize];
+                    m.reuses += 1;
+                    m.version_hints[newv as usize] = dst_hint;
+                    match spec_source {
+                        None => {}
+                        Some(SpecSource::Dynamic) => {
+                            m.spec_entries[newv as usize] = Some(su_entry);
+                            self.hint_stats.dynamic_speculations += 1;
+                        }
+                        Some(SpecSource::Static) => {
+                            m.spec_static[newv as usize] = true;
+                            self.hint_stats.static_speculations += 1;
+                        }
+                    }
                     self.t.stats.reuses += 1;
                     if redefining {
                         self.t.stats.safe_reuses += 1;
@@ -487,7 +598,7 @@ impl Renamer for ReuseRenamer {
                         prev_version: t.version,
                     };
                 } else {
-                    match self.alloc_preg(class, pc) {
+                    match self.alloc_preg(class, pc, self.hint_at(pc, DefSlot::Primary)) {
                         Some((preg, _)) => {
                             let new_map = TaggedReg::new(class, preg, 0);
                             let old_map = self.t.map.set(dl, new_map);
@@ -526,7 +637,10 @@ impl Renamer for ReuseRenamer {
                     self.prt[ci].map_inc(base_tag.preg);
                     let new_map = TaggedReg::new(class, base_tag.preg, newv);
                     let old_map = self.t.map.set(d2, new_map);
-                    self.meta[ci][base_tag.preg.0 as usize].reuses += 1;
+                    let wb_hint = self.hint_at(pc, DefSlot::Writeback);
+                    let m = &mut self.meta[ci][base_tag.preg.0 as usize];
+                    m.reuses += 1;
+                    m.version_hints[newv as usize] = wb_hint;
                     self.t.stats.reuses += 1;
                     self.t.stats.safe_reuses += 1;
                     dst2_action = DstAction::Reuse {
@@ -542,7 +656,14 @@ impl Renamer for ReuseRenamer {
                             preg: base_tag.preg,
                         });
                     }
-                    match self.alloc_preg(class, pc ^ 0x8000_0000) {
+                    // The salted pc separates the writeback slot in the
+                    // predictor tables; the hint table addresses slots
+                    // directly, so the lookup uses the real pc.
+                    match self.alloc_preg(
+                        class,
+                        pc ^ 0x8000_0000,
+                        self.hint_at(pc, DefSlot::Writeback),
+                    ) {
                         Some((preg, _)) => {
                             let new_map = TaggedReg::new(class, preg, 0);
                             let old_map = self.t.map.set(d2, new_map);
@@ -591,8 +712,16 @@ impl Renamer for ReuseRenamer {
                     if victim.has_entry {
                         self.predictor.on_multi_use(victim.entry);
                     }
-                    if let Some(Some(e)) = victim.spec_entries.get(stale_version as usize + 1) {
+                    // The overwriting version reveals who granted the bad
+                    // speculation: a static proof (the repair is charged
+                    // to the compiler, nothing to train) or the dynamic
+                    // predictor (corrected).
+                    let vi = stale_version as usize + 1;
+                    if victim.spec_static.get(vi).copied().unwrap_or(false) {
+                        self.hint_stats.static_repaired += 1;
+                    } else if let Some(Some(e)) = victim.spec_entries.get(vi) {
                         self.single_use.on_wrong(*e as usize);
+                        self.hint_stats.dynamic_repaired += 1;
                     }
                     self.meta[ci][preg.0 as usize].multi_use = true;
                     self.t.stats.repairs += 1;
@@ -704,84 +833,7 @@ impl Renamer for ReuseRenamer {
     }
 
     fn audit(&self) -> Result<(), String> {
-        for class in RegClass::ALL {
-            let ci = class.index();
-            let banks = self.t.config.banks(class);
-            let total = banks.total();
-            let max_version = self.t.config.max_version();
-            // Reference-count conservation: every PRT mapping count must
-            // equal the references actually held — speculative map-table
-            // entries plus the previous mappings kept alive by in-flight
-            // rename records (they are decremented at commit).
-            let mut expected = vec![0u32; total];
-            for (_, tag) in self.t.map.iter_class(class) {
-                expected[tag.preg.0 as usize] += 1;
-            }
-            for record in self.records.iter() {
-                for action in [&record.dst, &record.dst2] {
-                    if let DstAction::Alloc { old_map, .. } | DstAction::Reuse { old_map, .. } =
-                        action
-                    {
-                        if old_map.class == class {
-                            expected[old_map.preg.0 as usize] += 1;
-                        }
-                    }
-                }
-            }
-            let free = self.t.free_bitmap(class)?;
-            for i in 0..total {
-                let p = PhysReg(i as u16);
-                let count = self.prt[ci].mapcount(p) as u32;
-                if count != expected[i] {
-                    return Err(format!(
-                        "{class}: {p} mapping count {count} != {} references held by \
-                         the map table and in-flight renames",
-                        expected[i]
-                    ));
-                }
-                if free[i] && count != 0 {
-                    return Err(format!(
-                        "{class}: {p} is on the free list but still mapped {count} time(s)"
-                    ));
-                }
-                if !free[i] && count == 0 {
-                    return Err(format!(
-                        "{class}: {p} leaked — mapping count is 0 but it is not on the free list"
-                    ));
-                }
-                let counter = self.prt[ci].entry(p).counter;
-                if counter > max_version {
-                    return Err(format!(
-                        "{class}: {p} version counter {counter} exceeds the maximum {max_version}"
-                    ));
-                }
-            }
-            // Version-tag sanity: no map may hold a version the PRT never
-            // issued, nor one without a backing shadow cell.
-            for (table, name) in [
-                (&self.t.map, "map table"),
-                (&self.t.retire_map, "retire map"),
-            ] {
-                for (r, tag) in table.iter_class(class) {
-                    let counter = self.prt[ci].entry(tag.preg).counter;
-                    if tag.version > counter {
-                        return Err(format!(
-                            "{class}: {name} entry {r} holds stale version tag {tag} \
-                             beyond PRT counter {counter}"
-                        ));
-                    }
-                    let cells = banks.shadow_cells_of(tag.preg);
-                    if tag.version > cells {
-                        return Err(format!(
-                            "{class}: {name} entry {r} version {} exceeds the {cells} \
-                             shadow cell(s) of {}",
-                            tag.version, tag.preg
-                        ));
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.audit_invariants()
     }
 
     fn arch_map(&self) -> Option<&MapTable> {
@@ -796,5 +848,14 @@ impl Renamer for ReuseRenamer {
         self.predictor = predictor.clone();
         self.predictor.reset_stats();
         self.single_use = single_use.clone();
+        self.hint_stats = HintStats::default();
+    }
+
+    fn install_hints(&mut self, hints: &ShareHintTable) {
+        self.hints = Some(hints.clone());
+    }
+
+    fn hint_stats(&self) -> HintStats {
+        self.hint_stats
     }
 }

@@ -1,0 +1,133 @@
+//! Invariant auditing and deliberate corruption for [`ReuseRenamer`].
+//!
+//! Split out of the main module so the renaming mechanism and its
+//! self-checking machinery stay independently readable.
+
+use super::{DstAction, ReuseRenamer};
+use crate::{PhysReg, TaggedReg};
+use regshare_isa::{ArchReg, RegClass};
+
+/// A deliberate bookkeeping corruption, used by the invariant auditor's
+/// self-tests: each kind breaks exactly one invariant that
+/// [`crate::Renamer::audit`] must then report with a matching diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Silently drop a register from the integer free list — a physical
+    /// register leak.
+    LeakPreg,
+    /// Advance `x1`'s map-table version tag past its PRT counter — a
+    /// stale version tag that no rename could have produced.
+    StaleVersionTag,
+    /// Add a phantom mapping reference to `x1`'s physical register — a
+    /// reference-count off-by-one.
+    RefcountOffByOne,
+}
+
+impl ReuseRenamer {
+    /// Deliberately corrupts internal bookkeeping (auditor self-tests
+    /// only). The corrupted state violates exactly the invariant named by
+    /// `kind`; the next [`crate::Renamer::audit`] call must detect it.
+    pub fn corrupt(&mut self, kind: CorruptKind) {
+        let r1 = ArchReg::new(RegClass::Int, 1);
+        let ci = RegClass::Int.index();
+        match kind {
+            CorruptKind::LeakPreg => {
+                let leaked = self.t.free[ci].pop_any();
+                debug_assert!(leaked.is_some(), "no free register to leak");
+            }
+            CorruptKind::StaleVersionTag => {
+                let t = self.t.map.get(r1);
+                let counter = self.prt[ci].entry(t.preg).counter;
+                self.t
+                    .map
+                    .set(r1, TaggedReg::new(t.class, t.preg, counter + 1));
+            }
+            CorruptKind::RefcountOffByOne => {
+                let t = self.t.map.get(r1);
+                self.prt[ci].map_inc(t.preg);
+            }
+        }
+    }
+
+    /// The full invariant sweep behind [`crate::Renamer::audit`].
+    pub(super) fn audit_invariants(&self) -> Result<(), String> {
+        for class in RegClass::ALL {
+            let ci = class.index();
+            let banks = self.t.config.banks(class);
+            let total = banks.total();
+            let max_version = self.t.config.max_version();
+            // Reference-count conservation: every PRT mapping count must
+            // equal the references actually held — speculative map-table
+            // entries plus the previous mappings kept alive by in-flight
+            // rename records (they are decremented at commit).
+            let mut expected = vec![0u32; total];
+            for (_, tag) in self.t.map.iter_class(class) {
+                expected[tag.preg.0 as usize] += 1;
+            }
+            for record in self.records.iter() {
+                for action in [&record.dst, &record.dst2] {
+                    if let DstAction::Alloc { old_map, .. } | DstAction::Reuse { old_map, .. } =
+                        action
+                    {
+                        if old_map.class == class {
+                            expected[old_map.preg.0 as usize] += 1;
+                        }
+                    }
+                }
+            }
+            let free = self.t.free_bitmap(class)?;
+            for i in 0..total {
+                let p = PhysReg(i as u16);
+                let count = self.prt[ci].mapcount(p) as u32;
+                if count != expected[i] {
+                    return Err(format!(
+                        "{class}: {p} mapping count {count} != {} references held by \
+                         the map table and in-flight renames",
+                        expected[i]
+                    ));
+                }
+                if free[i] && count != 0 {
+                    return Err(format!(
+                        "{class}: {p} is on the free list but still mapped {count} time(s)"
+                    ));
+                }
+                if !free[i] && count == 0 {
+                    return Err(format!(
+                        "{class}: {p} leaked — mapping count is 0 but it is not on the free list"
+                    ));
+                }
+                let counter = self.prt[ci].entry(p).counter;
+                if counter > max_version {
+                    return Err(format!(
+                        "{class}: {p} version counter {counter} exceeds the maximum {max_version}"
+                    ));
+                }
+            }
+            // Version-tag sanity: no map may hold a version the PRT never
+            // issued, nor one without a backing shadow cell.
+            for (table, name) in [
+                (&self.t.map, "map table"),
+                (&self.t.retire_map, "retire map"),
+            ] {
+                for (r, tag) in table.iter_class(class) {
+                    let counter = self.prt[ci].entry(tag.preg).counter;
+                    if tag.version > counter {
+                        return Err(format!(
+                            "{class}: {name} entry {r} holds stale version tag {tag} \
+                             beyond PRT counter {counter}"
+                        ));
+                    }
+                    let cells = banks.shadow_cells_of(tag.preg);
+                    if tag.version > cells {
+                        return Err(format!(
+                            "{class}: {name} entry {r} version {} exceeds the {cells} \
+                             shadow cell(s) of {}",
+                            tag.version, tag.preg
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

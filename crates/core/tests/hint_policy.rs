@@ -1,0 +1,200 @@
+//! Behaviour of the static-hint consumption path ([`regshare_core::HintPolicy`]):
+//! `StaticOnly` acts purely on compiled proofs, `Hybrid` lets exact proofs
+//! override the predictors, and `DynamicOnly` is bit-identical to a
+//! renamer with no hint table at all.
+
+use regshare_core::{HintPolicy, Renamer, RenamerConfig, ReuseRenamer};
+use regshare_isa::{reg, DefSlot, Inst, Opcode, ShareHint, ShareHintTable};
+
+/// Scalar rename-statistic fields, for whole-struct equality checks
+/// (`RenameStats` itself carries a histogram and no `PartialEq`).
+fn stat_fields(r: &ReuseRenamer) -> [u64; 10] {
+    let s = r.stats();
+    [
+        s.renamed,
+        s.allocations,
+        s.reuses,
+        s.safe_reuses,
+        s.speculative_reuses,
+        s.blocked_reuses,
+        s.stalls,
+        s.repairs,
+        s.releases,
+        s.squashed,
+    ]
+}
+
+fn renamer_with(policy: HintPolicy, hints: &ShareHintTable) -> ReuseRenamer {
+    let mut cfg = RenamerConfig::small_test();
+    cfg.hint_policy = policy;
+    let mut r = ReuseRenamer::new(cfg);
+    r.install_hints(hints);
+    r
+}
+
+/// pc 0 defines `x1`, pc 1 consumes it without redefining.
+fn def_and_consume() -> (Inst, Inst) {
+    let def = Inst::rrr(Opcode::Add, reg::x(1), reg::x(2), reg::x(3));
+    let consume = Inst::rrr(Opcode::Add, reg::x(5), reg::x(1), reg::x(4));
+    (def, consume)
+}
+
+#[test]
+fn static_only_reuses_on_first_sight_without_any_training() {
+    // A cold register-type predictor banks everything conventionally, so
+    // the dynamic scheme needs a training round before it can share. A
+    // static SingleUse proof on the producer needs none.
+    let mut hints = ShareHintTable::new(2);
+    hints.set(0, DefSlot::Primary, ShareHint::SingleUse);
+    let mut r = renamer_with(HintPolicy::StaticOnly, &hints);
+    let (def, consume) = def_and_consume();
+    let d = r.rename(0, 0, &def).unwrap()[0];
+    let u = r.rename(1, 1, &consume).unwrap()[0];
+    assert_eq!(u.dst.unwrap().preg, d.dst.unwrap().preg);
+    assert_eq!(u.dst.unwrap().version, d.dst.unwrap().version + 1);
+    let hs = r.hint_stats();
+    assert_eq!(hs.static_speculations, 1);
+    assert_eq!(hs.dynamic_speculations, 0);
+    assert_eq!(hs.static_allocs, r.stats().allocations + r.stats().repairs);
+    assert_eq!(hs.dynamic_allocs, 0);
+}
+
+#[test]
+fn hybrid_exact_proof_overrides_like_static_only() {
+    let mut hints = ShareHintTable::new(2);
+    hints.set(0, DefSlot::Primary, ShareHint::SingleUse);
+    let mut r = renamer_with(HintPolicy::Hybrid, &hints);
+    let (def, consume) = def_and_consume();
+    let d = r.rename(0, 0, &def).unwrap()[0];
+    let u = r.rename(1, 1, &consume).unwrap()[0];
+    assert_eq!(u.dst.unwrap().preg, d.dst.unwrap().preg);
+    assert_eq!(r.hint_stats().static_speculations, 1);
+    assert_eq!(r.hint_stats().dynamic_speculations, 0);
+}
+
+#[test]
+fn exact_negative_proof_denies_a_speculation_the_predictor_would_take() {
+    // The single-use predictor initialises optimistic (predict = true),
+    // so under DynamicOnly the consumer would at least attempt the
+    // speculation. A Multi proof on the producer vetoes it outright.
+    let mut hints = ShareHintTable::new(2);
+    hints.set(0, DefSlot::Primary, ShareHint::Multi);
+    let mut r = renamer_with(HintPolicy::Hybrid, &hints);
+    let (def, consume) = def_and_consume();
+    r.rename(0, 0, &def).unwrap();
+    r.rename(1, 1, &consume).unwrap();
+    assert_eq!(r.stats().reuses, 0);
+    assert_eq!(r.hint_stats().static_denials, 1);
+    assert_eq!(r.hint_stats().static_speculations, 0);
+}
+
+#[test]
+fn hybrid_falls_back_to_the_predictor_where_the_proof_is_unknown() {
+    // All-Unknown hints: Hybrid must behave exactly like DynamicOnly —
+    // banks come from the type predictor, grants from the single-use
+    // predictor.
+    let hints = ShareHintTable::new(8);
+    let mut hybrid = renamer_with(HintPolicy::Hybrid, &hints);
+    let mut dynamic = renamer_with(HintPolicy::DynamicOnly, &hints);
+    let (def, consume) = def_and_consume();
+    for r in [&mut hybrid, &mut dynamic] {
+        let mut seq = 0;
+        for _ in 0..3 {
+            for (pc, inst) in [(0u64, &def), (1u64, &consume)] {
+                seq += r.rename(seq, pc, inst).unwrap().len() as u64;
+            }
+        }
+    }
+    assert_eq!(stat_fields(&hybrid), stat_fields(&dynamic));
+    assert_eq!(
+        hybrid.hint_stats().dynamic_speculations,
+        dynamic.hint_stats().dynamic_speculations
+    );
+    assert_eq!(hybrid.hint_stats().static_speculations, 0);
+}
+
+#[test]
+fn dynamic_only_ignores_an_installed_table_entirely() {
+    // Same instruction stream, one renamer with a maximally-opinionated
+    // hint table and one without any: under DynamicOnly every uop and
+    // every rename statistic must be identical.
+    let mut hints = ShareHintTable::new(2);
+    hints.set(0, DefSlot::Primary, ShareHint::SingleUse);
+    hints.set(1, DefSlot::Primary, ShareHint::NoReuse);
+    let mut hinted = renamer_with(HintPolicy::DynamicOnly, &hints);
+    let mut bare = ReuseRenamer::new(RenamerConfig::small_test());
+    let (def, consume) = def_and_consume();
+    let mut seq = 0;
+    for _ in 0..4 {
+        for (pc, inst) in [(0u64, &def), (1u64, &consume)] {
+            let a = hinted.rename(seq, pc, inst).unwrap();
+            let b = bare.rename(seq, pc, inst).unwrap();
+            assert_eq!(a, b);
+            seq += a.len() as u64;
+        }
+    }
+    assert_eq!(stat_fields(&hinted), stat_fields(&bare));
+    assert_eq!(hinted.predictor_stats(), bare.predictor_stats());
+}
+
+#[test]
+fn a_wrong_static_proof_is_repaired_and_charged_to_the_compiler() {
+    // The producer is hinted SingleUse but the value is read twice: the
+    // second read finds a stale mapping, triggers the §IV-D1 repair, and
+    // the repair is attributed to the static source — the dynamic
+    // predictor is neither credited nor corrected.
+    let mut hints = ShareHintTable::new(3);
+    hints.set(0, DefSlot::Primary, ShareHint::SingleUse);
+    let mut r = renamer_with(HintPolicy::StaticOnly, &hints);
+    let (def, consume) = def_and_consume();
+    let second = Inst::rrr(Opcode::Add, reg::x(6), reg::x(1), reg::x(4));
+    r.rename(0, 0, &def).unwrap();
+    r.rename(1, 1, &consume).unwrap();
+    let uops = r.rename(2, 2, &second).unwrap();
+    assert_eq!(uops.len(), 2, "repair move expected");
+    let hs = r.hint_stats();
+    assert_eq!(hs.static_repaired, 1);
+    assert_eq!(hs.dynamic_repaired, 0);
+    assert_eq!(r.stats().repairs, 1);
+}
+
+#[test]
+fn static_grants_survive_to_release_as_static_correct() {
+    let mut hints = ShareHintTable::new(2);
+    hints.set(0, DefSlot::Primary, ShareHint::SingleUse);
+    let mut r = renamer_with(HintPolicy::StaticOnly, &hints);
+    let (def, consume) = def_and_consume();
+    r.rename(0, 0, &def).unwrap();
+    r.rename(1, 1, &consume).unwrap();
+    r.commit(0);
+    r.commit(1);
+    // Kill the chain: redefine both x1 and x5 with fresh values.
+    let li1 = Inst::ri(Opcode::Li, reg::x(1), 7);
+    let li5 = Inst::ri(Opcode::Li, reg::x(5), 8);
+    r.rename(2, 2, &li1).unwrap();
+    r.rename(3, 2, &li5).unwrap();
+    r.commit(2);
+    r.commit(3);
+    let hs = r.hint_stats();
+    assert_eq!(hs.static_correct, 1);
+    assert_eq!(hs.static_repaired, 0);
+    assert!(hs.static_accuracy() > 0.99);
+}
+
+#[test]
+fn squash_of_a_static_speculation_rolls_the_grant_back() {
+    let mut hints = ShareHintTable::new(2);
+    hints.set(0, DefSlot::Primary, ShareHint::SingleUse);
+    let mut r = renamer_with(HintPolicy::StaticOnly, &hints);
+    let (def, consume) = def_and_consume();
+    r.rename(0, 0, &def).unwrap();
+    r.rename(1, 1, &consume).unwrap();
+    r.squash_after(0);
+    r.audit().unwrap();
+    // The squashed version's grant bookkeeping is cleared: a later read
+    // of x1 sees a live mapping (no stale-version repair).
+    let second = Inst::rrr(Opcode::Add, reg::x(6), reg::x(1), reg::x(4));
+    let uops = r.rename(1, 2, &second).unwrap();
+    assert_eq!(uops.len(), 1, "no repair after squash");
+    assert_eq!(r.stats().repairs, 0);
+}

@@ -1,6 +1,8 @@
 //! Assembler-style program builder with labels.
 
-use crate::{ArchReg, DataBuilder, Inst, Memory, Opcode, Program};
+use crate::{
+    ArchReg, DataBuilder, DefSlot, Inst, Memory, Opcode, Program, ShareHint, ShareHintTable,
+};
 
 /// A forward-referenceable code label.
 ///
@@ -42,6 +44,8 @@ pub struct Asm {
     labels: Vec<Option<u32>>,
     fixups: Vec<(usize, Label)>,
     data: Option<Memory>,
+    pending_hint: Option<[ShareHint; 2]>,
+    hint_records: Vec<(usize, [ShareHint; 2])>,
 }
 
 impl Asm {
@@ -87,8 +91,25 @@ impl Asm {
         self.insts.len() as u32
     }
 
+    /// Attaches a sharing hint to the *next* emitted instruction's
+    /// primary destination (the writeback slot stays
+    /// [`ShareHint::Unknown`]). Mirrors the `.hint` assembly directive.
+    pub fn hint(&mut self, primary: ShareHint) -> &mut Self {
+        self.hint_slots(primary, ShareHint::Unknown)
+    }
+
+    /// Attaches sharing hints to both destination slots of the *next*
+    /// emitted instruction.
+    pub fn hint_slots(&mut self, primary: ShareHint, writeback: ShareHint) -> &mut Self {
+        self.pending_hint = Some([primary, writeback]);
+        self
+    }
+
     /// Emits a raw instruction.
     pub fn push(&mut self, inst: Inst) -> &mut Self {
+        if let Some(h) = self.pending_hint.take() {
+            self.hint_records.push((self.insts.len(), h));
+        }
         self.insts.push(inst);
         self
     }
@@ -103,16 +124,29 @@ impl Asm {
     ///
     /// # Panics
     ///
-    /// Panics if any referenced label was never bound, or if the program is
-    /// empty.
+    /// Panics if any referenced label was never bound, if the program is
+    /// empty, or if a hint was requested but no instruction followed it.
     pub fn assemble(mut self) -> Program {
+        assert!(
+            self.pending_hint.is_none(),
+            "hint requested but no instruction follows it"
+        );
         for (idx, label) in &self.fixups {
             let target = self.labels[label.0]
                 .unwrap_or_else(|| panic!("label {} referenced but never bound", label.0));
             self.insts[*idx].target = target;
         }
         assert!(!self.insts.is_empty(), "cannot assemble an empty program");
-        Program::new(self.insts, 0, self.data.unwrap_or_default())
+        let mut program = Program::new(self.insts, 0, self.data.unwrap_or_default());
+        if !self.hint_records.is_empty() {
+            let mut table = ShareHintTable::new(program.len());
+            for (pc, [primary, writeback]) in self.hint_records {
+                table.set(pc, DefSlot::Primary, primary);
+                table.set(pc, DefSlot::Writeback, writeback);
+            }
+            program = program.with_hints(table);
+        }
+        program
     }
 
     // ---- integer register-register ----
@@ -466,6 +500,40 @@ mod tests {
         a.halt();
         let p = a.assemble();
         assert_eq!(p.data().read_u64(0x100), 99);
+    }
+
+    #[test]
+    fn hints_attach_to_the_next_instruction() {
+        let mut a = Asm::new();
+        a.hint(ShareHint::SingleUse);
+        a.li(reg::x(1), 1);
+        a.add(reg::x(0), reg::x(1), reg::x(1));
+        a.hint_slots(ShareHint::NoReuse, ShareHint::Multi);
+        a.ld_post(reg::x(2), reg::x(0), 8);
+        a.halt();
+        let p = a.assemble();
+        let t = p.hints().expect("hint table attached");
+        assert_eq!(t.get(0, DefSlot::Primary), ShareHint::SingleUse);
+        assert_eq!(t.get(0, DefSlot::Writeback), ShareHint::Unknown);
+        assert_eq!(t.get(1, DefSlot::Primary), ShareHint::Unknown);
+        assert_eq!(t.get(2, DefSlot::Primary), ShareHint::NoReuse);
+        assert_eq!(t.get(2, DefSlot::Writeback), ShareHint::Multi);
+    }
+
+    #[test]
+    fn unhinted_programs_carry_no_table() {
+        let mut a = Asm::new();
+        a.halt();
+        assert!(a.assemble().hints().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no instruction follows")]
+    fn trailing_hint_panics() {
+        let mut a = Asm::new();
+        a.halt();
+        a.hint(ShareHint::Multi);
+        a.assemble();
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Static sharing hints: a compiler-provided sidecar table over a
+//! program's definition slots.
+//!
+//! A [`ShareHint`] tells the renamer what the compiler proved about a
+//! destination's consumer count, so the hardware can skip (or overrule)
+//! its dynamic single-use predictor where a static proof exists. The
+//! table is *architectural but optional*: a program without one behaves
+//! exactly as before, and the encoding packs two instructions per byte
+//! (2 bits per destination slot) so it costs what a real ISA would pay
+//! for a hint bitfield.
+
+use crate::DefSlot;
+use serde::{Deserialize, Serialize};
+
+/// What the compiler proved about one destination slot's value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShareHint {
+    /// No proof; the dynamic predictor decides (the encoding's zero
+    /// value, so an all-zero table is a no-op).
+    #[default]
+    Unknown,
+    /// Provably never consumed: speculation is pointless.
+    NoReuse,
+    /// Provably at most one consumer: single-use speculation is exact.
+    SingleUse,
+    /// Provably never exactly one consumer: single-use speculation is
+    /// always wrong.
+    Multi,
+}
+
+impl ShareHint {
+    /// The 2-bit encoding.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            ShareHint::Unknown => 0,
+            ShareHint::NoReuse => 1,
+            ShareHint::SingleUse => 2,
+            ShareHint::Multi => 3,
+        }
+    }
+
+    /// Decodes the 2-bit encoding (masks to the low two bits).
+    pub fn from_bits(bits: u8) -> ShareHint {
+        match bits & 0b11 {
+            1 => ShareHint::NoReuse,
+            2 => ShareHint::SingleUse,
+            3 => ShareHint::Multi,
+            _ => ShareHint::Unknown,
+        }
+    }
+
+    /// True when the hint carries an exact proof (anything but
+    /// [`ShareHint::Unknown`]); the Hybrid policy overrides the dynamic
+    /// predictor exactly here.
+    pub fn is_exact(self) -> bool {
+        self != ShareHint::Unknown
+    }
+
+    /// The textual name used by the `.hint` assembly directive.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShareHint::Unknown => "unknown",
+            ShareHint::NoReuse => "noreuse",
+            ShareHint::SingleUse => "single",
+            ShareHint::Multi => "multi",
+        }
+    }
+
+    /// Parses a `.hint` directive operand.
+    pub fn from_name(name: &str) -> Option<ShareHint> {
+        match name {
+            "unknown" => Some(ShareHint::Unknown),
+            "noreuse" => Some(ShareHint::NoReuse),
+            "single" => Some(ShareHint::SingleUse),
+            "multi" => Some(ShareHint::Multi),
+            _ => None,
+        }
+    }
+}
+
+/// A per-instruction hint table: one [`ShareHint`] for each destination
+/// slot (primary and base-writeback) of every instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShareHintTable {
+    /// `slots[pc] = [primary, writeback]`.
+    slots: Vec<[ShareHint; 2]>,
+}
+
+fn slot_index(slot: DefSlot) -> usize {
+    match slot {
+        DefSlot::Primary => 0,
+        DefSlot::Writeback => 1,
+    }
+}
+
+impl ShareHintTable {
+    /// An all-[`ShareHint::Unknown`] table for a program of `len`
+    /// instructions.
+    pub fn new(len: usize) -> Self {
+        ShareHintTable {
+            slots: vec![[ShareHint::Unknown; 2]; len],
+        }
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the table covers no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The hint for `(pc, slot)`; [`ShareHint::Unknown`] out of range.
+    pub fn get(&self, pc: usize, slot: DefSlot) -> ShareHint {
+        self.slots
+            .get(pc)
+            .map_or(ShareHint::Unknown, |s| s[slot_index(slot)])
+    }
+
+    /// Sets the hint for `(pc, slot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn set(&mut self, pc: usize, slot: DefSlot, hint: ShareHint) {
+        self.slots[pc][slot_index(slot)] = hint;
+    }
+
+    /// Number of slots carrying an exact (non-`Unknown`) hint.
+    pub fn exact_slots(&self) -> usize {
+        self.slots.iter().flatten().filter(|h| h.is_exact()).count()
+    }
+
+    /// Packs the table: 4 bits per instruction (primary hint in the low
+    /// half of the nibble, writeback in the high half), two
+    /// instructions per byte, even instruction in the low nibble.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.slots.len().div_ceil(2)];
+        for (pc, s) in self.slots.iter().enumerate() {
+            let nibble = s[0].to_bits() | (s[1].to_bits() << 2);
+            out[pc / 2] |= nibble << ((pc % 2) * 4);
+        }
+        out
+    }
+
+    /// Unpacks an [`ShareHintTable::encode`]d table for a program of
+    /// `len` instructions. Returns `None` when the byte count does not
+    /// match or padding bits are set.
+    pub fn decode(len: usize, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != len.div_ceil(2) {
+            return None;
+        }
+        if len % 2 == 1 {
+            if let Some(last) = bytes.last() {
+                if last >> 4 != 0 {
+                    return None;
+                }
+            }
+        }
+        let mut table = ShareHintTable::new(len);
+        for (pc, s) in table.slots.iter_mut().enumerate() {
+            let nibble = bytes[pc / 2] >> ((pc % 2) * 4);
+            s[0] = ShareHint::from_bits(nibble);
+            s[1] = ShareHint::from_bits(nibble >> 2);
+        }
+        Some(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [ShareHint; 4] = [
+        ShareHint::Unknown,
+        ShareHint::NoReuse,
+        ShareHint::SingleUse,
+        ShareHint::Multi,
+    ];
+
+    #[test]
+    fn bits_roundtrip_every_hint() {
+        for h in ALL {
+            assert_eq!(ShareHint::from_bits(h.to_bits()), h);
+            assert_eq!(ShareHint::from_name(h.name()), Some(h));
+        }
+        assert_eq!(ShareHint::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn table_encode_decode_roundtrip() {
+        // Odd length exercises the padding nibble.
+        let mut t = ShareHintTable::new(5);
+        t.set(0, DefSlot::Primary, ShareHint::SingleUse);
+        t.set(1, DefSlot::Writeback, ShareHint::Multi);
+        t.set(3, DefSlot::Primary, ShareHint::NoReuse);
+        t.set(4, DefSlot::Primary, ShareHint::Multi);
+        t.set(4, DefSlot::Writeback, ShareHint::SingleUse);
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(ShareHintTable::decode(5, &bytes), Some(t.clone()));
+        assert_eq!(t.exact_slots(), 5);
+    }
+
+    #[test]
+    fn decode_rejects_bad_shapes() {
+        let t = ShareHintTable::new(5);
+        let bytes = t.encode();
+        assert!(ShareHintTable::decode(4, &bytes).is_none(), "length lie");
+        let mut padded = bytes.clone();
+        *padded.last_mut().unwrap() |= 0xf0;
+        assert!(
+            ShareHintTable::decode(5, &padded).is_none(),
+            "padding bits set"
+        );
+        assert!(ShareHintTable::decode(6, &bytes).is_some());
+    }
+
+    #[test]
+    fn out_of_range_get_is_unknown() {
+        let t = ShareHintTable::new(1);
+        assert_eq!(t.get(7, DefSlot::Primary), ShareHint::Unknown);
+    }
+}

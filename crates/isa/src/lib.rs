@@ -46,6 +46,7 @@
 
 mod asm;
 pub mod exec;
+mod hints;
 mod inst;
 mod machine;
 mod memory;
@@ -55,6 +56,7 @@ mod program;
 mod reg_impl;
 
 pub use asm::{Asm, Label};
+pub use hints::{ShareHint, ShareHintTable};
 pub use inst::{DefSlot, Inst};
 pub use machine::{Machine, MachineError, Retired, StopReason};
 pub use memory::Memory;

@@ -11,7 +11,8 @@
 //! .f64 1.5, -2.0          ; emit doubles
 //! .zeros 64               ; reserve zeroed bytes
 //!
-//! ; code
+//! ; code (.hint annotates the next instruction's destination slots:
+//! ; noreuse / single / multi / unknown, optionally `, <writeback>`)
 //! start:
 //!     li   x1, 0x1000
 //!     li   x2, 3
@@ -27,7 +28,7 @@
 //! decimal or `0x…`; memory `[xN+imm]`, `[xN-imm]`, `[xN]` and
 //! post-increment `[xN], imm`; branch targets are labels.
 
-use crate::{reg, Asm, DataBuilder, Label, Program};
+use crate::{reg, Asm, DataBuilder, Label, Program, ShareHint};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -210,6 +211,29 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
         // Directives.
         if let Some(dir) = rest.strip_prefix('.') {
             let (name, args) = dir.split_once(char::is_whitespace).unwrap_or((dir, ""));
+            // `.hint` annotates code, not data — handle it before the
+            // data builder springs into existence.
+            if name == "hint" {
+                let ops = split_operands(args);
+                if ops.is_empty() || ops.len() > 2 {
+                    return err(line, ".hint expects 1 or 2 operands: primary [, writeback]");
+                }
+                let parse_hint = |tok: &str| {
+                    ShareHint::from_name(tok.trim()).ok_or_else(|| ParseError {
+                        line,
+                        message: format!(
+                            "expected a hint (noreuse/single/multi/unknown), found `{tok}`"
+                        ),
+                    })
+                };
+                let primary = parse_hint(&ops[0])?;
+                let writeback = match ops.get(1) {
+                    Some(t) => parse_hint(t)?,
+                    None => ShareHint::Unknown,
+                };
+                asm.hint_slots(primary, writeback);
+                continue;
+            }
             let d = data.get_or_insert_with(|| DataBuilder::new(0x1_0000));
             match name {
                 "data" => {
@@ -543,6 +567,34 @@ mod tests {
     fn rejects_post_increment_with_offset() {
         let e = parse_program("ld.post x1, [x2+8], 8\nhalt\n").unwrap_err();
         assert!(e.message.contains("no offset"));
+    }
+
+    #[test]
+    fn hint_directive_annotates_the_next_instruction() {
+        use crate::{DefSlot, ShareHint};
+        let p = parse_program(
+            r"
+                .hint single
+                li x1, 5
+                .hint noreuse, multi
+                ld.post x2, [x1], 8
+                add x3, x1, x1
+                halt
+            ",
+        )
+        .expect("valid program");
+        let t = p.hints().expect("hint table attached");
+        assert_eq!(t.get(0, DefSlot::Primary), ShareHint::SingleUse);
+        assert_eq!(t.get(1, DefSlot::Primary), ShareHint::NoReuse);
+        assert_eq!(t.get(1, DefSlot::Writeback), ShareHint::Multi);
+        assert_eq!(t.get(2, DefSlot::Primary), ShareHint::Unknown);
+    }
+
+    #[test]
+    fn reports_bad_hint_names() {
+        let e = parse_program(".hint sometimes\nhalt\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("sometimes"));
     }
 
     #[test]

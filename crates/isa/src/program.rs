@@ -1,6 +1,6 @@
 //! Programs: code plus an initial data image.
 
-use crate::{Inst, Memory};
+use crate::{Inst, Memory, ShareHintTable};
 
 /// A complete TRISC program: instructions, an entry point and the initial
 /// contents of data memory.
@@ -24,6 +24,7 @@ pub struct Program {
     insts: Vec<Inst>,
     entry: u32,
     data: Memory,
+    hints: Option<ShareHintTable>,
 }
 
 impl Program {
@@ -49,7 +50,34 @@ impl Program {
                 );
             }
         }
-        Program { insts, entry, data }
+        Program {
+            insts,
+            entry,
+            data,
+            hints: None,
+        }
+    }
+
+    /// Attaches a static sharing-hint sidecar table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not cover exactly this program's
+    /// instructions.
+    pub fn with_hints(mut self, hints: ShareHintTable) -> Self {
+        assert!(
+            hints.len() == self.insts.len(),
+            "hint table covers {} instructions but program has {}",
+            hints.len(),
+            self.insts.len()
+        );
+        self.hints = Some(hints);
+        self
+    }
+
+    /// The attached sharing-hint table, if any.
+    pub fn hints(&self) -> Option<&ShareHintTable> {
+        self.hints.as_ref()
     }
 
     /// The instruction at `index`, if in range.

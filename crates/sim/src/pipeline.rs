@@ -120,6 +120,10 @@ impl Pipeline {
         mut mem_timing: MemoryHierarchy,
         bpred: BranchPredictor,
     ) -> Self {
+        let mut renamer = renamer;
+        if let Some(h) = program.hints() {
+            renamer.install_hints(h);
+        }
         let issue_select = config.issue_policy.build();
         let recovery = config.recovery_policy.build();
         let rf = [
@@ -266,7 +270,7 @@ impl Pipeline {
     /// [`SimError::CycleLimit`] / [`SimError::Deadlock`] on runaway
     /// simulations.
     pub fn run(&mut self) -> Result<SimReport, SimError> {
-        let started = Instant::now();
+        let started = Instant::now(); // det-lint: allow — wall-clock throughput report only
         let result = self.run_loop();
         self.core.wall_seconds += started.elapsed().as_secs_f64();
         result?;
@@ -336,6 +340,7 @@ impl Pipeline {
             tlb_hit_rate: self.core.mem_timing.tlb().hit_ratio().fraction(),
             rename: self.core.renamer.stats().clone(),
             predictor: self.core.renamer.predictor_stats(),
+            hints: self.core.renamer.hint_stats(),
             int_occupancy: self.core.int_occupancy.clone(),
             fp_occupancy: self.core.fp_occupancy.clone(),
             wall_seconds: self.core.wall_seconds,

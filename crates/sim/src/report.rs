@@ -1,6 +1,6 @@
 //! Simulation results.
 
-use regshare_core::{PredictorStats, RenameStats};
+use regshare_core::{HintStats, PredictorStats, RenameStats};
 use regshare_stats::Sampler;
 use std::fmt;
 
@@ -40,6 +40,10 @@ pub struct SimReport {
     pub rename: RenameStats,
     /// Register-type predictor accuracy (empty for the baseline).
     pub predictor: PredictorStats,
+    /// Speculation accounting split by grant source — static proofs
+    /// versus the dynamic predictor (all-zero under `DynamicOnly` without
+    /// an installed hint table, and for non-sharing schemes).
+    pub hints: HintStats,
     /// Per-bank occupancy samples for the integer file (Fig. 9), indexed
     /// by shadow-cell count. Empty unless sampling was enabled.
     pub int_occupancy: Vec<Sampler>,
@@ -191,6 +195,7 @@ mod tests {
             tlb_hit_rate: 0.0,
             rename: RenameStats::default(),
             predictor: PredictorStats::default(),
+            hints: HintStats::default(),
             int_occupancy: Vec::new(),
             fp_occupancy: Vec::new(),
             wall_seconds: 0.0,

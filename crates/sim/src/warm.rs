@@ -155,7 +155,7 @@ impl FunctionalWarmer {
     ///
     /// Propagates functional execution faults ([`MachineError`]).
     pub fn run_until(&mut self, target: u64) -> Result<StopReason, MachineError> {
-        let started = Instant::now();
+        let started = Instant::now(); // det-lint: allow — wall-clock throughput report only
         let mem = &mut self.mem;
         let result = self.machine.run_observe(target, |r| mem.warm_retired(r));
         self.wall_seconds += started.elapsed().as_secs_f64();

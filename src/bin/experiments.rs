@@ -88,7 +88,7 @@ fn parse_args() -> Args {
                      \x20                 [--sample] [--workers N] [--period N] \
                      [--warmup N] [--measure N]\n\
                      experiments: fig1 fig2 fig3 table1 table2 table3 fig9 fig10 fig10ec \
-                     fig11 fig12 analyze ablate-counter ablate-predictor ablate-banks \
+                     fig11 fig12 analyze hints ablate-counter ablate-predictor ablate-banks \
                      ablate-speculation inject sample shape bench all\n\
                      --campaigns/--seed/--kernels apply to the `inject` fault-injection \
                      sweep only\n\

@@ -9,7 +9,7 @@
 //! regsim --list
 //! ```
 
-use regshare::core::{BankConfig, RenamerConfig, ReuseRenamer};
+use regshare::core::{BankConfig, HintPolicy, RenamerConfig, ReuseRenamer};
 use regshare::harness::{renamer_for, swept_class, Scheme, FIXED_RF};
 use regshare::isa::RegClass;
 use regshare::sim::{Pipeline, SimConfig};
@@ -126,6 +126,7 @@ fn build_renamer(o: &Options, scheme: Scheme, swept: RegClass) -> Box<dyn regsha
             predictor_entries: 512,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         }));
     }
     renamer_for(scheme, o.regs, swept)

@@ -2,7 +2,7 @@
 //! `ablate-*` subcommands.
 
 use super::common::{save, Args};
-use crate::core::{BankConfig, Renamer, RenamerConfig, ReuseRenamer};
+use crate::core::{BankConfig, HintPolicy, Renamer, RenamerConfig, ReuseRenamer};
 use crate::harness::{
     experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
 };
@@ -86,5 +86,6 @@ pub(crate) fn renamer_with_spec(
         predictor_entries: entries,
         predictor_bits: 2,
         speculative_reuse,
+        hint_policy: HintPolicy::DynamicOnly,
     }))
 }

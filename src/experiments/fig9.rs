@@ -2,7 +2,7 @@
 //! execution (fp suite).
 
 use super::common::{save, Args};
-use crate::core::{BankConfig, RenamerConfig, ReuseRenamer};
+use crate::core::{BankConfig, HintPolicy, RenamerConfig, ReuseRenamer};
 use crate::harness::{experiment_config, par_map, run_kernel_with, FIXED_RF};
 use crate::stats::Table;
 use crate::workloads::{suite_kernels, Suite};
@@ -31,6 +31,7 @@ pub fn run(args: &Args) {
             predictor_entries: 512,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         };
         let mut sim_cfg = experiment_config(args.scale);
         sim_cfg.occupancy_sample_interval = 16;

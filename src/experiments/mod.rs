@@ -23,6 +23,7 @@ mod fig12;
 mod fig2;
 mod fig3;
 mod fig9;
+mod hints;
 mod inject;
 mod sample;
 mod shape;
@@ -53,6 +54,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("fig11", fig11::run),
         ("fig12", fig12::run),
         ("analyze", analyze::run),
+        ("hints", hints::run),
         ("ablate-counter", ablate_counter::run),
         ("ablate-speculation", ablate_speculation::run),
         ("ablate-predictor", ablate_predictor::run),

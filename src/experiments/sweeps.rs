@@ -2,7 +2,9 @@
 //! figure 10/10-EC/11 subcommands.
 
 use super::common::{save, Args, RF_SIZES};
-use crate::core::{BankConfig, EarlyReleaseRenamer, Renamer, RenamerConfig, ReuseRenamer};
+use crate::core::{
+    BankConfig, EarlyReleaseRenamer, HintPolicy, Renamer, RenamerConfig, ReuseRenamer,
+};
 use crate::harness::{
     experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
 };
@@ -38,6 +40,7 @@ pub(crate) fn equal_count_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn Re
         predictor_entries: 512,
         predictor_bits: 2,
         speculative_reuse: true,
+        hint_policy: HintPolicy::DynamicOnly,
     }))
 }
 

@@ -40,7 +40,9 @@ pub mod harness {
     //! Shared experiment plumbing: build a renamer for a scheme, run a
     //! kernel through the timing simulator, and aggregate results.
 
-    use regshare_core::{BankConfig, BaselineRenamer, Renamer, RenamerConfig, ReuseRenamer};
+    use regshare_core::{
+        BankConfig, BaselineRenamer, HintPolicy, Renamer, RenamerConfig, ReuseRenamer,
+    };
     use regshare_isa::RegClass;
     use regshare_sim::{
         run_window, sample_windows, Pipeline, SampledConfig, SampledReport, SimConfig, SimReport,
@@ -210,6 +212,7 @@ pub mod harness {
             predictor_entries: 512,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         };
         Box::new(ReuseRenamer::new(config))
     }

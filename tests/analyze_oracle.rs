@@ -4,9 +4,14 @@
 //! every kernel.
 
 use proptest::prelude::*;
-use regshare::analyze::{lint_program, oracle_check};
+use regshare::analyze::dataflow::MAX_SAT;
+use regshare::analyze::{
+    classify, classify_with_loops, lint_program, oracle_check, Cfg, SiteClass,
+};
+use regshare::isa::{DefSlot, Machine, Program, StopReason};
 use regshare::workloads::synthetic::{generate, SyntheticConfig};
 use regshare::workloads::{all_kernels, analysis};
+use std::collections::HashMap;
 
 /// Workload sizing passed to `Kernel::program`.
 const SCALE: u64 = 8_000;
@@ -76,6 +81,38 @@ fn static_bounds_bracket_dynamic_single_use_on_every_kernel() {
     }
 }
 
+/// Brute-force dynamic consumer counts: runs the functional machine and
+/// replays the trace, recording the observed consumer count of every
+/// value instance, grouped by its producing `(pc, slot)` site. Returns
+/// the per-site counts and whether the trace ran to a halt (counts on
+/// truncated traces are lower bounds — the tail values may still gain
+/// consumers).
+fn brute_force_counts(
+    program: &Program,
+    budget: u64,
+) -> (HashMap<(usize, DefSlot), Vec<u32>>, bool) {
+    let mut machine = Machine::new(program.clone());
+    let (trace, stop) = machine.run_trace(budget).expect("lint-clean program runs");
+    let mut producer_of: HashMap<regshare::isa::ArchReg, usize> = HashMap::new();
+    let mut instances: Vec<((usize, DefSlot), u32)> = Vec::new();
+    for r in &trace {
+        for u in r.inst.uses() {
+            if let Some(&id) = producer_of.get(&u) {
+                instances[id].1 += 1;
+            }
+        }
+        for (slot, d) in r.inst.defs() {
+            producer_of.insert(d, instances.len());
+            instances.push(((r.pc as usize, slot), 0));
+        }
+    }
+    let mut by_site: HashMap<(usize, DefSlot), Vec<u32>> = HashMap::new();
+    for (site, n) in instances {
+        by_site.entry(site).or_default().push(n);
+    }
+    (by_site, stop == StopReason::Halted)
+}
+
 fn synthetic_config() -> impl Strategy<Value = SyntheticConfig> {
     (
         10usize..120,
@@ -121,6 +158,93 @@ proptest! {
             prop_assert!(
                 report.lower_bound_instances <= report.single_use_instances
             );
+        }
+    }
+
+    /// Both classifiers' per-site bounds must bracket every brute-force
+    /// dynamic consumer count, and the loop-peeled pass must only ever
+    /// *tighten* the baseline's bounds, never widen them.
+    #[test]
+    fn static_bounds_bracket_brute_force_counts(cfg in synthetic_config()) {
+        let program = generate(cfg);
+        let cfa = Cfg::build(program.insts(), program.entry());
+        let base = classify(&cfa, program.insts());
+        let deep = classify_with_loops(&cfa, program.insts());
+        let deep_of: HashMap<(usize, DefSlot), _> = deep
+            .sites
+            .iter()
+            .map(|s| ((s.site.pc, s.site.slot), *s))
+            .collect();
+        let (observed, complete) = brute_force_counts(&program, 200_000);
+        for s in &base.sites {
+            let d = deep_of[&(s.site.pc, s.site.slot)];
+            prop_assert!(
+                d.min_consumers >= s.min_consumers
+                    && d.max_consumers <= s.max_consumers,
+                "pc {} {:?}: loop-peeled bounds [{}, {}] widen base [{}, {}]",
+                s.site.pc, s.site.slot,
+                d.min_consumers, d.max_consumers,
+                s.min_consumers, s.max_consumers,
+            );
+            let Some(counts) = observed.get(&(s.site.pc, s.site.slot)) else {
+                continue;
+            };
+            for (site, label) in [(s, "base"), (&d, "loop-peeled")] {
+                for &n in counts {
+                    if site.max_consumers < MAX_SAT {
+                        prop_assert!(
+                            n <= site.max_consumers as u32,
+                            "pc {} {:?}: observed {n} above {label} max {}",
+                            s.site.pc, s.site.slot, site.max_consumers,
+                        );
+                    }
+                    if complete {
+                        prop_assert!(
+                            n >= site.min_consumers as u32,
+                            "pc {} {:?}: observed {n} below {label} min {}",
+                            s.site.pc, s.site.slot, site.min_consumers,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The loop-split proofs behind the two refined classes:
+    /// `AtMostOnce` values may never gain a second consumer (holds even
+    /// on truncated traces — it is an upper bound), and `NeverSingle`
+    /// values are never consumed exactly once on complete traces.
+    #[test]
+    fn refined_classes_hold_dynamically(cfg in synthetic_config()) {
+        let program = generate(cfg);
+        let cfa = Cfg::build(program.insts(), program.entry());
+        let deep = classify_with_loops(&cfa, program.insts());
+        let (observed, complete) = brute_force_counts(&program, 200_000);
+        for s in &deep.sites {
+            let Some(counts) = observed.get(&(s.site.pc, s.site.slot)) else {
+                continue;
+            };
+            match s.class {
+                SiteClass::AtMostOnce => {
+                    for &n in counts {
+                        prop_assert!(
+                            n <= 1,
+                            "pc {} {:?}: AtMostOnce instance consumed {n} times",
+                            s.site.pc, s.site.slot,
+                        );
+                    }
+                }
+                SiteClass::NeverSingle if complete => {
+                    for &n in counts {
+                        prop_assert!(
+                            n != 1,
+                            "pc {} {:?}: NeverSingle instance consumed exactly once",
+                            s.site.pc, s.site.slot,
+                        );
+                    }
+                }
+                _ => {}
+            }
         }
     }
 }

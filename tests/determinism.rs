@@ -102,6 +102,41 @@ fn every_kernel_matches_golden_counts() {
 }
 
 #[test]
+fn attached_hints_do_not_perturb_dynamic_only_goldens() {
+    // A compiled hint table rides along in the program sidecar and is
+    // installed into the renamer, but the default `DynamicOnly` policy
+    // must never read it: every kernel must reproduce the same golden
+    // counts as the bare run above, byte for byte.
+    let kernels = all_kernels();
+    let mismatches: Vec<String> = par_map(&kernels, |k| {
+        let program = k.program(SCALE);
+        let hints = regshare::analyze::compile_hints(&program);
+        assert!(hints.exact_slots() > 0, "{}: no hints compiled", k.name);
+        let renamer = renamer_for(Scheme::Proposed, RF_REGS, swept_class(k.suite));
+        let mut sim = Pipeline::new(program.with_hints(hints), renamer, experiment_config(SCALE));
+        let r = sim.run().expect("kernel runs");
+        let want = GOLDEN
+            .iter()
+            .find(|(n, s, _, _)| *n == k.name && *s == Scheme::Proposed)
+            .unwrap();
+        ((k.name, Scheme::Proposed, r.cycles, r.committed_instructions) != *want).then(|| {
+            format!(
+                "{}: got ({}, {}), want ({}, {})",
+                k.name, r.cycles, r.committed_instructions, want.2, want.3
+            )
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        mismatches.is_empty(),
+        "hints perturbed DynamicOnly:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     let kernels = all_kernels();
     let k = kernels.iter().find(|k| k.name == "hashjoin").unwrap();

@@ -2,7 +2,7 @@
 //! the renamer, simulator or kernels breaks one of the reproduced results
 //! documented in EXPERIMENTS.md, these tests fail.
 
-use regshare::core::{BankConfig, RenamerConfig, ReuseRenamer};
+use regshare::core::{BankConfig, HintPolicy, RenamerConfig, ReuseRenamer};
 use regshare::harness::{
     experiment_config, renamer_for, run_kernel, swept_class, Scheme, FIXED_RF,
 };
@@ -88,6 +88,7 @@ fn fig10ec_equal_count_wins_at_small_files() {
                 predictor_entries: 512,
                 predictor_bits: 2,
                 speculative_reuse: true,
+                hint_policy: HintPolicy::DynamicOnly,
             }));
             let program = k.program(SIM_SCALE);
             let mut sim = Pipeline::new(program, renamer, experiment_config(SIM_SCALE));

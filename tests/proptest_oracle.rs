@@ -5,7 +5,7 @@
 //! fails the property.
 
 use proptest::prelude::*;
-use regshare::core::{BankConfig, BaselineRenamer, RenamerConfig, ReuseRenamer};
+use regshare::core::{BankConfig, BaselineRenamer, HintPolicy, RenamerConfig, ReuseRenamer};
 use regshare::harness::experiment_config;
 use regshare::sim::Pipeline;
 use regshare::workloads::synthetic::{generate, SyntheticConfig};
@@ -67,6 +67,7 @@ proptest! {
             predictor_entries: 128,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         };
         let mut sim = Pipeline::new(program, Box::new(ReuseRenamer::new(rc)), sim_cfg);
         let report = sim.run().expect("reuse oracle run");

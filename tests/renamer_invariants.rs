@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use regshare::core::{
-    BankConfig, BaselineRenamer, EarlyReleaseRenamer, Renamer, RenamerConfig, ReuseRenamer, UopKind,
+    BankConfig, BaselineRenamer, EarlyReleaseRenamer, HintPolicy, Renamer, RenamerConfig,
+    ReuseRenamer, UopKind,
 };
 use regshare::isa::{reg, Inst, Opcode, RegClass};
 use std::collections::VecDeque;
@@ -166,6 +167,7 @@ proptest! {
             predictor_entries: 64,
             predictor_bits: 2,
             speculative_reuse: true,
+            hint_policy: HintPolicy::DynamicOnly,
         };
         let mut r = ReuseRenamer::new(config);
         drive(&mut r, &steps, total, 4);
