@@ -1,0 +1,178 @@
+//! The content-addressed, checksum-verified result cache.
+//!
+//! Entries live at `<dir>/<key>.json`, one file per key, where the key
+//! already encodes the executor version (see
+//! [`crate::JobSpec::cache_key`]). Each entry records its payload's
+//! FNV-1a checksum; reads re-hash the payload and refuse entries that
+//! do not verify — a corrupt entry is **quarantined** (renamed to
+//! `<key>.corrupt`) and reported as a miss so the job is recomputed,
+//! never served bad bytes. Writes go through a temp file + atomic
+//! rename, so a crash mid-write leaves either the old entry or none.
+
+use crate::hash::fnv1a64_hex;
+use serde::Value;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// On-disk result cache rooted at one directory.
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+/// What a lookup found.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CacheRead {
+    /// Entry present and checksum-verified; the payload.
+    Hit(String),
+    /// No entry.
+    Miss,
+    /// Entry present but corrupt; moved aside to `<key>.corrupt`.
+    Quarantined,
+}
+
+impl ResultCache {
+    /// Opens (creating) a cache directory.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The entry path for a key.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// The quarantine path for a key.
+    pub fn quarantine_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.corrupt"))
+    }
+
+    /// Looks up and verifies an entry.
+    pub fn get(&self, key: &str) -> CacheRead {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return CacheRead::Miss,
+        };
+        match Self::verify(key, &text) {
+            Some(payload) => CacheRead::Hit(payload),
+            None => {
+                // Quarantine: keep the evidence, clear the address. A
+                // failed rename still must not serve the entry.
+                let _ = fs::rename(&path, self.quarantine_path(key));
+                let _ = fs::remove_file(&path);
+                CacheRead::Quarantined
+            }
+        }
+    }
+
+    /// Parses an entry and returns the payload only if the stored key
+    /// matches and the checksum verifies.
+    fn verify(key: &str, text: &str) -> Option<String> {
+        let v = serde_json::from_str(text).ok()?;
+        let stored_key = v.get("key")?.as_str()?;
+        let checksum = v.get("checksum")?.as_str()?;
+        let payload = v.get("payload")?.as_str()?;
+        if stored_key != key || fnv1a64_hex(payload.as_bytes()) != checksum {
+            return None;
+        }
+        Some(payload.to_string())
+    }
+
+    /// Stores a payload under a key (temp file + atomic rename).
+    pub fn put(&self, key: &str, payload: &str) -> std::io::Result<()> {
+        let entry = Value::Object(vec![
+            ("key".to_string(), Value::Str(key.to_string())),
+            (
+                "checksum".to_string(),
+                Value::Str(fnv1a64_hex(payload.as_bytes())),
+            ),
+            ("payload".to_string(), Value::Str(payload.to_string())),
+        ]);
+        let text = serde_json::to_string_pretty(&entry)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let tmp = self.dir.join(format!("{key}.tmp.{}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Number of verified-format entries currently stored (test/stats
+    /// helper; does not verify checksums).
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("regshare-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let cache = ResultCache::open(&tmp_dir("roundtrip")).unwrap();
+        assert_eq!(cache.get("aa"), CacheRead::Miss);
+        cache.put("aa", "{\"ipc\":1.25}").unwrap();
+        assert_eq!(cache.get("aa"), CacheRead::Hit("{\"ipc\":1.25}".into()));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_served() {
+        let cache = ResultCache::open(&tmp_dir("corrupt")).unwrap();
+        cache.put("bb", "{\"ipc\":2.0}").unwrap();
+        // Flip payload bytes without updating the checksum.
+        let path = cache.entry_path("bb");
+        let poisoned = fs::read_to_string(&path).unwrap().replace("2.0", "9.9");
+        fs::write(&path, poisoned).unwrap();
+        assert_eq!(cache.get("bb"), CacheRead::Quarantined);
+        assert!(cache.quarantine_path("bb").exists(), "evidence kept");
+        assert!(!cache.entry_path("bb").exists(), "address cleared");
+        // Subsequent lookups are plain misses; a re-put works again.
+        assert_eq!(cache.get("bb"), CacheRead::Miss);
+        cache.put("bb", "{\"ipc\":2.0}").unwrap();
+        assert_eq!(cache.get("bb"), CacheRead::Hit("{\"ipc\":2.0}".into()));
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined() {
+        let cache = ResultCache::open(&tmp_dir("trunc")).unwrap();
+        cache.put("cc", "{\"x\":1}").unwrap();
+        let path = cache.entry_path("cc");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(cache.get("cc"), CacheRead::Quarantined);
+    }
+
+    #[test]
+    fn entry_under_wrong_key_is_rejected() {
+        let cache = ResultCache::open(&tmp_dir("wrongkey")).unwrap();
+        cache.put("dd", "{\"x\":1}").unwrap();
+        fs::rename(cache.entry_path("dd"), cache.entry_path("ee")).unwrap();
+        assert_eq!(cache.get("ee"), CacheRead::Quarantined);
+    }
+}

@@ -1,0 +1,217 @@
+//! A small blocking client for the job API: batch submission with
+//! 429-aware retry, polling until jobs reach a terminal state, and the
+//! admin endpoints. Used by `experiments submit`, the smoke script and
+//! the chaos tests.
+
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A client bound to one server address.
+pub struct Client {
+    addr: String,
+}
+
+fn parse_response(text: &str) -> Result<(u16, Value), String> {
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response: no header/body separator")?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let value = if body.trim().is_empty() {
+        Value::Null
+    } else {
+        serde_json::from_str(body).map_err(|e| format!("bad JSON from server: {e}"))?
+    };
+    Ok((status, value))
+}
+
+impl Client {
+    /// A client for `host:port`.
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+        }
+    }
+
+    /// One request/response cycle (`Connection: close`, so the response
+    /// is simply everything until EOF).
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Value), String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        stream
+            .write_all(raw.as_bytes())
+            .map_err(|e| format!("send request: {e}"))?;
+        let mut text = String::new();
+        stream
+            .read_to_string(&mut text)
+            .map_err(|e| format!("read response: {e}"))?;
+        parse_response(&text)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> Result<Value, String> {
+        let (status, v) = self.request("GET", "/healthz", None)?;
+        if status == 200 {
+            Ok(v)
+        } else {
+            Err(format!("healthz returned {status}"))
+        }
+    }
+
+    /// `GET /stats`.
+    pub fn stats(&self) -> Result<Value, String> {
+        let (status, v) = self.request("GET", "/stats", None)?;
+        if status == 200 {
+            Ok(v)
+        } else {
+            Err(format!("stats returned {status}"))
+        }
+    }
+
+    /// Submits one batch of payloads, honouring `Retry-After` on 429 (up
+    /// to ~30s of backpressure). Returns the accepted job ids.
+    pub fn submit(&self, payloads: &[Value]) -> Result<Vec<u64>, String> {
+        let body = serde_json::to_string(&Value::Object(vec![(
+            "jobs".to_string(),
+            Value::Array(payloads.to_vec()),
+        )]))
+        .map_err(|e| format!("encode batch: {e}"))?;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (status, v) = self.request("POST", "/jobs", Some(&body))?;
+            match status {
+                202 => {
+                    let ids = v
+                        .get("jobs")
+                        .and_then(Value::as_array)
+                        .map(|rows| {
+                            rows.iter()
+                                .filter_map(|r| r.get("id").and_then(Value::as_u64))
+                                .collect::<Vec<u64>>()
+                        })
+                        .unwrap_or_default();
+                    if ids.len() != payloads.len() {
+                        return Err(format!(
+                            "server accepted {} of {} jobs",
+                            ids.len(),
+                            payloads.len()
+                        ));
+                    }
+                    return Ok(ids);
+                }
+                429 if Instant::now() < deadline => {
+                    // The server said how long to back off; one second
+                    // is its current answer either way.
+                    std::thread::sleep(Duration::from_millis(1000));
+                }
+                _ => {
+                    let msg = v
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown error");
+                    return Err(format!("submit failed: {status}: {msg}"));
+                }
+            }
+        }
+    }
+
+    /// `GET /jobs/<id>`.
+    pub fn job(&self, id: u64) -> Result<Value, String> {
+        let (status, v) = self.request("GET", &format!("/jobs/{id}"), None)?;
+        if status == 200 {
+            Ok(v)
+        } else {
+            Err(format!("job {id} returned {status}"))
+        }
+    }
+
+    /// Polls until every listed job is terminal (completed or
+    /// dead-lettered) or `timeout` passes. Returns the job rows in the
+    /// order of `ids`.
+    pub fn wait_terminal(&self, ids: &[u64], timeout: Duration) -> Result<Vec<Value>, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut rows = Vec::with_capacity(ids.len());
+            let mut pending = 0usize;
+            for &id in ids {
+                let row = self.job(id)?;
+                let terminal = matches!(
+                    row.get("status").and_then(Value::as_str),
+                    Some("completed") | Some("dead_lettered")
+                );
+                if !terminal {
+                    pending += 1;
+                }
+                rows.push(row);
+            }
+            if pending == 0 {
+                return Ok(rows);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "{pending} of {} jobs still pending at timeout",
+                    ids.len()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// `POST /shutdown` — ask the server to drain.
+    pub fn shutdown_server(&self) -> Result<(), String> {
+        let (status, _) = self.request("POST", "/shutdown", None)?;
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(format!("shutdown returned {status}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let (status, v) = parse_response(
+            "HTTP/1.1 202 Accepted\r\nContent-Type: application/json\r\n\r\n{\"jobs\":[]}",
+        )
+        .unwrap();
+        assert_eq!(status, 202);
+        assert!(v.get("jobs").is_some());
+    }
+
+    #[test]
+    fn empty_body_is_null() {
+        let (status, v) = parse_response("HTTP/1.1 200 OK\r\n\r\n").unwrap();
+        assert_eq!(status, 200);
+        assert!(v.is_null());
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("HTTP/1.1 abc\r\n\r\n{}").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! FNV-1a hashing: the service's content-address and checksum function.
+//!
+//! FNV-1a is deliberately simple — the cache and journal need a fast,
+//! dependency-free, *stable* digest (the same bytes must hash the same
+//! across processes and platforms), not a cryptographic one. Corruption
+//! detection, not tamper resistance, is the threat model.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The digest as fixed-width lowercase hex (16 chars) — the spelling
+/// used in cache filenames, journal checksums and cache-entry records.
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(fnv1a64_hex(b"").len(), 16);
+        assert_eq!(fnv1a64_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let a = fnv1a64(b"payload-v1");
+        let b = fnv1a64(b"payload-v2");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,202 @@
+//! Job model: specs, lifecycle states, and the executor the service
+//! supervises.
+//!
+//! The service is generic over what a "job" computes. A [`JobSpec`] is
+//! an opaque JSON payload; the host supplies a [`JobExecutor`] that
+//! turns a payload into a result string. Executors must be
+//! **deterministic** (same payload → byte-identical result) and
+//! **cooperative** (poll the cancel flag) — the cache, retry and
+//! verification machinery all lean on the first property, the deadline
+//! machinery on the second.
+
+use crate::hash::fnv1a64_hex;
+use serde::Value;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// What one job computes, as an opaque JSON payload.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The job's parameters (kernel, scheme, sizes... — the service
+    /// never interprets them).
+    pub payload: Value,
+}
+
+impl JobSpec {
+    /// The canonical byte representation: compact JSON with the field
+    /// order the client sent. Hashing and byte-comparison both use this
+    /// spelling.
+    pub fn canonical(&self) -> String {
+        serde_json::to_string(&self.payload).unwrap_or_else(|_| "null".into())
+    }
+
+    /// The content address: FNV-1a over `version \n canonical-payload`.
+    /// Bumping the executor version invalidates every cached result.
+    pub fn cache_key(&self, version: &str) -> String {
+        fnv1a64_hex(format!("{version}\n{}", self.canonical()).as_bytes())
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the bounded queue (or for a retry slot).
+    Queued,
+    /// On a worker right now.
+    Running,
+    /// Finished with a verified result payload.
+    Completed {
+        /// The executor's result string (or the cached copy).
+        result: String,
+        /// Served from the result cache without running.
+        cached: bool,
+    },
+    /// Failed every attempt; parked with its final diagnostic.
+    DeadLettered {
+        /// The last attempt's error (carries the pipeline snapshot text
+        /// for simulation failures).
+        error: String,
+    },
+}
+
+impl JobState {
+    /// The status word reported over the API.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed { .. } => "completed",
+            JobState::DeadLettered { .. } => "dead_lettered",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed { .. } | JobState::DeadLettered { .. }
+        )
+    }
+}
+
+/// One tracked job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Server-assigned id (dense, stable across journal replay).
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Content-address under the current executor version.
+    pub key: String,
+    /// Attempts started so far.
+    pub attempts: u32,
+    /// Lifecycle state.
+    pub state: JobState,
+}
+
+impl JobRecord {
+    /// The API representation of this job.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), Value::UInt(self.id)),
+            ("key".to_string(), Value::Str(self.key.clone())),
+            (
+                "status".to_string(),
+                Value::Str(self.state.label().to_string()),
+            ),
+            ("attempts".to_string(), Value::UInt(self.attempts as u64)),
+            ("spec".to_string(), self.spec.payload.clone()),
+        ];
+        match &self.state {
+            JobState::Completed { result, cached } => {
+                fields.push(("cached".to_string(), Value::Bool(*cached)));
+                fields.push(("result".to_string(), Value::Str(result.clone())));
+            }
+            JobState::DeadLettered { error } => {
+                fields.push(("error".to_string(), Value::Str(error.clone())));
+            }
+            _ => {}
+        }
+        Value::Object(fields)
+    }
+}
+
+/// The computation the service supervises.
+pub trait JobExecutor: Send + Sync + 'static {
+    /// Version string folded into every cache key (bump on any change
+    /// that could alter results — simulator revision, result schema).
+    fn version(&self) -> String;
+
+    /// Runs one job to completion, polling `cancel` cooperatively; a
+    /// deadline reaper flips the flag when the attempt's budget
+    /// expires. `Err` is a human-readable diagnostic (the service
+    /// retries and eventually dead-letters with it). Panics are caught,
+    /// isolated, and treated like `Err`.
+    fn run(&self, payload: &Value, cancel: &Arc<AtomicBool>) -> Result<String, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(text: &str) -> JobSpec {
+        JobSpec {
+            payload: serde_json::from_str(text).unwrap(),
+        }
+    }
+
+    #[test]
+    fn cache_key_depends_on_payload_and_version() {
+        let a = spec("{\"kernel\":\"saxpy\",\"rf\":64}");
+        let b = spec("{\"kernel\":\"saxpy\",\"rf\":80}");
+        assert_ne!(a.cache_key("v1"), b.cache_key("v1"));
+        assert_ne!(a.cache_key("v1"), a.cache_key("v2"));
+        assert_eq!(a.cache_key("v1"), a.cache_key("v1"));
+    }
+
+    #[test]
+    fn canonical_is_compact() {
+        assert_eq!(
+            spec("{ \"a\" : 1 , \"b\" : [true] }").canonical(),
+            "{\"a\":1,\"b\":[true]}"
+        );
+    }
+
+    #[test]
+    fn state_labels_and_terminality() {
+        assert_eq!(JobState::Queued.label(), "queued");
+        assert!(!JobState::Running.is_terminal());
+        let done = JobState::Completed {
+            result: "{}".into(),
+            cached: true,
+        };
+        assert!(done.is_terminal());
+        let dead = JobState::DeadLettered { error: "x".into() };
+        assert_eq!(dead.label(), "dead_lettered");
+        assert!(dead.is_terminal());
+    }
+
+    #[test]
+    fn record_value_carries_result_or_error() {
+        let mut rec = JobRecord {
+            id: 3,
+            spec: spec("{\"k\":1}"),
+            key: "abc".into(),
+            attempts: 2,
+            state: JobState::Completed {
+                result: "{\"ipc\":1.0}".into(),
+                cached: false,
+            },
+        };
+        let v = rec.to_value();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("completed"));
+        assert_eq!(v.get("attempts").and_then(Value::as_u64), Some(2));
+        assert!(v.get("result").is_some());
+        rec.state = JobState::DeadLettered {
+            error: "deadline".into(),
+        };
+        let v = rec.to_value();
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("deadline"));
+        assert!(v.get("result").is_none());
+    }
+}

@@ -1,0 +1,125 @@
+#![warn(missing_docs)]
+
+//! `regshare-serve` — a supervised, crash-safe simulation job service.
+//!
+//! ROADMAP item 2 made concrete: simulation capacity as a managed
+//! runtime resource with explicit failure semantics. A hand-rolled
+//! HTTP/1.1 + JSON listener on [`std::net::TcpListener`] (the build
+//! container is offline — no tokio, no hyper; see `vendor/README.md`)
+//! feeds a bounded job queue and a supervised worker pool:
+//!
+//! * **Panic isolation** — each attempt runs under `catch_unwind`; a
+//!   panicking executor becomes a structured failure and the tainted
+//!   worker thread is replaced by the supervisor, never taking the
+//!   service down.
+//! * **Deadlines + retries** — a reaper flips each attempt's
+//!   cooperative cancel flag at its deadline; failed attempts re-queue
+//!   with capped exponential backoff and deterministic jitter, then
+//!   park in the dead-letter list with their final diagnostics.
+//! * **Verified result cache** — content-addressed by `(executor
+//!   version, canonical payload)`, each entry checksummed; corrupt
+//!   entries are quarantined and recomputed, never served.
+//! * **Crash recovery** — an append-only, checksummed job journal
+//!   (atomic compaction) replayed on startup, so a killed server
+//!   resumes pending work.
+//! * **Graceful degradation** — full-queue submissions get `429` +
+//!   `Retry-After`; SIGTERM/ctrl-C (or `POST /shutdown`) drains
+//!   in-flight work and exits with a replayable journal; `/healthz` and
+//!   `/stats` report queue depth, cache hit rate, retries and latency
+//!   percentiles throughout.
+//!
+//! The service is generic over a [`JobExecutor`] — the root crate
+//! plugs in the deterministic simulator (`experiments serve`), and the
+//! chaos tests plug in misbehaving executors.
+//!
+//! # Examples
+//!
+//! ```
+//! use regshare_serve::{Client, JobExecutor, ServeConfig, Server};
+//! use serde::Value;
+//! use std::sync::Arc;
+//! use std::sync::atomic::AtomicBool;
+//!
+//! struct Doubler;
+//! impl JobExecutor for Doubler {
+//!     fn version(&self) -> String { "doubler-1".into() }
+//!     fn run(&self, payload: &Value, _cancel: &Arc<AtomicBool>) -> Result<String, String> {
+//!         let x = payload.get("x").and_then(Value::as_u64).ok_or("missing x")?;
+//!         Ok(format!("{{\"doubled\":{}}}", 2 * x))
+//!     }
+//! }
+//!
+//! let dir = std::env::temp_dir().join(format!("serve-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let config = ServeConfig { data_dir: dir, ..ServeConfig::default() };
+//! let server = Server::start(config, Arc::new(Doubler)).unwrap();
+//! let client = Client::new(&format!("127.0.0.1:{}", server.port()));
+//! let accepted = client.submit(&[serde_json::from_str("{\"x\":21}").unwrap()]).unwrap();
+//! let done = client.wait_terminal(&accepted, std::time::Duration::from_secs(10)).unwrap();
+//! assert_eq!(done[0].get("result").and_then(Value::as_str), Some("{\"doubled\":42}"));
+//! server.shutdown();
+//! server.join();
+//! ```
+
+mod cache;
+mod client;
+mod hash;
+mod http;
+mod job;
+mod journal;
+mod metrics;
+mod queue;
+mod server;
+mod state;
+mod worker;
+
+pub use cache::{CacheRead, ResultCache};
+pub use client::Client;
+pub use hash::{fnv1a64, fnv1a64_hex};
+pub use job::{JobExecutor, JobRecord, JobSpec, JobState};
+pub use journal::{Journal, Record, Replay};
+pub use metrics::Metrics;
+pub use queue::BoundedQueue;
+pub use server::{install_signal_handlers, shutdown_requested, Server};
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back with
+    /// [`Server::port`]).
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded-queue admission capacity (the backpressure point).
+    pub queue_capacity: usize,
+    /// Total attempts per job before dead-lettering (first run
+    /// included).
+    pub max_attempts: u32,
+    /// Wall-clock budget per attempt; past it the reaper cancels the
+    /// attempt cooperatively.
+    pub deadline: Duration,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Directory holding `journal.log` and `cache/`.
+    pub data_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 256,
+            max_attempts: 3,
+            deadline: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            data_dir: PathBuf::from("results/serve"),
+        }
+    }
+}

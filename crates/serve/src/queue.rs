@@ -1,0 +1,127 @@
+//! The bounded job queue: the service's backpressure point.
+//!
+//! Client intake goes through [`BoundedQueue::try_push_batch`], which
+//! refuses whole batches that do not fit — the HTTP layer turns that
+//! refusal into `429 Too Many Requests` + `Retry-After`. Internal
+//! re-queues (retries, journal replay) use [`BoundedQueue::push_force`]:
+//! a job the service has already accepted must never be dropped because
+//! clients kept the queue full.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A Mutex+Condvar bounded MPMC queue of job ids.
+pub struct BoundedQueue {
+    inner: Mutex<VecDeque<u64>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+/// Lock helper that survives poisoning: a panicking thread elsewhere
+/// must not take the queue (and with it the whole service) down.
+fn lock(m: &Mutex<VecDeque<u64>>) -> MutexGuard<'_, VecDeque<u64>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl BoundedQueue {
+    /// An empty queue admitting at most `capacity` client-submitted jobs.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a whole batch or nothing: `false` when the batch would
+    /// push the depth past capacity (the backpressure signal).
+    pub fn try_push_batch(&self, ids: &[u64]) -> bool {
+        let mut q = lock(&self.inner);
+        if q.len() + ids.len() > self.capacity {
+            return false;
+        }
+        q.extend(ids.iter().copied());
+        drop(q);
+        self.ready.notify_all();
+        true
+    }
+
+    /// Enqueues unconditionally (internal retries / replay — accepted
+    /// work is never dropped, even past capacity).
+    pub fn push_force(&self, id: u64) {
+        lock(&self.inner).push_back(id);
+        self.ready.notify_one();
+    }
+
+    /// Pops the oldest id, waiting up to `timeout`. `None` on timeout —
+    /// workers use the timeout to re-check the drain flag.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<u64> {
+        let mut q = lock(&self.inner);
+        if let Some(id) = q.pop_front() {
+            return Some(id);
+        }
+        let (mut q, _res) = self
+            .ready
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        let q = BoundedQueue::new(3);
+        assert!(q.try_push_batch(&[1, 2]));
+        assert!(!q.try_push_batch(&[3, 4]), "would exceed capacity");
+        assert_eq!(q.len(), 2);
+        assert!(q.try_push_batch(&[3]));
+        assert!(!q.try_push_batch(&[4]), "full");
+    }
+
+    #[test]
+    fn force_push_ignores_capacity() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push_batch(&[1]));
+        q.push_force(2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_is_fifo_and_times_out() {
+        let q = BoundedQueue::new(8);
+        assert!(q.try_push_batch(&[7, 8]));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(7));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(8));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pop_wakes_on_concurrent_push() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push_force(42);
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,292 @@
+//! Shared service state and the job lifecycle transitions.
+//!
+//! Every transition that must survive a crash appends to the journal
+//! *before* the in-memory state changes — the journal is the source of
+//! truth replay rebuilds from. All locks tolerate poisoning: a panic on
+//! one thread must never wedge the rest of the service.
+
+use crate::cache::{CacheRead, ResultCache};
+use crate::hash::fnv1a64;
+use crate::job::{JobExecutor, JobRecord, JobSpec, JobState};
+use crate::journal::{Journal, Record};
+use crate::metrics::{bump, Metrics};
+use crate::queue::BoundedQueue;
+use crate::ServeConfig;
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Poison-tolerant lock.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A registered in-flight attempt, visible to the deadline reaper.
+pub(crate) struct RunningAttempt {
+    /// Cooperative cancel flag handed to the executor.
+    pub cancel: Arc<AtomicBool>,
+    /// When the reaper should flip the flag.
+    pub deadline: Instant,
+    /// Set by the reaper when it cancelled this attempt.
+    pub timed_out: bool,
+}
+
+/// State shared by the listener, workers, supervisor and reaper.
+pub(crate) struct Shared {
+    pub config: ServeConfig,
+    pub executor: Arc<dyn JobExecutor>,
+    pub version: String,
+    pub queue: BoundedQueue,
+    pub jobs: Mutex<HashMap<u64, JobRecord>>,
+    pub next_id: AtomicU64,
+    pub cache: ResultCache,
+    pub journal: Mutex<Journal>,
+    pub metrics: Metrics,
+    /// Stop accepting, finish in-flight work, exit.
+    pub draining: AtomicBool,
+    /// Worker pool fully stopped (set by the supervisor).
+    pub pool_done: AtomicBool,
+    pub running: Mutex<HashMap<u64, RunningAttempt>>,
+    /// Failed attempts waiting out their backoff: `(due, id)`.
+    pub retries: Mutex<Vec<(Instant, u64)>>,
+}
+
+/// Admission outcome for one job of a batch.
+pub(crate) struct Admitted {
+    pub id: u64,
+    pub status: &'static str,
+    pub cached: bool,
+}
+
+impl Shared {
+    fn journal_append(&self, rec: &Record) {
+        if let Err(e) = lock(&self.journal).append(rec) {
+            // Journal loss degrades crash recovery, not live service.
+            eprintln!("serve: journal append failed: {e}");
+        }
+    }
+
+    /// Whether the service is draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Admits a batch: cache hits complete immediately, the rest are
+    /// queued all-or-nothing. `Err(())` = queue full (429 upstream).
+    pub fn admit_batch(&self, specs: Vec<JobSpec>) -> Result<Vec<Admitted>, ()> {
+        let mut jobs = lock(&self.jobs);
+        let mut admitted = Vec::with_capacity(specs.len());
+        let mut queued_ids = Vec::new();
+        let mut new_records = Vec::new();
+        for spec in specs {
+            bump(&self.metrics.submitted);
+            let key = spec.cache_key(&self.version);
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let (state, status, cached) = match self.cache.get(&key) {
+                CacheRead::Hit(result) => {
+                    bump(&self.metrics.cache_hits);
+                    (
+                        JobState::Completed {
+                            result,
+                            cached: true,
+                        },
+                        "completed",
+                        true,
+                    )
+                }
+                CacheRead::Quarantined => {
+                    bump(&self.metrics.cache_quarantined);
+                    bump(&self.metrics.cache_misses);
+                    (JobState::Queued, "queued", false)
+                }
+                CacheRead::Miss => {
+                    bump(&self.metrics.cache_misses);
+                    (JobState::Queued, "queued", false)
+                }
+            };
+            if matches!(state, JobState::Queued) {
+                queued_ids.push(id);
+            }
+            new_records.push(JobRecord {
+                id,
+                spec,
+                key,
+                attempts: 0,
+                state,
+            });
+            admitted.push(Admitted { id, status, cached });
+        }
+        if !self.queue.try_push_batch(&queued_ids) {
+            bump(&self.metrics.rejected_full);
+            return Err(());
+        }
+        for rec in new_records {
+            self.journal_append(&Record::Accepted {
+                id: rec.id,
+                payload: rec.spec.payload.clone(),
+                key: rec.key.clone(),
+            });
+            if let JobState::Completed { .. } = rec.state {
+                self.journal_append(&Record::Completed {
+                    id: rec.id,
+                    key: rec.key.clone(),
+                });
+            } else {
+                bump(&self.metrics.accepted);
+            }
+            jobs.insert(rec.id, rec);
+        }
+        Ok(admitted)
+    }
+
+    /// Marks an attempt started: journal record, state flip, reaper
+    /// registration. Returns the payload and cancel flag, or `None` if
+    /// the id vanished (journal corruption — skip quietly).
+    pub fn start_attempt(&self, id: u64) -> Option<(Value, Arc<AtomicBool>)> {
+        let mut jobs = lock(&self.jobs);
+        let rec = jobs.get_mut(&id)?;
+        if rec.state.is_terminal() {
+            return None;
+        }
+        rec.attempts += 1;
+        rec.state = JobState::Running;
+        let attempt = rec.attempts;
+        let payload = rec.spec.payload.clone();
+        drop(jobs);
+        self.journal_append(&Record::Started { id, attempt });
+        let cancel = Arc::new(AtomicBool::new(false));
+        lock(&self.running).insert(
+            id,
+            RunningAttempt {
+                cancel: Arc::clone(&cancel),
+                deadline: Instant::now() + self.config.deadline,
+                timed_out: false,
+            },
+        );
+        Some((payload, cancel))
+    }
+
+    /// Unregisters the attempt from the reaper; reports whether the
+    /// reaper had cancelled it at its deadline.
+    pub fn finish_attempt(&self, id: u64) -> bool {
+        lock(&self.running)
+            .remove(&id)
+            .map(|a| a.timed_out)
+            .unwrap_or(false)
+    }
+
+    /// Records a successful attempt: cache write, journal, state,
+    /// latency.
+    pub fn complete(&self, id: u64, result: String, latency: Duration) {
+        let key = match lock(&self.jobs).get(&id) {
+            Some(rec) => rec.key.clone(),
+            None => return,
+        };
+        if let Err(e) = self.cache.put(&key, &result) {
+            eprintln!("serve: cache write for job {id} failed: {e}");
+        }
+        self.journal_append(&Record::Completed { id, key });
+        if let Some(rec) = lock(&self.jobs).get_mut(&id) {
+            rec.state = JobState::Completed {
+                result,
+                cached: false,
+            };
+        }
+        bump(&self.metrics.completed);
+        self.metrics.record_latency(latency.as_secs_f64());
+    }
+
+    /// The capped exponential backoff (with deterministic jitter) before
+    /// retry number `attempt` re-queues.
+    pub fn backoff(&self, id: u64, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.max(Duration::from_millis(1));
+        let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.config.backoff_cap);
+        // Deterministic jitter: up to half the base, keyed by (id,
+        // attempt) so colliding retries spread out reproducibly.
+        let jitter_ns = fnv1a64(format!("{id}:{attempt}").as_bytes())
+            % (base.as_nanos().max(2) as u64 / 2).max(1);
+        capped + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Records a failed attempt: re-queue with backoff while budget
+    /// remains, otherwise dead-letter with the final diagnostic.
+    pub fn fail_attempt(&self, id: u64, error: String, timed_out: bool, panicked: bool) {
+        if timed_out {
+            bump(&self.metrics.timeouts);
+        }
+        if panicked {
+            bump(&self.metrics.panics);
+        }
+        let mut jobs = lock(&self.jobs);
+        let Some(rec) = jobs.get_mut(&id) else { return };
+        let attempts = rec.attempts;
+        if attempts < self.config.max_attempts {
+            rec.state = JobState::Queued;
+            drop(jobs);
+            bump(&self.metrics.retries);
+            let due = Instant::now() + self.backoff(id, attempts);
+            lock(&self.retries).push((due, id));
+        } else {
+            let diagnostic = format!("attempt {attempts}/{}: {error}", self.config.max_attempts);
+            rec.state = JobState::DeadLettered {
+                error: diagnostic.clone(),
+            };
+            drop(jobs);
+            bump(&self.metrics.dead_letters);
+            self.journal_append(&Record::DeadLettered {
+                id,
+                error: diagnostic,
+            });
+        }
+    }
+
+    /// Moves retry entries whose backoff expired back onto the queue.
+    pub fn pump_retries(&self, now: Instant) {
+        let mut due = Vec::new();
+        {
+            let mut retries = lock(&self.retries);
+            retries.retain(|(when, id)| {
+                if *when <= now {
+                    due.push(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Accepted work bypasses admission capacity: never drop it.
+        due.sort_unstable();
+        for id in due {
+            self.queue.push_force(id);
+        }
+    }
+
+    /// Flips cancel flags of attempts past their deadline.
+    pub fn reap_deadlines(&self, now: Instant) {
+        for attempt in lock(&self.running).values_mut() {
+            if now >= attempt.deadline && !attempt.timed_out {
+                attempt.timed_out = true;
+                attempt.cancel.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Counts of jobs by state: `(queued, running, completed,
+    /// dead_lettered)`.
+    pub fn job_counts(&self) -> (usize, usize, usize, usize) {
+        let jobs = lock(&self.jobs);
+        let mut c = (0, 0, 0, 0);
+        for rec in jobs.values() {
+            match rec.state {
+                JobState::Queued => c.0 += 1,
+                JobState::Running => c.1 += 1,
+                JobState::Completed { .. } => c.2 += 1,
+                JobState::DeadLettered { .. } => c.3 += 1,
+            }
+        }
+        c
+    }
+}

@@ -1,0 +1,181 @@
+//! The supervised worker pool.
+//!
+//! Each worker pops job ids from the bounded queue and runs the
+//! executor under [`std::panic::catch_unwind`] — a panicking job is
+//! converted into a structured failure, and the worker thread that
+//! caught it *exits* (its thread-local state is suspect after an
+//! unwind) for the supervisor to replace. A reaper thread enforces
+//! per-attempt deadlines by flipping the attempts' cooperative cancel
+//! flags and pumps retry backoff timers. On drain, workers finish their
+//! current attempt, the supervisor joins everything, and whatever is
+//! left in the queue stays journaled for the next start to replay.
+
+use crate::job::JobExecutor;
+use crate::metrics::bump;
+use crate::state::Shared;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a worker's loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerExit {
+    /// Normal drain.
+    Clean,
+    /// Exited after catching a panic; needs replacement.
+    Tainted,
+}
+
+/// The pool: workers + deadline reaper under one supervisor.
+pub(crate) struct WorkerPool {
+    supervisor: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) -> WorkerExit {
+    loop {
+        if shared.is_draining() {
+            return WorkerExit::Clean;
+        }
+        let Some(id) = shared.queue.pop_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
+        let Some((payload, cancel)) = shared.start_attempt(id) else {
+            continue;
+        };
+        let executor: Arc<dyn JobExecutor> = Arc::clone(&shared.executor);
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| executor.run(&payload, &cancel)));
+        let timed_out = shared.finish_attempt(id);
+        match outcome {
+            Ok(Ok(result)) => shared.complete(id, result, started.elapsed()),
+            Ok(Err(error)) => {
+                let error = if timed_out {
+                    format!(
+                        "deadline exceeded ({}ms budget): {error}",
+                        shared.config.deadline.as_millis()
+                    )
+                } else {
+                    error
+                };
+                shared.fail_attempt(id, error, timed_out, false);
+            }
+            Err(panic) => {
+                let error = format!("worker panic: {}", panic_message(panic));
+                shared.fail_attempt(id, error, timed_out, true);
+                // The unwound thread is suspect; hand the slot back to
+                // the supervisor for a fresh replacement.
+                return WorkerExit::Tainted;
+            }
+        }
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, ordinal: usize) -> JoinHandle<WorkerExit> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{ordinal}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn worker thread")
+}
+
+impl WorkerPool {
+    /// Starts `shared.config.workers` workers, the deadline/retry
+    /// reaper, and the supervisor that replaces tainted workers.
+    pub fn spawn(shared: &Arc<Shared>) -> WorkerPool {
+        let reaper = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name("serve-reaper".into())
+                .spawn(move || {
+                    while !shared.pool_done.load(Ordering::Acquire) {
+                        let now = Instant::now();
+                        shared.reap_deadlines(now);
+                        shared.pump_retries(now);
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                })
+                .expect("spawn reaper thread")
+        };
+        let supervisor = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || {
+                    let mut next_ordinal = shared.config.workers;
+                    let mut handles: Vec<JoinHandle<WorkerExit>> = (0..shared.config.workers)
+                        .map(|k| spawn_worker(&shared, k))
+                        .collect();
+                    loop {
+                        std::thread::sleep(Duration::from_millis(10));
+                        let mut alive = Vec::with_capacity(handles.len());
+                        for h in handles.drain(..) {
+                            if !h.is_finished() {
+                                alive.push(h);
+                                continue;
+                            }
+                            let exit = h.join().unwrap_or(WorkerExit::Tainted);
+                            if exit == WorkerExit::Tainted && !shared.is_draining() {
+                                bump(&shared.metrics.workers_replaced);
+                                alive.push(spawn_worker(&shared, next_ordinal));
+                                next_ordinal += 1;
+                            }
+                        }
+                        handles = alive;
+                        if shared.is_draining() && handles.is_empty() {
+                            break;
+                        }
+                    }
+                    shared.pool_done.store(true, Ordering::Release);
+                })
+                .expect("spawn supervisor thread")
+        };
+        WorkerPool {
+            supervisor: Some(supervisor),
+            reaper: Some(reaper),
+        }
+    }
+
+    /// Joins the supervisor (which joins the workers) and the reaper.
+    /// Call after setting the drain flag.
+    pub fn join(&mut self) {
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Live worker count (configured size; replacements keep it there).
+    pub fn configured_workers(shared: &Shared) -> usize {
+        shared.config.workers
+    }
+}
+
+// The pool is exercised end-to-end through the server tests in
+// `tests/service.rs` and the root chaos campaign; the unit tests here
+// pin the panic-message extraction used in dead-letter diagnostics.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new(String::from("ouch"))), "ouch");
+        assert_eq!(panic_message(Box::new(17u32)), "non-string panic payload");
+    }
+}

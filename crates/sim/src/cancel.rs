@@ -1,0 +1,83 @@
+//! Cooperative cancellation for in-flight simulations.
+//!
+//! A [`CancelToken`] is a shared flag an external supervisor (the job
+//! service's deadline reaper, a ctrl-C handler, a test) flips to ask a
+//! running [`crate::Pipeline`] to stop. The pipeline polls the flag in
+//! its driver loop every [`CANCEL_CHECK_INTERVAL`] cycles and returns
+//! [`crate::SimError::Cancelled`], so a timed-out job stops within a
+//! bounded number of simulated cycles instead of running to completion.
+//!
+//! Cancellation never perturbs results: a run either completes with
+//! byte-identical output or reports `Cancelled` — there is no partial
+//! result path, which is what lets the job service retry cancelled jobs
+//! and still promise byte-identical completions.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How many cycles may elapse between cancel-flag polls (a power of two
+/// so the driver-loop check is a mask test).
+pub const CANCEL_CHECK_INTERVAL: u64 = 1024;
+
+/// A shared cancellation flag. Clones observe the same flag; dropping
+/// tokens never cancels.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing shared flag (lets a host that already tracks
+    /// per-job flags hand the same one to the simulator).
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancelToken { flag }
+    }
+
+    /// The underlying shared flag.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn from_flag_aliases_the_given_bool() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = CancelToken::from_flag(Arc::clone(&flag));
+        flag.store(true, Ordering::Release);
+        assert!(t.is_cancelled());
+        assert!(t.flag().load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn interval_is_a_power_of_two() {
+        assert!(CANCEL_CHECK_INTERVAL.is_power_of_two());
+    }
+}

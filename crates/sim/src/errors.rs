@@ -24,6 +24,13 @@ pub enum SimError {
         /// The limit that was hit.
         cycles: u64,
     },
+    /// An external supervisor cancelled the run through a
+    /// [`crate::CancelToken`] (deadline expiry, shutdown). The program
+    /// had not finished; no partial results are reported.
+    Cancelled {
+        /// Simulated cycle at which the cancellation was observed.
+        cycle: u64,
+    },
     /// No instruction committed for a long time with work in flight.
     Deadlock {
         /// Cycle at which the deadlock was declared.
@@ -66,6 +73,9 @@ impl fmt::Display for SimError {
                 write!(f, "oracle mismatch at cycle {cycle}: {detail}\n{snapshot}")
             }
             SimError::CycleLimit { cycles } => write!(f, "cycle limit of {cycles} reached"),
+            SimError::Cancelled { cycle } => {
+                write!(f, "run cancelled by supervisor at cycle {cycle}")
+            }
             SimError::Deadlock {
                 cycle,
                 head_seq,

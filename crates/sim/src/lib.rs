@@ -49,6 +49,7 @@
 //! ```
 
 mod bpred;
+mod cancel;
 mod config;
 mod core_state;
 mod errors;
@@ -66,6 +67,7 @@ mod warm;
 mod wheel;
 
 pub use bpred::{BranchPredictor, BranchPredictorConfig};
+pub use cancel::{CancelToken, CANCEL_CHECK_INTERVAL};
 pub use config::{FuConfig, IssuePolicyKind, RecoveryPolicyKind, SimConfig};
 pub use errors::{HeadSnapshot, PipelineSnapshot, SimError, TraceEvent, TraceStage};
 pub use fu::FuPool;

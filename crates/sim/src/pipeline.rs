@@ -9,6 +9,7 @@
 //! watchdog / report plumbing, and the public inspection API.
 
 use crate::bpred::BranchPredictor;
+use crate::cancel::{CancelToken, CANCEL_CHECK_INTERVAL};
 use crate::core_state::{CoreState, SeqSet, StageIo};
 use crate::errors::{PipelineSnapshot, SimError, TraceEvent};
 use crate::inject::{InjectSchedule, InjectState, InjectStats};
@@ -39,6 +40,7 @@ pub struct Pipeline {
     writeback: WritebackStage,
     commit: CommitStage,
     recovery: Box<dyn RecoveryPolicy>,
+    cancel: Option<CancelToken>,
 }
 
 impl Pipeline {
@@ -192,7 +194,18 @@ impl Pipeline {
             writeback: WritebackStage,
             commit: CommitStage,
             recovery,
+            cancel: None,
         }
+    }
+
+    /// Arms a cooperative cancellation token. The driver loop polls it
+    /// every [`CANCEL_CHECK_INTERVAL`] cycles and stops with
+    /// [`SimError::Cancelled`] once it is set, so an external deadline
+    /// supervisor can abort a runaway job within a bounded number of
+    /// cycles. Cancellation never alters the results of runs that
+    /// complete.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Drains the recorded cycle trace (empty unless [`SimConfig::trace`]
@@ -287,6 +300,15 @@ impl Pipeline {
                 && self.core.committed_instructions >= self.core.config.max_instructions
             {
                 break;
+            }
+            if self.core.cycle & (CANCEL_CHECK_INTERVAL - 1) == 0 {
+                if let Some(token) = &self.cancel {
+                    if token.is_cancelled() {
+                        return Err(SimError::Cancelled {
+                            cycle: self.core.cycle,
+                        });
+                    }
+                }
             }
             if self.core.config.max_cycles > 0 && self.core.cycle >= self.core.config.max_cycles {
                 return Err(SimError::CycleLimit {

@@ -1,0 +1,88 @@
+//! Cooperative cancellation: a timed-out job must stop within a bounded
+//! number of cycles instead of running to completion.
+
+use regshare_core::{BaselineRenamer, Renamer, RenamerConfig};
+use regshare_isa::{reg, Asm, Program};
+use regshare_sim::{CancelToken, Pipeline, SimConfig, SimError, CANCEL_CHECK_INTERVAL};
+use std::time::Duration;
+
+fn baseline() -> Box<dyn Renamer> {
+    Box::new(BaselineRenamer::new(RenamerConfig::baseline(64)))
+}
+
+fn endless_loop() -> Program {
+    let mut a = Asm::new();
+    let top = a.label();
+    a.bind(top);
+    a.addi(reg::x(1), reg::x(1), 1);
+    a.jmp(top);
+    a.assemble()
+}
+
+#[test]
+fn pre_cancelled_run_stops_within_the_check_interval() {
+    let mut sim = Pipeline::new(endless_loop(), baseline(), SimConfig::default());
+    let token = CancelToken::new();
+    token.cancel();
+    sim.set_cancel(token);
+    match sim.run() {
+        Err(SimError::Cancelled { cycle }) => {
+            assert!(
+                cycle <= CANCEL_CHECK_INTERVAL,
+                "bounded stop: cancelled at cycle {cycle}"
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn mid_run_cancel_aborts_an_endless_program() {
+    // No max_cycles / max_instructions: without the token this run
+    // would spin forever (well past the test timeout).
+    let mut sim = Pipeline::new(endless_loop(), baseline(), SimConfig::default());
+    let token = CancelToken::new();
+    sim.set_cancel(token.clone());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+    });
+    let result = sim.run();
+    canceller.join().unwrap();
+    assert!(
+        matches!(result, Err(SimError::Cancelled { .. })),
+        "expected Cancelled, got {result:?}"
+    );
+    assert!(sim.cycle() > 0, "the run made progress before the cancel");
+}
+
+#[test]
+fn uncancelled_token_does_not_perturb_results() {
+    let program = {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 40);
+        let top = a.label();
+        a.bind(top);
+        a.subi(reg::x(1), reg::x(1), 1);
+        a.bne(reg::x(1), reg::zero(), top);
+        a.halt();
+        a.assemble()
+    };
+    let mut plain = Pipeline::new(program.clone(), baseline(), SimConfig::test());
+    let plain_report = plain.run().expect("plain run");
+    let mut armed = Pipeline::new(program, baseline(), SimConfig::test());
+    armed.set_cancel(CancelToken::new());
+    let armed_report = armed.run().expect("armed run");
+    assert_eq!(plain_report.cycles, armed_report.cycles);
+    assert_eq!(
+        plain_report.committed_instructions,
+        armed_report.committed_instructions
+    );
+    assert!(armed_report.halted);
+}
+
+#[test]
+fn cancelled_error_display_names_the_cycle() {
+    let e = SimError::Cancelled { cycle: 2048 };
+    assert!(format!("{e}").contains("2048"));
+}

@@ -24,6 +24,8 @@ fn parse_args() -> Args {
     let mut period = None;
     let mut warmup = None;
     let mut measure = None;
+    let mut port = 0u16;
+    let mut data_dir = "results/serve".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -81,20 +83,36 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--measure needs a number")),
                 );
             }
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--port needs a port number"));
+            }
+            "--data-dir" => {
+                data_dir = it
+                    .next()
+                    .unwrap_or_else(|| die("--data-dir needs a directory"));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [EXPERIMENT..] [--scale N] [--out DIR]\n\
                      \x20                 [--campaigns N] [--seed N] [--kernels a,b,c]\n\
                      \x20                 [--sample] [--workers N] [--period N] \
                      [--warmup N] [--measure N]\n\
+                     \x20                 [--port N] [--data-dir DIR]\n\
                      experiments: fig1 fig2 fig3 table1 table2 table3 fig9 fig10 fig10ec \
                      fig11 fig12 analyze hints ablate-counter ablate-predictor ablate-banks \
-                     ablate-speculation inject sample shape bench all\n\
+                     ablate-speculation inject sample shape bench serve submit all\n\
                      --campaigns/--seed/--kernels apply to the `inject` fault-injection \
                      sweep only\n\
                      --sample makes `all` run the two-speed sampled registry (sample, \
                      shape, bench), the mode that scales to --scale 1000000000\n\
-                     --workers/--period/--warmup/--measure tune sampled runs"
+                     --workers/--period/--warmup/--measure tune sampled runs\n\
+                     `serve` runs the job service (--port to pin the bind port, \
+                     --data-dir for journal+cache, --workers for pool size); `submit` \
+                     batches a sweep to a running service at --port and verifies the \
+                     results against in-process runs"
                 );
                 std::process::exit(0);
             }
@@ -116,6 +134,8 @@ fn parse_args() -> Args {
         period,
         warmup,
         measure,
+        port,
+        data_dir,
     }
 }
 
@@ -126,6 +146,9 @@ fn main() {
     // plain `all`, which promises bit-identical output across runs — the
     // `bench` report's payload is wall-clock throughput.
     let sampled = ["sample", "shape", "bench"];
+    // The job service pair blocks on (or requires) a live listener, so
+    // `all` never includes it either.
+    let service = ["serve", "submit"];
     let selected: Vec<&str> = if args.exps.iter().any(|e| e == "all") {
         if args.sample {
             sampled.to_vec()
@@ -133,7 +156,7 @@ fn main() {
             known
                 .iter()
                 .map(|(n, _)| *n)
-                .filter(|n| !sampled.contains(n))
+                .filter(|n| !sampled.contains(n) && !service.contains(n))
                 .collect()
         }
     } else {
@@ -141,7 +164,11 @@ fn main() {
     };
     for name in selected {
         match known.iter().find(|(n, _)| *n == name) {
-            Some((_, f)) => f(&args),
+            Some((_, f)) => {
+                if let Err(e) = f(&args) {
+                    die(&format!("{name}: {e}"));
+                }
+            }
             None => die(&format!("unknown experiment: {name} (try --help)")),
         }
     }

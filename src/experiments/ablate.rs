@@ -1,7 +1,7 @@
 //! The shared ablation harness and renamer factories used by the four
 //! `ablate-*` subcommands.
 
-use super::common::{save, Args};
+use super::common::{save, Args, ExpError};
 use crate::core::{BankConfig, HintPolicy, Renamer, RenamerConfig, ReuseRenamer};
 use crate::harness::{
     experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme, FIXED_RF,
@@ -18,7 +18,12 @@ struct AblateRow {
     mean_reuse_pct: f64,
 }
 
-pub(crate) fn ablate<F>(args: &Args, name: &str, title: &str, settings: Vec<(String, F)>)
+pub(crate) fn ablate<F>(
+    args: &Args,
+    name: &str,
+    title: &str,
+    settings: Vec<(String, F)>,
+) -> Result<(), ExpError>
 where
     F: Fn(RegClass) -> Box<dyn Renamer> + Sync,
 {
@@ -55,7 +60,7 @@ where
         });
     }
     print!("{table}");
-    save(&args.out_dir, name, &rows);
+    save(&args.out_dir, name, &rows)
 }
 
 pub(crate) fn renamer_with(

@@ -1,12 +1,12 @@
 //! Ablation: shadow-bank split at a fixed register count.
 
 use super::ablate::{ablate, renamer_with};
-use super::common::Args;
+use super::common::{Args, ExpError};
 use crate::core::BankConfig;
 use crate::isa::RegClass;
 
 /// Runs the ablation and writes `ablate_banks.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     let splits: Vec<Vec<usize>> = vec![
         vec![52, 4, 4, 4],
         vec![48, 8, 4, 4],
@@ -29,5 +29,5 @@ pub fn run(args: &Args) {
         "ablate_banks",
         "== Ablation: bank split at 64 registers (equal count) ==",
         settings,
-    );
+    )
 }

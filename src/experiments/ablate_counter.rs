@@ -1,12 +1,12 @@
 //! Ablation: version-counter width.
 
 use super::ablate::{ablate, renamer_with};
-use super::common::Args;
+use super::common::{Args, ExpError};
 use crate::core::BankConfig;
 use crate::isa::RegClass;
 
 /// Runs the ablation and writes `ablate_counter.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     // Version-counter width: an n-bit counter allows 2^n - 1 reuses; banks
     // sized to the same register count (52/4/4/4 = 64).
     let settings = [1u8, 2, 3]
@@ -26,5 +26,5 @@ pub fn run(args: &Args) {
         "ablate_counter",
         "== Ablation: version counter width (equal count, 64 regs) ==",
         settings,
-    );
+    )
 }

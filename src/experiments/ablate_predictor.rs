@@ -1,12 +1,12 @@
 //! Ablation: register type predictor size.
 
 use super::ablate::{ablate, renamer_with};
-use super::common::Args;
+use super::common::{Args, ExpError};
 use crate::core::BankConfig;
 use crate::isa::RegClass;
 
 /// Runs the ablation and writes `ablate_predictor.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     let settings = [64usize, 128, 256, 512, 1024, 4096]
         .into_iter()
         .map(|entries| {
@@ -22,5 +22,5 @@ pub fn run(args: &Args) {
         "ablate_predictor",
         "== Ablation: register type predictor size (equal count, 64 regs) ==",
         settings,
-    );
+    )
 }

@@ -1,12 +1,12 @@
 //! Ablation: speculative (non-redefining) reuse on vs safe reuses only.
 
 use super::ablate::{ablate, renamer_with_spec};
-use super::common::Args;
+use super::common::{Args, ExpError};
 use crate::core::BankConfig;
 use crate::isa::RegClass;
 
 /// Runs the ablation and writes `ablate_speculation.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     let settings = [
         ("safe reuses only", false),
         ("with speculation (paper)", true),
@@ -24,5 +24,5 @@ pub fn run(args: &Args) {
         "ablate_speculation",
         "== Ablation: speculative (non-redefining) reuse, §IV-A2 (equal count, 64 regs) ==",
         settings,
-    );
+    )
 }

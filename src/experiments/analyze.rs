@@ -1,7 +1,7 @@
 //! Static oracle: per-kernel static sharing bounds cross-checked against
 //! the dynamic measurement.
 
-use super::common::{ratio_pct, save, Args};
+use super::common::{ratio_pct, save, Args, ExpError};
 use crate::harness::{par_map, run_kernel, Scheme};
 use crate::stats::Table;
 use crate::workloads::all_kernels;
@@ -34,7 +34,7 @@ struct StaticOracleRow {
 }
 
 /// Runs the static/dynamic cross-check and writes `static_oracle.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     use crate::analyze::{classify, lint_program, oracle_check, Cfg, SiteClass};
     println!("== Static oracle: per-kernel static sharing bounds vs dynamic measurement ==");
     // Kernels halt at a loop boundary, so the functional budget must be
@@ -120,5 +120,5 @@ pub fn run(args: &Args) {
         "static bounds bracket the dynamic single-use fraction on all {} kernels",
         rows.len()
     );
-    save(&args.out_dir, "static_oracle", &rows);
+    save(&args.out_dir, "static_oracle", &rows)
 }

@@ -3,7 +3,7 @@
 //! to `BENCH_sample.json`. This is the evidence for the two-speed
 //! engine's speed ratio and the cost model behind the sampled mode.
 
-use super::common::{save, Args};
+use super::common::{save, Args, ExpError};
 use crate::harness::{experiment_config, run_kernel, Scheme};
 use crate::sim::FunctionalWarmer;
 use crate::stats::Table;
@@ -54,7 +54,7 @@ struct BenchReport {
 }
 
 /// Runs the benchmark and writes `BENCH_sample.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     let detailed_scale = args.scale.min(DETAILED_CAP);
     let warm_scale = args.scale.clamp(WARM_FLOOR, WARM_CAP);
     println!(
@@ -126,5 +126,5 @@ pub fn run(args: &Args) {
         aggregate_speed_ratio: aggregate_ratio,
         sweep_wall_seconds: sweep_started.elapsed().as_secs_f64(),
     };
-    save(&args.out_dir, "BENCH_sample", &report);
+    save(&args.out_dir, "BENCH_sample", &report)
 }

@@ -1,8 +1,77 @@
 //! Shared plumbing for the experiment subcommands: the parsed CLI
 //! options, result persistence, and small formatting helpers.
+//!
+//! Result files are written through [`write_json_atomic`] — temp file +
+//! atomic rename — so a killed run leaves either the previous artifact
+//! or the new one, never a torn half-file. I/O and serialization
+//! failures surface as [`ExpError`] values naming the offending path,
+//! in the same structured-diagnostic discipline `SimError` brought to
+//! the pipeline.
 
 use regshare_stats::SamplePlan;
 use serde::Serialize;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// A structured experiment-harness failure. Every variant names the
+/// artifact involved so a failing batch run is diagnosable from the
+/// message alone.
+#[derive(Debug)]
+pub enum ExpError {
+    /// Creating the results directory failed.
+    CreateDir {
+        /// The directory being created.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Writing (or renaming into place) a results file failed.
+    WriteFile {
+        /// The destination path.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// JSON serialization of result rows failed.
+    Serialize {
+        /// What was being serialized (the results file it was bound for).
+        what: String,
+        /// The serializer's diagnostic.
+        detail: String,
+    },
+    /// The job service (or its client) failed.
+    Serve {
+        /// The service diagnostic.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::CreateDir { path, source } => {
+                write!(f, "create results directory {path}: {source}")
+            }
+            ExpError::WriteFile { path, source } => {
+                write!(f, "write results file {path}: {source}")
+            }
+            ExpError::Serialize { what, detail } => {
+                write!(f, "serialize rows for {what}: {detail}")
+            }
+            ExpError::Serve { detail } => write!(f, "job service: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExpError::CreateDir { source, .. } | ExpError::WriteFile { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// The baseline register-file sizes every sweep walks (§VI-B).
 pub const RF_SIZES: [usize; 7] = [48, 56, 64, 72, 80, 96, 112];
@@ -40,6 +109,11 @@ pub struct Args {
     pub warmup: Option<u64>,
     /// Override: measured instructions per window.
     pub measure: Option<u64>,
+    /// Job-service port: the bind port for `serve` (0 = ephemeral,
+    /// printed at startup), the target port for `submit`.
+    pub port: u16,
+    /// Job-service state directory (journal + result cache) for `serve`.
+    pub data_dir: String,
 }
 
 impl Args {
@@ -62,13 +136,46 @@ pub fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Writes one experiment's rows to `<out_dir>/<name>.json`.
-pub(crate) fn save<T: Serialize>(out_dir: &str, name: &str, rows: &T) {
-    std::fs::create_dir_all(out_dir).expect("create results directory");
+/// Writes `text` to `path` through a sibling temp file and an atomic
+/// rename: concurrent readers (and crashes mid-write) see either the
+/// old contents or the new, never a torn file.
+pub fn write_json_atomic(path: &Path, text: &str) -> Result<(), ExpError> {
+    let shown = path.display().to_string();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|source| ExpError::CreateDir {
+                path: parent.display().to_string(),
+                source,
+            })?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let write = |tmp: &Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()
+    };
+    write(&tmp).map_err(|source| ExpError::WriteFile {
+        path: tmp.display().to_string(),
+        source,
+    })?;
+    std::fs::rename(&tmp, path).map_err(|source| ExpError::WriteFile {
+        path: shown,
+        source,
+    })
+}
+
+/// Writes one experiment's rows to `<out_dir>/<name>.json` (atomically;
+/// see [`write_json_atomic`]).
+pub(crate) fn save<T: Serialize>(out_dir: &str, name: &str, rows: &T) -> Result<(), ExpError> {
     let path = format!("{out_dir}/{name}.json");
-    let json = serde_json::to_string_pretty(rows).expect("results serialize");
-    std::fs::write(&path, json).expect("write results file");
+    let json = serde_json::to_string_pretty(rows).map_err(|e| ExpError::Serialize {
+        what: path.clone(),
+        detail: e.to_string(),
+    })?;
+    write_json_atomic(Path::new(&path), &json)?;
     println!("  -> {path}\n");
+    Ok(())
 }
 
 pub(crate) fn pct(x: f64) -> String {

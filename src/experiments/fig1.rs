@@ -1,7 +1,7 @@
 //! Figure 1: fraction of single-consumer destinations, split by whether
 //! the consumer redefines its source register.
 
-use super::common::{pct, save, Args};
+use super::common::{pct, save, Args, ExpError};
 use crate::stats::Table;
 use crate::workloads::{all_kernels, analysis};
 use serde::Serialize;
@@ -18,7 +18,7 @@ struct Fig1Row {
 }
 
 /// Runs the experiment and writes `fig1.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Figure 1: single-consumer destinations (redefining vs not) ==");
     let mut table =
         Table::with_headers(&["kernel", "suite", "redef%", "other%", "total%", "dest%"]);
@@ -58,5 +58,5 @@ pub fn run(args: &Args) {
         ]);
     }
     print!("{table}");
-    save(&args.out_dir, "fig1", &rows);
+    save(&args.out_dir, "fig1", &rows)
 }

@@ -1,15 +1,15 @@
 //! Figure 10-EC (extension): equal-register-count speedup over the
 //! baseline across register-file sizes.
 
-use super::common::Args;
+use super::common::{Args, ExpError};
 use super::sweeps::speedup_sweep;
 
 /// Runs the sweep and writes `fig10ec.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     speedup_sweep(
         args,
         "fig10ec",
         "== Figure 10-EC (extension): equal-register-count speedup vs baseline ==",
         true,
-    );
+    )
 }

@@ -1,7 +1,7 @@
 //! Figure 11: average IPC versus register-file size for the baseline,
 //! both proposed configurations, and the early-release comparator.
 
-use super::common::{save, Args, RF_SIZES};
+use super::common::{save, Args, ExpError, RF_SIZES};
 use super::sweeps::{early_release_renamer, equal_count_renamer};
 use crate::harness::{
     experiment_config, par_map, run_kernel, run_kernel_with, swept_class, Scheme,
@@ -20,7 +20,7 @@ struct Fig11Row {
 }
 
 /// Runs the four-scheme sweep and writes `fig11.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Figure 11: average IPC vs register file size ==");
     let kernels = all_kernels();
     let points: Vec<(usize, crate::workloads::Kernel)> = RF_SIZES
@@ -99,5 +99,5 @@ pub fn run(args: &Args) {
             }
         }
     }
-    save(&args.out_dir, "fig11", &rows);
+    save(&args.out_dir, "fig11", &rows)
 }

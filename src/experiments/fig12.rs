@@ -1,6 +1,6 @@
 //! Figure 12: register type predictor accuracy per suite.
 
-use super::common::{pct, save, Args};
+use super::common::{pct, save, Args, ExpError};
 use crate::harness::{par_map, run_kernel, Scheme};
 use crate::stats::Table;
 use crate::workloads::{suite_kernels, Suite};
@@ -17,7 +17,7 @@ struct Fig12Row {
 }
 
 /// Runs the predictor sweep and writes `fig12.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Figure 12: register type predictor accuracy (at 64 regs) ==");
     let mut table = Table::with_headers(&[
         "suite",
@@ -60,5 +60,5 @@ pub fn run(args: &Args) {
         });
     }
     print!("{table}");
-    save(&args.out_dir, "fig12", &rows);
+    save(&args.out_dir, "fig12", &rows)
 }

@@ -1,6 +1,6 @@
 //! Figure 2: distribution of consumer counts per produced value.
 
-use super::common::{pct, save, Args};
+use super::common::{pct, save, Args, ExpError};
 use crate::stats::Table;
 use crate::workloads::{analysis, suite_kernels, Suite};
 use serde::Serialize;
@@ -18,7 +18,7 @@ struct Fig2Row {
 }
 
 /// Runs the experiment and writes `fig2.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Figure 2: consumers per produced value ==");
     let mut table = Table::with_headers(&["suite", "1", "2", "3", "4", "5", "6+", "(0)"]);
     table.numeric();
@@ -52,5 +52,5 @@ pub fn run(args: &Args) {
         });
     }
     print!("{table}");
-    save(&args.out_dir, "fig2", &rows);
+    save(&args.out_dir, "fig2", &rows)
 }

@@ -1,6 +1,6 @@
 //! Figure 3: reuse potential under bounded sharing-chain lengths.
 
-use super::common::{pct, save, Args};
+use super::common::{pct, save, Args, ExpError};
 use crate::stats::Table;
 use crate::workloads::{all_kernels, analysis};
 use serde::Serialize;
@@ -16,7 +16,7 @@ struct Fig3Row {
 }
 
 /// Runs the experiment and writes `fig3.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Figure 3: reuse potential for chain limits 1/2/3/unlimited ==");
     let mut table = Table::with_headers(&["kernel", "suite", "<=1", "<=2", "<=3", "unlimited"]);
     table.numeric();
@@ -45,5 +45,5 @@ pub fn run(args: &Args) {
         });
     }
     print!("{table}");
-    save(&args.out_dir, "fig3", &rows);
+    save(&args.out_dir, "fig3", &rows)
 }

@@ -1,7 +1,7 @@
 //! Figure 9: shadow registers needed to cover a given fraction of
 //! execution (fp suite).
 
-use super::common::{save, Args};
+use super::common::{save, Args, ExpError};
 use crate::core::{BankConfig, HintPolicy, RenamerConfig, ReuseRenamer};
 use crate::harness::{experiment_config, par_map, run_kernel_with, FIXED_RF};
 use crate::stats::Table;
@@ -17,7 +17,7 @@ struct Fig9Row {
 }
 
 /// Runs the occupancy sweep and writes `fig9.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Figure 9: shadow registers needed to cover % of execution (fp suite) ==");
     // Effectively unbounded shadow banks; sample bank occupancy per cycle.
     let banks = BankConfig::new(vec![64, 48, 48, 48]);
@@ -80,5 +80,5 @@ pub fn run(args: &Args) {
         });
     }
     print!("{table}");
-    save(&args.out_dir, "fig9", &rows);
+    save(&args.out_dir, "fig9", &rows)
 }

@@ -3,7 +3,7 @@
 //! hint table attached, and the speculation accounting is split by grant
 //! source (Fig. 12 style, per source).
 
-use super::common::{save, Args};
+use super::common::{save, Args, ExpError};
 use crate::analyze::{classify, classify_with_loops, compile_hints, Cfg, SiteClass};
 use crate::core::{HintPolicy, ReuseRenamer};
 use crate::harness::{experiment_config, par_map, renamer_config_for, swept_class, Scheme};
@@ -53,7 +53,7 @@ struct HintRow {
 }
 
 /// Runs the hint-policy race and writes `hints.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Static hints vs dynamic predictor: 3 policies x all kernels ==");
     let kernels = all_kernels();
     let rows: Vec<HintRow> = par_map(&kernels, |k| {
@@ -170,5 +170,5 @@ pub fn run(args: &Args) {
         "loop-aware analysis shrank the Unknown class on {improved}/{} kernels",
         kernels.len()
     );
-    save(&args.out_dir, "hints", &rows);
+    save(&args.out_dir, "hints", &rows)
 }

@@ -1,7 +1,7 @@
 //! Fault injection: seeded campaigns of interrupts, page faults, branch
 //! flips and squash storms under lockstep oracle + invariant audits.
 
-use super::common::{die, save, Args};
+use super::common::{die, save, Args, ExpError};
 use crate::harness::{experiment_config, par_map, renamer_for, swept_class, Scheme};
 use crate::sim::{InjectSchedule, Pipeline, SimError};
 use crate::workloads::all_kernels;
@@ -30,7 +30,7 @@ struct InjectRow {
 }
 
 /// Runs the campaign sweep and writes `inject_report.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Fault injection: seeded interrupts / faults / flips / squash storms ==");
     // Injection stresses recovery paths, not steady-state IPC: modest
     // runs keep a 100+-campaign sweep fast, and the schedule horizon
@@ -68,6 +68,9 @@ pub fn run(args: &Args) {
                     SimError::Deadlock { .. } => "deadlock",
                     SimError::Invariant { .. } => "invariant-violation",
                     SimError::Lsq { .. } => "lsq-error",
+                    // No supervisor attaches a cancel token here, but the
+                    // row schema still needs a stable word for it.
+                    SimError::Cancelled { .. } => "cancelled",
                 };
                 let detail = format!(
                     "campaign {i} ({}, {}, seed {seed:#x}): {e}",
@@ -122,7 +125,7 @@ pub fn run(args: &Args) {
         sum(|r| r.audits),
         rows.iter().filter(|r| r.status == "ok").count(),
     );
-    save(&args.out_dir, "inject_report", &rows);
+    save(&args.out_dir, "inject_report", &rows)?;
     if !errors.is_empty() {
         for e in &errors {
             eprintln!("{e}");
@@ -133,4 +136,5 @@ pub fn run(args: &Args) {
             rows.len()
         ));
     }
+    Ok(())
 }

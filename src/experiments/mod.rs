@@ -26,16 +26,21 @@ mod fig9;
 mod hints;
 mod inject;
 mod sample;
+mod serve;
 mod shape;
+mod submit;
 mod sweeps;
 mod table1;
 mod table2;
 mod table3;
 
-pub use common::{die, Args, RF_SIZES};
+pub use common::{die, write_json_atomic, Args, ExpError, RF_SIZES};
+pub use serve::SimExecutor;
 
-/// An experiment entry point.
-pub type ExperimentFn = fn(&Args);
+/// An experiment entry point. Harness failures (result-file I/O, the
+/// job service) surface as [`ExpError`] values; the binary prints them
+/// and exits non-zero.
+pub type ExperimentFn = fn(&Args) -> Result<(), ExpError>;
 
 /// Every experiment in canonical order — `all` runs them in exactly
 /// this sequence, so the registry order is part of the reproducibility
@@ -64,5 +69,9 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("sample", sample::run),
         ("shape", shape::run),
         ("bench", bench::run),
+        // Job service: `serve` blocks on a listener and `submit` talks
+        // to one, so `all` skips both (like the sampled trio).
+        ("serve", serve::run),
+        ("submit", submit::run),
     ]
 }

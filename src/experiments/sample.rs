@@ -4,7 +4,7 @@
 //! each batch sliced across worker threads. Reports mean IPC with a 95%
 //! confidence interval — the mode that scales to 10⁹-instruction runs.
 
-use super::common::{save, Args};
+use super::common::{save, Args, ExpError};
 use crate::harness::{
     experiment_config, par_map_with, renamer_config_for, renamer_for, swept_class, Scheme,
 };
@@ -47,7 +47,7 @@ fn aggregate(windows: &[WindowResult]) -> (Welford, u64) {
 }
 
 /// Runs the experiment and writes `sampled.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     let scale = args.scale;
     let plan = args.sample_plan(scale);
     println!(
@@ -144,5 +144,5 @@ pub fn run(args: &Args) {
         }
     }
     print!("{table}");
-    save(&args.out_dir, "sampled", &rows);
+    save(&args.out_dir, "sampled", &rows)
 }

@@ -6,7 +6,7 @@
 //! the evidence that sampled paper-scale runs measure the same programs
 //! the small-scale figures characterize.
 
-use super::common::{pct, save, Args};
+use super::common::{pct, save, Args, ExpError};
 use crate::isa::{Machine, Retired};
 use crate::stats::Table;
 use crate::workloads::{all_kernels, analysis, Kernel};
@@ -80,7 +80,7 @@ fn windowed_trace(kernel: &Kernel, rung: u64) -> Vec<Retired> {
 }
 
 /// Runs the experiment and writes `shape.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     let ladder = rungs(args.scale);
     println!(
         "== Shape stability: fig1/fig3 metrics across scales {:?} ==",
@@ -123,5 +123,5 @@ pub fn run(args: &Args) {
         }
     }
     print!("{table}");
-    save(&args.out_dir, "shape", &rows);
+    save(&args.out_dir, "shape", &rows)
 }

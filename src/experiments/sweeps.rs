@@ -1,7 +1,7 @@
 //! The shared IPC-sweep harness and comparator renamers used by the
 //! figure 10/10-EC/11 subcommands.
 
-use super::common::{save, Args, RF_SIZES};
+use super::common::{save, Args, ExpError, RF_SIZES};
 use crate::core::{
     BankConfig, EarlyReleaseRenamer, HintPolicy, Renamer, RenamerConfig, ReuseRenamer,
 };
@@ -60,7 +60,12 @@ pub(crate) fn early_release_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn 
     }))
 }
 
-pub(crate) fn speedup_sweep(args: &Args, name: &str, title: &str, equal_count: bool) {
+pub(crate) fn speedup_sweep(
+    args: &Args,
+    name: &str,
+    title: &str,
+    equal_count: bool,
+) -> Result<(), ExpError> {
     println!("{title}");
     // Every (kernel, size) point is independent; fan out across cores
     // and collect rows back in sweep order.
@@ -130,5 +135,5 @@ pub(crate) fn speedup_sweep(args: &Args, name: &str, title: &str, equal_count: b
     }
     table.row(cells);
     print!("{table}");
-    save(&args.out_dir, name, &rows);
+    save(&args.out_dir, name, &rows)
 }

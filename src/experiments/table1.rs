@@ -1,11 +1,11 @@
 //! Table I: the simulated system configuration.
 
-use super::common::{save, Args};
+use super::common::{save, Args, ExpError};
 use crate::sim::SimConfig;
 use crate::stats::Table;
 
 /// Prints the configuration table and writes `table1.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Table I: system configuration ==");
     let c = SimConfig::default();
     let mut table = Table::with_headers(&["parameter", "value"]);
@@ -47,5 +47,5 @@ pub fn run(args: &Args) {
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect::<Vec<_>>(),
-    );
+    )
 }

@@ -1,12 +1,12 @@
 //! Table II: area of the register files and the scheme's overhead
 //! structures.
 
-use super::common::{save, Args};
+use super::common::{save, Args, ExpError};
 use crate::area;
 use crate::stats::Table;
 
 /// Prints the area table and writes `table2.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Table II: area of register files and overhead structures ==");
     let rows = area::table2();
     let mut table = Table::with_headers(&["unit", "configuration", "area (mm^2)"]);
@@ -25,5 +25,5 @@ pub fn run(args: &Args) {
         format!("{overhead:.3e}"),
     ]);
     print!("{table}");
-    save(&args.out_dir, "table2", &rows);
+    save(&args.out_dir, "table2", &rows)
 }

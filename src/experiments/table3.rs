@@ -1,7 +1,7 @@
 //! Table III: equal-area register-file configurations, paper row vs the
 //! crate's own solver.
 
-use super::common::{save, Args, RF_SIZES};
+use super::common::{save, Args, ExpError, RF_SIZES};
 use crate::area;
 use crate::core::BankConfig;
 use crate::stats::Table;
@@ -15,7 +15,7 @@ struct Table3Row {
 }
 
 /// Prints the configuration table and writes `table3.json`.
-pub fn run(args: &Args) {
+pub fn run(args: &Args) -> Result<(), ExpError> {
     println!("== Table III: equal-area register file configurations ==");
     let ports = area::RegFilePorts::default();
     let mut table = Table::with_headers(&["baseline", "paper (0/1/2/3-sh)", "our solver"]);
@@ -35,5 +35,5 @@ pub fn run(args: &Args) {
         });
     }
     print!("{table}");
-    save(&args.out_dir, "table3", &rows);
+    save(&args.out_dir, "table3", &rows)
 }

@@ -1,7 +1,8 @@
 //! Offline stand-in for `serde_json`: serializes the vendored `serde`
 //! [`Value`] tree to JSON text, matching serde_json's pretty format
 //! (2-space indent, `": "` separators, floats always with a decimal
-//! point).
+//! point), and parses JSON text back into a [`Value`] tree
+//! ([`from_str`] — the subset the job service's HTTP/JSON API needs).
 
 pub use serde::Value;
 use std::fmt;
@@ -116,9 +117,258 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return self.err("truncated \\u escape");
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                        self.pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return self.err("invalid escape"),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the whole sequence through.
+                    let len = if b >= 0xf0 {
+                        4
+                    } else if b >= 0xe0 {
+                        3
+                    } else {
+                        2
+                    };
+                    let start = self.pos - 1;
+                    if start + len > self.bytes.len() {
+                        return self.err("truncated utf-8 sequence");
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Float(f)),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Array(items)),
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Object(fields)),
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => self.err(&format!("unexpected byte 0x{b:02x}")),
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree. Trailing non-whitespace after
+/// the first value is an error, matching serde_json's strictness.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Value::Object(vec![
+            ("kernel".to_string(), Value::Str("saxpy".into())),
+            ("ipc".to_string(), Value::Float(1.5)),
+            ("regs".to_string(), Value::UInt(64)),
+            ("neg".to_string(), Value::Int(-3)),
+            ("ok".to_string(), Value::Bool(true)),
+            ("none".to_string(), Value::Null),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::Str("a\"b\n".into())]),
+            ),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"abc",
+            "{\"a\" 1}",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_unicode() {
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("2.5e2").unwrap(), Value::Float(250.0));
+        assert_eq!(from_str("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+        assert_eq!(from_str("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+    }
 
     #[test]
     fn pretty_prints_nested_rows() {
