@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Perf regression gate: detailed-mode throughput must stay within
+# tolerance of the committed baseline.
+#
+# Runs `experiments bench` at a fixed small scale (the detailed-mode
+# instruction budget saturates at 200k, matching the committed
+# baseline's budget) and compares the aggregate detailed-mode
+# uops/sec against `results/BENCH_sample.json`. A drop of more than
+# BENCH_TOLERANCE (default 10%) fails the gate.
+#
+# The committed number is machine-dependent: it was measured on the
+# machine that produced the checked-in results. On substantially
+# slower hardware, override the tolerance, e.g.
+#     BENCH_TOLERANCE=0.5 ci/check_bench.sh
+# Local throughput swings (thermal, contention) are why the default
+# tolerance is as loose as 10% — this gate catches structural
+# regressions (an accidental O(n) scan, a hot-path allocation), not
+# single-digit noise.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-200000}"
+TOLERANCE="${BENCH_TOLERANCE:-0.10}"
+BASELINE="results/BENCH_sample.json"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+if [ ! -f "$BASELINE" ]; then
+    echo "check_bench: missing committed baseline $BASELINE" >&2
+    exit 1
+fi
+
+cargo build --release --quiet
+./target/release/experiments bench --scale "$SCALE" --out "$OUT" >/dev/null
+
+python3 - "$BASELINE" "$OUT/BENCH_sample.json" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = json.load(open(baseline_path))["aggregate_detailed_uops_per_sec"]
+fresh = json.load(open(fresh_path))["aggregate_detailed_uops_per_sec"]
+floor = baseline * (1.0 - tolerance)
+verdict = "OK" if fresh >= floor else "FAIL"
+print(
+    f"check_bench: baseline {baseline:,.0f} uops/s, fresh {fresh:,.0f} uops/s "
+    f"({fresh / baseline:.2f}x), floor {floor:,.0f} ({tolerance:.0%} tolerance): {verdict}"
+)
+sys.exit(0 if fresh >= floor else 1)
+EOF

@@ -52,6 +52,12 @@ scan '\bHashMap\b|\bHashSet\b' "randomized-hasher collection (use FastHashMap/Fa
 scan 'Instant::now' "wall-clock read in a simulation crate (mark 'det-lint: allow' if it only feeds a throughput report)"
 scan '\bthread_rng\b|\brandom\(\)' "unseeded randomness in a simulation crate"
 
+# The stage tick paths additionally promise zero steady-state heap
+# allocation (tests/zero_alloc.rs): growable collections there must be
+# born with their capacity, so an unsized constructor is a lint error.
+CRATES="crates/sim/src/stages"
+scan '\bVec::new\b|\bVecDeque::new\b' "unsized collection in a stage tick path (use with_capacity / a fixed ring)"
+
 if [ "$status" -eq 0 ]; then
     echo "determinism lint: clean"
 fi

@@ -2,11 +2,11 @@
 //! release-on-commit (the paper's baseline, §II).
 
 use crate::rename_common::{CheckpointStack, RenameTables, SeqRecord};
-use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
+use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind, UopVec};
 use crate::{BankConfig, MapTable, TaggedReg};
 use regshare_isa::{ArchReg, Inst, RegClass};
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct DstChange {
     logical: ArchReg,
     old_map: TaggedReg,
@@ -46,6 +46,12 @@ impl SeqRecord for Record {
 pub struct BaselineRenamer {
     t: RenameTables,
     records: CheckpointStack<Record>,
+    /// Reused squash-outcome storage (`recovers` stays empty: the
+    /// baseline never shares registers, so no recover commands).
+    squash: SquashOutcome,
+    /// Bumped by every mutating entry point except a failed rename; see
+    /// [`Renamer::state_epoch`].
+    epoch: u64,
 }
 
 impl BaselineRenamer {
@@ -60,6 +66,8 @@ impl BaselineRenamer {
         BaselineRenamer {
             t: RenameTables::new(config, |_, _| {}),
             records: CheckpointStack::new(),
+            squash: SquashOutcome::default(),
+            epoch: 0,
         }
     }
 
@@ -75,7 +83,7 @@ impl BaselineRenamer {
 }
 
 impl Renamer for BaselineRenamer {
-    fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<Vec<Uop>> {
+    fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<UopVec> {
         // Sources first: read the map.
         let mut srcs = [None; 3];
         for (slot, src) in srcs.iter_mut().zip(inst.raw_sources()) {
@@ -131,19 +139,23 @@ impl Renamer for BaselineRenamer {
             dst2: dst2_change,
         });
         self.t.stats.renamed += 1;
-        Some(vec![Uop {
+        let mut uops = UopVec::new();
+        uops.push(Uop {
             seq,
             kind: UopKind::Main,
             srcs,
             dst: dst_tag,
             dst2: dst2_tag,
-        }])
+        });
+        Some(uops)
     }
 
     fn commit(&mut self, seq: u64) {
         let record = self.records.commit_front(seq);
         for d in [record.dst, record.dst2].into_iter().flatten() {
-            // Release-on-commit: the redefined mapping dies here.
+            // Release-on-commit: the redefined mapping dies here. A freed
+            // register is what a stalled rename waits for.
+            self.epoch += 1;
             let class = d.old_map.class;
             self.t.free[class.index()].free(d.old_map.preg, self.t.config.banks(class));
             self.t.stats.releases += 1;
@@ -152,18 +164,29 @@ impl Renamer for BaselineRenamer {
         }
     }
 
-    fn squash_after(&mut self, seq: u64) -> SquashOutcome {
-        let mut outcome = SquashOutcome::default();
+    fn squash_after(&mut self, seq: u64) -> &SquashOutcome {
+        self.epoch += 1;
+        self.squash.undone = 0;
         while let Some(record) = self.records.pop_younger(seq) {
             for d in [record.dst2, record.dst].into_iter().flatten() {
                 self.t.map.set(d.logical, d.old_map);
                 let class = d.new_map.class;
                 self.t.free[class.index()].free(d.new_map.preg, self.t.config.banks(class));
             }
-            outcome.undone += 1;
+            self.squash.undone += 1;
             self.t.stats.squashed += 1;
         }
-        outcome
+        &self.squash
+    }
+
+    fn state_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn note_stall(&mut self) {
+        // A failed baseline rename rolls back fully; only the stall
+        // counter survives the attempt.
+        self.t.stats.stalls += 1;
     }
 
     fn stats(&self) -> &RenameStats {
@@ -176,6 +199,10 @@ impl Renamer for BaselineRenamer {
 
     fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
         self.t.in_use_per_bank(class)
+    }
+
+    fn in_use_per_bank_into(&self, class: RegClass, out: &mut Vec<usize>) {
+        self.t.in_use_per_bank_into(class, out);
     }
 
     fn allocated_total(&self, class: RegClass) -> usize {

@@ -22,7 +22,7 @@
 //! supported (condition 1 guarantees a releasing redefiner cannot be
 //! squashed by a branch).
 
-use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind};
+use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind, UopVec};
 use crate::{BankConfig, FreeList, MapTable, PhysReg, TaggedReg};
 use regshare_isa::{ArchReg, Inst, RegClass};
 use regshare_stats::FastHashMap;
@@ -101,6 +101,12 @@ pub struct EarlyReleaseRenamer {
     pending_writes: FastHashMap<u64, [Option<(RegClass, PhysReg)>; 2]>,
     ns_boundary: u64,
     stats: RenameStats,
+    /// Reused squash-outcome storage (`recovers` stays empty: without
+    /// version sharing there are no shadow-cell recover commands).
+    squash: SquashOutcome,
+    /// Bumped by every mutating entry point except a failed rename; see
+    /// [`Renamer::state_epoch`].
+    epoch: u64,
 }
 
 impl EarlyReleaseRenamer {
@@ -154,6 +160,8 @@ impl EarlyReleaseRenamer {
             pending_writes: FastHashMap::default(),
             ns_boundary: 0,
             stats: RenameStats::new(),
+            squash: SquashOutcome::default(),
+            epoch: 0,
         }
     }
 
@@ -173,6 +181,8 @@ impl EarlyReleaseRenamer {
     }
 
     fn free_released(&mut self, p: PendingRelease) {
+        // A freed register is what a stalled rename waits for.
+        self.epoch += 1;
         self.free[p.class.index()].free(p.preg, self.config.banks(p.class));
         self.stats.releases += 1;
         self.stats.chain_lengths.record(0);
@@ -241,7 +251,7 @@ impl EarlyReleaseRenamer {
 }
 
 impl Renamer for EarlyReleaseRenamer {
-    fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<Vec<Uop>> {
+    fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<UopVec> {
         let mut srcs = [None; 3];
         let mut read_list = [None; 3];
         let mut n_reads = 0;
@@ -333,13 +343,15 @@ impl Renamer for EarlyReleaseRenamer {
             dst2: dst2_change,
         });
         self.stats.renamed += 1;
-        Some(vec![Uop {
+        let mut uops = UopVec::new();
+        uops.push(Uop {
             seq,
             kind: UopKind::Main,
             srcs,
             dst: dst_tag,
             dst2: dst2_tag,
-        }])
+        });
+        Some(uops)
     }
 
     fn commit(&mut self, seq: u64) {
@@ -363,8 +375,9 @@ impl Renamer for EarlyReleaseRenamer {
         self.force_release(seq);
     }
 
-    fn squash_after(&mut self, seq: u64) -> SquashOutcome {
-        let mut outcome = SquashOutcome::default();
+    fn squash_after(&mut self, seq: u64) -> &SquashOutcome {
+        self.epoch += 1;
+        self.squash.undone = 0;
         while let Some(record) = self.records.back() {
             if record.seq <= seq {
                 break;
@@ -386,7 +399,7 @@ impl Renamer for EarlyReleaseRenamer {
                 let class = d.new_map.class;
                 self.free[class.index()].free(d.new_map.preg, self.config.banks(class));
             }
-            outcome.undone += 1;
+            self.squash.undone += 1;
             self.stats.squashed += 1;
         }
         // Cancel the squashed micro-ops' queued releases (condition 1
@@ -406,7 +419,7 @@ impl Renamer for EarlyReleaseRenamer {
         );
         // The restored read counters may have unblocked an older entry.
         self.release_unblocked();
-        outcome
+        &self.squash
     }
 
     fn on_writeback(&mut self, seq: u64) {
@@ -448,6 +461,16 @@ impl Renamer for EarlyReleaseRenamer {
         }
     }
 
+    fn state_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn note_stall(&mut self) {
+        // A failed early-release rename rolls back fully; only the stall
+        // counter survives the attempt.
+        self.stats.stalls += 1;
+    }
+
     fn stats(&self) -> &RenameStats {
         &self.stats
     }
@@ -457,10 +480,16 @@ impl Renamer for EarlyReleaseRenamer {
     }
 
     fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.in_use_per_bank_into(class, &mut out);
+        out
+    }
+
+    fn in_use_per_bank_into(&self, class: RegClass, out: &mut Vec<usize>) {
         let banks = self.config.banks(class);
-        (0..banks.num_banks())
-            .map(|k| banks.sizes()[k] - self.free[class.index()].free_in_bank(k))
-            .collect()
+        let free = &self.free[class.index()];
+        out.clear();
+        out.extend((0..banks.num_banks()).map(|k| banks.sizes()[k] - free.free_in_bank(k)));
     }
 
     fn banks(&self, class: RegClass) -> &BankConfig {

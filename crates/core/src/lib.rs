@@ -100,6 +100,7 @@ pub use regfile::RegFile;
 pub use rename_common::{CheckpointStack, RenameTables, SeqRecord};
 pub use renamer::{
     HintPolicy, HintStats, RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind,
+    UopVec, MAX_UOPS,
 };
 pub use reuse::{CorruptKind, ReuseRenamer};
 pub use warm::ReuseWarmer;

@@ -94,11 +94,18 @@ impl RenameTables {
     /// Allocated (in-use) physical registers of one class, per bank —
     /// the occupancy readout the pipeline samples for Fig. 11.
     pub fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.in_use_per_bank_into(class, &mut out);
+        out
+    }
+
+    /// [`Self::in_use_per_bank`] into a caller-owned buffer (cleared
+    /// first), so the periodic occupancy sample never allocates.
+    pub fn in_use_per_bank_into(&self, class: RegClass, out: &mut Vec<usize>) {
         let banks = self.config.banks(class);
         let free = &self.free[class.index()];
-        (0..banks.num_banks())
-            .map(|k| banks.sizes()[k] - free.free_in_bank(k))
-            .collect()
+        out.clear();
+        out.extend((0..banks.num_banks()).map(|k| banks.sizes()[k] - free.free_in_bank(k)));
     }
 
     /// Total allocated physical registers of one class; by construction
@@ -245,5 +252,39 @@ mod tests {
             assert_eq!(per_bank, t.allocated_total(class));
             assert_eq!(t.allocated_total(class) + t.free_regs(class), 48);
         }
+    }
+}
+
+/// Read bits set by one micro-op, with their previous values — at most
+/// one per source slot, stored inline so rename records never touch the
+/// heap.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReadMarks {
+    buf: [(RegClass, PhysReg, bool); 3],
+    len: u8,
+}
+
+impl ReadMarks {
+    pub(crate) const EMPTY: ReadMarks = ReadMarks {
+        buf: [(RegClass::Int, PhysReg(0), false); 3],
+        len: 0,
+    };
+
+    pub(crate) fn push(&mut self, class: RegClass, preg: PhysReg, prev: bool) {
+        self.buf[self.len as usize] = (class, preg, prev);
+        self.len += 1;
+    }
+
+    /// The previous read-bit value recorded for `preg`, if this rename
+    /// marked it.
+    pub(crate) fn prev_read(&self, class: RegClass, preg: PhysReg) -> Option<bool> {
+        self.buf[..self.len as usize]
+            .iter()
+            .find(|&&(c, p, _)| c == class && p == preg)
+            .map(|&(_, _, prev)| prev)
+    }
+
+    pub(crate) fn iter(&self) -> impl DoubleEndedIterator<Item = &(RegClass, PhysReg, bool)> {
+        self.buf[..self.len as usize].iter()
     }
 }

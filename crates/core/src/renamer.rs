@@ -196,6 +196,70 @@ pub struct Uop {
     pub dst2: Option<TaggedReg>,
 }
 
+/// Upper bound on the micro-op expansion of one instruction: one repair
+/// per source slot (§IV-D1) plus the main micro-op.
+pub const MAX_UOPS: usize = 4;
+
+/// A fixed-capacity micro-op bundle — the result of renaming one
+/// instruction. Inline storage ([`MAX_UOPS`] slots), `Copy`, and derefs
+/// to `[Uop]`, so the rename hot path never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UopVec {
+    buf: [Uop; MAX_UOPS],
+    len: u8,
+}
+
+impl UopVec {
+    const FILLER: Uop = Uop {
+        seq: 0,
+        kind: UopKind::Main,
+        srcs: [None; 3],
+        dst: None,
+        dst2: None,
+    };
+
+    /// An empty bundle.
+    pub const fn new() -> Self {
+        UopVec {
+            buf: [Self::FILLER; MAX_UOPS],
+            len: 0,
+        }
+    }
+
+    /// Appends a micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle already holds [`MAX_UOPS`] micro-ops.
+    pub fn push(&mut self, uop: Uop) {
+        self.buf[self.len as usize] = uop;
+        self.len += 1;
+    }
+}
+
+impl Default for UopVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for UopVec {
+    type Target = [Uop];
+
+    fn deref(&self) -> &[Uop] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a UopVec {
+    type Item = &'a Uop;
+    type IntoIter = std::slice::Iter<'a, Uop>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// The result of a squash: what the pipeline must repair.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SquashOutcome {
@@ -284,16 +348,35 @@ impl Default for RenameStats {
 pub trait Renamer {
     /// Renames one instruction. Returns `None` when the rename stage must
     /// stall (no free physical register and no reuse possible); in that
-    /// case no state was modified.
-    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<Vec<Uop>>;
+    /// case every table mutation was rolled back — only the statistics
+    /// counters of the attempt remain (hardware counts attempted work).
+    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<UopVec>;
 
     /// Commits the micro-op with sequence number `seq`. Must be called in
     /// sequence order for every renamed micro-op that is not squashed.
     fn commit(&mut self, seq: u64);
 
     /// Undoes the rename effects of every micro-op with a sequence number
-    /// greater than `seq` (youngest first).
-    fn squash_after(&mut self, seq: u64) -> SquashOutcome;
+    /// greater than `seq` (youngest first). The returned outcome borrows
+    /// scheme-owned storage and is valid until the next `squash_after`
+    /// call — the scheme reuses it so squashes never allocate.
+    fn squash_after(&mut self, seq: u64) -> &SquashOutcome;
+
+    /// A counter that advances whenever renamer state changes through any
+    /// entry point other than a failed [`Renamer::rename`] — commit,
+    /// squash, read/writeback notifications, the non-speculative
+    /// boundary. Renaming is a deterministic function of renamer state
+    /// and the instruction, so while the epoch stands still a stalled
+    /// rename would only fail again, identically; the rename stage uses
+    /// this to skip such retries and charge [`Renamer::note_stall`]
+    /// instead of re-running the full rename.
+    fn state_epoch(&self) -> u64;
+
+    /// Records one gated retry cycle of a stalled rename without
+    /// re-running it. Applies exactly the statistics deltas the skipped
+    /// (identical) failed attempt would have applied, so gated and
+    /// ungated runs produce byte-identical reports.
+    fn note_stall(&mut self);
 
     /// Statistics accumulated so far.
     fn stats(&self) -> &RenameStats;
@@ -304,6 +387,15 @@ pub trait Renamer {
     /// In-use (allocated) register counts per bank for one class, indexed
     /// by shadow-cell count — the occupancy signal behind Fig. 9.
     fn in_use_per_bank(&self, class: RegClass) -> Vec<usize>;
+
+    /// Writes the per-bank in-use counts into `out` (cleared first) — the
+    /// reusable-buffer form of [`Renamer::in_use_per_bank`] the pipeline's
+    /// occupancy sampler calls on its periodic path, so sampling never
+    /// allocates once `out` has warmed to the bank count.
+    fn in_use_per_bank_into(&self, class: RegClass, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.in_use_per_bank(class));
+    }
 
     /// Total allocated physical registers of one class. The per-bank
     /// counts of [`Renamer::in_use_per_bank`] must sum to exactly this

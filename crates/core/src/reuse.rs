@@ -1,12 +1,11 @@
 //! The proposed renaming scheme: physical register sharing (§IV).
 
-use crate::rename_common::{CheckpointStack, RenameTables, SeqRecord};
+use crate::rename_common::{CheckpointStack, ReadMarks, RenameTables, SeqRecord};
 use crate::renamer::{
-    HintPolicy, HintStats, RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind,
+    HintPolicy, HintStats, RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind, UopVec,
 };
 use crate::{BankConfig, MapTable, PhysReg, Prt, RegTypePredictor, SingleUsePredictor, TaggedReg};
 use regshare_isa::{ArchReg, DefSlot, Inst, RegClass, ShareHint, ShareHintTable};
-use regshare_stats::FastHashMap;
 
 mod audit;
 
@@ -84,11 +83,11 @@ enum DstAction {
     },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Record {
     seq: u64,
     /// Read bits set by this micro-op, with their previous values.
-    read_marks: Vec<(RegClass, PhysReg, bool)>,
+    read_marks: ReadMarks,
     dst: DstAction,
     /// Base-register writeback of post-increment operations.
     dst2: DstAction,
@@ -140,6 +139,66 @@ pub struct ReuseRenamer {
     /// absent table behaves as all-`Unknown`).
     hints: Option<ShareHintTable>,
     hint_stats: HintStats,
+    /// Reused squash-outcome storage: cleared and refilled by every
+    /// `squash_after`, so steady-state squashes never allocate.
+    squash: SquashOutcome,
+    /// Bumped by every mutating entry point except a failed rename; see
+    /// [`Renamer::state_epoch`].
+    epoch: u64,
+    /// Counter deltas of the most recent failed rename, replayed by
+    /// [`Renamer::note_stall`] for gated retries.
+    stall_delta: StallDelta,
+}
+
+/// The statistics a failed rename attempt leaves behind: the stall
+/// rollback restores every table, but the attempt's counters stand —
+/// hardware counts attempted work, and a reuse taken in Phase C is a
+/// reuse even when Phase D then stalls the instruction. While the
+/// [`Renamer::state_epoch`] is unchanged a retry is bit-identical to the
+/// recorded attempt, so [`Renamer::note_stall`] replays this delta
+/// instead of re-running the rename.
+#[derive(Debug, Clone, Copy, Default)]
+struct StallDelta {
+    reuses: u64,
+    safe_reuses: u64,
+    speculative_reuses: u64,
+    allocations: u64,
+    static_allocs: u64,
+    dynamic_allocs: u64,
+    static_speculations: u64,
+    dynamic_speculations: u64,
+    static_denials: u64,
+}
+
+impl StallDelta {
+    /// Snapshot of every counter a failed attempt can bump.
+    fn capture(stats: &RenameStats, hints: &HintStats) -> Self {
+        StallDelta {
+            reuses: stats.reuses,
+            safe_reuses: stats.safe_reuses,
+            speculative_reuses: stats.speculative_reuses,
+            allocations: stats.allocations,
+            static_allocs: hints.static_allocs,
+            dynamic_allocs: hints.dynamic_allocs,
+            static_speculations: hints.static_speculations,
+            dynamic_speculations: hints.dynamic_speculations,
+            static_denials: hints.static_denials,
+        }
+    }
+
+    fn since(&self, before: &StallDelta) -> Self {
+        StallDelta {
+            reuses: self.reuses - before.reuses,
+            safe_reuses: self.safe_reuses - before.safe_reuses,
+            speculative_reuses: self.speculative_reuses - before.speculative_reuses,
+            allocations: self.allocations - before.allocations,
+            static_allocs: self.static_allocs - before.static_allocs,
+            dynamic_allocs: self.dynamic_allocs - before.dynamic_allocs,
+            static_speculations: self.static_speculations - before.static_speculations,
+            dynamic_speculations: self.dynamic_speculations - before.dynamic_speculations,
+            static_denials: self.static_denials - before.static_denials,
+        }
+    }
 }
 
 impl ReuseRenamer {
@@ -174,6 +233,9 @@ impl ReuseRenamer {
             records: CheckpointStack::new(),
             hints: None,
             hint_stats: HintStats::default(),
+            squash: SquashOutcome::default(),
+            epoch: 0,
+            stall_delta: StallDelta::default(),
         }
     }
 
@@ -255,9 +317,13 @@ impl ReuseRenamer {
     }
 
     fn release(&mut self, class: RegClass, preg: PhysReg) {
+        // A release is the only commit-side event a stalled rename can
+        // observe: the free list gains a register and the predictors
+        // train. Everything else commit touches (retirement map, mapping
+        // counts, the record queue) is invisible to a rename attempt.
+        self.epoch += 1;
         let ci = class.index();
-        let banks = self.t.config.banks(class).clone();
-        self.t.free[ci].free(preg, &banks);
+        self.t.free[ci].free(preg, self.t.config.banks(class));
         let meta = self.meta[ci][preg.0 as usize];
         self.t.stats.releases += 1;
         self.t.stats.chain_lengths.record(meta.reuses as u64);
@@ -300,10 +366,10 @@ impl ReuseRenamer {
 
     /// Undoes one record's rename effects (shared by squash and the
     /// stall rollback path). Appends recover candidates.
-    fn undo_record(&mut self, record: Record, recovers: &mut FastHashMap<(RegClass, PhysReg), u8>) {
+    fn undo_record(&mut self, record: Record, recovers: &mut Vec<TaggedReg>) {
         self.undo_dst_action(record.dst2, recovers);
         self.undo_dst_action(record.dst, recovers);
-        for (class, preg, prev) in record.read_marks.into_iter().rev() {
+        for &(class, preg, prev) in record.read_marks.iter().rev() {
             self.prt[class.index()].set_read(preg, prev);
         }
     }
@@ -339,11 +405,7 @@ impl ReuseRenamer {
         }
     }
 
-    fn undo_dst_action(
-        &mut self,
-        action: DstAction,
-        recovers: &mut FastHashMap<(RegClass, PhysReg), u8>,
-    ) {
+    fn undo_dst_action(&mut self, action: DstAction, recovers: &mut Vec<TaggedReg>) {
         match action {
             DstAction::None => {}
             DstAction::Alloc {
@@ -355,8 +417,7 @@ impl ReuseRenamer {
                 let ci = new_map.class.index();
                 let remaining = self.prt[ci].map_dec(new_map.preg);
                 debug_assert_eq!(remaining, 0, "squashed fresh allocation still referenced");
-                let banks = self.t.config.banks(new_map.class).clone();
-                self.t.free[ci].free(new_map.preg, &banks);
+                self.t.free[ci].free(new_map.preg, self.t.config.banks(new_map.class));
             }
             DstAction::Reuse {
                 logical,
@@ -376,16 +437,32 @@ impl ReuseRenamer {
                 m.spec_entries[new_map.version as usize] = None;
                 m.spec_static[new_map.version as usize] = false;
                 m.version_hints[new_map.version as usize] = ShareHint::Unknown;
-                recovers.insert((new_map.class, new_map.preg), prev_version);
+                // One recover command per register; walking youngest to
+                // oldest, the last write leaves the oldest (final)
+                // restored version in place.
+                match recovers
+                    .iter_mut()
+                    .find(|t| t.class == new_map.class && t.preg == new_map.preg)
+                {
+                    Some(t) => t.version = prev_version,
+                    None => {
+                        recovers.push(TaggedReg::new(new_map.class, new_map.preg, prev_version))
+                    }
+                }
             }
         }
     }
 }
 
 impl Renamer for ReuseRenamer {
-    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<Vec<Uop>> {
-        let mut uops: Vec<Uop> = Vec::with_capacity(2);
-        let mut staged: Vec<Record> = Vec::new();
+    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<UopVec> {
+        let before = StallDelta::capture(&self.t.stats, &self.hint_stats);
+        let mut uops = UopVec::new();
+        // Repair records staged in Phase A (one per repaired source); the
+        // main record is built at the end. Inline — renaming must never
+        // allocate.
+        let mut staged: [Option<Record>; 3] = [None; 3];
+        let mut n_staged = 0;
         let mut next_seq = seq;
         let mut src_tags: [Option<TaggedReg>; 3] = [None; 3];
         // Logical registers repaired in this rename (handles a register
@@ -397,6 +474,7 @@ impl Renamer for ReuseRenamer {
         // Predictor learning is deferred until the rename is known to
         // succeed: a stalled rename retries every cycle and must not pump
         // the predictors with duplicate events.
+        #[derive(Clone, Copy)]
         enum Learn {
             MultiUse {
                 class: RegClass,
@@ -408,7 +486,10 @@ impl Renamer for ReuseRenamer {
                 preg: PhysReg,
             },
         }
-        let mut learn: Vec<Learn> = Vec::new();
+        // At most one MultiUse per source slot (3), one Blocked per
+        // Phase-C candidate (3), one Blocked from Phase D.
+        let mut learn: [Option<Learn>; 7] = [None; 7];
+        let mut n_learn = 0;
 
         // Phase A: map sources; repair stale (mispredicted single-use)
         // mappings with injected move micro-ops (§IV-D1).
@@ -439,14 +520,15 @@ impl Renamer for ReuseRenamer {
             // The register was not single-use after all: predictor rule 2,
             // and the consumer whose speculative reuse overwrote version
             // `t.version` mispredicted (learning applied on success).
-            learn.push(Learn::MultiUse {
+            learn[n_learn] = Some(Learn::MultiUse {
                 class: t.class,
                 preg: t.preg,
                 stale_version: t.version,
             });
-            staged.push(Record {
+            n_learn += 1;
+            staged[n_staged] = Some(Record {
                 seq: next_seq,
-                read_marks: Vec::new(),
+                read_marks: ReadMarks::EMPTY,
                 dst: DstAction::Alloc {
                     logical: r,
                     old_map: t,
@@ -454,6 +536,7 @@ impl Renamer for ReuseRenamer {
                 },
                 dst2: DstAction::None,
             });
+            n_staged += 1;
             uops.push(Uop {
                 seq: next_seq,
                 kind: UopKind::RepairMove,
@@ -470,20 +553,14 @@ impl Renamer for ReuseRenamer {
         // Phase B: set read bits for the main micro-op's sources.
         // `read_marks` doubles as this rename's previous-read-bit lookup
         // (at most one entry per source slot).
-        let mut read_marks: Vec<(RegClass, PhysReg, bool)> = Vec::new();
-        let prev_read = |marks: &[(RegClass, PhysReg, bool)], class: RegClass, preg: PhysReg| {
-            marks
-                .iter()
-                .find(|&&(c, p, _)| c == class && p == preg)
-                .map(|&(_, _, prev)| prev)
-        };
+        let mut read_marks = ReadMarks::EMPTY;
         if !stall {
             for t in src_tags.iter().flatten() {
-                if prev_read(&read_marks, t.class, t.preg).is_some() {
+                if read_marks.prev_read(t.class, t.preg).is_some() {
                     continue;
                 }
                 let prev = self.prt[t.class.index()].mark_read(t.preg);
-                read_marks.push((t.class, t.preg, prev));
+                read_marks.push(t.class, t.preg, prev);
             }
         }
 
@@ -505,7 +582,8 @@ impl Renamer for ReuseRenamer {
                 // Registers already weighed as reuse candidates: two
                 // logical sources may share a physical register, and the
                 // decision must be taken once per physical register.
-                let mut considered: Vec<PhysReg> = Vec::new();
+                let mut considered: [Option<PhysReg>; 3] = [None; 3];
+                let mut n_considered = 0;
                 for r in inst.uses() {
                     let Some(t) = src_tag_of(&src_tags, r) else {
                         continue;
@@ -518,11 +596,12 @@ impl Renamer for ReuseRenamer {
                         // second destination's reuse decision.
                         continue;
                     }
-                    if considered.contains(&t.preg) {
+                    if considered.iter().flatten().any(|p| *p == t.preg) {
                         continue;
                     }
-                    considered.push(t.preg);
-                    let first_use = !prev_read(&read_marks, t.class, t.preg).unwrap_or(true);
+                    considered[n_considered] = Some(t.preg);
+                    n_considered += 1;
+                    let first_use = !read_marks.prev_read(t.class, t.preg).unwrap_or(true);
                     if !first_use {
                         continue;
                     }
@@ -557,10 +636,11 @@ impl Renamer for ReuseRenamer {
                         // A reuse we wanted but could not take: predictor
                         // rule 3, and the "lost opportunity" class of
                         // Fig. 12 (learning applied on success).
-                        learn.push(Learn::Blocked {
+                        learn[n_learn] = Some(Learn::Blocked {
                             class,
                             preg: t.preg,
                         });
+                        n_learn += 1;
                     }
                 }
                 if let Some((t, redefining, spec_source)) = chosen {
@@ -626,8 +706,9 @@ impl Renamer for ReuseRenamer {
                 let class = d2.class();
                 let base_tag =
                     src_tag_of(&src_tags, d2).expect("post-increment base is always a source");
-                let first_use =
-                    !prev_read(&read_marks, base_tag.class, base_tag.preg).unwrap_or(true);
+                let first_use = !read_marks
+                    .prev_read(base_tag.class, base_tag.preg)
+                    .unwrap_or(true);
                 let cells = self.shadow_cells(class, base_tag.preg);
                 let capacity =
                     base_tag.version < cells && self.prt[class.index()].can_bump(base_tag.preg);
@@ -651,10 +732,11 @@ impl Renamer for ReuseRenamer {
                     };
                 } else {
                     if first_use {
-                        learn.push(Learn::Blocked {
+                        learn[n_learn] = Some(Learn::Blocked {
                             class,
                             preg: base_tag.preg,
                         });
+                        n_learn += 1;
                     }
                     // The salted pc separates the writeback slot in the
                     // predictor tables; the hint table addresses slots
@@ -682,7 +764,10 @@ impl Renamer for ReuseRenamer {
 
         if stall {
             // Roll back everything staged in this rename, youngest first.
-            let mut scratch = FastHashMap::default();
+            // The recover candidates are discarded (nothing issued yet),
+            // so borrow the persistent buffer as scratch.
+            let mut scratch = std::mem::take(&mut self.squash.recovers);
+            scratch.clear();
             self.undo_record(
                 Record {
                     seq: next_seq,
@@ -692,15 +777,20 @@ impl Renamer for ReuseRenamer {
                 },
                 &mut scratch,
             );
-            for record in staged.into_iter().rev() {
+            for record in staged.into_iter().rev().flatten() {
                 self.undo_record(record, &mut scratch);
             }
+            scratch.clear();
+            self.squash.recovers = scratch;
             self.t.stats.stalls += 1;
+            // Remember what this attempt added to the counters: until the
+            // epoch advances, every retry would add exactly the same.
+            self.stall_delta = StallDelta::capture(&self.t.stats, &self.hint_stats).since(&before);
             return None;
         }
 
         // The rename succeeded: apply the deferred learning events.
-        for event in learn {
+        for event in learn.into_iter().take(n_learn).flatten() {
             match event {
                 Learn::MultiUse {
                     class,
@@ -743,12 +833,6 @@ impl Renamer for ReuseRenamer {
         };
         let dst_tag = tag_of(&dst_action);
         let dst2_tag = tag_of(&dst2_action);
-        staged.push(Record {
-            seq: next_seq,
-            read_marks,
-            dst: dst_action,
-            dst2: dst2_action,
-        });
         uops.push(Uop {
             seq: next_seq,
             kind: UopKind::Main,
@@ -757,7 +841,13 @@ impl Renamer for ReuseRenamer {
             dst2: dst2_tag,
         });
         self.t.stats.renamed += uops.len() as u64;
-        self.records.extend(staged);
+        self.records.extend(staged.into_iter().flatten());
+        self.records.push(Record {
+            seq: next_seq,
+            read_marks,
+            dst: dst_action,
+            dst2: dst2_action,
+        });
         Some(uops)
     }
 
@@ -787,21 +877,36 @@ impl Renamer for ReuseRenamer {
         }
     }
 
-    fn squash_after(&mut self, seq: u64) -> SquashOutcome {
-        let mut recovers: FastHashMap<(RegClass, PhysReg), u8> = FastHashMap::default();
+    fn squash_after(&mut self, seq: u64) -> &SquashOutcome {
+        self.epoch += 1;
+        let mut recovers = std::mem::take(&mut self.squash.recovers);
+        recovers.clear();
         let mut undone = 0;
         while let Some(record) = self.records.pop_younger(seq) {
             self.undo_record(record, &mut recovers);
             undone += 1;
             self.t.stats.squashed += 1;
         }
-        SquashOutcome {
-            undone,
-            recovers: recovers
-                .into_iter()
-                .map(|((class, preg), version)| TaggedReg::new(class, preg, version))
-                .collect(),
-        }
+        self.squash = SquashOutcome { undone, recovers };
+        &self.squash
+    }
+
+    fn state_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn note_stall(&mut self) {
+        let d = self.stall_delta;
+        self.t.stats.reuses += d.reuses;
+        self.t.stats.safe_reuses += d.safe_reuses;
+        self.t.stats.speculative_reuses += d.speculative_reuses;
+        self.t.stats.allocations += d.allocations;
+        self.hint_stats.static_allocs += d.static_allocs;
+        self.hint_stats.dynamic_allocs += d.dynamic_allocs;
+        self.hint_stats.static_speculations += d.static_speculations;
+        self.hint_stats.dynamic_speculations += d.dynamic_speculations;
+        self.hint_stats.static_denials += d.static_denials;
+        self.t.stats.stalls += 1;
     }
 
     fn stats(&self) -> &RenameStats {
@@ -814,6 +919,10 @@ impl Renamer for ReuseRenamer {
 
     fn in_use_per_bank(&self, class: RegClass) -> Vec<usize> {
         self.t.in_use_per_bank(class)
+    }
+
+    fn in_use_per_bank_into(&self, class: RegClass, out: &mut Vec<usize>) {
+        self.t.in_use_per_bank_into(class, out);
     }
 
     fn allocated_total(&self, class: RegClass) -> usize {
@@ -845,6 +954,7 @@ impl Renamer for ReuseRenamer {
         predictor: &RegTypePredictor,
         single_use: &SingleUsePredictor,
     ) {
+        self.epoch += 1;
         self.predictor = predictor.clone();
         self.predictor.reset_stats();
         self.single_use = single_use.clone();
@@ -852,6 +962,7 @@ impl Renamer for ReuseRenamer {
     }
 
     fn install_hints(&mut self, hints: &ShareHintTable) {
+        self.epoch += 1;
         self.hints = Some(hints.clone());
     }
 

@@ -170,7 +170,7 @@ fn post_increment_rename_reuses_base_register() {
         for u in &uops {
             seq = u.seq + 1;
         }
-        for u in uops {
+        for u in &uops {
             r.commit(u.seq);
         }
         let _ = i;

@@ -131,7 +131,7 @@ fn squash_undoes_reuse_and_requests_recover() {
     let (a, b) = train_and_reuse(&mut r);
     let before_map = r.map().get(reg::x(1));
     assert_eq!(before_map, b.dst.unwrap());
-    let out = r.squash_after(b.seq - 1);
+    let out = r.squash_after(b.seq - 1).clone();
     assert_eq!(out.undone, 1);
     assert_eq!(r.map().get(reg::x(1)), a.dst.unwrap());
     // The squashed reuse rolled a version back: recover candidate.

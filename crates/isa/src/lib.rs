@@ -45,6 +45,7 @@
 //! ```
 
 mod asm;
+mod decoded;
 pub mod exec;
 mod hints;
 mod inst;
@@ -56,6 +57,7 @@ mod program;
 mod reg_impl;
 
 pub use asm::{Asm, Label};
+pub use decoded::{DecodedImage, DecodedOp};
 pub use hints::{ShareHint, ShareHintTable};
 pub use inst::{DefSlot, Inst};
 pub use machine::{Machine, MachineError, Retired, StopReason};

@@ -1,6 +1,7 @@
 //! Programs: code plus an initial data image.
 
-use crate::{Inst, Memory, ShareHintTable};
+use crate::{DecodedImage, Inst, Memory, ShareHintTable};
+use std::sync::Arc;
 
 /// A complete TRISC program: instructions, an entry point and the initial
 /// contents of data memory.
@@ -19,12 +20,24 @@ use crate::{Inst, Memory, ShareHintTable};
 /// let p = a.assemble();
 /// assert_eq!(p.len(), 1);
 /// ```
+/// A program is a cheap handle: the instruction list, data image, hint
+/// table and predecoded sidecar live behind one shared allocation, so
+/// `Program::clone` (window checkpoints, time-parallel slices, the
+/// lockstep oracle, `par_map` fan-out) copies a pointer instead of the
+/// whole image. The contents are immutable after construction, which is
+/// what makes the sharing sound.
 #[derive(Debug, Clone)]
 pub struct Program {
+    inner: Arc<ProgramInner>,
+}
+
+#[derive(Debug)]
+struct ProgramInner {
     insts: Vec<Inst>,
     entry: u32,
     data: Memory,
     hints: Option<ShareHintTable>,
+    decoded: DecodedImage,
 }
 
 impl Program {
@@ -50,64 +63,91 @@ impl Program {
                 );
             }
         }
+        let decoded = DecodedImage::build(&insts, None);
         Program {
-            insts,
-            entry,
-            data,
-            hints: None,
+            inner: Arc::new(ProgramInner {
+                insts,
+                entry,
+                data,
+                hints: None,
+                decoded,
+            }),
         }
     }
 
-    /// Attaches a static sharing-hint sidecar table.
+    /// Attaches a static sharing-hint sidecar table (rebuilding the
+    /// predecoded image so it carries the hint nibbles).
     ///
     /// # Panics
     ///
     /// Panics if the table does not cover exactly this program's
     /// instructions.
-    pub fn with_hints(mut self, hints: ShareHintTable) -> Self {
+    pub fn with_hints(self, hints: ShareHintTable) -> Self {
         assert!(
-            hints.len() == self.insts.len(),
+            hints.len() == self.inner.insts.len(),
             "hint table covers {} instructions but program has {}",
             hints.len(),
-            self.insts.len()
+            self.inner.insts.len()
         );
-        self.hints = Some(hints);
-        self
+        // Setup-time path: unshare (or copy) the inner image to attach
+        // the table, then re-predecode with the nibbles folded in.
+        let mut inner = match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner,
+            Err(shared) => ProgramInner {
+                insts: shared.insts.clone(),
+                entry: shared.entry,
+                data: shared.data.clone(),
+                hints: shared.hints.clone(),
+                decoded: shared.decoded.clone(),
+            },
+        };
+        inner.decoded = DecodedImage::build(&inner.insts, Some(&hints));
+        inner.hints = Some(hints);
+        Program {
+            inner: Arc::new(inner),
+        }
     }
 
     /// The attached sharing-hint table, if any.
     pub fn hints(&self) -> Option<&ShareHintTable> {
-        self.hints.as_ref()
+        self.inner.hints.as_ref()
+    }
+
+    /// The predecoded per-PC sidecar (built once at construction).
+    #[inline(always)]
+    pub fn decoded(&self) -> &DecodedImage {
+        &self.inner.decoded
     }
 
     /// The instruction at `index`, if in range.
+    #[inline(always)]
     pub fn fetch(&self, index: u64) -> Option<&Inst> {
-        self.insts.get(index as usize)
+        self.inner.insts.get(index as usize)
     }
 
     /// All instructions.
     pub fn insts(&self) -> &[Inst] {
-        &self.insts
+        &self.inner.insts
     }
 
     /// Number of static instructions.
     pub fn len(&self) -> usize {
-        self.insts.len()
+        self.inner.insts.len()
     }
 
     /// True when the program has no instructions.
     pub fn is_empty(&self) -> bool {
-        self.insts.is_empty()
+        self.inner.insts.is_empty()
     }
 
     /// The entry instruction index.
     pub fn entry(&self) -> u32 {
-        self.entry
+        self.inner.entry
     }
 
     /// The initial data image.
     pub fn data(&self) -> &Memory {
-        &self.data
+        &self.inner.data
     }
 
     /// Converts an instruction index into a byte PC (index × 4).
@@ -118,7 +158,7 @@ impl Program {
     /// Disassembles the whole program, one instruction per line.
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
-        for (i, inst) in self.insts.iter().enumerate() {
+        for (i, inst) in self.inner.insts.iter().enumerate() {
             out.push_str(&format!("{i:5}: {inst}\n"));
         }
         out

@@ -110,6 +110,12 @@ pub struct SimConfig {
     /// commit), retrievable with `Pipeline::take_trace`. Capped at
     /// 100 000 events to bound memory.
     pub trace: bool,
+    /// Attribute host wall-clock time to pipeline stages (the
+    /// [`crate::StageProfile`] in the report). Reads the host clock per
+    /// stage per cycle, so it is off by default; the deterministic
+    /// per-stage work counters are always on regardless.
+    #[serde(default)]
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -213,6 +219,7 @@ impl Default for SimConfig {
             audit_interval: 0,
             inject_page_faults: Vec::new(),
             trace: false,
+            profile: false,
         }
     }
 }

@@ -11,9 +11,11 @@
 use crate::bpred::{BranchPredictor, Prediction};
 use crate::errors::{HeadSnapshot, PipelineSnapshot, SimError, TraceEvent, TraceStage};
 use crate::inject::InjectState;
+use crate::profile::StageProfile;
+use crate::rob::Rob;
 use crate::{CompletionWheel, FuPool, LoadStoreQueue, LsqError, Scoreboard, SimConfig};
-use regshare_core::{RegFile, Renamer, TaggedReg, Uop, UopKind};
-use regshare_isa::{Inst, Machine, Memory, Program, RegClass};
+use regshare_core::{RegFile, Renamer, TaggedReg, UopKind, UopVec};
+use regshare_isa::{DecodedOp, Inst, Machine, Memory, Program, RegClass};
 use regshare_mem::MemoryHierarchy;
 use regshare_stats::Sampler;
 use std::collections::VecDeque;
@@ -76,6 +78,10 @@ impl SeqSet {
 pub(crate) struct Fetched {
     pub(crate) pc: u64,
     pub(crate) inst: Inst,
+    /// Predecoded static facts for `inst`, copied out of the program's
+    /// [`regshare_isa::DecodedImage`] at fetch so later stages test
+    /// packed flags instead of re-deriving opcode predicates.
+    pub(crate) d: DecodedOp,
     pub(crate) pred: Option<Prediction>,
 }
 
@@ -143,9 +149,10 @@ impl DecodedBundle {
 /// occupancy before renaming the next instruction.
 #[derive(Debug)]
 pub(crate) struct RenamedBundle {
-    pub(crate) uops: Vec<Uop>,
+    pub(crate) uops: UopVec,
     pub(crate) pc: u64,
     pub(crate) inst: Inst,
+    pub(crate) d: DecodedOp,
     pub(crate) pred: Option<Prediction>,
 }
 
@@ -159,11 +166,14 @@ pub(crate) struct StageIo {
     pub(crate) decoded: DecodedBundle,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct RobEntry {
     pub(crate) seq: u64,
     pub(crate) pc: u64,
     pub(crate) inst: Inst,
+    /// Predecoded flags for `inst` — the hot-path predicates
+    /// (load/store/branch/halt, FU class) without touching the opcode.
+    pub(crate) d: DecodedOp,
     pub(crate) kind: UopKind,
     pub(crate) srcs: [Option<TaggedReg>; 3],
     pub(crate) dst: Option<TaggedReg>,
@@ -183,6 +193,34 @@ pub(crate) struct RobEntry {
     pub(crate) next_pc: u64,
 }
 
+impl RobEntry {
+    /// Dead-slot initializer for the fixed ROB ring; never observable
+    /// through the ring API.
+    pub(crate) fn filler() -> Self {
+        let inst = Inst::bare(regshare_isa::Opcode::Nop);
+        RobEntry {
+            seq: 0,
+            pc: 0,
+            d: DecodedOp::decode(&inst, 0),
+            inst,
+            kind: UopKind::Main,
+            srcs: [None; 3],
+            dst: None,
+            dst2: None,
+            pred: None,
+            issued: false,
+            done: false,
+            pending_srcs: 0,
+            exception: false,
+            result: None,
+            result2: None,
+            ea: None,
+            taken: None,
+            next_pc: 0,
+        }
+    }
+}
+
 /// Everything the stages share: machine structures, speculation state,
 /// statistics. The per-stage `tick` functions receive `&mut CoreState`;
 /// the slim `Pipeline` driver owns it.
@@ -197,7 +235,7 @@ pub(crate) struct CoreState {
     pub(crate) bpred: BranchPredictor,
     pub(crate) fus: FuPool,
     pub(crate) lsq: LoadStoreQueue,
-    pub(crate) rob: VecDeque<RobEntry>,
+    pub(crate) rob: Rob,
     /// Operand-ready, unissued entries in sequence order — the select
     /// stage's input. Entries with busy sources are not here; they wait
     /// in the scoreboard's per-tag waiter lists until woken.
@@ -236,9 +274,14 @@ pub(crate) struct CoreState {
     pub(crate) last_commit_cycle: u64,
     pub(crate) int_occupancy: Vec<Sampler>,
     pub(crate) fp_occupancy: Vec<Sampler>,
+    /// Reused buffer for the periodic occupancy readout.
+    pub(crate) occupancy_scratch: Vec<usize>,
     pub(crate) trace: Vec<TraceEvent>,
     /// Host wall-clock time accumulated across `run` calls.
     pub(crate) wall_seconds: f64,
+    /// Per-stage cost attribution: deterministic work counters (always
+    /// on) plus host-time laps when [`SimConfig::profile`] is set.
+    pub(crate) profile: StageProfile,
 }
 
 impl CoreState {
@@ -253,21 +296,8 @@ impl CoreState {
         }
     }
 
-    // Sequence numbers are monotonic but not contiguous (squashes leave
-    // gaps). Gaps only ever *remove* seqs, so `seq - front.seq` is an
-    // upper bound on the index and exact whenever no squash gap sits
-    // inside the window — the overwhelmingly common case. Probe that
-    // guess first and fall back to a binary search after a squash.
     pub(crate) fn rob_index(&self, seq: u64) -> Option<usize> {
-        let front = self.rob.front()?.seq;
-        if seq < front {
-            return None;
-        }
-        let guess = ((seq - front) as usize).min(self.rob.len() - 1);
-        if self.rob[guess].seq == seq {
-            return Some(guess);
-        }
-        self.rob.binary_search_by_key(&seq, |e| e.seq).ok()
+        self.rob.position_of(seq)
     }
 
     pub(crate) fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
@@ -624,7 +654,9 @@ impl CoreState {
             (RegClass::Int, &mut self.int_occupancy),
             (RegClass::Fp, &mut self.fp_occupancy),
         ] {
-            for (k, used) in self.renamer.in_use_per_bank(class).into_iter().enumerate() {
+            self.renamer
+                .in_use_per_bank_into(class, &mut self.occupancy_scratch);
+            for (k, &used) in self.occupancy_scratch.iter().enumerate() {
                 samplers[k].record(used as u64);
             }
         }

@@ -58,8 +58,10 @@ mod inject;
 mod lsq;
 mod pipeline;
 mod policy;
+mod profile;
 mod recovery;
 mod report;
+mod rob;
 mod sampled;
 mod scoreboard;
 mod stages;
@@ -77,6 +79,7 @@ pub use pipeline::Pipeline;
 pub use policy::{
     CheckpointWalk, IssueSelect, OldestFirst, RecoveryPolicy, SquashAll, YoungestFirst,
 };
+pub use profile::{StageProfile, StageSlot, StageTimer, NUM_STAGE_SLOTS, STAGE_SLOT_NAMES};
 pub use report::SimReport;
 pub use sampled::{
     run_window, sample_windows, window_specs, SampledConfig, SampledReport, WindowJob,

@@ -10,11 +10,13 @@
 
 use crate::bpred::BranchPredictor;
 use crate::cancel::{CancelToken, CANCEL_CHECK_INTERVAL};
-use crate::core_state::{CoreState, SeqSet, StageIo};
+use crate::core_state::{CoreState, RobEntry, SeqSet, StageIo};
 use crate::errors::{PipelineSnapshot, SimError, TraceEvent};
 use crate::inject::{InjectSchedule, InjectState, InjectStats};
 use crate::policy::RecoveryPolicy;
+use crate::profile::{StageSlot, StageTimer};
 use crate::recovery;
+use crate::rob::Rob;
 use crate::stages::{
     CommitStage, DecodeStage, DispatchStage, ExecuteStage, FetchStage, IssueStage, RenameStage,
     StageOutcome, WritebackStage,
@@ -24,7 +26,6 @@ use regshare_core::{RegFile, Renamer};
 use regshare_isa::{Machine, Memory, Program, RegClass};
 use regshare_mem::MemoryHierarchy;
 use regshare_stats::Sampler;
-use std::collections::VecDeque;
 use std::time::Instant;
 
 /// The cycle-accurate out-of-order core.
@@ -143,6 +144,8 @@ impl Pipeline {
         let fp_occupancy = (0..renamer.banks(RegClass::Fp).num_banks())
             .map(|k| Sampler::new(format!("fp_bank{k}")))
             .collect();
+        let rob = Rob::new(config.rob_entries, RobEntry::filler());
+        let completions = CompletionWheel::with_in_flight_bound(config.rob_entries);
         let core = CoreState {
             bpred,
             fus: FuPool::new(&config),
@@ -154,7 +157,7 @@ impl Pipeline {
             scoreboard,
             mem_timing,
             memory,
-            rob: VecDeque::new(),
+            rob,
             ready_q: SeqSet::default(),
             iq_len: 0,
             wake_scratch: Vec::new(),
@@ -163,7 +166,7 @@ impl Pipeline {
             fetch_stall_until: 0,
             next_seq: 1,
             cycle: 0,
-            completions: CompletionWheel::new(),
+            completions,
             oracle,
             inject: None,
             pending_verify: false,
@@ -179,17 +182,20 @@ impl Pipeline {
             last_commit_cycle: 0,
             int_occupancy,
             fp_occupancy,
+            occupancy_scratch: Vec::new(),
             trace: Vec::new(),
             wall_seconds: 0.0,
+            profile: Default::default(),
         };
+        let iq_entries = core.config.iq_entries;
         Pipeline {
             core,
             lat: StageIo::default(),
             fetch: FetchStage,
             decode: DecodeStage,
-            rename: RenameStage,
+            rename: RenameStage::default(),
             dispatch: DispatchStage,
-            issue: IssueStage::new(issue_select),
+            issue: IssueStage::new(issue_select, iq_entries),
             execute: ExecuteStage,
             writeback: WritebackStage,
             commit: CommitStage,
@@ -249,11 +255,17 @@ impl Pipeline {
     /// sees the machine state its position in the pipe implies.
     fn step(&mut self) -> Result<(), SimError> {
         let policy = self.recovery.as_ref();
+        let mut timer = StageTimer::start(self.core.config.profile);
         recovery::poll_injections(&mut self.core, &mut self.lat, policy);
-        if self.commit.tick(&mut self.core, &mut self.lat, policy)? == StageOutcome::Halted {
+        timer.lap(&mut self.core.profile, StageSlot::Housekeeping);
+        let halted =
+            self.commit.tick(&mut self.core, &mut self.lat, policy)? == StageOutcome::Halted;
+        timer.lap(&mut self.core.profile, StageSlot::Commit);
+        if halted {
             return Ok(());
         }
         self.writeback.tick(&mut self.core, &mut self.lat, policy)?;
+        timer.lap(&mut self.core.profile, StageSlot::Writeback);
         recovery::deliver_pending_interrupt(&mut self.core, &mut self.lat, policy);
         self.core.check_recovery_boundary(&self.lat)?;
         let boundary = self
@@ -262,14 +274,20 @@ impl Pipeline {
             .first()
             .unwrap_or(self.core.next_seq);
         self.core.renamer.advance_nonspeculative(boundary);
+        timer.lap(&mut self.core.profile, StageSlot::Housekeeping);
         self.issue
             .tick(&mut self.core, &mut self.lat, &mut self.execute)?;
+        timer.lap(&mut self.core.profile, StageSlot::Issue);
         self.rename
             .tick(&mut self.core, &mut self.lat, &mut self.dispatch);
+        timer.lap(&mut self.core.profile, StageSlot::Rename);
         self.decode.tick(&mut self.core, &mut self.lat);
+        timer.lap(&mut self.core.profile, StageSlot::Decode);
         self.fetch.tick(&mut self.core, &mut self.lat);
+        timer.lap(&mut self.core.profile, StageSlot::Fetch);
         self.core.audit_if_due(&self.lat)?;
         self.core.sample_occupancy();
+        timer.lap(&mut self.core.profile, StageSlot::Observe);
         self.core.cycle += 1;
         Ok(())
     }
@@ -335,6 +353,25 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Steps exactly `n` cycles (stopping early only on halt), without
+    /// the budget/watchdog bookkeeping of [`Pipeline::run`] and without
+    /// building a report. The allocation regression test warms a
+    /// pipeline up, then drives steady-state cycles through this and
+    /// asserts the heap stays untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] surfaced by a stage or audit.
+    pub fn run_cycles(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            if self.core.halted {
+                break;
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
     /// Replaces the committed-instruction budget. The budget is absolute
     /// (compared against total committed instructions), so a run that
     /// stopped on it can be resumed by raising the budget and calling
@@ -368,6 +405,7 @@ impl Pipeline {
             wall_seconds: self.core.wall_seconds,
             warm_seconds: 0.0,
             warm_instructions: 0,
+            profile: self.core.profile.clone(),
         }
     }
 

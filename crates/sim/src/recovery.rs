@@ -11,8 +11,8 @@
 use crate::core_state::{CoreState, StageIo};
 use crate::inject::InjectKind;
 use crate::policy::RecoveryPolicy;
+use crate::profile::StageSlot;
 use regshare_core::UopKind;
-use regshare_isa::Opcode;
 
 /// Squashes every micro-op with a sequence number greater than `seq`:
 /// ROB and issue-queue entries, scoreboard waiters, unresolved branches,
@@ -25,8 +25,10 @@ pub(crate) fn squash_younger_than(
     policy: &dyn RecoveryPolicy,
     seq: u64,
 ) -> u32 {
+    let mut squashed = 0u64;
     while matches!(core.rob.back(), Some(e) if e.seq > seq) {
         let Some(e) = core.rob.pop_back() else { break };
+        squashed += 1;
         if !e.issued {
             core.iq_len -= 1;
             if e.pending_srcs == 0 {
@@ -34,6 +36,7 @@ pub(crate) fn squash_younger_than(
             }
         }
     }
+    core.profile.add_work(StageSlot::Housekeeping, squashed);
     // Squashed consumers still parked in the wakeup network must not
     // be woken by surviving producers.
     core.scoreboard.drain_waiters_after(seq);
@@ -43,7 +46,7 @@ pub(crate) fn squash_younger_than(
     lat.decoded.clear();
     let outcome = core.renamer.squash_after(seq);
     let mut recovered = 0u32;
-    for tag in outcome.recovers {
+    for &tag in &outcome.recovers {
         if core.rf[tag.class.index()].recover(tag.preg, tag.version) {
             recovered += 1;
         }
@@ -110,9 +113,7 @@ fn squash_storm(core: &mut CoreState, lat: &mut StageIo, policy: &dyn RecoveryPo
     let candidates: Vec<(u64, u64)> = core
         .rob
         .iter()
-        .filter(|e| {
-            e.kind == UopKind::Main && e.done && !e.exception && e.inst.opcode != Opcode::Halt
-        })
+        .filter(|e| e.kind == UopKind::Main && e.done && !e.exception && !e.d.is_halt())
         .map(|e| (e.seq, e.next_pc))
         .collect();
     if candidates.is_empty() {

@@ -61,6 +61,9 @@ pub struct SimReport {
     /// Instructions executed by the functional-warming fast path (0 for
     /// plain detailed runs).
     pub warm_instructions: u64,
+    /// Per-stage cost attribution: deterministic work counters always,
+    /// host-time shares when [`crate::SimConfig::profile`] was set.
+    pub profile: crate::StageProfile,
 }
 
 impl SimReport {
@@ -201,6 +204,7 @@ mod tests {
             wall_seconds: 0.0,
             warm_seconds: 0.0,
             warm_instructions: 0,
+            profile: Default::default(),
         }
     }
 

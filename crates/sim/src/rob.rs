@@ -1,0 +1,405 @@
+//! Fixed-capacity SoA re-order buffer ring.
+//!
+//! The ROB is the hottest in-flight structure in the pipeline: every
+//! writeback, wakeup, and execute completion resolves a sequence number
+//! to an entry, and the common probe (`position_of`) used to walk
+//! ~200-byte [`RobEntry`] records through a `VecDeque`. This ring keeps
+//! the dense entry payloads in one power-of-two array and mirrors just
+//! the 8-byte sequence keys in a parallel `seqs` array, so the index
+//! probe and its binary-search fallback touch only one cache line of
+//! keys per eight entries instead of one line per entry.
+//!
+//! Capacity is fixed at construction (the config's `rob_entries`,
+//! rounded up to a power of two) and never reallocates: push/pop are
+//! mask-indexed ring operations, so the steady-state tick stays
+//! allocation-free.
+//!
+//! Invariant: `seqs[i] == entries[i].seq` for every live slot. The
+//! only writers are `push_back` (sets both) and the pops (retire both);
+//! stage code mutates entries through `IndexMut` but never rewrites
+//! `seq` after dispatch.
+
+use crate::core_state::RobEntry;
+
+pub(crate) struct Rob {
+    /// Dense per-entry payloads, ring-indexed by `(head + pos) & mask`.
+    entries: Box<[RobEntry]>,
+    /// Parallel sequence-number key array for probes and searches.
+    seqs: Box<[u64]>,
+    head: usize,
+    len: usize,
+    mask: usize,
+}
+
+impl Rob {
+    /// A ring holding at least `capacity` entries (rounded up to a
+    /// power of two). `filler` initializes the dead slots; it is never
+    /// observable through the API.
+    pub(crate) fn new(capacity: usize, filler: RobEntry) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        Rob {
+            entries: vec![filler; cap].into_boxed_slice(),
+            seqs: vec![0; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn phys(&self, pos: usize) -> usize {
+        (self.head + pos) & self.mask
+    }
+
+    #[inline]
+    pub(crate) fn front(&self) -> Option<&RobEntry> {
+        (self.len > 0).then(|| &self.entries[self.head])
+    }
+
+    #[inline]
+    pub(crate) fn back(&self) -> Option<&RobEntry> {
+        (self.len > 0).then(|| &self.entries[self.phys(self.len - 1)])
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, pos: usize) -> Option<&RobEntry> {
+        (pos < self.len).then(|| &self.entries[self.phys(pos)])
+    }
+
+    pub(crate) fn push_back(&mut self, e: RobEntry) {
+        assert!(self.len <= self.mask, "ROB ring overflow");
+        let idx = self.phys(self.len);
+        self.seqs[idx] = e.seq;
+        self.entries[idx] = e;
+        self.len += 1;
+    }
+
+    pub(crate) fn pop_front(&mut self) -> Option<RobEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.entries[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(e)
+    }
+
+    pub(crate) fn pop_back(&mut self) -> Option<RobEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.entries[self.phys(self.len)])
+    }
+
+    /// Ring contents as (older, younger) contiguous slices.
+    pub(crate) fn as_slices(&self) -> (&[RobEntry], &[RobEntry]) {
+        let cap = self.mask + 1;
+        let first = self.len.min(cap - self.head);
+        (
+            &self.entries[self.head..self.head + first],
+            &self.entries[..self.len - first],
+        )
+    }
+
+    pub(crate) fn iter(
+        &self,
+    ) -> std::iter::Chain<std::slice::Iter<'_, RobEntry>, std::slice::Iter<'_, RobEntry>> {
+        let (a, b) = self.as_slices();
+        a.iter().chain(b.iter())
+    }
+
+    #[inline]
+    fn seq_at(&self, pos: usize) -> u64 {
+        self.seqs[self.phys(pos)]
+    }
+
+    /// Logical position of the entry carrying `seq`, touching only the
+    /// key array. Sequence numbers are monotonic but not contiguous
+    /// (squashes leave gaps). Gaps only ever *remove* seqs, so
+    /// `seq - front_seq` is an upper bound on the position and exact
+    /// whenever no squash gap sits inside the window — the
+    /// overwhelmingly common case. Probe that guess first and fall
+    /// back to a binary search over the keys after a squash.
+    pub(crate) fn position_of(&self, seq: u64) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let front = self.seqs[self.head];
+        if seq < front {
+            return None;
+        }
+        let guess = ((seq - front) as usize).min(self.len - 1);
+        if self.seq_at(guess) == seq {
+            return Some(guess);
+        }
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let s = self.seq_at(mid);
+            if s == seq {
+                return Some(mid);
+            } else if s < seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        None
+    }
+}
+
+impl std::ops::Index<usize> for Rob {
+    type Output = RobEntry;
+    #[inline]
+    fn index(&self, pos: usize) -> &RobEntry {
+        debug_assert!(pos < self.len);
+        &self.entries[self.phys(pos)]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Rob {
+    #[inline]
+    fn index_mut(&mut self, pos: usize) -> &mut RobEntry {
+        debug_assert!(pos < self.len);
+        let idx = self.phys(pos);
+        &mut self.entries[idx]
+    }
+}
+
+impl<'a> IntoIterator for &'a Rob {
+    type Item = &'a RobEntry;
+    type IntoIter =
+        std::iter::Chain<std::slice::Iter<'a, RobEntry>, std::slice::Iter<'a, RobEntry>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::fmt::Debug for Rob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rob")
+            .field("len", &self.len)
+            .field("capacity", &(self.mask + 1))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_state::RobEntry;
+    use regshare_core::UopKind;
+    use regshare_isa::{DecodedOp, Inst, Opcode};
+
+    fn entry(seq: u64) -> RobEntry {
+        let inst = Inst::bare(Opcode::Nop);
+        RobEntry {
+            seq,
+            pc: seq * 4,
+            d: DecodedOp::decode(&inst, 0),
+            inst,
+            kind: UopKind::Main,
+            srcs: [None; 3],
+            dst: None,
+            dst2: None,
+            pred: None,
+            issued: false,
+            done: false,
+            pending_srcs: 0,
+            exception: false,
+            result: None,
+            result2: None,
+            ea: None,
+            taken: None,
+            next_pc: 0,
+        }
+    }
+
+    fn ring(cap: usize) -> Rob {
+        Rob::new(cap, entry(0))
+    }
+
+    #[test]
+    fn push_pop_wraps_around() {
+        let mut r = ring(4);
+        for round in 0..5u64 {
+            for i in 0..3 {
+                r.push_back(entry(round * 10 + i));
+            }
+            assert_eq!(r.len(), 3);
+            assert_eq!(r.front().unwrap().seq, round * 10);
+            assert_eq!(r.back().unwrap().seq, round * 10 + 2);
+            for i in 0..3 {
+                assert_eq!(r.pop_front().unwrap().seq, round * 10 + i);
+            }
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn position_of_probes_and_searches() {
+        let mut r = ring(8);
+        // Contiguous window: the guess probe hits.
+        for seq in 10..15 {
+            r.push_back(entry(seq));
+        }
+        for seq in 10..15 {
+            assert_eq!(r.position_of(seq), Some((seq - 10) as usize));
+        }
+        assert_eq!(r.position_of(9), None);
+        assert_eq!(r.position_of(15), None);
+        // Gapped window (post-squash shape): binary-search fallback.
+        r.pop_back();
+        r.pop_back();
+        r.push_back(entry(20));
+        r.push_back(entry(23));
+        assert_eq!(r.position_of(20), Some(3));
+        assert_eq!(r.position_of(23), Some(4));
+        assert_eq!(r.position_of(21), None);
+        assert_eq!(r.position_of(14), None);
+    }
+
+    #[test]
+    fn iter_spans_the_wrap_in_order() {
+        let mut r = ring(4);
+        for seq in 0..3 {
+            r.push_back(entry(seq));
+        }
+        r.pop_front();
+        r.pop_front();
+        for seq in 3..6 {
+            r.push_back(entry(seq));
+        }
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+        let (a, b) = r.as_slices();
+        assert_eq!(a.len() + b.len(), r.len());
+    }
+
+    #[test]
+    fn index_mut_keeps_key_array_valid() {
+        let mut r = ring(4);
+        for seq in 0..4 {
+            r.push_back(entry(seq));
+        }
+        r[2].done = true;
+        assert!(r[2].done);
+        assert_eq!(r.position_of(2), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB ring overflow")]
+    fn overflow_panics() {
+        let mut r = ring(2);
+        for seq in 0..3 {
+            r.push_back(entry(seq));
+        }
+    }
+
+    mod schedules {
+        //! Random dispatch/commit/squash schedules (the shapes the
+        //! inject harness produces: stall bursts, deep squashes, empty
+        //! drains) against a mirror `VecDeque` of sequence numbers. The
+        //! ring must track the mirror exactly and never overflow its
+        //! fixed capacity or underflow on pops.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::VecDeque;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// Dispatch up to `n` new entries (capacity-gated, like
+            /// rename's ROB-free check; seqs stay monotonic).
+            Dispatch(u8),
+            /// Retire up to `n` from the front.
+            Commit(u8),
+            /// Squash everything younger than the `k`-th oldest
+            /// survivor (pop_back loop, like recovery).
+            Squash(u8),
+        }
+
+        fn op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (1..8u8).prop_map(Op::Dispatch),
+                (1..8u8).prop_map(Op::Commit),
+                (0..16u8).prop_map(Op::Squash),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn ring_matches_mirror_under_random_schedules(
+                cap in 1..24usize,
+                ops in proptest::collection::vec(op(), 1..120),
+            ) {
+                let mut r = Rob::new(cap, entry(0));
+                let mut mirror: VecDeque<u64> = VecDeque::new();
+                let mut next_seq = 0u64;
+                for op in ops {
+                    match op {
+                        Op::Dispatch(n) => {
+                            for _ in 0..n {
+                                if mirror.len() >= cap {
+                                    break; // rename-stage capacity stall
+                                }
+                                r.push_back(entry(next_seq));
+                                mirror.push_back(next_seq);
+                                // Squash gaps: seqs are monotonic, not
+                                // contiguous.
+                                next_seq += 1 + next_seq.is_multiple_of(3) as u64;
+                            }
+                        }
+                        Op::Commit(n) => {
+                            for _ in 0..n {
+                                prop_assert_eq!(
+                                    r.pop_front().map(|e| e.seq),
+                                    mirror.pop_front()
+                                );
+                            }
+                        }
+                        Op::Squash(k) => {
+                            let target = mirror
+                                .get(k as usize)
+                                .copied()
+                                .unwrap_or(0);
+                            while matches!(r.back(), Some(e) if e.seq > target) {
+                                prop_assert_eq!(
+                                    r.pop_back().map(|e| e.seq),
+                                    mirror.pop_back()
+                                );
+                            }
+                        }
+                    }
+                    // Structural invariants after every step.
+                    prop_assert!(r.len() <= cap.next_power_of_two());
+                    prop_assert_eq!(r.len(), mirror.len());
+                    prop_assert_eq!(r.front().map(|e| e.seq), mirror.front().copied());
+                    prop_assert_eq!(r.back().map(|e| e.seq), mirror.back().copied());
+                    let ring_seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+                    let mirror_seqs: Vec<u64> = mirror.iter().copied().collect();
+                    prop_assert_eq!(&ring_seqs, &mirror_seqs);
+                    // Key-array probe agrees with a linear scan, for
+                    // present and absent seqs alike.
+                    for probe in 0..next_seq {
+                        prop_assert_eq!(
+                            r.position_of(probe),
+                            mirror_seqs.iter().position(|&s| s == probe)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

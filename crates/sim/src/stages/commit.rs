@@ -3,11 +3,12 @@
 use crate::core_state::{CoreState, RobEntry, StageIo};
 use crate::errors::TraceStage;
 use crate::policy::RecoveryPolicy;
+use crate::profile::StageSlot;
 use crate::recovery;
 use crate::stages::StageOutcome;
 use crate::SimError;
 use regshare_core::UopKind;
-use regshare_isa::{Machine, Opcode};
+use regshare_isa::Machine;
 
 /// The commit stage. Retires up to `commit_width` done micro-ops from
 /// the ROB head per cycle: stores drain to memory, loads leave the LSQ,
@@ -37,7 +38,7 @@ impl CommitStage {
             let Some(head) = core.rob.pop_front() else {
                 break;
             };
-            if head.kind == UopKind::Main && head.inst.opcode.is_store() {
+            if head.kind == UopKind::Main && head.d.is_store() {
                 let (addr, width, value) = match core.lsq.commit_store(head.seq) {
                     Ok(committed) => committed,
                     Err(e) => return Err(core.lsq_err(lat, e)),
@@ -46,7 +47,7 @@ impl CommitStage {
                 core.mem_timing
                     .access_data(head.pc * 4, addr, true, core.cycle);
             }
-            if head.kind == UopKind::Main && head.inst.opcode.is_load() {
+            if head.kind == UopKind::Main && head.d.is_load() {
                 if let Err(e) = core.lsq.commit_load(head.seq) {
                     return Err(core.lsq_err(lat, e));
                 }
@@ -54,6 +55,7 @@ impl CommitStage {
             core.renamer.commit(head.seq);
             core.trace_event(head.seq, head.pc, TraceStage::Commit);
             core.committed_uops += 1;
+            core.profile.add_work(StageSlot::Commit, 1);
             if head.kind == UopKind::Main {
                 core.committed_instructions += 1;
                 if let Err(detail) = check_oracle(&mut core.oracle, &head) {
@@ -65,7 +67,7 @@ impl CommitStage {
                 }
             }
             core.last_commit_cycle = core.cycle;
-            if head.inst.opcode == Opcode::Halt && head.kind == UopKind::Main {
+            if head.d.is_halt() && head.kind == UopKind::Main {
                 core.halted = true;
                 return Ok(StageOutcome::Halted);
             }

@@ -1,6 +1,7 @@
 //! Decode: move fetched instructions toward rename.
 
 use crate::core_state::{CoreState, StageIo};
+use crate::profile::StageSlot;
 use crate::stages::StageOutcome;
 
 /// The decode stage. Transfers up to `decode_width` instructions per
@@ -20,6 +21,7 @@ impl DecodeStage {
             let Some(f) = lat.fetched.pop_front() else {
                 break;
             };
+            core.profile.add_work(StageSlot::Decode, 1);
             lat.decoded.push_back(f);
         }
         StageOutcome::Ran

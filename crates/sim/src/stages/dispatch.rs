@@ -18,9 +18,10 @@ impl DispatchStage {
             uops,
             pc,
             inst,
+            d,
             pred,
         } = bundle;
-        for uop in uops {
+        for &uop in &uops {
             for dst in [uop.dst, uop.dst2].into_iter().flatten() {
                 core.scoreboard.set_busy(dst);
                 if dst.version == 0 {
@@ -28,10 +29,10 @@ impl DispatchStage {
                 }
             }
             let is_main = uop.kind == UopKind::Main;
-            if is_main && inst.opcode.is_load() {
+            if is_main && d.is_load() {
                 core.lsq.dispatch_load(uop.seq);
             }
-            if is_main && inst.opcode.is_store() {
+            if is_main && d.is_store() {
                 core.lsq.dispatch_store(uop.seq);
             }
             core.trace_event(uop.seq, pc, TraceStage::Dispatch);
@@ -50,6 +51,7 @@ impl DispatchStage {
                 seq: uop.seq,
                 pc,
                 inst,
+                d,
                 kind: uop.kind,
                 srcs: uop.srcs,
                 dst: uop.dst,
@@ -69,7 +71,7 @@ impl DispatchStage {
                 core.ready_q.insert(uop.seq);
             }
             core.iq_len += 1;
-            if inst.opcode.is_branch() {
+            if d.is_branch() {
                 core.unresolved_branches.insert(uop.seq);
             }
         }

@@ -37,6 +37,7 @@ impl ExecuteStage {
             "seq {seq} selected with a busy source operand",
         );
         let inst = entry.inst;
+        let d = entry.d;
         let kind = entry.kind;
         let pc = entry.pc;
         let srcs = entry.srcs;
@@ -63,7 +64,7 @@ impl ExecuteStage {
                 core.schedule(seq, total);
                 Ok(true)
             }
-            UopKind::Main if inst.opcode.is_load() => {
+            UopKind::Main if d.is_load() => {
                 if !core.lsq.older_stores_resolved(seq) {
                     return Ok(false);
                 }
@@ -128,7 +129,7 @@ impl ExecuteStage {
                     }
                 }
             }
-            UopKind::Main if inst.opcode.is_store() => {
+            UopKind::Main if d.is_store() => {
                 let Some(latency) = core.fus.try_issue(OpClass::Store, core.cycle) else {
                     return Ok(false);
                 };
@@ -162,7 +163,7 @@ impl ExecuteStage {
                 Ok(true)
             }
             UopKind::Main => {
-                let class = inst.opcode.class();
+                let class = d.class;
                 let Some(latency) = core.fus.try_issue(class, core.cycle) else {
                     return Ok(false);
                 };

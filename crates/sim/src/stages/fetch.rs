@@ -1,8 +1,8 @@
 //! Fetch: follow predicted PCs through the real program image.
 
 use crate::core_state::{CoreState, Fetched, StageIo};
+use crate::profile::StageSlot;
 use crate::stages::StageOutcome;
-use regshare_isa::Opcode;
 
 /// The fetch stage. Walks the predicted path (gshare + BTB), honours
 /// redirect/exception stalls and i-cache miss latency, and deposits
@@ -35,7 +35,8 @@ impl FetchStage {
                 core.fetch_pc = Some(pc);
                 return StageOutcome::Ran;
             }
-            let pred = inst.opcode.is_branch().then(|| {
+            let d = core.program.decoded().op(pc);
+            let pred = d.is_branch().then(|| {
                 let mut p = core.bpred.predict(pc, &inst);
                 // An armed injection flip inverts the next prediction,
                 // manufacturing a misprediction (and its recovery) the
@@ -55,8 +56,9 @@ impl FetchStage {
                 Some(p) if p.taken => p.target,
                 _ => pc + 1,
             };
-            let is_halt = inst.opcode == Opcode::Halt;
-            lat.fetched.push_back(Fetched { pc, inst, pred });
+            let is_halt = d.is_halt();
+            core.profile.add_work(StageSlot::Fetch, 1);
+            lat.fetched.push_back(Fetched { pc, inst, d, pred });
             if is_halt {
                 core.fetch_pc = None;
                 return StageOutcome::Ran;

@@ -2,6 +2,7 @@
 
 use crate::core_state::{CoreState, StageIo};
 use crate::policy::IssueSelect;
+use crate::profile::StageSlot;
 use crate::stages::{ExecuteStage, StageOutcome};
 use crate::SimError;
 
@@ -15,13 +16,20 @@ pub(crate) struct IssueStage {
     select: Box<dyn IssueSelect>,
     /// Scratch buffer reused across cycles for the candidate order.
     cand_scratch: Vec<u64>,
+    /// Scratch buffer reused across cycles for this cycle's issues.
+    issued_scratch: Vec<u64>,
 }
 
 impl IssueStage {
-    pub(crate) fn new(select: Box<dyn IssueSelect>) -> Self {
+    /// `iq_entries` bounds both scratch buffers: the candidate order is
+    /// drawn from the ready queue and the issued list from the
+    /// candidates, so pre-sizing to the issue queue's capacity keeps
+    /// the tick allocation-free from the first cycle.
+    pub(crate) fn new(select: Box<dyn IssueSelect>, iq_entries: usize) -> Self {
         IssueStage {
             select,
-            cand_scratch: Vec::new(),
+            cand_scratch: Vec::with_capacity(iq_entries),
+            issued_scratch: Vec::with_capacity(iq_entries),
         }
     }
 
@@ -34,7 +42,8 @@ impl IssueStage {
         if core.ready_q.is_empty() {
             return Ok(StageOutcome::Ran);
         }
-        let mut issued: Vec<u64> = Vec::new();
+        let mut issued = std::mem::take(&mut self.issued_scratch);
+        issued.clear();
         let mut candidates = std::mem::take(&mut self.cand_scratch);
         candidates.clear();
         self.select.select(core.ready_q.as_slice(), &mut candidates);
@@ -50,12 +59,14 @@ impl IssueStage {
                 issued.push(seq);
             }
         }
+        core.profile.add_work(StageSlot::Issue, issued.len() as u64);
         for s in &issued {
             if core.ready_q.remove(*s) {
                 core.iq_len -= 1;
             }
         }
         self.cand_scratch = candidates;
+        self.issued_scratch = issued;
         Ok(StageOutcome::Ran)
     }
 }

@@ -1,6 +1,7 @@
 //! Rename: drive the renaming scheme and hand micro-ops to dispatch.
 
 use crate::core_state::{CoreState, RenamedBundle, StageIo};
+use crate::profile::StageSlot;
 use crate::stages::{DispatchStage, StageOutcome};
 
 /// The rename stage. Pulls decoded instructions, checks downstream
@@ -13,7 +14,14 @@ use crate::stages::{DispatchStage, StageOutcome};
 /// previous instruction's dispatch, so batching renames behind a latch
 /// would change stall timing.
 #[derive(Debug, Default)]
-pub(crate) struct RenameStage;
+pub(crate) struct RenameStage {
+    /// `(state_epoch, next_seq, pc)` of the last failed rename. While all
+    /// three stand still, nothing that could change the rename's outcome
+    /// has happened and the instruction is the same, so the retry would
+    /// fail identically — the stage charges `note_stall` instead of
+    /// re-running the scheme's full rename machinery every stalled cycle.
+    stall_gate: Option<(u64, u64, u64)>,
+}
 
 impl RenameStage {
     pub(crate) fn tick(
@@ -32,26 +40,37 @@ impl RenameStage {
             };
             let rob_free = core.config.rob_entries - core.rob.len();
             let iq_free = core.config.iq_entries - core.iq_len;
-            let is_load = f.inst.opcode.is_load() as usize;
-            let is_store = f.inst.opcode.is_store() as usize;
+            let is_load = f.d.is_load() as usize;
+            let is_store = f.d.is_store() as usize;
             if rob_free < WORST_CASE_UOPS
                 || iq_free < WORST_CASE_UOPS
                 || !core.lsq.has_room(is_load, is_store)
             {
                 break;
             }
+            if let Some((epoch, seq, pc)) = self.stall_gate {
+                if epoch == core.renamer.state_epoch() && seq == core.next_seq && pc == f.pc {
+                    core.renamer.note_stall();
+                    stalled_for_regs = true;
+                    break;
+                }
+            }
             let Some(uops) = core.renamer.rename(core.next_seq, f.pc, &f.inst) else {
+                self.stall_gate = Some((core.renamer.state_epoch(), core.next_seq, f.pc));
                 stalled_for_regs = true;
                 break;
             };
+            self.stall_gate = None;
             let f = lat.decoded.pop_front().expect("front checked above");
             core.next_seq += uops.len() as u64;
+            core.profile.add_work(StageSlot::Rename, uops.len() as u64);
             dispatch.dispatch(
                 core,
                 RenamedBundle {
                     uops,
                     pc: f.pc,
                     inst: f.inst,
+                    d: f.d,
                     pred: f.pred,
                 },
             );

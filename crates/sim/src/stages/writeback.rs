@@ -3,6 +3,7 @@
 use crate::core_state::{CoreState, StageIo};
 use crate::errors::TraceStage;
 use crate::policy::RecoveryPolicy;
+use crate::profile::StageSlot;
 use crate::recovery;
 use crate::stages::StageOutcome;
 use crate::SimError;
@@ -31,6 +32,8 @@ impl WritebackStage {
         // Out-of-order issue can schedule completions for one cycle in
         // any order; broadcast oldest-first like real wakeup ports.
         seqs.sort_unstable();
+        core.profile
+            .add_work(StageSlot::Writeback, seqs.len() as u64);
         for &seq in &seqs {
             let Some(idx) = core.rob_index(seq) else {
                 continue; // squashed while in flight
@@ -40,13 +43,7 @@ impl WritebackStage {
             let (dst, result, dst2, result2, is_branch) = {
                 let e = &mut core.rob[idx];
                 e.done = true;
-                (
-                    e.dst,
-                    e.result,
-                    e.dst2,
-                    e.result2,
-                    e.inst.opcode.is_branch(),
-                )
+                (e.dst, e.result, e.dst2, e.result2, e.d.is_branch())
             };
             if is_branch {
                 core.unresolved_branches.remove(seq);
@@ -78,7 +75,7 @@ impl WritebackStage {
             }
             // Resolve branches.
             let e = &core.rob[idx];
-            if e.kind == UopKind::Main && e.inst.opcode.is_branch() {
+            if e.kind == UopKind::Main && e.d.is_branch() {
                 let (pc, inst, next_pc) = (e.pc, e.inst, e.next_pc);
                 let (taken, pred) = match (e.taken, e.pred) {
                     (Some(t), Some(p)) => (t, p),

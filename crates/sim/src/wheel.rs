@@ -51,6 +51,29 @@ impl CompletionWheel {
         }
     }
 
+    /// Buckets start with room for a typical completion burst. Sizing
+    /// every bucket for the worst case (ROB capacity) would spread the
+    /// ring over megabytes and turn each schedule into a cache miss;
+    /// instead the rare oversized burst grows its bucket once — during
+    /// warmup in practice — and the capacity sticks from then on.
+    const BUCKET_BURST: usize = 8;
+
+    /// A wheel whose drain vector is pre-sized for `bound` simultaneous
+    /// completions (no single cycle can complete more micro-ops than the
+    /// machine holds in flight, so `bound` = ROB capacity suffices) and
+    /// whose buckets hold [`CompletionWheel::BUCKET_BURST`] entries
+    /// before their one-time growth.
+    pub fn with_in_flight_bound(bound: usize) -> Self {
+        let mut slots = Vec::with_capacity(INITIAL_SLOTS);
+        slots.resize_with(INITIAL_SLOTS, || Vec::with_capacity(Self::BUCKET_BURST));
+        CompletionWheel {
+            slots,
+            mask: INITIAL_SLOTS as u64 - 1,
+            spare: vec![Vec::with_capacity(bound)],
+            len: 0,
+        }
+    }
+
     /// Number of scheduled completions.
     pub fn len(&self) -> usize {
         self.len

@@ -99,7 +99,7 @@ fn walk(renamer: &mut dyn Renamer, label: &str, passes: usize) {
             for u in &uops {
                 seq = u.seq + 1;
             }
-            for u in uops {
+            for u in &uops {
                 renamer.commit(u.seq);
             }
         }

@@ -25,6 +25,7 @@ mod fig3;
 mod fig9;
 mod hints;
 mod inject;
+mod profile;
 mod sample;
 mod serve;
 mod shape;
@@ -65,6 +66,9 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ablate-predictor", ablate_predictor::run),
         ("ablate-banks", ablate_banks::run),
         ("inject", inject::run),
+        // Host-time attribution: wall-clock payload, so `all` skips it
+        // (same contract as `bench`).
+        ("profile", profile::run),
         // Two-speed engine: the sampled registry `all --sample` runs.
         ("sample", sample::run),
         ("shape", shape::run),

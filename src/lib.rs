@@ -25,7 +25,10 @@
 //! println!("speedup: {:.3}", prop.ipc() / base.ipc());
 //! ```
 
+pub mod alloc_track;
 pub mod experiments;
+
+pub use alloc_track::CountingAlloc;
 
 pub use regshare_analyze as analyze;
 pub use regshare_area as area;

@@ -35,11 +35,15 @@ fn config(tag: &str) -> ServeConfig {
 }
 
 fn sim_payload(kernel: &str, scheme: &str, rf: u64) -> Value {
+    sim_payload_scaled(kernel, scheme, rf, SCALE)
+}
+
+fn sim_payload_scaled(kernel: &str, scheme: &str, rf: u64, scale: u64) -> Value {
     Value::Object(vec![
         ("kernel".to_string(), Value::Str(kernel.to_string())),
         ("scheme".to_string(), Value::Str(scheme.to_string())),
         ("rf".to_string(), Value::UInt(rf)),
-        ("scale".to_string(), Value::UInt(SCALE)),
+        ("scale".to_string(), Value::UInt(scale)),
     ])
 }
 
@@ -212,16 +216,18 @@ fn corrupted_cache_entry_is_quarantined_and_recomputed() {
 #[test]
 fn forced_timeouts_cancel_the_pipeline_and_dead_letter() {
     let mut cfg = config("timeout");
-    // A deadline far below a 4k-instruction simulation's runtime: every
-    // attempt is reaped, exercising CancelToken through the real
-    // pipeline driver loop.
+    // A deadline far below the simulation's runtime: every attempt is
+    // reaped, exercising CancelToken through the real pipeline driver
+    // loop. The job runs millions of instructions (~seconds of work)
+    // against a 1ms budget, so no hot-loop speedup can let it finish
+    // before the reaper fires.
     cfg.deadline = Duration::from_millis(1);
     cfg.max_attempts = 2;
     let server = Server::start(cfg, Arc::new(SimExecutor)).unwrap();
     let client = Client::new(&format!("127.0.0.1:{}", server.port()));
 
     let ids = client
-        .submit(&[sim_payload("fft", "proposed", 64)])
+        .submit(&[sim_payload_scaled("fft", "proposed", 64, 8_000_000)])
         .unwrap();
     let rows = client.wait_terminal(&ids, Duration::from_secs(60)).unwrap();
     assert_eq!(
