@@ -155,6 +155,24 @@ pub fn table2() -> Vec<Table2Row> {
     ]
 }
 
+/// Port counts implied by a machine width: 2 operand reads and 1 result
+/// write per issue slot. Width 3 reproduces [`RegFilePorts::default`]
+/// (Table I's core); the SMT frontier sweeps widths 2/4/8.
+pub fn ports_for_width(width: usize) -> RegFilePorts {
+    RegFilePorts {
+        read: 2 * width as u32,
+        write: width as u32,
+    }
+}
+
+/// Baseline physical-register budget for a `threads`-way SMT core of the
+/// given issue width: one architectural copy (32 registers) per hardware
+/// thread plus a speculative renaming window that scales with width.
+/// `(1, 4)` reproduces the single-thread experiments' 64-register file.
+pub fn smt_baseline_regs(threads: usize, width: usize) -> usize {
+    32 * threads + 8 * width
+}
+
 /// Shadow-bank size heuristic used when a baseline size has no Table III
 /// row: larger files afford larger shadow banks (Fig. 9 tuning).
 fn shadow_bank_size(baseline_regs: usize) -> usize {
@@ -285,5 +303,32 @@ mod tests {
     #[should_panic(expected = "no equal-area configuration")]
     fn impossible_budget_panics() {
         equal_area_config(13, RegFilePorts::default());
+    }
+
+    #[test]
+    fn width_three_ports_match_table_i_default() {
+        assert_eq!(ports_for_width(3), RegFilePorts::default());
+        assert_eq!(ports_for_width(8), RegFilePorts { read: 16, write: 8 });
+    }
+
+    #[test]
+    fn smt_frontier_points_all_have_equal_area_configs() {
+        // Every point of the {1,2,4} threads × {2,4,8} widths matrix the
+        // `experiments smt` frontier sweeps must admit an equal-area
+        // solution that stays within the baseline budget and actually
+        // shrinks the file.
+        for threads in [1usize, 2, 4] {
+            for width in [2usize, 4, 8] {
+                let regs = smt_baseline_regs(threads, width);
+                let ports = ports_for_width(width);
+                let banks = equal_area_config(regs, ports);
+                assert!(
+                    proposed_area(&banks, ports, 64) <= baseline_area(regs, ports, 64) * 1.0001,
+                    "t={threads} w={width}"
+                );
+                assert!(banks.total() < regs, "t={threads} w={width}");
+            }
+        }
+        assert_eq!(smt_baseline_regs(1, 4), 64);
     }
 }

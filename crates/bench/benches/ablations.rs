@@ -23,6 +23,7 @@ fn renamer(swept: RegClass, banks: BankConfig, bits: u8, entries: usize) -> Box<
         predictor_bits: 2,
         speculative_reuse: true,
         hint_policy: HintPolicy::DynamicOnly,
+        threads: 1,
     }))
 }
 

@@ -4,7 +4,7 @@
 use crate::rename_common::{CheckpointStack, RenameTables, SeqRecord};
 use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind, UopVec};
 use crate::{BankConfig, MapTable, TaggedReg};
-use regshare_isa::{ArchReg, Inst, RegClass};
+use regshare_isa::{ArchReg, HartId, Inst, RegClass};
 
 #[derive(Debug, Clone, Copy)]
 struct DstChange {
@@ -28,7 +28,9 @@ impl SeqRecord for Record {
 
 /// Conventional register renaming: every destination gets a fresh physical
 /// register; the previous register of the same logical register is
-/// released when the redefining instruction commits.
+/// released when the redefining instruction commits. With
+/// `RenamerConfig::threads` > 1, each hardware thread renames through its
+/// own map table and checkpoint stack over the shared free lists.
 ///
 /// # Examples
 ///
@@ -45,7 +47,10 @@ impl SeqRecord for Record {
 #[derive(Debug, Clone)]
 pub struct BaselineRenamer {
     t: RenameTables,
-    records: CheckpointStack<Record>,
+    /// One in-flight record stack per hardware thread: commits are in
+    /// sequence order per thread, and a squash walks only the squashing
+    /// thread's records.
+    records: Vec<CheckpointStack<Record>>,
     /// Reused squash-outcome storage (`recovers` stays empty: the
     /// baseline never shares registers, so no recover commands).
     squash: SquashOutcome,
@@ -63,9 +68,10 @@ impl BaselineRenamer {
     /// Panics if a register file is smaller than the logical register
     /// count (no registers would remain for renaming).
     pub fn new(config: RenamerConfig) -> Self {
+        let threads = config.threads;
         BaselineRenamer {
             t: RenameTables::new(config, |_, _| {}),
-            records: CheckpointStack::new(),
+            records: (0..threads).map(|_| CheckpointStack::new()).collect(),
             squash: SquashOutcome::default(),
             epoch: 0,
         }
@@ -83,12 +89,17 @@ impl BaselineRenamer {
 }
 
 impl Renamer for BaselineRenamer {
-    fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<UopVec> {
-        // Sources first: read the map.
+    fn threads(&self) -> usize {
+        self.t.threads()
+    }
+
+    fn rename_on(&mut self, hart: HartId, seq: u64, _pc: u64, inst: &Inst) -> Option<UopVec> {
+        let h = hart.index();
+        // Sources first: read the thread's map.
         let mut srcs = [None; 3];
         for (slot, src) in srcs.iter_mut().zip(inst.raw_sources()) {
             if let Some(r) = src.filter(|r| !r.is_zero()) {
-                *slot = Some(self.t.map.get(r));
+                *slot = Some(self.t.maps[h].get(r));
             }
         }
         // Destinations: allocate (post-increment ops have a second one).
@@ -96,7 +107,7 @@ impl Renamer for BaselineRenamer {
             let class = logical.class();
             let preg = t.free[class.index()].alloc(0)?;
             let new_map = TaggedReg::new(class, preg, 0);
-            let old_map = t.map.set(logical, new_map);
+            let old_map = t.maps[h].set(logical, new_map);
             t.stats.allocations += 1;
             Some(DstChange {
                 logical,
@@ -120,7 +131,7 @@ impl Renamer for BaselineRenamer {
                 None => {
                     // Roll the first allocation back before stalling.
                     if let Some(d) = dst_change {
-                        self.t.map.set(d.logical, d.old_map);
+                        self.t.maps[h].set(d.logical, d.old_map);
                         let class = d.new_map.class;
                         self.t.free[class.index()].free(d.new_map.preg, self.t.config.banks(class));
                         self.t.stats.allocations -= 1;
@@ -133,7 +144,7 @@ impl Renamer for BaselineRenamer {
         };
         let dst_tag = dst_change.as_ref().map(|d| d.new_map);
         let dst2_tag = dst2_change.as_ref().map(|d| d.new_map);
-        self.records.push(Record {
+        self.records[h].push(Record {
             seq,
             dst: dst_change,
             dst2: dst2_change,
@@ -150,8 +161,9 @@ impl Renamer for BaselineRenamer {
         Some(uops)
     }
 
-    fn commit(&mut self, seq: u64) {
-        let record = self.records.commit_front(seq);
+    fn commit_on(&mut self, hart: HartId, seq: u64) {
+        let h = hart.index();
+        let record = self.records[h].commit_front(seq);
         for d in [record.dst, record.dst2].into_iter().flatten() {
             // Release-on-commit: the redefined mapping dies here. A freed
             // register is what a stalled rename waits for.
@@ -160,16 +172,17 @@ impl Renamer for BaselineRenamer {
             self.t.free[class.index()].free(d.old_map.preg, self.t.config.banks(class));
             self.t.stats.releases += 1;
             self.t.stats.chain_lengths.record(0);
-            self.t.retire_map.set(d.logical, d.new_map);
+            self.t.retire_maps[h].set(d.logical, d.new_map);
         }
     }
 
-    fn squash_after(&mut self, seq: u64) -> &SquashOutcome {
+    fn squash_after_on(&mut self, hart: HartId, seq: u64) -> &SquashOutcome {
+        let h = hart.index();
         self.epoch += 1;
         self.squash.undone = 0;
-        while let Some(record) = self.records.pop_younger(seq) {
+        while let Some(record) = self.records[h].pop_younger(seq) {
             for d in [record.dst2, record.dst].into_iter().flatten() {
-                self.t.map.set(d.logical, d.old_map);
+                self.t.maps[h].set(d.logical, d.old_map);
                 let class = d.new_map.class;
                 self.t.free[class.index()].free(d.new_map.preg, self.t.config.banks(class));
             }
@@ -183,7 +196,7 @@ impl Renamer for BaselineRenamer {
         self.epoch
     }
 
-    fn note_stall(&mut self) {
+    fn note_stall_on(&mut self, _hart: HartId) {
         // A failed baseline rename rolls back fully; only the stall
         // counter survives the attempt.
         self.t.stats.stalls += 1;
@@ -218,19 +231,37 @@ impl Renamer for BaselineRenamer {
     }
 
     fn audit(&self) -> Result<(), String> {
+        let threads = self.t.threads();
         for class in RegClass::ALL {
             let total = self.t.config.banks(class).total();
             // Every register is either free or referenced exactly once:
-            // by a current map entry, or by an in-flight record keeping
-            // the redefined mapping alive until commit.
+            // by one thread's current map entry, or by one thread's
+            // in-flight record keeping the redefined mapping alive until
+            // commit. Counting per thread also proves no register is
+            // reachable from two threads at once.
             let mut refs = vec![0u32; total];
-            for (_, tag) in self.t.map.iter_class(class) {
-                refs[tag.preg.0 as usize] += 1;
-            }
-            for record in self.records.iter() {
-                for d in [&record.dst, &record.dst2].into_iter().flatten() {
-                    if d.old_map.class == class {
-                        refs[d.old_map.preg.0 as usize] += 1;
+            let mut owner = vec![usize::MAX; total];
+            let mut claim = |i: usize, h: usize| -> Result<(), String> {
+                if owner[i] != usize::MAX && owner[i] != h {
+                    return Err(format!(
+                        "{class}: p{i} is referenced by both thread {} and thread {h} — \
+                         a cross-thread register leak",
+                        owner[i]
+                    ));
+                }
+                owner[i] = h;
+                refs[i] += 1;
+                Ok(())
+            };
+            for h in 0..threads {
+                for (_, tag) in self.t.maps[h].iter_class(class) {
+                    claim(tag.preg.0 as usize, h)?;
+                }
+                for record in self.records[h].iter() {
+                    for d in [&record.dst, &record.dst2].into_iter().flatten() {
+                        if d.old_map.class == class {
+                            claim(d.old_map.preg.0 as usize, h)?;
+                        }
                     }
                 }
             }
@@ -255,12 +286,24 @@ impl Renamer for BaselineRenamer {
                     }
                 }
             }
+            // Per-thread retire-map consistency: an architectural mapping
+            // must never point at a free register.
+            for h in 0..threads {
+                for (r, tag) in self.t.retire_maps[h].iter_class(class) {
+                    if free[tag.preg.0 as usize] {
+                        return Err(format!(
+                            "{class}: thread {h} retire map entry {r} points at free {}",
+                            tag.preg
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }
 
-    fn arch_map(&self) -> Option<&MapTable> {
-        Some(&self.t.retire_map)
+    fn arch_map_on(&self, hart: HartId) -> Option<&MapTable> {
+        Some(&self.t.retire_maps[hart.index()])
     }
 }
 

@@ -24,7 +24,7 @@
 
 use crate::renamer::{RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind, UopVec};
 use crate::{BankConfig, FreeList, MapTable, PhysReg, TaggedReg};
-use regshare_isa::{ArchReg, Inst, RegClass};
+use regshare_isa::{ArchReg, HartId, Inst, RegClass};
 use regshare_stats::FastHashMap;
 use std::collections::VecDeque;
 
@@ -251,7 +251,12 @@ impl EarlyReleaseRenamer {
 }
 
 impl Renamer for EarlyReleaseRenamer {
-    fn rename(&mut self, seq: u64, _pc: u64, inst: &Inst) -> Option<UopVec> {
+    fn rename_on(&mut self, hart: HartId, seq: u64, _pc: u64, inst: &Inst) -> Option<UopVec> {
+        debug_assert_eq!(
+            hart,
+            HartId::ZERO,
+            "the early-release oracle renamer is single-threaded"
+        );
         let mut srcs = [None; 3];
         let mut read_list = [None; 3];
         let mut n_reads = 0;
@@ -354,7 +359,7 @@ impl Renamer for EarlyReleaseRenamer {
         Some(uops)
     }
 
-    fn commit(&mut self, seq: u64) {
+    fn commit_on(&mut self, _hart: HartId, seq: u64) {
         let record = self
             .records
             .pop_front()
@@ -375,7 +380,7 @@ impl Renamer for EarlyReleaseRenamer {
         self.force_release(seq);
     }
 
-    fn squash_after(&mut self, seq: u64) -> &SquashOutcome {
+    fn squash_after_on(&mut self, _hart: HartId, seq: u64) -> &SquashOutcome {
         self.epoch += 1;
         self.squash.undone = 0;
         while let Some(record) = self.records.back() {
@@ -442,7 +447,7 @@ impl Renamer for EarlyReleaseRenamer {
         }
     }
 
-    fn advance_nonspeculative(&mut self, boundary: u64) {
+    fn advance_nonspeculative_on(&mut self, _hart: HartId, boundary: u64) {
         if boundary <= self.ns_boundary {
             return;
         }
@@ -465,7 +470,7 @@ impl Renamer for EarlyReleaseRenamer {
         self.epoch
     }
 
-    fn note_stall(&mut self) {
+    fn note_stall_on(&mut self, _hart: HartId) {
         // A failed early-release rename rolls back fully; only the stall
         // counter survives the attempt.
         self.stats.stalls += 1;

@@ -11,69 +11,103 @@
 
 use crate::renamer::{RenameStats, RenamerConfig};
 use crate::{BankConfig, FreeList, MapTable, PhysReg, TaggedReg};
-use regshare_isa::{ArchReg, RegClass};
+use regshare_isa::{ArchReg, HartId, RegClass, MAX_HARTS};
 use std::collections::VecDeque;
 
-/// The rename-table state every scheme owns: a speculative map table, a
-/// retirement (architectural) map table, one free list per register
-/// class, and the scheme's [`RenameStats`].
+/// The rename-table state every scheme owns: one speculative map table
+/// and one retirement (architectural) map table **per hardware thread**,
+/// one free list per register class shared by all threads, and the
+/// scheme's [`RenameStats`].
+///
+/// The per-thread tables are what make SMT renaming safe over a shared
+/// physical register file: a thread can only ever reach physical
+/// registers through its own map table, so ownership never crosses
+/// threads (the audits verify this).
 #[derive(Debug, Clone)]
 pub struct RenameTables {
     pub(crate) config: RenamerConfig,
-    pub(crate) map: MapTable,
-    pub(crate) retire_map: MapTable,
+    pub(crate) maps: Vec<MapTable>,
+    pub(crate) retire_maps: Vec<MapTable>,
     pub(crate) free: [FreeList; 2],
     pub(crate) stats: RenameStats,
 }
 
 impl RenameTables {
-    /// Builds the tables with every logical register mapped to an initial
-    /// physical register (version 0), calling `on_init` for each initial
-    /// allocation so schemes with extra per-register bookkeeping (e.g.
-    /// the PRT mapping counts) can mirror it.
+    /// Builds the tables with every logical register of every thread
+    /// mapped to an initial physical register (version 0), calling
+    /// `on_init` for each initial allocation so schemes with extra
+    /// per-register bookkeeping (e.g. the PRT mapping counts) can mirror
+    /// it.
     ///
     /// # Panics
     ///
-    /// Panics if a register file is not larger than the logical register
+    /// Panics if the thread count is outside `1..=MAX_HARTS`, or if a
+    /// register file is not larger than `threads ×` the logical register
     /// count (no registers would remain for renaming).
     pub fn new(config: RenamerConfig, mut on_init: impl FnMut(RegClass, PhysReg)) -> Self {
-        let mut map = MapTable::new();
+        let threads = config.threads;
+        assert!(
+            (1..=MAX_HARTS).contains(&threads),
+            "thread count must be in 1..={MAX_HARTS}, got {threads}"
+        );
         let mut free = [
             FreeList::new(&config.int_banks),
             FreeList::new(&config.fp_banks),
         ];
         for class in RegClass::ALL {
             assert!(
-                config.banks(class).total() > class.num_regs(),
-                "{class} register file must exceed the {} logical registers",
-                class.num_regs()
+                config.banks(class).total() > threads * class.num_regs(),
+                "{class} register file must exceed the {} logical registers of {threads} thread(s)",
+                threads * class.num_regs()
             );
-            for i in 0..class.num_regs() {
-                let preg = free[class.index()]
-                    .alloc(0)
-                    .expect("initial mapping fits by the assertion above");
-                on_init(class, preg);
-                map.set(ArchReg::new(class, i as u8), TaggedReg::new(class, preg, 0));
-            }
         }
-        let retire_map = map.clone();
+        let mut maps = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let mut map = MapTable::new();
+            for class in RegClass::ALL {
+                for i in 0..class.num_regs() {
+                    let preg = free[class.index()]
+                        .alloc(0)
+                        .expect("initial mapping fits by the assertion above");
+                    on_init(class, preg);
+                    map.set(ArchReg::new(class, i as u8), TaggedReg::new(class, preg, 0));
+                }
+            }
+            maps.push(map);
+        }
+        let retire_maps = maps.clone();
         RenameTables {
             config,
-            map,
-            retire_map,
+            maps,
+            retire_maps,
             free,
             stats: RenameStats::new(),
         }
     }
 
-    /// The current (speculative) rename map.
-    pub fn map(&self) -> &MapTable {
-        &self.map
+    /// Hardware-thread contexts these tables maintain.
+    pub fn threads(&self) -> usize {
+        self.maps.len()
     }
 
-    /// The retirement (architectural) rename map.
+    /// The current (speculative) rename map of hart 0.
+    pub fn map(&self) -> &MapTable {
+        &self.maps[0]
+    }
+
+    /// The current (speculative) rename map of one hart.
+    pub fn map_of(&self, hart: HartId) -> &MapTable {
+        &self.maps[hart.index()]
+    }
+
+    /// The retirement (architectural) rename map of hart 0.
     pub fn retire_map(&self) -> &MapTable {
-        &self.retire_map
+        &self.retire_maps[0]
+    }
+
+    /// The retirement (architectural) rename map of one hart.
+    pub fn retire_map_of(&self, hart: HartId) -> &MapTable {
+        &self.retire_maps[hart.index()]
     }
 
     /// The bank layout of one register class.

@@ -2,7 +2,7 @@
 //! out-of-order pipeline and a renaming scheme.
 
 use crate::{BankConfig, MapTable, TaggedReg};
-use regshare_isa::{Inst, RegClass, ShareHintTable};
+use regshare_isa::{HartId, Inst, RegClass, ShareHintTable, MAX_HARTS};
 use regshare_stats::Histogram;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +99,11 @@ pub struct RenamerConfig {
     /// How static sharing hints combine with the dynamic predictors.
     #[serde(default)]
     pub hint_policy: HintPolicy,
+    /// Hardware-thread contexts sharing the physical register file
+    /// (1..=[`MAX_HARTS`]). Each thread gets its own map table, retire
+    /// map and checkpoint stack; the free lists, PRT and predictors are
+    /// shared.
+    pub threads: usize,
 }
 
 impl RenamerConfig {
@@ -113,6 +118,7 @@ impl RenamerConfig {
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         }
     }
 
@@ -132,6 +138,7 @@ impl RenamerConfig {
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         }
     }
 
@@ -147,6 +154,7 @@ impl RenamerConfig {
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         }
     }
 
@@ -161,6 +169,20 @@ impl RenamerConfig {
     /// The version saturation value (`2^counter_bits − 1`).
     pub fn max_version(&self) -> u8 {
         (1u8 << self.counter_bits.min(3)) - 1
+    }
+
+    /// The same configuration resized for `threads` hardware contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or exceeds [`MAX_HARTS`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(
+            (1..=MAX_HARTS).contains(&threads),
+            "threads must be in 1..={MAX_HARTS}, got {threads}"
+        );
+        self.threads = threads;
+        self
     }
 }
 
@@ -345,22 +367,54 @@ impl Default for RenameStats {
 /// assigned by the pipeline. `rename` may expand one instruction into
 /// several micro-ops (repairs); each consumes one sequence number starting
 /// at the `seq` passed in, with the main op last.
+///
+/// # Hardware threads
+///
+/// A scheme that maintains multiple thread contexts ([`Renamer::threads`]
+/// > 1) keeps one map table, retire map and checkpoint stack per
+/// [`HartId`] over the shared free lists and PRT. The `*_on` methods take
+/// the hart explicitly; the un-suffixed convenience forms operate on hart
+/// 0 and exist so single-threaded callers read naturally. Commit order
+/// must be sequence order *within* each hart (harts interleave freely).
 pub trait Renamer {
-    /// Renames one instruction. Returns `None` when the rename stage must
-    /// stall (no free physical register and no reuse possible); in that
-    /// case every table mutation was rolled back — only the statistics
-    /// counters of the attempt remain (hardware counts attempted work).
-    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<UopVec>;
+    /// Hardware-thread contexts this scheme instance maintains.
+    fn threads(&self) -> usize {
+        1
+    }
 
-    /// Commits the micro-op with sequence number `seq`. Must be called in
-    /// sequence order for every renamed micro-op that is not squashed.
-    fn commit(&mut self, seq: u64);
+    /// Renames one instruction fetched by `hart`. Returns `None` when the
+    /// rename stage must stall (no free physical register and no reuse
+    /// possible); in that case every table mutation was rolled back —
+    /// only the statistics counters of the attempt remain (hardware
+    /// counts attempted work).
+    fn rename_on(&mut self, hart: HartId, seq: u64, pc: u64, inst: &Inst) -> Option<UopVec>;
 
-    /// Undoes the rename effects of every micro-op with a sequence number
-    /// greater than `seq` (youngest first). The returned outcome borrows
-    /// scheme-owned storage and is valid until the next `squash_after`
-    /// call — the scheme reuses it so squashes never allocate.
-    fn squash_after(&mut self, seq: u64) -> &SquashOutcome;
+    /// [`Renamer::rename_on`] for hart 0.
+    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<UopVec> {
+        self.rename_on(HartId::ZERO, seq, pc, inst)
+    }
+
+    /// Commits `hart`'s micro-op with sequence number `seq`. Must be
+    /// called in sequence order for every renamed micro-op of that hart
+    /// that is not squashed.
+    fn commit_on(&mut self, hart: HartId, seq: u64);
+
+    /// [`Renamer::commit_on`] for hart 0.
+    fn commit(&mut self, seq: u64) {
+        self.commit_on(HartId::ZERO, seq)
+    }
+
+    /// Undoes the rename effects of every micro-op of `hart` with a
+    /// sequence number greater than `seq` (youngest first). Other harts'
+    /// state is untouched. The returned outcome borrows scheme-owned
+    /// storage and is valid until the next squash call — the scheme
+    /// reuses it so squashes never allocate.
+    fn squash_after_on(&mut self, hart: HartId, seq: u64) -> &SquashOutcome;
+
+    /// [`Renamer::squash_after_on`] for hart 0.
+    fn squash_after(&mut self, seq: u64) -> &SquashOutcome {
+        self.squash_after_on(HartId::ZERO, seq)
+    }
 
     /// A counter that advances whenever renamer state changes through any
     /// entry point other than a failed [`Renamer::rename`] — commit,
@@ -372,11 +426,16 @@ pub trait Renamer {
     /// instead of re-running the full rename.
     fn state_epoch(&self) -> u64;
 
-    /// Records one gated retry cycle of a stalled rename without
+    /// Records one gated retry cycle of `hart`'s stalled rename without
     /// re-running it. Applies exactly the statistics deltas the skipped
     /// (identical) failed attempt would have applied, so gated and
     /// ungated runs produce byte-identical reports.
-    fn note_stall(&mut self);
+    fn note_stall_on(&mut self, hart: HartId);
+
+    /// [`Renamer::note_stall_on`] for hart 0.
+    fn note_stall(&mut self) {
+        self.note_stall_on(HartId::ZERO)
+    }
 
     /// Statistics accumulated so far.
     fn stats(&self) -> &RenameStats;
@@ -425,11 +484,17 @@ pub trait Renamer {
         let _ = seq;
     }
 
-    /// Notification that every micro-op with a sequence number **below**
-    /// `boundary` can no longer be squashed by a branch misprediction
-    /// (all older branches have resolved). Default: ignored.
+    /// Notification that every micro-op of `hart` with a sequence number
+    /// **below** `boundary` can no longer be squashed by a branch
+    /// misprediction (all of that hart's older branches have resolved).
+    /// Default: ignored.
+    fn advance_nonspeculative_on(&mut self, hart: HartId, boundary: u64) {
+        let _ = (hart, boundary);
+    }
+
+    /// [`Renamer::advance_nonspeculative_on`] for hart 0.
     fn advance_nonspeculative(&mut self, boundary: u64) {
-        let _ = boundary;
+        self.advance_nonspeculative_on(HartId::ZERO, boundary)
     }
 
     /// Notification that the micro-op `seq` wrote its destination
@@ -452,11 +517,17 @@ pub trait Renamer {
         Ok(())
     }
 
-    /// The architectural (retire-time) map table, if the scheme maintains
-    /// one precise enough for an architectural register-state diff.
-    /// Default: `None` (the oracle then skips register diffs).
-    fn arch_map(&self) -> Option<&MapTable> {
+    /// The architectural (retire-time) map table of `hart`, if the scheme
+    /// maintains one precise enough for an architectural register-state
+    /// diff. Default: `None` (the oracle then skips register diffs).
+    fn arch_map_on(&self, hart: HartId) -> Option<&MapTable> {
+        let _ = hart;
         None
+    }
+
+    /// [`Renamer::arch_map_on`] for hart 0.
+    fn arch_map(&self) -> Option<&MapTable> {
+        self.arch_map_on(HartId::ZERO)
     }
 
     /// Installs functionally-warmed predictor tables into the scheme,

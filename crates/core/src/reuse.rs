@@ -1,103 +1,18 @@
 //! The proposed renaming scheme: physical register sharing (§IV).
 
-use crate::rename_common::{CheckpointStack, ReadMarks, RenameTables, SeqRecord};
+use crate::rename_common::{CheckpointStack, ReadMarks, RenameTables};
 use crate::renamer::{
     HintPolicy, HintStats, RenameStats, Renamer, RenamerConfig, SquashOutcome, Uop, UopKind, UopVec,
 };
 use crate::{BankConfig, MapTable, PhysReg, Prt, RegTypePredictor, SingleUsePredictor, TaggedReg};
-use regshare_isa::{ArchReg, DefSlot, Inst, RegClass, ShareHint, ShareHintTable};
+use regshare_isa::{ArchReg, DefSlot, HartId, Inst, RegClass, ShareHint, ShareHintTable};
 
 mod audit;
+mod types;
+
+use types::{DstAction, PregMeta, Record, SpecDecision, SpecSource, StallDelta};
 
 pub use audit::CorruptKind;
-
-/// Per-physical-register allocation metadata, used for the predictor's
-/// release-time feedback and the Fig. 12 accuracy accounting.
-#[derive(Debug, Clone, Copy, Default)]
-struct PregMeta {
-    /// Predictor entry used at allocation.
-    entry: usize,
-    /// Entry value at allocation (the prediction).
-    predicted: u8,
-    /// Reuses observed so far (decremented when a reuse is squashed).
-    reuses: u8,
-    /// A single-use misprediction repair was triggered on this register.
-    multi_use: bool,
-    /// A reuse attempt was blocked by missing shadow capacity.
-    blocked: bool,
-    /// False for the initial architectural mappings (no allocating PC).
-    has_entry: bool,
-    /// The bank was chosen by a static hint rather than the type
-    /// predictor; release feedback then goes to [`HintStats`] instead of
-    /// the predictor.
-    static_bank: bool,
-    /// For each version created by a *speculative* (non-redefining)
-    /// reuse: the single-use-predictor entry of the consumer that took
-    /// it, for release-time reinforcement / repair-time correction.
-    spec_entries: [Option<u32>; 8],
-    /// Versions created by a speculation granted by a static `SingleUse`
-    /// proof (never trains the dynamic predictor).
-    spec_static: [bool; 8],
-    /// The compiler's hint for the producer of each live version, used
-    /// when this register is weighed as a reuse source. Cleared back to
-    /// `Unknown` when the version is squashed.
-    version_hints: [ShareHint; 8],
-}
-
-/// Who authorised a speculative (non-redefining) reuse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SpecSource {
-    /// A static `SingleUse` proof from the hint table.
-    Static,
-    /// The dynamic single-use predictor.
-    Dynamic,
-}
-
-/// Outcome of weighing a speculative-reuse candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SpecDecision {
-    Grant(SpecSource),
-    /// Denied by an exact static proof (`NoReuse`/`Multi`) — counted in
-    /// [`HintStats::static_denials`].
-    DenyStatic,
-    /// Denied without a static proof (predictor said no, or the policy
-    /// has no grounds to speculate).
-    Deny,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum DstAction {
-    None,
-    /// A fresh allocation replacing `old_map`.
-    Alloc {
-        logical: ArchReg,
-        old_map: TaggedReg,
-        new_map: TaggedReg,
-    },
-    /// A reuse of a source register: version bumped from `prev_version`.
-    Reuse {
-        logical: ArchReg,
-        old_map: TaggedReg,
-        new_map: TaggedReg,
-        prev_version: u8,
-    },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Record {
-    seq: u64,
-    /// Read bits set by this micro-op, with their previous values.
-    read_marks: ReadMarks,
-    dst: DstAction,
-    /// Base-register writeback of post-increment operations.
-    dst2: DstAction,
-}
-
-impl SeqRecord for Record {
-    fn seq(&self) -> u64 {
-        self.seq
-    }
-}
 
 /// Register renaming with physical register sharing — the paper's proposed
 /// scheme.
@@ -134,7 +49,13 @@ pub struct ReuseRenamer {
     meta: [Vec<PregMeta>; 2],
     predictor: RegTypePredictor,
     single_use: SingleUsePredictor,
-    records: CheckpointStack<Record>,
+    /// One in-flight record stack per hardware thread: commits are in
+    /// sequence order per thread, and a squash walks only the squashing
+    /// thread's records. The PRT, free lists and predictors above are
+    /// shared — reuse candidates are always the renaming thread's own
+    /// sources, so a physical register never becomes reachable from two
+    /// threads.
+    records: Vec<CheckpointStack<Record>>,
     /// The program's static hint table (`None` until installed; an
     /// absent table behaves as all-`Unknown`).
     hints: Option<ShareHintTable>,
@@ -145,60 +66,11 @@ pub struct ReuseRenamer {
     /// Bumped by every mutating entry point except a failed rename; see
     /// [`Renamer::state_epoch`].
     epoch: u64,
-    /// Counter deltas of the most recent failed rename, replayed by
-    /// [`Renamer::note_stall`] for gated retries.
-    stall_delta: StallDelta,
-}
-
-/// The statistics a failed rename attempt leaves behind: the stall
-/// rollback restores every table, but the attempt's counters stand —
-/// hardware counts attempted work, and a reuse taken in Phase C is a
-/// reuse even when Phase D then stalls the instruction. While the
-/// [`Renamer::state_epoch`] is unchanged a retry is bit-identical to the
-/// recorded attempt, so [`Renamer::note_stall`] replays this delta
-/// instead of re-running the rename.
-#[derive(Debug, Clone, Copy, Default)]
-struct StallDelta {
-    reuses: u64,
-    safe_reuses: u64,
-    speculative_reuses: u64,
-    allocations: u64,
-    static_allocs: u64,
-    dynamic_allocs: u64,
-    static_speculations: u64,
-    dynamic_speculations: u64,
-    static_denials: u64,
-}
-
-impl StallDelta {
-    /// Snapshot of every counter a failed attempt can bump.
-    fn capture(stats: &RenameStats, hints: &HintStats) -> Self {
-        StallDelta {
-            reuses: stats.reuses,
-            safe_reuses: stats.safe_reuses,
-            speculative_reuses: stats.speculative_reuses,
-            allocations: stats.allocations,
-            static_allocs: hints.static_allocs,
-            dynamic_allocs: hints.dynamic_allocs,
-            static_speculations: hints.static_speculations,
-            dynamic_speculations: hints.dynamic_speculations,
-            static_denials: hints.static_denials,
-        }
-    }
-
-    fn since(&self, before: &StallDelta) -> Self {
-        StallDelta {
-            reuses: self.reuses - before.reuses,
-            safe_reuses: self.safe_reuses - before.safe_reuses,
-            speculative_reuses: self.speculative_reuses - before.speculative_reuses,
-            allocations: self.allocations - before.allocations,
-            static_allocs: self.static_allocs - before.static_allocs,
-            dynamic_allocs: self.dynamic_allocs - before.dynamic_allocs,
-            static_speculations: self.static_speculations - before.static_speculations,
-            dynamic_speculations: self.dynamic_speculations - before.dynamic_speculations,
-            static_denials: self.static_denials - before.static_denials,
-        }
-    }
+    /// Counter deltas of each thread's most recent failed rename,
+    /// replayed by [`Renamer::note_stall_on`] for gated retries. Per
+    /// thread because another thread's successful rename between the
+    /// stall and its retry must not swap in the wrong delta.
+    stall_delta: Vec<StallDelta>,
 }
 
 impl ReuseRenamer {
@@ -221,6 +93,7 @@ impl ReuseRenamer {
         ];
         let predictor = RegTypePredictor::new(config.predictor_entries, config.predictor_bits);
         let single_use = SingleUsePredictor::new(config.predictor_entries);
+        let threads = config.threads;
         let t = RenameTables::new(config, |class, preg| {
             prt[class.index()].map_inc(preg);
         });
@@ -230,12 +103,12 @@ impl ReuseRenamer {
             meta,
             predictor,
             single_use,
-            records: CheckpointStack::new(),
+            records: (0..threads).map(|_| CheckpointStack::new()).collect(),
             hints: None,
             hint_stats: HintStats::default(),
             squash: SquashOutcome::default(),
             epoch: 0,
-            stall_delta: StallDelta::default(),
+            stall_delta: vec![StallDelta::default(); threads],
         }
     }
 
@@ -366,9 +239,9 @@ impl ReuseRenamer {
 
     /// Undoes one record's rename effects (shared by squash and the
     /// stall rollback path). Appends recover candidates.
-    fn undo_record(&mut self, record: Record, recovers: &mut Vec<TaggedReg>) {
-        self.undo_dst_action(record.dst2, recovers);
-        self.undo_dst_action(record.dst, recovers);
+    fn undo_record(&mut self, h: usize, record: Record, recovers: &mut Vec<TaggedReg>) {
+        self.undo_dst_action(h, record.dst2, recovers);
+        self.undo_dst_action(h, record.dst, recovers);
         for &(class, preg, prev) in record.read_marks.iter().rev() {
             self.prt[class.index()].set_read(preg, prev);
         }
@@ -405,7 +278,7 @@ impl ReuseRenamer {
         }
     }
 
-    fn undo_dst_action(&mut self, action: DstAction, recovers: &mut Vec<TaggedReg>) {
+    fn undo_dst_action(&mut self, h: usize, action: DstAction, recovers: &mut Vec<TaggedReg>) {
         match action {
             DstAction::None => {}
             DstAction::Alloc {
@@ -413,7 +286,7 @@ impl ReuseRenamer {
                 old_map,
                 new_map,
             } => {
-                self.t.map.set(logical, old_map);
+                self.t.maps[h].set(logical, old_map);
                 let ci = new_map.class.index();
                 let remaining = self.prt[ci].map_dec(new_map.preg);
                 debug_assert_eq!(remaining, 0, "squashed fresh allocation still referenced");
@@ -425,7 +298,7 @@ impl ReuseRenamer {
                 new_map,
                 prev_version,
             } => {
-                self.t.map.set(logical, old_map);
+                self.t.maps[h].set(logical, old_map);
                 let ci = new_map.class.index();
                 // The read bit was true immediately before the bump (this
                 // micro-op was the first consumer and marked it); the
@@ -455,7 +328,12 @@ impl ReuseRenamer {
 }
 
 impl Renamer for ReuseRenamer {
-    fn rename(&mut self, seq: u64, pc: u64, inst: &Inst) -> Option<UopVec> {
+    fn threads(&self) -> usize {
+        self.t.threads()
+    }
+
+    fn rename_on(&mut self, hart: HartId, seq: u64, pc: u64, inst: &Inst) -> Option<UopVec> {
+        let h = hart.index();
         let before = StallDelta::capture(&self.t.stats, &self.hint_stats);
         let mut uops = UopVec::new();
         // Repair records staged in Phase A (one per repaired source); the
@@ -501,7 +379,7 @@ impl Renamer for ReuseRenamer {
                 *slot = Some(*t);
                 continue;
             }
-            let t = self.t.map.get(r);
+            let t = self.t.maps[h].get(r);
             let ci = t.class.index();
             if self.prt[ci].entry(t.preg).counter == t.version {
                 *slot = Some(t);
@@ -515,7 +393,7 @@ impl Renamer for ReuseRenamer {
                 break;
             };
             let new_tag = TaggedReg::new(t.class, pn, 0);
-            let old = self.t.map.set(r, new_tag);
+            let old = self.t.maps[h].set(r, new_tag);
             debug_assert_eq!(old, t);
             // The register was not single-use after all: predictor rule 2,
             // and the consumer whose speculative reuse overwrote version
@@ -648,7 +526,7 @@ impl Renamer for ReuseRenamer {
                     let newv = self.prt[ci].bump(t.preg);
                     self.prt[ci].map_inc(t.preg);
                     let new_map = TaggedReg::new(class, t.preg, newv);
-                    let old_map = self.t.map.set(dl, new_map);
+                    let old_map = self.t.maps[h].set(dl, new_map);
                     let dst_hint = self.hint_at(pc, DefSlot::Primary);
                     let su_entry = self.single_use.entry_index(pc) as u32;
                     let m = &mut self.meta[ci][t.preg.0 as usize];
@@ -681,7 +559,7 @@ impl Renamer for ReuseRenamer {
                     match self.alloc_preg(class, pc, self.hint_at(pc, DefSlot::Primary)) {
                         Some((preg, _)) => {
                             let new_map = TaggedReg::new(class, preg, 0);
-                            let old_map = self.t.map.set(dl, new_map);
+                            let old_map = self.t.maps[h].set(dl, new_map);
                             self.t.stats.allocations += 1;
                             dst_action = DstAction::Alloc {
                                 logical: dl,
@@ -717,7 +595,7 @@ impl Renamer for ReuseRenamer {
                     let newv = self.prt[ci].bump(base_tag.preg);
                     self.prt[ci].map_inc(base_tag.preg);
                     let new_map = TaggedReg::new(class, base_tag.preg, newv);
-                    let old_map = self.t.map.set(d2, new_map);
+                    let old_map = self.t.maps[h].set(d2, new_map);
                     let wb_hint = self.hint_at(pc, DefSlot::Writeback);
                     let m = &mut self.meta[ci][base_tag.preg.0 as usize];
                     m.reuses += 1;
@@ -748,7 +626,7 @@ impl Renamer for ReuseRenamer {
                     ) {
                         Some((preg, _)) => {
                             let new_map = TaggedReg::new(class, preg, 0);
-                            let old_map = self.t.map.set(d2, new_map);
+                            let old_map = self.t.maps[h].set(d2, new_map);
                             self.t.stats.allocations += 1;
                             dst2_action = DstAction::Alloc {
                                 logical: d2,
@@ -769,6 +647,7 @@ impl Renamer for ReuseRenamer {
             let mut scratch = std::mem::take(&mut self.squash.recovers);
             scratch.clear();
             self.undo_record(
+                h,
                 Record {
                     seq: next_seq,
                     read_marks,
@@ -778,14 +657,15 @@ impl Renamer for ReuseRenamer {
                 &mut scratch,
             );
             for record in staged.into_iter().rev().flatten() {
-                self.undo_record(record, &mut scratch);
+                self.undo_record(h, record, &mut scratch);
             }
             scratch.clear();
             self.squash.recovers = scratch;
             self.t.stats.stalls += 1;
             // Remember what this attempt added to the counters: until the
             // epoch advances, every retry would add exactly the same.
-            self.stall_delta = StallDelta::capture(&self.t.stats, &self.hint_stats).since(&before);
+            self.stall_delta[h] =
+                StallDelta::capture(&self.t.stats, &self.hint_stats).since(&before);
             return None;
         }
 
@@ -841,8 +721,8 @@ impl Renamer for ReuseRenamer {
             dst2: dst2_tag,
         });
         self.t.stats.renamed += uops.len() as u64;
-        self.records.extend(staged.into_iter().flatten());
-        self.records.push(Record {
+        self.records[h].extend(staged.into_iter().flatten());
+        self.records[h].push(Record {
             seq: next_seq,
             read_marks,
             dst: dst_action,
@@ -851,8 +731,9 @@ impl Renamer for ReuseRenamer {
         Some(uops)
     }
 
-    fn commit(&mut self, seq: u64) {
-        let record = self.records.commit_front(seq);
+    fn commit_on(&mut self, hart: HartId, seq: u64) {
+        let h = hart.index();
+        let record = self.records[h].commit_front(seq);
         for action in [record.dst, record.dst2] {
             match action {
                 DstAction::None => {}
@@ -871,19 +752,20 @@ impl Renamer for ReuseRenamer {
                     if self.prt[ci].map_dec(old_map.preg) == 0 {
                         self.release(old_map.class, old_map.preg);
                     }
-                    self.t.retire_map.set(logical, new_map);
+                    self.t.retire_maps[h].set(logical, new_map);
                 }
             }
         }
     }
 
-    fn squash_after(&mut self, seq: u64) -> &SquashOutcome {
+    fn squash_after_on(&mut self, hart: HartId, seq: u64) -> &SquashOutcome {
+        let h = hart.index();
         self.epoch += 1;
         let mut recovers = std::mem::take(&mut self.squash.recovers);
         recovers.clear();
         let mut undone = 0;
-        while let Some(record) = self.records.pop_younger(seq) {
-            self.undo_record(record, &mut recovers);
+        while let Some(record) = self.records[h].pop_younger(seq) {
+            self.undo_record(h, record, &mut recovers);
             undone += 1;
             self.t.stats.squashed += 1;
         }
@@ -895,8 +777,8 @@ impl Renamer for ReuseRenamer {
         self.epoch
     }
 
-    fn note_stall(&mut self) {
-        let d = self.stall_delta;
+    fn note_stall_on(&mut self, hart: HartId) {
+        let d = self.stall_delta[hart.index()];
         self.t.stats.reuses += d.reuses;
         self.t.stats.safe_reuses += d.safe_reuses;
         self.t.stats.speculative_reuses += d.speculative_reuses;
@@ -945,8 +827,8 @@ impl Renamer for ReuseRenamer {
         self.audit_invariants()
     }
 
-    fn arch_map(&self) -> Option<&MapTable> {
-        Some(&self.t.retire_map)
+    fn arch_map_on(&self, hart: HartId) -> Option<&MapTable> {
+        Some(&self.t.retire_maps[hart.index()])
     }
 
     fn install_predictors(

@@ -21,6 +21,9 @@ pub enum CorruptKind {
     /// Add a phantom mapping reference to `x1`'s physical register — a
     /// reference-count off-by-one.
     RefcountOffByOne,
+    /// Alias thread 1's `x1` mapping onto thread 0's physical register —
+    /// a cross-thread ownership leak (requires `threads >= 2`).
+    CrossThreadLeak,
 }
 
 impl ReuseRenamer {
@@ -36,15 +39,27 @@ impl ReuseRenamer {
                 debug_assert!(leaked.is_some(), "no free register to leak");
             }
             CorruptKind::StaleVersionTag => {
-                let t = self.t.map.get(r1);
+                let t = self.t.maps[0].get(r1);
                 let counter = self.prt[ci].entry(t.preg).counter;
-                self.t
-                    .map
-                    .set(r1, TaggedReg::new(t.class, t.preg, counter + 1));
+                self.t.maps[0].set(r1, TaggedReg::new(t.class, t.preg, counter + 1));
             }
             CorruptKind::RefcountOffByOne => {
-                let t = self.t.map.get(r1);
+                let t = self.t.maps[0].get(r1);
                 self.prt[ci].map_inc(t.preg);
+            }
+            CorruptKind::CrossThreadLeak => {
+                assert!(
+                    self.t.threads() >= 2,
+                    "cross-thread leak corruption needs at least two threads"
+                );
+                let stolen = self.t.maps[0].get(r1);
+                let old = self.t.maps[1].set(r1, stolen);
+                // Keep the reference counts self-consistent so only the
+                // ownership invariant trips, not refcount conservation.
+                self.prt[ci].map_inc(stolen.preg);
+                if self.prt[ci].map_dec(old.preg) == 0 {
+                    self.release(old.class, old.preg);
+                }
             }
         }
     }
@@ -61,16 +76,36 @@ impl ReuseRenamer {
             // entries plus the previous mappings kept alive by in-flight
             // rename records (they are decremented at commit).
             let mut expected = vec![0u32; total];
-            for (_, tag) in self.t.map.iter_class(class) {
-                expected[tag.preg.0 as usize] += 1;
-            }
-            for record in self.records.iter() {
-                for action in [&record.dst, &record.dst2] {
-                    if let DstAction::Alloc { old_map, .. } | DstAction::Reuse { old_map, .. } =
-                        action
-                    {
-                        if old_map.class == class {
-                            expected[old_map.preg.0 as usize] += 1;
+            // Cross-thread ownership: each physical register may be
+            // reachable (speculative map or in-flight record) from at
+            // most one thread, since reuse candidates are always the
+            // renaming thread's own sources.
+            let mut owner = vec![usize::MAX; total];
+            let claim = |owner: &mut Vec<usize>, i: usize, h: usize| -> Result<(), String> {
+                if owner[i] != usize::MAX && owner[i] != h {
+                    return Err(format!(
+                        "{class}: p{i} is referenced by both thread {} and thread {h} — \
+                         a cross-thread register leak",
+                        owner[i]
+                    ));
+                }
+                owner[i] = h;
+                Ok(())
+            };
+            for h in 0..self.t.threads() {
+                for (_, tag) in self.t.maps[h].iter_class(class) {
+                    expected[tag.preg.0 as usize] += 1;
+                    claim(&mut owner, tag.preg.0 as usize, h)?;
+                }
+                for record in self.records[h].iter() {
+                    for action in [&record.dst, &record.dst2] {
+                        if let DstAction::Alloc { old_map, .. } | DstAction::Reuse { old_map, .. } =
+                            action
+                        {
+                            if old_map.class == class {
+                                expected[old_map.preg.0 as usize] += 1;
+                                claim(&mut owner, old_map.preg.0 as usize, h)?;
+                            }
                         }
                     }
                 }
@@ -105,25 +140,27 @@ impl ReuseRenamer {
             }
             // Version-tag sanity: no map may hold a version the PRT never
             // issued, nor one without a backing shadow cell.
-            for (table, name) in [
-                (&self.t.map, "map table"),
-                (&self.t.retire_map, "retire map"),
-            ] {
-                for (r, tag) in table.iter_class(class) {
-                    let counter = self.prt[ci].entry(tag.preg).counter;
-                    if tag.version > counter {
-                        return Err(format!(
-                            "{class}: {name} entry {r} holds stale version tag {tag} \
-                             beyond PRT counter {counter}"
-                        ));
-                    }
-                    let cells = banks.shadow_cells_of(tag.preg);
-                    if tag.version > cells {
-                        return Err(format!(
-                            "{class}: {name} entry {r} version {} exceeds the {cells} \
-                             shadow cell(s) of {}",
-                            tag.version, tag.preg
-                        ));
+            for h in 0..self.t.threads() {
+                for (table, name) in [
+                    (&self.t.maps[h], "map table"),
+                    (&self.t.retire_maps[h], "retire map"),
+                ] {
+                    for (r, tag) in table.iter_class(class) {
+                        let counter = self.prt[ci].entry(tag.preg).counter;
+                        if tag.version > counter {
+                            return Err(format!(
+                                "{class}: {name} entry {r} (thread {h}) holds stale version \
+                                 tag {tag} beyond PRT counter {counter}"
+                            ));
+                        }
+                        let cells = banks.shadow_cells_of(tag.preg);
+                        if tag.version > cells {
+                            return Err(format!(
+                                "{class}: {name} entry {r} (thread {h}) version {} exceeds \
+                                 the {cells} shadow cell(s) of {}",
+                                tag.version, tag.preg
+                            ));
+                        }
                     }
                 }
             }

@@ -1,0 +1,83 @@
+//! Hardware-thread identity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hardware-thread (hart) identifier.
+///
+/// The simulator supports up to [`MAX_HARTS`] simultaneously-active
+/// contexts sharing one physical register file. `HartId` tags fetched
+/// and in-flight operations so the rename maps, reorder-buffer
+/// partitions and squash walks of different threads never mix.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_isa::HartId;
+///
+/// let h = HartId::new(2);
+/// assert_eq!(h.index(), 2);
+/// assert_eq!(format!("{h}"), "t2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HartId(u8);
+
+/// The most hardware threads a core can host.
+pub const MAX_HARTS: usize = 4;
+
+impl HartId {
+    /// The hart with index `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= MAX_HARTS`.
+    pub fn new(n: usize) -> Self {
+        assert!(n < MAX_HARTS, "hart index {n} out of range");
+        HartId(n as u8)
+    }
+
+    /// The primary (and, on a single-threaded core, only) hart.
+    pub const ZERO: HartId = HartId(0);
+
+    /// This hart's index, usable directly for per-thread array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Default for HartId {
+    fn default() -> Self {
+        HartId::ZERO
+    }
+}
+
+impl fmt::Display for HartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for n in 0..MAX_HARTS {
+            assert_eq!(HartId::new(n).index(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        HartId::new(MAX_HARTS);
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(HartId::default(), HartId::ZERO);
+        assert_eq!(HartId::ZERO.index(), 0);
+    }
+}

@@ -47,6 +47,7 @@
 mod asm;
 mod decoded;
 pub mod exec;
+mod hart;
 mod hints;
 mod inst;
 mod machine;
@@ -58,6 +59,7 @@ mod reg_impl;
 
 pub use asm::{Asm, Label};
 pub use decoded::{DecodedImage, DecodedOp};
+pub use hart::{HartId, MAX_HARTS};
 pub use hints::{ShareHint, ShareHintTable};
 pub use inst::{DefSlot, Inst};
 pub use machine::{Machine, MachineError, Retired, StopReason};

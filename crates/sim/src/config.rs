@@ -1,6 +1,7 @@
 //! Simulator configuration (Table I of the paper).
 
-use regshare_isa::OpClass;
+use crate::SimError;
+use regshare_isa::{OpClass, MAX_HARTS};
 use regshare_mem::HierarchyConfig;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +35,21 @@ pub enum RecoveryPolicyKind {
     SquashAll,
 }
 
+/// Which hardware thread gets the fetch stage each cycle when several
+/// are resident (the [`crate::FetchPolicy`] implementation to
+/// instantiate). Irrelevant — and byte-identical — with one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FetchPolicyKind {
+    /// Rotate through the threads cycle by cycle, skipping ineligible
+    /// ones — the simplest fair arbiter, and the default.
+    #[default]
+    RoundRobin,
+    /// ICOUNT (Tullsen et al., ISCA '96): fetch for the eligible thread
+    /// with the fewest micro-ops in flight, so fast-moving threads are
+    /// not starved by a stalled one clogging the shared window.
+    Icount,
+}
+
 /// One functional-unit pool: how many units execute an [`OpClass`], at
 /// what latency, and whether they accept a new operation every cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,6 +67,13 @@ pub struct FuConfig {
 /// Table I of the paper (2 GHz ARM-class core).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
+    /// Resident hardware threads (SMT contexts) sharing the pipeline.
+    /// Each thread gets its own rename/retire maps, ROB partition and
+    /// load/store-queue partition; the physical register file, issue
+    /// queue, functional units and predictors are shared.
+    pub threads: usize,
+    /// Fetch-thread arbitration when `threads > 1`.
+    pub fetch_policy: FetchPolicyKind,
     /// Instructions fetched per cycle.
     pub fetch_width: usize,
     /// Fetch-queue capacity (32 in Table I).
@@ -121,6 +144,8 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
+            threads: 1,
+            fetch_policy: FetchPolicyKind::default(),
             fetch_width: 3,
             fetch_queue: 32,
             decode_width: 3,
@@ -247,6 +272,101 @@ impl SimConfig {
             ..SimConfig::default()
         }
     }
+
+    /// Scales every in-order stage to `width` instructions per cycle
+    /// (fetch/decode/rename/commit) with a `2×width` out-of-order issue
+    /// stage — the machine-width knob of the scaling experiments.
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.fetch_width = width;
+        self.decode_width = width;
+        self.rename_width = width;
+        self.commit_width = width;
+        self.issue_width = 2 * width;
+        self
+    }
+
+    /// Sets the resident hardware-thread count; pair with a renamer
+    /// built for the same count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Checks the configuration for values that would otherwise surface
+    /// as panics (or silent nonsense) deep inside the pipeline: zero
+    /// stage widths, a thread count outside `1..=MAX_HARTS`, or shared
+    /// structures too small to partition across the threads. Every
+    /// pipeline, sampled-simulation and service entry point calls this
+    /// before building hardware state.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |what: String| Err(SimError::Config { what });
+        if !(1..=MAX_HARTS).contains(&self.threads) {
+            return fail(format!(
+                "threads must be in 1..={MAX_HARTS}, got {}",
+                self.threads
+            ));
+        }
+        for (name, value) in [
+            ("fetch_width", self.fetch_width),
+            ("decode_width", self.decode_width),
+            ("rename_width", self.rename_width),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+            ("fetch_queue", self.fetch_queue),
+            ("iq_entries", self.iq_entries),
+        ] {
+            if value == 0 {
+                return fail(format!("{name} must be nonzero"));
+            }
+        }
+        // Each thread's ROB partition must hold at least one worst-case
+        // rename group, or rename can never make progress.
+        let rob_part = self.rob_entries / self.threads;
+        if rob_part < crate::stages::WORST_CASE_UOPS {
+            return fail(format!(
+                "rob_entries ({}) split across {} thread(s) leaves {rob_part} \
+                 entries per thread; at least {} are needed",
+                self.rob_entries,
+                self.threads,
+                crate::stages::WORST_CASE_UOPS
+            ));
+        }
+        if self.lq_entries / self.threads == 0 || self.sq_entries / self.threads == 0 {
+            return fail(format!(
+                "lq_entries ({}) and sq_entries ({}) must provide at least one \
+                 entry per thread ({} threads)",
+                self.lq_entries, self.sq_entries, self.threads
+            ));
+        }
+        if self.iq_entries < self.rename_width {
+            return fail(format!(
+                "iq_entries ({}) must not be smaller than rename_width ({})",
+                self.iq_entries, self.rename_width
+            ));
+        }
+        Ok(())
+    }
+
+    /// A safely-buildable stand-in for an invalid configuration: the
+    /// pipeline constructor keeps its infallible signature by building
+    /// this instead and holding the [`SimError::Config`] until `run`.
+    pub(crate) fn sanitized(&self) -> SimConfig {
+        let mut c = self.clone();
+        c.threads = c.threads.clamp(1, MAX_HARTS);
+        c.fetch_width = c.fetch_width.max(1);
+        c.decode_width = c.decode_width.max(1);
+        c.rename_width = c.rename_width.max(1);
+        c.issue_width = c.issue_width.max(1);
+        c.commit_width = c.commit_width.max(1);
+        c.fetch_queue = c.fetch_queue.max(1);
+        c.iq_entries = c.iq_entries.max(c.rename_width);
+        c.rob_entries = c
+            .rob_entries
+            .max(crate::stages::WORST_CASE_UOPS * c.threads);
+        c.lq_entries = c.lq_entries.max(c.threads);
+        c.sq_entries = c.sq_entries.max(c.threads);
+        c
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +382,61 @@ mod tests {
         assert_eq!(c.rename_width, 3);
         assert_eq!(c.fetch_queue, 32);
         assert_eq!(c.mispredict_penalty, 15);
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_nonsense() {
+        assert!(SimConfig::default().validate().is_ok());
+        for threads in 1..=MAX_HARTS {
+            assert!(SimConfig::default()
+                .with_threads(threads)
+                .validate()
+                .is_ok());
+        }
+
+        let reject = |c: SimConfig, needle: &str| {
+            let err = c.validate().expect_err("should be rejected");
+            match err {
+                SimError::Config { what } => {
+                    assert!(what.contains(needle), "{what:?} lacks {needle:?}")
+                }
+                other => panic!("expected SimError::Config, got {other:?}"),
+            }
+        };
+        reject(SimConfig::default().with_threads(0), "threads");
+        reject(SimConfig::default().with_threads(MAX_HARTS + 1), "threads");
+        reject(SimConfig::default().with_width(0), "fetch_width");
+        let mut c = SimConfig::default();
+        c.commit_width = 0;
+        reject(c, "commit_width");
+        let mut c = SimConfig::default().with_threads(4);
+        c.rob_entries = 8;
+        reject(c, "rob_entries");
+        let mut c = SimConfig::default().with_threads(4);
+        c.lq_entries = 2;
+        reject(c, "lq_entries");
+    }
+
+    #[test]
+    fn with_width_scales_every_stage() {
+        let c = SimConfig::default().with_width(8);
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.decode_width, 8);
+        assert_eq!(c.rename_width, 8);
+        assert_eq!(c.commit_width, 8);
+        assert_eq!(c.issue_width, 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sanitized_always_validates() {
+        let mut c = SimConfig::default().with_width(0).with_threads(9);
+        c.rob_entries = 0;
+        c.iq_entries = 0;
+        c.lq_entries = 0;
+        c.sq_entries = 0;
+        assert!(c.validate().is_err());
+        assert!(c.sanitized().validate().is_ok());
     }
 
     #[test]

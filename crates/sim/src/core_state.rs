@@ -1,12 +1,16 @@
-//! Shared core state and the typed stage-boundary latches.
+//! Shared core state, per-thread contexts, and the typed stage-boundary
+//! latches.
 //!
-//! [`CoreState`] owns every structure more than one stage touches — ROB,
-//! issue queue, scoreboard, register files, renamer, memory system and
-//! statistics — while [`StageIo`] owns the two persistent inter-stage
-//! queues ([`FetchedBundle`], [`DecodedBundle`]). Stage modules under
-//! [`crate::stages`] mutate this state through their `tick` functions;
-//! the helpers here are the pieces several stages share (ROB lookup,
-//! wakeup broadcast, snapshots, invariant audits).
+//! [`CoreState`] owns every structure the hardware threads share — issue
+//! queue, scoreboard, register files, renamer, memory timing, functional
+//! units and statistics — plus one [`ThreadCtx`] per resident thread for
+//! the private state (program, architectural memory, ROB partition,
+//! load/store-queue partition, fetch PC). [`StageIo`] owns the two
+//! persistent inter-stage queues ([`FetchedBundle`], [`DecodedBundle`]);
+//! the pipeline driver keeps one `StageIo` per thread. Stage modules
+//! under [`crate::stages`] mutate this state through their `tick`
+//! functions; the helpers here are the pieces several stages share (ROB
+//! lookup, wakeup broadcast, snapshots, invariant audits).
 
 use crate::bpred::{BranchPredictor, Prediction};
 use crate::errors::{HeadSnapshot, PipelineSnapshot, SimError, TraceEvent, TraceStage};
@@ -15,10 +19,19 @@ use crate::profile::StageProfile;
 use crate::rob::Rob;
 use crate::{CompletionWheel, FuPool, LoadStoreQueue, LsqError, Scoreboard, SimConfig};
 use regshare_core::{RegFile, Renamer, TaggedReg, UopKind, UopVec};
-use regshare_isa::{DecodedOp, Inst, Machine, Memory, Program, RegClass};
+use regshare_isa::{DecodedOp, HartId, Inst, Machine, Memory, Program, RegClass};
 use regshare_mem::MemoryHierarchy;
 use regshare_stats::Sampler;
 use std::collections::VecDeque;
+
+/// Tags an instruction or data address with a thread id so per-thread
+/// address spaces stay disjoint inside the shared branch predictor,
+/// caches and TLB. Thread 0 is the identity mapping, keeping
+/// single-thread runs byte-identical to the pre-SMT pipeline; other
+/// threads shift their id far above any program-generated address.
+pub(crate) fn tag_addr(tid: usize, addr: u64) -> u64 {
+    addr | ((tid as u64) << 40)
+}
 
 /// Ordered set of sequence numbers on a flat sorted vector. The issue
 /// queue's ready list and the unresolved-branch set hold at most a few
@@ -168,6 +181,9 @@ pub(crate) struct StageIo {
 
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RobEntry {
+    /// The hardware thread this micro-op belongs to; always matches the
+    /// ROB partition holding the entry (the audit cross-checks it).
+    pub(crate) hart: HartId,
     pub(crate) seq: u64,
     pub(crate) pc: u64,
     pub(crate) inst: Inst,
@@ -199,6 +215,7 @@ impl RobEntry {
     pub(crate) fn filler() -> Self {
         let inst = Inst::bare(regshare_isa::Opcode::Nop);
         RobEntry {
+            hart: HartId::ZERO,
             seq: 0,
             pc: 0,
             d: DecodedOp::decode(&inst, 0),
@@ -221,49 +238,77 @@ impl RobEntry {
     }
 }
 
-/// Everything the stages share: machine structures, speculation state,
-/// statistics. The per-stage `tick` functions receive `&mut CoreState`;
-/// the slim `Pipeline` driver owns it.
-pub(crate) struct CoreState {
-    pub(crate) config: SimConfig,
+/// One hardware thread's private state: its program, architectural
+/// memory image, lockstep oracle, ROB and load/store-queue partitions,
+/// unresolved-branch set and fetch cursor. Everything not in here is
+/// shared between the threads through [`CoreState`].
+pub(crate) struct ThreadCtx {
+    pub(crate) hart: HartId,
     pub(crate) program: Program,
-    pub(crate) renamer: Box<dyn Renamer>,
-    pub(crate) rf: [RegFile; 2],
-    pub(crate) scoreboard: Scoreboard,
-    pub(crate) mem_timing: MemoryHierarchy,
     pub(crate) memory: Memory,
-    pub(crate) bpred: BranchPredictor,
-    pub(crate) fus: FuPool,
-    pub(crate) lsq: LoadStoreQueue,
+    pub(crate) oracle: Option<Machine>,
+    /// This thread's ROB partition (`rob_entries / threads` logical
+    /// capacity, enforced by rename's per-thread occupancy check).
     pub(crate) rob: Rob,
-    /// Operand-ready, unissued entries in sequence order — the select
-    /// stage's input. Entries with busy sources are not here; they wait
-    /// in the scoreboard's per-tag waiter lists until woken.
-    pub(crate) ready_q: SeqSet,
-    /// Occupied issue-queue entries (ready + waiting), for dispatch
-    /// capacity accounting.
-    pub(crate) iq_len: usize,
-    /// Scratch buffer reused across cycles by the wakeup broadcast.
-    pub(crate) wake_scratch: Vec<u64>,
-    /// Sequence numbers of in-flight micro-ops carrying an unresolved
-    /// branch opcode, in program order. The oldest entry is the
-    /// speculation boundary the renamer is advanced to each cycle —
+    /// This thread's load/store-queue partition.
+    pub(crate) lsq: LoadStoreQueue,
+    /// Sequence numbers of this thread's in-flight micro-ops carrying an
+    /// unresolved branch opcode, in program order. The oldest entry is
+    /// the speculation boundary the renamer is advanced to each cycle —
     /// maintained incrementally instead of scanning the ROB per cycle.
     pub(crate) unresolved_branches: SeqSet,
     pub(crate) fetch_pc: Option<u64>,
     pub(crate) fetch_stall_until: u64,
+    /// PC whose i-cache fill this thread is waiting on. When the stall
+    /// expires, fetch consumes the arrived line from the fill buffer
+    /// even if a co-resident thread has evicted it again — without this,
+    /// threads sharing an associativity-limited set livelock, each
+    /// eviction re-stalling the victim forever.
+    pub(crate) pending_fill: Option<u64>,
+    pub(crate) halted: bool,
+    pub(crate) committed_instructions: u64,
+}
+
+/// Everything the stages share: machine structures, speculation state,
+/// statistics, plus one [`ThreadCtx`] per resident hardware thread. The
+/// per-stage `tick` functions receive `&mut CoreState`; the slim
+/// `Pipeline` driver owns it.
+pub(crate) struct CoreState {
+    pub(crate) config: SimConfig,
+    pub(crate) threads: Vec<ThreadCtx>,
+    pub(crate) renamer: Box<dyn Renamer>,
+    pub(crate) rf: [RegFile; 2],
+    pub(crate) scoreboard: Scoreboard,
+    pub(crate) mem_timing: MemoryHierarchy,
+    pub(crate) bpred: BranchPredictor,
+    pub(crate) fus: FuPool,
+    /// Operand-ready, unissued entries in sequence order — the select
+    /// stage's input. Entries with busy sources are not here; they wait
+    /// in the scoreboard's per-tag waiter lists until woken.
+    pub(crate) ready_q: SeqSet,
+    /// Occupied issue-queue entries (ready + waiting) across all
+    /// threads, for dispatch capacity accounting — the issue queue is a
+    /// shared structure.
+    pub(crate) iq_len: usize,
+    /// Scratch buffer reused across cycles by the wakeup broadcast.
+    pub(crate) wake_scratch: Vec<u64>,
+    /// Scratch buffer reused by SMT recoveries for the squashed
+    /// sequence numbers handed to the scoreboard's selective drain.
+    pub(crate) squash_scratch: Vec<u64>,
     pub(crate) next_seq: u64,
     pub(crate) cycle: u64,
     pub(crate) completions: CompletionWheel,
-    pub(crate) oracle: Option<Machine>,
-    /// Armed fault-injection schedule, if any.
+    /// Armed fault-injection schedule, if any (delivered to thread 0).
     pub(crate) inject: Option<InjectState>,
     /// A recovery happened this cycle: run the full architectural diff
     /// against the oracle at the end of the recovery before resuming.
     pub(crate) pending_verify: bool,
     /// Invariant audits performed ([`SimConfig::audit_interval`]).
     pub(crate) audits: u64,
+    /// Every resident thread has retired its halt.
     pub(crate) halted: bool,
+    /// Committed instructions summed over all threads (the per-thread
+    /// counts live in each [`ThreadCtx`]).
     pub(crate) committed_instructions: u64,
     pub(crate) committed_uops: u64,
     pub(crate) mispredicts: u64,
@@ -296,13 +341,38 @@ impl CoreState {
         }
     }
 
-    pub(crate) fn rob_index(&self, seq: u64) -> Option<usize> {
-        self.rob.position_of(seq)
+    /// Locates a live micro-op across the per-thread ROB partitions:
+    /// `(thread id, position in that thread's ROB)`. The thread count is
+    /// at most [`regshare_isa::MAX_HARTS`], so the scan is a handful of
+    /// O(1) probes.
+    pub(crate) fn rob_find(&self, seq: u64) -> Option<(usize, usize)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .find_map(|(tid, ctx)| ctx.rob.position_of(seq).map(|idx| (tid, idx)))
     }
 
     pub(crate) fn rob_entry(&self, seq: u64) -> Option<&RobEntry> {
-        let idx = self.rob_index(seq)?;
-        self.rob.get(idx)
+        let (tid, idx) = self.rob_find(seq)?;
+        self.threads[tid].rob.get(idx)
+    }
+
+    /// Logical ROB capacity of each thread's partition.
+    pub(crate) fn rob_partition(&self) -> usize {
+        self.config.rob_entries / self.threads.len()
+    }
+
+    /// Whether any thread still holds in-flight micro-ops.
+    pub(crate) fn rob_nonempty(&self) -> bool {
+        self.threads.iter().any(|ctx| !ctx.rob.is_empty())
+    }
+
+    /// The oldest in-flight micro-op across every thread, if any.
+    pub(crate) fn oldest_inflight(&self) -> Option<&RobEntry> {
+        self.threads
+            .iter()
+            .filter_map(|ctx| ctx.rob.front())
+            .min_by_key(|e| e.seq)
     }
 
     pub(crate) fn read_operands(&self, srcs: &[Option<TaggedReg>; 3]) -> [u64; 3] {
@@ -315,15 +385,18 @@ impl CoreState {
         ops
     }
 
-    /// Captures the current pipeline state for a diagnostic dump.
-    pub(crate) fn snapshot(&self, lat: &StageIo) -> PipelineSnapshot {
+    /// Captures the current pipeline state for a diagnostic dump. Queue
+    /// depths are summed over the threads; the fetch cursor shown is
+    /// thread 0's and the head is the oldest in-flight micro-op of any
+    /// thread (both trivially exact with one thread).
+    pub(crate) fn snapshot(&self, lat: &[StageIo]) -> PipelineSnapshot {
         let free = |class: RegClass| {
             self.renamer
                 .banks(class)
                 .total()
                 .saturating_sub(self.renamer.allocated_total(class))
         };
-        let head = self.rob.front().map(|e| HeadSnapshot {
+        let head = self.oldest_inflight().map(|e| HeadSnapshot {
             seq: e.seq,
             pc: e.pc,
             inst: e.inst.to_string(),
@@ -344,23 +417,27 @@ impl CoreState {
         PipelineSnapshot {
             cycle: self.cycle,
             last_commit_cycle: self.last_commit_cycle,
-            fetch_pc: self.fetch_pc,
-            fetch_stall_until: self.fetch_stall_until,
-            fetch_queue: lat.fetched.len(),
-            decode_queue: lat.decoded.len(),
-            rob: self.rob.len(),
+            fetch_pc: self.threads[0].fetch_pc,
+            fetch_stall_until: self.threads[0].fetch_stall_until,
+            fetch_queue: lat.iter().map(|io| io.fetched.len()).sum(),
+            decode_queue: lat.iter().map(|io| io.decoded.len()).sum(),
+            rob: self.threads.iter().map(|ctx| ctx.rob.len()).sum(),
             iq: self.iq_len,
             ready: self.ready_q.as_slice().len(),
-            unresolved_branches: self.unresolved_branches.as_slice().len(),
-            lsq_loads: self.lsq.loads_len(),
-            lsq_stores: self.lsq.stores_len(),
+            unresolved_branches: self
+                .threads
+                .iter()
+                .map(|ctx| ctx.unresolved_branches.as_slice().len())
+                .sum(),
+            lsq_loads: self.threads.iter().map(|ctx| ctx.lsq.loads_len()).sum(),
+            lsq_stores: self.threads.iter().map(|ctx| ctx.lsq.stores_len()).sum(),
             free_int: free(RegClass::Int),
             free_fp: free(RegClass::Fp),
             head,
         }
     }
 
-    pub(crate) fn corrupt_err(&self, lat: &StageIo, what: impl Into<String>) -> SimError {
+    pub(crate) fn corrupt_err(&self, lat: &[StageIo], what: impl Into<String>) -> SimError {
         SimError::Invariant {
             cycle: self.cycle,
             what: what.into(),
@@ -368,7 +445,7 @@ impl CoreState {
         }
     }
 
-    pub(crate) fn lsq_err(&self, lat: &StageIo, error: LsqError) -> SimError {
+    pub(crate) fn lsq_err(&self, lat: &[StageIo], error: LsqError) -> SimError {
         SimError::Lsq {
             cycle: self.cycle,
             error,
@@ -403,7 +480,7 @@ impl CoreState {
     /// If a recovery completed this cycle, diff the full architectural
     /// state (every register through the retirement map, plus memory)
     /// against the lockstep oracle. No-op without an oracle.
-    pub(crate) fn check_recovery_boundary(&mut self, lat: &StageIo) -> Result<(), SimError> {
+    pub(crate) fn check_recovery_boundary(&mut self, lat: &[StageIo]) -> Result<(), SimError> {
         if !self.pending_verify {
             return Ok(());
         }
@@ -411,37 +488,47 @@ impl CoreState {
         self.verify_arch_state(lat)
     }
 
-    pub(crate) fn verify_arch_state(&self, lat: &StageIo) -> Result<(), SimError> {
-        let Some(oracle) = &self.oracle else {
-            return Ok(());
-        };
-        if let Some(map) = self.renamer.arch_map() {
-            for class in [RegClass::Int, RegClass::Fp] {
-                for (r, tag) in map.iter_class(class) {
-                    if r.is_zero() {
-                        continue;
-                    }
-                    let got = self.rf[tag.class.index()].read_version(tag.preg, tag.version);
-                    let want = oracle.reg_bits(r);
-                    if got != want {
-                        return Err(SimError::OracleMismatch {
-                            cycle: self.cycle,
-                            detail: format!(
-                                "architectural state diff: {r} (mapped to {tag}) \
-                                 is {got:#x}, oracle has {want:#x}"
-                            ),
-                            snapshot: Box::new(self.snapshot(lat)),
-                        });
+    /// Diffs every thread's full architectural state (each register
+    /// through that thread's retirement map, plus its memory image)
+    /// against its lockstep oracle. Threads without an oracle are
+    /// skipped.
+    pub(crate) fn verify_arch_state(&self, lat: &[StageIo]) -> Result<(), SimError> {
+        for ctx in &self.threads {
+            let Some(oracle) = &ctx.oracle else {
+                continue;
+            };
+            if let Some(map) = self.renamer.arch_map_on(ctx.hart) {
+                for class in [RegClass::Int, RegClass::Fp] {
+                    for (r, tag) in map.iter_class(class) {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        let got = self.rf[tag.class.index()].read_version(tag.preg, tag.version);
+                        let want = oracle.reg_bits(r);
+                        if got != want {
+                            return Err(SimError::OracleMismatch {
+                                cycle: self.cycle,
+                                detail: format!(
+                                    "architectural state diff ({}): {r} (mapped to {tag}) \
+                                     is {got:#x}, oracle has {want:#x}",
+                                    ctx.hart
+                                ),
+                                snapshot: Box::new(self.snapshot(lat)),
+                            });
+                        }
                     }
                 }
             }
-        }
-        if let Some((addr, got, want)) = self.memory.first_difference(oracle.memory()) {
-            return Err(SimError::OracleMismatch {
-                cycle: self.cycle,
-                detail: format!("memory diff: byte {addr:#x} is {got:#x}, oracle has {want:#x}"),
-                snapshot: Box::new(self.snapshot(lat)),
-            });
+            if let Some((addr, got, want)) = ctx.memory.first_difference(oracle.memory()) {
+                return Err(SimError::OracleMismatch {
+                    cycle: self.cycle,
+                    detail: format!(
+                        "memory diff ({}): byte {addr:#x} is {got:#x}, oracle has {want:#x}",
+                        ctx.hart
+                    ),
+                    snapshot: Box::new(self.snapshot(lat)),
+                });
+            }
         }
         Ok(())
     }
@@ -451,7 +538,7 @@ impl CoreState {
     /// Every [`SimConfig::audit_interval`] cycles, cross-check the
     /// renamer's bookkeeping (free list / PRT / map tables) and the
     /// pipeline's IQ/ROB/wakeup state against their invariants.
-    pub(crate) fn audit_if_due(&mut self, lat: &StageIo) -> Result<(), SimError> {
+    pub(crate) fn audit_if_due(&mut self, lat: &[StageIo]) -> Result<(), SimError> {
         let n = self.config.audit_interval;
         if n == 0 || self.cycle == 0 || !self.cycle.is_multiple_of(n) {
             return Ok(());
@@ -467,7 +554,7 @@ impl CoreState {
     /// The two occupancy readouts must agree: the per-bank in-use counts
     /// (the Fig. 9 signal) have to sum to the scheme's total allocated
     /// register count.
-    fn audit_occupancy(&self, lat: &StageIo) -> Result<(), SimError> {
+    fn audit_occupancy(&self, lat: &[StageIo]) -> Result<(), SimError> {
         for class in [RegClass::Int, RegClass::Fp] {
             let per_bank: usize = self.renamer.in_use_per_bank(class).into_iter().sum();
             let total = self.renamer.allocated_total(class);
@@ -484,19 +571,81 @@ impl CoreState {
         Ok(())
     }
 
-    fn audit_pipeline(&self, lat: &StageIo) -> Result<(), SimError> {
+    fn audit_pipeline(&self, lat: &[StageIo]) -> Result<(), SimError> {
         let max_version = self.renamer.max_version();
+        let rob_partition = self.rob_partition();
         let mut unissued = 0usize;
-        let mut prev_seq = None;
-        for e in &self.rob {
-            if let Some(p) = prev_seq {
-                if e.seq <= p {
+        for (tid, ctx) in self.threads.iter().enumerate() {
+            if ctx.rob.len() > rob_partition {
+                return Err(self.corrupt_err(
+                    lat,
+                    format!(
+                        "thread {tid} holds {} ROB entries but its partition is {rob_partition}",
+                        ctx.rob.len()
+                    ),
+                ));
+            }
+            let mut prev_seq = None;
+            for e in &ctx.rob {
+                if e.hart.index() != tid {
+                    return Err(self.corrupt_err(
+                        lat,
+                        format!(
+                            "seq {} tagged {} sits in thread {tid}'s ROB partition",
+                            e.seq, e.hart
+                        ),
+                    ));
+                }
+                if let Some(p) = prev_seq {
+                    if e.seq <= p {
+                        return Err(self.corrupt_err(
+                            lat,
+                            format!("ROB order (thread {tid}): seq {} follows seq {p}", e.seq),
+                        ));
+                    }
+                }
+                prev_seq = Some(e.seq);
+                unissued += self.audit_rob_entry(lat, e, max_version)?;
+            }
+        }
+        if unissued != self.iq_len {
+            return Err(self.corrupt_err(
+                lat,
+                format!(
+                    "issue-queue occupancy {} but {unissued} unissued ROB entries",
+                    self.iq_len
+                ),
+            ));
+        }
+        for &seq in self.ready_q.as_slice() {
+            match self.rob_entry(seq) {
+                None => {
+                    return Err(self.corrupt_err(
+                        lat,
+                        format!("ready queue holds seq {seq} which is not in the ROB"),
+                    ));
+                }
+                Some(e) if e.issued => {
                     return Err(
-                        self.corrupt_err(lat, format!("ROB order: seq {} follows seq {p}", e.seq))
+                        self.corrupt_err(lat, format!("ready queue holds issued seq {seq}"))
                     );
                 }
+                Some(_) => {}
             }
-            prev_seq = Some(e.seq);
+        }
+        Ok(())
+    }
+
+    /// Checks one ROB entry's wakeup/readiness invariants; returns 1 if
+    /// the entry occupies an issue-queue slot (unissued), 0 otherwise.
+    fn audit_rob_entry(
+        &self,
+        lat: &[StageIo],
+        e: &RobEntry,
+        max_version: u8,
+    ) -> Result<usize, SimError> {
+        let mut unissued = 0usize;
+        {
             let busy = e
                 .srcs
                 .iter()
@@ -564,32 +713,7 @@ impl CoreState {
                 }
             }
         }
-        if unissued != self.iq_len {
-            return Err(self.corrupt_err(
-                lat,
-                format!(
-                    "issue-queue occupancy {} but {unissued} unissued ROB entries",
-                    self.iq_len
-                ),
-            ));
-        }
-        for &seq in self.ready_q.as_slice() {
-            match self.rob_entry(seq) {
-                None => {
-                    return Err(self.corrupt_err(
-                        lat,
-                        format!("ready queue holds seq {seq} which is not in the ROB"),
-                    ));
-                }
-                Some(e) if e.issued => {
-                    return Err(
-                        self.corrupt_err(lat, format!("ready queue holds issued seq {seq}"))
-                    );
-                }
-                Some(_) => {}
-            }
-        }
-        Ok(())
+        Ok(unissued)
     }
 
     /// Sets `tag` ready and delivers the wakeup to every consumer parked
@@ -597,7 +721,7 @@ impl CoreState {
     /// and a counter reaching zero moves the entry to the ready queue.
     pub(crate) fn broadcast_ready(
         &mut self,
-        lat: &StageIo,
+        lat: &[StageIo],
         tag: TaggedReg,
     ) -> Result<(), SimError> {
         let mut woken = std::mem::take(&mut self.wake_scratch);
@@ -607,9 +731,9 @@ impl CoreState {
             // Waiters are drained on squash, so a woken seq must be a
             // live ROB entry still counting down busy sources.
             let mut problem = None;
-            match self.rob_index(seq) {
-                Some(idx) => {
-                    let e = &mut self.rob[idx];
+            match self.rob_find(seq) {
+                Some((tid, idx)) => {
+                    let e = &mut self.threads[tid].rob[idx];
                     if e.pending_srcs == 0 {
                         problem = Some("woken with no pending source operands");
                     } else {

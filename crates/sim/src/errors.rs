@@ -60,6 +60,13 @@ pub enum SimError {
         /// Pipeline state at the failure.
         snapshot: Box<PipelineSnapshot>,
     },
+    /// The configuration was rejected by [`crate::SimConfig::validate`]
+    /// before any cycle was simulated (zero widths, thread count out of
+    /// range, structures too small for the thread partitioning).
+    Config {
+        /// Which parameter was inconsistent, and why.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -106,6 +113,7 @@ impl fmt::Display for SimError {
                     "load/store queue error at cycle {cycle}: {error}\n{snapshot}"
                 )
             }
+            SimError::Config { what } => write!(f, "invalid configuration: {what}"),
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::bpred::BranchPredictor;
 use crate::cancel::{CancelToken, CANCEL_CHECK_INTERVAL};
-use crate::core_state::{CoreState, RobEntry, SeqSet, StageIo};
+use crate::core_state::{CoreState, RobEntry, SeqSet, StageIo, ThreadCtx};
 use crate::errors::{PipelineSnapshot, SimError, TraceEvent};
 use crate::inject::{InjectSchedule, InjectState, InjectStats};
 use crate::policy::RecoveryPolicy;
@@ -23,15 +23,25 @@ use crate::stages::{
 };
 use crate::{CompletionWheel, FuPool, LoadStoreQueue, Scoreboard, SimConfig, SimReport};
 use regshare_core::{RegFile, Renamer};
-use regshare_isa::{Machine, Memory, Program, RegClass};
+use regshare_isa::{HartId, Machine, Memory, Program, RegClass};
 use regshare_mem::MemoryHierarchy;
 use regshare_stats::Sampler;
 use std::time::Instant;
 
-/// The cycle-accurate out-of-order core.
+/// Per-thread construction inputs for [`Pipeline::build`].
+struct ThreadInit {
+    program: Program,
+    memory: Memory,
+    fetch_pc: Option<u64>,
+    oracle: Option<Machine>,
+}
+
+/// The cycle-accurate out-of-order core, hosting one or more hardware
+/// threads over a shared physical register file.
 pub struct Pipeline {
     core: CoreState,
-    lat: StageIo,
+    /// One latch set per hardware thread.
+    lat: Vec<StageIo>,
     fetch: FetchStage,
     decode: DecodeStage,
     rename: RenameStage,
@@ -42,28 +52,94 @@ pub struct Pipeline {
     commit: CommitStage,
     recovery: Box<dyn RecoveryPolicy>,
     cancel: Option<CancelToken>,
+    /// A configuration rejected by [`SimConfig::validate`] at
+    /// construction; surfaced as the run's error before any cycle is
+    /// simulated (the infallible constructors build a sanitized stand-in
+    /// that is never actually stepped).
+    config_error: Option<SimError>,
 }
 
 impl Pipeline {
-    /// Creates a pipeline at the program entry with cold caches and
-    /// predictors. The issue-selection and recovery policies are built
-    /// from [`SimConfig::issue_policy`] / [`SimConfig::recovery_policy`].
+    /// Creates a single-thread pipeline at the program entry with cold
+    /// caches and predictors. The issue-selection, fetch and recovery
+    /// policies are built from [`SimConfig::issue_policy`] /
+    /// [`SimConfig::fetch_policy`] / [`SimConfig::recovery_policy`].
+    ///
+    /// An invalid configuration (see [`SimConfig::validate`]) is not a
+    /// panic: the error is held and returned by the first `run` call.
+    /// `config.threads` must be 1 — use [`Pipeline::new_smt`] for
+    /// multi-threaded cores.
     pub fn new(program: Program, renamer: Box<dyn Renamer>, config: SimConfig) -> Self {
-        let memory = program.data().clone();
-        let entry = program.entry() as u64;
-        let oracle = config.check_oracle.then(|| Machine::new(program.clone()));
+        match Pipeline::new_smt(vec![program], renamer, config.clone()) {
+            Ok(pipe) => pipe,
+            Err(err) => Pipeline::poisoned(err, config),
+        }
+    }
+
+    /// Creates an SMT pipeline: one program per hardware thread, all
+    /// sharing the physical register file, issue queue, functional units
+    /// and predictors through `renamer` (which must be built for the
+    /// same thread count).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] if the configuration fails
+    /// [`SimConfig::validate`], `programs.len() != config.threads`, or
+    /// the renamer's thread count disagrees.
+    pub fn new_smt(
+        programs: Vec<Program>,
+        renamer: Box<dyn Renamer>,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if programs.len() != config.threads {
+            return Err(SimError::Config {
+                what: format!(
+                    "{} program(s) supplied for {} hardware thread(s)",
+                    programs.len(),
+                    config.threads
+                ),
+            });
+        }
+        if renamer.threads() != config.threads {
+            return Err(SimError::Config {
+                what: format!(
+                    "renamer is built for {} thread(s) but config.threads is {}",
+                    renamer.threads(),
+                    config.threads
+                ),
+            });
+        }
+        let inits = programs
+            .into_iter()
+            .map(|program| ThreadInit {
+                memory: program.data().clone(),
+                fetch_pc: Some(program.entry() as u64),
+                oracle: config.check_oracle.then(|| Machine::new(program.clone())),
+                program,
+            })
+            .collect();
         let mem_timing = MemoryHierarchy::new(config.mem);
         let bpred = BranchPredictor::new(config.bpred);
-        Pipeline::build(
-            program,
-            renamer,
-            config,
-            memory,
-            Some(entry),
-            oracle,
-            mem_timing,
-            bpred,
-        )
+        Ok(Pipeline::build(inits, renamer, config, mem_timing, bpred))
+    }
+
+    /// A pipeline that only exists to surface `err` from its first `run`
+    /// call: built from a sanitized copy of the rejected configuration
+    /// and a trivial program, never stepped.
+    fn poisoned(err: SimError, config: SimConfig) -> Self {
+        let config = config.sanitized();
+        let mut a = regshare_isa::Asm::new();
+        a.halt();
+        let program = a.assemble();
+        let renamer = Box::new(regshare_core::BaselineRenamer::new(
+            regshare_core::RenamerConfig::baseline(32 * config.threads + 32)
+                .with_threads(config.threads),
+        ));
+        let mut pipe = Pipeline::new_smt(vec![program; config.threads], renamer, config)
+            .expect("sanitized configurations always build");
+        pipe.config_error = Some(err);
+        pipe
     }
 
     /// Creates a pipeline resuming mid-stream from a functional machine
@@ -81,21 +157,29 @@ impl Pipeline {
         renamer: Box<dyn Renamer>,
         config: SimConfig,
     ) -> Self {
+        let mut config_error = config.validate().err();
+        if config_error.is_none() && config.threads != 1 {
+            config_error = Some(SimError::Config {
+                what: "checkpoint resume is single-threaded; config.threads must be 1".into(),
+            });
+        }
+        let config = if config_error.is_some() {
+            let mut c = config.sanitized();
+            c.threads = 1;
+            c
+        } else {
+            config
+        };
         mem_timing.reset_stats();
         bpred.reset_stats();
-        let memory = machine.memory().clone();
-        let fetch_pc = (!machine.is_halted()).then(|| machine.pc());
-        let oracle = config.check_oracle.then(|| machine.clone());
-        let mut pipe = Pipeline::build(
-            machine.program().clone(),
-            renamer,
-            config,
-            memory,
-            fetch_pc,
-            oracle,
-            mem_timing,
-            bpred,
-        );
+        let init = ThreadInit {
+            program: machine.program().clone(),
+            memory: machine.memory().clone(),
+            fetch_pc: (!machine.is_halted()).then(|| machine.pc()),
+            oracle: config.check_oracle.then(|| machine.clone()),
+        };
+        let mut pipe = Pipeline::build(vec![init], renamer, config, mem_timing, bpred);
+        pipe.config_error = config_error;
         let mut seeds = Vec::new();
         if let Some(map) = pipe.core.renamer.arch_map() {
             for class in [RegClass::Int, RegClass::Fp] {
@@ -112,22 +196,19 @@ impl Pipeline {
         pipe
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn build(
-        program: Program,
+        inits: Vec<ThreadInit>,
         renamer: Box<dyn Renamer>,
         config: SimConfig,
-        memory: Memory,
-        fetch_pc: Option<u64>,
-        oracle: Option<Machine>,
         mut mem_timing: MemoryHierarchy,
         bpred: BranchPredictor,
     ) -> Self {
         let mut renamer = renamer;
-        if let Some(h) = program.hints() {
+        if let Some(h) = inits[0].program.hints() {
             renamer.install_hints(h);
         }
         let issue_select = config.issue_policy.build();
+        let fetch_policy = config.fetch_policy.build();
         let recovery = config.recovery_policy.build();
         let rf = [
             RegFile::new(renamer.banks(RegClass::Int)),
@@ -144,30 +225,43 @@ impl Pipeline {
         let fp_occupancy = (0..renamer.banks(RegClass::Fp).num_banks())
             .map(|k| Sampler::new(format!("fp_bank{k}")))
             .collect();
-        let rob = Rob::new(config.rob_entries, RobEntry::filler());
+        let n = inits.len();
+        let rob_partition = config.rob_entries / n;
+        let threads: Vec<ThreadCtx> = inits
+            .into_iter()
+            .enumerate()
+            .map(|(tid, init)| ThreadCtx {
+                hart: HartId::new(tid),
+                program: init.program,
+                memory: init.memory,
+                oracle: init.oracle,
+                rob: Rob::new(rob_partition, RobEntry::filler()),
+                lsq: LoadStoreQueue::new(config.lq_entries / n, config.sq_entries / n),
+                unresolved_branches: SeqSet::default(),
+                fetch_pc: init.fetch_pc,
+                fetch_stall_until: 0,
+                pending_fill: None,
+                halted: false,
+                committed_instructions: 0,
+            })
+            .collect();
         let completions = CompletionWheel::with_in_flight_bound(config.rob_entries);
         let core = CoreState {
             bpred,
             fus: FuPool::new(&config),
-            lsq: LoadStoreQueue::new(config.lq_entries, config.sq_entries),
             config,
-            program,
+            threads,
             renamer,
             rf,
             scoreboard,
             mem_timing,
-            memory,
-            rob,
             ready_q: SeqSet::default(),
             iq_len: 0,
             wake_scratch: Vec::new(),
-            unresolved_branches: SeqSet::default(),
-            fetch_pc,
-            fetch_stall_until: 0,
+            squash_scratch: Vec::new(),
             next_seq: 1,
             cycle: 0,
             completions,
-            oracle,
             inject: None,
             pending_verify: false,
             audits: 0,
@@ -189,11 +283,10 @@ impl Pipeline {
         };
         let iq_entries = core.config.iq_entries;
         Pipeline {
-            core,
-            lat: StageIo::default(),
-            fetch: FetchStage,
+            lat: (0..n).map(|_| StageIo::default()).collect(),
+            fetch: FetchStage::new(fetch_policy, n),
             decode: DecodeStage,
-            rename: RenameStage::default(),
+            rename: RenameStage::new(n),
             dispatch: DispatchStage,
             issue: IssueStage::new(issue_select, iq_entries),
             execute: ExecuteStage,
@@ -201,6 +294,8 @@ impl Pipeline {
             commit: CommitStage,
             recovery,
             cancel: None,
+            config_error: None,
+            core,
         }
     }
 
@@ -268,12 +363,15 @@ impl Pipeline {
         timer.lap(&mut self.core.profile, StageSlot::Writeback);
         recovery::deliver_pending_interrupt(&mut self.core, &mut self.lat, policy);
         self.core.check_recovery_boundary(&self.lat)?;
-        let boundary = self
-            .core
-            .unresolved_branches
-            .first()
-            .unwrap_or(self.core.next_seq);
-        self.core.renamer.advance_nonspeculative(boundary);
+        for tid in 0..self.core.threads.len() {
+            let ctx = &self.core.threads[tid];
+            let boundary = ctx
+                .unresolved_branches
+                .first()
+                .unwrap_or(self.core.next_seq);
+            let hart = ctx.hart;
+            self.core.renamer.advance_nonspeculative_on(hart, boundary);
+        }
         timer.lap(&mut self.core.profile, StageSlot::Housekeeping);
         self.issue
             .tick(&mut self.core, &mut self.lat, &mut self.execute)?;
@@ -301,6 +399,9 @@ impl Pipeline {
     /// [`SimError::CycleLimit`] / [`SimError::Deadlock`] on runaway
     /// simulations.
     pub fn run(&mut self) -> Result<SimReport, SimError> {
+        if let Some(err) = &self.config_error {
+            return Err(err.clone());
+        }
         let started = Instant::now(); // det-lint: allow — wall-clock throughput report only
         let result = self.run_loop();
         self.core.wall_seconds += started.elapsed().as_secs_f64();
@@ -336,11 +437,10 @@ impl Pipeline {
             // Forward-progress watchdog: convert a hang into a
             // structured diagnostic with a full pipeline snapshot
             // (the snapshot's head section carries operand readiness).
-            if !self.core.rob.is_empty() && self.core.cycle - self.core.last_commit_cycle > 100_000
-            {
+            if self.core.rob_nonempty() && self.core.cycle - self.core.last_commit_cycle > 100_000 {
                 return Err(SimError::Deadlock {
                     cycle: self.core.cycle,
-                    head_seq: self.core.rob.front().map(|e| e.seq),
+                    head_seq: self.core.oldest_inflight().map(|e| e.seq),
                     snapshot: Box::new(self.core.snapshot(&self.lat)),
                 });
             }
@@ -363,6 +463,9 @@ impl Pipeline {
     ///
     /// Propagates any [`SimError`] surfaced by a stage or audit.
     pub fn run_cycles(&mut self, n: u64) -> Result<(), SimError> {
+        if let Some(err) = &self.config_error {
+            return Err(err.clone());
+        }
         for _ in 0..n {
             if self.core.halted {
                 break;
@@ -385,6 +488,13 @@ impl Pipeline {
     pub fn report(&self) -> SimReport {
         SimReport {
             cycles: self.core.cycle,
+            threads: self.core.threads.len(),
+            per_thread_committed: self
+                .core
+                .threads
+                .iter()
+                .map(|ctx| ctx.committed_instructions)
+                .collect(),
             committed_instructions: self.core.committed_instructions,
             committed_uops: self.core.committed_uops,
             halted: self.core.halted,
@@ -409,9 +519,18 @@ impl Pipeline {
         }
     }
 
-    /// The committed data memory (for end-of-run output checks).
+    /// Thread 0's committed data memory (for end-of-run output checks).
     pub fn memory(&self) -> &Memory {
-        &self.core.memory
+        self.memory_of(0)
+    }
+
+    /// One thread's committed data memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not a resident thread.
+    pub fn memory_of(&self, tid: usize) -> &Memory {
+        &self.core.threads[tid].memory
     }
 
     /// Current cycle count.

@@ -1,8 +1,9 @@
-//! Pluggable scheduling and recovery policies, selected through
-//! [`SimConfig`] ([`crate::IssuePolicyKind`],
-//! [`crate::RecoveryPolicyKind`]) so experiments can sweep them.
+//! Pluggable scheduling, fetch-arbitration and recovery policies,
+//! selected through [`SimConfig`] ([`crate::IssuePolicyKind`],
+//! [`crate::FetchPolicyKind`], [`crate::RecoveryPolicyKind`]) so
+//! experiments can sweep them.
 
-use crate::config::{IssuePolicyKind, RecoveryPolicyKind};
+use crate::config::{FetchPolicyKind, IssuePolicyKind, RecoveryPolicyKind};
 use crate::SimConfig;
 
 /// The issue stage's selection order: given the operand-ready micro-ops
@@ -47,6 +48,61 @@ impl IssueSelect for YoungestFirst {
 
     fn select(&self, ready: &[u64], out: &mut Vec<u64>) {
         out.extend(ready.iter().rev());
+    }
+}
+
+/// Fetch-thread arbitration: each cycle the fetch stage offers the
+/// policy every hardware thread's eligibility (not halted, not
+/// redirect-stalled, fetch queue has room) and in-flight micro-op count
+/// (ROB partition plus front-end latches), and the policy picks at most
+/// one thread to own the fetch ports that cycle.
+///
+/// With a single resident thread every policy degenerates to "fetch for
+/// thread 0 when eligible", keeping single-thread runs byte-identical.
+pub trait FetchPolicy {
+    /// A short label for reports and sweeps.
+    fn name(&self) -> &'static str;
+
+    /// Picks the thread to fetch for on `cycle`, or `None` when no
+    /// thread is eligible. `eligible` and `in_flight` are indexed by
+    /// thread id and always have the same length.
+    fn pick(&mut self, cycle: u64, eligible: &[bool], in_flight: &[usize]) -> Option<usize>;
+}
+
+/// Cycle-rotating fetch: start the scan at `cycle % threads` and take
+/// the first eligible thread. Fair under symmetric load; the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinFetch;
+
+impl FetchPolicy for RoundRobinFetch {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, cycle: u64, eligible: &[bool], _in_flight: &[usize]) -> Option<usize> {
+        let n = eligible.len();
+        (0..n)
+            .map(|k| (cycle as usize + k) % n)
+            .find(|&t| eligible[t])
+    }
+}
+
+/// ICOUNT fetch (Tullsen et al., ISCA '96): pick the eligible thread
+/// with the fewest micro-ops in flight, breaking ties toward the lowest
+/// thread id. Threads blocked on long-latency misses accumulate
+/// in-flight work and automatically yield fetch to faster threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IcountFetch;
+
+impl FetchPolicy for IcountFetch {
+    fn name(&self) -> &'static str {
+        "icount"
+    }
+
+    fn pick(&mut self, _cycle: u64, eligible: &[bool], in_flight: &[usize]) -> Option<usize> {
+        (0..eligible.len())
+            .filter(|&t| eligible[t])
+            .min_by_key(|&t| (in_flight[t], t))
     }
 }
 
@@ -107,6 +163,16 @@ impl IssuePolicyKind {
     }
 }
 
+impl FetchPolicyKind {
+    /// Instantiates the configured [`FetchPolicy`] implementation.
+    pub fn build(self) -> Box<dyn FetchPolicy> {
+        match self {
+            FetchPolicyKind::RoundRobin => Box::new(RoundRobinFetch),
+            FetchPolicyKind::Icount => Box::new(IcountFetch),
+        }
+    }
+}
+
 impl RecoveryPolicyKind {
     /// Instantiates the configured [`RecoveryPolicy`] implementation.
     pub fn build(self) -> Box<dyn RecoveryPolicy> {
@@ -158,8 +224,35 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_rotates_and_skips_ineligible() {
+        let mut rr = RoundRobinFetch;
+        let inflight = [0usize; 4];
+        assert_eq!(rr.pick(0, &[true, true, true, true], &inflight), Some(0));
+        assert_eq!(rr.pick(1, &[true, true, true, true], &inflight), Some(1));
+        assert_eq!(rr.pick(5, &[true, true, true, true], &inflight), Some(1));
+        assert_eq!(rr.pick(1, &[true, false, false, true], &inflight), Some(3));
+        assert_eq!(rr.pick(7, &[false, false, false, false], &inflight), None);
+        // Single thread: always thread 0 when eligible.
+        assert_eq!(rr.pick(123, &[true], &[9]), Some(0));
+        assert_eq!(rr.pick(124, &[false], &[9]), None);
+    }
+
+    #[test]
+    fn icount_prefers_emptiest_thread() {
+        let mut ic = IcountFetch;
+        assert_eq!(ic.pick(0, &[true, true, true], &[5, 2, 9]), Some(1));
+        // Ties break toward the lowest thread id.
+        assert_eq!(ic.pick(0, &[true, true], &[4, 4]), Some(0));
+        // Ineligible threads never win, however empty.
+        assert_eq!(ic.pick(0, &[false, true], &[0, 100]), Some(1));
+        assert_eq!(ic.pick(0, &[false, false], &[0, 0]), None);
+    }
+
+    #[test]
     fn kinds_build_matching_impls() {
-        use crate::config::{IssuePolicyKind, RecoveryPolicyKind};
+        use crate::config::{FetchPolicyKind, IssuePolicyKind, RecoveryPolicyKind};
+        assert_eq!(FetchPolicyKind::RoundRobin.build().name(), "round-robin");
+        assert_eq!(FetchPolicyKind::Icount.build().name(), "icount");
         assert_eq!(IssuePolicyKind::OldestFirst.build().name(), "oldest-first");
         assert_eq!(
             IssuePolicyKind::YoungestFirst.build().name(),

@@ -5,8 +5,12 @@
 //! precise exceptions at commit — funnels through
 //! [`squash_younger_than`]: one architectural walk (ROB/IQ/LSQ squash,
 //! rename checkpoint unwind, shadow-cell recover commands) whose cycle
-//! cost is delegated to the configured [`RecoveryPolicy`]. The redirect
-//! paths that also re-steer fetch share [`redirect_after_squash`].
+//! cost is delegated to the configured [`RecoveryPolicy`]. The walk is
+//! per hardware thread: only the squashing thread's ROB partition,
+//! LSQ, latches, and rename checkpoints are touched, while the shared
+//! scoreboard drops exactly that thread's squashed waiters. The
+//! redirect paths that also re-steer fetch share
+//! [`redirect_after_squash`].
 
 use crate::core_state::{CoreState, StageIo};
 use crate::inject::InjectKind;
@@ -14,37 +18,69 @@ use crate::policy::RecoveryPolicy;
 use crate::profile::StageSlot;
 use regshare_core::UopKind;
 
-/// Squashes every micro-op with a sequence number greater than `seq`:
-/// ROB and issue-queue entries, scoreboard waiters, unresolved branches,
-/// LSQ entries and both front-end latches, then unwinds the renamer and
-/// executes the shadow-cell recover commands it reports. Returns the
-/// extra redirect cycles the [`RecoveryPolicy`] charges for the restore.
+/// Squashes every micro-op of thread `tid` with a sequence number
+/// greater than `seq`: ROB and issue-queue entries, scoreboard waiters,
+/// unresolved branches, LSQ entries and the thread's front-end latches,
+/// then unwinds the thread's rename checkpoints and executes the
+/// shadow-cell recover commands the renamer reports. Returns the extra
+/// redirect cycles the [`RecoveryPolicy`] charges for the restore.
 pub(crate) fn squash_younger_than(
     core: &mut CoreState,
-    lat: &mut StageIo,
+    lat: &mut [StageIo],
     policy: &dyn RecoveryPolicy,
+    tid: usize,
     seq: u64,
 ) -> u32 {
+    let single = core.threads.len() == 1;
     let mut squashed = 0u64;
-    while matches!(core.rob.back(), Some(e) if e.seq > seq) {
-        let Some(e) = core.rob.pop_back() else { break };
-        squashed += 1;
-        if !e.issued {
-            core.iq_len -= 1;
-            if e.pending_srcs == 0 {
-                core.ready_q.remove(e.seq);
+    {
+        // Split borrows: the ROB walk mutates this thread's partition
+        // while repairing the shared issue-queue accounting.
+        let CoreState {
+            threads,
+            iq_len,
+            ready_q,
+            squash_scratch,
+            ..
+        } = core;
+        let ctx = &mut threads[tid];
+        squash_scratch.clear();
+        while matches!(ctx.rob.back(), Some(e) if e.seq > seq) {
+            let Some(e) = ctx.rob.pop_back() else { break };
+            squashed += 1;
+            if !single {
+                squash_scratch.push(e.seq);
+            }
+            if !e.issued {
+                *iq_len -= 1;
+                if e.pending_srcs == 0 {
+                    ready_q.remove(e.seq);
+                }
             }
         }
     }
     core.profile.add_work(StageSlot::Housekeeping, squashed);
     // Squashed consumers still parked in the wakeup network must not
-    // be woken by surviving producers.
-    core.scoreboard.drain_waiters_after(seq);
-    core.unresolved_branches.retain_le(seq);
-    core.lsq.squash_after(seq);
-    lat.fetched.clear();
-    lat.decoded.clear();
-    let outcome = core.renamer.squash_after(seq);
+    // be woken by surviving producers. With one thread every younger
+    // seq belongs to it; with several, other threads' younger micro-ops
+    // survive, so only the exact squashed set is drained.
+    if single {
+        core.scoreboard.drain_waiters_after(seq);
+    } else {
+        // Popped youngest-first: reverse into ascending order.
+        core.squash_scratch.reverse();
+        let scratch = std::mem::take(&mut core.squash_scratch);
+        core.scoreboard.drain_waiters_in(&scratch);
+        core.squash_scratch = scratch;
+    }
+    core.threads[tid].unresolved_branches.retain_le(seq);
+    core.threads[tid].lsq.squash_after(seq);
+    // An abandoned fill must not satisfy a later fetch of the same PC.
+    core.threads[tid].pending_fill = None;
+    lat[tid].fetched.clear();
+    lat[tid].decoded.clear();
+    let hart = core.threads[tid].hart;
+    let outcome = core.renamer.squash_after_on(hart, seq);
     let mut recovered = 0u32;
     for &tag in &outcome.recovers {
         if core.rf[tag.class.index()].recover(tag.preg, tag.version) {
@@ -55,21 +91,23 @@ pub(crate) fn squash_younger_than(
     policy.extra_cycles(recovered, &core.config)
 }
 
-/// A squash followed by a fetch redirect: flush everything younger than
-/// `seq`, re-steer fetch to `resume_pc`, and extend the fetch stall by
-/// `penalty` plus the policy's recovery charge. The arch-state diff
-/// against the oracle is armed for the end of the cycle.
+/// A squash followed by a fetch redirect: flush everything of thread
+/// `tid` younger than `seq`, re-steer that thread's fetch to
+/// `resume_pc`, and extend its fetch stall by `penalty` plus the
+/// policy's recovery charge. The arch-state diff against the oracle is
+/// armed for the end of the cycle.
 pub(crate) fn redirect_after_squash(
     core: &mut CoreState,
-    lat: &mut StageIo,
+    lat: &mut [StageIo],
     policy: &dyn RecoveryPolicy,
+    tid: usize,
     seq: u64,
     resume_pc: u64,
     penalty: u32,
 ) {
-    let extra = squash_younger_than(core, lat, policy, seq);
-    core.fetch_pc = Some(resume_pc);
-    core.fetch_stall_until = core
+    let extra = squash_younger_than(core, lat, policy, tid, seq);
+    core.threads[tid].fetch_pc = Some(resume_pc);
+    core.threads[tid].fetch_stall_until = core.threads[tid]
         .fetch_stall_until
         .max(core.cycle + penalty as u64 + extra as u64);
     core.pending_verify = true;
@@ -79,7 +117,7 @@ pub(crate) fn redirect_after_squash(
 /// executes squash storms on the spot.
 pub(crate) fn poll_injections(
     core: &mut CoreState,
-    lat: &mut StageIo,
+    lat: &mut [StageIo],
     policy: &dyn RecoveryPolicy,
 ) {
     let mut storms: Vec<u8> = Vec::new();
@@ -106,35 +144,41 @@ pub(crate) fn poll_injections(
 
 /// Squashes everything younger than a completed in-flight micro-op,
 /// exactly as a resolving branch would, and refetches from its
-/// successor. Candidates are restricted to done, exception-free
-/// `Main` micro-ops so the cut point's `next_pc` is an
-/// architecturally valid resume address.
-fn squash_storm(core: &mut CoreState, lat: &mut StageIo, policy: &dyn RecoveryPolicy, pick: u8) {
-    let candidates: Vec<(u64, u64)> = core
-        .rob
-        .iter()
-        .filter(|e| e.kind == UopKind::Main && e.done && !e.exception && !e.d.is_halt())
-        .map(|e| (e.seq, e.next_pc))
-        .collect();
+/// successor. Candidates are drawn from every thread's ROB partition in
+/// thread order and restricted to done, exception-free `Main` micro-ops
+/// so the cut point's `next_pc` is an architecturally valid resume
+/// address; the squash stays within the picked thread.
+fn squash_storm(core: &mut CoreState, lat: &mut [StageIo], policy: &dyn RecoveryPolicy, pick: u8) {
+    let mut candidates: Vec<(usize, u64, u64)> = Vec::new();
+    for (tid, ctx) in core.threads.iter().enumerate() {
+        candidates.extend(
+            ctx.rob
+                .iter()
+                .filter(|e| e.kind == UopKind::Main && e.done && !e.exception && !e.d.is_halt())
+                .map(|e| (tid, e.seq, e.next_pc)),
+        );
+    }
     if candidates.is_empty() {
         return;
     }
-    let (seq, next_pc) = candidates[pick as usize % candidates.len()];
+    let (tid, seq, next_pc) = candidates[pick as usize % candidates.len()];
     let penalty = core.config.mispredict_penalty;
-    redirect_after_squash(core, lat, policy, seq, next_pc, penalty);
+    redirect_after_squash(core, lat, policy, tid, seq, next_pc, penalty);
     if let Some(inj) = &mut core.inject {
         inj.stats.squash_storms += 1;
     }
 }
 
-/// Delivers a pending asynchronous interrupt: flush the entire
-/// speculative window and refetch from the oldest unretired
+/// Delivers a pending asynchronous interrupt: flush thread 0's entire
+/// speculative window and refetch from its oldest unretired
 /// instruction. Runs after writeback so an interrupt armed by a
 /// misprediction (`interrupts_on_mispredict`) lands in the same cycle
-/// as the branch's own squash — nested recovery.
+/// as the branch's own squash — nested recovery. Injection targets
+/// thread 0 by construction; the harness runs fault campaigns
+/// single-threaded.
 pub(crate) fn deliver_pending_interrupt(
     core: &mut CoreState,
-    lat: &mut StageIo,
+    lat: &mut [StageIo],
     policy: &dyn RecoveryPolicy,
 ) {
     if !core.inject.as_ref().is_some_and(|i| i.pending_interrupt) {
@@ -145,23 +189,23 @@ pub(crate) fn deliver_pending_interrupt(
     }
     // The precise resume point: the oldest in-flight instruction,
     // wherever it is in the pipe, else wherever fetch would go next.
-    let resume = core
+    let resume = core.threads[0]
         .rob
         .front()
         .map(|e| e.pc)
-        .or_else(|| lat.decoded.front().map(|f| f.pc))
-        .or_else(|| lat.fetched.front().map(|f| f.pc))
-        .or(core.fetch_pc);
+        .or_else(|| lat[0].decoded.front().map(|f| f.pc))
+        .or_else(|| lat[0].fetched.front().map(|f| f.pc))
+        .or(core.threads[0].fetch_pc);
     let Some(resume) = resume else {
         return; // nothing in flight and nothing to fetch: no-op
     };
-    let squash_seq = core
+    let squash_seq = core.threads[0]
         .rob
         .front()
         .map(|e| e.seq.saturating_sub(1))
         .unwrap_or(core.next_seq);
     let penalty = core.config.exception_penalty;
-    redirect_after_squash(core, lat, policy, squash_seq, resume, penalty);
+    redirect_after_squash(core, lat, policy, 0, squash_seq, resume, penalty);
     if let Some(inj) = &mut core.inject {
         inj.stats.interrupts += 1;
     }

@@ -16,6 +16,10 @@ pub struct SimReport {
     pub committed_instructions: u64,
     /// Committed micro-ops (repairs included).
     pub committed_uops: u64,
+    /// Hardware thread contexts the run was configured with.
+    pub threads: usize,
+    /// Committed instructions per hardware thread (length = `threads`).
+    pub per_thread_committed: Vec<u64>,
     /// Whether the program ran to its `halt`.
     pub halted: bool,
     /// Branch mispredictions taken.
@@ -67,12 +71,21 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Committed instructions per cycle.
+    /// Committed instructions per cycle, aggregated over all threads.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
             0.0
         } else {
             self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Committed instructions per cycle for one hardware thread
+    /// (0 for out-of-range thread ids).
+    pub fn per_thread_ipc(&self, tid: usize) -> f64 {
+        match self.per_thread_committed.get(tid) {
+            Some(&committed) if self.cycles > 0 => committed as f64 / self.cycles as f64,
+            _ => 0.0,
         }
     }
 
@@ -125,6 +138,13 @@ impl fmt::Display for SimReport {
             self.ipc(),
             self.halted
         )?;
+        if self.threads > 1 {
+            write!(f, "threads: {}", self.threads)?;
+            for (tid, committed) in self.per_thread_committed.iter().enumerate() {
+                write!(f, " t{tid}={committed} ({:.4})", self.per_thread_ipc(tid))?;
+            }
+            writeln!(f)?;
+        }
         writeln!(
             f,
             "branches: mispredicts={} dir-acc={:.2}%",
@@ -186,6 +206,8 @@ mod tests {
             cycles: 0,
             committed_instructions: 0,
             committed_uops: 0,
+            threads: 1,
+            per_thread_committed: vec![0],
             halted: false,
             mispredicts: 0,
             exceptions: 0,
@@ -255,5 +277,49 @@ mod tests {
         r.warm_seconds = 0.5;
         assert!((r.warm_instructions_per_second() - 2_000_000.0).abs() < 1e-6);
         assert!(format!("{r}").contains("warming:"));
+    }
+}
+
+#[cfg(test)]
+mod thread_tests {
+    use super::*;
+
+    #[test]
+    fn per_thread_ipc_splits_committed() {
+        let mut r = SimReport {
+            cycles: 100,
+            committed_instructions: 150,
+            committed_uops: 150,
+            threads: 2,
+            per_thread_committed: vec![100, 50],
+            halted: true,
+            mispredicts: 0,
+            exceptions: 0,
+            shadow_recovers: 0,
+            expensive_repairs: 0,
+            rename_stall_cycles: 0,
+            branch_direction_accuracy: 0.0,
+            l1d_hit_rate: 0.0,
+            l2_hit_rate: 0.0,
+            tlb_hit_rate: 0.0,
+            rename: RenameStats::default(),
+            predictor: PredictorStats::default(),
+            hints: HintStats::default(),
+            int_occupancy: Vec::new(),
+            fp_occupancy: Vec::new(),
+            wall_seconds: 0.0,
+            warm_seconds: 0.0,
+            warm_instructions: 0,
+            profile: Default::default(),
+        };
+        assert!((r.per_thread_ipc(0) - 1.0).abs() < 1e-12);
+        assert!((r.per_thread_ipc(1) - 0.5).abs() < 1e-12);
+        assert_eq!(r.per_thread_ipc(2), 0.0);
+        let shown = format!("{r}");
+        assert!(shown.contains("threads: 2"));
+        assert!(shown.contains("t1=50"));
+        r.threads = 1;
+        r.per_thread_committed = vec![150];
+        assert!(!format!("{r}").contains("threads:"));
     }
 }

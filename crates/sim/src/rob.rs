@@ -205,6 +205,7 @@ mod tests {
     fn entry(seq: u64) -> RobEntry {
         let inst = Inst::bare(Opcode::Nop);
         RobEntry {
+            hart: regshare_isa::HartId::ZERO,
             seq,
             pc: seq * 4,
             d: DecodedOp::decode(&inst, 0),

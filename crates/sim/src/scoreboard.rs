@@ -130,6 +130,24 @@ impl Scoreboard {
         }
     }
 
+    /// Removes every waiter whose sequence number appears in `squashed`
+    /// (sorted ascending) — the selective flush an SMT recovery needs,
+    /// where only one thread's micro-ops die and other threads' younger
+    /// consumers must keep their wakeup registrations.
+    pub fn drain_waiters_in(&mut self, squashed: &[u64]) {
+        debug_assert!(squashed.is_sorted(), "squashed seqs must be sorted");
+        if squashed.is_empty() {
+            return;
+        }
+        for class in &mut self.waiters {
+            for slot in class.iter_mut() {
+                if !slot.is_empty() {
+                    slot.retain(|s| squashed.binary_search(s).is_err());
+                }
+            }
+        }
+    }
+
     /// Whether consumer `seq` is waiting on at least one tag (deadlock
     /// diagnostics).
     pub fn has_waiter(&self, seq: u64) -> bool {
@@ -226,6 +244,22 @@ mod tests {
         sb.set_ready(a, &mut woken);
         sb.set_ready(b, &mut woken);
         assert_eq!(woken, [5]);
+    }
+
+    #[test]
+    fn selective_drain_spares_other_threads_waiters() {
+        let mut sb = Scoreboard::new(8, 0, 4);
+        let a = TaggedReg::new(RegClass::Int, PhysReg(1), 0);
+        sb.set_busy(a);
+        // Thread A's consumers (seqs 5, 9) die in a squash; thread B's
+        // younger consumer (seq 7) must survive.
+        sb.watch(a, 5);
+        sb.watch(a, 7);
+        sb.watch(a, 9);
+        sb.drain_waiters_in(&[5, 9]);
+        let mut woken = Vec::new();
+        sb.set_ready(a, &mut woken);
+        assert_eq!(woken, [7]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Commit: retire finished micro-ops in program order.
 
-use crate::core_state::{CoreState, RobEntry, StageIo};
+use crate::core_state::{tag_addr, CoreState, RobEntry, StageIo};
 use crate::errors::TraceStage;
 use crate::policy::RecoveryPolicy;
 use crate::profile::StageSlot;
@@ -22,54 +22,76 @@ impl CommitStage {
     pub(crate) fn tick(
         &mut self,
         core: &mut CoreState,
-        lat: &mut StageIo,
+        lat: &mut [StageIo],
         policy: &dyn RecoveryPolicy,
     ) -> Result<StageOutcome, SimError> {
-        for _ in 0..core.config.commit_width {
-            let Some(head) = core.rob.front() else { break };
-            if !head.done {
-                break;
-            }
-            if head.exception {
-                let (seq, pc, ea) = (head.seq, head.pc, head.ea);
-                take_exception(core, lat, policy, seq, pc, ea);
-                break;
-            }
-            let Some(head) = core.rob.pop_front() else {
-                break;
-            };
-            if head.kind == UopKind::Main && head.d.is_store() {
-                let (addr, width, value) = match core.lsq.commit_store(head.seq) {
-                    Ok(committed) => committed,
-                    Err(e) => return Err(core.lsq_err(lat, e)),
+        let n = core.threads.len();
+        let mut budget = core.config.commit_width;
+        for k in 0..n {
+            let tid = (core.cycle as usize + k) % n;
+            let hart = core.threads[tid].hart;
+            while budget > 0 {
+                let Some(head) = core.threads[tid].rob.front() else {
+                    break;
                 };
-                core.memory.write(addr, value, width);
-                core.mem_timing
-                    .access_data(head.pc * 4, addr, true, core.cycle);
-            }
-            if head.kind == UopKind::Main && head.d.is_load() {
-                if let Err(e) = core.lsq.commit_load(head.seq) {
-                    return Err(core.lsq_err(lat, e));
+                if !head.done {
+                    break;
+                }
+                if head.exception {
+                    let (seq, pc, ea) = (head.seq, head.pc, head.ea);
+                    take_exception(core, lat, policy, tid, seq, pc, ea);
+                    break;
+                }
+                let Some(head) = core.threads[tid].rob.pop_front() else {
+                    break;
+                };
+                budget -= 1;
+                if head.kind == UopKind::Main && head.d.is_store() {
+                    let (addr, width, value) = match core.threads[tid].lsq.commit_store(head.seq) {
+                        Ok(committed) => committed,
+                        Err(e) => return Err(core.lsq_err(lat, e)),
+                    };
+                    core.threads[tid].memory.write(addr, value, width);
+                    core.mem_timing.access_data(
+                        tag_addr(tid, head.pc) * 4,
+                        tag_addr(tid, addr),
+                        true,
+                        core.cycle,
+                    );
+                }
+                if head.kind == UopKind::Main && head.d.is_load() {
+                    if let Err(e) = core.threads[tid].lsq.commit_load(head.seq) {
+                        return Err(core.lsq_err(lat, e));
+                    }
+                }
+                core.renamer.commit_on(hart, head.seq);
+                core.trace_event(head.seq, head.pc, TraceStage::Commit);
+                core.committed_uops += 1;
+                core.profile.add_work(StageSlot::Commit, 1);
+                if head.kind == UopKind::Main {
+                    core.committed_instructions += 1;
+                    core.threads[tid].committed_instructions += 1;
+                    if let Err(detail) = check_oracle(&mut core.threads[tid].oracle, &head) {
+                        return Err(SimError::OracleMismatch {
+                            cycle: core.cycle,
+                            detail,
+                            snapshot: Box::new(core.snapshot(lat)),
+                        });
+                    }
+                }
+                core.last_commit_cycle = core.cycle;
+                if head.d.is_halt() && head.kind == UopKind::Main {
+                    core.threads[tid].halted = true;
+                    core.threads[tid].fetch_pc = None;
+                    if core.threads.iter().all(|t| t.halted) {
+                        core.halted = true;
+                        return Ok(StageOutcome::Halted);
+                    }
+                    break;
                 }
             }
-            core.renamer.commit(head.seq);
-            core.trace_event(head.seq, head.pc, TraceStage::Commit);
-            core.committed_uops += 1;
-            core.profile.add_work(StageSlot::Commit, 1);
-            if head.kind == UopKind::Main {
-                core.committed_instructions += 1;
-                if let Err(detail) = check_oracle(&mut core.oracle, &head) {
-                    return Err(SimError::OracleMismatch {
-                        cycle: core.cycle,
-                        detail,
-                        snapshot: Box::new(core.snapshot(lat)),
-                    });
-                }
-            }
-            core.last_commit_cycle = core.cycle;
-            if head.d.is_halt() && head.kind == UopKind::Main {
-                core.halted = true;
-                return Ok(StageOutcome::Halted);
+            if budget == 0 {
+                break;
             }
         }
         Ok(StageOutcome::Ran)
@@ -78,23 +100,26 @@ impl CommitStage {
 
 fn take_exception(
     core: &mut CoreState,
-    lat: &mut StageIo,
+    lat: &mut [StageIo],
     policy: &dyn RecoveryPolicy,
+    tid: usize,
     seq: u64,
     pc: u64,
     ea: Option<u64>,
 ) {
-    // Flush the entire pipeline, including the faulting instruction
-    // (it re-executes after the handler), and restore precise state.
-    let extra = recovery::squash_younger_than(core, lat, policy, seq - 1);
+    // Flush the faulting thread's pipeline slice, including the faulting
+    // instruction (it re-executes after the handler), and restore that
+    // thread's precise state. Other threads keep flowing.
+    let extra = recovery::squash_younger_than(core, lat, policy, tid, seq - 1);
     if let Some(addr) = ea {
-        core.mem_timing.tlb_mut().take_fault(addr);
+        core.mem_timing.tlb_mut().take_fault(tag_addr(tid, addr));
     }
-    core.fetch_pc = Some(pc);
+    core.threads[tid].fetch_pc = Some(pc);
     // Unlike the redirects in writeback, an exception's stall overrides
     // any earlier redirect outright: the flush discarded whatever that
     // redirect was refilling.
-    core.fetch_stall_until = core.cycle + core.config.exception_penalty as u64 + extra as u64;
+    core.threads[tid].fetch_stall_until =
+        core.cycle + core.config.exception_penalty as u64 + extra as u64;
     core.exceptions += 1;
     core.pending_verify = true;
 }

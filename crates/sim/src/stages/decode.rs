@@ -5,24 +5,33 @@ use crate::profile::StageSlot;
 use crate::stages::StageOutcome;
 
 /// The decode stage. Transfers up to `decode_width` instructions per
-/// cycle from the fetch latch into the decode → rename latch, bounded by
-/// a small skid buffer (twice the rename width) so a rename stall backs
-/// pressure up into fetch.
+/// cycle from the fetch latches into the decode → rename latches,
+/// bounded per thread by a small skid buffer (twice the rename width) so
+/// a rename stall backs pressure up into fetch. The width budget is
+/// shared: threads are visited in a rotation that starts at
+/// `cycle % threads`, so no thread is structurally favoured.
 #[derive(Debug, Default)]
 pub(crate) struct DecodeStage;
 
 impl DecodeStage {
-    pub(crate) fn tick(&mut self, core: &mut CoreState, lat: &mut StageIo) -> StageOutcome {
+    pub(crate) fn tick(&mut self, core: &mut CoreState, lat: &mut [StageIo]) -> StageOutcome {
+        let n = core.threads.len();
         let cap = core.config.rename_width * 2;
-        for _ in 0..core.config.decode_width {
-            if lat.decoded.len() >= cap {
+        let mut budget = core.config.decode_width;
+        for k in 0..n {
+            let tid = (core.cycle as usize + k) % n;
+            let io = &mut lat[tid];
+            while budget > 0 && io.decoded.len() < cap {
+                let Some(f) = io.fetched.pop_front() else {
+                    break;
+                };
+                core.profile.add_work(StageSlot::Decode, 1);
+                io.decoded.push_back(f);
+                budget -= 1;
+            }
+            if budget == 0 {
                 break;
             }
-            let Some(f) = lat.fetched.pop_front() else {
-                break;
-            };
-            core.profile.add_work(StageSlot::Decode, 1);
-            lat.decoded.push_back(f);
         }
         StageOutcome::Ran
     }

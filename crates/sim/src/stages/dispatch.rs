@@ -7,13 +7,14 @@ use regshare_core::UopKind;
 
 /// The dispatch stage. Consumes one [`RenamedBundle`] per call — driven
 /// by rename within the same tick (see [`crate::stages::RenameStage`]) —
-/// allocating ROB/IQ entries, registering destinations with the
-/// scoreboard, and parking each micro-op on its busy source tags.
+/// allocating entries in the renaming thread's ROB and LSQ partitions,
+/// registering destinations with the shared scoreboard, and parking each
+/// micro-op on its busy source tags.
 #[derive(Debug, Default)]
 pub(crate) struct DispatchStage;
 
 impl DispatchStage {
-    pub(crate) fn dispatch(&mut self, core: &mut CoreState, bundle: RenamedBundle) {
+    pub(crate) fn dispatch(&mut self, core: &mut CoreState, tid: usize, bundle: RenamedBundle) {
         let RenamedBundle {
             uops,
             pc,
@@ -21,6 +22,7 @@ impl DispatchStage {
             d,
             pred,
         } = bundle;
+        let hart = core.threads[tid].hart;
         for &uop in &uops {
             for dst in [uop.dst, uop.dst2].into_iter().flatten() {
                 core.scoreboard.set_busy(dst);
@@ -30,10 +32,10 @@ impl DispatchStage {
             }
             let is_main = uop.kind == UopKind::Main;
             if is_main && d.is_load() {
-                core.lsq.dispatch_load(uop.seq);
+                core.threads[tid].lsq.dispatch_load(uop.seq);
             }
             if is_main && d.is_store() {
-                core.lsq.dispatch_store(uop.seq);
+                core.threads[tid].lsq.dispatch_store(uop.seq);
             }
             core.trace_event(uop.seq, pc, TraceStage::Dispatch);
             // Register with the wakeup network: count the busy
@@ -47,7 +49,8 @@ impl DispatchStage {
                     pending_srcs += 1;
                 }
             }
-            core.rob.push_back(RobEntry {
+            core.threads[tid].rob.push_back(RobEntry {
+                hart,
                 seq: uop.seq,
                 pc,
                 inst,
@@ -72,7 +75,7 @@ impl DispatchStage {
             }
             core.iq_len += 1;
             if d.is_branch() {
-                core.unresolved_branches.insert(uop.seq);
+                core.threads[tid].unresolved_branches.insert(uop.seq);
             }
         }
     }

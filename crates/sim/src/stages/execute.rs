@@ -1,6 +1,6 @@
 //! Execute: evaluate a selected micro-op and schedule its completion.
 
-use crate::core_state::{CoreState, StageIo};
+use crate::core_state::{tag_addr, CoreState, StageIo};
 use crate::{SimError, StoreSearch};
 use regshare_core::UopKind;
 use regshare_isa::exec::{self, Action};
@@ -17,17 +17,19 @@ use regshare_mem::DataAccess;
 pub(crate) struct ExecuteStage;
 
 impl ExecuteStage {
-    /// Attempts to execute the ready micro-op `seq` at ROB index `idx`.
-    /// `Ok(true)`: issued (or squashed — either way leaves the ready
-    /// queue); `Ok(false)`: structural hazard, retry next cycle.
+    /// Attempts to execute the ready micro-op `seq` of thread `tid` at
+    /// ROB-partition index `idx`. `Ok(true)`: issued (or squashed —
+    /// either way leaves the ready queue); `Ok(false)`: structural
+    /// hazard, retry next cycle.
     pub(crate) fn try_execute(
         &mut self,
         core: &mut CoreState,
-        lat: &mut StageIo,
+        lat: &mut [StageIo],
         seq: u64,
+        tid: usize,
         idx: usize,
     ) -> Result<bool, SimError> {
-        let entry = &core.rob[idx];
+        let entry = &core.threads[tid].rob[idx];
         debug_assert!(
             entry
                 .srcs
@@ -58,14 +60,14 @@ impl ExecuteStage {
                 } else {
                     latency
                 };
-                let e = &mut core.rob[idx];
+                let e = &mut core.threads[tid].rob[idx];
                 e.result = Some(value);
                 e.issued = true;
                 core.schedule(seq, total);
                 Ok(true)
             }
             UopKind::Main if d.is_load() => {
-                if !core.lsq.older_stores_resolved(seq) {
+                if !core.threads[tid].lsq.older_stores_resolved(seq) {
                     return Ok(false);
                 }
                 let ops = core.read_operands(&srcs);
@@ -83,7 +85,7 @@ impl ExecuteStage {
                         ));
                     }
                 };
-                let found = match core.lsq.search(seq, ea, width) {
+                let found = match core.threads[tid].lsq.search(seq, ea, width) {
                     Ok(found) => found,
                     Err(e) => return Err(core.lsq_err(lat, e)),
                 };
@@ -94,7 +96,7 @@ impl ExecuteStage {
                             return Ok(false);
                         }
                         let latency = 1 + core.config.mem.l1d.latency;
-                        let e = &mut core.rob[idx];
+                        let e = &mut core.threads[tid].rob[idx];
                         e.result = Some(bits);
                         e.result2 = writeback;
                         e.ea = Some(ea);
@@ -106,19 +108,22 @@ impl ExecuteStage {
                         if core.fus.try_issue(OpClass::Load, core.cycle).is_none() {
                             return Ok(false);
                         }
-                        let access =
-                            core.mem_timing
-                                .access_data_checked(pc * 4, ea, false, core.cycle);
+                        let access = core.mem_timing.access_data_checked(
+                            tag_addr(tid, pc) * 4,
+                            tag_addr(tid, ea),
+                            false,
+                            core.cycle,
+                        );
                         let (latency, bits, fault) = match access {
                             DataAccess::Done(latency) => {
-                                (1 + latency, core.memory.read(ea, width), false)
+                                (1 + latency, core.threads[tid].memory.read(ea, width), false)
                             }
                             DataAccess::Fault => (2, 0, true),
                         };
                         // A forced fault retries cleanly after the
                         // precise flush (the armed flag is one-shot).
                         let fault = fault || core.consume_armed_load_fault();
-                        let e = &mut core.rob[idx];
+                        let e = &mut core.threads[tid].rob[idx];
                         e.result = Some(bits);
                         e.result2 = writeback;
                         e.ea = Some(ea);
@@ -149,12 +154,12 @@ impl ExecuteStage {
                         ));
                     }
                 };
-                if let Err(e) = core.lsq.resolve_store(seq, ea, width, value) {
+                if let Err(e) = core.threads[tid].lsq.resolve_store(seq, ea, width, value) {
                     return Err(core.lsq_err(lat, e));
                 }
                 let forced = core.consume_armed_store_fault();
-                let fault = core.mem_timing.tlb().would_fault(ea) || forced;
-                let e = &mut core.rob[idx];
+                let fault = core.mem_timing.tlb().would_fault(tag_addr(tid, ea)) || forced;
+                let e = &mut core.threads[tid].rob[idx];
                 e.ea = Some(ea);
                 e.result2 = writeback;
                 e.exception = fault;
@@ -169,7 +174,7 @@ impl ExecuteStage {
                 };
                 let ops = core.read_operands(&srcs);
                 let action = exec::evaluate(&inst, pc, ops);
-                let e = &mut core.rob[idx];
+                let e = &mut core.threads[tid].rob[idx];
                 match action {
                     Action::Value(bits) => {
                         e.result = Some(bits);

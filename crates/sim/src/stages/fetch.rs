@@ -1,43 +1,83 @@
-//! Fetch: follow predicted PCs through the real program image.
+//! Fetch: follow predicted PCs through the real program image, one
+//! hardware thread per cycle.
 
-use crate::core_state::{CoreState, Fetched, StageIo};
+use crate::core_state::{tag_addr, CoreState, Fetched, StageIo};
+use crate::policy::FetchPolicy;
 use crate::profile::StageSlot;
 use crate::stages::StageOutcome;
 
-/// The fetch stage. Walks the predicted path (gshare + BTB), honours
-/// redirect/exception stalls and i-cache miss latency, and deposits
-/// [`Fetched`] instructions into the fetch → decode latch.
-#[derive(Debug, Default)]
-pub(crate) struct FetchStage;
+/// The fetch stage. Each cycle the configured [`FetchPolicy`] picks one
+/// eligible hardware thread (not halted, not redirect-stalled, fetch
+/// queue has room); fetch then walks that thread's predicted path
+/// (gshare + BTB), honours i-cache miss latency, and deposits
+/// [`Fetched`] instructions into the thread's fetch → decode latch.
+pub(crate) struct FetchStage {
+    policy: Box<dyn FetchPolicy>,
+    eligible: Vec<bool>,
+    in_flight: Vec<usize>,
+}
 
 impl FetchStage {
-    pub(crate) fn tick(&mut self, core: &mut CoreState, lat: &mut StageIo) -> StageOutcome {
-        if core.cycle < core.fetch_stall_until {
-            return StageOutcome::Ran;
+    pub(crate) fn new(policy: Box<dyn FetchPolicy>, threads: usize) -> Self {
+        FetchStage {
+            policy,
+            eligible: vec![false; threads],
+            in_flight: vec![0; threads],
         }
-        let Some(mut pc) = core.fetch_pc else {
+    }
+
+    pub(crate) fn tick(&mut self, core: &mut CoreState, lat: &mut [StageIo]) -> StageOutcome {
+        for (tid, ctx) in core.threads.iter().enumerate() {
+            self.eligible[tid] = !ctx.halted
+                && ctx.fetch_pc.is_some()
+                && core.cycle >= ctx.fetch_stall_until
+                && lat[tid].fetched.len() < core.config.fetch_queue;
+            self.in_flight[tid] = ctx.rob.len() + lat[tid].fetched.len() + lat[tid].decoded.len();
+        }
+        let Some(tid) = self
+            .policy
+            .pick(core.cycle, &self.eligible, &self.in_flight)
+        else {
+            return StageOutcome::Ran;
+        };
+        let io = &mut lat[tid];
+        let ctx = &core.threads[tid];
+        let Some(mut pc) = ctx.fetch_pc else {
             return StageOutcome::Ran;
         };
         for _ in 0..core.config.fetch_width {
-            if lat.fetched.len() >= core.config.fetch_queue {
+            if io.fetched.len() >= core.config.fetch_queue {
                 break;
             }
-            let Some(inst) = core.program.fetch(pc).copied() else {
+            let Some(inst) = core.threads[tid].program.fetch(pc).copied() else {
                 // Ran off the program (wrong path): wait for a redirect.
-                core.fetch_pc = None;
+                core.threads[tid].fetch_pc = None;
                 return StageOutcome::Ran;
             };
-            let lat_cycles = core.mem_timing.access_inst(pc * 4, core.cycle);
-            if lat_cycles > core.config.mem.l1i.latency {
+            let lat_cycles = core
+                .mem_timing
+                .access_inst(tag_addr(tid, pc) * 4, core.cycle);
+            if lat_cycles > core.config.mem.l1i.latency
+                && core.threads[tid].pending_fill != Some(pc)
+            {
                 // I-cache miss: nothing is delivered until the line
-                // arrives; fetch retries this PC after the fill.
-                core.fetch_stall_until = core.cycle + lat_cycles as u64;
-                core.fetch_pc = Some(pc);
+                // arrives; fetch retries this PC after the fill. The
+                // retry consumes the arrived line from the fill buffer
+                // even if it misses again — co-resident threads
+                // thrashing an associativity-limited set must not
+                // re-stall the victim forever.
+                core.threads[tid].pending_fill = Some(pc);
+                core.threads[tid].fetch_stall_until = core.cycle + lat_cycles as u64;
+                core.threads[tid].fetch_pc = Some(pc);
                 return StageOutcome::Ran;
             }
-            let d = core.program.decoded().op(pc);
+            core.threads[tid].pending_fill = None;
+            let d = core.threads[tid].program.decoded().op(pc);
             let pred = d.is_branch().then(|| {
-                let mut p = core.bpred.predict(pc, &inst);
+                // The predictor indexes on the thread-tagged PC so the
+                // threads' histories stay disjoint; the predicted
+                // target is an untagged program PC.
+                let mut p = core.bpred.predict(tag_addr(tid, pc), &inst);
                 // An armed injection flip inverts the next prediction,
                 // manufacturing a misprediction (and its recovery) the
                 // workload would not produce on its own. Wrong-path
@@ -58,17 +98,17 @@ impl FetchStage {
             };
             let is_halt = d.is_halt();
             core.profile.add_work(StageSlot::Fetch, 1);
-            lat.fetched.push_back(Fetched { pc, inst, d, pred });
+            io.fetched.push_back(Fetched { pc, inst, d, pred });
             if is_halt {
-                core.fetch_pc = None;
+                core.threads[tid].fetch_pc = None;
                 return StageOutcome::Ran;
             }
             pc = next;
-            if taken_pred || core.cycle < core.fetch_stall_until {
+            if taken_pred || core.cycle < core.threads[tid].fetch_stall_until {
                 break; // a taken branch or an i-cache miss ends the group
             }
         }
-        core.fetch_pc = Some(pc);
+        core.threads[tid].fetch_pc = Some(pc);
         StageOutcome::Ran
     }
 }

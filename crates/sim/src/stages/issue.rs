@@ -36,7 +36,7 @@ impl IssueStage {
     pub(crate) fn tick(
         &mut self,
         core: &mut CoreState,
-        lat: &mut StageIo,
+        lat: &mut [StageIo],
         exec: &mut ExecuteStage,
     ) -> Result<StageOutcome, SimError> {
         if core.ready_q.is_empty() {
@@ -51,11 +51,11 @@ impl IssueStage {
             if issued.len() >= core.config.issue_width {
                 break;
             }
-            let Some(idx) = core.rob_index(seq) else {
+            let Some((tid, idx)) = core.rob_find(seq) else {
                 issued.push(seq); // squashed; drop from the ready queue
                 continue;
             };
-            if exec.try_execute(core, lat, seq, idx)? {
+            if exec.try_execute(core, lat, seq, tid, idx)? {
                 issued.push(seq);
             }
         }

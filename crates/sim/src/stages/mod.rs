@@ -35,6 +35,12 @@ pub(crate) use issue::IssueStage;
 pub(crate) use rename::RenameStage;
 pub(crate) use writeback::WritebackStage;
 
+/// The most micro-ops one renamed instruction can expand to (a repair
+/// move per source plus the main op) — rename's per-instruction
+/// capacity reservation, and the smallest useful per-thread ROB
+/// partition.
+pub(crate) const WORST_CASE_UOPS: usize = 4;
+
 /// What a stage's tick did, as far as the driver cares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum StageOutcome {
@@ -42,4 +48,54 @@ pub(crate) enum StageOutcome {
     Ran,
     /// Commit retired a `halt`: the driver stops the cycle here.
     Halted,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SimConfig;
+    use crate::errors::TraceStage;
+    use crate::pipeline::Pipeline;
+    use regshare_core::{BaselineRenamer, RenamerConfig};
+    use regshare_isa::{reg, Asm};
+
+    /// At width 8 a dependent pair sits in the issue queue together while
+    /// the long-latency producer executes; the scoreboard broadcast at the
+    /// producer's writeback must wake the consumer early enough for it to
+    /// be selected in the very same cycle — writeback ticks before issue
+    /// in the driver, so a later wakeup would cost a whole bubble.
+    #[test]
+    fn width_eight_consumer_issues_on_the_producers_writeback_cycle() {
+        let mut a = Asm::new();
+        a.li(reg::x(1), 6);
+        a.mul(reg::x(2), reg::x(1), reg::x(1));
+        a.add(reg::x(3), reg::x(2), reg::x(2));
+        a.halt();
+        let mut cfg = SimConfig::test().with_width(8);
+        cfg.trace = true;
+        let renamer = Box::new(BaselineRenamer::new(RenamerConfig::baseline(64)));
+        let mut sim = Pipeline::new(a.assemble(), renamer, cfg);
+        sim.run().expect("run");
+        let trace = sim.take_trace();
+        let cycle_of = |seq: u64, stage: TraceStage| {
+            trace
+                .iter()
+                .find(|e| e.seq == seq && e.stage == stage)
+                .unwrap_or_else(|| panic!("no {stage:?} event for seq {seq}"))
+                .cycle
+        };
+        // Sequence numbers under the baseline renamer (no repair moves):
+        // 1 = li, 2 = mul (producer), 3 = add (consumer), 4 = halt.
+        let producer_wb = cycle_of(2, TraceStage::Writeback);
+        let consumer_issue = cycle_of(3, TraceStage::Issue);
+        assert!(
+            cycle_of(3, TraceStage::Dispatch) < producer_wb,
+            "consumer must already be in the issue queue when the producer \
+             writes back, or the test is not exercising the wakeup path"
+        );
+        assert_eq!(
+            consumer_issue, producer_wb,
+            "same-cycle wakeup: the consumer must issue on the producer's \
+             writeback cycle at width 8"
+        );
+    }
 }

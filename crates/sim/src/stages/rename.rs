@@ -2,7 +2,7 @@
 
 use crate::core_state::{CoreState, RenamedBundle, StageIo};
 use crate::profile::StageSlot;
-use crate::stages::{DispatchStage, StageOutcome};
+use crate::stages::{DispatchStage, StageOutcome, WORST_CASE_UOPS};
 
 /// The rename stage. Pulls decoded instructions, checks downstream
 /// capacity, asks the [`regshare_core::Renamer`] for the micro-op
@@ -13,67 +13,92 @@ use crate::stages::{DispatchStage, StageOutcome};
 /// capacity check must see the ROB/IQ/LSQ occupancy left by the
 /// previous instruction's dispatch, so batching renames behind a latch
 /// would change stall timing.
+///
+/// The `rename_width` budget is shared across the hardware threads,
+/// visited in a rotation starting at `cycle % threads`: a thread that
+/// stalls (full partition, no free registers) yields the remaining
+/// budget to the next thread instead of wasting the slots.
 #[derive(Debug, Default)]
 pub(crate) struct RenameStage {
-    /// `(state_epoch, next_seq, pc)` of the last failed rename. While all
-    /// three stand still, nothing that could change the rename's outcome
-    /// has happened and the instruction is the same, so the retry would
-    /// fail identically — the stage charges `note_stall` instead of
-    /// re-running the scheme's full rename machinery every stalled cycle.
-    stall_gate: Option<(u64, u64, u64)>,
+    /// Per-thread `(state_epoch, next_seq, pc)` of the last failed
+    /// rename. While all three stand still, nothing that could change
+    /// the rename's outcome has happened and the instruction is the
+    /// same, so the retry would fail identically — the stage charges
+    /// `note_stall` instead of re-running the scheme's full rename
+    /// machinery every stalled cycle.
+    stall_gates: Vec<Option<(u64, u64, u64)>>,
 }
 
 impl RenameStage {
+    pub(crate) fn new(threads: usize) -> Self {
+        RenameStage {
+            stall_gates: vec![None; threads],
+        }
+    }
+
     pub(crate) fn tick(
         &mut self,
         core: &mut CoreState,
-        lat: &mut StageIo,
+        lat: &mut [StageIo],
         dispatch: &mut DispatchStage,
     ) -> StageOutcome {
-        // A renamed instruction expands to at most the main op plus one
-        // repair per source: reserve conservatively before renaming.
-        const WORST_CASE_UOPS: usize = 4;
+        let n = core.threads.len();
+        let rob_partition = core.rob_partition();
         let mut stalled_for_regs = false;
-        for _ in 0..core.config.rename_width {
-            let Some(f) = lat.decoded.front() else {
-                break;
-            };
-            let rob_free = core.config.rob_entries - core.rob.len();
-            let iq_free = core.config.iq_entries - core.iq_len;
-            let is_load = f.d.is_load() as usize;
-            let is_store = f.d.is_store() as usize;
-            if rob_free < WORST_CASE_UOPS
-                || iq_free < WORST_CASE_UOPS
-                || !core.lsq.has_room(is_load, is_store)
-            {
-                break;
-            }
-            if let Some((epoch, seq, pc)) = self.stall_gate {
-                if epoch == core.renamer.state_epoch() && seq == core.next_seq && pc == f.pc {
-                    core.renamer.note_stall();
-                    stalled_for_regs = true;
+        let mut budget = core.config.rename_width;
+        for k in 0..n {
+            let tid = (core.cycle as usize + k) % n;
+            let hart = core.threads[tid].hart;
+            while budget > 0 {
+                let Some(f) = lat[tid].decoded.front() else {
+                    break;
+                };
+                // A renamed instruction expands to at most the main op
+                // plus one repair per source: reserve conservatively
+                // before renaming. ROB and LSQ capacity come from this
+                // thread's partitions; the issue queue is shared.
+                let rob_free = rob_partition - core.threads[tid].rob.len();
+                let iq_free = core.config.iq_entries - core.iq_len;
+                let is_load = f.d.is_load() as usize;
+                let is_store = f.d.is_store() as usize;
+                if rob_free < WORST_CASE_UOPS
+                    || iq_free < WORST_CASE_UOPS
+                    || !core.threads[tid].lsq.has_room(is_load, is_store)
+                {
                     break;
                 }
+                if let Some((epoch, seq, pc)) = self.stall_gates[tid] {
+                    if epoch == core.renamer.state_epoch() && seq == core.next_seq && pc == f.pc {
+                        core.renamer.note_stall_on(hart);
+                        stalled_for_regs = true;
+                        break;
+                    }
+                }
+                let Some(uops) = core.renamer.rename_on(hart, core.next_seq, f.pc, &f.inst) else {
+                    self.stall_gates[tid] = Some((core.renamer.state_epoch(), core.next_seq, f.pc));
+                    stalled_for_regs = true;
+                    break;
+                };
+                self.stall_gates[tid] = None;
+                let f = lat[tid].decoded.pop_front().expect("front checked above");
+                core.next_seq += uops.len() as u64;
+                core.profile.add_work(StageSlot::Rename, uops.len() as u64);
+                budget -= 1;
+                dispatch.dispatch(
+                    core,
+                    tid,
+                    RenamedBundle {
+                        uops,
+                        pc: f.pc,
+                        inst: f.inst,
+                        d: f.d,
+                        pred: f.pred,
+                    },
+                );
             }
-            let Some(uops) = core.renamer.rename(core.next_seq, f.pc, &f.inst) else {
-                self.stall_gate = Some((core.renamer.state_epoch(), core.next_seq, f.pc));
-                stalled_for_regs = true;
+            if budget == 0 {
                 break;
-            };
-            self.stall_gate = None;
-            let f = lat.decoded.pop_front().expect("front checked above");
-            core.next_seq += uops.len() as u64;
-            core.profile.add_work(StageSlot::Rename, uops.len() as u64);
-            dispatch.dispatch(
-                core,
-                RenamedBundle {
-                    uops,
-                    pc: f.pc,
-                    inst: f.inst,
-                    d: f.d,
-                    pred: f.pred,
-                },
-            );
+            }
         }
         if stalled_for_regs {
             core.rename_stall_cycles += 1;

@@ -1,6 +1,6 @@
 //! Writeback: drain completions, broadcast wakeups, resolve branches.
 
-use crate::core_state::{CoreState, StageIo};
+use crate::core_state::{tag_addr, CoreState, StageIo};
 use crate::errors::TraceStage;
 use crate::policy::RecoveryPolicy;
 use crate::profile::StageSlot;
@@ -21,7 +21,7 @@ impl WritebackStage {
     pub(crate) fn tick(
         &mut self,
         core: &mut CoreState,
-        lat: &mut StageIo,
+        lat: &mut [StageIo],
         policy: &dyn RecoveryPolicy,
     ) -> Result<StageOutcome, SimError> {
         let mut seqs = core.completions.take(core.cycle);
@@ -35,22 +35,22 @@ impl WritebackStage {
         core.profile
             .add_work(StageSlot::Writeback, seqs.len() as u64);
         for &seq in &seqs {
-            let Some(idx) = core.rob_index(seq) else {
+            let Some((tid, idx)) = core.rob_find(seq) else {
                 continue; // squashed while in flight
             };
             // `idx` stays valid through the wakeup broadcasts below: they
             // mutate entries in place but never insert or remove.
             let (dst, result, dst2, result2, is_branch) = {
-                let e = &mut core.rob[idx];
+                let e = &mut core.threads[tid].rob[idx];
                 e.done = true;
                 (e.dst, e.result, e.dst2, e.result2, e.d.is_branch())
             };
             if is_branch {
-                core.unresolved_branches.remove(seq);
+                core.threads[tid].unresolved_branches.remove(seq);
             }
             core.renamer.on_writeback(seq);
             if core.config.trace {
-                let pc = core.rob[idx].pc;
+                let pc = core.threads[tid].rob[idx].pc;
                 core.trace_event(seq, pc, TraceStage::Writeback);
             }
             if let Some(tag) = dst {
@@ -74,7 +74,7 @@ impl WritebackStage {
                 core.broadcast_ready(lat, tag)?;
             }
             // Resolve branches.
-            let e = &core.rob[idx];
+            let e = &core.threads[tid].rob[idx];
             if e.kind == UopKind::Main && e.d.is_branch() {
                 let (pc, inst, next_pc) = (e.pc, e.inst, e.next_pc);
                 let (taken, pred) = match (e.taken, e.pred) {
@@ -89,12 +89,14 @@ impl WritebackStage {
                     }
                 };
                 let target = next_pc;
-                core.bpred.update(pc, &inst, taken, target, pred);
+                // Update under the same thread-tagged key used at predict.
+                core.bpred
+                    .update(tag_addr(tid, pc), &inst, taken, target, pred);
                 let mispredicted = pred.taken != taken || (taken && pred.target != target);
                 if mispredicted {
                     core.mispredicts += 1;
                     let penalty = core.config.mispredict_penalty;
-                    recovery::redirect_after_squash(core, lat, policy, seq, next_pc, penalty);
+                    recovery::redirect_after_squash(core, lat, policy, tid, seq, next_pc, penalty);
                     // Nested-recovery injection: an interrupt scheduled
                     // on this misprediction ordinal is delivered later
                     // this same cycle, mid-recovery.

@@ -110,7 +110,7 @@ fn parse_args() -> Args {
                      \x20                 [--port N] [--data-dir DIR]\n\
                      experiments: fig1 fig2 fig3 table1 table2 table3 fig9 fig10 fig10ec \
                      fig11 fig12 analyze hints ablate-counter ablate-predictor ablate-banks \
-                     ablate-speculation inject profile sample shape bench serve submit all\n\
+                     ablate-speculation inject smt profile sample shape bench serve submit all\n\
                      --campaigns/--seed/--kernels apply to the `inject` fault-injection \
                      sweep only\n\
                      --sample makes `all` run the two-speed sampled registry (sample, \

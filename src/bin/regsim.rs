@@ -127,6 +127,7 @@ fn build_renamer(o: &Options, scheme: Scheme, swept: RegClass) -> Box<dyn regsha
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         }));
     }
     renamer_for(scheme, o.regs, swept)

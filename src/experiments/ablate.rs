@@ -92,5 +92,6 @@ pub(crate) fn renamer_with_spec(
         predictor_bits: 2,
         speculative_reuse,
         hint_policy: HintPolicy::DynamicOnly,
+        threads: 1,
     }))
 }

@@ -32,6 +32,7 @@ pub fn run(args: &Args) -> Result<(), ExpError> {
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         };
         let mut sim_cfg = experiment_config(args.scale);
         sim_cfg.occupancy_sample_interval = 16;

@@ -71,6 +71,7 @@ pub fn run(args: &Args) -> Result<(), ExpError> {
                     // No supervisor attaches a cancel token here, but the
                     // row schema still needs a stable word for it.
                     SimError::Cancelled { .. } => "cancelled",
+                    SimError::Config { .. } => "config-error",
                 };
                 let detail = format!(
                     "campaign {i} ({}, {}, seed {seed:#x}): {e}",

@@ -29,6 +29,7 @@ mod profile;
 mod sample;
 mod serve;
 mod shape;
+mod smt;
 mod submit;
 mod sweeps;
 mod table1;
@@ -66,6 +67,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ablate-predictor", ablate_predictor::run),
         ("ablate-banks", ablate_banks::run),
         ("inject", inject::run),
+        ("smt", smt::run),
         // Host-time attribution: wall-clock payload, so `all` skips it
         // (same contract as `bench`).
         ("profile", profile::run),

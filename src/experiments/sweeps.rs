@@ -41,6 +41,7 @@ pub(crate) fn equal_count_renamer(rf_regs: usize, swept: RegClass) -> Box<dyn Re
         predictor_bits: 2,
         speculative_reuse: true,
         hint_policy: HintPolicy::DynamicOnly,
+        threads: 1,
     }))
 }
 

@@ -216,6 +216,7 @@ pub mod harness {
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         };
         Box::new(ReuseRenamer::new(config))
     }

@@ -73,3 +73,79 @@ fn healthy_runs_audit_clean_every_cycle() {
         }
     }
 }
+
+/// A physical register aliased into a second thread's map table must be
+/// caught by the first audit as a cross-thread ownership leak: under
+/// SMT the free lists and PRT are shared, but every mapped register
+/// belongs to exactly one hardware thread.
+#[test]
+fn cross_thread_leak_is_caught_under_smt() {
+    let banks = regshare::core::BankConfig::new(vec![72, 8, 8, 8]);
+    let config = RenamerConfig {
+        int_banks: banks.clone(),
+        fp_banks: banks,
+        ..RenamerConfig::paper(96)
+    }
+    .with_threads(2);
+    let mut renamer = ReuseRenamer::new(config);
+    renamer.corrupt(CorruptKind::CrossThreadLeak);
+    let mut cfg = experiment_config(SCALE * 2).with_threads(2);
+    cfg.audit_interval = 1;
+    let programs = vec![kernel("saxpy").program(SCALE), kernel("dct").program(SCALE)];
+    let mut sim = Pipeline::new_smt(programs, Box::new(renamer), cfg).expect("valid smt config");
+    match sim.run() {
+        Err(SimError::Invariant { what, .. }) => {
+            assert!(
+                what.contains("cross-thread register leak"),
+                "diagnostic {what:?} does not name the cross-thread leak"
+            );
+            assert!(
+                what.starts_with("renamer audit:"),
+                "violation must be attributed to the renamer audit, got {what:?}"
+            );
+        }
+        other => panic!("expected an invariant violation, got {other:?}"),
+    }
+}
+
+/// Healthy two-thread runs audit clean every cycle under both renamers:
+/// the per-thread map-consistency and partitioned-ROB-occupancy checks
+/// must not false-positive on legal SMT interleavings.
+#[test]
+fn healthy_two_thread_runs_audit_clean_every_cycle() {
+    use regshare::core::{BaselineRenamer, Renamer};
+    use regshare::sim::FetchPolicyKind;
+    let banks = regshare::core::BankConfig::new(vec![72, 8, 8, 8]);
+    let renamers: Vec<(&str, Box<dyn Renamer>)> = vec![
+        (
+            "baseline",
+            Box::new(BaselineRenamer::new(
+                RenamerConfig::baseline(96).with_threads(2),
+            )),
+        ),
+        (
+            "proposed",
+            Box::new(ReuseRenamer::new(
+                RenamerConfig {
+                    int_banks: banks.clone(),
+                    fp_banks: banks,
+                    ..RenamerConfig::paper(96)
+                }
+                .with_threads(2),
+            )),
+        ),
+    ];
+    for (label, renamer) in renamers {
+        let mut cfg = experiment_config(SCALE * 2).with_threads(2);
+        cfg.audit_interval = 1;
+        cfg.fetch_policy = FetchPolicyKind::Icount;
+        let programs = vec![
+            kernel("hashjoin").program(SCALE),
+            kernel("fft").program(SCALE),
+        ];
+        let mut sim = Pipeline::new_smt(programs, renamer, cfg).expect("valid smt config");
+        sim.run()
+            .unwrap_or_else(|e| panic!("2-thread {label} audited dirty: {e}"));
+        assert!(sim.audits() > 100, "audits ran every cycle");
+    }
+}

@@ -89,6 +89,7 @@ fn fig10ec_equal_count_wins_at_small_files() {
                 predictor_bits: 2,
                 speculative_reuse: true,
                 hint_policy: HintPolicy::DynamicOnly,
+                threads: 1,
             }));
             let program = k.program(SIM_SCALE);
             let mut sim = Pipeline::new(program, renamer, experiment_config(SIM_SCALE));

@@ -68,6 +68,7 @@ proptest! {
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         };
         let mut sim = Pipeline::new(program, Box::new(ReuseRenamer::new(rc)), sim_cfg);
         let report = sim.run().expect("reuse oracle run");

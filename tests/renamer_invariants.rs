@@ -168,6 +168,7 @@ proptest! {
             predictor_bits: 2,
             speculative_reuse: true,
             hint_policy: HintPolicy::DynamicOnly,
+            threads: 1,
         };
         let mut r = ReuseRenamer::new(config);
         drive(&mut r, &steps, total, 4);
